@@ -1,0 +1,225 @@
+//! GMMSchema (EDBT 2022) re-implementation.
+//!
+//! GMMSchema "introduces hierarchical clustering based on Gaussian Mixture
+//! Models to group nodes by analyzing labels and property distributions"
+//! (§2). Its published limitations, all reproduced here:
+//!
+//! 1. node clustering only — no edge types,
+//! 2. requires fully labeled data (`None` otherwise),
+//! 3. not designed for missing/noisy properties: the property-distribution
+//!    features overlap as noise grows and the Gaussians mix types,
+//! 4. samples nodes to scale, then assigns the rest by prediction.
+//!
+//! Features: a per-label-set anchor coordinate (labels dominate on clean
+//! data) concatenated with the binary property vector (which noise
+//! perturbs). Model selection picks the component count by BIC around the
+//! number of observed label sets.
+
+use pg_hive_gmm::{fit_best, GmmConfig, SelectionCriterion};
+use pg_hive_graph::PropertyGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::method::MethodOutput;
+
+/// GMMSchema knobs.
+#[derive(Debug, Clone)]
+pub struct GmmSchemaConfig {
+    /// Maximum nodes used to *fit* the mixture (limitation iv — sampling).
+    pub fit_sample: usize,
+    /// Half-width of the BIC search window around the label-set count.
+    pub k_window: usize,
+    /// EM iteration budget.
+    pub max_iters: usize,
+    pub seed: u64,
+}
+
+impl Default for GmmSchemaConfig {
+    fn default() -> Self {
+        Self {
+            fit_sample: 1500,
+            k_window: 2,
+            max_iters: 40,
+            seed: 0x6A5E,
+        }
+    }
+}
+
+/// The GMMSchema discoverer.
+#[derive(Debug, Clone, Default)]
+pub struct GmmSchema {
+    pub config: GmmSchemaConfig,
+}
+
+impl GmmSchema {
+    /// Discoverer with explicit configuration.
+    pub fn new(config: GmmSchemaConfig) -> Self {
+        Self { config }
+    }
+
+    /// Run GMMSchema. `None` unless fully labeled. Edge assignment is
+    /// always `None` (limitation i).
+    pub fn discover(&self, g: &PropertyGraph) -> Option<MethodOutput> {
+        if !crate::fully_labeled(g) {
+            return None;
+        }
+        let start = Instant::now();
+        let n = g.node_count();
+        if n == 0 {
+            return Some(MethodOutput {
+                node_assignment: vec![],
+                edge_assignment: None,
+                elapsed: start.elapsed(),
+            });
+        }
+
+        // Label-set anchors: each distinct label set gets a 2-D coordinate
+        // on a circle of radius `anchor_scale`. On clean data these anchors
+        // dominate the Gaussian fit; property noise perturbs the binary
+        // block and blurs the mixture — the paper's noise sensitivity.
+        let mut label_sets: HashMap<Vec<u32>, usize> = HashMap::new();
+        let mut set_of_node = Vec::with_capacity(n);
+        for (_, node) in g.nodes() {
+            let key: Vec<u32> = node.labels.iter().map(|l| l.0).collect();
+            let next = label_sets.len();
+            let id = *label_sets.entry(key).or_insert(next);
+            set_of_node.push(id);
+        }
+        let l = label_sets.len();
+        let anchor_scale = 1.5;
+        let key_count = g.keys().len();
+        let dim = 2 + key_count;
+
+        let features: Vec<Vec<f64>> = g
+            .nodes()
+            .zip(&set_of_node)
+            .map(|((_, node), &set_id)| {
+                let mut v = vec![0.0f64; dim];
+                let angle = std::f64::consts::TAU * set_id as f64 / l.max(1) as f64;
+                v[0] = anchor_scale * angle.cos();
+                v[1] = anchor_scale * angle.sin();
+                for k in node.keys() {
+                    v[2 + k.index()] = 1.0;
+                }
+                v
+            })
+            .collect();
+
+        // Fit on a sample (limitation iv).
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let fit_set: Vec<Vec<f64>> = if n <= self.config.fit_sample {
+            features.clone()
+        } else {
+            (0..self.config.fit_sample)
+                .map(|_| features[rng.gen_range(0..n)].clone())
+                .collect()
+        };
+
+        let k_lo = l.saturating_sub(self.config.k_window).max(1);
+        let k_hi = (l + self.config.k_window).min(fit_set.len());
+        let (_, model) = fit_best(
+            &fit_set,
+            k_lo..=k_hi,
+            SelectionCriterion::Bic,
+            &GmmConfig {
+                max_iters: self.config.max_iters,
+                seed: self.config.seed,
+                ..GmmConfig::default()
+            },
+        );
+
+        let node_assignment: Vec<u32> = features
+            .iter()
+            .map(|f| model.predict(f) as u32)
+            .collect();
+
+        Some(MethodOutput {
+            node_assignment,
+            edge_assignment: None,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_hive_graph::{GraphBuilder, Value};
+
+    fn labeled_graph(noise_props: bool, seed: u64) -> PropertyGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new();
+        for i in 0..120 {
+            if i % 2 == 0 {
+                let mut props = vec![
+                    ("name", Value::from("x")),
+                    ("age", Value::Int(i)),
+                    ("city", Value::from("y")),
+                ];
+                if noise_props {
+                    props.retain(|_| rng.gen::<f64>() > 0.4);
+                }
+                b.add_node(&["Person"], &props);
+            } else {
+                let mut props = vec![("url", Value::from("u")), ("founded", Value::Int(1990))];
+                if noise_props {
+                    props.retain(|_| rng.gen::<f64>() > 0.4);
+                }
+                b.add_node(&["Org"], &props);
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn clean_data_separates_types() {
+        let g = labeled_graph(false, 1);
+        let out = GmmSchema::default().discover(&g).unwrap();
+        // All Persons together, all Orgs together, distinct.
+        let p = out.node_assignment[0];
+        let o = out.node_assignment[1];
+        assert_ne!(p, o);
+        assert!(out.node_assignment.iter().step_by(2).all(|&a| a == p));
+        assert!(out
+            .node_assignment
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .all(|&a| a == o));
+    }
+
+    #[test]
+    fn no_edge_types_ever() {
+        let g = labeled_graph(false, 2);
+        let out = GmmSchema::default().discover(&g).unwrap();
+        assert!(out.edge_assignment.is_none());
+    }
+
+    #[test]
+    fn refuses_partially_labeled_graphs() {
+        let mut b = GraphBuilder::new();
+        b.add_node(&["A"], &[]);
+        b.add_node(&[], &[]);
+        let g = b.finish();
+        assert!(GmmSchema::default().discover(&g).is_none());
+    }
+
+    #[test]
+    fn sampling_path_still_assigns_everyone() {
+        let g = labeled_graph(false, 3);
+        let cfg = GmmSchemaConfig {
+            fit_sample: 30, // force the sampling path
+            ..Default::default()
+        };
+        let out = GmmSchema::new(cfg).discover(&g).unwrap();
+        assert_eq!(out.node_assignment.len(), 120);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let out = GmmSchema::default().discover(&PropertyGraph::new()).unwrap();
+        assert!(out.node_assignment.is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! # pg-hive-baselines
+//!
+//! Re-implementations of the two competitors the PG-HIVE paper evaluates
+//! against, plus a uniform [`Method`] runner used by the benchmark harness:
+//!
+//! - [`schemi`] — **SchemI** (Lbath, Bonifati, Harmer — EDBT 2021): label-
+//!   driven inference that treats each distinct label as a type. Requires
+//!   fully labeled data; cannot exploit structure.
+//! - [`gmmschema`] — **GMMSchema** (Bonifati, Dumbrava, Mir — EDBT 2022):
+//!   hierarchical Gaussian-mixture clustering over label + property-
+//!   distribution features. Node types only; requires fully labeled data;
+//!   samples for scalability.
+//!
+//! Both baselines return `None` when label availability is below 100%,
+//! matching §5.1: *"GMM and SchemI are able to work only under fully
+//! labeled datasets."*
+
+pub mod gmmschema;
+pub mod method;
+pub mod schemi;
+
+pub use gmmschema::{GmmSchema, GmmSchemaConfig};
+pub use method::{Method, MethodOutput};
+pub use schemi::SchemI;
+
+use pg_hive_graph::PropertyGraph;
+
+/// True when every node and every edge carries at least one label — the
+/// precondition for both baselines.
+pub fn fully_labeled(g: &PropertyGraph) -> bool {
+    g.nodes().all(|(_, n)| !n.labels.is_empty()) && g.edges().all(|(_, e)| !e.labels.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_hive_graph::GraphBuilder;
+
+    #[test]
+    fn fully_labeled_detection() {
+        let mut b = GraphBuilder::new();
+        b.add_node(&["A"], &[]);
+        let g = b.finish();
+        assert!(fully_labeled(&g));
+
+        let mut b = GraphBuilder::new();
+        b.add_node(&[], &[]);
+        let g = b.finish();
+        assert!(!fully_labeled(&g));
+    }
+}

@@ -1,0 +1,144 @@
+//! Uniform runner over the four evaluated methods: PG-HIVE-ELSH,
+//! PG-HIVE-MinHash, GMMSchema, SchemI.
+
+use crate::gmmschema::GmmSchema;
+use crate::schemi::SchemI;
+use pg_hive_core::{Discoverer, PipelineConfig};
+use pg_hive_graph::PropertyGraph;
+use std::time::Duration;
+
+/// What every method produces: a cluster id per node (and per edge, when
+/// the method discovers edge types) plus the wall-clock until type
+/// discovery.
+#[derive(Debug, Clone)]
+pub struct MethodOutput {
+    pub node_assignment: Vec<u32>,
+    /// `None` for methods that cannot discover edge types (GMMSchema).
+    pub edge_assignment: Option<Vec<u32>>,
+    pub elapsed: Duration,
+}
+
+/// The four methods of §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    PgHiveElsh,
+    PgHiveMinHash,
+    GmmSchema,
+    SchemI,
+}
+
+impl Method {
+    /// All four, in the paper's plotting order.
+    pub const ALL: [Method; 4] = [
+        Method::PgHiveElsh,
+        Method::PgHiveMinHash,
+        Method::GmmSchema,
+        Method::SchemI,
+    ];
+
+    /// Display name as used in the figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::PgHiveElsh => "PG-HIVE-ELSH",
+            Method::PgHiveMinHash => "PG-HIVE-MinHash",
+            Method::GmmSchema => "GMM",
+            Method::SchemI => "SchemI",
+        }
+    }
+
+    /// Whether the method needs 100% label availability.
+    pub fn requires_full_labels(self) -> bool {
+        matches!(self, Method::GmmSchema | Method::SchemI)
+    }
+
+    /// Whether the method discovers edge types at all.
+    pub fn discovers_edges(self) -> bool {
+        !matches!(self, Method::GmmSchema)
+    }
+
+    /// Run the method on `g` with the given seed. `None` when the method's
+    /// preconditions are not met (the baselines on semi-labeled data).
+    pub fn run(self, g: &PropertyGraph, seed: u64) -> Option<MethodOutput> {
+        match self {
+            Method::PgHiveElsh => {
+                let cfg = PipelineConfig {
+                    seed,
+                    ..PipelineConfig::elsh_adaptive()
+                };
+                Some(run_pg_hive(g, cfg))
+            }
+            Method::PgHiveMinHash => {
+                let cfg = PipelineConfig {
+                    seed,
+                    ..PipelineConfig::minhash_default()
+                };
+                Some(run_pg_hive(g, cfg))
+            }
+            Method::GmmSchema => GmmSchema {
+                config: crate::GmmSchemaConfig {
+                    seed,
+                    ..Default::default()
+                },
+            }
+            .discover(g),
+            Method::SchemI => SchemI.discover(g),
+        }
+    }
+}
+
+fn run_pg_hive(g: &PropertyGraph, cfg: PipelineConfig) -> MethodOutput {
+    let r = Discoverer::new(cfg).discover(g);
+    MethodOutput {
+        node_assignment: r.node_cluster_assignment,
+        edge_assignment: Some(r.edge_cluster_assignment),
+        elapsed: r.stats.timings.discovery(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_hive_graph::{GraphBuilder, Value};
+
+    fn small_graph(labeled: bool) -> PropertyGraph {
+        let mut b = GraphBuilder::new();
+        let labels: &[&str] = if labeled { &["T"] } else { &[] };
+        let mut prev = None;
+        for i in 0..20 {
+            let id = b.add_node(labels, &[("x", Value::Int(i))]);
+            if let Some(p) = prev {
+                b.add_edge(p, id, &["E"], &[]);
+            }
+            prev = Some(id);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn all_methods_run_on_labeled_data() {
+        let g = small_graph(true);
+        for m in Method::ALL {
+            let out = m.run(&g, 1).unwrap_or_else(|| panic!("{} failed", m.name()));
+            assert_eq!(out.node_assignment.len(), 20, "{}", m.name());
+            assert_eq!(out.edge_assignment.is_some(), m.discovers_edges());
+        }
+    }
+
+    #[test]
+    fn baselines_refuse_unlabeled_data() {
+        let g = small_graph(false);
+        assert!(Method::GmmSchema.run(&g, 1).is_none());
+        assert!(Method::SchemI.run(&g, 1).is_none());
+        assert!(Method::PgHiveElsh.run(&g, 1).is_some());
+        assert!(Method::PgHiveMinHash.run(&g, 1).is_some());
+    }
+
+    #[test]
+    fn capability_flags_match_table1() {
+        assert!(Method::GmmSchema.requires_full_labels());
+        assert!(Method::SchemI.requires_full_labels());
+        assert!(!Method::PgHiveElsh.requires_full_labels());
+        assert!(!Method::GmmSchema.discovers_edges());
+        assert!(Method::SchemI.discovers_edges());
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion bench behind Fig. 5: full discovery (preprocess + cluster +
+//! extract + post-process) per dataset and method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_hive_baselines::Method;
+use pg_hive_datasets::DatasetId;
+
+fn bench_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery");
+    group.sample_size(10);
+    for dataset in [DatasetId::Pole, DatasetId::Ldbc] {
+        let d = dataset.generate(0.1, 42);
+        for method in Method::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), dataset.name()),
+                &d,
+                |b, d| {
+                    b.iter(|| method.run(&d.graph, 42).map(|o| o.node_assignment.len()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_discovery_noise(c: &mut Criterion) {
+    // Runtime vs noise: PG-HIVE flat, GMM grows (Fig. 5 inset claim).
+    let mut group = c.benchmark_group("discovery_vs_noise");
+    group.sample_size(10);
+    for noise in [0u32, 40] {
+        let mut d = DatasetId::Pole.generate(0.1, 42);
+        pg_hive_datasets::inject_noise(
+            &mut d.graph,
+            &pg_hive_datasets::NoiseSpec::grid(noise, 100, 42),
+        );
+        for method in [Method::PgHiveElsh, Method::GmmSchema] {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), format!("noise{noise}")),
+                &d,
+                |b, d| {
+                    b.iter(|| method.run(&d.graph, 42).map(|o| o.node_assignment.len()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discovery, bench_discovery_noise);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench behind Fig. 7: one incremental batch vs a static full
+//! recomputation — the incremental design's whole point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_hive_core::{Discoverer, PipelineConfig};
+use pg_hive_datasets::DatasetId;
+use pg_hive_graph::split_batches;
+
+fn bench_incremental_vs_static(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(10);
+    let d = DatasetId::Ldbc.generate(0.1, 42);
+    let discoverer = Discoverer::new(PipelineConfig::elsh_adaptive());
+
+    group.bench_function("static_full_graph", |b| {
+        b.iter(|| discoverer.discover(&d.graph).schema.node_types.len());
+    });
+
+    for n in [5usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::new("batches", n), &n, |b, &n| {
+            let batches = split_batches(&d.graph, n, 42);
+            b.iter(|| {
+                discoverer
+                    .discover_batches(&d.graph, &batches)
+                    .schema
+                    .node_types
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_batch_cost(c: &mut Criterion) {
+    // Per-batch cost O(B + C_b * C_n): one tenth of the graph.
+    let mut group = c.benchmark_group("per_batch");
+    group.sample_size(10);
+    let d = DatasetId::Cord19.generate(0.1, 42);
+    let discoverer = Discoverer::new(PipelineConfig::elsh_adaptive());
+    let batches = split_batches(&d.graph, 10, 42);
+    group.bench_function("one_tenth_batch", |b| {
+        b.iter(|| {
+            discoverer
+                .discover_batches(&d.graph, &batches[..1])
+                .schema
+                .node_types
+                .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_static, bench_single_batch_cost);
+criterion_main!(benches);

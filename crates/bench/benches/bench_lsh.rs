@@ -1,0 +1,101 @@
+//! Criterion bench for the LSH substrate: O(N·T·D) scaling of ELSH and
+//! O(N·T) of MinHash (§4.7 efficiency claims).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pg_hive_lsh::{elsh_cluster, minhash_cluster, ElshParams, MinHashParams};
+
+fn vectors(n: usize, dim: usize) -> Vec<Vec<f32>> {
+    let mut state = 7u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    };
+    (0..n)
+        .map(|i| {
+            let center = (i % 10) as f32 * 4.0;
+            (0..dim).map(|_| center + next() as f32).collect()
+        })
+        .collect()
+}
+
+fn sets(n: usize) -> Vec<Vec<u64>> {
+    (0..n)
+        .map(|i| {
+            let base = (i % 10) as u64 * 100;
+            (0..12).map(|j| base + j).collect()
+        })
+        .collect()
+}
+
+fn bench_elsh_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elsh_scaling");
+    for n in [1_000usize, 4_000, 16_000] {
+        let vs = vectors(n, 32);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &vs, |b, vs| {
+            b.iter(|| {
+                elsh_cluster(
+                    vs,
+                    &ElshParams {
+                        bucket_width: 1.0,
+                        tables: 15,
+                        hashes_per_table: 4,
+                        seed: 1,
+                    },
+                )
+                .num_clusters
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_elsh_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elsh_tables");
+    let vs = vectors(4_000, 32);
+    for t in [5usize, 15, 30] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                elsh_cluster(
+                    &vs,
+                    &ElshParams {
+                        bucket_width: 1.0,
+                        tables: t,
+                        hashes_per_table: 4,
+                        seed: 1,
+                    },
+                )
+                .num_clusters
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_minhash_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minhash_scaling");
+    for n in [1_000usize, 4_000, 16_000] {
+        let ss = sets(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ss, |b, ss| {
+            b.iter(|| {
+                minhash_cluster(
+                    ss,
+                    &MinHashParams {
+                        bands: 20,
+                        rows_per_band: 4,
+                        seed: 1,
+                    },
+                )
+                .num_clusters
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_elsh_scaling, bench_elsh_tables, bench_minhash_scaling);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Diagnostic tool: per-type precision/recall and the confusion pairs of
+//! one (dataset, noise, labels, method) cell — the microscope behind the
+//! Fig. 4 curves. Usage:
+//!
+//! ```text
+//! cargo run --release -p pg-hive-bench --bin diagnose [DATASET [NOISE% [LABELS% [METHOD]]]]
+//! ```
+
+use pg_hive_baselines::Method;
+use pg_hive_bench::{banner, scale, seed};
+use pg_hive_datasets::{dataset_by_name, inject_noise, DatasetId, NoiseSpec};
+use pg_hive_eval::ConfusionReport;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dataset = args
+        .next()
+        .and_then(|n| dataset_by_name(&n))
+        .unwrap_or(DatasetId::Icij);
+    let noise: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(30);
+    let labels: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(50);
+    let method = match args.next().as_deref() {
+        Some("minhash") => Method::PgHiveMinHash,
+        Some("gmm") => Method::GmmSchema,
+        Some("schemi") => Method::SchemI,
+        _ => Method::PgHiveElsh,
+    };
+
+    let scale = scale(0.1);
+    let seed = seed();
+    banner(
+        &format!(
+            "Diagnose {} on {} at {noise}% noise / {labels}% labels",
+            method.name(),
+            dataset.name()
+        ),
+        scale,
+        seed,
+    );
+
+    let mut d = dataset.generate(scale, seed);
+    inject_noise(&mut d.graph, &NoiseSpec::grid(noise, labels, seed));
+    let Some(out) = method.run(&d.graph, seed) else {
+        println!("{} refuses this input (needs fully labeled data).", method.name());
+        return;
+    };
+
+    println!("nodes:");
+    let report = ConfusionReport::compute(&out.node_assignment, &d.truth.node_types);
+    print!("{}", report.render(&d.truth.node_type_names));
+
+    if let Some(edges) = &out.edge_assignment {
+        println!("\nedges:");
+        let report = ConfusionReport::compute(edges, &d.truth.edge_types);
+        print!("{}", report.render(&d.truth.edge_type_names));
+    }
+}

@@ -1,0 +1,26 @@
+//! Export the generated datasets as `.pgt` text files (the format the
+//! `pg-hive` CLI and the loader consume), so the evaluation datasets can be
+//! inspected or fed through external tooling.
+//!
+//! Usage: `cargo run --release -p pg-hive-bench --bin export_datasets [dir]`
+
+use pg_hive_bench::{banner, scale, seed, selected_datasets};
+use pg_hive_graph::loader::save_text;
+
+fn main() {
+    let scale = scale(0.1);
+    let seed = seed();
+    banner("Export datasets as .pgt files", scale, seed);
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "datasets_out".to_string());
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    for id in selected_datasets() {
+        let d = id.generate(scale, seed);
+        let path = format!("{dir}/{}.pgt", id.name().replace('.', "_").to_lowercase());
+        std::fs::write(&path, save_text(&d.graph)).expect("write dataset");
+        println!(
+            "  {path}: {} nodes, {} edges",
+            d.graph.node_count(),
+            d.graph.edge_count()
+        );
+    }
+}

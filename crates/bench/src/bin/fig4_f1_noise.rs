@@ -1,0 +1,59 @@
+//! Figure 4: F1\*-scores across all noise levels (0–40%) and label
+//! availability (100/50/0%), for nodes and edges, all four methods, all
+//! eight datasets.
+//!
+//! SchemI and GMMSchema print `-` below 100% label availability (they
+//! refuse such inputs), exactly as their lines vanish in the paper.
+
+use pg_hive_baselines::Method;
+use pg_hive_bench::{banner, scale, seed, selected_datasets};
+use pg_hive_eval::harness::{run_case, ExperimentCase, LABEL_LEVELS, NOISE_LEVELS};
+use pg_hive_eval::report::f1_series_row;
+
+fn main() {
+    let scale = scale(0.1);
+    let seed = seed();
+    banner("Figure 4: F1* vs noise and label availability", scale, seed);
+
+    for label_pct in LABEL_LEVELS {
+        println!("### {label_pct}% label information\n");
+        for dataset in selected_datasets() {
+            println!(
+                "{} (noise: {}%):",
+                dataset.name(),
+                NOISE_LEVELS.map(|n| n.to_string()).join("/")
+            );
+            for side in ["nodes", "edges"] {
+                println!("  [{side}]");
+                for method in Method::ALL {
+                    if side == "edges" && !method.discovers_edges() {
+                        continue;
+                    }
+                    let scores: Vec<Option<f64>> = NOISE_LEVELS
+                        .iter()
+                        .map(|&noise_pct| {
+                            let r = run_case(&ExperimentCase {
+                                dataset,
+                                noise_pct,
+                                label_pct,
+                                method,
+                                scale,
+                                seed,
+                            });
+                            let f1 = if side == "nodes" { r.node_f1 } else { r.edge_f1 };
+                            f1.map(|f| f.macro_f1)
+                        })
+                        .collect();
+                    println!("    {}", f1_series_row(method.name(), &scores));
+                }
+            }
+            println!();
+        }
+    }
+
+    println!(
+        "Expected shape (paper): PG-HIVE variants stay ≥0.9 across noise; GMM collapses \
+         past 20% noise; SchemI trails (0.6–0.8); only PG-HIVE produces results at 50% \
+         and 0% label availability."
+    );
+}

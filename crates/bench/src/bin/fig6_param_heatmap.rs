@@ -1,0 +1,92 @@
+//! Figure 6: heatmaps of F1\*-scores for ELSH with varying `(T, b)`,
+//! at 100% label availability and 0% noise, for nodes and edges; the
+//! adaptive choice is marked with `x`.
+//!
+//! The b-axis is expressed as a multiplier of the adaptive bucket width so
+//! the grid brackets the adaptive pick on every dataset.
+
+use pg_hive_bench::{banner, scale, seed, selected_datasets};
+use pg_hive_core::{ClusterMethod, Discoverer, PipelineConfig};
+use pg_hive_datasets::{inject_noise, NoiseSpec};
+use pg_hive_eval::majority_f1;
+use pg_hive_lsh::ElshParams;
+
+const TABLES: [usize; 5] = [5, 10, 20, 30, 40];
+const B_MULT: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+fn main() {
+    let scale = scale(0.1);
+    let seed = seed();
+    banner("Figure 6: F1* heatmaps over (T, b), adaptive pick marked", scale, seed);
+
+    // The paper's grid point is (0% noise, 100% labels); our generators make
+    // that setting easy (μ = 0 fallback). A second, harder point (30% noise,
+    // 50% labels) shows the landscape where the adaptive estimator actually
+    // has to pick a scale.
+    for (noise, labels) in [(0u32, 100u32), (30, 50)] {
+        println!("--- grid point: {noise}% noise, {labels}% label availability ---\n");
+        run_grid(scale, seed, noise, labels);
+    }
+
+    println!(
+        "Expected shape (paper): smaller b over-separates (high F1, fixed by merging); \
+         large b and T merge distinct patterns and F1 drops; the adaptive pick sits \
+         near the best cell."
+    );
+}
+
+fn run_grid(scale: f64, seed: u64, noise: u32, labels: u32) {
+    for dataset in selected_datasets() {
+        let mut d = dataset.generate(scale, seed);
+        inject_noise(&mut d.graph, &NoiseSpec::grid(noise, labels, seed));
+
+        // Adaptive run first: reference F1 and the chosen (T, b).
+        let adaptive = Discoverer::new(PipelineConfig {
+            seed,
+            ..PipelineConfig::elsh_adaptive()
+        })
+        .discover(&d.graph);
+        let ad_nodes = adaptive.stats.adaptive_nodes.clone().expect("adaptive path");
+        let f1_ad_nodes = majority_f1(&adaptive.node_cluster_assignment, &d.truth.node_types);
+        let f1_ad_edges = majority_f1(&adaptive.edge_cluster_assignment, &d.truth.edge_types);
+
+        println!(
+            "{}: adaptive pick (T={}, b={:.2}) -> node F1={:.3}, edge F1={:.3}",
+            dataset.name(),
+            ad_nodes.tables,
+            ad_nodes.bucket_width,
+            f1_ad_nodes.macro_f1,
+            f1_ad_edges.macro_f1
+        );
+
+        for side in ["nodes", "edges"] {
+            println!("  [{side}]  rows: T, cols: b = adaptive x {B_MULT:?}");
+            for &t in &TABLES {
+                print!("    T={t:<3}");
+                for &m in &B_MULT {
+                    let cfg = PipelineConfig {
+                        method: ClusterMethod::Elsh,
+                        elsh: Some(ElshParams {
+                            bucket_width: (ad_nodes.bucket_width * m).max(1e-3),
+                            tables: t,
+                            hashes_per_table: 4,
+                            seed,
+                        }),
+                        seed,
+                        ..PipelineConfig::default()
+                    };
+                    let r = Discoverer::new(cfg).discover(&d.graph);
+                    let f1 = if side == "nodes" {
+                        majority_f1(&r.node_cluster_assignment, &d.truth.node_types)
+                    } else {
+                        majority_f1(&r.edge_cluster_assignment, &d.truth.edge_types)
+                    };
+                    let mark = if t == ad_nodes.tables && m == 1.0 { "x" } else { " " };
+                    print!(" {:.3}{mark}", f1.macro_f1);
+                }
+                println!();
+            }
+        }
+        println!();
+    }
+}

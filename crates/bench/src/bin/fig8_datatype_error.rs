@@ -1,0 +1,53 @@
+//! Figure 8: distribution of datatype-inference sampling errors across
+//! datasets, for the ELSH and MinHash variants. Errors are computed per
+//! (discovered type, property) pair — comparing the 10%-sample inference
+//! against the full scan — then binned (0–0.05, 0.05–0.10, 0.10–0.20,
+//! ≥0.20) and normalized by the number of properties.
+
+use pg_hive_bench::{banner, scale, seed, selected_datasets};
+use pg_hive_core::{Discoverer, PipelineConfig, SamplingConfig};
+use pg_hive_eval::sampling_error::{sampling_errors_by_type, ErrorBins};
+
+fn main() {
+    let scale = scale(0.25);
+    let seed = seed();
+    banner("Figure 8: Datatype sampling-error distribution", scale, seed);
+
+    let sampling = SamplingConfig {
+        fraction: 0.1,
+        min_values: 1000,
+        seed,
+    };
+
+    for (label, cfg) in [
+        ("ELSH", PipelineConfig::elsh_adaptive()),
+        ("MinHash", PipelineConfig::minhash_default()),
+    ] {
+        println!("{label}:");
+        println!(
+            "  {:<8} {:>8} {:>10} {:>10} {:>8}",
+            "Dataset", "0-0.05", "0.05-0.10", "0.10-0.20", ">=0.20"
+        );
+        for dataset in selected_datasets() {
+            let d = dataset.generate(scale, seed);
+            let r = Discoverer::new(PipelineConfig { seed, ..cfg.clone() }).discover(&d.graph);
+            let errors = sampling_errors_by_type(&d.graph, &r.schema, &sampling);
+            let bins = ErrorBins::from_errors(&errors);
+            println!(
+                "  {:<8} {:>8.3} {:>10.3} {:>10.3} {:>8.3}",
+                dataset.name(),
+                bins.lowest,
+                bins.low,
+                bins.mid,
+                bins.high
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Expected shape (paper): most properties fall in the lowest error bin; outliers \
+         concentrate on the heterogeneous datasets (ICIJ, CORD19, IYP) whose dirty \
+         columns a small sample can misread."
+    );
+}

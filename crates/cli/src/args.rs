@@ -1,0 +1,277 @@
+//! Hand-rolled argument parsing — keeps the CLI dependency-free.
+
+use pg_hive_core::ClusterMethod;
+
+pub const USAGE: &str = "\
+pg-hive — hybrid incremental schema discovery for property graphs
+
+USAGE:
+  pg-hive discover <graph.pgt> [OPTIONS]   infer the schema of a graph
+  pg-hive validate <data.pgt> <reference.pgt> [--loose]
+                                           check data against the schema
+                                           discovered from a reference graph
+  pg-hive stats    <graph.pgt>             structural statistics (Table 2)
+  pg-hive help                             this message
+
+DISCOVER OPTIONS:
+  --method elsh|minhash    LSH family (default: elsh)
+  --theta <0..1>           Jaccard merge threshold (default: 0.9)
+  --batches <N>            incremental batches (default: 1 = static)
+  --format strict|loose|xsd|summary   output (default: summary)
+  --sample                 sample-based datatype inference
+  --seed <N>               RNG seed (default: 42)";
+
+/// Output format of `discover`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    Strict,
+    Loose,
+    Xsd,
+    Summary,
+}
+
+/// Parsed sub-command.
+#[derive(Debug, Clone)]
+pub enum Command {
+    Discover {
+        path: String,
+        method: ClusterMethod,
+        theta: f64,
+        batches: usize,
+        format: OutputFormat,
+        sample: bool,
+        seed: u64,
+    },
+    Validate {
+        data_path: String,
+        schema_path: String,
+        loose: bool,
+    },
+    Stats {
+        path: String,
+    },
+    Help,
+}
+
+/// Top-level parsed arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    pub command: Command,
+}
+
+impl Args {
+    /// Parse from an iterator of argument strings (without argv[0]).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+        let mut it = args.into_iter();
+        let Some(cmd) = it.next() else {
+            return Ok(Args { command: Command::Help });
+        };
+        match cmd.as_str() {
+            "help" | "--help" | "-h" => Ok(Args { command: Command::Help }),
+            "stats" => {
+                let path = it.next().ok_or("stats needs a graph file")?;
+                Ok(Args {
+                    command: Command::Stats { path },
+                })
+            }
+            "validate" => {
+                let data_path = it.next().ok_or("validate needs a data file")?;
+                let schema_path = it.next().ok_or("validate needs a reference file")?;
+                let mut loose = false;
+                for flag in it {
+                    match flag.as_str() {
+                        "--loose" => loose = true,
+                        other => return Err(format!("unknown flag '{other}'")),
+                    }
+                }
+                Ok(Args {
+                    command: Command::Validate {
+                        data_path,
+                        schema_path,
+                        loose,
+                    },
+                })
+            }
+            "discover" => {
+                let path = it.next().ok_or("discover needs a graph file")?;
+                let mut method = ClusterMethod::Elsh;
+                let mut theta = 0.9;
+                let mut batches = 1usize;
+                let mut format = OutputFormat::Summary;
+                let mut sample = false;
+                let mut seed = 42u64;
+                while let Some(flag) = it.next() {
+                    match flag.as_str() {
+                        "--method" => {
+                            method = match it.next().as_deref() {
+                                Some("elsh") => ClusterMethod::Elsh,
+                                Some("minhash") => ClusterMethod::MinHash,
+                                other => {
+                                    return Err(format!("--method expects elsh|minhash, got {other:?}"))
+                                }
+                            }
+                        }
+                        "--theta" => {
+                            theta = it
+                                .next()
+                                .ok_or("--theta needs a value")?
+                                .parse()
+                                .map_err(|e| format!("--theta: {e}"))?;
+                            if !(0.0..=1.0).contains(&theta) {
+                                return Err("--theta must be in [0, 1]".into());
+                            }
+                        }
+                        "--batches" => {
+                            batches = it
+                                .next()
+                                .ok_or("--batches needs a value")?
+                                .parse()
+                                .map_err(|e| format!("--batches: {e}"))?;
+                            if batches == 0 {
+                                return Err("--batches must be >= 1".into());
+                            }
+                        }
+                        "--format" => {
+                            format = match it.next().as_deref() {
+                                Some("strict") => OutputFormat::Strict,
+                                Some("loose") => OutputFormat::Loose,
+                                Some("xsd") => OutputFormat::Xsd,
+                                Some("summary") => OutputFormat::Summary,
+                                other => {
+                                    return Err(format!(
+                                        "--format expects strict|loose|xsd|summary, got {other:?}"
+                                    ))
+                                }
+                            }
+                        }
+                        "--sample" => sample = true,
+                        "--seed" => {
+                            seed = it
+                                .next()
+                                .ok_or("--seed needs a value")?
+                                .parse()
+                                .map_err(|e| format!("--seed: {e}"))?;
+                        }
+                        other => return Err(format!("unknown flag '{other}'")),
+                    }
+                }
+                Ok(Args {
+                    command: Command::Discover {
+                        path,
+                        method,
+                        theta,
+                        batches,
+                        format,
+                        sample,
+                        seed,
+                    },
+                })
+            }
+            other => Err(format!("unknown command '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert!(matches!(parse(&[]).unwrap().command, Command::Help));
+    }
+
+    #[test]
+    fn discover_defaults() {
+        let a = parse(&["discover", "g.pgt"]).unwrap();
+        let Command::Discover {
+            path,
+            method,
+            theta,
+            batches,
+            format,
+            sample,
+            seed,
+        } = a.command
+        else {
+            panic!()
+        };
+        assert_eq!(path, "g.pgt");
+        assert_eq!(method, ClusterMethod::Elsh);
+        assert_eq!(theta, 0.9);
+        assert_eq!(batches, 1);
+        assert_eq!(format, OutputFormat::Summary);
+        assert!(!sample);
+        assert_eq!(seed, 42);
+    }
+
+    #[test]
+    fn discover_full_flags() {
+        let a = parse(&[
+            "discover", "g.pgt", "--method", "minhash", "--theta", "0.8", "--batches", "10",
+            "--format", "strict", "--sample", "--seed", "7",
+        ])
+        .unwrap();
+        let Command::Discover {
+            method,
+            theta,
+            batches,
+            format,
+            sample,
+            seed,
+            ..
+        } = a.command
+        else {
+            panic!()
+        };
+        assert_eq!(method, ClusterMethod::MinHash);
+        assert_eq!(theta, 0.8);
+        assert_eq!(batches, 10);
+        assert_eq!(format, OutputFormat::Strict);
+        assert!(sample);
+        assert_eq!(seed, 7);
+    }
+
+    #[test]
+    fn invalid_theta_rejected() {
+        assert!(parse(&["discover", "g", "--theta", "1.5"]).is_err());
+        assert!(parse(&["discover", "g", "--theta", "nope"]).is_err());
+    }
+
+    #[test]
+    fn zero_batches_rejected() {
+        assert!(parse(&["discover", "g", "--batches", "0"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        assert!(parse(&["discover", "g", "--frobnicate"]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn validate_parses() {
+        let a = parse(&["validate", "d.pgt", "s.pgt", "--loose"]).unwrap();
+        let Command::Validate {
+            data_path,
+            schema_path,
+            loose,
+        } = a.command
+        else {
+            panic!()
+        };
+        assert_eq!(data_path, "d.pgt");
+        assert_eq!(schema_path, "s.pgt");
+        assert!(loose);
+    }
+
+    #[test]
+    fn stats_parses() {
+        let a = parse(&["stats", "g.pgt"]).unwrap();
+        assert!(matches!(a.command, Command::Stats { .. }));
+    }
+}

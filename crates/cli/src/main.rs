@@ -1,0 +1,172 @@
+//! `pg-hive` — command-line schema discovery for property graphs.
+//!
+//! ```text
+//! pg-hive discover <graph.pgt> [--method elsh|minhash] [--theta T]
+//!                  [--batches N] [--format strict|loose|xsd|summary]
+//!                  [--sample] [--seed S]
+//! pg-hive validate <graph.pgt> <schema-graph.pgt> [--loose]
+//! pg-hive stats    <graph.pgt>
+//! ```
+//!
+//! Graphs are read in the line-oriented text format of
+//! [`pg_hive_graph::loader`] (see `examples/quickstart.rs` for a sample).
+
+use pg_hive_core::serialize::{pg_schema_loose, pg_schema_strict, to_xsd};
+use pg_hive_core::{
+    validate, Discoverer, PipelineConfig, SamplingConfig, ValidationMode,
+};
+use pg_hive_graph::loader::load_text;
+use pg_hive_graph::GraphStats;
+use std::process::ExitCode;
+
+mod args;
+use args::{Args, Command, OutputFormat};
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+
+    match run(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Args) -> Result<ExitCode, String> {
+    match args.command {
+        Command::Discover {
+            path,
+            method,
+            theta,
+            batches,
+            format,
+            sample,
+            seed,
+        } => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let graph = load_text(&text).map_err(|e| format!("parse {path}: {e}"))?;
+            let config = PipelineConfig {
+                method,
+                theta,
+                seed,
+                datatype_sampling: sample.then(SamplingConfig::default),
+                ..PipelineConfig::default()
+            };
+            let discoverer = Discoverer::new(config);
+            let result = if batches > 1 {
+                discoverer.discover_incremental(&graph, batches)
+            } else {
+                discoverer.discover(&graph)
+            };
+            match format {
+                OutputFormat::Strict => print!("{}", pg_schema_strict(&result.schema, "Discovered")),
+                OutputFormat::Loose => print!("{}", pg_schema_loose(&result.schema, "Discovered")),
+                OutputFormat::Xsd => print!("{}", to_xsd(&result.schema)),
+                OutputFormat::Summary => {
+                    println!(
+                        "{} nodes, {} edges -> {} node types, {} edge types \
+                         ({} abstract), discovery {:.3}s",
+                        graph.node_count(),
+                        graph.edge_count(),
+                        result.schema.node_types.len(),
+                        result.schema.edge_types.len(),
+                        result
+                            .schema
+                            .node_types
+                            .iter()
+                            .filter(|t| t.is_abstract())
+                            .count(),
+                        result.stats.timings.discovery().as_secs_f64()
+                    );
+                    for t in &result.schema.node_types {
+                        let labels: Vec<&str> = t.labels.iter().map(String::as_str).collect();
+                        println!(
+                            "  node {{{}}} x{} ({} props)",
+                            labels.join(","),
+                            t.instance_count,
+                            t.props.len()
+                        );
+                    }
+                    for t in &result.schema.edge_types {
+                        let labels: Vec<&str> = t.labels.iter().map(String::as_str).collect();
+                        println!(
+                            "  edge {{{}}} x{} ({} endpoint pairs)",
+                            labels.join(","),
+                            t.instance_count,
+                            t.endpoints.len()
+                        );
+                    }
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Command::Validate {
+            data_path,
+            schema_path,
+            loose,
+        } => {
+            let data_text = std::fs::read_to_string(&data_path)
+                .map_err(|e| format!("cannot read {data_path}: {e}"))?;
+            let data = load_text(&data_text).map_err(|e| format!("parse {data_path}: {e}"))?;
+            let schema_text = std::fs::read_to_string(&schema_path)
+                .map_err(|e| format!("cannot read {schema_path}: {e}"))?;
+            let schema_graph =
+                load_text(&schema_text).map_err(|e| format!("parse {schema_path}: {e}"))?;
+            // The "schema" argument is itself a graph: discover its schema,
+            // then validate the data against it (schema-by-example).
+            let schema = Discoverer::new(PipelineConfig::default())
+                .discover(&schema_graph)
+                .schema;
+            let mode = if loose {
+                ValidationMode::Loose
+            } else {
+                ValidationMode::Strict
+            };
+            let report = validate(&data, &schema, mode);
+            if report.is_valid() {
+                println!(
+                    "valid: {} nodes / {} edges conform ({mode:?})",
+                    report.nodes_checked, report.edges_checked
+                );
+                Ok(ExitCode::SUCCESS)
+            } else {
+                println!("{} violation(s):", report.violations.len());
+                for v in report.violations.iter().take(50) {
+                    println!("  {v}");
+                }
+                if report.violations.len() > 50 {
+                    println!("  ... and {} more", report.violations.len() - 50);
+                }
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        Command::Stats { path } => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let graph = load_text(&text).map_err(|e| format!("parse {path}: {e}"))?;
+            let s = GraphStats::compute(&graph);
+            println!("nodes:          {}", s.nodes);
+            println!("edges:          {}", s.edges);
+            println!("node labels:    {}", s.node_labels);
+            println!("edge labels:    {}", s.edge_labels);
+            println!("node label sets:{}", s.node_label_sets);
+            println!("node patterns:  {}", s.node_patterns);
+            println!("edge patterns:  {}", s.edge_patterns);
+            Ok(ExitCode::SUCCESS)
+        }
+        Command::Help => {
+            println!("{}", args::USAGE);
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end tests of the `pg-hive` binary via `CARGO_BIN_EXE`.
+
+use std::io::Write;
+use std::process::Command;
+
+const DEMO: &str = "\
+N a Person name=Ann,age=30
+N b Person name=Bob,age=40
+N c - name=Cid,age=50
+N o Org url=x.com
+E a o WORKS_AT from=2001
+E b o WORKS_AT from=2002
+";
+
+fn write_temp(content: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "pg-hive-e2e-{}-{}.pgt",
+        std::process::id(),
+        content.len()
+    ));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+fn run(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pg-hive"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn discover_summary() {
+    let path = write_temp(DEMO);
+    let (stdout, _, code) = run(&["discover", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("2 node types"), "{stdout}");
+    assert!(stdout.contains("node {Person} x3"), "unlabeled Cid merged: {stdout}");
+    assert!(stdout.contains("edge {WORKS_AT} x2"));
+}
+
+#[test]
+fn discover_strict_schema() {
+    let path = write_temp(DEMO);
+    let (stdout, _, code) = run(&[
+        "discover",
+        path.to_str().unwrap(),
+        "--format",
+        "strict",
+        "--method",
+        "minhash",
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("STRICT"));
+    assert!(stdout.contains("age INT"), "{stdout}");
+}
+
+#[test]
+fn discover_xsd() {
+    let path = write_temp(DEMO);
+    let (stdout, _, code) = run(&["discover", path.to_str().unwrap(), "--format", "xsd"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.starts_with("<?xml"));
+    assert!(stdout.contains("xs:complexType"));
+}
+
+#[test]
+fn validate_self_passes_and_mismatch_fails() {
+    // Strict validation types elements by label set, so the reference must
+    // be fully labeled (the unlabeled node in DEMO merges into Person at
+    // discovery time but cannot be strictly matched as raw data).
+    let labeled = DEMO.replace("N c - ", "N c Person ");
+    let path = write_temp(&labeled);
+    let (stdout, _, code) = run(&[
+        "validate",
+        path.to_str().unwrap(),
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("valid"));
+
+    let bad = write_temp("N z Alien tentacles=7\n");
+    let (stdout, _, code) = run(&[
+        "validate",
+        bad.to_str().unwrap(),
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("violation"), "{stdout}");
+}
+
+#[test]
+fn stats_counts() {
+    let path = write_temp(DEMO);
+    let (stdout, _, code) = run(&["stats", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("nodes:          4"));
+    assert!(stdout.contains("edges:          2"));
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let (_, stderr, code) = run(&["frobnicate"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn missing_file_is_an_error() {
+    let (_, stderr, code) = run(&["discover", "/nonexistent/x.pgt"]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, code) = run(&["help"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("USAGE"));
+}

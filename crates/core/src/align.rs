@@ -1,0 +1,258 @@
+//! Semantic label alignment — the paper's future-work item (c): "support
+//! integration scenarios when label semantics are not consistent (e.g.,
+//! labels in different languages) ... by integrating large language models
+//! to semantically align labels across datasets, without relying on exact
+//! string matches" (§6).
+//!
+//! This extension implements the distributional-semantics version with the
+//! substrate already in the repository: node types whose label tokens embed
+//! close together under a co-occurrence-trained [`Word2Vec`] (synonym labels
+//! end up in identical structural contexts — e.g. `Organization` and
+//! `Company` both appear as `WORKS_AT` targets) **and** whose property-key
+//! sets overlap are merged into one type. Both signals must agree, so
+//! structurally different types never merge on embedding noise alone.
+//!
+//! [`Word2Vec`]: pg_hive_embed::Word2Vec
+
+use crate::patterns::jaccard_str;
+use crate::schema::{LabelSet, SchemaGraph};
+use pg_hive_embed::{canonical_token, LabelEmbedder};
+
+/// Alignment thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlignmentConfig {
+    /// Minimum cosine similarity between the types' label-token embeddings.
+    pub cosine_threshold: f32,
+    /// Minimum Jaccard similarity between the types' property-key sets.
+    pub jaccard_threshold: f64,
+}
+
+impl Default for AlignmentConfig {
+    fn default() -> Self {
+        Self {
+            cosine_threshold: 0.6,
+            jaccard_threshold: 0.5,
+        }
+    }
+}
+
+/// One alignment decision, for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alignment {
+    pub kept: LabelSet,
+    pub merged: LabelSet,
+    pub cosine: f32,
+    pub jaccard: f64,
+}
+
+/// Align node types in place: greedily merge label-disjoint type pairs that
+/// pass both thresholds (larger type absorbs the smaller). Repeats until a
+/// fixpoint so chains (`Org` ~ `Organization` ~ `Company`) collapse fully.
+/// Returns the alignments performed, in order.
+pub fn align_node_types(
+    schema: &mut SchemaGraph,
+    embedder: &dyn LabelEmbedder,
+    config: &AlignmentConfig,
+) -> Vec<Alignment> {
+    let mut performed = Vec::new();
+    loop {
+        let mut best: Option<(usize, usize, f32, f64)> = None;
+        for i in 0..schema.node_types.len() {
+            for j in (i + 1)..schema.node_types.len() {
+                let (a, b) = (&schema.node_types[i], &schema.node_types[j]);
+                if a.labels.is_empty() || b.labels.is_empty() || a.labels == b.labels {
+                    continue;
+                }
+                let Some((cos, jac)) = similarity(schema, i, j, embedder) else {
+                    continue;
+                };
+                if cos >= config.cosine_threshold && jac >= config.jaccard_threshold {
+                    let better = best.is_none_or(|(_, _, c, _)| cos > c);
+                    if better {
+                        best = Some((i, j, cos, jac));
+                    }
+                }
+            }
+        }
+        let Some((i, j, cos, jac)) = best else { break };
+        // Larger instance count keeps its identity.
+        let (keep, absorb) = if schema.node_types[i].instance_count
+            >= schema.node_types[j].instance_count
+        {
+            (i, j)
+        } else {
+            (j, i)
+        };
+        let merged_labels = schema.node_types[absorb].labels.clone();
+        let kept_labels = schema.node_types[keep].labels.clone();
+        let removed = schema.node_types.remove(absorb);
+        let keep = if absorb < keep { keep - 1 } else { keep };
+        schema.node_types[keep].absorb(removed);
+        performed.push(Alignment {
+            kept: kept_labels,
+            merged: merged_labels,
+            cosine: cos,
+            jaccard: jac,
+        });
+    }
+    performed
+}
+
+fn similarity(
+    schema: &SchemaGraph,
+    i: usize,
+    j: usize,
+    embedder: &dyn LabelEmbedder,
+) -> Option<(f32, f64)> {
+    let a = &schema.node_types[i];
+    let b = &schema.node_types[j];
+    let tok_a = canonical_token(&a.labels.iter().collect::<Vec<_>>())?;
+    let tok_b = canonical_token(&b.labels.iter().collect::<Vec<_>>())?;
+    let va = embedder.embed(&tok_a);
+    let vb = embedder.embed(&tok_b);
+    let cos = cosine(&va, &vb);
+    let jac = jaccard_str(
+        &a.props.keys().cloned().collect(),
+        &b.props.keys().cloned().collect(),
+    );
+    Some((cos, jac))
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{label_set, NodeType, PropertySpec};
+    use pg_hive_embed::{Word2Vec, Word2VecConfig};
+    use std::collections::BTreeMap;
+
+    fn node_type(labels: &[&str], keys: &[&str], count: u64) -> NodeType {
+        NodeType {
+            labels: label_set(labels),
+            props: keys
+                .iter()
+                .map(|k| {
+                    (
+                        k.to_string(),
+                        PropertySpec {
+                            occurrences: count,
+                            kind: None,
+                        },
+                    )
+                })
+                .collect::<BTreeMap<_, _>>(),
+            instance_count: count,
+            members: vec![],
+        }
+    }
+
+    /// Word2Vec trained on a corpus where Organization and Company share
+    /// contexts but Person does not.
+    fn synonym_embedder() -> Word2Vec {
+        let mut sentences = Vec::new();
+        for _ in 0..300 {
+            sentences.push(vec!["Person", "WORKS_AT", "Organization"]);
+            sentences.push(vec!["Person", "WORKS_AT", "Company"]);
+            sentences.push(vec!["Organization", "LOCATED_IN", "City"]);
+            sentences.push(vec!["Company", "LOCATED_IN", "City"]);
+        }
+        Word2Vec::train(&sentences, &Word2VecConfig::default())
+    }
+
+    #[test]
+    fn synonym_types_merge() {
+        let emb = synonym_embedder();
+        assert!(
+            emb.similarity("Organization", "Company") > 0.6,
+            "corpus should make the synonyms similar: {}",
+            emb.similarity("Organization", "Company")
+        );
+        let mut schema = SchemaGraph {
+            node_types: vec![
+                node_type(&["Organization"], &["name", "url"], 10),
+                node_type(&["Company"], &["name", "url"], 4),
+                node_type(&["Person"], &["name", "age"], 20),
+            ],
+            edge_types: vec![],
+        };
+        let alignments = align_node_types(&mut schema, &emb, &AlignmentConfig::default());
+        assert_eq!(alignments.len(), 1, "{alignments:?}");
+        assert_eq!(alignments[0].kept, label_set(&["Organization"]));
+        assert_eq!(alignments[0].merged, label_set(&["Company"]));
+        assert_eq!(schema.node_types.len(), 2);
+        // The merged type keeps both labels (Lemma 1 union).
+        let merged = schema
+            .node_types
+            .iter()
+            .find(|t| t.labels.contains("Organization"))
+            .unwrap();
+        assert!(merged.labels.contains("Company"));
+        assert_eq!(merged.instance_count, 14);
+    }
+
+    #[test]
+    fn structurally_different_types_never_merge() {
+        let emb = synonym_embedder();
+        let mut schema = SchemaGraph {
+            node_types: vec![
+                node_type(&["Organization"], &["name", "url"], 10),
+                // Same embedding neighborhood but disjoint properties.
+                node_type(&["Company"], &["ticker", "exchange"], 4),
+            ],
+            edge_types: vec![],
+        };
+        let alignments = align_node_types(&mut schema, &emb, &AlignmentConfig::default());
+        assert!(alignments.is_empty());
+        assert_eq!(schema.node_types.len(), 2);
+    }
+
+    #[test]
+    fn semantically_distant_types_never_merge() {
+        let emb = synonym_embedder();
+        let mut schema = SchemaGraph {
+            node_types: vec![
+                // Same keys, different semantic neighborhoods.
+                node_type(&["Person"], &["name", "url"], 10),
+                node_type(&["City"], &["name", "url"], 4),
+            ],
+            edge_types: vec![],
+        };
+        let cfg = AlignmentConfig {
+            cosine_threshold: 0.8,
+            ..Default::default()
+        };
+        let alignments = align_node_types(&mut schema, &emb, &cfg);
+        assert!(alignments.is_empty(), "{alignments:?}");
+    }
+
+    #[test]
+    fn abstract_types_are_ignored() {
+        let emb = synonym_embedder();
+        let mut schema = SchemaGraph {
+            node_types: vec![
+                node_type(&[], &["name", "url"], 10),
+                node_type(&["Company"], &["name", "url"], 4),
+            ],
+            edge_types: vec![],
+        };
+        let alignments = align_node_types(&mut schema, &emb, &AlignmentConfig::default());
+        assert!(alignments.is_empty());
+    }
+
+    #[test]
+    fn empty_schema_is_fine() {
+        let emb = synonym_embedder();
+        let mut schema = SchemaGraph::new();
+        assert!(align_node_types(&mut schema, &emb, &AlignmentConfig::default()).is_empty());
+    }
+}

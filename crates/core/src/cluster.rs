@@ -1,0 +1,182 @@
+//! Stage (c): LSH clustering of representation vectors (§4.2).
+
+use crate::config::{ClusterMethod, PipelineConfig};
+use pg_hive_lsh::{
+    adaptive, elsh_cluster, minhash_cluster, AdaptiveConfig, AdaptiveParams, Clustering,
+    ElementClass, ElshParams, MinHashParams,
+};
+
+/// Outcome of one clustering call, including the parameters that were used
+/// (adaptive or fixed) for reporting (Fig. 6 marks the adaptive choice).
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    pub clustering: Clustering,
+    /// Adaptive parameters, when the adaptive path was taken.
+    pub adaptive: Option<AdaptiveParams>,
+}
+
+/// Cluster one element class (nodes or edges) given both representations.
+/// Chooses ELSH or MinHash per config; derives parameters adaptively when
+/// none are pinned.
+pub fn cluster_elements(
+    dense: &[Vec<f32>],
+    sets: &[Vec<u64>],
+    distinct_labels: usize,
+    class: ElementClass,
+    config: &PipelineConfig,
+) -> ClusterOutcome {
+    match config.method {
+        ClusterMethod::Elsh => {
+            let (params, adaptive) = match &config.elsh {
+                Some(p) => (p.clone(), None),
+                None => {
+                    let mut a = adaptive::derive_params(
+                        dense,
+                        distinct_labels,
+                        class,
+                        &AdaptiveConfig {
+                            seed: config.seed,
+                            ..AdaptiveConfig::default()
+                        },
+                    );
+                    // Small batches may contain mostly singleton types, in
+                    // which case even the median NN distance is an
+                    // inter-type distance and b would over-merge. We know
+                    // the geometry of our vectors — label disagreement
+                    // costs ≥ label_weight in L2 — so cap the bucket below
+                    // that scale.
+                    if config.label_weight > 0.0 {
+                        let cap = 0.4 * config.label_weight as f64;
+                        if a.bucket_width > cap {
+                            a.bucket_width = cap;
+                        }
+                    }
+                    (
+                        ElshParams {
+                            bucket_width: a.bucket_width,
+                            tables: a.tables,
+                            hashes_per_table: 4,
+                            seed: config.seed ^ 0xE15B,
+                        },
+                        Some(a),
+                    )
+                }
+            };
+            ClusterOutcome {
+                clustering: elsh_cluster(dense, &params),
+                adaptive,
+            }
+        }
+        ClusterMethod::MinHash => {
+            let params = match &config.minhash {
+                Some(p) => p.clone(),
+                None => adaptive_minhash(sets.len(), distinct_labels, class, config.seed),
+            };
+            ClusterOutcome {
+                clustering: minhash_cluster(sets, &params),
+                adaptive: None,
+            }
+        }
+    }
+}
+
+/// Adaptive MinHash parameters: the paper says MinHash "only requires the
+/// number of hash tables T"; we reuse the table-count heuristic (with the
+/// set representation there is no distance scale, so `b_base = 1`) and a
+/// fixed band width of 4 rows, giving a collision threshold
+/// `(1/T)^(1/4) ≈ 0.45–0.55` over the practical `T ∈ [15, 35]` range.
+pub fn adaptive_minhash(
+    population: usize,
+    distinct_labels: usize,
+    class: ElementClass,
+    seed: u64,
+) -> MinHashParams {
+    let alpha = adaptive::alpha_for_label_count(distinct_labels);
+    let bands = adaptive::tables_heuristic(1.0, alpha, population, class).max(15);
+    MinHashParams {
+        bands,
+        rows_per_band: 4,
+        seed: seed ^ 0x314,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+
+    fn labeled_vectors() -> (Vec<Vec<f32>>, Vec<Vec<u64>>) {
+        // Two structural groups, well separated in both representations.
+        let mut dense = Vec::new();
+        let mut sets = Vec::new();
+        for i in 0..40 {
+            if i % 2 == 0 {
+                dense.push(vec![4.0, 0.0, 1.0, 1.0, 0.0]);
+                sets.push(vec![1, 2, 3, 10, 11]);
+            } else {
+                dense.push(vec![0.0, 4.0, 0.0, 0.0, 1.0]);
+                sets.push(vec![4, 5, 6, 20, 21]);
+            }
+        }
+        (dense, sets)
+    }
+
+    #[test]
+    fn elsh_adaptive_separates_groups() {
+        let (dense, sets) = labeled_vectors();
+        let out = cluster_elements(
+            &dense,
+            &sets,
+            4,
+            ElementClass::Nodes,
+            &PipelineConfig::elsh_adaptive(),
+        );
+        assert!(out.adaptive.is_some());
+        assert_eq!(out.clustering.num_clusters, 2);
+        assert_ne!(out.clustering.assignment[0], out.clustering.assignment[1]);
+    }
+
+    #[test]
+    fn minhash_adaptive_separates_groups() {
+        let (dense, sets) = labeled_vectors();
+        let out = cluster_elements(
+            &dense,
+            &sets,
+            4,
+            ElementClass::Nodes,
+            &PipelineConfig::minhash_default(),
+        );
+        assert!(out.adaptive.is_none());
+        assert_eq!(out.clustering.num_clusters, 2);
+    }
+
+    #[test]
+    fn fixed_params_bypass_adaptive() {
+        let (dense, sets) = labeled_vectors();
+        let cfg = PipelineConfig {
+            elsh: Some(ElshParams::default()),
+            ..PipelineConfig::elsh_adaptive()
+        };
+        let out = cluster_elements(&dense, &sets, 4, ElementClass::Nodes, &cfg);
+        assert!(out.adaptive.is_none());
+    }
+
+    #[test]
+    fn adaptive_minhash_bands_in_practical_range() {
+        let p = adaptive_minhash(1_000_000, 8, ElementClass::Nodes, 1);
+        assert!(p.bands >= 15 && p.bands <= 35, "bands = {}", p.bands);
+        assert_eq!(p.rows_per_band, 4);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let out = cluster_elements(
+            &[],
+            &[],
+            0,
+            ElementClass::Edges,
+            &PipelineConfig::elsh_adaptive(),
+        );
+        assert_eq!(out.clustering.num_clusters, 0);
+    }
+}

@@ -1,0 +1,410 @@
+//! Schema diffing: report how one schema evolved into another.
+//!
+//! Real deployments re-run discovery as graphs evolve; understanding *what
+//! changed* (new types, new properties, constraints relaxed, cardinalities
+//! widened) is the operational counterpart of the paper's incremental
+//! monotone chain (§4.6) — a diff of two consecutive incremental schemas
+//! should contain only additions and relaxations, never removals.
+
+use crate::schema::{CardinalityClass, LabelSet, SchemaGraph};
+use pg_hive_graph::ValueKind;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A per-property change between two versions of the same type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropertyChange {
+    Added {
+        key: String,
+    },
+    Removed {
+        key: String,
+    },
+    /// MANDATORY → OPTIONAL (a relaxation) or the reverse (a tightening).
+    ConstraintChanged {
+        key: String,
+        was_mandatory: bool,
+        now_mandatory: bool,
+    },
+    KindChanged {
+        key: String,
+        was: Option<ValueKind>,
+        now: Option<ValueKind>,
+    },
+}
+
+/// Changes to one type that exists in both schemas (matched by label set).
+#[derive(Debug, Clone, Default)]
+pub struct TypeDelta {
+    pub labels: LabelSet,
+    pub property_changes: Vec<PropertyChange>,
+    /// For edge types: newly observed endpoint pairs.
+    pub added_endpoints: Vec<(LabelSet, LabelSet)>,
+    pub removed_endpoints: Vec<(LabelSet, LabelSet)>,
+    /// For edge types: cardinality class change.
+    pub cardinality_change: Option<(Option<CardinalityClass>, Option<CardinalityClass>)>,
+}
+
+impl TypeDelta {
+    /// True when nothing about the type changed.
+    pub fn is_empty(&self) -> bool {
+        self.property_changes.is_empty()
+            && self.added_endpoints.is_empty()
+            && self.removed_endpoints.is_empty()
+            && self.cardinality_change.is_none()
+    }
+}
+
+/// The full diff between an `old` and a `new` schema.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaDiff {
+    pub added_node_types: Vec<LabelSet>,
+    pub removed_node_types: Vec<LabelSet>,
+    pub changed_node_types: Vec<TypeDelta>,
+    pub added_edge_types: Vec<LabelSet>,
+    pub removed_edge_types: Vec<LabelSet>,
+    pub changed_edge_types: Vec<TypeDelta>,
+}
+
+impl SchemaDiff {
+    /// True when the schemas are equivalent at the diff granularity.
+    pub fn is_empty(&self) -> bool {
+        self.added_node_types.is_empty()
+            && self.removed_node_types.is_empty()
+            && self.changed_node_types.is_empty()
+            && self.added_edge_types.is_empty()
+            && self.removed_edge_types.is_empty()
+            && self.changed_edge_types.is_empty()
+    }
+
+    /// True when the diff contains only additions and constraint
+    /// relaxations — what an incremental step is allowed to do (§4.6).
+    pub fn is_monotone(&self) -> bool {
+        if !self.removed_node_types.is_empty() || !self.removed_edge_types.is_empty() {
+            return false;
+        }
+        let only_additions = |delta: &TypeDelta| {
+            delta.removed_endpoints.is_empty()
+                && delta.property_changes.iter().all(|c| match c {
+                    PropertyChange::Added { .. } => true,
+                    PropertyChange::Removed { .. } => false,
+                    PropertyChange::ConstraintChanged { now_mandatory, .. } => !now_mandatory,
+                    // Kind generalization is monotone (lattice join).
+                    PropertyChange::KindChanged { was, now, .. } => match (was, now) {
+                        (Some(w), Some(n)) => w.join(*n) == *n,
+                        (None, Some(_)) => true,
+                        _ => false,
+                    },
+                })
+        };
+        self.changed_node_types.iter().all(only_additions)
+            && self.changed_edge_types.iter().all(only_additions)
+    }
+}
+
+impl fmt::Display for SchemaDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_labels = |l: &LabelSet| {
+            if l.is_empty() {
+                "(abstract)".to_string()
+            } else {
+                l.iter().cloned().collect::<Vec<_>>().join("&")
+            }
+        };
+        for l in &self.added_node_types {
+            writeln!(f, "+ node type {}", fmt_labels(l))?;
+        }
+        for l in &self.removed_node_types {
+            writeln!(f, "- node type {}", fmt_labels(l))?;
+        }
+        for d in &self.changed_node_types {
+            writeln!(f, "~ node type {}", fmt_labels(&d.labels))?;
+            for c in &d.property_changes {
+                writeln!(f, "    {c:?}")?;
+            }
+        }
+        for l in &self.added_edge_types {
+            writeln!(f, "+ edge type {}", fmt_labels(l))?;
+        }
+        for l in &self.removed_edge_types {
+            writeln!(f, "- edge type {}", fmt_labels(l))?;
+        }
+        for d in &self.changed_edge_types {
+            writeln!(f, "~ edge type {}", fmt_labels(&d.labels))?;
+            for c in &d.property_changes {
+                writeln!(f, "    {c:?}")?;
+            }
+            for (s, t) in &d.added_endpoints {
+                writeln!(f, "    + endpoint {} -> {}", fmt_labels(s), fmt_labels(t))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compute the diff from `old` to `new`, matching types by label set.
+/// Abstract (unlabeled) types are matched by property-key-set equality.
+pub fn diff_schemas(old: &SchemaGraph, new: &SchemaGraph) -> SchemaDiff {
+    let mut diff = SchemaDiff::default();
+
+    // --- node types ---
+    for nt in &new.node_types {
+        match find_node(old, nt) {
+            None => diff.added_node_types.push(nt.labels.clone()),
+            Some(ot) => {
+                let mut delta = TypeDelta {
+                    labels: nt.labels.clone(),
+                    ..Default::default()
+                };
+                prop_changes(
+                    &old.node_types[ot].props,
+                    &nt.props,
+                    old.node_types[ot].instance_count,
+                    nt.instance_count,
+                    &mut delta.property_changes,
+                );
+                if !delta.is_empty() {
+                    diff.changed_node_types.push(delta);
+                }
+            }
+        }
+    }
+    for ot in &old.node_types {
+        if find_node(new, ot).is_none() {
+            diff.removed_node_types.push(ot.labels.clone());
+        }
+    }
+
+    // --- edge types ---
+    for nt in &new.edge_types {
+        match old.edge_type_by_labels(&nt.labels) {
+            None => diff.added_edge_types.push(nt.labels.clone()),
+            Some(ot) => {
+                let old_t = &old.edge_types[ot];
+                let mut delta = TypeDelta {
+                    labels: nt.labels.clone(),
+                    ..Default::default()
+                };
+                prop_changes(
+                    &old_t.props,
+                    &nt.props,
+                    old_t.instance_count,
+                    nt.instance_count,
+                    &mut delta.property_changes,
+                );
+                for ep in nt.endpoints.difference(&old_t.endpoints) {
+                    delta.added_endpoints.push(ep.clone());
+                }
+                for ep in old_t.endpoints.difference(&nt.endpoints) {
+                    delta.removed_endpoints.push(ep.clone());
+                }
+                let old_class = old_t.cardinality.map(|c| c.class());
+                let new_class = nt.cardinality.map(|c| c.class());
+                if old_class != new_class {
+                    delta.cardinality_change = Some((old_class, new_class));
+                }
+                if !delta.is_empty() {
+                    diff.changed_edge_types.push(delta);
+                }
+            }
+        }
+    }
+    for ot in &old.edge_types {
+        if new.edge_type_by_labels(&ot.labels).is_none() {
+            diff.removed_edge_types.push(ot.labels.clone());
+        }
+    }
+
+    diff
+}
+
+fn find_node(schema: &SchemaGraph, t: &crate::schema::NodeType) -> Option<usize> {
+    if !t.labels.is_empty() {
+        return schema.node_type_by_labels(&t.labels);
+    }
+    // Abstract types: match by key set.
+    let keys: BTreeSet<&str> = t.props.keys().map(String::as_str).collect();
+    schema
+        .node_types
+        .iter()
+        .position(|o| o.labels.is_empty() && o.props.keys().map(String::as_str).collect::<BTreeSet<_>>() == keys)
+}
+
+fn prop_changes(
+    old: &std::collections::BTreeMap<String, crate::schema::PropertySpec>,
+    new: &std::collections::BTreeMap<String, crate::schema::PropertySpec>,
+    old_count: u64,
+    new_count: u64,
+    out: &mut Vec<PropertyChange>,
+) {
+    for (key, nspec) in new {
+        match old.get(key) {
+            None => out.push(PropertyChange::Added { key: key.clone() }),
+            Some(ospec) => {
+                let was = ospec.is_mandatory(old_count);
+                let now = nspec.is_mandatory(new_count);
+                if was != now {
+                    out.push(PropertyChange::ConstraintChanged {
+                        key: key.clone(),
+                        was_mandatory: was,
+                        now_mandatory: now,
+                    });
+                }
+                if ospec.kind != nspec.kind {
+                    out.push(PropertyChange::KindChanged {
+                        key: key.clone(),
+                        was: ospec.kind,
+                        now: nspec.kind,
+                    });
+                }
+            }
+        }
+    }
+    for key in old.keys() {
+        if !new.contains_key(key) {
+            out.push(PropertyChange::Removed { key: key.clone() });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{label_set, NodeType, PropertySpec};
+    use std::collections::BTreeMap;
+
+    fn node_type(labels: &[&str], props: &[(&str, u64, Option<ValueKind>)], count: u64) -> NodeType {
+        NodeType {
+            labels: label_set(labels),
+            props: props
+                .iter()
+                .map(|(k, occ, kind)| {
+                    (
+                        k.to_string(),
+                        PropertySpec {
+                            occurrences: *occ,
+                            kind: *kind,
+                        },
+                    )
+                })
+                .collect::<BTreeMap<_, _>>(),
+            instance_count: count,
+            members: vec![],
+        }
+    }
+
+    fn schema(types: Vec<NodeType>) -> SchemaGraph {
+        SchemaGraph {
+            node_types: types,
+            edge_types: vec![],
+        }
+    }
+
+    #[test]
+    fn identical_schemas_diff_empty() {
+        let s = schema(vec![node_type(&["A"], &[("x", 5, None)], 5)]);
+        let d = diff_schemas(&s, &s.clone());
+        assert!(d.is_empty());
+        assert!(d.is_monotone());
+    }
+
+    #[test]
+    fn added_type_is_monotone() {
+        let old = schema(vec![node_type(&["A"], &[], 1)]);
+        let new = schema(vec![node_type(&["A"], &[], 1), node_type(&["B"], &[], 1)]);
+        let d = diff_schemas(&old, &new);
+        assert_eq!(d.added_node_types, vec![label_set(&["B"])]);
+        assert!(d.is_monotone());
+    }
+
+    #[test]
+    fn removed_type_is_not_monotone() {
+        let old = schema(vec![node_type(&["A"], &[], 1), node_type(&["B"], &[], 1)]);
+        let new = schema(vec![node_type(&["A"], &[], 1)]);
+        let d = diff_schemas(&old, &new);
+        assert_eq!(d.removed_node_types, vec![label_set(&["B"])]);
+        assert!(!d.is_monotone());
+    }
+
+    #[test]
+    fn mandatory_to_optional_is_monotone_relaxation() {
+        // x present in all 5 of 5 → mandatory; then in 5 of 8 → optional.
+        let old = schema(vec![node_type(&["A"], &[("x", 5, None)], 5)]);
+        let new = schema(vec![node_type(&["A"], &[("x", 5, None)], 8)]);
+        let d = diff_schemas(&old, &new);
+        assert_eq!(d.changed_node_types.len(), 1);
+        assert!(matches!(
+            d.changed_node_types[0].property_changes[0],
+            PropertyChange::ConstraintChanged {
+                was_mandatory: true,
+                now_mandatory: false,
+                ..
+            }
+        ));
+        assert!(d.is_monotone());
+    }
+
+    #[test]
+    fn optional_to_mandatory_is_a_tightening() {
+        let old = schema(vec![node_type(&["A"], &[("x", 5, None)], 8)]);
+        let new = schema(vec![node_type(&["A"], &[("x", 5, None)], 5)]);
+        let d = diff_schemas(&old, &new);
+        assert!(!d.is_monotone());
+    }
+
+    #[test]
+    fn kind_generalization_is_monotone_specialization_is_not() {
+        use pg_hive_graph::ValueKind::*;
+        let old = schema(vec![node_type(&["A"], &[("x", 1, Some(Integer))], 1)]);
+        let new = schema(vec![node_type(&["A"], &[("x", 1, Some(Float))], 1)]);
+        assert!(diff_schemas(&old, &new).is_monotone(), "Int → Float widens");
+        assert!(!diff_schemas(&new, &old).is_monotone(), "Float → Int narrows");
+    }
+
+    #[test]
+    fn abstract_types_match_by_key_set() {
+        let old = schema(vec![node_type(&[], &[("x", 1, None), ("y", 1, None)], 1)]);
+        let new = schema(vec![node_type(&[], &[("x", 1, None), ("y", 1, None)], 2)]);
+        let d = diff_schemas(&old, &new);
+        assert!(d.added_node_types.is_empty());
+        assert!(d.removed_node_types.is_empty());
+    }
+
+    #[test]
+    fn incremental_chain_diffs_are_monotone() {
+        // Real pipeline check: consecutive incremental schemas diff monotonically.
+        use crate::pipeline::Discoverer;
+        use crate::PipelineConfig;
+        use pg_hive_graph::{split_batches, GraphBuilder, Value};
+        let mut b = GraphBuilder::new();
+        for i in 0..60 {
+            let props: Vec<(&str, Value)> = if i % 3 == 0 {
+                vec![("name", Value::from("x"))]
+            } else {
+                vec![("name", Value::from("x")), ("age", Value::Int(i))]
+            };
+            b.add_node(&[if i % 2 == 0 { "A" } else { "B" }], &props);
+        }
+        let g = b.finish();
+        let discoverer = Discoverer::new(PipelineConfig::elsh_adaptive());
+        let batches = split_batches(&g, 4, 9);
+        let mut prev: Option<SchemaGraph> = None;
+        for upto in 1..=4 {
+            let r = discoverer.discover_batches(&g, &batches[..upto]);
+            if let Some(p) = &prev {
+                let d = diff_schemas(p, &r.schema);
+                assert!(d.is_monotone(), "step {upto}: {d}");
+            }
+            prev = Some(r.schema);
+        }
+    }
+
+    #[test]
+    fn display_renders_changes() {
+        let old = schema(vec![node_type(&["A"], &[], 1)]);
+        let new = schema(vec![node_type(&["B"], &[], 1)]);
+        let text = diff_schemas(&old, &new).to_string();
+        assert!(text.contains("+ node type B"));
+        assert!(text.contains("- node type A"));
+    }
+}

@@ -1,0 +1,352 @@
+//! Stage (d): extracting and merging types — Algorithm 2 (§4.3).
+//!
+//! Clusters become *candidate types* summarized by their representative
+//! pattern `rep(C) = (L, K, R)` (union of member labels, property keys, and
+//! endpoint label-set pairs). Candidates are merged into the running schema:
+//!
+//! 1. labeled candidates merge with the type carrying the **same label
+//!    set** (Lemma 1/2 monotone union), else become new types;
+//! 2. unlabeled candidates merge with the *labeled* type whose property-key
+//!    Jaccard similarity is ≥ θ (best match wins);
+//! 3. remaining unlabeled candidates merge with each other under the same
+//!    Jaccard rule; whatever is left becomes an ABSTRACT type.
+
+use crate::patterns::jaccard_str;
+use crate::schema::{EdgeType, NodeType, PropertySpec, SchemaGraph};
+use pg_hive_graph::{EdgeId, NodeId, PropertyGraph};
+use pg_hive_lsh::Clustering;
+use std::collections::BTreeMap;
+
+/// Build candidate node types from a clustering of `ids`.
+pub fn candidate_node_types(
+    g: &PropertyGraph,
+    ids: &[NodeId],
+    clustering: &Clustering,
+) -> Vec<NodeType> {
+    let mut cands: Vec<NodeType> = (0..clustering.num_clusters)
+        .map(|_| NodeType {
+            labels: Default::default(),
+            props: BTreeMap::new(),
+            instance_count: 0,
+            members: Vec::new(),
+        })
+        .collect();
+    for (i, &id) in ids.iter().enumerate() {
+        let c = clustering.assignment[i] as usize;
+        let n = g.node(id);
+        let t = &mut cands[c];
+        t.instance_count += 1;
+        t.members.push(id.0);
+        for &l in &n.labels {
+            t.labels.insert(g.label_str(l).to_string());
+        }
+        for k in n.keys() {
+            t.props
+                .entry(g.key_str(k).to_string())
+                .or_insert(PropertySpec {
+                    occurrences: 0,
+                    kind: None,
+                })
+                .occurrences += 1;
+        }
+    }
+    cands
+}
+
+/// Build candidate edge types from a clustering of `ids`.
+pub fn candidate_edge_types(
+    g: &PropertyGraph,
+    ids: &[EdgeId],
+    clustering: &Clustering,
+) -> Vec<EdgeType> {
+    let mut cands: Vec<EdgeType> = (0..clustering.num_clusters)
+        .map(|_| EdgeType {
+            labels: Default::default(),
+            props: BTreeMap::new(),
+            endpoints: Default::default(),
+            instance_count: 0,
+            members: Vec::new(),
+            cardinality: None,
+        })
+        .collect();
+    for (i, &id) in ids.iter().enumerate() {
+        let c = clustering.assignment[i] as usize;
+        let e = g.edge(id);
+        let t = &mut cands[c];
+        t.instance_count += 1;
+        t.members.push(id.0);
+        for &l in &e.labels {
+            t.labels.insert(g.label_str(l).to_string());
+        }
+        for k in e.keys() {
+            t.props
+                .entry(g.key_str(k).to_string())
+                .or_insert(PropertySpec {
+                    occurrences: 0,
+                    kind: None,
+                })
+                .occurrences += 1;
+        }
+        let (src, tgt) = g.edge_endpoint_labels(e);
+        t.endpoints.insert((
+            src.iter().map(|&l| g.label_str(l).to_string()).collect(),
+            tgt.iter().map(|&l| g.label_str(l).to_string()).collect(),
+        ));
+    }
+    cands
+}
+
+/// Algorithm 2 for node candidates: merge into `schema` in place.
+pub fn merge_node_candidates(schema: &mut SchemaGraph, cands: Vec<NodeType>, theta: f64) {
+    let (labeled, unlabeled): (Vec<_>, Vec<_>) =
+        cands.into_iter().partition(|c| !c.labels.is_empty());
+
+    // Lines 2–7: labeled clusters merge on exact label-set equality.
+    for cand in labeled {
+        match schema.node_type_by_labels(&cand.labels) {
+            Some(idx) => schema.node_types[idx].absorb(cand),
+            None => schema.node_types.push(cand),
+        }
+    }
+
+    // Lines 8–11: unlabeled clusters vs labeled types, best Jaccard ≥ θ.
+    let mut still_unlabeled = Vec::new();
+    for cand in unlabeled {
+        let cand_keys: std::collections::BTreeSet<String> =
+            cand.props.keys().cloned().collect();
+        let best = schema
+            .node_types
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.labels.is_empty())
+            .map(|(i, t)| (i, jaccard_str(&cand_keys, &t.props.keys().cloned().collect())))
+            .filter(|(_, sim)| *sim >= theta)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        match best {
+            Some((idx, _)) => schema.node_types[idx].absorb(cand),
+            None => still_unlabeled.push(cand),
+        }
+    }
+
+    // Lines 12–14: unlabeled vs unlabeled (including pre-existing ABSTRACT
+    // types in the schema), then keep the rest as ABSTRACT.
+    for cand in still_unlabeled {
+        let cand_keys: std::collections::BTreeSet<String> =
+            cand.props.keys().cloned().collect();
+        let target = schema
+            .node_types
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.labels.is_empty())
+            .map(|(i, t)| (i, jaccard_str(&cand_keys, &t.props.keys().cloned().collect())))
+            .filter(|(_, sim)| *sim >= theta)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        match target {
+            Some((idx, _)) => schema.node_types[idx].absorb(cand),
+            None => schema.node_types.push(cand),
+        }
+    }
+}
+
+/// Algorithm 2 for edge candidates. "We merge edges only by label and get
+/// the set of source and target node types to define the connectivity"
+/// (§4.3); unlabeled edge clusters go through the same Jaccard fallback as
+/// nodes.
+pub fn merge_edge_candidates(schema: &mut SchemaGraph, cands: Vec<EdgeType>, theta: f64) {
+    let (labeled, unlabeled): (Vec<_>, Vec<_>) =
+        cands.into_iter().partition(|c| !c.labels.is_empty());
+
+    for cand in labeled {
+        match schema.edge_type_by_labels(&cand.labels) {
+            Some(idx) => schema.edge_types[idx].absorb(cand),
+            None => schema.edge_types.push(cand),
+        }
+    }
+
+    let mut still_unlabeled = Vec::new();
+    for cand in unlabeled {
+        let cand_keys: std::collections::BTreeSet<String> =
+            cand.props.keys().cloned().collect();
+        let best = schema
+            .edge_types
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.labels.is_empty())
+            .map(|(i, t)| (i, jaccard_str(&cand_keys, &t.props.keys().cloned().collect())))
+            .filter(|(_, sim)| *sim >= theta)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        match best {
+            Some((idx, _)) => schema.edge_types[idx].absorb(cand),
+            None => still_unlabeled.push(cand),
+        }
+    }
+
+    for cand in still_unlabeled {
+        let cand_keys: std::collections::BTreeSet<String> =
+            cand.props.keys().cloned().collect();
+        let target = schema
+            .edge_types
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.labels.is_empty())
+            .map(|(i, t)| (i, jaccard_str(&cand_keys, &t.props.keys().cloned().collect())))
+            .filter(|(_, sim)| *sim >= theta)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        match target {
+            Some((idx, _)) => schema.edge_types[idx].absorb(cand),
+            None => schema.edge_types.push(cand),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::label_set;
+    use pg_hive_graph::{GraphBuilder, Value};
+
+    fn cluster_of(assignment: Vec<u32>) -> Clustering {
+        let num = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+        Clustering {
+            assignment,
+            num_clusters: num,
+        }
+    }
+
+    fn person_graph() -> (PropertyGraph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(&["Person"], &[("name", Value::from("a")), ("age", Value::Int(1))]);
+        let n1 = b.add_node(&["Person"], &[("name", Value::from("b"))]);
+        let n2 = b.add_node(&[], &[("name", Value::from("c")), ("age", Value::Int(2))]);
+        let n3 = b.add_node(&["Post"], &[("content", Value::from("x"))]);
+        let g = b.finish();
+        (g, vec![n0, n1, n2, n3])
+    }
+
+    #[test]
+    fn candidates_summarize_clusters() {
+        let (g, ids) = person_graph();
+        // Clusters: {n0, n1}, {n2}, {n3}.
+        let c = cluster_of(vec![0, 0, 1, 2]);
+        let cands = candidate_node_types(&g, &ids, &c);
+        assert_eq!(cands.len(), 3);
+        assert_eq!(cands[0].labels, label_set(&["Person"]));
+        assert_eq!(cands[0].instance_count, 2);
+        assert_eq!(cands[0].props["name"].occurrences, 2);
+        assert_eq!(cands[0].props["age"].occurrences, 1);
+        assert!(cands[1].labels.is_empty());
+    }
+
+    #[test]
+    fn labeled_candidates_merge_by_label_set() {
+        let (g, ids) = person_graph();
+        // Two separate Person clusters (structural split) must merge.
+        let c = cluster_of(vec![0, 1, 2, 3]);
+        let cands = candidate_node_types(&g, &ids, &c);
+        let mut schema = SchemaGraph::new();
+        merge_node_candidates(&mut schema, cands, 0.9);
+        let person = schema.node_type_by_labels(&label_set(&["Person"])).unwrap();
+        // Both Person clusters merged, plus the unlabeled n2 whose keys
+        // {name, age} exactly match Person's union {name, age}.
+        assert_eq!(schema.node_types[person].instance_count, 3);
+        let total: u64 = schema.node_types.iter().map(|t| t.instance_count).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn unlabeled_merges_into_best_labeled_match() {
+        let (g, ids) = person_graph();
+        let c = cluster_of(vec![0, 1, 2, 3]);
+        let cands = candidate_node_types(&g, &ids, &c);
+        let mut schema = SchemaGraph::new();
+        merge_node_candidates(&mut schema, cands, 0.9);
+        // Unlabeled {name, age} vs Person {name, age}: J = 1 ≥ 0.9 ⇒ merged.
+        let person = schema.node_type_by_labels(&label_set(&["Person"])).unwrap();
+        assert_eq!(schema.node_types[person].instance_count, 3);
+        // Post stays its own type; no ABSTRACT type remains.
+        assert_eq!(schema.node_types.len(), 2);
+        assert!(schema.node_types.iter().all(|t| !t.labels.is_empty()));
+    }
+
+    #[test]
+    fn unmatched_unlabeled_becomes_abstract() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(&["Person"], &[("name", Value::from("a"))]);
+        let n1 = b.add_node(&[], &[("weird", Value::Int(1)), ("thing", Value::Int(2))]);
+        let g = b.finish();
+        let c = cluster_of(vec![0, 1]);
+        let cands = candidate_node_types(&g, &[n0, n1], &c);
+        let mut schema = SchemaGraph::new();
+        merge_node_candidates(&mut schema, cands, 0.9);
+        assert_eq!(schema.node_types.len(), 2);
+        assert!(schema.node_types.iter().any(|t| t.is_abstract()));
+    }
+
+    #[test]
+    fn unlabeled_clusters_merge_with_each_other() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(&[], &[("x", Value::Int(1)), ("y", Value::Int(2))]);
+        let n1 = b.add_node(&[], &[("x", Value::Int(3)), ("y", Value::Int(4))]);
+        let g = b.finish();
+        let c = cluster_of(vec![0, 1]);
+        let cands = candidate_node_types(&g, &[n0, n1], &c);
+        let mut schema = SchemaGraph::new();
+        merge_node_candidates(&mut schema, cands, 0.9);
+        assert_eq!(schema.node_types.len(), 1);
+        assert_eq!(schema.node_types[0].instance_count, 2);
+        assert!(schema.node_types[0].is_abstract());
+    }
+
+    #[test]
+    fn theta_controls_unlabeled_merging() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(&["T"], &[("a", Value::Int(1)), ("b", Value::Int(1))]);
+        let n1 = b.add_node(&[], &[("a", Value::Int(1)), ("c", Value::Int(1))]);
+        let g = b.finish();
+        let c = cluster_of(vec![0, 1]);
+        // J({a,b},{a,c}) = 1/3.
+        let mut strict = SchemaGraph::new();
+        merge_node_candidates(&mut strict, candidate_node_types(&g, &[n0, n1], &c), 0.9);
+        assert_eq!(strict.node_types.len(), 2);
+        let mut loose = SchemaGraph::new();
+        merge_node_candidates(&mut loose, candidate_node_types(&g, &[n0, n1], &c), 0.3);
+        assert_eq!(loose.node_types.len(), 1);
+    }
+
+    #[test]
+    fn edge_candidates_collect_endpoints() {
+        let mut b = GraphBuilder::new();
+        let p = b.add_node(&["Person"], &[]);
+        let o = b.add_node(&["Org"], &[]);
+        let pl = b.add_node(&["Place"], &[]);
+        b.add_edge(o, pl, &["LOCATED_IN"], &[]);
+        b.add_edge(p, pl, &["LOCATED_IN"], &[("from", Value::Int(2025))]);
+        let g = b.finish();
+        let ids: Vec<EdgeId> = g.edges().map(|(i, _)| i).collect();
+        // Structurally split clusters.
+        let c = cluster_of(vec![0, 1]);
+        let cands = candidate_edge_types(&g, &ids, &c);
+        let mut schema = SchemaGraph::new();
+        merge_edge_candidates(&mut schema, cands, 0.9);
+        // One LOCATED_IN type with both endpoint pairs (Fig. 1 / Ex. 2).
+        assert_eq!(schema.edge_types.len(), 1);
+        let t = &schema.edge_types[0];
+        assert_eq!(t.endpoints.len(), 2);
+        assert_eq!(t.instance_count, 2);
+        assert_eq!(t.props["from"].occurrences, 1);
+    }
+
+    #[test]
+    fn multilabel_sets_are_distinct_types() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(&["Person", "Student"], &[("name", Value::from("x"))]);
+        let n1 = b.add_node(&["Person"], &[("name", Value::from("y"))]);
+        let g = b.finish();
+        let c = cluster_of(vec![0, 1]);
+        let cands = candidate_node_types(&g, &[n0, n1], &c);
+        let mut schema = SchemaGraph::new();
+        merge_node_candidates(&mut schema, cands, 0.9);
+        // {Person,Student} ≠ {Person}: two types (PG-Schema semantics).
+        assert_eq!(schema.node_types.len(), 2);
+    }
+}

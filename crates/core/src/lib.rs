@@ -1,0 +1,70 @@
+//! # pg-hive-core
+//!
+//! PG-HIVE: **H**ybrid **I**ncremental schema disco**VE**ry for **P**roperty
+//! **G**raphs — a from-scratch Rust implementation of the EDBT 2026 paper by
+//! Sideri et al.
+//!
+//! Given a property graph with arbitrary, missing, or noisy labels and
+//! properties, PG-HIVE infers a full schema graph: node types, edge types
+//! with endpoints, property data types, MANDATORY/OPTIONAL constraints, and
+//! edge cardinalities. The pipeline (Fig. 2 of the paper):
+//!
+//! 1. **Load** nodes/edges from a [`pg_hive_graph::PropertyGraph`].
+//! 2. **Preprocess** into hybrid vectors: weighted label embeddings
+//!    concatenated with binary property indicators ([`preprocess`]).
+//! 3. **Cluster** with Euclidean LSH or MinHash ([`cluster`]).
+//! 4. **Extract types** — merge clusters by label, then by property Jaccard
+//!    similarity, Algorithm 2 ([`extract`]).
+//! 5. **Post-process** — constraints, datatypes, cardinalities
+//!    ([`postprocess`]).
+//! 6. **Serialize** — PG-Schema LOOSE/STRICT and XSD ([`serialize`]).
+//!
+//! Batches can be processed **incrementally**
+//! ([`Discoverer::discover_incremental`]); schema merging is monotone
+//! (Lemmas 1–2), so the schema only ever generalizes — see
+//! [`merge::is_generalization_of`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pg_hive_core::{Discoverer, PipelineConfig};
+//! use pg_hive_graph::{GraphBuilder, Value};
+//!
+//! let mut b = GraphBuilder::new();
+//! let ada = b.add_node(&["Person"], &[("name", Value::from("Ada"))]);
+//! let org = b.add_node(&["Org"], &[("url", Value::from("ex.org"))]);
+//! b.add_edge(ada, org, &["WORKS_AT"], &[("from", Value::Int(2020))]);
+//! let graph = b.finish();
+//!
+//! let result = Discoverer::new(PipelineConfig::elsh_adaptive()).discover(&graph);
+//! assert_eq!(result.schema.node_types.len(), 2);
+//! assert_eq!(result.schema.edge_types.len(), 1);
+//! println!("{}", pg_hive_core::serialize::pg_schema_strict(&result.schema, "Demo"));
+//! ```
+
+pub mod align;
+pub mod cluster;
+pub mod config;
+pub mod diff;
+pub mod extract;
+pub mod merge;
+pub mod parse;
+pub mod patterns;
+pub mod pipeline;
+pub mod postprocess;
+pub mod preprocess;
+pub mod retract;
+pub mod schema;
+pub mod serialize;
+pub mod validate;
+
+pub use config::{ClusterMethod, EmbeddingStrategy, PipelineConfig, SamplingConfig};
+pub use diff::{diff_schemas, SchemaDiff};
+pub use parse::{parse_pg_schema, ParseError, ParsedMode};
+pub use retract::{retract_batch, RetractionStats};
+pub use pipeline::{Discoverer, DiscoveryResult, PipelineStats, StageTimings, StreamResult};
+pub use schema::{
+    label_set, Cardinality, CardinalityClass, EdgeType, LabelSet, NodeType, PropertySpec,
+    SchemaGraph,
+};
+pub use validate::{validate, ValidationMode, ValidationReport, Violation};

@@ -1,0 +1,183 @@
+//! Schema merging (§4.6): combine two schema graphs into the least general
+//! schema covering both, with the same rules as Algorithm 2 — labeled types
+//! merge on equal label sets, unlabeled types merge by Jaccard similarity,
+//! leftovers stay ABSTRACT.
+//!
+//! Monotonicity (§4.7): every label, property and endpoint of either input
+//! is present in the merged schema — guaranteed by the union-only `absorb`
+//! operations (Lemma 1 / Lemma 2).
+
+use crate::extract::{merge_edge_candidates, merge_node_candidates};
+use crate::schema::SchemaGraph;
+
+/// Merge `incoming` into `base` in place. `theta` is the Jaccard threshold
+/// for unlabeled-type matching (the paper uses 0.9).
+pub fn merge_schemas(base: &mut SchemaGraph, incoming: SchemaGraph, theta: f64) {
+    merge_node_candidates(base, incoming.node_types, theta);
+    merge_edge_candidates(base, incoming.edge_types, theta);
+}
+
+/// Check `sub ⊑ sup`: every label, property key, and edge endpoint of `sub`
+/// appears in `sup` (the monotone-chain relation of §4.6). Used by tests
+/// and by callers that want to assert incremental soundness.
+pub fn is_generalization_of(sup: &SchemaGraph, sub: &SchemaGraph) -> bool {
+    // Node side: every label and key of sub must exist somewhere in sup.
+    let sup_labels = sup.node_label_universe();
+    let sup_keys = sup.node_key_universe();
+    for t in &sub.node_types {
+        for l in &t.labels {
+            if !sup_labels.contains(l.as_str()) {
+                return false;
+            }
+        }
+        for k in t.props.keys() {
+            if !sup_keys.contains(k.as_str()) {
+                return false;
+            }
+        }
+    }
+    // Edge side.
+    let sup_edge_labels: std::collections::BTreeSet<&str> = sup
+        .edge_types
+        .iter()
+        .flat_map(|t| t.labels.iter().map(String::as_str))
+        .collect();
+    let sup_edge_keys: std::collections::BTreeSet<&str> = sup
+        .edge_types
+        .iter()
+        .flat_map(|t| t.props.keys().map(String::as_str))
+        .collect();
+    for t in &sub.edge_types {
+        for l in &t.labels {
+            if !sup_edge_labels.contains(l.as_str()) {
+                return false;
+            }
+        }
+        for k in t.props.keys() {
+            if !sup_edge_keys.contains(k.as_str()) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{label_set, EdgeType, NodeType, PropertySpec};
+    use std::collections::BTreeMap;
+
+    fn node_type(labels: &[&str], keys: &[&str], count: u64) -> NodeType {
+        NodeType {
+            labels: label_set(labels),
+            props: keys
+                .iter()
+                .map(|k| {
+                    (
+                        k.to_string(),
+                        PropertySpec {
+                            occurrences: count,
+                            kind: None,
+                        },
+                    )
+                })
+                .collect(),
+            instance_count: count,
+            members: vec![],
+        }
+    }
+
+    fn schema_with(types: Vec<NodeType>) -> SchemaGraph {
+        SchemaGraph {
+            node_types: types,
+            edge_types: vec![],
+        }
+    }
+
+    #[test]
+    fn merging_same_labels_unifies() {
+        let mut s1 = schema_with(vec![node_type(&["Person"], &["name"], 5)]);
+        let s2 = schema_with(vec![node_type(&["Person"], &["age"], 3)]);
+        merge_schemas(&mut s1, s2, 0.9);
+        assert_eq!(s1.node_types.len(), 1);
+        let t = &s1.node_types[0];
+        assert_eq!(t.instance_count, 8);
+        assert!(t.props.contains_key("name") && t.props.contains_key("age"));
+    }
+
+    #[test]
+    fn merged_schema_generalizes_both_inputs() {
+        let s1 = schema_with(vec![
+            node_type(&["Person"], &["name"], 5),
+            node_type(&["Post"], &["content"], 2),
+        ]);
+        let s2 = schema_with(vec![
+            node_type(&["Person"], &["email"], 1),
+            node_type(&["Org"], &["url"], 4),
+        ]);
+        let mut merged = s1.clone();
+        merge_schemas(&mut merged, s2.clone(), 0.9);
+        assert!(is_generalization_of(&merged, &s1));
+        assert!(is_generalization_of(&merged, &s2));
+        assert!(!is_generalization_of(&s1, &merged), "strictly more general");
+    }
+
+    #[test]
+    fn unlabeled_types_merge_structurally() {
+        let mut s1 = schema_with(vec![node_type(&["Person"], &["name", "age"], 5)]);
+        let s2 = schema_with(vec![node_type(&[], &["name", "age"], 2)]);
+        merge_schemas(&mut s1, s2, 0.9);
+        assert_eq!(s1.node_types.len(), 1);
+        assert_eq!(s1.node_types[0].instance_count, 7);
+    }
+
+    #[test]
+    fn dissimilar_unlabeled_stays_abstract() {
+        let mut s1 = schema_with(vec![node_type(&["Person"], &["name", "age"], 5)]);
+        let s2 = schema_with(vec![node_type(&[], &["weird"], 1)]);
+        merge_schemas(&mut s1, s2, 0.9);
+        assert_eq!(s1.node_types.len(), 2);
+        assert!(s1.node_types.iter().any(|t| t.is_abstract()));
+    }
+
+    #[test]
+    fn edge_types_merge_with_endpoint_union() {
+        let e1 = EdgeType {
+            labels: label_set(&["KNOWS"]),
+            props: BTreeMap::new(),
+            endpoints: [(label_set(&["Person"]), label_set(&["Person"]))].into(),
+            instance_count: 2,
+            members: vec![],
+            cardinality: None,
+        };
+        let e2 = EdgeType {
+            labels: label_set(&["KNOWS"]),
+            props: BTreeMap::new(),
+            endpoints: [(label_set(&["Person"]), label_set(&["Bot"]))].into(),
+            instance_count: 1,
+            members: vec![],
+            cardinality: None,
+        };
+        let mut s1 = SchemaGraph {
+            node_types: vec![],
+            edge_types: vec![e1],
+        };
+        let s2 = SchemaGraph {
+            node_types: vec![],
+            edge_types: vec![e2],
+        };
+        merge_schemas(&mut s1, s2, 0.9);
+        assert_eq!(s1.edge_types.len(), 1);
+        assert_eq!(s1.edge_types[0].endpoints.len(), 2);
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity() {
+        let s2 = schema_with(vec![node_type(&["A"], &["x"], 1)]);
+        let mut s1 = SchemaGraph::new();
+        merge_schemas(&mut s1, s2.clone(), 0.9);
+        assert_eq!(s1.node_types.len(), 1);
+        assert!(is_generalization_of(&s1, &s2));
+    }
+}

@@ -1,0 +1,105 @@
+//! Node and edge patterns (Def. 3.5 / Def. 3.6).
+//!
+//! A *pattern* is the raw structural fingerprint of an element: its label
+//! set and property-key set (plus endpoint label sets for edges). A *type*
+//! may cover several patterns — e.g. the two `Post` patterns of Fig. 1 — so
+//! patterns are the unit the clustering step actually separates, and the
+//! merge step (Algorithm 2) regroups into types.
+
+use pg_hive_graph::{Edge, Node, PropertyGraph};
+use std::collections::BTreeSet;
+
+/// A node pattern `T_Np = (L, K)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodePattern {
+    pub labels: BTreeSet<String>,
+    pub keys: BTreeSet<String>,
+}
+
+/// An edge pattern `T_Ep = (L, K, R)` with `R = (L_s, L_t)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgePattern {
+    pub labels: BTreeSet<String>,
+    pub keys: BTreeSet<String>,
+    pub src_labels: BTreeSet<String>,
+    pub tgt_labels: BTreeSet<String>,
+}
+
+impl NodePattern {
+    /// Pattern of a concrete node.
+    pub fn of(g: &PropertyGraph, n: &Node) -> Self {
+        NodePattern {
+            labels: n.labels.iter().map(|&l| g.label_str(l).to_string()).collect(),
+            keys: n.keys().map(|k| g.key_str(k).to_string()).collect(),
+        }
+    }
+}
+
+impl EdgePattern {
+    /// Pattern of a concrete edge (endpoint labels read from the store).
+    pub fn of(g: &PropertyGraph, e: &Edge) -> Self {
+        let (src, tgt) = g.edge_endpoint_labels(e);
+        EdgePattern {
+            labels: e.labels.iter().map(|&l| g.label_str(l).to_string()).collect(),
+            keys: e.keys().map(|k| g.key_str(k).to_string()).collect(),
+            src_labels: src.iter().map(|&l| g.label_str(l).to_string()).collect(),
+            tgt_labels: tgt.iter().map(|&l| g.label_str(l).to_string()).collect(),
+        }
+    }
+}
+
+/// Jaccard similarity of two string sets — the merge criterion of
+/// Algorithm 2 (`J(C1, C2) = |K1 ∩ K2| / |K1 ∪ K2|`).
+pub fn jaccard_str(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_hive_graph::{GraphBuilder, Value};
+
+    #[test]
+    fn node_pattern_captures_labels_and_keys() {
+        let mut b = GraphBuilder::new();
+        let n = b.add_node(
+            &["Person"],
+            &[("name", Value::from("Bob")), ("age", Value::Int(1))],
+        );
+        let g = b.finish();
+        let p = NodePattern::of(&g, g.node(n));
+        assert!(p.labels.contains("Person"));
+        assert_eq!(p.keys.len(), 2);
+    }
+
+    #[test]
+    fn edge_pattern_captures_endpoints() {
+        let mut b = GraphBuilder::new();
+        let p = b.add_node(&["Person"], &[]);
+        let o = b.add_node(&["Org"], &[]);
+        b.add_edge(p, o, &["WORKS_AT"], &[("from", Value::Int(2000))]);
+        let g = b.finish();
+        let (_, e) = g.edges().next().unwrap();
+        let pat = EdgePattern::of(&g, e);
+        assert!(pat.labels.contains("WORKS_AT"));
+        assert!(pat.src_labels.contains("Person"));
+        assert!(pat.tgt_labels.contains("Org"));
+        assert!(pat.keys.contains("from"));
+    }
+
+    #[test]
+    fn jaccard_str_basics() {
+        let a: BTreeSet<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let b: BTreeSet<String> = ["b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        assert!((jaccard_str(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard_str(&a, &a), 1.0);
+        let empty = BTreeSet::new();
+        assert_eq!(jaccard_str(&empty, &empty), 1.0);
+        assert_eq!(jaccard_str(&a, &empty), 0.0);
+    }
+}

@@ -1,0 +1,527 @@
+//! Algorithm 1: the end-to-end PG-HIVE pipeline, static and incremental.
+//!
+//! ```text
+//! for each batch G_si in G:
+//!     D           <- loadNodesAndEdges(G_si)        (a)
+//!     X, b, T     <- preprocess(D)                  (b)
+//!     C           <- LSHClustering(X, b, T)         (c)
+//!     S'          <- extractTypes(C, S, θ = 0.9)    (d)  Algorithm 2
+//!     if postProcessing or last batch:
+//!         inferPropertyConstraints(S')              (e)
+//!         inferDataTypes(S')                        (f)
+//!         computeCardinalities(S')                  (g)
+//!     S <- updateSchema(S')
+//! ```
+
+use crate::cluster::cluster_elements;
+use crate::config::{EmbeddingStrategy, PipelineConfig};
+use crate::extract::{
+    candidate_edge_types, candidate_node_types, merge_edge_candidates, merge_node_candidates,
+};
+use crate::postprocess::{compute_cardinalities, infer_datatypes};
+use crate::preprocess::{edge_representations, label_sentences, node_representations};
+use crate::schema::SchemaGraph;
+use pg_hive_embed::{HashEmbedder, LabelEmbedder, Word2Vec};
+use pg_hive_graph::{split_batches, GraphBatch, PropertyGraph};
+use pg_hive_lsh::{AdaptiveParams, ElementClass};
+use std::time::{Duration, Instant};
+
+/// Wall-clock spent in each stage, summed over batches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    pub preprocess: Duration,
+    pub clustering: Duration,
+    pub extraction: Duration,
+    pub postprocess: Duration,
+}
+
+impl StageTimings {
+    /// Time until type discovery — what Fig. 5 reports (preprocessing,
+    /// clustering, and type extraction; post-processing excluded).
+    pub fn discovery(&self) -> Duration {
+        self.preprocess + self.clustering + self.extraction
+    }
+
+    /// Everything.
+    pub fn total(&self) -> Duration {
+        self.discovery() + self.postprocess
+    }
+}
+
+/// Extra observability into one run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    pub timings: StageTimings,
+    /// Per-batch wall-clock of the main pipeline (Fig. 7's series).
+    pub batch_times: Vec<Duration>,
+    /// Total LSH clusters produced before merging (nodes).
+    pub node_clusters: usize,
+    /// Total LSH clusters produced before merging (edges).
+    pub edge_clusters: usize,
+    /// Adaptive parameters chosen for the *first* batch, when the adaptive
+    /// path was used.
+    pub adaptive_nodes: Option<AdaptiveParams>,
+    pub adaptive_edges: Option<AdaptiveParams>,
+}
+
+/// Result of a discovery run.
+#[derive(Debug, Clone)]
+pub struct DiscoveryResult {
+    /// The inferred schema graph.
+    pub schema: SchemaGraph,
+    /// For every node of the input graph, the index of its node type in
+    /// `schema.node_types`.
+    pub node_assignment: Vec<u32>,
+    /// For every edge, the index of its edge type in `schema.edge_types`.
+    pub edge_assignment: Vec<u32>,
+    /// For every node, a **raw LSH cluster** id (global across batches,
+    /// before Algorithm 2's merging). The paper's F1* evaluation judges
+    /// discovered clusters by their majority label, so this is the
+    /// granularity `pg-hive-eval` scores.
+    pub node_cluster_assignment: Vec<u32>,
+    /// Raw cluster id per edge (see `node_cluster_assignment`).
+    pub edge_cluster_assignment: Vec<u32>,
+    /// Observability.
+    pub stats: PipelineStats,
+}
+
+/// Result of a [`Discoverer::discover_stream`] run over dropped chunks.
+#[derive(Debug, Clone)]
+pub struct StreamResult {
+    /// The accumulated schema (no member lists — chunks are gone).
+    pub schema: SchemaGraph,
+    /// Wall-clock per chunk.
+    pub chunk_times: Vec<Duration>,
+    /// Total elements (nodes + edges) consumed.
+    pub elements: u64,
+}
+
+/// The PG-HIVE schema discoverer (Algorithm 1).
+#[derive(Debug, Clone, Default)]
+pub struct Discoverer {
+    config: PipelineConfig,
+}
+
+impl Discoverer {
+    /// Discoverer with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Static run: the whole graph as a single batch.
+    pub fn discover(&self, g: &PropertyGraph) -> DiscoveryResult {
+        let batch = GraphBatch {
+            nodes: g.nodes().map(|(id, _)| id).collect(),
+            edges: g.edges().map(|(id, _)| id).collect(),
+        };
+        self.discover_batches(g, std::slice::from_ref(&batch))
+    }
+
+    /// Incremental run over `n` deterministic random batches (§4.6 / Fig. 7).
+    pub fn discover_incremental(&self, g: &PropertyGraph, n_batches: usize) -> DiscoveryResult {
+        let batches = split_batches(g, n_batches, self.config.seed);
+        self.discover_batches(g, &batches)
+    }
+
+    /// Algorithm 1 over explicit batches. Post-processing runs after every
+    /// batch when `post_process_each_batch` is set, and always after the
+    /// final batch.
+    pub fn discover_batches(&self, g: &PropertyGraph, batches: &[GraphBatch]) -> DiscoveryResult {
+        let mut schema = SchemaGraph::new();
+        let mut stats = PipelineStats::default();
+        let mut node_cluster_assignment = vec![u32::MAX; g.node_count()];
+        let mut edge_cluster_assignment = vec![u32::MAX; g.edge_count()];
+        let mut node_cluster_offset = 0u32;
+        let mut edge_cluster_offset = 0u32;
+
+        for (i, batch) in batches.iter().enumerate() {
+            let t_batch = Instant::now();
+
+            // (b) preprocess: embedder + representation vectors.
+            let t0 = Instant::now();
+            let embedder = self.make_embedder(g, batch);
+            let nodes = node_representations(g, &batch.nodes, embedder.as_ref(), self.config.label_weight);
+            let edges = edge_representations(g, &batch.edges, embedder.as_ref(), self.config.label_weight);
+            stats.timings.preprocess += t0.elapsed();
+
+            // (c) LSH clustering.
+            let t1 = Instant::now();
+            let node_out = cluster_elements(
+                &nodes.dense,
+                &nodes.sets,
+                nodes.distinct_labels,
+                ElementClass::Nodes,
+                &self.config,
+            );
+            let edge_out = cluster_elements(
+                &edges.dense,
+                &edges.sets,
+                edges.distinct_labels,
+                ElementClass::Edges,
+                &self.config,
+            );
+            stats.timings.clustering += t1.elapsed();
+            stats.node_clusters += node_out.clustering.num_clusters;
+            stats.edge_clusters += edge_out.clustering.num_clusters;
+            for (pos, &id) in batch.nodes.iter().enumerate() {
+                node_cluster_assignment[id.index()] =
+                    node_cluster_offset + node_out.clustering.assignment[pos];
+            }
+            for (pos, &id) in batch.edges.iter().enumerate() {
+                edge_cluster_assignment[id.index()] =
+                    edge_cluster_offset + edge_out.clustering.assignment[pos];
+            }
+            node_cluster_offset += node_out.clustering.num_clusters as u32;
+            edge_cluster_offset += edge_out.clustering.num_clusters as u32;
+            if i == 0 {
+                stats.adaptive_nodes = node_out.adaptive.clone();
+                stats.adaptive_edges = edge_out.adaptive.clone();
+            }
+
+            // (d) type extraction & merging (Algorithm 2).
+            let t2 = Instant::now();
+            let node_cands = candidate_node_types(g, &batch.nodes, &node_out.clustering);
+            let edge_cands = candidate_edge_types(g, &batch.edges, &edge_out.clustering);
+            merge_node_candidates(&mut schema, node_cands, self.config.theta);
+            merge_edge_candidates(&mut schema, edge_cands, self.config.theta);
+            stats.timings.extraction += t2.elapsed();
+
+            // (e)–(g) optional post-processing.
+            let last = i + 1 == batches.len();
+            if self.config.post_process_each_batch || last {
+                let t3 = Instant::now();
+                infer_datatypes(&mut schema, g, self.config.datatype_sampling.as_ref());
+                compute_cardinalities(&mut schema, g);
+                stats.timings.postprocess += t3.elapsed();
+            }
+
+            stats.batch_times.push(t_batch.elapsed());
+        }
+
+        let (node_assignment, edge_assignment) = assignments(g, &schema);
+        DiscoveryResult {
+            schema,
+            node_assignment,
+            edge_assignment,
+            node_cluster_assignment,
+            edge_cluster_assignment,
+            stats,
+        }
+    }
+
+    /// True streaming (§4.6's motivation: "process large datasets on
+    /// machines with limited memory"): every chunk is an *independent*
+    /// [`PropertyGraph`] — its own interners, its own ids — that can be
+    /// dropped as soon as it is processed. Each chunk runs the full
+    /// pipeline including post-processing (datatypes and cardinalities must
+    /// be computed while the chunk's values are still in memory), and its
+    /// schema merges into the running one; kinds join, counts add,
+    /// cardinality bounds take maxima — all monotone.
+    ///
+    /// Because chunks are dropped, the result carries no member lists or
+    /// element assignments (use [`Self::discover_batches`] when the full
+    /// graph stays resident).
+    pub fn discover_stream<I>(&self, chunks: I) -> StreamResult
+    where
+        I: IntoIterator<Item = PropertyGraph>,
+    {
+        let mut schema = SchemaGraph::new();
+        let mut chunk_times = Vec::new();
+        let mut elements = 0u64;
+        for chunk in chunks {
+            let t = Instant::now();
+            let mut result = self.discover_with_postprocess(&chunk);
+            elements += (chunk.node_count() + chunk.edge_count()) as u64;
+            // Membership refers to chunk-local ids that are about to be
+            // dropped; strip it so the merged schema never dangles.
+            for ty in &mut result.schema.node_types {
+                ty.members.clear();
+            }
+            for ty in &mut result.schema.edge_types {
+                ty.members.clear();
+            }
+            crate::merge::merge_schemas(&mut schema, result.schema, self.config.theta);
+            chunk_times.push(t.elapsed());
+        }
+        StreamResult {
+            schema,
+            chunk_times,
+            elements,
+        }
+    }
+
+    /// One full pipeline pass over `g` with post-processing forced on
+    /// (streaming chunks cannot defer it).
+    fn discover_with_postprocess(&self, g: &PropertyGraph) -> DiscoveryResult {
+        if self.config.post_process_each_batch {
+            return self.discover(g);
+        }
+        let cfg = PipelineConfig {
+            post_process_each_batch: true,
+            ..self.config.clone()
+        };
+        Discoverer::new(cfg).discover(g)
+    }
+
+    fn make_embedder(&self, g: &PropertyGraph, batch: &GraphBatch) -> Box<dyn LabelEmbedder> {
+        match &self.config.embedding {
+            EmbeddingStrategy::Hash => Box::new(HashEmbedder::new(
+                self.config.embedding_dim,
+                self.config.seed,
+            )),
+            EmbeddingStrategy::Word2Vec(cfg) => {
+                let sentences = label_sentences(g, batch);
+                let cfg = pg_hive_embed::Word2VecConfig {
+                    dim: self.config.embedding_dim,
+                    seed: self.config.seed,
+                    ..cfg.clone()
+                };
+                Box::new(Word2Vec::train(&sentences, &cfg))
+            }
+        }
+    }
+}
+
+/// Derive element→type assignments from type membership lists. Every
+/// element covered by a processed batch belongs to exactly one type (type
+/// completeness, §4.7); elements of batches that have not been processed
+/// yet (when the caller streams a prefix) keep the `u32::MAX` sentinel.
+fn assignments(g: &PropertyGraph, schema: &SchemaGraph) -> (Vec<u32>, Vec<u32>) {
+    let mut node_assignment = vec![u32::MAX; g.node_count()];
+    for (t, ty) in schema.node_types.iter().enumerate() {
+        for &m in &ty.members {
+            node_assignment[m as usize] = t as u32;
+        }
+    }
+    let mut edge_assignment = vec![u32::MAX; g.edge_count()];
+    for (t, ty) in schema.edge_types.iter().enumerate() {
+        for &m in &ty.members {
+            edge_assignment[m as usize] = t as u32;
+        }
+    }
+    (node_assignment, edge_assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterMethod, SamplingConfig};
+    use crate::schema::label_set;
+    use pg_hive_graph::{GraphBuilder, Value, ValueKind};
+
+    /// The Figure 1 graph: 4 node types (+1 unlabeled Person), 4 edge types.
+    fn figure1() -> PropertyGraph {
+        let mut b = GraphBuilder::new();
+        let bob = b.add_node(
+            &["Person"],
+            &[
+                ("name", Value::from("Bob")),
+                ("gender", Value::from("male")),
+                ("bday", Value::from("1980-05-02")),
+            ],
+        );
+        let alice = b.add_node(
+            &[],
+            &[
+                ("name", Value::from("Alice")),
+                ("gender", Value::from("female")),
+                ("bday", Value::from("1999-12-19")),
+            ],
+        );
+        let john = b.add_node(
+            &["Person"],
+            &[
+                ("name", Value::from("John")),
+                ("gender", Value::from("male")),
+                ("bday", Value::from("2005-09-24")),
+            ],
+        );
+        let post1 = b.add_node(&["Post"], &[("imgFile", Value::from("screenshot.png"))]);
+        let post2 = b.add_node(&["Post"], &[("content", Value::from("bazinga!"))]);
+        let org = b.add_node(
+            &["Org"],
+            &[
+                ("url", Value::from("example.com")),
+                ("name", Value::from("Example")),
+            ],
+        );
+        let place = b.add_node(&["Place"], &[("name", Value::from("Greece"))]);
+        b.add_edge(alice, john, &["KNOWS"], &[]);
+        b.add_edge(bob, john, &["KNOWS"], &[("since", Value::from("2025-01-01"))]);
+        b.add_edge(alice, post2, &["LIKES"], &[]);
+        b.add_edge(john, post1, &["LIKES"], &[]);
+        b.add_edge(bob, org, &["WORKS_AT"], &[("from", Value::Int(2000))]);
+        b.add_edge(org, place, &["LOCATED_IN"], &[]);
+        b.add_edge(john, place, &["LOCATED_IN"], &[("from", Value::Int(2025))]);
+        b.finish()
+    }
+
+    #[test]
+    fn discovers_figure1_schema_with_elsh() {
+        let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+        let r = d.discover(&figure1());
+        // Example 5: Alice's unlabeled cluster merges into Person; the two
+        // Post patterns merge by label. Expect exactly Person, Post, Org,
+        // Place.
+        let labels: Vec<String> = r
+            .schema
+            .node_types
+            .iter()
+            .map(|t| t.labels.iter().cloned().collect::<Vec<_>>().join("|"))
+            .collect();
+        assert_eq!(r.schema.node_types.len(), 4, "{labels:?}");
+        let person_idx = r
+            .schema
+            .node_type_by_labels(&label_set(&["Person"]))
+            .expect("Person type");
+        assert_eq!(
+            r.schema.node_types[person_idx].instance_count, 3,
+            "Bob, John and unlabeled Alice"
+        );
+        // Edge types: KNOWS, LIKES, WORKS_AT, LOCATED_IN.
+        assert_eq!(r.schema.edge_types.len(), 4);
+        // Every element is assigned.
+        assert_eq!(r.node_assignment.len(), 7);
+        assert_eq!(r.edge_assignment.len(), 7);
+    }
+
+    #[test]
+    fn discovers_figure1_schema_with_minhash() {
+        let d = Discoverer::new(PipelineConfig::minhash_default());
+        let r = d.discover(&figure1());
+        assert!(
+            r.schema.node_types.len() <= 5 && r.schema.node_types.len() >= 4,
+            "got {}",
+            r.schema.node_types.len()
+        );
+        assert_eq!(r.schema.edge_types.len(), 4);
+    }
+
+    #[test]
+    fn post_processing_fills_constraints_datatypes_cardinalities() {
+        let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+        let r = d.discover(&figure1());
+        let person_idx = r
+            .schema
+            .node_type_by_labels(&label_set(&["Person"]))
+            .unwrap();
+        let person = &r.schema.node_types[person_idx];
+        // Example 6: name/gender/bday mandatory for Person.
+        for key in ["name", "gender", "bday"] {
+            assert!(
+                person.props[key].is_mandatory(person.instance_count),
+                "{key} should be mandatory"
+            );
+        }
+        // Example 7: name/gender strings, bday a date.
+        assert_eq!(person.props["name"].kind, Some(ValueKind::String));
+        assert_eq!(person.props["bday"].kind, Some(ValueKind::Date));
+        // Post: imgFile optional (only one of the two posts has it).
+        let post_idx = r.schema.node_type_by_labels(&label_set(&["Post"])).unwrap();
+        let post = &r.schema.node_types[post_idx];
+        assert!(!post.props["imgFile"].is_mandatory(post.instance_count));
+        // Example 8: KNOWS is M:N... with only 2 KNOWS edges sharing target
+        // John, max_in = 2, max_out = 1 ⇒ 0:N on this tiny graph.
+        let knows_idx = r.schema.edge_type_by_labels(&label_set(&["KNOWS"])).unwrap();
+        let c = r.schema.edge_types[knows_idx].cardinality.unwrap();
+        assert_eq!(c.max_in, 2);
+    }
+
+    #[test]
+    fn incremental_equals_static_type_inventory() {
+        let g = figure1();
+        let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+        let stat = d.discover(&g);
+        let incr = d.discover_incremental(&g, 3);
+        let mut a: Vec<_> = stat
+            .schema
+            .node_types
+            .iter()
+            .map(|t| t.labels.clone())
+            .collect();
+        let mut b: Vec<_> = incr
+            .schema
+            .node_types
+            .iter()
+            .map(|t| t.labels.clone())
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "incremental discovers the same labeled types");
+        assert_eq!(incr.stats.batch_times.len(), 3);
+        // All instances accounted for in both runs.
+        assert_eq!(incr.schema.node_instances(), 7);
+        assert_eq!(incr.schema.edge_instances(), 7);
+    }
+
+    #[test]
+    fn word2vec_embedding_path_works() {
+        let cfg = PipelineConfig {
+            embedding: crate::config::EmbeddingStrategy::Word2Vec(Default::default()),
+            embedding_dim: 8,
+            ..PipelineConfig::elsh_adaptive()
+        };
+        let d = Discoverer::new(cfg);
+        let r = d.discover(&figure1());
+        assert!(r.schema.node_types.len() >= 4);
+        assert_eq!(r.schema.edge_types.len(), 4);
+    }
+
+    #[test]
+    fn sampling_config_is_honored() {
+        let cfg = PipelineConfig {
+            datatype_sampling: Some(SamplingConfig::default()),
+            ..PipelineConfig::elsh_adaptive()
+        };
+        let d = Discoverer::new(cfg);
+        let r = d.discover(&figure1());
+        // Small graph: floor 1000 ⇒ identical to full scan.
+        let person_idx = r
+            .schema
+            .node_type_by_labels(&label_set(&["Person"]))
+            .unwrap();
+        assert_eq!(
+            r.schema.node_types[person_idx].props["bday"].kind,
+            Some(ValueKind::Date)
+        );
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_schema() {
+        let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+        let r = d.discover(&PropertyGraph::new());
+        assert!(r.schema.node_types.is_empty());
+        assert!(r.schema.edge_types.is_empty());
+        assert!(r.node_assignment.is_empty());
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+        let r = d.discover(&figure1());
+        assert!(r.stats.timings.total() >= r.stats.timings.discovery());
+        assert_eq!(r.stats.batch_times.len(), 1);
+        assert!(r.stats.node_clusters >= 4);
+    }
+
+    #[test]
+    fn both_methods_deterministic_per_seed() {
+        let g = figure1();
+        for method in [ClusterMethod::Elsh, ClusterMethod::MinHash] {
+            let cfg = PipelineConfig {
+                method,
+                ..PipelineConfig::elsh_adaptive()
+            };
+            let d = Discoverer::new(cfg);
+            let a = d.discover(&g);
+            let b = d.discover(&g);
+            assert_eq!(a.node_assignment, b.node_assignment);
+            assert_eq!(a.edge_assignment, b.edge_assignment);
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Stage (b): representation vectors (§4.1).
+//!
+//! Every node becomes `w·Word2Vec(labels) ∥ b_v ∈ {0,1}^K` and every edge
+//! `w·Word2Vec(edge) ∥ w·Word2Vec(src) ∥ w·Word2Vec(tgt) ∥ b_e ∈ {0,1}^K`,
+//! where `K` is the number of distinct property keys, unlabeled elements get
+//! the zero embedding, and multi-label sets are embedded via their sorted
+//! concatenation ([`pg_hive_embed::canonical_token`]). `w` is the
+//! `label_weight` factor (see [`crate::config::PipelineConfig`]): the
+//! paper's distances come out of raw Word2Vec norms, ours are normalized, so
+//! the weight restores "semantically different nodes are not merged due to
+//! the same structure".
+//!
+//! For the MinHash variant the same information is rendered as feature-id
+//! *sets*: property keys plus salted copies of the label tokens (copies
+//! raise the labels' share of the Jaccard similarity — the set-based
+//! analogue of `label_weight`).
+
+use pg_hive_embed::{canonical_token, LabelEmbedder};
+use pg_hive_graph::{EdgeId, GraphBatch, NodeId, PropertyGraph};
+use std::collections::HashSet;
+
+/// Salted label-feature copies in node sets.
+pub const NODE_LABEL_COPIES: usize = 8;
+/// Salted copies of the composite edge identity feature
+/// `hash(label ⊕ src-labels ⊕ tgt-labels)`. A composite (rather than three
+/// independent token features) means a mismatch in *any* component drops
+/// the Jaccard similarity below the banding threshold — the set-based
+/// analogue of the paper's three concatenated Word2Vec slots, where any
+/// differing slot separates the vectors in L2.
+pub const EDGE_IDENTITY_COPIES: usize = 12;
+
+/// Dense + set representations of a batch's nodes.
+#[derive(Debug, Clone)]
+pub struct NodeRepr {
+    pub ids: Vec<NodeId>,
+    /// One vector per node, dimension `d + K`.
+    pub dense: Vec<Vec<f32>>,
+    /// One feature-id set per node (for MinHash).
+    pub sets: Vec<Vec<u64>>,
+    /// Distinct individual labels observed among these nodes (the `L` of
+    /// the adaptive heuristics).
+    pub distinct_labels: usize,
+}
+
+/// Dense + set representations of a batch's edges.
+#[derive(Debug, Clone)]
+pub struct EdgeRepr {
+    pub ids: Vec<EdgeId>,
+    /// One vector per edge, dimension `3d + K`.
+    pub dense: Vec<Vec<f32>>,
+    pub sets: Vec<Vec<u64>>,
+    pub distinct_labels: usize,
+}
+
+/// Build node representations for `ids` (a batch or the whole graph).
+pub fn node_representations(
+    g: &PropertyGraph,
+    ids: &[NodeId],
+    embedder: &dyn LabelEmbedder,
+    label_weight: f32,
+) -> NodeRepr {
+    let d = embedder.dim();
+    let key_count = g.keys().len();
+    let mut dense = Vec::with_capacity(ids.len());
+    let mut sets = Vec::with_capacity(ids.len());
+    let mut labels_seen: HashSet<u32> = HashSet::new();
+
+    for &id in ids {
+        let n = g.node(id);
+        for &l in &n.labels {
+            labels_seen.insert(l.0);
+        }
+        let mut v = vec![0.0f32; d + key_count];
+        let token = token_of(g, &n.labels);
+        if let Some(tok) = &token {
+            embedder.embed_into(tok, &mut v[..d]);
+            for x in &mut v[..d] {
+                *x *= label_weight;
+            }
+        }
+        for k in n.keys() {
+            v[d + k.index()] = 1.0;
+        }
+        dense.push(v);
+
+        let mut set = Vec::with_capacity(n.props.len() + NODE_LABEL_COPIES);
+        if let Some(tok) = &token {
+            push_salted(&mut set, tok, NODE_LABEL_COPIES, 0x4E);
+        }
+        for k in n.keys() {
+            set.push(feature_hash(g.key_str(k), 0x50));
+        }
+        sets.push(set);
+    }
+
+    NodeRepr {
+        ids: ids.to_vec(),
+        dense,
+        sets,
+        distinct_labels: labels_seen.len(),
+    }
+}
+
+/// Build edge representations for `ids`.
+pub fn edge_representations(
+    g: &PropertyGraph,
+    ids: &[EdgeId],
+    embedder: &dyn LabelEmbedder,
+    label_weight: f32,
+) -> EdgeRepr {
+    let d = embedder.dim();
+    let key_count = g.keys().len();
+    let mut dense = Vec::with_capacity(ids.len());
+    let mut sets = Vec::with_capacity(ids.len());
+    let mut labels_seen: HashSet<u32> = HashSet::new();
+
+    for &id in ids {
+        let e = g.edge(id);
+        for &l in &e.labels {
+            labels_seen.insert(l.0);
+        }
+        let (src, tgt) = g.edge_endpoint_labels(e);
+        let e_tok = token_of(g, &e.labels);
+        let s_tok = token_of(g, src);
+        let t_tok = token_of(g, tgt);
+
+        let mut v = vec![0.0f32; 3 * d + key_count];
+        for (slot, tok) in [(0, &e_tok), (1, &s_tok), (2, &t_tok)] {
+            if let Some(tok) = tok {
+                let range = slot * d..(slot + 1) * d;
+                embedder.embed_into(tok, &mut v[range.clone()]);
+                for x in &mut v[range] {
+                    *x *= label_weight;
+                }
+            }
+        }
+        for k in e.keys() {
+            v[3 * d + k.index()] = 1.0;
+        }
+        dense.push(v);
+
+        let mut set = Vec::with_capacity(e.props.len() + EDGE_IDENTITY_COPIES);
+        if e_tok.is_some() || s_tok.is_some() || t_tok.is_some() {
+            let identity = format!(
+                "{}\u{1}{}\u{1}{}",
+                e_tok.as_deref().unwrap_or(""),
+                s_tok.as_deref().unwrap_or(""),
+                t_tok.as_deref().unwrap_or("")
+            );
+            push_salted(&mut set, &identity, EDGE_IDENTITY_COPIES, 0xED);
+        }
+        for k in e.keys() {
+            set.push(feature_hash(g.key_str(k), 0x50));
+        }
+        sets.push(set);
+    }
+
+    EdgeRepr {
+        ids: ids.to_vec(),
+        dense,
+        sets,
+        distinct_labels: labels_seen.len(),
+    }
+}
+
+/// Label co-occurrence sentences for Word2Vec training (§4.1): one sentence
+/// per edge, `[src_token, edge_token, tgt_token]`, plus for every multi-label
+/// node a sentence relating its individual labels to the combined token.
+pub fn label_sentences(g: &PropertyGraph, batch: &GraphBatch) -> Vec<Vec<String>> {
+    let mut sentences = Vec::new();
+    for &eid in &batch.edges {
+        let e = g.edge(eid);
+        let (src, tgt) = g.edge_endpoint_labels(e);
+        let mut s = Vec::with_capacity(3);
+        if let Some(t) = token_of(g, src) {
+            s.push(t);
+        }
+        if let Some(t) = token_of(g, &e.labels) {
+            s.push(t);
+        }
+        if let Some(t) = token_of(g, tgt) {
+            s.push(t);
+        }
+        if s.len() >= 2 {
+            sentences.push(s);
+        }
+    }
+    for &nid in &batch.nodes {
+        let n = g.node(nid);
+        if n.labels.len() >= 2 {
+            let mut s: Vec<String> = n
+                .labels
+                .iter()
+                .map(|&l| g.label_str(l).to_string())
+                .collect();
+            if let Some(t) = token_of(g, &n.labels) {
+                s.push(t);
+            }
+            sentences.push(s);
+        }
+    }
+    sentences
+}
+
+fn token_of(g: &PropertyGraph, labels: &[pg_hive_graph::Symbol]) -> Option<String> {
+    let strs: Vec<&str> = labels.iter().map(|&l| g.label_str(l)).collect();
+    canonical_token(&strs)
+}
+
+fn push_salted(set: &mut Vec<u64>, token: &str, copies: usize, salt: u64) {
+    for i in 0..copies {
+        set.push(feature_hash(token, salt ^ ((i as u64 + 1) << 8)));
+    }
+}
+
+fn feature_hash(s: &str, salt: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_hive_embed::HashEmbedder;
+    use pg_hive_graph::{split_batches, GraphBuilder, Value};
+
+    fn sample_graph() -> PropertyGraph {
+        let mut b = GraphBuilder::new();
+        let p1 = b.add_node(
+            &["Person"],
+            &[("name", Value::from("Bob")), ("age", Value::Int(40))],
+        );
+        let p2 = b.add_node(
+            &["Person"],
+            &[("name", Value::from("Jo")), ("age", Value::Int(30))],
+        );
+        let anon = b.add_node(&[], &[("name", Value::from("Alice")), ("age", Value::Int(20))]);
+        let org = b.add_node(&["Org"], &[("url", Value::from("x.com"))]);
+        b.add_edge(p1, org, &["WORKS_AT"], &[("from", Value::Int(2000))]);
+        b.add_edge(p2, org, &["WORKS_AT"], &[]);
+        b.add_edge(anon, p1, &["KNOWS"], &[]);
+        b.finish()
+    }
+
+    fn all_nodes(g: &PropertyGraph) -> Vec<NodeId> {
+        g.nodes().map(|(id, _)| id).collect()
+    }
+    fn all_edges(g: &PropertyGraph) -> Vec<EdgeId> {
+        g.edges().map(|(id, _)| id).collect()
+    }
+
+    #[test]
+    fn node_vector_layout() {
+        let g = sample_graph();
+        let emb = HashEmbedder::new(8, 1);
+        let r = node_representations(&g, &all_nodes(&g), &emb, 2.0);
+        // d + K where K = all interned keys (name, age, url, from).
+        assert_eq!(r.dense[0].len(), 8 + 4);
+        // Same labels + same keys ⇒ identical embedding halves.
+        assert_eq!(r.dense[0][..8], r.dense[1][..8]);
+        // Binary part marks name+age for persons.
+        let ones: usize = r.dense[0][8..].iter().map(|&x| x as usize).sum();
+        assert_eq!(ones, 2);
+        assert_eq!(r.distinct_labels, 2); // Person, Org
+    }
+
+    #[test]
+    fn unlabeled_node_gets_zero_embedding() {
+        let g = sample_graph();
+        let emb = HashEmbedder::new(8, 1);
+        let r = node_representations(&g, &all_nodes(&g), &emb, 2.0);
+        assert!(r.dense[2][..8].iter().all(|&x| x == 0.0));
+        // ... but same binary part as the labeled persons.
+        assert_eq!(r.dense[2][8..], r.dense[0][8..]);
+    }
+
+    #[test]
+    fn label_weight_scales_embeddings() {
+        let g = sample_graph();
+        let emb = HashEmbedder::new(8, 1);
+        let r1 = node_representations(&g, &all_nodes(&g), &emb, 1.0);
+        let r4 = node_representations(&g, &all_nodes(&g), &emb, 4.0);
+        for (a, b) in r1.dense[0][..8].iter().zip(&r4.dense[0][..8]) {
+            assert!((4.0 * a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn edge_vector_layout() {
+        let g = sample_graph();
+        let emb = HashEmbedder::new(8, 1);
+        let r = edge_representations(&g, &all_edges(&g), &emb, 2.0);
+        assert_eq!(r.dense[0].len(), 3 * 8 + 4);
+        // Both WORKS_AT edges share all three embedding slots.
+        assert_eq!(r.dense[0][..24], r.dense[1][..24]);
+        // But differ in the binary part ('from' on the first only).
+        assert_ne!(r.dense[0][24..], r.dense[1][24..]);
+        assert_eq!(r.distinct_labels, 2); // WORKS_AT, KNOWS
+    }
+
+    #[test]
+    fn unlabeled_source_zeroes_second_slot() {
+        let g = sample_graph();
+        let emb = HashEmbedder::new(8, 1);
+        let r = edge_representations(&g, &all_edges(&g), &emb, 2.0);
+        // Edge 2 is KNOWS from the unlabeled node.
+        assert!(r.dense[2][8..16].iter().all(|&x| x == 0.0));
+        // Its own label slot is non-zero.
+        assert!(r.dense[2][..8].iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn node_sets_contain_label_copies_and_keys() {
+        let g = sample_graph();
+        let emb = HashEmbedder::new(4, 1);
+        let r = node_representations(&g, &all_nodes(&g), &emb, 1.0);
+        assert_eq!(r.sets[0].len(), NODE_LABEL_COPIES + 2);
+        // Unlabeled: only keys.
+        assert_eq!(r.sets[2].len(), 2);
+        // Identical structure+labels ⇒ identical sets.
+        assert_eq!(r.sets[0], r.sets[1]);
+    }
+
+    #[test]
+    fn sentences_from_edges() {
+        let g = sample_graph();
+        let batches = split_batches(&g, 1, 0);
+        let s = label_sentences(&g, &batches[0]);
+        assert_eq!(s.len(), 3);
+        assert!(s
+            .iter()
+            .any(|sent| sent.contains(&"WORKS_AT".to_string())
+                && sent.contains(&"Person".to_string())
+                && sent.contains(&"Org".to_string())));
+        // KNOWS edge from unlabeled Alice: only 2 tokens but still kept.
+        assert!(s.iter().any(|sent| sent.len() == 2));
+    }
+
+    #[test]
+    fn multilabel_node_sentence() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(&["Person", "Student"], &[]);
+        let c = b.add_node(&["School"], &[]);
+        b.add_edge(a, c, &["ATTENDS"], &[]);
+        let g = b.finish();
+        let batches = split_batches(&g, 1, 0);
+        let s = label_sentences(&g, &batches[0]);
+        assert!(s
+            .iter()
+            .any(|sent| sent.contains(&"Person|Student".to_string())
+                && sent.contains(&"Person".to_string())));
+    }
+
+    #[test]
+    fn empty_batch_empty_reprs() {
+        let g = sample_graph();
+        let emb = HashEmbedder::new(4, 1);
+        let r = node_representations(&g, &[], &emb, 1.0);
+        assert!(r.dense.is_empty());
+        assert_eq!(r.distinct_labels, 0);
+    }
+}

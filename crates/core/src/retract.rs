@@ -1,0 +1,307 @@
+//! Deletion handling — the paper's explicit future work ("Handling updates
+//! and deletions is left for future work", §4.6) — implemented here as an
+//! extension.
+//!
+//! Because every type carries aggregate statistics (instance counts,
+//! per-property occurrence counts, member lists), removing a batch of
+//! elements is a local update: decrement the counts, drop the members,
+//! delete types that become empty, and re-derive the statistics that are
+//! not decrementable (datatype kinds are lattice joins, so they are
+//! recomputed by rescanning only the *affected* types' remaining members;
+//! likewise cardinalities and edge endpoints).
+//!
+//! Retraction deliberately breaks the monotone chain of §4.6 — that is its
+//! purpose — but it preserves all the §4.7 soundness guarantees for the
+//! remaining data, which the tests verify.
+
+use crate::postprocess::infer_kind_of_values;
+use crate::schema::{Cardinality, SchemaGraph};
+use pg_hive_graph::{EdgeId, GraphBatch, NodeId, PropertyGraph};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Outcome counters of a retraction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetractionStats {
+    pub nodes_removed: usize,
+    pub edges_removed: usize,
+    pub node_types_dropped: usize,
+    pub edge_types_dropped: usize,
+}
+
+/// Remove the elements of `batch` from `schema`. The elements must still be
+/// readable from `g` (retraction happens *before* the store forgets them —
+/// the usual change-data-capture ordering).
+///
+/// Elements that are not members of any type (e.g. never discovered) are
+/// ignored.
+pub fn retract_batch(
+    schema: &mut SchemaGraph,
+    g: &PropertyGraph,
+    batch: &GraphBatch,
+) -> RetractionStats {
+    let mut stats = RetractionStats::default();
+
+    // --- nodes ---
+    let node_set: HashSet<u32> = batch.nodes.iter().map(|n| n.0).collect();
+    for t in schema.node_types.iter_mut() {
+        let before = t.members.len();
+        t.members.retain(|m| !node_set.contains(m));
+        let removed = before - t.members.len();
+        if removed == 0 {
+            continue;
+        }
+        stats.nodes_removed += removed;
+        t.instance_count -= removed as u64;
+        // Occurrence counts and kinds are re-derived from the remaining
+        // members — work bounded by the affected types' sizes.
+        recompute_node_props(t, g);
+        t.props.retain(|_, spec| spec.occurrences > 0);
+    }
+    let before_types = schema.node_types.len();
+    schema.node_types.retain(|t| t.instance_count > 0);
+    stats.node_types_dropped = before_types - schema.node_types.len();
+
+    // --- edges ---
+    let edge_set: HashSet<u32> = batch.edges.iter().map(|e| e.0).collect();
+    for t in schema.edge_types.iter_mut() {
+        let before = t.members.len();
+        t.members.retain(|m| !edge_set.contains(m));
+        let removed = before - t.members.len();
+        if removed == 0 {
+            continue;
+        }
+        stats.edges_removed += removed;
+        t.instance_count -= removed as u64;
+        recompute_edge_aggregates(t, g);
+    }
+    let before_types = schema.edge_types.len();
+    schema.edge_types.retain(|t| t.instance_count > 0);
+    stats.edge_types_dropped = before_types - schema.edge_types.len();
+
+    stats
+}
+
+/// Recompute a node type's property occurrences and kinds from its current
+/// members (post-retraction ground truth).
+fn recompute_node_props(t: &mut crate::schema::NodeType, g: &PropertyGraph) {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    let mut values: HashMap<String, Vec<String>> = HashMap::new();
+    for &m in &t.members {
+        let node = g.node(NodeId(m));
+        for (k, v) in &node.props {
+            let key = g.key_str(*k).to_string();
+            *counts.entry(key.clone()).or_insert(0) += 1;
+            values.entry(key).or_default().push(v.lexical());
+        }
+    }
+    for (key, spec) in t.props.iter_mut() {
+        spec.occurrences = counts.get(key).copied().unwrap_or(0);
+        spec.kind = values
+            .get(key)
+            .and_then(|vs| infer_kind_of_values(vs.iter().map(String::as_str)));
+    }
+}
+
+/// Recompute an edge type's property occurrences, kinds, endpoints and
+/// cardinality from its current members.
+fn recompute_edge_aggregates(t: &mut crate::schema::EdgeType, g: &PropertyGraph) {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    let mut values: HashMap<String, Vec<String>> = HashMap::new();
+    let mut endpoints: BTreeSet<(crate::schema::LabelSet, crate::schema::LabelSet)> =
+        BTreeSet::new();
+    let mut out: HashMap<u32, HashSet<u32>> = HashMap::new();
+    let mut inc: HashMap<u32, HashSet<u32>> = HashMap::new();
+    for &m in &t.members {
+        let e = g.edge(EdgeId(m));
+        for (k, v) in &e.props {
+            let key = g.key_str(*k).to_string();
+            *counts.entry(key.clone()).or_insert(0) += 1;
+            values.entry(key).or_default().push(v.lexical());
+        }
+        let (src, tgt) = g.edge_endpoint_labels(e);
+        endpoints.insert((
+            src.iter().map(|&l| g.label_str(l).to_string()).collect(),
+            tgt.iter().map(|&l| g.label_str(l).to_string()).collect(),
+        ));
+        out.entry(e.src.0).or_default().insert(e.tgt.0);
+        inc.entry(e.tgt.0).or_default().insert(e.src.0);
+    }
+    for (key, spec) in t.props.iter_mut() {
+        spec.occurrences = counts.get(key).copied().unwrap_or(0);
+        spec.kind = values
+            .get(key)
+            .and_then(|vs| infer_kind_of_values(vs.iter().map(String::as_str)));
+    }
+    t.props.retain(|_, spec| spec.occurrences > 0);
+    t.endpoints = endpoints;
+    t.cardinality = if t.members.is_empty() {
+        None
+    } else {
+        Some(Cardinality {
+            max_out: out.values().map(HashSet::len).max().unwrap_or(0) as u64,
+            max_in: inc.values().map(HashSet::len).max().unwrap_or(0) as u64,
+        })
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Discoverer;
+    use crate::PipelineConfig;
+    use pg_hive_graph::{GraphBuilder, Value};
+
+    fn graph_and_schema() -> (PropertyGraph, SchemaGraph) {
+        let mut b = GraphBuilder::new();
+        let mut people = Vec::new();
+        for i in 0..10 {
+            // First half has 'email', so after retracting them it vanishes.
+            let mut props = vec![("name", Value::from("p")), ("age", Value::Int(i))];
+            if i < 5 {
+                props.push(("email", Value::from("e")));
+            }
+            people.push(b.add_node(&["Person"], &props));
+        }
+        let org = b.add_node(&["Org"], &[("url", Value::from("u"))]);
+        for p in &people {
+            b.add_edge(*p, org, &["WORKS_AT"], &[]);
+        }
+        let g = b.finish();
+        let schema = Discoverer::new(PipelineConfig::elsh_adaptive())
+            .discover(&g)
+            .schema;
+        (g, schema)
+    }
+
+    #[test]
+    fn retract_decrements_counts() {
+        let (g, mut schema) = graph_and_schema();
+        let batch = GraphBatch {
+            nodes: vec![NodeId(0), NodeId(1)],
+            edges: vec![EdgeId(0), EdgeId(1)],
+        };
+        let stats = retract_batch(&mut schema, &g, &batch);
+        assert_eq!(stats.nodes_removed, 2);
+        assert_eq!(stats.edges_removed, 2);
+        let person = schema
+            .node_type_by_labels(&crate::label_set(&["Person"]))
+            .unwrap();
+        assert_eq!(schema.node_types[person].instance_count, 8);
+        let works = schema
+            .edge_type_by_labels(&crate::label_set(&["WORKS_AT"]))
+            .unwrap();
+        assert_eq!(schema.edge_types[works].instance_count, 8);
+    }
+
+    #[test]
+    fn retracting_all_instances_drops_the_type() {
+        let (g, mut schema) = graph_and_schema();
+        let org_node = NodeId(10);
+        let batch = GraphBatch {
+            nodes: vec![org_node],
+            edges: (0..10).map(EdgeId).collect(),
+        };
+        let stats = retract_batch(&mut schema, &g, &batch);
+        assert_eq!(stats.node_types_dropped, 1, "Org vanished");
+        assert_eq!(stats.edge_types_dropped, 1, "WORKS_AT vanished");
+        assert!(schema
+            .node_type_by_labels(&crate::label_set(&["Org"]))
+            .is_none());
+    }
+
+    #[test]
+    fn property_disappears_when_its_holders_leave() {
+        let (g, mut schema) = graph_and_schema();
+        // Nodes 0..5 are the only 'email' holders.
+        let batch = GraphBatch {
+            nodes: (0..5).map(NodeId).collect(),
+            edges: vec![],
+        };
+        retract_batch(&mut schema, &g, &batch);
+        let person = schema
+            .node_type_by_labels(&crate::label_set(&["Person"]))
+            .unwrap();
+        assert!(
+            !schema.node_types[person].props.contains_key("email"),
+            "email should be gone"
+        );
+        // And the remaining props' mandatory status is still sound.
+        let t = &schema.node_types[person];
+        assert!(t.props["name"].is_mandatory(t.instance_count));
+    }
+
+    #[test]
+    fn optional_can_become_mandatory_after_retraction() {
+        let (g, mut schema) = graph_and_schema();
+        // Before: email optional (5 of 10). Retract the 5 non-holders →
+        // email present on all remaining 5 → mandatory.
+        let batch = GraphBatch {
+            nodes: (5..10).map(NodeId).collect(),
+            edges: vec![],
+        };
+        retract_batch(&mut schema, &g, &batch);
+        let person = schema
+            .node_type_by_labels(&crate::label_set(&["Person"]))
+            .unwrap();
+        let t = &schema.node_types[person];
+        assert!(t.props["email"].is_mandatory(t.instance_count));
+    }
+
+    #[test]
+    fn cardinality_shrinks_after_retraction() {
+        let (g, mut schema) = graph_and_schema();
+        let works = schema
+            .edge_type_by_labels(&crate::label_set(&["WORKS_AT"]))
+            .unwrap();
+        let before = schema.edge_types[works].cardinality.unwrap();
+        assert_eq!(before.max_in, 10);
+        let batch = GraphBatch {
+            nodes: vec![],
+            edges: (0..7).map(EdgeId).collect(),
+        };
+        retract_batch(&mut schema, &g, &batch);
+        let after = schema.edge_types[works].cardinality.unwrap();
+        assert_eq!(after.max_in, 3);
+    }
+
+    #[test]
+    fn retracting_unknown_elements_is_a_noop() {
+        let (g, mut schema) = graph_and_schema();
+        let snapshot = schema.clone();
+        let stats = retract_batch(
+            &mut schema,
+            &g,
+            &GraphBatch {
+                nodes: vec![],
+                edges: vec![],
+            },
+        );
+        assert_eq!(stats, RetractionStats::default());
+        assert_eq!(schema, snapshot);
+    }
+
+    #[test]
+    fn retract_then_readd_restores_counts() {
+        let (g, mut schema) = graph_and_schema();
+        let original = schema.clone();
+        let batch = GraphBatch {
+            nodes: vec![NodeId(0)],
+            edges: vec![EdgeId(0)],
+        };
+        retract_batch(&mut schema, &g, &batch);
+        // Re-discover just that element and merge it back in.
+        let rediscovered = Discoverer::new(PipelineConfig::elsh_adaptive())
+            .discover_batches(&g, std::slice::from_ref(&batch));
+        crate::merge::merge_schemas(&mut schema, rediscovered.schema, 0.9);
+        let person_a = original
+            .node_type_by_labels(&crate::label_set(&["Person"]))
+            .unwrap();
+        let person_b = schema
+            .node_type_by_labels(&crate::label_set(&["Person"]))
+            .unwrap();
+        assert_eq!(
+            original.node_types[person_a].instance_count,
+            schema.node_types[person_b].instance_count
+        );
+    }
+}

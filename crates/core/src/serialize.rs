@@ -1,0 +1,318 @@
+//! Stage (h): schema serialization (§4.5) — PG-Schema (LOOSE and STRICT
+//! graph type declarations) and XSD.
+//!
+//! PG-Schema has no finalized concrete syntax (the paper notes this too);
+//! the output follows the `CREATE GRAPH TYPE ... { ... }` style of the
+//! PG-Schema paper: LOOSE omits datatypes/constraints and marks the graph
+//! type `LOOSE`; STRICT carries `propertyKey TYPE` plus `OPTIONAL` markers
+//! and cardinality comments.
+
+use crate::schema::{EdgeType, NodeType, SchemaGraph};
+use pg_hive_graph::ValueKind;
+use std::fmt::Write;
+
+/// Render the LOOSE PG-Schema declaration: types and property keys only.
+pub fn pg_schema_loose(schema: &SchemaGraph, graph_name: &str) -> String {
+    render_pg_schema(schema, graph_name, false)
+}
+
+/// Render the STRICT PG-Schema declaration with datatypes, OPTIONAL markers
+/// and cardinality annotations.
+pub fn pg_schema_strict(schema: &SchemaGraph, graph_name: &str) -> String {
+    render_pg_schema(schema, graph_name, true)
+}
+
+fn render_pg_schema(schema: &SchemaGraph, graph_name: &str, strict: bool) -> String {
+    let mut out = String::new();
+    let mode = if strict { "STRICT" } else { "LOOSE" };
+    let _ = writeln!(out, "CREATE GRAPH TYPE {graph_name}Schema {mode} {{");
+
+    let mut abstract_counter = 0usize;
+    for t in &schema.node_types {
+        let name = node_type_name(t, &mut abstract_counter);
+        let labels = label_spec(&t.labels);
+        let _ = write!(out, "  ({name}: {labels}");
+        if !t.props.is_empty() {
+            let _ = write!(out, " {{");
+            let mut first = true;
+            for (k, spec) in &t.props {
+                if !first {
+                    let _ = write!(out, ", ");
+                }
+                first = false;
+                if strict {
+                    let opt = if spec.is_mandatory(t.instance_count) {
+                        ""
+                    } else {
+                        "OPTIONAL "
+                    };
+                    let kind = spec.kind.unwrap_or(ValueKind::String).gql_name();
+                    let _ = write!(out, "{opt}{k} {kind}");
+                } else {
+                    let _ = write!(out, "{k}");
+                }
+            }
+            let _ = write!(out, "}}");
+        }
+        let _ = writeln!(out, "),");
+    }
+
+    for t in &schema.edge_types {
+        for (src, tgt) in &t.endpoints {
+            let _ = write!(
+                out,
+                "  (:{}) -[{}: {}",
+                label_spec_or_any(src),
+                edge_type_name(t),
+                label_spec(&t.labels)
+            );
+            if !t.props.is_empty() {
+                let _ = write!(out, " {{");
+                let mut first = true;
+                for (k, spec) in &t.props {
+                    if !first {
+                        let _ = write!(out, ", ");
+                    }
+                    first = false;
+                    if strict {
+                        let opt = if spec.is_mandatory(t.instance_count) {
+                            ""
+                        } else {
+                            "OPTIONAL "
+                        };
+                        let kind = spec.kind.unwrap_or(ValueKind::String).gql_name();
+                        let _ = write!(out, "{opt}{k} {kind}");
+                    } else {
+                        let _ = write!(out, "{k}");
+                    }
+                }
+                let _ = write!(out, "}}");
+            }
+            let _ = write!(out, "]-> (:{})", label_spec_or_any(tgt));
+            if strict {
+                if let Some(card) = t.cardinality {
+                    let _ = write!(out, " /* cardinality {} */", card.class().notation());
+                }
+            }
+            let _ = writeln!(out, ",");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render the schema as an XML Schema Definition (XSD) document: one
+/// `xs:complexType` per node/edge type, properties as elements with
+/// `minOccurs=0` when optional.
+pub fn to_xsd(schema: &SchemaGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, r#"<?xml version="1.0" encoding="UTF-8"?>"#);
+    let _ = writeln!(
+        out,
+        r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">"#
+    );
+    let mut abstract_counter = 0usize;
+    for t in &schema.node_types {
+        let name = node_type_name(t, &mut abstract_counter);
+        let _ = writeln!(out, r#"  <xs:complexType name="{name}">"#);
+        let _ = writeln!(out, "    <xs:sequence>");
+        for (k, spec) in &t.props {
+            let min = if spec.is_mandatory(t.instance_count) {
+                1
+            } else {
+                0
+            };
+            let kind = spec.kind.unwrap_or(ValueKind::String).xsd_name();
+            let _ = writeln!(
+                out,
+                r#"      <xs:element name="{k}" type="{kind}" minOccurs="{min}"/>"#
+            );
+        }
+        let _ = writeln!(out, "    </xs:sequence>");
+        let _ = writeln!(out, "  </xs:complexType>");
+    }
+    for t in &schema.edge_types {
+        let name = edge_type_name(t);
+        let _ = writeln!(out, r#"  <xs:complexType name="Edge{name}">"#);
+        let _ = writeln!(out, "    <xs:sequence>");
+        for (k, spec) in &t.props {
+            let min = if spec.is_mandatory(t.instance_count) {
+                1
+            } else {
+                0
+            };
+            let kind = spec.kind.unwrap_or(ValueKind::String).xsd_name();
+            let _ = writeln!(
+                out,
+                r#"      <xs:element name="{k}" type="{kind}" minOccurs="{min}"/>"#
+            );
+        }
+        let _ = writeln!(out, "    </xs:sequence>");
+        for (src, tgt) in &t.endpoints {
+            let _ = writeln!(
+                out,
+                r#"    <!-- connects {} to {} -->"#,
+                label_spec_or_any(src),
+                label_spec_or_any(tgt)
+            );
+        }
+        let _ = writeln!(out, "  </xs:complexType>");
+    }
+    let _ = writeln!(out, "</xs:schema>");
+    out
+}
+
+fn node_type_name(t: &NodeType, abstract_counter: &mut usize) -> String {
+    if t.labels.is_empty() {
+        *abstract_counter += 1;
+        format!("AbstractType{abstract_counter}")
+    } else {
+        t.labels
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .join("_")
+    }
+}
+
+fn edge_type_name(t: &EdgeType) -> String {
+    if t.labels.is_empty() {
+        "AbstractEdge".to_string()
+    } else {
+        t.labels
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .join("_")
+    }
+}
+
+fn label_spec(labels: &std::collections::BTreeSet<String>) -> String {
+    if labels.is_empty() {
+        "ABSTRACT".to_string()
+    } else {
+        labels
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .join(" & ")
+    }
+}
+
+fn label_spec_or_any(labels: &std::collections::BTreeSet<String>) -> String {
+    if labels.is_empty() {
+        "ANY".to_string()
+    } else {
+        labels
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .join(" & ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{label_set, Cardinality, PropertySpec};
+    use std::collections::BTreeMap;
+
+    fn sample_schema() -> SchemaGraph {
+        let mut s = SchemaGraph::new();
+        let mut props = BTreeMap::new();
+        props.insert(
+            "name".to_string(),
+            PropertySpec {
+                occurrences: 3,
+                kind: Some(ValueKind::String),
+            },
+        );
+        props.insert(
+            "bday".to_string(),
+            PropertySpec {
+                occurrences: 2,
+                kind: Some(ValueKind::Date),
+            },
+        );
+        s.node_types.push(NodeType {
+            labels: label_set(&["Person"]),
+            props,
+            instance_count: 3,
+            members: vec![],
+        });
+        s.node_types.push(NodeType {
+            labels: Default::default(),
+            props: BTreeMap::new(),
+            instance_count: 1,
+            members: vec![],
+        });
+        let mut eprops = BTreeMap::new();
+        eprops.insert(
+            "since".to_string(),
+            PropertySpec {
+                occurrences: 1,
+                kind: Some(ValueKind::Date),
+            },
+        );
+        s.edge_types.push(EdgeType {
+            labels: label_set(&["KNOWS"]),
+            props: eprops,
+            endpoints: [(label_set(&["Person"]), label_set(&["Person"]))].into(),
+            instance_count: 2,
+            members: vec![],
+            cardinality: Some(Cardinality {
+                max_out: 3,
+                max_in: 4,
+            }),
+        });
+        s
+    }
+
+    #[test]
+    fn loose_omits_datatypes() {
+        let text = pg_schema_loose(&sample_schema(), "Social");
+        assert!(text.contains("CREATE GRAPH TYPE SocialSchema LOOSE {"));
+        assert!(text.contains("(Person: Person {bday, name})"));
+        assert!(!text.contains("STRING"));
+        assert!(!text.contains("OPTIONAL"));
+    }
+
+    #[test]
+    fn strict_has_types_constraints_and_cardinality() {
+        let text = pg_schema_strict(&sample_schema(), "Social");
+        assert!(text.contains("STRICT"));
+        assert!(text.contains("name STRING"), "{text}");
+        assert!(text.contains("OPTIONAL bday DATE"), "{text}");
+        assert!(text.contains("KNOWS"));
+        assert!(text.contains("/* cardinality M:N */"), "{text}");
+    }
+
+    #[test]
+    fn abstract_types_are_named() {
+        let text = pg_schema_strict(&sample_schema(), "G");
+        assert!(text.contains("AbstractType1"));
+    }
+
+    #[test]
+    fn xsd_marks_optionality() {
+        let xml = to_xsd(&sample_schema());
+        assert!(xml.contains(r#"<xs:element name="name" type="xs:string" minOccurs="1"/>"#));
+        assert!(xml.contains(r#"<xs:element name="bday" type="xs:date" minOccurs="0"/>"#));
+        assert!(xml.contains(r#"<xs:complexType name="EdgeKNOWS">"#));
+        assert!(xml.contains("connects Person to Person"));
+        assert!(xml.starts_with(r#"<?xml version="1.0""#));
+    }
+
+    #[test]
+    fn multilabel_name_joins_labels() {
+        let mut s = SchemaGraph::new();
+        s.node_types.push(NodeType {
+            labels: label_set(&["Person", "Student"]),
+            props: BTreeMap::new(),
+            instance_count: 1,
+            members: vec![],
+        });
+        let text = pg_schema_loose(&s, "G");
+        assert!(text.contains("Person_Student: Person & Student"));
+    }
+}

@@ -1,0 +1,476 @@
+//! Schema validation: check a property graph against a (discovered or
+//! hand-written) schema graph.
+//!
+//! The paper's motivation for schema discovery is downstream "integration,
+//! querying, and data quality assurance" (§1), and §4.5 distinguishes the
+//! two PG-Schema conformance levels:
+//!
+//! - **LOOSE** — "can be used for flexible data insertions, allowing nodes
+//!   and edges to deviate": elements whose label set matches no type are
+//!   fine, extra properties are fine; only *known* properties of matched
+//!   types are checked for datatype compatibility.
+//! - **STRICT** — "demands a rigorous structure": every element must match
+//!   a type, mandatory properties must be present, no unknown properties,
+//!   datatypes must be compatible, edge endpoints must be declared, and
+//!   observed cardinalities must not exceed the schema's bounds.
+
+use crate::postprocess::infer_value_kind;
+use crate::schema::{LabelSet, SchemaGraph};
+use pg_hive_graph::{EdgeId, NodeId, PropertyGraph, ValueKind};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Conformance level (§4.5 / PG-Schema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationMode {
+    Loose,
+    Strict,
+}
+
+/// One conformance violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A node's label set matches no node type (STRICT only).
+    UnknownNodeType { node: NodeId, labels: Vec<String> },
+    /// An edge's label set matches no edge type (STRICT only).
+    UnknownEdgeType { edge: EdgeId, labels: Vec<String> },
+    /// A mandatory property is absent (STRICT only).
+    MissingMandatory {
+        node: Option<NodeId>,
+        edge: Option<EdgeId>,
+        key: String,
+    },
+    /// A property key is not declared by the matched type (STRICT only).
+    UndeclaredProperty {
+        node: Option<NodeId>,
+        edge: Option<EdgeId>,
+        key: String,
+    },
+    /// A value's inferred kind is incompatible with the declared kind.
+    DatatypeMismatch {
+        node: Option<NodeId>,
+        edge: Option<EdgeId>,
+        key: String,
+        declared: ValueKind,
+        observed: ValueKind,
+    },
+    /// An edge connects endpoint label sets the type does not declare
+    /// (STRICT only).
+    UndeclaredEndpoints {
+        edge: EdgeId,
+        src_labels: Vec<String>,
+        tgt_labels: Vec<String>,
+    },
+    /// Observed degree exceeds the schema's cardinality bound (STRICT only).
+    CardinalityExceeded {
+        edge_type: usize,
+        observed_max_out: u64,
+        observed_max_in: u64,
+        bound_max_out: u64,
+        bound_max_in: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnknownNodeType { node, labels } => {
+                write!(f, "node #{}: no type for labels {:?}", node.0, labels)
+            }
+            Violation::UnknownEdgeType { edge, labels } => {
+                write!(f, "edge #{}: no type for labels {:?}", edge.0, labels)
+            }
+            Violation::MissingMandatory { node, edge, key } => match (node, edge) {
+                (Some(n), _) => write!(f, "node #{}: missing mandatory '{key}'", n.0),
+                (_, Some(e)) => write!(f, "edge #{}: missing mandatory '{key}'", e.0),
+                _ => write!(f, "missing mandatory '{key}'"),
+            },
+            Violation::UndeclaredProperty { node, edge, key } => match (node, edge) {
+                (Some(n), _) => write!(f, "node #{}: undeclared property '{key}'", n.0),
+                (_, Some(e)) => write!(f, "edge #{}: undeclared property '{key}'", e.0),
+                _ => write!(f, "undeclared property '{key}'"),
+            },
+            Violation::DatatypeMismatch {
+                key,
+                declared,
+                observed,
+                ..
+            } => write!(
+                f,
+                "property '{key}': declared {declared:?}, observed {observed:?}"
+            ),
+            Violation::UndeclaredEndpoints {
+                edge,
+                src_labels,
+                tgt_labels,
+            } => write!(
+                f,
+                "edge #{}: endpoints {:?} -> {:?} not declared",
+                edge.0, src_labels, tgt_labels
+            ),
+            Violation::CardinalityExceeded {
+                edge_type,
+                observed_max_out,
+                observed_max_in,
+                bound_max_out,
+                bound_max_in,
+            } => write!(
+                f,
+                "edge type #{edge_type}: observed degrees ({observed_max_out},{observed_max_in}) \
+                 exceed bounds ({bound_max_out},{bound_max_in})"
+            ),
+        }
+    }
+}
+
+/// Validation outcome.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    pub violations: Vec<Violation>,
+    pub nodes_checked: usize,
+    pub edges_checked: usize,
+}
+
+impl ValidationReport {
+    /// True when the graph conforms to the schema under the chosen mode.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Validate `g` against `schema` under `mode`.
+pub fn validate(g: &PropertyGraph, schema: &SchemaGraph, mode: ValidationMode) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    let strict = mode == ValidationMode::Strict;
+
+    // Index types by label set.
+    let node_idx: HashMap<LabelSet, usize> = schema
+        .node_types
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.labels.clone(), i))
+        .collect();
+    let edge_idx: HashMap<LabelSet, usize> = schema
+        .edge_types
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.labels.clone(), i))
+        .collect();
+
+    for (id, n) in g.nodes() {
+        report.nodes_checked += 1;
+        let labels: LabelSet = n.labels.iter().map(|&l| g.label_str(l).to_string()).collect();
+        let Some(&t) = node_idx.get(&labels) else {
+            if strict {
+                report.violations.push(Violation::UnknownNodeType {
+                    node: id,
+                    labels: labels.into_iter().collect(),
+                });
+            }
+            continue;
+        };
+        let ty = &schema.node_types[t];
+        let keys: HashSet<&str> = n.keys().map(|k| g.key_str(k)).collect();
+        if strict {
+            for (key, spec) in &ty.props {
+                if spec.is_mandatory(ty.instance_count) && !keys.contains(key.as_str()) {
+                    report.violations.push(Violation::MissingMandatory {
+                        node: Some(id),
+                        edge: None,
+                        key: key.clone(),
+                    });
+                }
+            }
+        }
+        for (ksym, value) in &n.props {
+            let key = g.key_str(*ksym);
+            match ty.props.get(key) {
+                None => {
+                    if strict {
+                        report.violations.push(Violation::UndeclaredProperty {
+                            node: Some(id),
+                            edge: None,
+                            key: key.to_string(),
+                        });
+                    }
+                }
+                Some(spec) => {
+                    if let Some(declared) = spec.kind {
+                        let observed = infer_value_kind(&value.lexical());
+                        if declared.join(observed) != declared {
+                            report.violations.push(Violation::DatatypeMismatch {
+                                node: Some(id),
+                                edge: None,
+                                key: key.to_string(),
+                                declared,
+                                observed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut degree_out: HashMap<(usize, u32), HashSet<u32>> = HashMap::new();
+    let mut degree_in: HashMap<(usize, u32), HashSet<u32>> = HashMap::new();
+
+    for (id, e) in g.edges() {
+        report.edges_checked += 1;
+        let labels: LabelSet = e.labels.iter().map(|&l| g.label_str(l).to_string()).collect();
+        let Some(&t) = edge_idx.get(&labels) else {
+            if strict {
+                report.violations.push(Violation::UnknownEdgeType {
+                    edge: id,
+                    labels: labels.into_iter().collect(),
+                });
+            }
+            continue;
+        };
+        let ty = &schema.edge_types[t];
+        let keys: HashSet<&str> = e.keys().map(|k| g.key_str(k)).collect();
+        if strict {
+            for (key, spec) in &ty.props {
+                if spec.is_mandatory(ty.instance_count) && !keys.contains(key.as_str()) {
+                    report.violations.push(Violation::MissingMandatory {
+                        node: None,
+                        edge: Some(id),
+                        key: key.clone(),
+                    });
+                }
+            }
+        }
+        for (ksym, value) in &e.props {
+            let key = g.key_str(*ksym);
+            match ty.props.get(key) {
+                None => {
+                    if strict {
+                        report.violations.push(Violation::UndeclaredProperty {
+                            node: None,
+                            edge: Some(id),
+                            key: key.to_string(),
+                        });
+                    }
+                }
+                Some(spec) => {
+                    if let Some(declared) = spec.kind {
+                        let observed = infer_value_kind(&value.lexical());
+                        if declared.join(observed) != declared {
+                            report.violations.push(Violation::DatatypeMismatch {
+                                node: None,
+                                edge: Some(id),
+                                key: key.to_string(),
+                                declared,
+                                observed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if strict {
+            let (src, tgt) = g.edge_endpoint_labels(e);
+            let src_set: LabelSet = src.iter().map(|&l| g.label_str(l).to_string()).collect();
+            let tgt_set: LabelSet = tgt.iter().map(|&l| g.label_str(l).to_string()).collect();
+            if !ty.endpoints.contains(&(src_set.clone(), tgt_set.clone())) {
+                report.violations.push(Violation::UndeclaredEndpoints {
+                    edge: id,
+                    src_labels: src_set.into_iter().collect(),
+                    tgt_labels: tgt_set.into_iter().collect(),
+                });
+            }
+            degree_out.entry((t, e.src.0)).or_default().insert(e.tgt.0);
+            degree_in.entry((t, e.tgt.0)).or_default().insert(e.src.0);
+        }
+    }
+
+    if strict {
+        for (t, ty) in schema.edge_types.iter().enumerate() {
+            let Some(bound) = ty.cardinality else { continue };
+            let observed_max_out = degree_out
+                .iter()
+                .filter(|((tt, _), _)| *tt == t)
+                .map(|(_, s)| s.len() as u64)
+                .max()
+                .unwrap_or(0);
+            let observed_max_in = degree_in
+                .iter()
+                .filter(|((tt, _), _)| *tt == t)
+                .map(|(_, s)| s.len() as u64)
+                .max()
+                .unwrap_or(0);
+            if observed_max_out > bound.max_out || observed_max_in > bound.max_in {
+                report.violations.push(Violation::CardinalityExceeded {
+                    edge_type: t,
+                    observed_max_out,
+                    observed_max_in,
+                    bound_max_out: bound.max_out,
+                    bound_max_in: bound.max_in,
+                });
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Discoverer;
+    use crate::PipelineConfig;
+    use pg_hive_graph::{GraphBuilder, Value};
+
+    fn training_graph() -> PropertyGraph {
+        let mut b = GraphBuilder::new();
+        let mut people = Vec::new();
+        for i in 0..10 {
+            people.push(b.add_node(
+                &["Person"],
+                &[("name", Value::from("p")), ("age", Value::Int(i))],
+            ));
+        }
+        let org = b.add_node(&["Org"], &[("url", Value::from("u"))]);
+        for p in &people {
+            b.add_edge(*p, org, &["WORKS_AT"], &[("from", Value::Int(2000))]);
+        }
+        b.finish()
+    }
+
+    fn discovered_schema() -> SchemaGraph {
+        Discoverer::new(PipelineConfig::elsh_adaptive())
+            .discover(&training_graph())
+            .schema
+    }
+
+    #[test]
+    fn training_graph_validates_against_its_own_schema() {
+        let schema = discovered_schema();
+        let g = training_graph();
+        let strict = validate(&g, &schema, ValidationMode::Strict);
+        assert!(strict.is_valid(), "violations: {:?}", strict.violations);
+        assert_eq!(strict.nodes_checked, 11);
+        assert_eq!(strict.edges_checked, 10);
+        assert!(validate(&g, &schema, ValidationMode::Loose).is_valid());
+    }
+
+    #[test]
+    fn unknown_type_fails_strict_passes_loose() {
+        let schema = discovered_schema();
+        let mut b = GraphBuilder::new();
+        b.add_node(&["Alien"], &[]);
+        let g = b.finish();
+        let strict = validate(&g, &schema, ValidationMode::Strict);
+        assert!(matches!(
+            strict.violations[0],
+            Violation::UnknownNodeType { .. }
+        ));
+        assert!(validate(&g, &schema, ValidationMode::Loose).is_valid());
+    }
+
+    #[test]
+    fn missing_mandatory_property_fails_strict() {
+        let schema = discovered_schema();
+        let mut b = GraphBuilder::new();
+        b.add_node(&["Person"], &[("name", Value::from("x"))]); // no age
+        let g = b.finish();
+        let strict = validate(&g, &schema, ValidationMode::Strict);
+        assert!(strict
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingMandatory { key, .. } if key == "age")));
+        // LOOSE allows deviation.
+        assert!(validate(&g, &schema, ValidationMode::Loose).is_valid());
+    }
+
+    #[test]
+    fn undeclared_property_fails_strict() {
+        let schema = discovered_schema();
+        let mut b = GraphBuilder::new();
+        b.add_node(
+            &["Person"],
+            &[
+                ("name", Value::from("x")),
+                ("age", Value::Int(1)),
+                ("sneaky", Value::Int(1)),
+            ],
+        );
+        let g = b.finish();
+        let strict = validate(&g, &schema, ValidationMode::Strict);
+        assert!(strict
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::UndeclaredProperty { key, .. } if key == "sneaky")));
+    }
+
+    #[test]
+    fn datatype_mismatch_fails_in_both_modes() {
+        let schema = discovered_schema();
+        let mut b = GraphBuilder::new();
+        b.add_node(
+            &["Person"],
+            &[("name", Value::from("x")), ("age", Value::from("forty"))],
+        );
+        let g = b.finish();
+        for mode in [ValidationMode::Strict, ValidationMode::Loose] {
+            let r = validate(&g, &schema, mode);
+            assert!(
+                r.violations
+                    .iter()
+                    .any(|v| matches!(v, Violation::DatatypeMismatch { key, .. } if key == "age")),
+                "mode {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn undeclared_endpoints_fail_strict() {
+        let schema = discovered_schema();
+        let mut b = GraphBuilder::new();
+        let o1 = b.add_node(&["Org"], &[("url", Value::from("a"))]);
+        let o2 = b.add_node(&["Org"], &[("url", Value::from("b"))]);
+        // WORKS_AT between two Orgs was never declared (Person -> Org only).
+        b.add_edge(o1, o2, &["WORKS_AT"], &[("from", Value::Int(2000))]);
+        let g = b.finish();
+        let strict = validate(&g, &schema, ValidationMode::Strict);
+        assert!(strict
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::UndeclaredEndpoints { .. })));
+    }
+
+    #[test]
+    fn cardinality_bound_enforced_in_strict() {
+        // Training data: each Person works at exactly one Org (max_out 1).
+        let schema = discovered_schema();
+        let mut b = GraphBuilder::new();
+        let p = b.add_node(&["Person"], &[("name", Value::from("x")), ("age", Value::Int(1))]);
+        let o1 = b.add_node(&["Org"], &[("url", Value::from("a"))]);
+        let o2 = b.add_node(&["Org"], &[("url", Value::from("b"))]);
+        b.add_edge(p, o1, &["WORKS_AT"], &[("from", Value::Int(1))]);
+        b.add_edge(p, o2, &["WORKS_AT"], &[("from", Value::Int(2))]);
+        let g = b.finish();
+        let strict = validate(&g, &schema, ValidationMode::Strict);
+        assert!(strict
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::CardinalityExceeded { .. })));
+    }
+
+    #[test]
+    fn violation_display_is_readable() {
+        let v = Violation::MissingMandatory {
+            node: Some(NodeId(3)),
+            edge: None,
+            key: "age".into(),
+        };
+        assert_eq!(v.to_string(), "node #3: missing mandatory 'age'");
+    }
+
+    #[test]
+    fn empty_graph_is_always_valid() {
+        let schema = discovered_schema();
+        let g = PropertyGraph::new();
+        assert!(validate(&g, &schema, ValidationMode::Strict).is_valid());
+    }
+}

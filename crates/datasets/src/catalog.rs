@@ -1,0 +1,805 @@
+//! The eight evaluation datasets of the paper (Table 2), as synthetic
+//! specifications.
+//!
+//! Each generator mirrors the structural profile of its namesake: type and
+//! label counts, multi-label conventions, pattern variance (via optional
+//! properties), and edge-type/endpoint structure. Sizes are scaled down from
+//! the paper's millions to benchmark-friendly defaults (`default_size`),
+//! adjustable with the `scale` argument of [`DatasetId::generate`].
+
+use crate::spec::{Dataset, DatasetSpec, EdgeDef, NodeDef, PropDef};
+use crate::values::ValueGen;
+
+/// The eight datasets of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// Crime-investigation benchmark (Person–Object–Location–Event).
+    Pole,
+    /// Mushroom-body connectome (multi-label neurons).
+    Mb6,
+    /// Integrated biomedical knowledge graph (extra HetionetNode label).
+    Hetio,
+    /// Medulla connectome (multi-label neurons, more patterns).
+    Fib25,
+    /// Offshore-leaks graph (heterogeneous, hundreds of node patterns).
+    Icij,
+    /// LDBC social network benchmark (Message super-label).
+    Ldbc,
+    /// COVID-19 knowledge graph (many flat types).
+    Cord19,
+    /// Internet Yellow Pages (most heterogeneous: many multi-label types).
+    Iyp,
+}
+
+impl DatasetId {
+    /// All eight, in the paper's Table 2 order.
+    pub const ALL: [DatasetId; 8] = [
+        DatasetId::Pole,
+        DatasetId::Mb6,
+        DatasetId::Hetio,
+        DatasetId::Fib25,
+        DatasetId::Icij,
+        DatasetId::Ldbc,
+        DatasetId::Cord19,
+        DatasetId::Iyp,
+    ];
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::Pole => "POLE",
+            DatasetId::Mb6 => "MB6",
+            DatasetId::Hetio => "HET.IO",
+            DatasetId::Fib25 => "FIB25",
+            DatasetId::Icij => "ICIJ",
+            DatasetId::Ldbc => "LDBC",
+            DatasetId::Cord19 => "CORD19",
+            DatasetId::Iyp => "IYP",
+        }
+    }
+
+    /// Default generation size `(nodes, edges)` — the paper's relative
+    /// dataset sizes at roughly 1/500–1/5000 scale.
+    pub fn default_size(self) -> (usize, usize) {
+        match self {
+            DatasetId::Pole => (2_400, 4_200),
+            DatasetId::Mb6 => (4_800, 9_600),
+            DatasetId::Hetio => (1_900, 9_000),
+            DatasetId::Fib25 => (6_400, 13_000),
+            DatasetId::Icij => (8_000, 13_400),
+            DatasetId::Ldbc => (6_400, 25_000),
+            DatasetId::Cord19 => (11_000, 11_400),
+            DatasetId::Iyp => (17_800, 50_200),
+        }
+    }
+
+    /// Build the specification.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            DatasetId::Pole => pole(),
+            DatasetId::Mb6 => connectome("MB6", "mb6", 0.35),
+            DatasetId::Hetio => hetio(),
+            DatasetId::Fib25 => connectome("FIB25", "fib25", 0.55),
+            DatasetId::Icij => icij(),
+            DatasetId::Ldbc => ldbc(),
+            DatasetId::Cord19 => cord19(),
+            DatasetId::Iyp => iyp(),
+        }
+    }
+
+    /// Generate at `scale × default_size` with the given seed.
+    pub fn generate(self, scale: f64, seed: u64) -> Dataset {
+        let (n, e) = self.default_size();
+        let n = ((n as f64 * scale) as usize).max(self.spec().nodes.len());
+        let e = (e as f64 * scale) as usize;
+        self.spec().generate(n, e, seed)
+    }
+}
+
+/// Generate all eight datasets at the given scale.
+pub fn all_datasets(scale: f64, seed: u64) -> Vec<Dataset> {
+    DatasetId::ALL
+        .iter()
+        .map(|d| d.generate(scale, seed))
+        .collect()
+}
+
+/// Look up a dataset id by its paper name (case-insensitive).
+pub fn dataset_by_name(name: &str) -> Option<DatasetId> {
+    let upper = name.to_uppercase();
+    DatasetId::ALL
+        .iter()
+        .copied()
+        .find(|d| d.name().replace('.', "") == upper.replace('.', ""))
+}
+
+// ---------------------------------------------------------------------------
+// Spec helpers
+// ---------------------------------------------------------------------------
+
+fn node(name: &str, labels: &[&str], props: Vec<PropDef>, weight: f64) -> NodeDef {
+    NodeDef {
+        name: name.to_string(),
+        labels: labels.iter().map(|s| s.to_string()).collect(),
+        props,
+        weight,
+    }
+}
+
+fn edge(name: &str, label: &str, src: usize, tgt: usize, props: Vec<PropDef>, weight: f64) -> EdgeDef {
+    EdgeDef {
+        name: name.to_string(),
+        label: label.to_string(),
+        props,
+        src,
+        tgt,
+        weight,
+    }
+}
+
+fn req(key: &str, gen: ValueGen) -> PropDef {
+    PropDef::req(key, gen)
+}
+fn opt(key: &str, gen: ValueGen, presence: f64) -> PropDef {
+    PropDef::opt(key, gen, presence)
+}
+
+// ---------------------------------------------------------------------------
+// POLE — 11 node types / 17 edge types, fully labeled, flat structure.
+// ---------------------------------------------------------------------------
+
+fn pole() -> DatasetSpec {
+    let nodes = vec![
+        node("Person", &["Person"], vec![
+            req("name", ValueGen::Name(400)),
+            req("surname", ValueGen::Name(300)),
+            opt("nhs_no", ValueGen::Name(1000), 0.8),
+        ], 5.0),
+        node("Officer", &["Officer"], vec![
+            req("name", ValueGen::Name(100)),
+            req("rank", ValueGen::Name(8)),
+            req("badge_no", ValueGen::Int(1000, 9999)),
+        ], 1.0),
+        node("Crime", &["Crime"], vec![
+            req("date", ValueGen::Date),
+            req("type", ValueGen::Name(12)),
+            opt("last_outcome", ValueGen::Name(10), 0.7),
+            opt("note", ValueGen::Text, 0.2),
+        ], 4.0),
+        node("Location", &["Location"], vec![
+            req("address", ValueGen::Text),
+            req("latitude", ValueGen::Float(90.0)),
+            req("longitude", ValueGen::Float(180.0)),
+        ], 3.0),
+        node("Object", &["Object"], vec![
+            req("description", ValueGen::Text),
+            req("type", ValueGen::Name(15)),
+        ], 1.0),
+        node("Vehicle", &["Vehicle"], vec![
+            req("make", ValueGen::Name(30)),
+            req("model", ValueGen::Name(60)),
+            req("year", ValueGen::Int(1990, 2025)),
+            req("reg", ValueGen::Name(2000)),
+        ], 1.0),
+        node("Area", &["Area"], vec![req("areaCode", ValueGen::Name(50))], 0.3),
+        node("PostCode", &["PostCode"], vec![req("code", ValueGen::Name(600))], 1.5),
+        node("Phone", &["Phone"], vec![req("phoneNo", ValueGen::Name(3000))], 2.0),
+        node("Email", &["Email"], vec![req("email_address", ValueGen::Name(3000))], 1.5),
+        node("PhoneCall", &["PhoneCall"], vec![
+            req("call_date", ValueGen::Date),
+            req("call_time", ValueGen::Name(1440)),
+            req("call_duration", ValueGen::Int(1, 7200)),
+            req("call_type", ValueGen::Name(2)),
+        ], 3.0),
+    ];
+    let (person, officer, crime, location, object, vehicle, area, postcode, phone, email, call) =
+        (0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10);
+    let edges = vec![
+        edge("KNOWS", "KNOWS", person, person, vec![], 4.0),
+        edge("KNOWS_LW", "KNOWS_LW", person, person, vec![], 1.0),
+        edge("KNOWS_SN", "KNOWS_SN", person, person, vec![], 1.0),
+        edge("KNOWS_PHONE", "KNOWS_PHONE", person, person, vec![], 1.0),
+        edge("FAMILY_REL", "FAMILY_REL", person, person, vec![req("rel_type", ValueGen::Name(8))], 1.0),
+        edge("PARTY_TO", "PARTY_TO", person, crime, vec![], 3.0),
+        edge("INVESTIGATED_BY", "INVESTIGATED_BY", crime, officer, vec![], 3.0),
+        edge("OCCURRED_AT", "OCCURRED_AT", crime, location, vec![], 3.0),
+        edge("CURRENT_ADDRESS", "CURRENT_ADDRESS", person, location, vec![], 2.0),
+        edge("HAS_PHONE", "HAS_PHONE", person, phone, vec![], 1.5),
+        edge("HAS_EMAIL", "HAS_EMAIL", person, email, vec![], 1.0),
+        edge("CALLER", "CALLER", call, phone, vec![], 2.0),
+        edge("CALLED", "CALLED", call, phone, vec![], 2.0),
+        edge("INVOLVED_IN", "INVOLVED_IN", object, crime, vec![], 1.0),
+        edge("VEHICLE_IN", "INVOLVED_IN", vehicle, crime, vec![], 0.5),
+        edge("HAS_POSTCODE", "HAS_POSTCODE", location, postcode, vec![], 1.5),
+        edge("POSTCODE_IN_AREA", "POSTCODE_IN_AREA", postcode, area, vec![], 1.0),
+    ];
+    DatasetSpec {
+        name: "POLE".into(),
+        nodes,
+        edges,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MB6 / FIB25 — connectomes: 4 node types with multi-label neurons, 5 edge
+// types over 3 edge labels. `pattern_variance` tunes how many optional
+// neuron properties fluctuate (FIB25 has fewer patterns than MB6 per node,
+// the paper counts 52 vs 31 over very different node counts).
+// ---------------------------------------------------------------------------
+
+fn connectome(name: &str, ds_label: &str, pattern_variance: f64) -> DatasetSpec {
+    let p = pattern_variance;
+    let nodes = vec![
+        node("Neuron", &[ds_label, "Neuron", "Segment"], vec![
+            req("bodyId", ValueGen::Int(1, 10_000_000)),
+            opt("name", ValueGen::Name(500), 0.9),
+            opt("status", ValueGen::Name(4), 0.8),
+            opt("statusLabel", ValueGen::Name(6), p),
+            opt("instance", ValueGen::Name(300), p),
+            opt("type", ValueGen::Name(60), p),
+            opt("cropped", ValueGen::Bool, p * 0.6),
+            opt("somaLocation", ValueGen::Text, p * 0.5),
+            opt("somaRadius", ValueGen::Float(500.0), p * 0.5),
+            req("pre", ValueGen::Int(0, 5000)),
+            req("post", ValueGen::Int(0, 5000)),
+        ], 1.0),
+        node("Segment", &[ds_label, "Segment"], vec![
+            req("bodyId", ValueGen::Int(1, 10_000_000)),
+            opt("size", ValueGen::Int(1, 1_000_000), 0.9),
+        ], 4.0),
+        node("SynapseSet", &[ds_label, "SynapseSet"], vec![
+            req("datasetBodyIds", ValueGen::Name(5000)),
+        ], 2.0),
+        node("Synapse", &[ds_label, "Synapse"], vec![
+            req("location", ValueGen::Text),
+            req("confidence", ValueGen::Float(1.0)),
+            req("type", ValueGen::Name(2)),
+        ], 5.0),
+    ];
+    let (neuron, segment, synset, synapse) = (0, 1, 2, 3);
+    let edges = vec![
+        edge("ConnectsTo_NN", "ConnectsTo", neuron, neuron, vec![
+            req("weight", ValueGen::Int(1, 300)),
+        ], 3.0),
+        edge("ConnectsTo_SS", "ConnectsTo", segment, segment, vec![
+            req("weight", ValueGen::Int(1, 50)),
+        ], 2.0),
+        edge("Contains_NSS", "Contains", neuron, synset, vec![], 2.0),
+        edge("Contains_SSS", "Contains", synset, synapse, vec![], 3.0),
+        edge("SynapsesTo", "SynapsesTo", synapse, synapse, vec![], 3.0),
+    ];
+    DatasetSpec {
+        name: name.into(),
+        nodes,
+        edges,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HET.IO — 11 biomedical node types, each ALSO carrying the dataset-wide
+// `HetionetNode` label (the paper calls this multi-labeling scenario out
+// explicitly); 24 edge types.
+// ---------------------------------------------------------------------------
+
+fn hetio() -> DatasetSpec {
+    let kinds: [(&str, f64); 11] = [
+        ("Gene", 6.0),
+        ("Disease", 0.5),
+        ("Compound", 1.0),
+        ("Anatomy", 0.5),
+        ("BiologicalProcess", 4.0),
+        ("CellularComponent", 0.5),
+        ("MolecularFunction", 1.0),
+        ("Pathway", 0.7),
+        ("PharmacologicClass", 0.2),
+        ("SideEffect", 2.0),
+        ("Symptom", 0.2),
+    ];
+    let nodes: Vec<NodeDef> = kinds
+        .iter()
+        .map(|(k, w)| {
+            node(k, &[k, "HetionetNode"], vec![
+                req("identifier", ValueGen::Name(20_000)),
+                req("name", ValueGen::Name(10_000)),
+                opt("source", ValueGen::Name(12), 0.85),
+                opt("url", ValueGen::Text, 0.6),
+            ], *w)
+        })
+        .collect();
+    let (gene, disease, compound, anatomy, bp, cc, mf, pathway, pc, se, symptom) =
+        (0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10);
+    let edges = vec![
+        edge("BINDS_CbG", "BINDS_CbG", compound, gene, vec![opt("affinity", ValueGen::Float(10.0), 0.4)], 1.5),
+        edge("TREATS_CtD", "TREATS_CtD", compound, disease, vec![], 0.5),
+        edge("PALLIATES_CpD", "PALLIATES_CpD", compound, disease, vec![], 0.3),
+        edge("RESEMBLES_CrC", "RESEMBLES_CrC", compound, compound, vec![req("similarity", ValueGen::Float(1.0))], 0.5),
+        edge("CAUSES_CcSE", "CAUSES_CcSE", compound, se, vec![], 2.0),
+        edge("UPREGULATES_CuG", "UPREGULATES_CuG", compound, gene, vec![req("z_score", ValueGen::Float(10.0))], 1.0),
+        edge("DOWNREGULATES_CdG", "DOWNREGULATES_CdG", compound, gene, vec![req("z_score", ValueGen::Float(10.0))], 1.0),
+        edge("INCLUDES_PCiC", "INCLUDES_PCiC", pc, compound, vec![], 0.2),
+        edge("ASSOCIATES_DaG", "ASSOCIATES_DaG", disease, gene, vec![], 1.5),
+        edge("UPREGULATES_DuG", "UPREGULATES_DuG", disease, gene, vec![], 0.8),
+        edge("DOWNREGULATES_DdG", "DOWNREGULATES_DdG", disease, gene, vec![], 0.8),
+        edge("LOCALIZES_DlA", "LOCALIZES_DlA", disease, anatomy, vec![], 0.8),
+        edge("PRESENTS_DpS", "PRESENTS_DpS", disease, symptom, vec![], 0.6),
+        edge("RESEMBLES_DrD", "RESEMBLES_DrD", disease, disease, vec![], 0.1),
+        edge("EXPRESSES_AeG", "EXPRESSES_AeG", anatomy, gene, vec![], 5.0),
+        edge("UPREGULATES_AuG", "UPREGULATES_AuG", anatomy, gene, vec![], 2.0),
+        edge("DOWNREGULATES_AdG", "DOWNREGULATES_AdG", anatomy, gene, vec![], 2.0),
+        edge("INTERACTS_GiG", "INTERACTS_GiG", gene, gene, vec![], 2.0),
+        edge("COVARIES_GcG", "COVARIES_GcG", gene, gene, vec![req("correlation", ValueGen::Float(1.0))], 1.0),
+        edge("REGULATES_GrG", "REGULATES_GrG", gene, gene, vec![], 2.0),
+        edge("PARTICIPATES_GpBP", "PARTICIPATES_GpBP", gene, bp, vec![], 3.0),
+        edge("PARTICIPATES_GpCC", "PARTICIPATES_GpCC", gene, cc, vec![], 1.0),
+        edge("PARTICIPATES_GpMF", "PARTICIPATES_GpMF", gene, mf, vec![], 1.0),
+        edge("PARTICIPATES_GpPW", "PARTICIPATES_GpPW", gene, pathway, vec![], 1.0),
+    ];
+    DatasetSpec {
+        name: "HET.IO".into(),
+        nodes,
+        edges,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ICIJ — 5 node types / 14 edge types, integration-grade heterogeneity:
+// many low-presence optional properties ⇒ hundreds of node patterns.
+// ---------------------------------------------------------------------------
+
+fn icij() -> DatasetSpec {
+    let entity_props = vec![
+        req("name", ValueGen::Name(50_000)),
+        opt("jurisdiction", ValueGen::Name(40), 0.7),
+        opt("jurisdiction_description", ValueGen::Text, 0.5),
+        opt("incorporation_date", ValueGen::MixedDateStr(0.03), 0.6),
+        opt("inactivation_date", ValueGen::MixedDateStr(0.05), 0.3),
+        opt("struck_off_date", ValueGen::Date, 0.25),
+        opt("service_provider", ValueGen::Name(20), 0.5),
+        opt("country_codes", ValueGen::Name(200), 0.6),
+        opt("status", ValueGen::Name(15), 0.5),
+        opt("company_type", ValueGen::Name(25), 0.3),
+        opt("note", ValueGen::Text, 0.1),
+        req("sourceID", ValueGen::Name(6)),
+        opt("valid_until", ValueGen::Text, 0.4),
+    ];
+    let nodes = vec![
+        node("Entity", &["Entity"], entity_props, 4.0),
+        node("Officer", &["Officer"], vec![
+            req("name", ValueGen::Name(80_000)),
+            opt("country_codes", ValueGen::Name(200), 0.5),
+            req("sourceID", ValueGen::Name(6)),
+            opt("valid_until", ValueGen::Text, 0.4),
+        ], 4.0),
+        node("Intermediary", &["Intermediary"], vec![
+            req("name", ValueGen::Name(10_000)),
+            opt("country_codes", ValueGen::Name(200), 0.6),
+            opt("status", ValueGen::Name(10), 0.4),
+            req("sourceID", ValueGen::Name(6)),
+        ], 1.0),
+        node("Address", &["Address"], vec![
+            req("address", ValueGen::Text),
+            opt("country_codes", ValueGen::Name(200), 0.7),
+            req("sourceID", ValueGen::Name(6)),
+        ], 3.0),
+        node("Other", &["Other"], vec![
+            req("name", ValueGen::Name(5_000)),
+            opt("note", ValueGen::Text, 0.2),
+            req("sourceID", ValueGen::Name(6)),
+        ], 0.5),
+    ];
+    let (entity, officer, intermediary, address, other) = (0, 1, 2, 3, 4);
+    let edges = vec![
+        edge("officer_of", "officer_of", officer, entity, vec![
+            opt("link", ValueGen::Name(30), 0.8),
+            opt("start_date", ValueGen::MixedDateStr(0.04), 0.3),
+            opt("end_date", ValueGen::MixedDateStr(0.04), 0.2),
+        ], 5.0),
+        edge("intermediary_of", "intermediary_of", intermediary, entity, vec![], 2.0),
+        edge("registered_address_E", "registered_address", entity, address, vec![], 3.0),
+        edge("registered_address_O", "registered_address", officer, address, vec![], 2.0),
+        edge("connected_to", "connected_to", entity, entity, vec![], 0.5),
+        edge("similar", "similar", entity, entity, vec![], 0.3),
+        edge("same_name_as_E", "same_name_as", entity, entity, vec![], 0.4),
+        edge("same_name_as_O", "same_name_as", officer, officer, vec![], 0.4),
+        edge("same_id_as", "same_id_as", entity, entity, vec![], 0.2),
+        edge("probably_same_officer_as", "probably_same_officer_as", officer, officer, vec![], 0.4),
+        edge("same_company_as", "same_company_as", entity, entity, vec![], 0.3),
+        edge("same_intermediary_as", "same_intermediary_as", intermediary, intermediary, vec![], 0.2),
+        edge("underlying", "underlying", other, entity, vec![], 0.2),
+        edge("alias", "alias", officer, officer, vec![], 0.3),
+    ];
+    DatasetSpec {
+        name: "ICIJ".into(),
+        nodes,
+        edges,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LDBC — social network benchmark: 7 node types, Message super-label on
+// Post and Comment; 17 edge types over fewer labels.
+// ---------------------------------------------------------------------------
+
+fn ldbc() -> DatasetSpec {
+    let nodes = vec![
+        node("Person", &["Person"], vec![
+            req("firstName", ValueGen::Name(2000)),
+            req("lastName", ValueGen::Name(4000)),
+            req("gender", ValueGen::Name(2)),
+            req("birthday", ValueGen::Date),
+            req("creationDate", ValueGen::DateTime),
+            req("locationIP", ValueGen::Name(50_000)),
+            req("browserUsed", ValueGen::Name(5)),
+        ], 1.0),
+        node("Post", &["Message", "Post"], vec![
+            req("creationDate", ValueGen::DateTime),
+            opt("content", ValueGen::Text, 0.7),
+            opt("imageFile", ValueGen::Name(100_000), 0.3),
+            req("locationIP", ValueGen::Name(50_000)),
+            req("browserUsed", ValueGen::Name(5)),
+            req("length", ValueGen::Int(0, 2000)),
+        ], 6.0),
+        node("Comment", &["Comment", "Message"], vec![
+            req("creationDate", ValueGen::DateTime),
+            req("content", ValueGen::Text),
+            req("locationIP", ValueGen::Name(50_000)),
+            req("browserUsed", ValueGen::Name(5)),
+            req("length", ValueGen::Int(0, 2000)),
+        ], 8.0),
+        node("Forum", &["Forum"], vec![
+            req("title", ValueGen::Text),
+            req("creationDate", ValueGen::DateTime),
+        ], 1.0),
+        node("Organisation", &["Organisation"], vec![
+            req("name", ValueGen::Name(8000)),
+            req("type", ValueGen::Name(2)),
+            req("url", ValueGen::Text),
+        ], 0.5),
+        node("Place", &["Place"], vec![
+            req("name", ValueGen::Name(1500)),
+            req("type", ValueGen::Name(3)),
+            req("url", ValueGen::Text),
+        ], 0.3),
+        node("Tag", &["Tag"], vec![
+            req("name", ValueGen::Name(16_000)),
+            req("url", ValueGen::Text),
+        ], 1.0),
+    ];
+    let (person, post, comment, forum, org, place, tag) = (0, 1, 2, 3, 4, 5, 6);
+    let edges = vec![
+        edge("KNOWS", "KNOWS", person, person, vec![req("creationDate", ValueGen::DateTime)], 3.0),
+        edge("HAS_INTEREST", "HAS_INTEREST", person, tag, vec![], 1.5),
+        edge("LIKES_Post", "LIKES", person, post, vec![req("creationDate", ValueGen::DateTime)], 2.0),
+        edge("LIKES_Comment", "LIKES", person, comment, vec![req("creationDate", ValueGen::DateTime)], 2.0),
+        edge("HAS_CREATOR_Post", "HAS_CREATOR", post, person, vec![], 3.0),
+        edge("HAS_CREATOR_Comment", "HAS_CREATOR", comment, person, vec![], 3.0),
+        edge("REPLY_OF_Post", "REPLY_OF", comment, post, vec![], 2.0),
+        edge("REPLY_OF_Comment", "REPLY_OF", comment, comment, vec![], 2.0),
+        edge("CONTAINER_OF", "CONTAINER_OF", forum, post, vec![], 2.0),
+        edge("HAS_MEMBER", "HAS_MEMBER", forum, person, vec![req("joinDate", ValueGen::DateTime)], 2.5),
+        edge("HAS_MODERATOR", "HAS_MODERATOR", forum, person, vec![], 0.5),
+        edge("IS_LOCATED_IN_Person", "IS_LOCATED_IN", person, place, vec![], 1.0),
+        edge("IS_LOCATED_IN_Org", "IS_LOCATED_IN", org, place, vec![], 0.5),
+        edge("WORK_AT", "WORK_AT", person, org, vec![req("workFrom", ValueGen::Int(1990, 2025))], 0.8),
+        edge("STUDY_AT", "STUDY_AT", person, org, vec![req("classYear", ValueGen::Int(1990, 2025))], 0.8),
+        edge("HAS_TAG_Post", "HAS_TAG", post, tag, vec![], 2.0),
+        edge("HAS_TAG_Forum", "HAS_TAG", forum, tag, vec![], 1.0),
+    ];
+    DatasetSpec {
+        name: "LDBC".into(),
+        nodes,
+        edges,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CORD19 — 16 flat node types / 16 edge types (genotype + disease +
+// bibliography integration); dirty date columns for Fig. 8.
+// ---------------------------------------------------------------------------
+
+fn cord19() -> DatasetSpec {
+    let nodes = vec![
+        node("Paper", &["Paper"], vec![
+            req("cord_uid", ValueGen::Name(100_000)),
+            req("title", ValueGen::Text),
+            opt("publish_time", ValueGen::MixedDateStr(0.06), 0.9),
+            opt("doi", ValueGen::Name(100_000), 0.8),
+            opt("journal", ValueGen::Name(4000), 0.7),
+        ], 4.0),
+        node("Author", &["Author"], vec![
+            req("first", ValueGen::Name(8000)),
+            req("last", ValueGen::Name(20_000)),
+            opt("email", ValueGen::Name(40_000), 0.2),
+        ], 8.0),
+        node("Affiliation", &["Affiliation"], vec![
+            req("institution", ValueGen::Name(6000)),
+            opt("laboratory", ValueGen::Name(3000), 0.3),
+        ], 2.0),
+        node("Abstract", &["Abstract"], vec![req("text", ValueGen::Text)], 3.5),
+        node("BodyText", &["BodyText"], vec![
+            req("text", ValueGen::Text),
+            req("section", ValueGen::Name(30)),
+        ], 6.0),
+        node("Reference", &["Reference"], vec![
+            req("title", ValueGen::Text),
+            opt("year", ValueGen::MixedIntStr(0.04), 0.8),
+        ], 6.0),
+        node("Journal", &["Journal"], vec![req("name", ValueGen::Name(4000))], 0.4),
+        node("Gene", &["Gene"], vec![
+            req("sid", ValueGen::Name(30_000)),
+            req("taxid", ValueGen::Int(1, 100_000)),
+        ], 3.0),
+        node("Protein", &["Protein"], vec![
+            req("sid", ValueGen::Name(30_000)),
+            opt("name", ValueGen::Name(20_000), 0.8),
+        ], 2.0),
+        node("Disease", &["Disease"], vec![
+            req("doid", ValueGen::Name(8000)),
+            req("name", ValueGen::Name(8000)),
+            opt("definition", ValueGen::Text, 0.7),
+        ], 0.5),
+        node("Pathway", &["Pathway"], vec![
+            req("sid", ValueGen::Name(2500)),
+            req("name", ValueGen::Name(2500)),
+        ], 0.4),
+        node("GeneSymbol", &["GeneSymbol"], vec![req("symbol", ValueGen::Name(25_000))], 2.0),
+        node("Transcript", &["Transcript"], vec![req("sid", ValueGen::Name(30_000))], 2.0),
+        node("ClinicalTrial", &["ClinicalTrial"], vec![
+            req("nct_id", ValueGen::Name(5000)),
+            opt("phase", ValueGen::Name(5), 0.6),
+        ], 0.3),
+        node("Patent", &["Patent"], vec![
+            req("number", ValueGen::Name(8000)),
+            opt("filed", ValueGen::MixedDateStr(0.08), 0.7),
+        ], 0.3),
+        node("Fraction", &["Fraction"], vec![req("value", ValueGen::Float(1.0))], 0.6),
+    ];
+    let (paper, author, affiliation, abstr, body, reference, journal, gene, protein, disease, pathway, genesym, transcript, trial, patent, fraction) =
+        (0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+    let edges = vec![
+        edge("PAPER_HAS_ABSTRACT", "PAPER_HAS_ABSTRACT", paper, abstr, vec![], 2.0),
+        edge("PAPER_HAS_BODYTEXT", "PAPER_HAS_BODYTEXT", paper, body, vec![req("position", ValueGen::Int(0, 200))], 3.0),
+        edge("PAPER_HAS_REFERENCE", "PAPER_HAS_REFERENCE", paper, reference, vec![], 3.0),
+        edge("PAPER_HAS_AUTHOR", "PAPER_HAS_AUTHOR", paper, author, vec![req("position", ValueGen::Int(0, 30))], 4.0),
+        edge("AUTHOR_HAS_AFFILIATION", "AUTHOR_HAS_AFFILIATION", author, affiliation, vec![], 2.0),
+        edge("PAPER_PUBLISHED_IN", "PAPER_PUBLISHED_IN", paper, journal, vec![], 1.5),
+        edge("PAPER_MENTIONS_GENE", "MENTIONS", paper, gene, vec![req("count", ValueGen::Int(1, 50))], 1.5),
+        edge("PAPER_MENTIONS_DISEASE", "MENTIONS", paper, disease, vec![req("count", ValueGen::Int(1, 50))], 1.0),
+        edge("PAPER_MENTIONS_PROTEIN", "MENTIONS", paper, protein, vec![req("count", ValueGen::Int(1, 50))], 1.0),
+        edge("GENE_CODES_PROTEIN", "CODES", gene, protein, vec![], 1.0),
+        edge("GENE_HAS_SYMBOL", "HAS_SYMBOL", gene, genesym, vec![], 1.5),
+        edge("GENE_HAS_TRANSCRIPT", "HAS_TRANSCRIPT", gene, transcript, vec![], 1.5),
+        edge("PROTEIN_IN_PATHWAY", "IN_PATHWAY", protein, pathway, vec![], 0.8),
+        edge("DISEASE_TRIAL", "INVESTIGATED_IN", disease, trial, vec![], 0.3),
+        edge("PATENT_ABOUT_GENE", "ABOUT", patent, gene, vec![], 0.3),
+        edge("FRACTION_OF_BODY", "FRACTION_OF", fraction, body, vec![], 0.5),
+    ];
+    DatasetSpec {
+        name: "CORD19".into(),
+        nodes,
+        edges,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IYP — Internet Yellow Pages: the most heterogeneous dataset (86 node
+// types over 33 labels in the paper). Types are multi-label combinations
+// generated programmatically over a label pool, with wildly varying
+// optional properties; 25 edge types.
+// ---------------------------------------------------------------------------
+
+fn iyp() -> DatasetSpec {
+    const LABELS: [&str; 33] = [
+        "AS", "Prefix", "IP", "DomainName", "HostName", "ASN", "Country", "IXP", "Facility",
+        "Organization", "BGPCollector", "AtlasProbe", "AtlasMeasurement", "Ranking", "Tag",
+        "OpaqueID", "Name", "PeeringLAN", "CaidaIXID", "PeeringdbOrgID", "PeeringdbIXID",
+        "PeeringdbFacID", "PeeringdbNetID", "URL", "AuthoritativeNameServer", "Resolver",
+        "Estimate", "GeoPrefix", "RPKIPrefix", "RIRPrefix", "RDNSPrefix", "QueriedDomain",
+        "RankedDomain",
+    ];
+    // Multi-label combos: base label alone, plus combos with Tag-ish labels.
+    let mut nodes = Vec::new();
+    let combos: [(usize, &[usize]); 24] = [
+        (0, &[5]),          // AS + ASN
+        (1, &[27]),         // Prefix + GeoPrefix
+        (1, &[28]),         // Prefix + RPKIPrefix
+        (1, &[29]),         // Prefix + RIRPrefix
+        (1, &[30]),         // Prefix + RDNSPrefix
+        (2, &[]),           // IP
+        (3, &[31]),         // DomainName + QueriedDomain
+        (3, &[32]),         // DomainName + RankedDomain
+        (4, &[]),           // HostName
+        (6, &[]),           // Country
+        (7, &[17]),         // IXP + PeeringLAN
+        (8, &[]),           // Facility
+        (9, &[]),           // Organization
+        (10, &[]),          // BGPCollector
+        (11, &[]),          // AtlasProbe
+        (12, &[]),          // AtlasMeasurement
+        (13, &[]),          // Ranking
+        (14, &[]),          // Tag
+        (15, &[]),          // OpaqueID
+        (16, &[]),          // Name
+        (23, &[]),          // URL
+        (24, &[]),          // AuthoritativeNameServer
+        (25, &[]),          // Resolver
+        (26, &[]),          // Estimate
+    ];
+    for (i, (base, extras)) in combos.iter().enumerate() {
+        let mut labels: Vec<&str> = vec![LABELS[*base]];
+        labels.extend(extras.iter().map(|&e| LABELS[e]));
+        // Heterogeneous properties: amount and presence vary per type.
+        let mut props = vec![req("id", ValueGen::Int(0, 10_000_000))];
+        if i % 2 == 0 {
+            props.push(opt("name", ValueGen::Name(50_000), 0.8));
+        }
+        if i % 3 == 0 {
+            props.push(opt("country", ValueGen::Name(250), 0.6));
+        }
+        if i % 4 == 0 {
+            props.push(opt("af", ValueGen::Int(4, 6), 0.5));
+            props.push(opt("reference_time", ValueGen::MixedDateStr(0.05), 0.5));
+        }
+        if i % 5 == 0 {
+            props.push(opt("value", ValueGen::MixedIntStr(0.04), 0.6));
+        }
+        if i % 6 == 0 {
+            props.push(opt("descr", ValueGen::Text, 0.3));
+        }
+        let weight = 1.0 + (i % 7) as f64;
+        nodes.push(node(
+            &format!("IYP_{}", labels.join("_")),
+            &labels,
+            props,
+            weight,
+        ));
+    }
+    let edges_spec: [(&str, usize, usize, f64); 25] = [
+        ("ORIGINATE", 0, 1, 5.0),
+        ("DEPENDS_ON", 0, 0, 3.0),
+        ("PEERS_WITH", 0, 0, 5.0),
+        ("MEMBER_OF_IXP", 0, 10, 1.0),
+        ("LOCATED_IN_FAC", 0, 11, 1.0),
+        ("MANAGED_BY_ORG", 0, 12, 1.5),
+        ("COUNTRY_AS", 0, 9, 1.5),
+        ("COUNTRY_IXP", 10, 9, 0.3),
+        ("COUNTRY_FAC", 11, 9, 0.3),
+        ("PART_OF", 2, 1, 4.0),
+        ("RESOLVES_TO", 6, 2, 3.0),
+        ("ALIAS_OF", 8, 6, 1.0),
+        ("QUERIED_FROM", 6, 0, 1.5),
+        ("RANK", 0, 16, 2.0),
+        ("RANK_DOMAIN", 7, 16, 1.0),
+        ("CATEGORIZED", 0, 17, 2.0),
+        ("CATEGORIZED_PREFIX", 1, 17, 1.0),
+        ("EXTERNAL_ID", 0, 18, 1.0),
+        ("NAME_AS", 0, 19, 2.0),
+        ("WEBSITE", 12, 20, 0.5),
+        ("AUTH_NS", 6, 21, 1.0),
+        ("RESOLVER_OF", 22, 6, 0.8),
+        ("POPULATION", 0, 23, 0.8),
+        ("TARGET_PROBE", 14, 0, 0.7),
+        ("PART_OF_MEASUREMENT", 14, 15, 0.5),
+    ];
+    let edges: Vec<EdgeDef> = edges_spec
+        .iter()
+        .map(|(label, s, t, w)| {
+            let mut props = vec![];
+            if *w > 2.0 {
+                props.push(opt("reference_org", ValueGen::Name(30), 0.7));
+                props.push(opt("reference_time", ValueGen::MixedDateStr(0.05), 0.6));
+            }
+            edge(label, label, *s, *t, props, *w)
+        })
+        .collect();
+    DatasetSpec {
+        name: "IYP".into(),
+        nodes,
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_hive_graph::GraphStats;
+
+    #[test]
+    fn all_eight_datasets_generate() {
+        for id in DatasetId::ALL {
+            let d = id.generate(0.05, 42);
+            assert!(d.graph.node_count() > 0, "{}", id.name());
+            assert_eq!(d.truth.node_types.len(), d.graph.node_count());
+            assert_eq!(d.truth.edge_types.len(), d.graph.edge_count());
+        }
+    }
+
+    #[test]
+    fn pole_profile_matches_table2() {
+        let d = DatasetId::Pole.generate(0.2, 1);
+        let s = GraphStats::compute(&d.graph);
+        assert_eq!(s.node_labels, 11);
+        assert_eq!(s.edge_labels, 16, "17 edge types over 16 labels");
+        assert_eq!(d.truth.node_type_names.len(), 11);
+        assert_eq!(d.truth.edge_type_names.len(), 17);
+    }
+
+    #[test]
+    fn connectomes_are_multilabel() {
+        let d = DatasetId::Mb6.generate(0.05, 2);
+        let s = GraphStats::compute(&d.graph);
+        assert_eq!(d.truth.node_type_names.len(), 4);
+        assert_eq!(d.truth.edge_type_names.len(), 5);
+        assert_eq!(s.edge_labels, 3, "5 edge types over 3 labels");
+        // Every node carries the dataset label plus its type label(s).
+        assert!(d.graph.nodes().all(|(_, n)| n.labels.len() >= 2));
+        // MB6 has more node patterns than types.
+        assert!(s.node_patterns > 4, "patterns = {}", s.node_patterns);
+    }
+
+    #[test]
+    fn hetio_has_dataset_wide_extra_label() {
+        let d = DatasetId::Hetio.generate(0.1, 3);
+        let het = d.graph.labels().get("HetionetNode").unwrap();
+        assert!(d.graph.nodes().all(|(_, n)| n.labels.contains(&het)));
+        let s = GraphStats::compute(&d.graph);
+        assert_eq!(s.node_labels, 12, "11 type labels + HetionetNode");
+        assert_eq!(d.truth.edge_type_names.len(), 24);
+    }
+
+    #[test]
+    fn icij_is_pattern_heavy() {
+        let d = DatasetId::Icij.generate(0.25, 4);
+        let s = GraphStats::compute(&d.graph);
+        assert_eq!(d.truth.node_type_names.len(), 5);
+        assert!(
+            s.node_patterns > 100,
+            "ICIJ should have hundreds of node patterns, got {}",
+            s.node_patterns
+        );
+        assert_eq!(d.truth.edge_type_names.len(), 14);
+    }
+
+    #[test]
+    fn ldbc_message_superlabel() {
+        let d = DatasetId::Ldbc.generate(0.05, 5);
+        let s = GraphStats::compute(&d.graph);
+        assert_eq!(d.truth.node_type_names.len(), 7);
+        assert_eq!(s.node_labels, 8, "7 types over 8 labels (Message)");
+        assert_eq!(d.truth.edge_type_names.len(), 17);
+    }
+
+    #[test]
+    fn cord19_flat_sixteen_types() {
+        let d = DatasetId::Cord19.generate(0.05, 6);
+        assert_eq!(d.truth.node_type_names.len(), 16);
+        assert_eq!(d.truth.edge_type_names.len(), 16);
+        let s = GraphStats::compute(&d.graph);
+        assert_eq!(s.node_labels, 16);
+    }
+
+    #[test]
+    fn iyp_is_most_heterogeneous() {
+        let d = DatasetId::Iyp.generate(0.05, 7);
+        let s = GraphStats::compute(&d.graph);
+        assert_eq!(d.truth.node_type_names.len(), 24);
+        assert_eq!(d.truth.edge_type_names.len(), 25);
+        assert!(s.node_labels >= 24, "labels = {}", s.node_labels);
+        assert!(s.node_patterns > 50, "patterns = {}", s.node_patterns);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(dataset_by_name("pole"), Some(DatasetId::Pole));
+        assert_eq!(dataset_by_name("HET.IO"), Some(DatasetId::Hetio));
+        assert_eq!(dataset_by_name("hetio"), Some(DatasetId::Hetio));
+        assert_eq!(dataset_by_name("nope"), None);
+    }
+
+    #[test]
+    fn scale_changes_size_proportionally() {
+        let small = DatasetId::Pole.generate(0.05, 1);
+        let large = DatasetId::Pole.generate(0.2, 1);
+        assert!(large.graph.node_count() > 3 * small.graph.node_count());
+    }
+}

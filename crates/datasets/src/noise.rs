@@ -1,0 +1,155 @@
+//! Noise injection (§5 "Noise injection"): randomly remove 0–40% of
+//! node/edge properties and retain labels on 100/50/0% of **nodes**.
+//!
+//! Label availability degrades node labels only: the paper's Fig. 4 shows
+//! PG-HIVE edge F1\* above 0.9 at 0% availability while §5.1 notes edge
+//! extraction "relies on their labeling information" — consistent only if
+//! the availability axis strips node labels (the baselines' "fully labeled"
+//! precondition also concerns node typing). Edge properties are still
+//! subject to the noise axis.
+
+use pg_hive_graph::{EdgeId, NodeId, PropertyGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The two degradation axes of the evaluation grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseSpec {
+    /// Probability that each individual property is removed (paper: 0–0.4).
+    pub prop_removal: f64,
+    /// Probability that a **node** keeps its labels (paper: 1.0, 0.5, 0.0).
+    pub label_keep: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl NoiseSpec {
+    /// No degradation.
+    pub fn clean() -> Self {
+        Self {
+            prop_removal: 0.0,
+            label_keep: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// The paper's grid point `(noise %, label availability %)`.
+    pub fn grid(noise_pct: u32, label_pct: u32, seed: u64) -> Self {
+        Self {
+            prop_removal: noise_pct as f64 / 100.0,
+            label_keep: label_pct as f64 / 100.0,
+            seed,
+        }
+    }
+}
+
+/// Degrade `g` in place according to `spec`. Deterministic per seed.
+pub fn inject_noise(g: &mut PropertyGraph, spec: &NoiseSpec) {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x0040_15EE);
+    let nodes = g.node_count();
+    for i in 0..nodes {
+        let n = g.node_mut(NodeId(i as u32));
+        if spec.prop_removal > 0.0 {
+            n.props.retain(|_| rng.gen::<f64>() >= spec.prop_removal);
+        }
+        if spec.label_keep < 1.0 && rng.gen::<f64>() >= spec.label_keep {
+            n.labels.clear();
+        }
+    }
+    let edges = g.edge_count();
+    for i in 0..edges {
+        let e = g.edge_mut(EdgeId(i as u32));
+        if spec.prop_removal > 0.0 {
+            e.props.retain(|_| rng.gen::<f64>() >= spec.prop_removal);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_hive_graph::{GraphBuilder, Value};
+
+    fn graph(n: usize) -> PropertyGraph {
+        let mut b = GraphBuilder::new();
+        let mut prev = None;
+        for i in 0..n {
+            let id = b.add_node(
+                &["T"],
+                &[("a", Value::Int(i as i64)), ("b", Value::Int(1)), ("c", Value::Int(2))],
+            );
+            if let Some(p) = prev {
+                b.add_edge(p, id, &["E"], &[("w", Value::Int(1))]);
+            }
+            prev = Some(id);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn clean_spec_changes_nothing() {
+        let mut g = graph(50);
+        let before: usize = g.nodes().map(|(_, n)| n.props.len()).sum();
+        inject_noise(&mut g, &NoiseSpec::clean());
+        let after: usize = g.nodes().map(|(_, n)| n.props.len()).sum();
+        assert_eq!(before, after);
+        assert!(g.nodes().all(|(_, n)| !n.labels.is_empty()));
+    }
+
+    #[test]
+    fn prop_removal_rate_is_respected() {
+        let mut g = graph(2000);
+        inject_noise(&mut g, &NoiseSpec::grid(40, 100, 7));
+        let total: usize = g.nodes().map(|(_, n)| n.props.len()).sum();
+        let expected = 2000.0 * 3.0 * 0.6;
+        assert!(
+            (total as f64 - expected).abs() < expected * 0.1,
+            "kept {total} of 6000, expected ≈ {expected}"
+        );
+        // Labels untouched at 100% availability.
+        assert!(g.nodes().all(|(_, n)| !n.labels.is_empty()));
+    }
+
+    #[test]
+    fn label_availability_50_strips_about_half() {
+        let mut g = graph(2000);
+        inject_noise(&mut g, &NoiseSpec::grid(0, 50, 11));
+        let unlabeled = g.nodes().filter(|(_, n)| n.labels.is_empty()).count();
+        assert!(
+            (unlabeled as i64 - 1000).abs() < 150,
+            "unlabeled = {unlabeled}"
+        );
+        // Properties untouched at 0% noise.
+        let total: usize = g.nodes().map(|(_, n)| n.props.len()).sum();
+        assert_eq!(total, 6000);
+    }
+
+    #[test]
+    fn zero_availability_strips_all_node_labels_only() {
+        let mut g = graph(100);
+        inject_noise(&mut g, &NoiseSpec::grid(0, 0, 3));
+        assert!(g.nodes().all(|(_, n)| n.labels.is_empty()));
+        // Edge labels survive: availability is the node-label axis.
+        assert!(g.edges().all(|(_, e)| !e.labels.is_empty()));
+    }
+
+    #[test]
+    fn edge_properties_are_degraded_too() {
+        let mut g = graph(2000);
+        inject_noise(&mut g, &NoiseSpec::grid(40, 50, 5));
+        let edge_props: usize = g.edges().map(|(_, e)| e.props.len()).sum();
+        assert!(edge_props < 1999, "some edge props removed");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = graph(500);
+        let mut b = graph(500);
+        inject_noise(&mut a, &NoiseSpec::grid(20, 50, 9));
+        inject_noise(&mut b, &NoiseSpec::grid(20, 50, 9));
+        for ((_, x), (_, y)) in a.nodes().zip(b.nodes()) {
+            assert_eq!(x.props.len(), y.props.len());
+            assert_eq!(x.labels.is_empty(), y.labels.is_empty());
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Dataset specification machinery: declare types, generate graphs with
+//! ground truth.
+
+use crate::values::ValueGen;
+use pg_hive_graph::{GraphBuilder, PropertyGraph, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One property of a type: key, value generator, and the probability that a
+/// given instance carries it (presence < 1 creates multiple patterns per
+/// type, Def. 3.5).
+#[derive(Debug, Clone)]
+pub struct PropDef {
+    pub key: String,
+    pub gen: ValueGen,
+    pub presence: f64,
+}
+
+impl PropDef {
+    /// Always-present property.
+    pub fn req(key: &str, gen: ValueGen) -> Self {
+        Self {
+            key: key.to_string(),
+            gen,
+            presence: 1.0,
+        }
+    }
+
+    /// Property present on a fraction of instances.
+    pub fn opt(key: &str, gen: ValueGen, presence: f64) -> Self {
+        Self {
+            key: key.to_string(),
+            gen,
+            presence,
+        }
+    }
+}
+
+/// A ground-truth node type.
+#[derive(Debug, Clone)]
+pub struct NodeDef {
+    /// Human-readable type name (ground-truth id).
+    pub name: String,
+    /// Label set instances of this type carry (may be empty).
+    pub labels: Vec<String>,
+    pub props: Vec<PropDef>,
+    /// Relative share of the node population.
+    pub weight: f64,
+}
+
+/// A ground-truth edge type connecting two node types (by index into
+/// [`DatasetSpec::nodes`]).
+#[derive(Debug, Clone)]
+pub struct EdgeDef {
+    pub name: String,
+    pub label: String,
+    pub props: Vec<PropDef>,
+    pub src: usize,
+    pub tgt: usize,
+    /// Relative share of the edge population.
+    pub weight: f64,
+}
+
+/// A complete dataset specification.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    pub name: String,
+    pub nodes: Vec<NodeDef>,
+    pub edges: Vec<EdgeDef>,
+}
+
+/// Ground-truth type assignment for every generated element.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// Per node: index into `node_type_names`.
+    pub node_types: Vec<u32>,
+    /// Per edge: index into `edge_type_names`.
+    pub edge_types: Vec<u32>,
+    pub node_type_names: Vec<String>,
+    pub edge_type_names: Vec<String>,
+}
+
+/// A generated dataset: the graph plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub name: String,
+    pub graph: PropertyGraph,
+    pub truth: GroundTruth,
+}
+
+impl DatasetSpec {
+    /// Generate `n_nodes` nodes and `n_edges` edges according to the spec.
+    ///
+    /// Node counts are split by weight (every type gets at least one
+    /// instance); edges pick uniform-random endpoints of the right types.
+    ///
+    /// # Panics
+    /// Panics if the spec has no node types, or an edge type references a
+    /// missing node type.
+    pub fn generate(&self, n_nodes: usize, n_edges: usize, seed: u64) -> Dataset {
+        assert!(!self.nodes.is_empty(), "spec needs at least one node type");
+        for e in &self.edges {
+            assert!(
+                e.src < self.nodes.len() && e.tgt < self.nodes.len(),
+                "edge type '{}' references a missing node type",
+                e.name
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::with_capacity(n_nodes, n_edges);
+
+        // Allocate node counts by weight.
+        let counts = allocate(n_nodes, &self.nodes.iter().map(|n| n.weight).collect::<Vec<_>>());
+        let mut node_types = Vec::with_capacity(n_nodes);
+        let mut per_type_ids: Vec<Vec<pg_hive_graph::NodeId>> =
+            vec![Vec::new(); self.nodes.len()];
+
+        // Interleave types (round-robin over remaining quotas) so batch
+        // splits see all types early.
+        let mut remaining = counts.clone();
+        let mut active: Vec<usize> = (0..self.nodes.len()).collect();
+        while !active.is_empty() {
+            active.retain(|&t| remaining[t] > 0);
+            for &t in &active {
+                if remaining[t] == 0 {
+                    continue;
+                }
+                remaining[t] -= 1;
+                let def = &self.nodes[t];
+                let props = sample_props(&def.props, &mut rng);
+                let prop_refs: Vec<(&str, Value)> =
+                    props.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+                let label_refs: Vec<&str> = def.labels.iter().map(String::as_str).collect();
+                let id = b.add_node(&label_refs, &prop_refs);
+                node_types.push(t as u32);
+                per_type_ids[t].push(id);
+            }
+        }
+
+        // Edges by weight.
+        let mut edge_types = Vec::with_capacity(n_edges);
+        if !self.edges.is_empty() {
+            let ecounts =
+                allocate(n_edges, &self.edges.iter().map(|e| e.weight).collect::<Vec<_>>());
+            let mut eremaining = ecounts;
+            let mut eactive: Vec<usize> = (0..self.edges.len()).collect();
+            while !eactive.is_empty() {
+                eactive.retain(|&t| eremaining[t] > 0);
+                for &t in &eactive {
+                    if eremaining[t] == 0 {
+                        continue;
+                    }
+                    eremaining[t] -= 1;
+                    let def = &self.edges[t];
+                    let srcs = &per_type_ids[def.src];
+                    let tgts = &per_type_ids[def.tgt];
+                    if srcs.is_empty() || tgts.is_empty() {
+                        continue;
+                    }
+                    let s = srcs[rng.gen_range(0..srcs.len())];
+                    let g = tgts[rng.gen_range(0..tgts.len())];
+                    let props = sample_props(&def.props, &mut rng);
+                    let prop_refs: Vec<(&str, Value)> =
+                        props.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+                    b.add_edge(s, g, &[&def.label], &prop_refs);
+                    edge_types.push(t as u32);
+                }
+            }
+        }
+
+        Dataset {
+            name: self.name.clone(),
+            graph: b.finish(),
+            truth: GroundTruth {
+                node_types,
+                edge_types,
+                node_type_names: self.nodes.iter().map(|n| n.name.clone()).collect(),
+                edge_type_names: self.edges.iter().map(|e| e.name.clone()).collect(),
+            },
+        }
+    }
+}
+
+fn sample_props(defs: &[PropDef], rng: &mut StdRng) -> Vec<(String, Value)> {
+    let mut out = Vec::with_capacity(defs.len());
+    for p in defs {
+        if p.presence >= 1.0 || rng.gen::<f64>() < p.presence {
+            out.push((p.key.clone(), p.gen.sample(rng)));
+        }
+    }
+    out
+}
+
+/// Split `total` into integer shares proportional to `weights`, each ≥ 1
+/// when `total ≥ weights.len()`.
+fn allocate(total: usize, weights: &[f64]) -> Vec<usize> {
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 || total == 0 {
+        return vec![0; weights.len()];
+    }
+    let mut counts: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / sum) * total as f64).floor() as usize)
+        .collect();
+    if total >= weights.len() {
+        for c in counts.iter_mut() {
+            if *c == 0 {
+                *c = 1;
+            }
+        }
+    }
+    // Fix rounding drift onto the largest-weight type.
+    let assigned: usize = counts.iter().sum();
+    let largest = weights
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    if assigned < total {
+        counts[largest] += total - assigned;
+    } else {
+        let mut excess = assigned - total;
+        while excess > 0 && counts[largest] > 1 {
+            counts[largest] -= 1;
+            excess -= 1;
+        }
+        // If still over (pathological many-types-few-elements), trim others.
+        let mut i = 0;
+        while excess > 0 && i < counts.len() {
+            while counts[i] > 1 && excess > 0 {
+                counts[i] -= 1;
+                excess -= 1;
+            }
+            i += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::values::ValueGen;
+    use pg_hive_graph::GraphStats;
+
+    fn two_type_spec() -> DatasetSpec {
+        DatasetSpec {
+            name: "test".into(),
+            nodes: vec![
+                NodeDef {
+                    name: "Person".into(),
+                    labels: vec!["Person".into()],
+                    props: vec![
+                        PropDef::req("name", ValueGen::Name(100)),
+                        PropDef::opt("age", ValueGen::Int(0, 99), 0.5),
+                    ],
+                    weight: 3.0,
+                },
+                NodeDef {
+                    name: "Org".into(),
+                    labels: vec!["Org".into()],
+                    props: vec![PropDef::req("url", ValueGen::Text)],
+                    weight: 1.0,
+                },
+            ],
+            edges: vec![EdgeDef {
+                name: "WORKS_AT".into(),
+                label: "WORKS_AT".into(),
+                props: vec![PropDef::opt("from", ValueGen::Int(1990, 2025), 0.7)],
+                src: 0,
+                tgt: 1,
+                weight: 1.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn generates_requested_counts() {
+        let d = two_type_spec().generate(400, 300, 1);
+        assert_eq!(d.graph.node_count(), 400);
+        assert_eq!(d.graph.edge_count(), 300);
+        assert_eq!(d.truth.node_types.len(), 400);
+        assert_eq!(d.truth.edge_types.len(), 300);
+    }
+
+    #[test]
+    fn weights_control_population_shares() {
+        let d = two_type_spec().generate(400, 0, 2);
+        let persons = d.truth.node_types.iter().filter(|&&t| t == 0).count();
+        assert!((persons as i64 - 300).abs() <= 2, "persons = {persons}");
+    }
+
+    #[test]
+    fn optional_props_create_patterns() {
+        let d = two_type_spec().generate(400, 0, 3);
+        let stats = GraphStats::compute(&d.graph);
+        // Person with/without age + Org = 3 node patterns.
+        assert_eq!(stats.node_patterns, 3);
+    }
+
+    #[test]
+    fn edges_respect_endpoint_types() {
+        let d = two_type_spec().generate(100, 200, 4);
+        for (_, e) in d.graph.edges() {
+            let (src, tgt) = d.graph.edge_endpoint_labels(e);
+            assert_eq!(d.graph.label_set_str(src), "{Person}");
+            assert_eq!(d.graph.label_set_str(tgt), "{Org}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = two_type_spec().generate(50, 50, 9);
+        let c = two_type_spec().generate(50, 50, 9);
+        assert_eq!(a.truth.node_types, c.truth.node_types);
+        let sa = GraphStats::compute(&a.graph);
+        let sc = GraphStats::compute(&c.graph);
+        assert_eq!(sa, sc);
+    }
+
+    #[test]
+    fn interleaving_spreads_types_early() {
+        let d = two_type_spec().generate(40, 0, 5);
+        // Among the first 10 nodes both types should appear.
+        let first: std::collections::HashSet<u32> =
+            d.truth.node_types[..10].iter().copied().collect();
+        assert_eq!(first.len(), 2);
+    }
+
+    #[test]
+    fn allocate_shares() {
+        assert_eq!(allocate(10, &[1.0, 1.0]), vec![5, 5]);
+        assert_eq!(allocate(10, &[3.0, 1.0]).iter().sum::<usize>(), 10);
+        let tiny = allocate(3, &[1.0, 1.0, 1.0]);
+        assert_eq!(tiny, vec![1, 1, 1]);
+        assert_eq!(allocate(0, &[1.0]), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing node type")]
+    fn bad_edge_ref_panics() {
+        let mut s = two_type_spec();
+        s.edges[0].tgt = 9;
+        s.generate(10, 10, 0);
+    }
+}

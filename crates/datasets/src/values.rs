@@ -1,0 +1,170 @@
+//! Property-value generators.
+
+use pg_hive_graph::Value;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How values of a property key are generated. `MixedIntStr` /
+/// `MixedDateStr` produce mostly-clean columns with a small fraction of
+/// string outliers — the phenomenon behind the paper's datatype
+/// sampling-error bins (Fig. 8).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueGen {
+    /// Uniform integer in `[lo, hi]`.
+    Int(i64, i64),
+    /// Uniform float in `[0, scale)` with a fractional part.
+    Float(f64),
+    /// Random boolean.
+    Bool,
+    /// Random ISO date between 1970 and 2025.
+    Date,
+    /// Random ISO timestamp.
+    DateTime,
+    /// Short name-like string from a pool of `n` distinct values.
+    Name(u32),
+    /// Longer free-text string.
+    Text,
+    /// Integers with probability `1 - dirty`, else a string outlier.
+    MixedIntStr(f64),
+    /// Dates with probability `1 - dirty`, else a string outlier.
+    MixedDateStr(f64),
+}
+
+impl ValueGen {
+    /// Draw one value.
+    pub fn sample(&self, rng: &mut StdRng) -> Value {
+        match self {
+            ValueGen::Int(lo, hi) => Value::Int(rng.gen_range(*lo..=*hi)),
+            ValueGen::Float(scale) => {
+                // Force a fractional part so the lexical form stays a float.
+                let v = rng.gen::<f64>() * scale;
+                Value::Float((v * 100.0).round() / 100.0 + 0.25)
+            }
+            ValueGen::Bool => Value::Bool(rng.gen()),
+            ValueGen::Date => random_date(rng),
+            ValueGen::DateTime => {
+                let Value::Date { year, month, day } = random_date(rng) else {
+                    unreachable!()
+                };
+                Value::DateTime {
+                    year,
+                    month,
+                    day,
+                    hour: rng.gen_range(0..24),
+                    minute: rng.gen_range(0..60),
+                    second: rng.gen_range(0..60),
+                }
+            }
+            ValueGen::Name(n) => Value::Str(format!("name_{}", rng.gen_range(0..*n))),
+            ValueGen::Text => {
+                let words = rng.gen_range(3..10);
+                let mut s = String::new();
+                for w in 0..words {
+                    if w > 0 {
+                        s.push(' ');
+                    }
+                    s.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+                }
+                Value::Str(s)
+            }
+            ValueGen::MixedIntStr(dirty) => {
+                if rng.gen::<f64>() < *dirty {
+                    Value::Str(format!("n/a-{}", rng.gen_range(0..100)))
+                } else {
+                    Value::Int(rng.gen_range(0..1_000_000))
+                }
+            }
+            ValueGen::MixedDateStr(dirty) => {
+                if rng.gen::<f64>() < *dirty {
+                    Value::Str("unknown".to_string())
+                } else {
+                    random_date(rng)
+                }
+            }
+        }
+    }
+}
+
+fn random_date(rng: &mut StdRng) -> Value {
+    Value::Date {
+        year: rng.gen_range(1970..=2025),
+        month: rng.gen_range(1..=12),
+        day: rng.gen_range(1..=28),
+    }
+}
+
+const WORDS: &[&str] = &[
+    "graph", "schema", "node", "edge", "type", "label", "property", "cluster", "batch", "hash",
+    "table", "merge", "stream", "query",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_hive_graph::ValueKind;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn int_gen_in_range() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = ValueGen::Int(5, 10).sample(&mut r);
+            let Value::Int(i) = v else { panic!() };
+            assert!((5..=10).contains(&i));
+        }
+    }
+
+    #[test]
+    fn float_gen_has_float_kind_lexically() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = ValueGen::Float(100.0).sample(&mut r);
+            assert_eq!(
+                Value::parse_lexical(&v.lexical()).kind(),
+                ValueKind::Float,
+                "lexical {}",
+                v.lexical()
+            );
+        }
+    }
+
+    #[test]
+    fn date_gen_valid_iso() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = ValueGen::Date.sample(&mut r);
+            assert_eq!(Value::parse_lexical(&v.lexical()).kind(), ValueKind::Date);
+        }
+    }
+
+    #[test]
+    fn mixed_gen_produces_outliers() {
+        let mut r = rng();
+        let mut ints = 0;
+        let mut strs = 0;
+        for _ in 0..1000 {
+            match ValueGen::MixedIntStr(0.05).sample(&mut r) {
+                Value::Int(_) => ints += 1,
+                Value::Str(_) => strs += 1,
+                _ => panic!(),
+            }
+        }
+        assert!(strs > 10 && strs < 120, "outliers = {strs}");
+        assert!(ints > 800);
+    }
+
+    #[test]
+    fn name_gen_bounded_pool() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let Value::Str(s) = ValueGen::Name(3).sample(&mut r) else {
+                panic!()
+            };
+            assert!(["name_0", "name_1", "name_2"].contains(&s.as_str()));
+        }
+    }
+}

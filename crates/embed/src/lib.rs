@@ -1,0 +1,87 @@
+//! # pg-hive-embed
+//!
+//! Label-embedding substrate for PG-HIVE.
+//!
+//! §4.1 of the paper represents every node as `Word2Vec(labels) ∥ binary
+//! property vector` and every edge as three Word2Vec embeddings (edge label,
+//! source labels, target labels) plus its binary property vector. The
+//! Word2Vec model is "trained on the set of node and edge labels observed in
+//! the dataset to ensure consistent semantic embeddings across identical
+//! label sets"; multi-label sets are sorted alphabetically and concatenated
+//! into a single token; unlabeled elements get the zero vector.
+//!
+//! This crate provides two interchangeable implementations of the
+//! [`LabelEmbedder`] trait:
+//!
+//! - [`HashEmbedder`] — a deterministic seeded random-projection embedding:
+//!   identical tokens → identical vectors, distinct tokens → near-orthogonal
+//!   vectors in expectation. This is the fast default and is sufficient for
+//!   the pipeline's correctness (the paper only relies on same-label-set ⇒
+//!   same vector and different-label-set ⇒ separated vectors).
+//! - [`Word2Vec`] — a from-scratch skip-gram model with negative sampling
+//!   trained on label co-occurrence sentences, reproducing the paper's setup
+//!   including semantic proximity of co-occurring labels.
+//!
+//! The canonical token for a label set is produced by [`canonical_token`].
+
+pub mod hash_embed;
+pub mod math;
+pub mod vocab;
+pub mod word2vec;
+
+pub use hash_embed::HashEmbedder;
+pub use vocab::Vocabulary;
+pub use word2vec::{Word2Vec, Word2VecConfig};
+
+/// Anything that can turn a canonical label token into a fixed-dimensional
+/// vector. Implementations must be deterministic: the same token always maps
+/// to the same vector.
+pub trait LabelEmbedder: Send + Sync {
+    /// Embedding dimensionality `d`.
+    fn dim(&self) -> usize;
+
+    /// Write the embedding of `token` into `out` (`out.len() == self.dim()`).
+    /// Unknown tokens must still produce a deterministic vector.
+    fn embed_into(&self, token: &str, out: &mut [f32]);
+
+    /// Convenience allocation wrapper around [`Self::embed_into`].
+    fn embed(&self, token: &str) -> Vec<f32> {
+        let mut v = vec![0.0; self.dim()];
+        self.embed_into(token, &mut v);
+        v
+    }
+}
+
+/// Canonical token for a label set: labels sorted alphabetically and joined
+/// with `"|"` (§4.1 "we sort them alphabetically for uniformity and then
+/// concatenate them as one"). Returns `None` for the empty set — callers use
+/// the zero vector for unlabeled elements.
+pub fn canonical_token<S: AsRef<str>>(labels: &[S]) -> Option<String> {
+    if labels.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<&str> = labels.iter().map(AsRef::as_ref).collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    Some(sorted.join("|"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_token_sorts_and_dedups() {
+        assert_eq!(
+            canonical_token(&["Student", "Person", "Student"]),
+            Some("Person|Student".to_string())
+        );
+        assert_eq!(canonical_token::<&str>(&[]), None);
+        assert_eq!(canonical_token(&["A"]), Some("A".to_string()));
+    }
+
+    #[test]
+    fn canonical_token_is_order_independent() {
+        assert_eq!(canonical_token(&["B", "A"]), canonical_token(&["A", "B"]));
+    }
+}

@@ -1,0 +1,148 @@
+//! Token vocabulary with frequency counts for Word2Vec training.
+
+use std::collections::HashMap;
+
+/// A vocabulary over label tokens, recording occurrence counts. Token ids
+/// are dense `usize` indices in first-seen order.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    index: HashMap<String, usize>,
+    tokens: Vec<String>,
+    counts: Vec<u64>,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of sentences (each a slice of tokens).
+    pub fn from_sentences<S: AsRef<str>>(sentences: &[Vec<S>]) -> Self {
+        let mut v = Self::new();
+        for sentence in sentences {
+            for tok in sentence {
+                v.add(tok.as_ref());
+            }
+        }
+        v
+    }
+
+    /// Record one occurrence of `token`, returning its id.
+    pub fn add(&mut self, token: &str) -> usize {
+        if let Some(&id) = self.index.get(token) {
+            self.counts[id] += 1;
+            return id;
+        }
+        let id = self.tokens.len();
+        self.tokens.push(token.to_string());
+        self.index.insert(token.to_string(), id);
+        self.counts.push(1);
+        id
+    }
+
+    /// Id of `token` if known.
+    pub fn get(&self, token: &str) -> Option<usize> {
+        self.index.get(token).copied()
+    }
+
+    /// Token string for `id`.
+    pub fn token(&self, id: usize) -> &str {
+        &self.tokens[id]
+    }
+
+    /// Occurrence count for `id`.
+    pub fn count(&self, id: usize) -> u64 {
+        self.counts[id]
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Unigram-distribution sampling table raised to the 3/4 power, as in
+    /// the original word2vec negative-sampling implementation. Returns a
+    /// table of token ids of length `table_size`; sampling uniformly from it
+    /// approximates `P(w) ∝ count(w)^0.75`.
+    pub fn negative_sampling_table(&self, table_size: usize) -> Vec<usize> {
+        if self.is_empty() || table_size == 0 {
+            return Vec::new();
+        }
+        let pow: Vec<f64> = self.counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+        let total: f64 = pow.iter().sum();
+        let mut table = Vec::with_capacity(table_size);
+        let mut cum = 0.0;
+        let mut id = 0;
+        for i in 0..table_size {
+            let frac = (i as f64 + 0.5) / table_size as f64;
+            while cum + pow[id] / total < frac && id + 1 < self.len() {
+                cum += pow[id] / total;
+                id += 1;
+            }
+            table.push(id);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_counts_occurrences() {
+        let mut v = Vocabulary::new();
+        let a = v.add("Person");
+        let b = v.add("Person");
+        assert_eq!(a, b);
+        assert_eq!(v.count(a), 2);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn from_sentences_builds_counts() {
+        let v = Vocabulary::from_sentences(&[
+            vec!["Person", "KNOWS", "Person"],
+            vec!["Person", "LIKES", "Post"],
+        ]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.count(v.get("Person").unwrap()), 3);
+        assert_eq!(v.count(v.get("Post").unwrap()), 1);
+    }
+
+    #[test]
+    fn sampling_table_favours_frequent_tokens() {
+        let mut v = Vocabulary::new();
+        for _ in 0..90 {
+            v.add("common");
+        }
+        for _ in 0..10 {
+            v.add("rare");
+        }
+        let table = v.negative_sampling_table(1000);
+        let common = v.get("common").unwrap();
+        let hits = table.iter().filter(|&&id| id == common).count();
+        // With ^0.75 damping, 90:10 becomes roughly 0.846:0.154.
+        assert!(hits > 700 && hits < 950, "common hits = {hits}");
+    }
+
+    #[test]
+    fn sampling_table_handles_empty() {
+        let v = Vocabulary::new();
+        assert!(v.negative_sampling_table(100).is_empty());
+    }
+
+    #[test]
+    fn token_round_trip() {
+        let mut v = Vocabulary::new();
+        let id = v.add("Org|Place");
+        assert_eq!(v.token(id), "Org|Place");
+        assert!(v.get("missing").is_none());
+    }
+}

@@ -1,0 +1,112 @@
+//! The experiment grid of §5: dataset × noise × label availability ×
+//! method.
+
+use crate::f1::{majority_f1, F1Scores};
+use pg_hive_baselines::Method;
+use pg_hive_datasets::{inject_noise, DatasetId, NoiseSpec};
+use std::time::Duration;
+
+/// One cell of the evaluation grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentCase {
+    pub dataset: DatasetId,
+    /// Property-removal percentage (paper: 0, 10, 20, 30, 40).
+    pub noise_pct: u32,
+    /// Label availability percentage (paper: 100, 50, 0).
+    pub label_pct: u32,
+    pub method: Method,
+    /// Dataset scale factor relative to the default sizes.
+    pub scale: f64,
+    pub seed: u64,
+}
+
+/// What one run of one cell yields.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseResult {
+    /// Node-type F1\*; `None` when the method refuses the input.
+    pub node_f1: Option<F1Scores>,
+    /// Edge-type F1\*; `None` when the method cannot discover edge types
+    /// or refused the input.
+    pub edge_f1: Option<F1Scores>,
+    /// Time until type discovery.
+    pub elapsed: Option<Duration>,
+}
+
+/// Run one grid cell: generate the dataset, degrade it, run the method,
+/// score against ground truth.
+pub fn run_case(case: &ExperimentCase) -> CaseResult {
+    let mut dataset = case.dataset.generate(case.scale, case.seed);
+    inject_noise(
+        &mut dataset.graph,
+        &NoiseSpec::grid(case.noise_pct, case.label_pct, case.seed),
+    );
+    let Some(out) = case.method.run(&dataset.graph, case.seed) else {
+        return CaseResult {
+            node_f1: None,
+            edge_f1: None,
+            elapsed: None,
+        };
+    };
+    let node_f1 = majority_f1(&out.node_assignment, &dataset.truth.node_types);
+    let edge_f1 = out
+        .edge_assignment
+        .as_ref()
+        .map(|ea| majority_f1(ea, &dataset.truth.edge_types));
+    CaseResult {
+        node_f1: Some(node_f1),
+        edge_f1,
+        elapsed: Some(out.elapsed),
+    }
+}
+
+/// The paper's noise levels.
+pub const NOISE_LEVELS: [u32; 5] = [0, 10, 20, 30, 40];
+/// The paper's label-availability levels.
+pub const LABEL_LEVELS: [u32; 3] = [100, 50, 0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(method: Method, noise: u32, labels: u32) -> ExperimentCase {
+        ExperimentCase {
+            dataset: DatasetId::Pole,
+            noise_pct: noise,
+            label_pct: labels,
+            method,
+            scale: 0.08,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn pg_hive_scores_high_on_clean_pole() {
+        let r = run_case(&case(Method::PgHiveElsh, 0, 100));
+        let f1 = r.node_f1.expect("runs");
+        assert!(f1.macro_f1 > 0.9, "node F1 = {}", f1.macro_f1);
+        let ef1 = r.edge_f1.expect("edge types");
+        assert!(ef1.macro_f1 > 0.9, "edge F1 = {}", ef1.macro_f1);
+    }
+
+    #[test]
+    fn baselines_refuse_half_labeled_input() {
+        for m in [Method::GmmSchema, Method::SchemI] {
+            let r = run_case(&case(m, 0, 50));
+            assert!(r.node_f1.is_none(), "{} should refuse", m.name());
+        }
+    }
+
+    #[test]
+    fn pg_hive_still_works_with_no_labels() {
+        let r = run_case(&case(Method::PgHiveElsh, 20, 0));
+        let f1 = r.node_f1.expect("label-independent");
+        assert!(f1.macro_f1 > 0.5, "node F1 = {}", f1.macro_f1);
+    }
+
+    #[test]
+    fn gmm_has_no_edge_f1() {
+        let r = run_case(&case(Method::GmmSchema, 0, 100));
+        assert!(r.node_f1.is_some());
+        assert!(r.edge_f1.is_none());
+    }
+}

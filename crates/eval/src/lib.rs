@@ -1,0 +1,28 @@
+//! # pg-hive-eval
+//!
+//! Evaluation harness reproducing §5 of the PG-HIVE paper:
+//!
+//! - [`f1`] — the majority-based F1\*-score: each discovered cluster is
+//!   labeled with the majority ground-truth type of its members, elements
+//!   are scored against that label, and per-type F1 is macro-averaged.
+//! - [`ranks`] — Friedman average ranks and the Nemenyi critical distance
+//!   (Fig. 3's statistical-significance analysis).
+//! - [`sampling_error`] — the datatype sampling-error metric and its bins
+//!   (Fig. 8).
+//! - [`harness`] — the experiment grid: dataset × noise × label
+//!   availability × method, returning F1 and timing observations.
+//! - [`report`] — plain-text renderers that print each table/figure in the
+//!   paper's layout.
+
+pub mod confusion;
+pub mod f1;
+pub mod harness;
+pub mod ranks;
+pub mod report;
+pub mod sampling_error;
+
+pub use confusion::{ConfusionReport, TypeScore};
+pub use f1::{majority_f1, F1Scores};
+pub use harness::{run_case, CaseResult, ExperimentCase};
+pub use ranks::{average_ranks, friedman_statistic, nemenyi_critical_distance};
+pub use sampling_error::{sampling_errors, ErrorBins};

@@ -1,0 +1,164 @@
+//! Plain-text renderers for the paper's tables and figures.
+
+use pg_hive_graph::{GraphStats, PropertyGraph};
+use std::fmt::Write;
+
+/// Table 1: the qualitative capability matrix.
+pub fn capability_matrix() -> String {
+    let rows = [
+        ("Label Independent", ["x", "x", "x", "yes"]),
+        ("Multilabeled Elements", ["x", "yes", "yes", "yes"]),
+        (
+            "Schema Elements",
+            [
+                "Nodes & Edges",
+                "Nodes only",
+                "Nodes + assoc. Edges",
+                "Nodes, Edges & constraints",
+            ],
+        ),
+        ("Constraints", ["x", "x", "x", "yes"]),
+        ("Incremental", ["x", "x", "yes", "yes"]),
+        ("Automation", ["yes", "yes", "yes", "yes"]),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:<15} {:<12} {:<22} PG-HIVE (ours)",
+        "Capability", "SchemI", "GMMSchema", "DiscoPG"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(96));
+    for (name, cells) in rows {
+        let _ = writeln!(
+            out,
+            "{:<24} {:<15} {:<12} {:<22} {}",
+            name, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    out
+}
+
+/// One row of Table 2 for a generated dataset.
+pub fn table2_row(name: &str, g: &PropertyGraph, node_types: usize, edge_types: usize) -> String {
+    let s = GraphStats::compute(g);
+    format!(
+        "{:<8} {:>9} {:>10} {:>6} {:>6} {:>7} {:>7} {:>9} {:>9}",
+        name,
+        s.nodes,
+        s.edges,
+        node_types,
+        edge_types,
+        s.node_labels,
+        s.edge_labels,
+        s.node_patterns,
+        s.edge_patterns
+    )
+}
+
+/// Table 2 header matching [`table2_row`].
+pub fn table2_header() -> String {
+    format!(
+        "{:<8} {:>9} {:>10} {:>6} {:>6} {:>7} {:>7} {:>9} {:>9}",
+        "Dataset", "Nodes", "Edges", "NTypes", "ETypes", "NLabels", "ELabels", "NPatterns",
+        "EPatterns"
+    )
+}
+
+/// Render an F1-vs-noise series as a compact line (Fig. 4-style row).
+pub fn f1_series_row(method: &str, scores: &[Option<f64>]) -> String {
+    let mut out = format!("{method:<16}");
+    for s in scores {
+        match s {
+            Some(v) => {
+                let _ = write!(out, " {v:>6.3}");
+            }
+            None => {
+                let _ = write!(out, " {:>6}", "-");
+            }
+        }
+    }
+    out
+}
+
+/// Render a time series in seconds (Fig. 5 / Fig. 7-style row).
+pub fn time_series_row(label: &str, times: &[Option<std::time::Duration>]) -> String {
+    let mut out = format!("{label:<16}");
+    for t in times {
+        match t {
+            Some(d) => {
+                let _ = write!(out, " {:>8.3}", d.as_secs_f64());
+            }
+            None => {
+                let _ = write!(out, " {:>8}", "-");
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 3-style average-rank line with Nemenyi critical distance.
+pub fn rank_line(names: &[&str], ranks: &[f64], cd: f64) -> String {
+    let mut pairs: Vec<(usize, f64)> = ranks.iter().copied().enumerate().collect();
+    pairs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let mut out = String::new();
+    let _ = write!(out, "avg ranks (lower = better, CD = {cd:.3}): ");
+    for (i, (m, r)) in pairs.iter().enumerate() {
+        if i > 0 {
+            let _ = write!(out, "  |  ");
+        }
+        let _ = write!(out, "{} = {:.2}", names[*m], r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_hive_graph::GraphBuilder;
+    use std::time::Duration;
+
+    #[test]
+    fn capability_matrix_mentions_all_methods() {
+        let m = capability_matrix();
+        for name in ["SchemI", "GMMSchema", "DiscoPG", "PG-HIVE"] {
+            assert!(m.contains(name), "missing {name}");
+        }
+        assert!(m.contains("Label Independent"));
+    }
+
+    #[test]
+    fn table2_row_formats() {
+        let mut b = GraphBuilder::new();
+        b.add_node(&["A"], &[]);
+        let g = b.finish();
+        let row = table2_row("X", &g, 1, 0);
+        assert!(row.starts_with("X"));
+        assert!(row.contains('1'));
+        // Header and row have aligned column counts.
+        assert_eq!(
+            table2_header().split_whitespace().count(),
+            row.split_whitespace().count()
+        );
+    }
+
+    #[test]
+    fn f1_series_handles_missing() {
+        let row = f1_series_row("GMM", &[Some(0.9), None, Some(0.5)]);
+        assert!(row.contains("0.900"));
+        assert!(row.contains(" -"));
+    }
+
+    #[test]
+    fn time_series_formats_seconds() {
+        let row = time_series_row("POLE", &[Some(Duration::from_millis(1500)), None]);
+        assert!(row.contains("1.500"));
+    }
+
+    #[test]
+    fn rank_line_sorts_by_rank() {
+        let line = rank_line(&["A", "B"], &[2.0, 1.0], 0.5);
+        let a = line.find("A =").unwrap();
+        let b = line.find("B =").unwrap();
+        assert!(b < a, "B (better rank) listed first");
+    }
+}

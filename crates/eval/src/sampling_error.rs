@@ -1,0 +1,260 @@
+//! Datatype sampling error (Fig. 8).
+//!
+//! For each property `p`, let `D_p` be all its values and `S_p` a sample.
+//! The paper defines `error(p) = (1/|S_p|) Σ_{v ∈ S_p} 1[f(v) ≠ f(D_p)]`:
+//! the fraction of sampled values whose individually inferred datatype
+//! disagrees with the full-scan inferred type of the property. Errors are
+//! binned (0–0.05, 0.05–0.10, 0.10–0.20, ≥0.20) and normalized by the
+//! number of properties.
+
+use pg_hive_core::postprocess::{infer_kind_of_values, infer_value_kind};
+use pg_hive_core::SamplingConfig;
+use pg_hive_graph::PropertyGraph;
+use std::collections::HashMap;
+
+/// Per-property sampling errors, keyed by property name.
+pub type PropertyErrors = HashMap<String, f64>;
+
+/// The four bins of Fig. 8, as fractions of all properties.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorBins {
+    /// error ∈ [0, 0.05)
+    pub lowest: f64,
+    /// error ∈ [0.05, 0.10)
+    pub low: f64,
+    /// error ∈ [0.10, 0.20)
+    pub mid: f64,
+    /// error ≥ 0.20
+    pub high: f64,
+}
+
+impl ErrorBins {
+    /// Bin a set of per-property errors.
+    pub fn from_errors(errors: &PropertyErrors) -> Self {
+        let total = errors.len().max(1) as f64;
+        let mut bins = ErrorBins::default();
+        for &e in errors.values() {
+            if e < 0.05 {
+                bins.lowest += 1.0;
+            } else if e < 0.10 {
+                bins.low += 1.0;
+            } else if e < 0.20 {
+                bins.mid += 1.0;
+            } else {
+                bins.high += 1.0;
+            }
+        }
+        bins.lowest /= total;
+        bins.low /= total;
+        bins.mid /= total;
+        bins.high /= total;
+        bins
+    }
+}
+
+/// Compute `error(p)` for every property key of the graph (over node and
+/// edge values pooled per key, as a full-dataset scan would see them).
+pub fn sampling_errors(g: &PropertyGraph, sampling: &SamplingConfig) -> PropertyErrors {
+    // Gather all lexical values per key.
+    let mut values: HashMap<String, Vec<String>> = HashMap::new();
+    for (_, n) in g.nodes() {
+        for (k, v) in &n.props {
+            values
+                .entry(g.key_str(*k).to_string())
+                .or_default()
+                .push(v.lexical());
+        }
+    }
+    for (_, e) in g.edges() {
+        for (k, v) in &e.props {
+            values
+                .entry(g.key_str(*k).to_string())
+                .or_default()
+                .push(v.lexical());
+        }
+    }
+
+    let mut errors = PropertyErrors::new();
+    for (key, vals) in values {
+        let full_kind = infer_kind_of_values(vals.iter().map(String::as_str))
+            .expect("non-empty value list");
+        let want = ((vals.len() as f64 * sampling.fraction).ceil() as usize)
+            .max(sampling.min_values)
+            .min(vals.len());
+        let sample = deterministic_sample(&vals, want, sampling.seed);
+        let disagreements = sample
+            .iter()
+            .filter(|v| infer_value_kind(v) != full_kind)
+            .count();
+        errors.insert(key, disagreements as f64 / sample.len() as f64);
+    }
+    errors
+}
+
+/// Fig. 8's per-method variant: errors computed per *(discovered type,
+/// property)* pair of a schema, so that methods which group instances
+/// differently (ELSH vs MinHash) see different value populations per
+/// property. Keys are `"TypeName.prop"`.
+pub fn sampling_errors_by_type(
+    g: &PropertyGraph,
+    schema: &pg_hive_core::SchemaGraph,
+    sampling: &SamplingConfig,
+) -> PropertyErrors {
+    let mut errors = PropertyErrors::new();
+    for (idx, t) in schema.node_types.iter().enumerate() {
+        let type_name = if t.labels.is_empty() {
+            format!("Abstract{idx}")
+        } else {
+            t.labels.iter().cloned().collect::<Vec<_>>().join("|")
+        };
+        for key in t.props.keys() {
+            let Some(sym) = g.keys().get(key) else {
+                continue;
+            };
+            let vals: Vec<String> = t
+                .members
+                .iter()
+                .filter_map(|&m| g.node(pg_hive_graph::NodeId(m)).get(sym))
+                .map(|v| v.lexical())
+                .collect();
+            if vals.is_empty() {
+                continue;
+            }
+            let full_kind =
+                infer_kind_of_values(vals.iter().map(String::as_str)).expect("non-empty");
+            let want = ((vals.len() as f64 * sampling.fraction).ceil() as usize)
+                .max(sampling.min_values)
+                .min(vals.len());
+            let sample = deterministic_sample(&vals, want, sampling.seed);
+            let disagreements = sample
+                .iter()
+                .filter(|v| infer_value_kind(v) != full_kind)
+                .count();
+            errors.insert(
+                format!("{type_name}.{key}"),
+                disagreements as f64 / sample.len() as f64,
+            );
+        }
+    }
+    errors
+}
+
+fn deterministic_sample(vals: &[String], want: usize, seed: u64) -> Vec<&String> {
+    if want >= vals.len() {
+        return vals.iter().collect();
+    }
+    let mut idx: Vec<usize> = (0..vals.len()).collect();
+    let mut state = seed;
+    for i in 0..want {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let j = i + (z % (idx.len() - i) as u64) as usize;
+        idx.swap(i, j);
+    }
+    idx[..want].iter().map(|&i| &vals[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_hive_graph::{GraphBuilder, Value};
+
+    #[test]
+    fn clean_property_has_zero_error() {
+        let mut b = GraphBuilder::new();
+        for i in 0..100 {
+            b.add_node(&["T"], &[("x", Value::Int(i))]);
+        }
+        let g = b.finish();
+        let errors = sampling_errors(
+            &g,
+            &SamplingConfig {
+                fraction: 0.1,
+                min_values: 5,
+                seed: 1,
+            },
+        );
+        assert_eq!(errors["x"], 0.0);
+    }
+
+    #[test]
+    fn dirty_property_error_tracks_outlier_rate() {
+        // 90 ints + 10 strings: full-scan kind = String, so every sampled
+        // *integer* disagrees ⇒ error ≈ 0.9.
+        let mut b = GraphBuilder::new();
+        for i in 0..90 {
+            b.add_node(&["T"], &[("x", Value::Int(i))]);
+        }
+        for _ in 0..10 {
+            b.add_node(&["T"], &[("x", Value::from("oops"))]);
+        }
+        let g = b.finish();
+        let errors = sampling_errors(
+            &g,
+            &SamplingConfig {
+                fraction: 1.0,
+                min_values: 1,
+                seed: 2,
+            },
+        );
+        assert!((errors["x"] - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bins_normalize_by_property_count() {
+        let mut errors = PropertyErrors::new();
+        errors.insert("a".into(), 0.0);
+        errors.insert("b".into(), 0.01);
+        errors.insert("c".into(), 0.07);
+        errors.insert("d".into(), 0.5);
+        let bins = ErrorBins::from_errors(&errors);
+        assert!((bins.lowest - 0.5).abs() < 1e-9);
+        assert!((bins.low - 0.25).abs() < 1e-9);
+        assert!((bins.mid - 0.0).abs() < 1e-9);
+        assert!((bins.high - 0.25).abs() < 1e-9);
+        let total = bins.lowest + bins.low + bins.mid + bins.high;
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integers_among_floats_disagree() {
+        // Mixed int/float: full kind = Float (join), ints individually
+        // infer Integer ⇒ they count as disagreements.
+        let mut b = GraphBuilder::new();
+        for i in 0..50 {
+            b.add_node(&["T"], &[("x", Value::Int(i))]);
+            b.add_node(&["T"], &[("x", Value::Float(i as f64 + 0.5))]);
+        }
+        let g = b.finish();
+        let errors = sampling_errors(
+            &g,
+            &SamplingConfig {
+                fraction: 1.0,
+                min_values: 1,
+                seed: 3,
+            },
+        );
+        assert!((errors["x"] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_properties_are_included() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(&["A"], &[]);
+        let c = b.add_node(&["B"], &[]);
+        b.add_edge(a, c, &["E"], &[("w", Value::Int(5))]);
+        let g = b.finish();
+        let errors = sampling_errors(
+            &g,
+            &SamplingConfig {
+                fraction: 1.0,
+                min_values: 1,
+                seed: 4,
+            },
+        );
+        assert!(errors.contains_key("w"));
+    }
+}

@@ -1,0 +1,230 @@
+//! k-means with k-means++ seeding — the standard EM initializer.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// k-means knobs.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    pub k: usize,
+    pub max_iters: usize,
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 2,
+            max_iters: 50,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// `k × d` centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index per point.
+    pub assignment: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+}
+
+/// Run k-means++ / Lloyd on `points` (each of equal dimension).
+///
+/// If there are fewer distinct points than `k`, the result has empty
+/// clusters collapsed away (centroids may repeat, assignment stays valid).
+///
+/// # Panics
+/// Panics if `k == 0` or `points` is empty or dims differ.
+pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
+    assert!(config.k > 0, "k must be positive");
+    assert!(!points.is_empty(), "need at least one point");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "dimension mismatch");
+    let k = config.k.min(points.len());
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut centroids = seed_plus_plus(points, k, &mut rng);
+    let mut assignment = vec![0usize; points.len()];
+    let mut inertia = f64::INFINITY;
+
+    for _ in 0..config.max_iters {
+        // Assign.
+        let mut new_inertia = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let (best, d2) = nearest(p, &centroids);
+            assignment[i] = best;
+            new_inertia += d2;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignment) {
+            counts[a] += 1;
+            for (s, x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if count > 0 {
+                for (ci, si) in c.iter_mut().zip(sum) {
+                    *ci = si / count as f64;
+                }
+            }
+        }
+        if (inertia - new_inertia).abs() < 1e-9 {
+            inertia = new_inertia;
+            break;
+        }
+        inertia = new_inertia;
+    }
+
+    KMeansResult {
+        centroids,
+        assignment,
+        inertia,
+    }
+}
+
+fn seed_plus_plus(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    let mut dists: Vec<f64> = points
+        .iter()
+        .map(|p| sq_dist(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            // All points identical to some centroid: pick uniformly.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (d, p) in dists.iter_mut().zip(points) {
+            let nd = sq_dist(p, centroids.last().unwrap());
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centroids
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(p, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    (best, best_d)
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..30 {
+            pts.push(vec![0.0 + (i % 3) as f64 * 0.01, 0.0]);
+            pts.push(vec![5.0 + (i % 3) as f64 * 0.01, 5.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let r = kmeans(
+            &two_blobs(),
+            &KMeansConfig {
+                k: 2,
+                max_iters: 50,
+                seed: 1,
+            },
+        );
+        // All even indices in one cluster, all odd in the other.
+        let c0 = r.assignment[0];
+        assert!(r.assignment.iter().step_by(2).all(|&a| a == c0));
+        assert!(r.assignment.iter().skip(1).step_by(2).all(|&a| a != c0));
+        assert!(r.inertia < 0.1);
+    }
+
+    #[test]
+    fn k_capped_at_point_count() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let r = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 10,
+                max_iters: 10,
+                seed: 2,
+            },
+        );
+        assert_eq!(r.centroids.len(), 2);
+    }
+
+    #[test]
+    fn identical_points_one_effective_cluster() {
+        let pts = vec![vec![3.0, 3.0]; 10];
+        let r = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                max_iters: 10,
+                seed: 3,
+            },
+        );
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = two_blobs();
+        let cfg = KMeansConfig {
+            k: 2,
+            max_iters: 50,
+            seed: 42,
+        };
+        let a = kmeans(&pts, &cfg);
+        let b = kmeans(&pts, &cfg);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        kmeans(&[vec![0.0]], &KMeansConfig {
+            k: 0,
+            max_iters: 1,
+            seed: 0,
+        });
+    }
+}

@@ -1,0 +1,109 @@
+//! Model selection over component counts.
+//!
+//! GMMSchema does not know the number of types in advance — the paper notes
+//! "identifying the appropriate number of clusters ... remains an open
+//! problem". The baseline follows the standard practice of fitting mixtures
+//! for a range of `k` and keeping the one with the best information
+//! criterion.
+
+use crate::em::{GaussianMixture, GmmConfig};
+
+/// Which information criterion drives the selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionCriterion {
+    /// Bayesian IC — heavier complexity penalty, favored by GMMSchema.
+    Bic,
+    /// Akaike IC — lighter penalty.
+    Aic,
+}
+
+/// Fit mixtures for `k ∈ k_range` and return the best-scoring one together
+/// with its `k`.
+///
+/// # Panics
+/// Panics if the range is empty or `points` is empty.
+pub fn fit_best(
+    points: &[Vec<f64>],
+    k_range: std::ops::RangeInclusive<usize>,
+    criterion: SelectionCriterion,
+    base: &GmmConfig,
+) -> (usize, GaussianMixture) {
+    assert!(!points.is_empty(), "need points");
+    let mut best: Option<(usize, GaussianMixture, f64)> = None;
+    for k in k_range {
+        if k == 0 || k > points.len() {
+            continue;
+        }
+        let m = GaussianMixture::fit(points, &GmmConfig {
+            components: k,
+            ..base.clone()
+        });
+        let score = match criterion {
+            SelectionCriterion::Bic => m.bic(points.len()),
+            SelectionCriterion::Aic => m.aic(),
+        };
+        let better = best.as_ref().is_none_or(|(_, _, s)| score < *s);
+        if better {
+            best = Some((k, m, score));
+        }
+    }
+    let (k, m, _) = best.expect("k range produced no valid fit");
+    (k, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(centers: &[f64], per: usize, std: f64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut pts = Vec::new();
+        for &c in centers {
+            for _ in 0..per {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen();
+                let g = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                pts.push(vec![c + std * g]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn bic_finds_three_components() {
+        let pts = blobs(&[0.0, 10.0, 20.0], 150, 0.4);
+        let (k, _) = fit_best(&pts, 1..=6, SelectionCriterion::Bic, &GmmConfig::default());
+        assert_eq!(k, 3);
+    }
+
+    #[test]
+    fn bic_finds_one_component() {
+        let pts = blobs(&[0.0], 300, 0.5);
+        let (k, _) = fit_best(&pts, 1..=4, SelectionCriterion::Bic, &GmmConfig::default());
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn aic_also_reasonable() {
+        let pts = blobs(&[0.0, 8.0], 150, 0.4);
+        let (k, _) = fit_best(&pts, 1..=5, SelectionCriterion::Aic, &GmmConfig::default());
+        assert!(k == 2 || k == 3, "AIC may slightly overfit; got {k}");
+    }
+
+    #[test]
+    fn k_range_capped_by_points() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let (k, _) = fit_best(&pts, 1..=10, SelectionCriterion::Bic, &GmmConfig::default());
+        assert!(k <= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no valid fit")]
+    fn empty_range_panics() {
+        let pts = vec![vec![0.0]];
+        #[allow(clippy::reversed_empty_ranges)]
+        fit_best(&pts, 3..=2, SelectionCriterion::Bic, &GmmConfig::default());
+    }
+}

@@ -1,0 +1,243 @@
+//! Euclidean (p-stable) LSH — Datar et al., cited as [32]/[63] in the paper.
+//!
+//! Each of the `T` hash tables draws `k` random Gaussian directions `a_j`
+//! and uniform offsets `o_j ∈ [0, b)`; the hash of vector `v` in a table is
+//! the tuple `(⌊(a_1·v + o_1)/b⌋, …, ⌊(a_k·v + o_k)/b⌋)` (AND-composition
+//! within a table, the standard `(k, T)` scheme of Datar et al.). Two
+//! vectors collide in a table when all `k` buckets agree; under the OR rule,
+//! elements that collide in **at least one** table are clustered together
+//! (transitively, via union-find). Decreasing `b` or increasing `T`
+//! increases selectivity/recall respectively — exactly the trade-off §4.2
+//! describes — while `k > 1` suppresses the rare far-apart collisions that
+//! would otherwise chain whole clusters together (per-table false-positive
+//! probability drops from `p` to `p^k`).
+
+use crate::unionfind::UnionFind;
+use crate::Clustering;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand::distributions::{Distribution, Uniform};
+use std::collections::HashMap;
+
+/// Parameters of Euclidean LSH.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElshParams {
+    /// Bucket length `b > 0`: the width of each hash bucket.
+    pub bucket_width: f64,
+    /// Number of hash tables `T ≥ 1` (OR rule across tables).
+    pub tables: usize,
+    /// Projections concatenated per table (`k ≥ 1`, AND rule within a
+    /// table). The paper exposes only `(b, T)`; `k = 4` is the fixed
+    /// AND-width used throughout.
+    pub hashes_per_table: usize,
+    /// PRNG seed for the random projections.
+    pub seed: u64,
+}
+
+impl Default for ElshParams {
+    fn default() -> Self {
+        Self {
+            bucket_width: 1.0,
+            tables: 10,
+            hashes_per_table: 4,
+            seed: 0xE15E,
+        }
+    }
+}
+
+/// Cluster dense vectors with Euclidean LSH. All vectors must share the same
+/// dimension. Returns a [`Clustering`] over the input indices.
+///
+/// Complexity `O(N·T·D)` — the paper's §4.7 efficiency bound.
+///
+/// # Panics
+/// Panics if `bucket_width <= 0`, `tables == 0`, or vector dims differ.
+pub fn elsh_cluster(vectors: &[Vec<f32>], params: &ElshParams) -> Clustering {
+    assert!(params.bucket_width > 0.0, "bucket width must be positive");
+    assert!(params.tables > 0, "need at least one hash table");
+    assert!(
+        params.hashes_per_table > 0,
+        "need at least one hash per table"
+    );
+    let n = vectors.len();
+    if n == 0 {
+        return Clustering {
+            assignment: vec![],
+            num_clusters: 0,
+        };
+    }
+    let dim = vectors[0].len();
+    assert!(
+        vectors.iter().all(|v| v.len() == dim),
+        "all vectors must share a dimension"
+    );
+
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut uf = UnionFind::new(n);
+    let mut buckets: HashMap<u64, usize> = HashMap::new();
+    let k = params.hashes_per_table;
+
+    for _table in 0..params.tables {
+        // k Gaussian directions + offsets per table (AND-composition).
+        let dirs: Vec<Vec<f32>> = (0..k)
+            .map(|_| (0..dim).map(|_| gaussian(&mut rng)).collect())
+            .collect();
+        let offsets: Vec<f64> = (0..k)
+            .map(|_| Uniform::new(0.0, params.bucket_width).sample(&mut rng))
+            .collect();
+
+        buckets.clear();
+        for (i, v) in vectors.iter().enumerate() {
+            let mut key = 0xcbf2_9ce4_8422_2325u64;
+            for (dir, &offset) in dirs.iter().zip(&offsets) {
+                let proj: f64 = v
+                    .iter()
+                    .zip(dir)
+                    .map(|(x, a)| (*x as f64) * (*a as f64))
+                    .sum();
+                let bucket = ((proj + offset) / params.bucket_width).floor() as i64;
+                key = mix(key ^ bucket as u64);
+            }
+            match buckets.get(&key) {
+                Some(&first) => {
+                    uf.union(first, i);
+                }
+                None => {
+                    buckets.insert(key, i);
+                }
+            }
+        }
+    }
+
+    Clustering::from_union_find(&mut uf)
+}
+
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: &[f32], n: usize, spread: f32, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                center
+                    .iter()
+                    .map(|&c| c + spread * (rng.gen::<f32>() - 0.5))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_vectors_always_cluster_together() {
+        let vectors = vec![vec![1.0, 2.0, 3.0]; 10];
+        let c = elsh_cluster(&vectors, &ElshParams::default());
+        assert_eq!(c.num_clusters, 1);
+    }
+
+    #[test]
+    fn well_separated_blobs_split() {
+        let mut vs = blob(&[0.0, 0.0, 0.0, 0.0], 50, 0.05, 1);
+        vs.extend(blob(&[10.0, 10.0, 10.0, 10.0], 50, 0.05, 2));
+        let c = elsh_cluster(
+            &vs,
+            &ElshParams {
+                bucket_width: 0.5,
+                tables: 15,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        // The two blobs must never be merged.
+        for i in 0..50 {
+            for j in 50..100 {
+                assert_ne!(
+                    c.assignment[i], c.assignment[j],
+                    "blob members {i} and {j} were merged"
+                );
+            }
+        }
+        // And each blob should be (mostly) one cluster: with 15 tables the
+        // OR rule gives near-certain recall at distance << b.
+        assert!(c.num_clusters <= 4, "got {} clusters", c.num_clusters);
+    }
+
+    #[test]
+    fn wider_buckets_merge_more() {
+        let mut vs = blob(&[0.0; 4], 30, 0.2, 5);
+        vs.extend(blob(&[2.0; 4], 30, 0.2, 6));
+        let narrow = elsh_cluster(
+            &vs,
+            &ElshParams {
+                bucket_width: 0.3,
+                tables: 10,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let wide = elsh_cluster(
+            &vs,
+            &ElshParams {
+                bucket_width: 50.0,
+                tables: 10,
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        assert!(wide.num_clusters <= narrow.num_clusters);
+        assert_eq!(wide.num_clusters, 1, "huge buckets merge everything");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let vs = blob(&[0.0; 8], 40, 1.0, 11);
+        let p = ElshParams {
+            bucket_width: 0.7,
+            tables: 8,
+            seed: 13,
+            ..Default::default()
+        };
+        assert_eq!(elsh_cluster(&vs, &p), elsh_cluster(&vs, &p));
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = elsh_cluster(&[], &ElshParams::default());
+        assert_eq!(c.num_clusters, 0);
+        assert!(c.assignment.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_width_panics() {
+        elsh_cluster(&[vec![1.0]], &ElshParams {
+            bucket_width: 0.0,
+            tables: 1,
+            seed: 0,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn mismatched_dims_panic() {
+        elsh_cluster(
+            &[vec![1.0, 2.0], vec![1.0]],
+            &ElshParams::default(),
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! # pg-hive-lsh
+//!
+//! Locality-Sensitive Hashing substrate for PG-HIVE (§4.2 of the paper).
+//!
+//! Two families are provided, matching the paper's two PG-HIVE variants:
+//!
+//! - [`elsh`] — Euclidean LSH ("p-stable" / bucketed random projections,
+//!   Datar et al.) over the hybrid dense vectors of §4.1. Parameters: bucket
+//!   length `b` and number of hash tables `T`, combined under the OR rule.
+//! - [`minhash`] — MinHash with banding over set representations, for
+//!   Jaccard similarity.
+//!
+//! Clusters are the connected components of the "collided in at least one
+//! table/band" relation, computed with a union-find ([`unionfind`]).
+//!
+//! [`adaptive`] implements the paper's adaptive parameterization: sample the
+//! data to estimate the distance scale `μ`, set `b_base = 1.2·μ`, adjust by
+//! the label-count factor `α`, and derive `T` from dataset size
+//! (§4.2 "Adaptive parameterization").
+//!
+//! [`probability`] provides the closed-form collision probabilities used to
+//! reason about parameter effects (and tested against simulation).
+
+pub mod adaptive;
+pub mod elsh;
+pub mod minhash;
+pub mod probability;
+pub mod unionfind;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveParams, ElementClass};
+pub use elsh::{elsh_cluster, ElshParams};
+pub use minhash::{minhash_cluster, MinHashParams};
+pub use unionfind::UnionFind;
+
+/// A clustering of `n` elements: `assignment[i]` is the dense cluster id of
+/// element `i`, ids in `0..num_clusters`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    pub assignment: Vec<u32>,
+    pub num_clusters: usize,
+}
+
+impl Clustering {
+    /// Group element indices by cluster id.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.num_clusters];
+        for (i, &c) in self.assignment.iter().enumerate() {
+            groups[c as usize].push(i);
+        }
+        groups
+    }
+
+    /// Build from a union-find over `n` elements.
+    pub fn from_union_find(uf: &mut UnionFind) -> Self {
+        let n = uf.len();
+        let mut remap: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+        let mut assignment = Vec::with_capacity(n);
+        for i in 0..n {
+            let root = uf.find(i);
+            let next = remap.len() as u32;
+            let id = *remap.entry(root).or_insert(next);
+            assignment.push(id);
+        }
+        Clustering {
+            assignment,
+            num_clusters: remap.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_partition_elements() {
+        let c = Clustering {
+            assignment: vec![0, 1, 0, 2, 1],
+            num_clusters: 3,
+        };
+        let g = c.groups();
+        assert_eq!(g, vec![vec![0, 2], vec![1, 4], vec![3]]);
+    }
+
+    #[test]
+    fn from_union_find_densifies_ids() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 3);
+        let c = Clustering::from_union_find(&mut uf);
+        assert_eq!(c.num_clusters, 3);
+        assert_eq!(c.assignment[0], c.assignment[3]);
+        assert_ne!(c.assignment[1], c.assignment[2]);
+    }
+}

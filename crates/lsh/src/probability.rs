@@ -1,0 +1,181 @@
+//! Closed-form LSH collision probabilities (§4.2 "Collision probabilities
+//! and parameter effects").
+//!
+//! For Euclidean LSH with bucket length `b`, the single-table collision
+//! probability of two points at distance `d` is (Datar et al. 2004):
+//!
+//! `p_b(d) = 1 − 2Φ(−b/d) − (2d / (√(2π)·b)) · (1 − exp(−b²/(2d²)))`
+//!
+//! which decreases in `d` and increases in `b`. Under the OR rule over `T`
+//! tables: `P_{b,T}(d) = 1 − (1 − p_b(d))^T`.
+//!
+//! For MinHash, one hash function collides with probability exactly the
+//! Jaccard similarity `J`; with banding (`r` rows, `B` bands):
+//! `P = 1 − (1 − J^r)^B`.
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max abs error ≈ 1.5e−7).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (A&S 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Single-table Euclidean-LSH collision probability `p_b(d)`.
+///
+/// Returns 1.0 at `d == 0` and tends to 0 as `d → ∞`.
+///
+/// # Panics
+/// Panics if `b <= 0` or `d < 0`.
+pub fn elsh_collision_prob(d: f64, b: f64) -> f64 {
+    assert!(b > 0.0, "bucket length must be positive");
+    assert!(d >= 0.0, "distance must be non-negative");
+    if d == 0.0 {
+        return 1.0;
+    }
+    let r = b / d;
+    let p = 1.0 - 2.0 * normal_cdf(-r)
+        - (2.0 / (std::f64::consts::TAU.sqrt() * r)) * (1.0 - (-(r * r) / 2.0).exp());
+    p.clamp(0.0, 1.0)
+}
+
+/// OR-rule collision probability over `t` tables:
+/// `P_{b,T}(d) = 1 − (1 − p_b(d))^T`.
+pub fn elsh_or_rule(d: f64, b: f64, t: usize) -> f64 {
+    let p = elsh_collision_prob(d, b);
+    1.0 - (1.0 - p).powi(t as i32)
+}
+
+/// Banded MinHash collision probability `1 − (1 − J^r)^B`.
+///
+/// # Panics
+/// Panics if `j` is outside `[0, 1]`.
+pub fn minhash_band_prob(j: f64, rows: usize, bands: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&j), "Jaccard must be in [0,1]");
+    1.0 - (1.0 - j.powi(rows as i32)).powi(bands as i32)
+}
+
+/// The S-curve threshold of banded MinHash, `(1/B)^(1/r)` — the similarity
+/// at which collision probability is ≈ 1 − 1/e.
+pub fn minhash_threshold(rows: usize, bands: usize) -> f64 {
+    (1.0 / bands as f64).powf(1.0 / rows as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-5);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn elsh_prob_monotone_in_distance() {
+        let b = 1.0;
+        let mut prev = 1.0;
+        for i in 1..50 {
+            let d = i as f64 * 0.2;
+            let p = elsh_collision_prob(d, b);
+            assert!(p <= prev + 1e-12, "p_b(d) must decrease in d");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn elsh_prob_monotone_in_bucket_width() {
+        let d = 1.0;
+        let mut prev = 0.0;
+        for i in 1..50 {
+            let b = i as f64 * 0.2;
+            let p = elsh_collision_prob(d, b);
+            assert!(p >= prev - 1e-12, "p_b(d) must increase in b");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn or_rule_increases_with_tables() {
+        let p1 = elsh_or_rule(1.0, 0.5, 1);
+        let p5 = elsh_or_rule(1.0, 0.5, 5);
+        let p25 = elsh_or_rule(1.0, 0.5, 25);
+        assert!(p1 < p5 && p5 < p25);
+        assert!(p25 <= 1.0);
+    }
+
+    #[test]
+    fn elsh_prob_matches_simulation() {
+        // Monte-Carlo check of the closed form: two points at distance d on
+        // a random Gaussian projection with random offset.
+        let d = 1.5;
+        let b = 2.0;
+        let mut rng = StdRng::seed_from_u64(99);
+        let trials = 200_000;
+        let mut collisions = 0;
+        for _ in 0..trials {
+            // 1-D reduction: projection of the difference vector is N(0, d²).
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            let g = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let delta = g * d;
+            let offset: f64 = rng.gen::<f64>() * b;
+            let h1 = (offset / b).floor();
+            let h2 = ((delta + offset) / b).floor();
+            if h1 == h2 {
+                collisions += 1;
+            }
+        }
+        let sim = collisions as f64 / trials as f64;
+        let closed = elsh_collision_prob(d, b);
+        assert!(
+            (sim - closed).abs() < 0.01,
+            "simulated {sim} vs closed-form {closed}"
+        );
+    }
+
+    #[test]
+    fn minhash_band_prob_scurve() {
+        // Below threshold ≈ low, above ≈ high.
+        let t = minhash_threshold(2, 20); // ≈ 0.224
+        assert!(minhash_band_prob(t / 4.0, 2, 20) < 0.2);
+        assert!(minhash_band_prob((3.0 * t).min(1.0), 2, 20) > 0.9);
+        assert_eq!(minhash_band_prob(0.0, 2, 20), 0.0);
+        assert_eq!(minhash_band_prob(1.0, 2, 20), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket length")]
+    fn invalid_bucket_panics() {
+        elsh_collision_prob(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Jaccard")]
+    fn invalid_jaccard_panics() {
+        minhash_band_prob(1.5, 2, 20);
+    }
+}

@@ -1,0 +1,138 @@
+//! Adjacency index: per-node incident-edge lists, built on demand.
+//!
+//! The discovery pipeline itself only scans elements, but downstream
+//! consumers of a discovered schema (validators, explorers, the examples)
+//! need neighborhood access; this keeps the core store lean while offering
+//! an O(V + E) one-shot index.
+
+use crate::element::{EdgeId, NodeId};
+use crate::graph::PropertyGraph;
+
+/// Immutable adjacency lists over a snapshot of a [`PropertyGraph`].
+#[derive(Debug, Clone)]
+pub struct AdjacencyIndex {
+    out_edges: Vec<Vec<EdgeId>>,
+    in_edges: Vec<Vec<EdgeId>>,
+}
+
+impl AdjacencyIndex {
+    /// Build the index with one pass over the edges.
+    pub fn build(g: &PropertyGraph) -> Self {
+        let mut out_edges = vec![Vec::new(); g.node_count()];
+        let mut in_edges = vec![Vec::new(); g.node_count()];
+        for (id, e) in g.edges() {
+            out_edges[e.src.index()].push(id);
+            in_edges[e.tgt.index()].push(id);
+        }
+        AdjacencyIndex {
+            out_edges,
+            in_edges,
+        }
+    }
+
+    /// Outgoing edges of `n`.
+    pub fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.out_edges[n.index()]
+    }
+
+    /// Incoming edges of `n`.
+    pub fn in_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.in_edges[n.index()]
+    }
+
+    /// Out-degree of `n`.
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.out_edges[n.index()].len()
+    }
+
+    /// In-degree of `n`.
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.in_edges[n.index()].len()
+    }
+
+    /// Successor node ids of `n` (with multiplicity).
+    pub fn successors<'a>(
+        &'a self,
+        g: &'a PropertyGraph,
+        n: NodeId,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.out_edges[n.index()].iter().map(|&e| g.edge(e).tgt)
+    }
+
+    /// Predecessor node ids of `n` (with multiplicity).
+    pub fn predecessors<'a>(
+        &'a self,
+        g: &'a PropertyGraph,
+        n: NodeId,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.in_edges[n.index()].iter().map(|&e| g.edge(e).src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn chain(n: usize) -> (PropertyGraph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..n).map(|_| b.add_node(&["N"], &[])).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], &["E"], &[]);
+        }
+        (b.finish(), ids)
+    }
+
+    #[test]
+    fn chain_degrees() {
+        let (g, ids) = chain(4);
+        let adj = AdjacencyIndex::build(&g);
+        assert_eq!(adj.out_degree(ids[0]), 1);
+        assert_eq!(adj.in_degree(ids[0]), 0);
+        assert_eq!(adj.out_degree(ids[3]), 0);
+        assert_eq!(adj.in_degree(ids[3]), 1);
+        assert_eq!(adj.out_degree(ids[1]), 1);
+        assert_eq!(adj.in_degree(ids[1]), 1);
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let (g, ids) = chain(3);
+        let adj = AdjacencyIndex::build(&g);
+        let succ: Vec<NodeId> = adj.successors(&g, ids[0]).collect();
+        assert_eq!(succ, vec![ids[1]]);
+        let pred: Vec<NodeId> = adj.predecessors(&g, ids[2]).collect();
+        assert_eq!(pred, vec![ids[1]]);
+    }
+
+    #[test]
+    fn parallel_edges_keep_multiplicity() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(&["A"], &[]);
+        let c = b.add_node(&["B"], &[]);
+        b.add_edge(a, c, &["E"], &[]);
+        b.add_edge(a, c, &["E"], &[]);
+        let g = b.finish();
+        let adj = AdjacencyIndex::build(&g);
+        assert_eq!(adj.out_degree(a), 2);
+        assert_eq!(adj.successors(&g, a).count(), 2);
+    }
+
+    #[test]
+    fn empty_graph_index() {
+        let g = PropertyGraph::new();
+        let adj = AdjacencyIndex::build(&g);
+        assert!(adj.out_edges.is_empty());
+    }
+
+    #[test]
+    fn self_loop_counts_both_ways() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(&["A"], &[]);
+        b.add_edge(a, a, &["SELF"], &[]);
+        let g = b.finish();
+        let adj = AdjacencyIndex::build(&g);
+        assert_eq!(adj.out_degree(a), 1);
+        assert_eq!(adj.in_degree(a), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Batch splitting for the incremental pipeline (§4.6).
+//!
+//! The paper evaluates incrementality by "randomly separat[ing] the graph
+//! into 10 batches" (Fig. 7). A batch is a view over the parent graph: node
+//! and edge id lists. Edges are assigned to the batch of their *source* node
+//! insertion round, mirroring a streaming ingest where an edge arrives with
+//! its later endpoint; the pipeline reads endpoint labels from the full store
+//! (exactly like the paper reads them from Neo4j with a single query).
+
+use crate::element::{EdgeId, NodeId};
+use crate::graph::PropertyGraph;
+
+/// One batch of a [`PropertyGraph`] stream: which nodes and edges arrive in
+/// this round.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBatch {
+    pub nodes: Vec<NodeId>,
+    pub edges: Vec<EdgeId>,
+}
+
+impl GraphBatch {
+    /// Total number of elements in the batch.
+    pub fn len(&self) -> usize {
+        self.nodes.len() + self.edges.len()
+    }
+
+    /// True when the batch carries no elements.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.edges.is_empty()
+    }
+}
+
+/// Split `g` into `n` batches using a deterministic xorshift-style shuffle
+/// seeded with `seed`. Every node and edge appears in exactly one batch.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn split_batches(g: &PropertyGraph, n: usize, seed: u64) -> Vec<GraphBatch> {
+    assert!(n > 0, "batch count must be positive");
+    let mut batches = vec![GraphBatch::default(); n];
+
+    let mut node_ids: Vec<u32> = (0..g.node_count() as u32).collect();
+    shuffle(&mut node_ids, seed);
+    for (i, id) in node_ids.iter().enumerate() {
+        batches[i % n].nodes.push(NodeId(*id));
+    }
+
+    let mut edge_ids: Vec<u32> = (0..g.edge_count() as u32).collect();
+    shuffle(&mut edge_ids, seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
+    for (i, id) in edge_ids.iter().enumerate() {
+        batches[i % n].edges.push(EdgeId(*id));
+    }
+
+    batches
+}
+
+/// Fisher–Yates with a splitmix64 PRNG — dependency-free and deterministic
+/// across platforms, which keeps incremental experiments reproducible.
+fn shuffle(xs: &mut [u32], seed: u64) {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..xs.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn small_graph(nodes: usize, edges: usize) -> PropertyGraph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..nodes).map(|_| b.add_node(&["N"], &[])).collect();
+        for i in 0..edges {
+            b.add_edge(ids[i % nodes], ids[(i + 1) % nodes], &["E"], &[]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn batches_partition_all_elements() {
+        let g = small_graph(53, 97);
+        let batches = split_batches(&g, 10, 42);
+        assert_eq!(batches.len(), 10);
+        let total_nodes: usize = batches.iter().map(|b| b.nodes.len()).sum();
+        let total_edges: usize = batches.iter().map(|b| b.edges.len()).sum();
+        assert_eq!(total_nodes, 53);
+        assert_eq!(total_edges, 97);
+
+        let mut seen_nodes: Vec<u32> = batches
+            .iter()
+            .flat_map(|b| b.nodes.iter().map(|n| n.0))
+            .collect();
+        seen_nodes.sort_unstable();
+        seen_nodes.dedup();
+        assert_eq!(seen_nodes.len(), 53, "no node appears twice");
+    }
+
+    #[test]
+    fn batches_are_deterministic_per_seed() {
+        let g = small_graph(20, 20);
+        let a = split_batches(&g, 4, 7);
+        let b = split_batches(&g, 4, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.nodes, y.nodes);
+            assert_eq!(x.edges, y.edges);
+        }
+        let c = split_batches(&g, 4, 8);
+        assert_ne!(
+            a.iter().map(|b| b.nodes.clone()).collect::<Vec<_>>(),
+            c.iter().map(|b| b.nodes.clone()).collect::<Vec<_>>(),
+            "different seeds shuffle differently"
+        );
+    }
+
+    #[test]
+    fn batch_sizes_are_balanced() {
+        let g = small_graph(100, 0);
+        let batches = split_batches(&g, 10, 1);
+        for b in &batches {
+            assert_eq!(b.nodes.len(), 10);
+        }
+    }
+
+    #[test]
+    fn single_batch_contains_everything() {
+        let g = small_graph(5, 5);
+        let batches = split_batches(&g, 1, 0);
+        assert_eq!(batches[0].nodes.len(), 5);
+        assert_eq!(batches[0].edges.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch count")]
+    fn zero_batches_panics() {
+        let g = small_graph(1, 0);
+        split_batches(&g, 0, 0);
+    }
+
+    #[test]
+    fn empty_batch_helpers() {
+        let b = GraphBatch::default();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Nodes and edges (Def. 3.1 of the paper).
+//!
+//! A property graph is `G = (V, E, ρ, λ, π)`: nodes, edges, an endpoint
+//! function, a partial label assignment, and a partial key–value assignment.
+//! Labels are kept as *sorted* symbol vectors so that a multi-label set has a
+//! single canonical form — §4.1 sorts multiple labels alphabetically before
+//! embedding, and the interner assigns symbols in first-seen order, so we
+//! sort by the resolved string at insertion time in [`crate::GraphBuilder`].
+
+use crate::interner::Symbol;
+use crate::value::Value;
+
+/// Index of a node inside its [`crate::PropertyGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Index of an edge inside its [`crate::PropertyGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+impl EdgeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A node: a (possibly empty) label set and a property map.
+#[derive(Debug, Clone, Default)]
+pub struct Node {
+    /// Sorted, deduplicated label symbols (λ). Empty = unlabeled.
+    pub labels: Vec<Symbol>,
+    /// Sorted-by-key `(key, value)` pairs (π).
+    pub props: Vec<(Symbol, Value)>,
+}
+
+/// An edge: endpoints (ρ), label set (λ) and property map (π).
+#[derive(Debug, Clone)]
+pub struct Edge {
+    pub src: NodeId,
+    pub tgt: NodeId,
+    /// Sorted, deduplicated label symbols. Empty = unlabeled.
+    pub labels: Vec<Symbol>,
+    /// Sorted-by-key `(key, value)` pairs.
+    pub props: Vec<(Symbol, Value)>,
+}
+
+impl Node {
+    /// Property keys, sorted.
+    pub fn keys(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.props.iter().map(|(k, _)| *k)
+    }
+
+    /// Value of key `k`, if present (binary search on sorted props).
+    pub fn get(&self, k: Symbol) -> Option<&Value> {
+        self.props
+            .binary_search_by_key(&k, |(key, _)| *key)
+            .ok()
+            .map(|i| &self.props[i].1)
+    }
+
+    /// Whether the node carries no label (the "Alice" case in Fig. 1).
+    pub fn is_unlabeled(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+impl Edge {
+    /// Property keys, sorted.
+    pub fn keys(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.props.iter().map(|(k, _)| *k)
+    }
+
+    /// Value of key `k`, if present.
+    pub fn get(&self, k: Symbol) -> Option<&Value> {
+        self.props
+            .binary_search_by_key(&k, |(key, _)| *key)
+            .ok()
+            .map(|i| &self.props[i].1)
+    }
+
+    /// Whether the edge carries no label.
+    pub fn is_unlabeled(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_get_uses_sorted_props() {
+        let n = Node {
+            labels: vec![Symbol(0)],
+            props: vec![
+                (Symbol(1), Value::Int(1)),
+                (Symbol(3), Value::Int(3)),
+                (Symbol(7), Value::Int(7)),
+            ],
+        };
+        assert_eq!(n.get(Symbol(3)), Some(&Value::Int(3)));
+        assert_eq!(n.get(Symbol(2)), None);
+        let keys: Vec<Symbol> = n.keys().collect();
+        assert_eq!(keys, vec![Symbol(1), Symbol(3), Symbol(7)]);
+    }
+
+    #[test]
+    fn unlabeled_detection() {
+        let n = Node::default();
+        assert!(n.is_unlabeled());
+        let e = Edge {
+            src: NodeId(0),
+            tgt: NodeId(1),
+            labels: vec![],
+            props: vec![],
+        };
+        assert!(e.is_unlabeled());
+    }
+}

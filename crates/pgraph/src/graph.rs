@@ -1,0 +1,149 @@
+//! The in-memory property-graph store.
+
+use crate::element::{Edge, EdgeId, Node, NodeId};
+use crate::interner::{Interner, Symbol};
+
+/// An in-memory property graph `G = (V, E, ρ, λ, π)` with shared label and
+/// property-key interners.
+///
+/// Construction goes through [`crate::GraphBuilder`]; the store itself is
+/// read-oriented, matching how the discovery pipeline consumes it (a single
+/// scan per batch, §4.1).
+#[derive(Debug, Default, Clone)]
+pub struct PropertyGraph {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) labels: Interner,
+    pub(crate) keys: Interner,
+}
+
+impl PropertyGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes |V|.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges |E|.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Node by id. Panics on out-of-range ids (they are only minted here).
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Edge by id.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// All nodes with their ids.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// All edges with their ids.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u32), e))
+    }
+
+    /// Label interner (read access).
+    pub fn labels(&self) -> &Interner {
+        &self.labels
+    }
+
+    /// Property-key interner (read access).
+    pub fn keys(&self) -> &Interner {
+        &self.keys
+    }
+
+    /// Resolve a label symbol.
+    pub fn label_str(&self, s: Symbol) -> &str {
+        self.labels.resolve(s)
+    }
+
+    /// Resolve a key symbol.
+    pub fn key_str(&self, s: Symbol) -> &str {
+        self.keys.resolve(s)
+    }
+
+    /// Resolve a label set to its display form `{A, B}` (sorted by string,
+    /// which holds by construction in the builder).
+    pub fn label_set_str(&self, labels: &[Symbol]) -> String {
+        let mut out = String::from("{");
+        for (i, l) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(self.label_str(*l));
+        }
+        out.push('}');
+        out
+    }
+
+    /// The source/target label sets of an edge (used by preprocessing and by
+    /// edge patterns, Def. 3.6).
+    pub fn edge_endpoint_labels(&self, e: &Edge) -> (&[Symbol], &[Symbol]) {
+        (
+            &self.nodes[e.src.index()].labels,
+            &self.nodes[e.tgt.index()].labels,
+        )
+    }
+
+    /// Mutable node access — used only by the noise injector in
+    /// `pg-hive-datasets`, which degrades labels/properties in place.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Mutable edge access (see [`Self::node_mut`]).
+    pub fn edge_mut(&mut self, id: EdgeId) -> &mut Edge {
+        &mut self.edges[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn empty_graph() {
+        let g = super::PropertyGraph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn endpoint_labels() {
+        let mut b = GraphBuilder::new();
+        let p = b.add_node(&["Person"], &[("name", Value::from("Bob"))]);
+        let o = b.add_node(&["Org"], &[("url", Value::from("example.com"))]);
+        b.add_edge(p, o, &["WORKS_AT"], &[]);
+        let g = b.finish();
+        let (_, e) = g.edges().next().unwrap();
+        let (src, tgt) = g.edge_endpoint_labels(e);
+        assert_eq!(g.label_set_str(src), "{Person}");
+        assert_eq!(g.label_set_str(tgt), "{Org}");
+    }
+
+    #[test]
+    fn label_set_str_formats() {
+        let mut b = GraphBuilder::new();
+        let n = b.add_node(&["Person", "Student"], &[]);
+        let g = b.finish();
+        assert_eq!(g.label_set_str(&g.node(n).labels), "{Person, Student}");
+    }
+}

@@ -1,0 +1,117 @@
+//! String interning for labels and property keys.
+//!
+//! The discovery pipeline compares label sets and property-key sets millions
+//! of times; interning turns those comparisons into integer comparisons and
+//! keeps the per-element footprint small (see the "Type Sizes" guidance in
+//! the Rust performance book).
+
+use std::collections::HashMap;
+
+/// An interned string handle. `u32` keeps element structs compact; no real
+/// dataset comes close to 2^32 distinct labels or keys (IYP, the largest in
+/// the paper, has 33 node labels and ~1.2k patterns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Raw index into the interner's table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only string interner.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<String, Symbol>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its stable symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        self.strings.push(s.to_string());
+        self.map.insert(s.to_string(), sym);
+        sym
+    }
+
+    /// Look up an already-interned string without inserting.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate over `(Symbol, &str)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("Person");
+        let b = i.intern("Person");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("Person");
+        let b = i.intern("Post");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "Person");
+        assert_eq!(i.resolve(b), "Post");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert!(i.get("missing").is_none());
+        assert!(i.is_empty());
+        i.intern("x");
+        assert_eq!(i.get("x"), Some(Symbol(0)));
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        i.intern("c");
+        let seen: Vec<&str> = i.iter().map(|(_, s)| s).collect();
+        assert_eq!(seen, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # pg-hive-graph
+//!
+//! Property-graph data model and in-memory storage substrate for the PG-HIVE
+//! schema-discovery system (EDBT 2026).
+//!
+//! The paper stores graphs in Neo4j and streams them through Spark; this crate
+//! replaces that substrate with a compact in-memory store that delivers
+//! exactly what the discovery pipeline consumes: per-element label sets,
+//! property-key sets, property values, and edge endpoints (Def. 3.1 of the
+//! paper), along with batch splitting for the incremental pipeline (§4.6).
+//!
+//! Key pieces:
+//! - [`Value`]: typed property values (GQL-style data types, §3).
+//! - [`Interner`]: string interning for labels and property keys.
+//! - [`PropertyGraph`] / [`GraphBuilder`]: the store and its construction API.
+//! - [`batch`]: deterministic random batch splitting for incremental runs.
+//! - [`stats`]: dataset statistics (the columns of Table 2).
+//! - [`loader`]: a small line-oriented text loader used by examples.
+
+pub mod adjacency;
+pub mod batch;
+pub mod builder;
+pub mod element;
+pub mod graph;
+pub mod interner;
+pub mod loader;
+pub mod stats;
+pub mod value;
+
+pub use adjacency::AdjacencyIndex;
+pub use batch::{split_batches, GraphBatch};
+pub use builder::GraphBuilder;
+pub use element::{Edge, EdgeId, Node, NodeId};
+pub use graph::PropertyGraph;
+pub use interner::{Interner, Symbol};
+pub use stats::GraphStats;
+pub use value::{Value, ValueKind};

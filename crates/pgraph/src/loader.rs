@@ -1,0 +1,379 @@
+//! A small line-oriented text loader.
+//!
+//! The paper loads from Neo4j with a single Cypher query; examples in this
+//! repository instead read a simple text format so they stay self-contained:
+//!
+//! ```text
+//! # comment / blank lines ignored
+//! N <id> <label;label|-> <key=value,key=value|->
+//! E <srcId> <tgtId> <label;label|-> <key=value,...|->
+//! ```
+//!
+//! `-` stands for "no labels" / "no properties". Values are parsed with
+//! [`Value::parse_lexical`], so `age=42` becomes an integer and
+//! `bday=1999-12-19` a date. Reserved characters inside values (space,
+//! comma, equals, percent) are percent-encoded by [`save_text`] and decoded
+//! on load, so arbitrary strings round-trip.
+
+use crate::builder::GraphBuilder;
+use crate::element::NodeId;
+use crate::graph::PropertyGraph;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// A line did not start with `N` or `E`.
+    UnknownRecord { line: usize },
+    /// Wrong number of fields for the record type.
+    Malformed { line: usize, expected: usize },
+    /// An edge referenced an id never declared by an `N` line.
+    UnknownNode { line: usize, id: String },
+    /// A `key=value` pair had no `=`.
+    BadProperty { line: usize, token: String },
+    /// The same node id was declared twice.
+    DuplicateNode { line: usize, id: String },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::UnknownRecord { line } => {
+                write!(f, "line {line}: record must start with 'N' or 'E'")
+            }
+            LoadError::Malformed { line, expected } => {
+                write!(f, "line {line}: expected {expected} fields")
+            }
+            LoadError::UnknownNode { line, id } => {
+                write!(f, "line {line}: unknown node id '{id}'")
+            }
+            LoadError::BadProperty { line, token } => {
+                write!(f, "line {line}: bad property token '{token}'")
+            }
+            LoadError::DuplicateNode { line, id } => {
+                write!(f, "line {line}: duplicate node id '{id}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Parse the text format into a [`PropertyGraph`].
+pub fn load_text(input: &str) -> Result<PropertyGraph, LoadError> {
+    let mut b = GraphBuilder::new();
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        match fields[0] {
+            "N" => {
+                if fields.len() != 4 {
+                    return Err(LoadError::Malformed { line, expected: 4 });
+                }
+                let id = fields[1].to_string();
+                if ids.contains_key(&id) {
+                    return Err(LoadError::DuplicateNode { line, id });
+                }
+                let labels = parse_labels(fields[2]);
+                let props = parse_props(fields[3], line)?;
+                let prop_refs: Vec<(&str, Value)> =
+                    props.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+                let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                let nid = b.add_node(&label_refs, &prop_refs);
+                ids.insert(id, nid);
+            }
+            "E" => {
+                if fields.len() != 5 {
+                    return Err(LoadError::Malformed { line, expected: 5 });
+                }
+                let src = *ids.get(fields[1]).ok_or_else(|| LoadError::UnknownNode {
+                    line,
+                    id: fields[1].to_string(),
+                })?;
+                let tgt = *ids.get(fields[2]).ok_or_else(|| LoadError::UnknownNode {
+                    line,
+                    id: fields[2].to_string(),
+                })?;
+                let labels = parse_labels(fields[3]);
+                let props = parse_props(fields[4], line)?;
+                let prop_refs: Vec<(&str, Value)> =
+                    props.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+                let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                b.add_edge(src, tgt, &label_refs, &prop_refs);
+            }
+            _ => return Err(LoadError::UnknownRecord { line }),
+        }
+    }
+    Ok(b.finish())
+}
+
+/// Serialize a graph back to the text format, the inverse of [`load_text`]:
+/// `load_text(&save_text(&g))` reproduces `g` up to node-id naming.
+pub fn save_text(g: &PropertyGraph) -> String {
+    let mut out = String::new();
+    for (id, n) in g.nodes() {
+        out.push_str(&format!(
+            "N n{} {} {}\n",
+            id.0,
+            labels_field(g, &n.labels),
+            props_field(g, &n.props)
+        ));
+    }
+    for (_, e) in g.edges() {
+        out.push_str(&format!(
+            "E n{} n{} {} {}\n",
+            e.src.0,
+            e.tgt.0,
+            labels_field(g, &e.labels),
+            props_field(g, &e.props)
+        ));
+    }
+    out
+}
+
+fn labels_field(g: &PropertyGraph, labels: &[crate::Symbol]) -> String {
+    if labels.is_empty() {
+        "-".to_string()
+    } else {
+        labels
+            .iter()
+            .map(|&l| g.label_str(l))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+}
+
+fn props_field(g: &PropertyGraph, props: &[(crate::Symbol, Value)]) -> String {
+    if props.is_empty() {
+        "-".to_string()
+    } else {
+        props
+            .iter()
+            .map(|(k, v)| format!("{}={}", g.key_str(*k), percent_encode(&v.to_string())))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Encode the characters the line format reserves (space splits fields,
+/// comma splits properties, equals splits key from value, percent is the
+/// escape itself).
+fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            ' ' => out.push_str("%20"),
+            ',' => out.push_str("%2C"),
+            '=' => out.push_str("%3D"),
+            '%' => out.push_str("%25"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn percent_decode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if let (Some(&h), Some(&l)) = (bytes.get(i + 1), bytes.get(i + 2)) {
+                if let (Some(h), Some(l)) = (hex_val(h), hex_val(l)) {
+                    out.push((h * 16 + l) as char);
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        let c = s[i..].chars().next().expect("i is on a char boundary");
+        out.push(c);
+        i += c.len_utf8();
+    }
+    out
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        _ => None,
+    }
+}
+
+fn parse_labels(field: &str) -> Vec<String> {
+    if field == "-" {
+        return vec![];
+    }
+    field
+        .split(';')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn parse_props(field: &str, line: usize) -> Result<Vec<(String, Value)>, LoadError> {
+    if field == "-" {
+        return Ok(vec![]);
+    }
+    let mut out = Vec::new();
+    for token in field.split(',').filter(|s| !s.is_empty()) {
+        let Some((k, v)) = token.split_once('=') else {
+            return Err(LoadError::BadProperty {
+                line,
+                token: token.to_string(),
+            });
+        };
+        out.push((k.to_string(), Value::parse_lexical(&percent_decode(v))));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueKind;
+
+    #[test]
+    fn loads_small_graph() {
+        let g = load_text(
+            "# fig-1 fragment\n\
+             N bob Person name=Bob,gender=male,bday=1980-05-02\n\
+             N alice - name=Alice,gender=female,bday=1999-12-19\n\
+             N org Org url=example.com,name=Example\n\
+             E bob org WORKS_AT from=2000\n\
+             E alice bob KNOWS -\n",
+        )
+        .unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        let (_, alice) = g.nodes().nth(1).unwrap();
+        assert!(alice.is_unlabeled());
+        let bday = g.keys().get("bday").unwrap();
+        assert_eq!(alice.get(bday).unwrap().kind(), ValueKind::Date);
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let err = load_text("E a b KNOWS -").unwrap_err();
+        assert!(matches!(err, LoadError::UnknownNode { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(matches!(
+            load_text("N onlyid").unwrap_err(),
+            LoadError::Malformed { expected: 4, .. }
+        ));
+        assert!(matches!(
+            load_text("X what is this").unwrap_err(),
+            LoadError::UnknownRecord { line: 1 }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_property_token() {
+        let err = load_text("N a Person nameBob").unwrap_err();
+        assert!(matches!(err, LoadError::BadProperty { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_node_ids() {
+        let err = load_text("N a - -\nN a - -").unwrap_err();
+        assert!(matches!(err, LoadError::DuplicateNode { line: 2, .. }));
+    }
+
+    #[test]
+    fn multi_labels_split_on_semicolon() {
+        let g = load_text("N a Person;Student -").unwrap();
+        let (_, n) = g.nodes().next().unwrap();
+        assert_eq!(g.label_set_str(&n.labels), "{Person, Student}");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = load_text("\n# hi\n  \nN a - -\n").unwrap();
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let original = load_text(
+            "N bob Person;Human name=Bob,age=45,bday=1980-05-02\n\
+             N anon - score=2.5\n\
+             N org Org url=example.com\n\
+             E bob org WORKS_AT from=2000,active=true\n\
+             E anon bob KNOWS -\n",
+        )
+        .unwrap();
+        let text = save_text(&original);
+        let reloaded = load_text(&text).unwrap();
+        assert_eq!(reloaded.node_count(), original.node_count());
+        assert_eq!(reloaded.edge_count(), original.edge_count());
+        for ((_, a), (_, b)) in original.nodes().zip(reloaded.nodes()) {
+            let la: Vec<&str> = a.labels.iter().map(|&l| original.label_str(l)).collect();
+            let lb: Vec<&str> = b.labels.iter().map(|&l| reloaded.label_str(l)).collect();
+            assert_eq!(la, lb);
+            assert_eq!(a.props.len(), b.props.len());
+            for ((ka, va), (kb, vb)) in a.props.iter().zip(&b.props) {
+                assert_eq!(original.key_str(*ka), reloaded.key_str(*kb));
+                assert_eq!(va.kind(), vb.kind(), "value kind preserved");
+                assert_eq!(va.lexical(), vb.lexical());
+            }
+        }
+        for ((_, a), (_, b)) in original.edges().zip(reloaded.edges()) {
+            assert_eq!(a.src.0, b.src.0);
+            assert_eq!(a.tgt.0, b.tgt.0);
+        }
+    }
+
+    #[test]
+    fn save_empty_graph() {
+        assert_eq!(save_text(&PropertyGraph::new()), "");
+    }
+
+    #[test]
+    fn values_with_reserved_characters_round_trip() {
+        let mut b = GraphBuilder::new();
+        b.add_node(
+            &["Doc"],
+            &[
+                ("text", Value::from("graph schema, node=edge 100%")),
+                ("clean", Value::Int(7)),
+            ],
+        );
+        let original = b.finish();
+        let reloaded = load_text(&save_text(&original)).unwrap();
+        let (_, n) = reloaded.nodes().next().unwrap();
+        let key = reloaded.keys().get("text").unwrap();
+        assert_eq!(
+            n.get(key),
+            Some(&Value::from("graph schema, node=edge 100%"))
+        );
+    }
+
+    #[test]
+    fn percent_decode_tolerates_bare_percent() {
+        assert_eq!(percent_decode("50%"), "50%");
+        assert_eq!(percent_decode("a%2Gb"), "a%2Gb", "invalid hex left as-is");
+        assert_eq!(percent_decode("%20"), " ");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = LoadError::UnknownNode {
+            line: 3,
+            id: "z".into(),
+        };
+        assert_eq!(e.to_string(), "line 3: unknown node id 'z'");
+    }
+}

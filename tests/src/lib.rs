@@ -1,0 +1,1 @@
+//! Integration test crate for the PG-HIVE workspace; see `tests/*.rs`.

@@ -1,0 +1,136 @@
+//! End-to-end integration: dataset generation → discovery → evaluation,
+//! across crates.
+
+use pg_hive_baselines::Method;
+use pg_hive_core::{ClusterMethod, Discoverer, PipelineConfig};
+use pg_hive_datasets::{inject_noise, DatasetId, NoiseSpec};
+use pg_hive_eval::majority_f1;
+
+fn discover(dataset: DatasetId, method: ClusterMethod, noise: &NoiseSpec) -> (f64, f64) {
+    let mut d = dataset.generate(0.05, 77);
+    inject_noise(&mut d.graph, noise);
+    let cfg = PipelineConfig {
+        method,
+        seed: 77,
+        ..PipelineConfig::elsh_adaptive()
+    };
+    let r = Discoverer::new(cfg).discover(&d.graph);
+    let nf1 = majority_f1(&r.node_cluster_assignment, &d.truth.node_types);
+    let ef1 = majority_f1(&r.edge_cluster_assignment, &d.truth.edge_types);
+    (nf1.macro_f1, ef1.macro_f1)
+}
+
+#[test]
+fn elsh_clean_runs_are_near_perfect_on_all_datasets() {
+    for id in DatasetId::ALL {
+        let (nodes, edges) = discover(id, ClusterMethod::Elsh, &NoiseSpec::clean());
+        assert!(nodes > 0.9, "{}: node F1 = {nodes}", id.name());
+        assert!(edges > 0.9, "{}: edge F1 = {edges}", id.name());
+    }
+}
+
+#[test]
+fn minhash_clean_runs_are_strong_on_all_datasets() {
+    for id in DatasetId::ALL {
+        let (nodes, edges) = discover(id, ClusterMethod::MinHash, &NoiseSpec::clean());
+        assert!(nodes > 0.85, "{}: node F1 = {nodes}", id.name());
+        assert!(edges > 0.85, "{}: edge F1 = {edges}", id.name());
+    }
+}
+
+#[test]
+fn elsh_resists_heavy_noise_with_full_labels() {
+    for id in [DatasetId::Pole, DatasetId::Ldbc, DatasetId::Cord19] {
+        let (nodes, edges) = discover(id, ClusterMethod::Elsh, &NoiseSpec::grid(40, 100, 7));
+        assert!(nodes > 0.9, "{}: node F1 = {nodes}", id.name());
+        assert!(edges > 0.9, "{}: edge F1 = {edges}", id.name());
+    }
+}
+
+#[test]
+fn elsh_works_without_any_labels() {
+    // At this tiny test scale each type has few instances, so structure-only
+    // discovery is much harder than at benchmark scale; the bar here is
+    // "far better than chance and the baselines' zero".
+    for id in [DatasetId::Pole, DatasetId::Cord19] {
+        let (nodes, _) = discover(id, ClusterMethod::Elsh, &NoiseSpec::grid(0, 0, 7));
+        assert!(nodes > 0.5, "{}: node F1 = {nodes}", id.name());
+    }
+}
+
+#[test]
+fn pg_hive_beats_schemi_on_multilabel_connectome() {
+    // MB6's types are multi-label combinations; SchemI collapses them.
+    let d = DatasetId::Mb6.generate(0.05, 5);
+    let hive = Method::PgHiveElsh.run(&d.graph, 5).unwrap();
+    let schemi = Method::SchemI.run(&d.graph, 5).unwrap();
+    let hive_f1 = majority_f1(
+        &hive.edge_assignment.unwrap(),
+        &d.truth.edge_types,
+    );
+    let schemi_f1 = majority_f1(
+        &schemi.edge_assignment.unwrap(),
+        &d.truth.edge_types,
+    );
+    assert!(
+        hive_f1.macro_f1 > schemi_f1.macro_f1 + 0.2,
+        "hive {} vs schemi {}",
+        hive_f1.macro_f1,
+        schemi_f1.macro_f1
+    );
+}
+
+#[test]
+fn gmm_degrades_with_noise_while_elsh_does_not() {
+    let clean = {
+        let d = DatasetId::Pole.generate(0.08, 3);
+        let out = Method::GmmSchema.run(&d.graph, 3).unwrap();
+        majority_f1(&out.node_assignment, &d.truth.node_types).macro_f1
+    };
+    let noisy_gmm = {
+        let mut d = DatasetId::Pole.generate(0.08, 3);
+        inject_noise(&mut d.graph, &NoiseSpec::grid(40, 100, 3));
+        let out = Method::GmmSchema.run(&d.graph, 3).unwrap();
+        majority_f1(&out.node_assignment, &d.truth.node_types).macro_f1
+    };
+    let noisy_elsh = {
+        let mut d = DatasetId::Pole.generate(0.08, 3);
+        inject_noise(&mut d.graph, &NoiseSpec::grid(40, 100, 3));
+        let out = Method::PgHiveElsh.run(&d.graph, 3).unwrap();
+        majority_f1(&out.node_assignment, &d.truth.node_types).macro_f1
+    };
+    assert!(clean > 0.85, "GMM clean = {clean}");
+    assert!(
+        noisy_gmm < clean - 0.05,
+        "GMM should degrade: clean {clean} vs noisy {noisy_gmm}"
+    );
+    assert!(noisy_elsh > 0.9, "ELSH noisy = {noisy_elsh}");
+}
+
+#[test]
+fn schema_is_complete_for_every_observed_label_and_key() {
+    // Type completeness (§4.7): no label or property of the graph is lost.
+    let d = DatasetId::Hetio.generate(0.05, 13);
+    let r = Discoverer::new(PipelineConfig::elsh_adaptive()).discover(&d.graph);
+    let labels = r.schema.node_label_universe();
+    let keys = r.schema.node_key_universe();
+    for (_, n) in d.graph.nodes() {
+        for &l in &n.labels {
+            assert!(labels.contains(d.graph.label_str(l)));
+        }
+        for k in n.keys() {
+            assert!(keys.contains(d.graph.key_str(k)));
+        }
+    }
+}
+
+#[test]
+fn every_element_is_assigned_to_exactly_one_type() {
+    let d = DatasetId::Icij.generate(0.05, 17);
+    let r = Discoverer::new(PipelineConfig::minhash_default()).discover(&d.graph);
+    assert_eq!(r.node_assignment.len(), d.graph.node_count());
+    assert_eq!(r.edge_assignment.len(), d.graph.edge_count());
+    // Membership lists partition the elements.
+    let member_total: usize = r.schema.node_types.iter().map(|t| t.members.len()).sum();
+    assert_eq!(member_total, d.graph.node_count());
+}

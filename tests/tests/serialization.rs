@@ -1,0 +1,78 @@
+//! Serialization integration: discovered schemas render to PG-Schema and
+//! XSD with the expected structure.
+
+use pg_hive_core::serialize::{pg_schema_loose, pg_schema_strict, to_xsd};
+use pg_hive_core::{Discoverer, PipelineConfig};
+use pg_hive_datasets::DatasetId;
+
+fn ldbc_schema() -> pg_hive_core::SchemaGraph {
+    let d = DatasetId::Ldbc.generate(0.05, 31);
+    Discoverer::new(PipelineConfig::elsh_adaptive())
+        .discover(&d.graph)
+        .schema
+}
+
+#[test]
+fn strict_declaration_covers_every_type() {
+    let schema = ldbc_schema();
+    let text = pg_schema_strict(&schema, "Ldbc");
+    assert!(text.contains("CREATE GRAPH TYPE LdbcSchema STRICT {"));
+    for t in &schema.node_types {
+        for l in &t.labels {
+            assert!(text.contains(l.as_str()), "missing label {l}");
+        }
+    }
+    for t in &schema.edge_types {
+        for l in &t.labels {
+            assert!(text.contains(l.as_str()), "missing edge label {l}");
+        }
+    }
+    // STRICT mode annotates datatypes and cardinalities.
+    assert!(text.contains("STRING") || text.contains("INT"));
+    assert!(text.contains("/* cardinality"));
+}
+
+#[test]
+fn loose_declaration_has_no_type_annotations() {
+    let schema = ldbc_schema();
+    let text = pg_schema_loose(&schema, "Ldbc");
+    assert!(text.contains("LOOSE"));
+    assert!(!text.contains(" STRING"), "LOOSE must omit datatypes");
+    assert!(!text.contains("OPTIONAL"));
+}
+
+#[test]
+fn xsd_is_structurally_balanced() {
+    let schema = ldbc_schema();
+    let xml = to_xsd(&schema);
+    assert_eq!(
+        xml.matches("<xs:complexType").count(),
+        xml.matches("</xs:complexType>").count()
+    );
+    assert_eq!(
+        xml.matches("<xs:sequence>").count(),
+        xml.matches("</xs:sequence>").count()
+    );
+    assert!(xml.ends_with("</xs:schema>\n"));
+    // Every node type surfaces as a complexType.
+    assert!(
+        xml.matches("<xs:complexType").count()
+            >= schema.node_types.len() + schema.edge_types.len()
+    );
+}
+
+#[test]
+fn mandatory_optional_split_is_reflected_in_min_occurs() {
+    let schema = ldbc_schema();
+    let xml = to_xsd(&schema);
+    // LDBC Posts have optional content/imageFile, mandatory creationDate.
+    assert!(xml.contains(r#"minOccurs="0""#));
+    assert!(xml.contains(r#"minOccurs="1""#));
+}
+
+#[test]
+fn serialization_is_deterministic() {
+    let a = pg_schema_strict(&ldbc_schema(), "X");
+    let b = pg_schema_strict(&ldbc_schema(), "X");
+    assert_eq!(a, b);
+}
