@@ -130,10 +130,7 @@ impl GmmSchema {
             },
         );
 
-        let node_assignment: Vec<u32> = features
-            .iter()
-            .map(|f| model.predict(f) as u32)
-            .collect();
+        let node_assignment: Vec<u32> = features.iter().map(|f| model.predict(f) as u32).collect();
 
         Some(MethodOutput {
             node_assignment,
@@ -219,7 +216,9 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let out = GmmSchema::default().discover(&PropertyGraph::new()).unwrap();
+        let out = GmmSchema::default()
+            .discover(&PropertyGraph::new())
+            .unwrap();
         assert!(out.node_assignment.is_empty());
     }
 }

@@ -118,7 +118,9 @@ mod tests {
     fn all_methods_run_on_labeled_data() {
         let g = small_graph(true);
         for m in Method::ALL {
-            let out = m.run(&g, 1).unwrap_or_else(|| panic!("{} failed", m.name()));
+            let out = m
+                .run(&g, 1)
+                .unwrap_or_else(|| panic!("{} failed", m.name()));
             assert_eq!(out.node_assignment.len(), 20, "{}", m.name());
             assert_eq!(out.edge_assignment.is_some(), m.discovers_edges());
         }

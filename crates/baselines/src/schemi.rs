@@ -69,8 +69,7 @@ impl SchemI {
                 .map(|&l| g.label_str(l))
                 .min()
                 .expect("fully labeled");
-            let keys: BTreeSet<String> =
-                n.keys().map(|k| g.key_str(k).to_string()).collect();
+            let keys: BTreeSet<String> = n.keys().map(|k| g.key_str(k).to_string()).collect();
 
             let mut best: Option<(usize, f64)> = None;
             for (i, entry) in registry.iter().enumerate() {
@@ -109,7 +108,9 @@ impl SchemI {
             .map(|e| {
                 e.key_counts
                     .iter()
-                    .filter(|(_, &c)| e.members > 0 && c as f64 / e.members as f64 >= PROFILE_PRESENCE)
+                    .filter(|(_, &c)| {
+                        e.members > 0 && c as f64 / e.members as f64 >= PROFILE_PRESENCE
+                    })
                     .map(|(k, _)| k.clone())
                     .collect()
             })
@@ -238,8 +239,14 @@ mod tests {
         }
         let g = b.finish();
         let out = SchemI.discover(&g).unwrap();
-        assert_eq!(out.node_assignment[0], out.node_assignment[1], "Post+Comment merged");
-        assert_ne!(out.node_assignment[0], out.node_assignment[2], "Tag separate");
+        assert_eq!(
+            out.node_assignment[0], out.node_assignment[1],
+            "Post+Comment merged"
+        );
+        assert_ne!(
+            out.node_assignment[0], out.node_assignment[2],
+            "Tag separate"
+        );
     }
 
     #[test]

@@ -62,10 +62,7 @@ fn bench_theta_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("theta_ablation");
     group.sample_size(10);
     let mut d = DatasetId::Icij.generate(0.1, 42);
-    pg_hive_datasets::inject_noise(
-        &mut d.graph,
-        &pg_hive_datasets::NoiseSpec::grid(20, 0, 42),
-    );
+    pg_hive_datasets::inject_noise(&mut d.graph, &pg_hive_datasets::NoiseSpec::grid(20, 0, 42));
     for theta in [0.5f64, 0.9] {
         let cfg = PipelineConfig {
             theta,

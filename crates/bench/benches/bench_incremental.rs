@@ -50,5 +50,9 @@ fn bench_single_batch_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_incremental_vs_static, bench_single_batch_cost);
+criterion_group!(
+    benches,
+    bench_incremental_vs_static,
+    bench_single_batch_cost
+);
 criterion_main!(benches);

@@ -1,8 +1,12 @@
 //! Criterion bench for the LSH substrate: O(N·T·D) scaling of ELSH and
-//! O(N·T) of MinHash (§4.7 efficiency claims).
+//! O(N·T) of MinHash (§4.7 efficiency claims), plus the two optimizations
+//! this engine is built on — the flat-matrix parallel kernel vs the seed's
+//! scalar loop, and signature dedup vs hashing every element.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pg_hive_lsh::{elsh_cluster, minhash_cluster, ElshParams, MinHashParams};
+use pg_hive_lsh::{
+    elsh_cluster, minhash_cluster, reference, ElshParams, MinHashParams, VectorMatrix,
+};
 
 fn vectors(n: usize, dim: usize) -> Vec<Vec<f32>> {
     let mut state = 7u64;
@@ -21,6 +25,15 @@ fn vectors(n: usize, dim: usize) -> Vec<Vec<f32>> {
         .collect()
 }
 
+/// `n` vectors drawn from `distinct` signature templates — the dedup-shaped
+/// workload: LSH only ever needs to hash the `distinct` templates.
+fn dedup_vectors(n: usize, distinct: usize, dim: usize) -> (VectorMatrix, Vec<u32>) {
+    let templates = vectors(distinct, dim);
+    let matrix = VectorMatrix::from_rows(&templates);
+    let rep_of: Vec<u32> = (0..n).map(|i| (i % distinct) as u32).collect();
+    (matrix, rep_of)
+}
+
 fn sets(n: usize) -> Vec<Vec<u64>> {
     (0..n)
         .map(|i| {
@@ -30,46 +43,84 @@ fn sets(n: usize) -> Vec<Vec<u64>> {
         .collect()
 }
 
+fn elsh_params(tables: usize) -> ElshParams {
+    ElshParams {
+        bucket_width: 1.0,
+        tables,
+        hashes_per_table: 4,
+        seed: 1,
+    }
+}
+
 fn bench_elsh_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("elsh_scaling");
     for n in [1_000usize, 4_000, 16_000] {
-        let vs = vectors(n, 32);
+        let vs = VectorMatrix::from_rows(&vectors(n, 32));
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &vs, |b, vs| {
-            b.iter(|| {
-                elsh_cluster(
-                    vs,
-                    &ElshParams {
-                        bucket_width: 1.0,
-                        tables: 15,
-                        hashes_per_table: 4,
-                        seed: 1,
-                    },
-                )
-                .num_clusters
-            });
+            b.iter(|| elsh_cluster(vs, &elsh_params(15)).num_clusters);
         });
+    }
+    group.finish();
+}
+
+fn bench_elsh_vs_scalar(c: &mut Criterion) {
+    // The seed's per-element scalar loop vs the flat-matrix parallel sweep
+    // over the identical workload (both produce the identical clustering).
+    let mut group = c.benchmark_group("elsh_vs_scalar");
+    let n = 16_000;
+    let rows = vectors(n, 32);
+    let matrix = VectorMatrix::from_rows(&rows);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("scalar_seed"),
+        &rows,
+        |b, rows| {
+            b.iter(|| reference::elsh_cluster_scalar(rows, &elsh_params(15)).num_clusters);
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("flat_parallel"),
+        &matrix,
+        |b, m| {
+            b.iter(|| elsh_cluster(m, &elsh_params(15)).num_clusters);
+        },
+    );
+    group.finish();
+}
+
+fn bench_elsh_dedup(c: &mut Criterion) {
+    // 100k elements collapsing onto a few hundred distinct signatures: the
+    // dedup path hashes the distinct matrix and broadcasts.
+    let mut group = c.benchmark_group("elsh_dedup_100k");
+    group.sample_size(10);
+    let n = 100_000;
+    for distinct in [100usize, 1_000] {
+        let (matrix, rep_of) = dedup_vectors(n, distinct, 32);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(distinct),
+            &(matrix, rep_of),
+            |b, (m, rep)| {
+                b.iter(|| {
+                    let distinct = elsh_cluster(m, &elsh_params(15));
+                    rep.iter()
+                        .map(|&r| distinct.assignment[r as usize])
+                        .max()
+                        .unwrap_or(0)
+                });
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_elsh_tables(c: &mut Criterion) {
     let mut group = c.benchmark_group("elsh_tables");
-    let vs = vectors(4_000, 32);
+    let vs = VectorMatrix::from_rows(&vectors(4_000, 32));
     for t in [5usize, 15, 30] {
         group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
-            b.iter(|| {
-                elsh_cluster(
-                    &vs,
-                    &ElshParams {
-                        bucket_width: 1.0,
-                        tables: t,
-                        hashes_per_table: 4,
-                        seed: 1,
-                    },
-                )
-                .num_clusters
-            });
+            b.iter(|| elsh_cluster(&vs, &elsh_params(t)).num_clusters);
         });
     }
     group.finish();
@@ -97,5 +148,12 @@ fn bench_minhash_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_elsh_scaling, bench_elsh_tables, bench_minhash_scaling);
+criterion_group!(
+    benches,
+    bench_elsh_scaling,
+    bench_elsh_vs_scalar,
+    bench_elsh_dedup,
+    bench_elsh_tables,
+    bench_minhash_scaling
+);
 criterion_main!(benches);

@@ -13,7 +13,11 @@ use pg_hive_eval::majority_f1;
 fn main() {
     let scale = scale(0.1);
     let seed = seed();
-    banner("Design ablations (label weight, AND-width k, theta, embeddings)", scale, seed);
+    banner(
+        "Design ablations (label weight, AND-width k, theta, embeddings)",
+        scale,
+        seed,
+    );
 
     let workloads = [
         (DatasetId::Pole, 20u32, 50u32),

@@ -41,7 +41,10 @@ fn main() {
     let mut d = dataset.generate(scale, seed);
     inject_noise(&mut d.graph, &NoiseSpec::grid(noise, labels, seed));
     let Some(out) = method.run(&d.graph, seed) else {
-        println!("{} refuses this input (needs fully labeled data).", method.name());
+        println!(
+            "{} refuses this input (needs fully labeled data).",
+            method.name()
+        );
         return;
     };
 

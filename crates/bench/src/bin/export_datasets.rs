@@ -11,7 +11,9 @@ fn main() {
     let scale = scale(0.1);
     let seed = seed();
     banner("Export datasets as .pgt files", scale, seed);
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "datasets_out".to_string());
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "datasets_out".to_string());
     std::fs::create_dir_all(&dir).expect("create output dir");
     for id in selected_datasets() {
         let d = id.generate(scale, seed);

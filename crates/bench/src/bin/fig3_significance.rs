@@ -58,7 +58,11 @@ fn main() {
         friedman_statistic(&ranks, n_cases)
     );
 
-    println!("\nEdges ({} methods, {} cases):", edge_methods.len(), n_cases);
+    println!(
+        "\nEdges ({} methods, {} cases):",
+        edge_methods.len(),
+        n_cases
+    );
     let eranks = average_ranks(&edge_scores);
     let ecd = nemenyi_critical_distance(edge_methods.len(), n_cases);
     let enames: Vec<&str> = edge_methods.iter().map(|m| m.name()).collect();

@@ -40,7 +40,11 @@ fn main() {
                                 scale,
                                 seed,
                             });
-                            let f1 = if side == "nodes" { r.node_f1 } else { r.edge_f1 };
+                            let f1 = if side == "nodes" {
+                                r.node_f1
+                            } else {
+                                r.edge_f1
+                            };
                             f1.map(|f| f.macro_f1)
                         })
                         .collect();

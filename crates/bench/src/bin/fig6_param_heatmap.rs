@@ -17,7 +17,11 @@ const B_MULT: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
 fn main() {
     let scale = scale(0.1);
     let seed = seed();
-    banner("Figure 6: F1* heatmaps over (T, b), adaptive pick marked", scale, seed);
+    banner(
+        "Figure 6: F1* heatmaps over (T, b), adaptive pick marked",
+        scale,
+        seed,
+    );
 
     // The paper's grid point is (0% noise, 100% labels); our generators make
     // that setting easy (μ = 0 fallback). A second, harder point (30% noise,
@@ -46,7 +50,11 @@ fn run_grid(scale: f64, seed: u64, noise: u32, labels: u32) {
             ..PipelineConfig::elsh_adaptive()
         })
         .discover(&d.graph);
-        let ad_nodes = adaptive.stats.adaptive_nodes.clone().expect("adaptive path");
+        let ad_nodes = adaptive
+            .stats
+            .adaptive_nodes
+            .clone()
+            .expect("adaptive path");
         let f1_ad_nodes = majority_f1(&adaptive.node_cluster_assignment, &d.truth.node_types);
         let f1_ad_edges = majority_f1(&adaptive.edge_cluster_assignment, &d.truth.edge_types);
 
@@ -81,7 +89,11 @@ fn run_grid(scale: f64, seed: u64, noise: u32, labels: u32) {
                     } else {
                         majority_f1(&r.edge_cluster_assignment, &d.truth.edge_types)
                     };
-                    let mark = if t == ad_nodes.tables && m == 1.0 { "x" } else { " " };
+                    let mark = if t == ad_nodes.tables && m == 1.0 {
+                        "x"
+                    } else {
+                        " "
+                    };
                     print!(" {:.3}{mark}", f1.macro_f1);
                 }
                 println!();

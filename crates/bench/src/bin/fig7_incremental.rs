@@ -11,7 +11,11 @@ const BATCHES: usize = 10;
 fn main() {
     let scale = scale(0.25);
     let seed = seed();
-    banner("Figure 7: Incremental execution time per iteration", scale, seed);
+    banner(
+        "Figure 7: Incremental execution time per iteration",
+        scale,
+        seed,
+    );
 
     for (label, cfg) in [
         ("PG-HIVE-ELSH", PipelineConfig::elsh_adaptive()),
@@ -20,7 +24,10 @@ fn main() {
         println!("{label} (seconds per batch, {BATCHES} batches):");
         for dataset in selected_datasets() {
             let d = dataset.generate(scale, seed);
-            let discoverer = Discoverer::new(PipelineConfig { seed, ..cfg.clone() });
+            let discoverer = Discoverer::new(PipelineConfig {
+                seed,
+                ..cfg.clone()
+            });
             let r = discoverer.discover_incremental(&d.graph, BATCHES);
             let times: Vec<Option<std::time::Duration>> =
                 r.stats.batch_times.iter().map(|&t| Some(t)).collect();

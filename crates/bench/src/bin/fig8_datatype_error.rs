@@ -11,7 +11,11 @@ use pg_hive_eval::sampling_error::{sampling_errors_by_type, ErrorBins};
 fn main() {
     let scale = scale(0.25);
     let seed = seed();
-    banner("Figure 8: Datatype sampling-error distribution", scale, seed);
+    banner(
+        "Figure 8: Datatype sampling-error distribution",
+        scale,
+        seed,
+    );
 
     let sampling = SamplingConfig {
         fraction: 0.1,
@@ -30,7 +34,11 @@ fn main() {
         );
         for dataset in selected_datasets() {
             let d = dataset.generate(scale, seed);
-            let r = Discoverer::new(PipelineConfig { seed, ..cfg.clone() }).discover(&d.graph);
+            let r = Discoverer::new(PipelineConfig {
+                seed,
+                ..cfg.clone()
+            })
+            .discover(&d.graph);
             let errors = sampling_errors_by_type(&d.graph, &r.schema, &sampling);
             let bins = ErrorBins::from_errors(&errors);
             println!(

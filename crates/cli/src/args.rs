@@ -64,10 +64,14 @@ impl Args {
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
         let mut it = args.into_iter();
         let Some(cmd) = it.next() else {
-            return Ok(Args { command: Command::Help });
+            return Ok(Args {
+                command: Command::Help,
+            });
         };
         match cmd.as_str() {
-            "help" | "--help" | "-h" => Ok(Args { command: Command::Help }),
+            "help" | "--help" | "-h" => Ok(Args {
+                command: Command::Help,
+            }),
             "stats" => {
                 let path = it.next().ok_or("stats needs a graph file")?;
                 Ok(Args {
@@ -107,7 +111,9 @@ impl Args {
                                 Some("elsh") => ClusterMethod::Elsh,
                                 Some("minhash") => ClusterMethod::MinHash,
                                 other => {
-                                    return Err(format!("--method expects elsh|minhash, got {other:?}"))
+                                    return Err(format!(
+                                        "--method expects elsh|minhash, got {other:?}"
+                                    ))
                                 }
                             }
                         }
@@ -212,8 +218,19 @@ mod tests {
     #[test]
     fn discover_full_flags() {
         let a = parse(&[
-            "discover", "g.pgt", "--method", "minhash", "--theta", "0.8", "--batches", "10",
-            "--format", "strict", "--sample", "--seed", "7",
+            "discover",
+            "g.pgt",
+            "--method",
+            "minhash",
+            "--theta",
+            "0.8",
+            "--batches",
+            "10",
+            "--format",
+            "strict",
+            "--sample",
+            "--seed",
+            "7",
         ])
         .unwrap();
         let Command::Discover {

@@ -12,9 +12,7 @@
 //! [`pg_hive_graph::loader`] (see `examples/quickstart.rs` for a sample).
 
 use pg_hive_core::serialize::{pg_schema_loose, pg_schema_strict, to_xsd};
-use pg_hive_core::{
-    validate, Discoverer, PipelineConfig, SamplingConfig, ValidationMode,
-};
+use pg_hive_core::{validate, Discoverer, PipelineConfig, SamplingConfig, ValidationMode};
 use pg_hive_graph::loader::load_text;
 use pg_hive_graph::GraphStats;
 use std::process::ExitCode;
@@ -52,8 +50,8 @@ fn run(args: Args) -> Result<ExitCode, String> {
             sample,
             seed,
         } => {
-            let text = std::fs::read_to_string(&path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let graph = load_text(&text).map_err(|e| format!("parse {path}: {e}"))?;
             let config = PipelineConfig {
                 method,
@@ -69,7 +67,9 @@ fn run(args: Args) -> Result<ExitCode, String> {
                 discoverer.discover(&graph)
             };
             match format {
-                OutputFormat::Strict => print!("{}", pg_schema_strict(&result.schema, "Discovered")),
+                OutputFormat::Strict => {
+                    print!("{}", pg_schema_strict(&result.schema, "Discovered"))
+                }
                 OutputFormat::Loose => print!("{}", pg_schema_loose(&result.schema, "Discovered")),
                 OutputFormat::Xsd => print!("{}", to_xsd(&result.schema)),
                 OutputFormat::Summary => {
@@ -151,8 +151,8 @@ fn run(args: Args) -> Result<ExitCode, String> {
             }
         }
         Command::Stats { path } => {
-            let text = std::fs::read_to_string(&path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let graph = load_text(&text).map_err(|e| format!("parse {path}: {e}"))?;
             let s = GraphStats::compute(&graph);
             println!("nodes:          {}", s.nodes);

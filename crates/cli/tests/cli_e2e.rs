@@ -42,7 +42,10 @@ fn discover_summary() {
     let (stdout, _, code) = run(&["discover", path.to_str().unwrap()]);
     assert_eq!(code, Some(0));
     assert!(stdout.contains("2 node types"), "{stdout}");
-    assert!(stdout.contains("node {Person} x3"), "unlabeled Cid merged: {stdout}");
+    assert!(
+        stdout.contains("node {Person} x3"),
+        "unlabeled Cid merged: {stdout}"
+    );
     assert!(stdout.contains("edge {WORKS_AT} x2"));
 }
 
@@ -78,20 +81,12 @@ fn validate_self_passes_and_mismatch_fails() {
     // discovery time but cannot be strictly matched as raw data).
     let labeled = DEMO.replace("N c - ", "N c Person ");
     let path = write_temp(&labeled);
-    let (stdout, _, code) = run(&[
-        "validate",
-        path.to_str().unwrap(),
-        path.to_str().unwrap(),
-    ]);
+    let (stdout, _, code) = run(&["validate", path.to_str().unwrap(), path.to_str().unwrap()]);
     assert_eq!(code, Some(0), "{stdout}");
     assert!(stdout.contains("valid"));
 
     let bad = write_temp("N z Alien tentacles=7\n");
-    let (stdout, _, code) = run(&[
-        "validate",
-        bad.to_str().unwrap(),
-        path.to_str().unwrap(),
-    ]);
+    let (stdout, _, code) = run(&["validate", bad.to_str().unwrap(), path.to_str().unwrap()]);
     assert_eq!(code, Some(1));
     assert!(stdout.contains("violation"), "{stdout}");
 }

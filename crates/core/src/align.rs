@@ -76,13 +76,12 @@ pub fn align_node_types(
         }
         let Some((i, j, cos, jac)) = best else { break };
         // Larger instance count keeps its identity.
-        let (keep, absorb) = if schema.node_types[i].instance_count
-            >= schema.node_types[j].instance_count
-        {
-            (i, j)
-        } else {
-            (j, i)
-        };
+        let (keep, absorb) =
+            if schema.node_types[i].instance_count >= schema.node_types[j].instance_count {
+                (i, j)
+            } else {
+                (j, i)
+            };
         let merged_labels = schema.node_types[absorb].labels.clone();
         let kept_labels = schema.node_types[keep].labels.clone();
         let removed = schema.node_types.remove(absorb);

@@ -1,82 +1,176 @@
-//! Stage (c): LSH clustering of representation vectors (§4.2).
+//! Stage (c): LSH clustering of representation vectors (§4.2), over
+//! deduplicated signatures.
+//!
+//! LSH hashes the **distinct-signature** rows of an [`ElementRepr`] and the
+//! resulting assignment is broadcast back to elements through `rep_of`.
+//! This is exactly the clustering the naive per-element sweep produces:
+//!
+//! - identical vectors (or sets) hash into the same bucket in every table,
+//!   so collapsing duplicates onto one representative changes no connected
+//!   component of the collision graph;
+//! - adaptive parameters are derived over the *element population* (the
+//!   `rep_of`-aware sampling in [`pg_hive_lsh::adaptive`]), so a skewed
+//!   multiplicity distribution influences `μ`, `b`, and `T` the same way
+//!   it did before deduplication;
+//! - cluster ids are densified by first occurrence, and the first element
+//!   of each cluster corresponds to the first distinct row of that cluster,
+//!   so even the numbering matches.
+//!
+//! `PipelineConfig::dedup = false` runs the naive per-element path (used by
+//! the equivalence property tests and the benchmark baseline).
 
 use crate::config::{ClusterMethod, PipelineConfig};
+use crate::preprocess::ElementRepr;
 use pg_hive_lsh::{
     adaptive, elsh_cluster, minhash_cluster, AdaptiveConfig, AdaptiveParams, Clustering,
-    ElementClass, ElshParams, MinHashParams,
+    ElementClass, ElshParams, MinHashParams, VectorMatrix,
 };
 
 /// Outcome of one clustering call, including the parameters that were used
 /// (adaptive or fixed) for reporting (Fig. 6 marks the adaptive choice).
 #[derive(Debug, Clone)]
 pub struct ClusterOutcome {
+    /// Per-**element** clustering (already broadcast from distinct rows).
     pub clustering: Clustering,
     /// Adaptive parameters, when the adaptive path was taken.
     pub adaptive: Option<AdaptiveParams>,
+    /// How many distinct-signature points LSH actually hashed.
+    pub hashed_points: usize,
 }
 
-/// Cluster one element class (nodes or edges) given both representations.
-/// Chooses ELSH or MinHash per config; derives parameters adaptively when
-/// none are pinned.
+/// Cluster one element class (nodes or edges) from its deduplicated
+/// representations. Chooses ELSH or MinHash per config; derives parameters
+/// adaptively when none are pinned.
 pub fn cluster_elements(
-    dense: &[Vec<f32>],
-    sets: &[Vec<u64>],
-    distinct_labels: usize,
+    repr: &ElementRepr,
+    class: ElementClass,
+    config: &PipelineConfig,
+) -> ClusterOutcome {
+    if config.dedup {
+        cluster_dedup(repr, class, config)
+    } else {
+        cluster_naive(repr, class, config)
+    }
+}
+
+/// The fast path: hash distinct signatures, broadcast through `rep_of`.
+fn cluster_dedup(
+    repr: &ElementRepr,
     class: ElementClass,
     config: &PipelineConfig,
 ) -> ClusterOutcome {
     match config.method {
         ClusterMethod::Elsh => {
-            let (params, adaptive) = match &config.elsh {
-                Some(p) => (p.clone(), None),
-                None => {
-                    let mut a = adaptive::derive_params(
-                        dense,
-                        distinct_labels,
-                        class,
-                        &AdaptiveConfig {
-                            seed: config.seed,
-                            ..AdaptiveConfig::default()
-                        },
-                    );
-                    // Small batches may contain mostly singleton types, in
-                    // which case even the median NN distance is an
-                    // inter-type distance and b would over-merge. We know
-                    // the geometry of our vectors — label disagreement
-                    // costs ≥ label_weight in L2 — so cap the bucket below
-                    // that scale.
-                    if config.label_weight > 0.0 {
-                        let cap = 0.4 * config.label_weight as f64;
-                        if a.bucket_width > cap {
-                            a.bucket_width = cap;
-                        }
-                    }
-                    (
-                        ElshParams {
-                            bucket_width: a.bucket_width,
-                            tables: a.tables,
-                            hashes_per_table: 4,
-                            seed: config.seed ^ 0xE15B,
-                        },
-                        Some(a),
-                    )
-                }
-            };
+            let (params, adaptive) = elsh_params(
+                config,
+                &repr.matrix,
+                Some(&repr.rep_of),
+                repr.distinct_labels,
+                class,
+            );
+            let distinct = elsh_cluster(&repr.matrix, &params);
             ClusterOutcome {
-                clustering: elsh_cluster(dense, &params),
+                clustering: distinct.broadcast(&repr.rep_of),
                 adaptive,
+                hashed_points: repr.distinct(),
             }
         }
         ClusterMethod::MinHash => {
-            let params = match &config.minhash {
-                Some(p) => p.clone(),
-                None => adaptive_minhash(sets.len(), distinct_labels, class, config.seed),
-            };
+            let params = minhash_params(config, repr.len(), repr.distinct_labels, class);
+            let distinct = minhash_cluster(&repr.sets, &params);
             ClusterOutcome {
-                clustering: minhash_cluster(sets, &params),
+                clustering: distinct.broadcast(&repr.rep_of),
                 adaptive: None,
+                hashed_points: repr.distinct(),
             }
         }
+    }
+}
+
+/// The seed's per-element path: expand the representation and hash every
+/// element. Same clustering, more work.
+fn cluster_naive(
+    repr: &ElementRepr,
+    class: ElementClass,
+    config: &PipelineConfig,
+) -> ClusterOutcome {
+    match config.method {
+        ClusterMethod::Elsh => {
+            let matrix = repr.expanded_matrix();
+            let (params, adaptive) =
+                elsh_params(config, &matrix, None, repr.distinct_labels, class);
+            ClusterOutcome {
+                clustering: elsh_cluster(&matrix, &params),
+                adaptive,
+                hashed_points: repr.len(),
+            }
+        }
+        ClusterMethod::MinHash => {
+            let params = minhash_params(config, repr.len(), repr.distinct_labels, class);
+            ClusterOutcome {
+                clustering: minhash_cluster(&repr.expanded_sets(), &params),
+                adaptive: None,
+                hashed_points: repr.len(),
+            }
+        }
+    }
+}
+
+/// Fixed or adaptive ELSH parameters for the population described by
+/// `(matrix, rep_of)`.
+fn elsh_params(
+    config: &PipelineConfig,
+    matrix: &VectorMatrix,
+    rep_of: Option<&[u32]>,
+    distinct_labels: usize,
+    class: ElementClass,
+) -> (ElshParams, Option<AdaptiveParams>) {
+    match &config.elsh {
+        Some(p) => (p.clone(), None),
+        None => {
+            let mut a = adaptive::derive_params(
+                matrix,
+                rep_of,
+                distinct_labels,
+                class,
+                &AdaptiveConfig {
+                    seed: config.seed,
+                    ..AdaptiveConfig::default()
+                },
+            );
+            // Small batches may contain mostly singleton types, in which
+            // case even the median NN distance is an inter-type distance
+            // and b would over-merge. We know the geometry of our vectors —
+            // label disagreement costs ≥ label_weight in L2 — so cap the
+            // bucket below that scale.
+            if config.label_weight > 0.0 {
+                let cap = 0.4 * config.label_weight as f64;
+                if a.bucket_width > cap {
+                    a.bucket_width = cap;
+                }
+            }
+            (
+                ElshParams {
+                    bucket_width: a.bucket_width,
+                    tables: a.tables,
+                    hashes_per_table: 4,
+                    seed: config.seed ^ 0xE15B,
+                },
+                Some(a),
+            )
+        }
+    }
+}
+
+fn minhash_params(
+    config: &PipelineConfig,
+    population: usize,
+    distinct_labels: usize,
+    class: ElementClass,
+) -> MinHashParams {
+    match &config.minhash {
+        Some(p) => p.clone(),
+        None => adaptive_minhash(population, distinct_labels, class, config.seed),
     }
 }
 
@@ -105,44 +199,42 @@ mod tests {
     use super::*;
     use crate::config::PipelineConfig;
 
-    fn labeled_vectors() -> (Vec<Vec<f32>>, Vec<Vec<u64>>) {
-        // Two structural groups, well separated in both representations.
-        let mut dense = Vec::new();
-        let mut sets = Vec::new();
+    /// Two structural groups, well separated in both representations, with
+    /// each group one distinct signature repeated 20×.
+    fn labeled_repr() -> ElementRepr {
+        let mut repr = ElementRepr {
+            matrix: VectorMatrix::new(5),
+            ..ElementRepr::default()
+        };
+        repr.matrix.push_row(&[4.0, 0.0, 1.0, 1.0, 0.0]);
+        repr.sets.push(vec![1, 2, 3, 10, 11]);
+        repr.matrix.push_row(&[0.0, 4.0, 0.0, 0.0, 1.0]);
+        repr.sets.push(vec![4, 5, 6, 20, 21]);
         for i in 0..40 {
-            if i % 2 == 0 {
-                dense.push(vec![4.0, 0.0, 1.0, 1.0, 0.0]);
-                sets.push(vec![1, 2, 3, 10, 11]);
-            } else {
-                dense.push(vec![0.0, 4.0, 0.0, 0.0, 1.0]);
-                sets.push(vec![4, 5, 6, 20, 21]);
-            }
+            repr.rep_of.push((i % 2) as u32);
         }
-        (dense, sets)
+        repr.distinct_labels = 4;
+        repr
     }
 
     #[test]
     fn elsh_adaptive_separates_groups() {
-        let (dense, sets) = labeled_vectors();
         let out = cluster_elements(
-            &dense,
-            &sets,
-            4,
+            &labeled_repr(),
             ElementClass::Nodes,
             &PipelineConfig::elsh_adaptive(),
         );
         assert!(out.adaptive.is_some());
         assert_eq!(out.clustering.num_clusters, 2);
         assert_ne!(out.clustering.assignment[0], out.clustering.assignment[1]);
+        assert_eq!(out.clustering.assignment.len(), 40);
+        assert_eq!(out.hashed_points, 2, "only distinct signatures hashed");
     }
 
     #[test]
     fn minhash_adaptive_separates_groups() {
-        let (dense, sets) = labeled_vectors();
         let out = cluster_elements(
-            &dense,
-            &sets,
-            4,
+            &labeled_repr(),
             ElementClass::Nodes,
             &PipelineConfig::minhash_default(),
         );
@@ -152,13 +244,33 @@ mod tests {
 
     #[test]
     fn fixed_params_bypass_adaptive() {
-        let (dense, sets) = labeled_vectors();
         let cfg = PipelineConfig {
             elsh: Some(ElshParams::default()),
             ..PipelineConfig::elsh_adaptive()
         };
-        let out = cluster_elements(&dense, &sets, 4, ElementClass::Nodes, &cfg);
+        let out = cluster_elements(&labeled_repr(), ElementClass::Nodes, &cfg);
         assert!(out.adaptive.is_none());
+    }
+
+    #[test]
+    fn dedup_and_naive_agree_for_both_methods() {
+        let repr = labeled_repr();
+        for base in [
+            PipelineConfig::elsh_adaptive(),
+            PipelineConfig::minhash_default(),
+        ] {
+            let fast = cluster_elements(&repr, ElementClass::Nodes, &base);
+            let naive = cluster_elements(
+                &repr,
+                ElementClass::Nodes,
+                &PipelineConfig {
+                    dedup: false,
+                    ..base
+                },
+            );
+            assert_eq!(fast.clustering, naive.clustering);
+            assert!(fast.hashed_points <= naive.hashed_points);
+        }
     }
 
     #[test]
@@ -171,12 +283,11 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let out = cluster_elements(
-            &[],
-            &[],
-            0,
+            &ElementRepr::default(),
             ElementClass::Edges,
             &PipelineConfig::elsh_adaptive(),
         );
         assert_eq!(out.clustering.num_clusters, 0);
+        assert_eq!(out.hashed_points, 0);
     }
 }

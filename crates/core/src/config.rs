@@ -71,6 +71,13 @@ pub struct PipelineConfig {
     /// cardinalities — Algorithm 1 lines 7–10) after every batch instead of
     /// only at the end.
     pub post_process_each_batch: bool,
+    /// Cluster on deduplicated signatures and broadcast assignments back to
+    /// elements (default), instead of hashing every element individually.
+    /// Both paths produce the **same clustering** (identical vectors share
+    /// every bucket; adaptive parameters are derived over the element
+    /// population either way) — `false` exists for equivalence tests and
+    /// benchmarking the dedup win.
+    pub dedup: bool,
     /// Datatype inference sampling; `None` = full scan.
     pub datatype_sampling: Option<SamplingConfig>,
     /// Master seed.
@@ -88,6 +95,7 @@ impl Default for PipelineConfig {
             embedding_dim: 16,
             label_weight: 6.0,
             post_process_each_batch: false,
+            dedup: true,
             datatype_sampling: None,
             seed: 0xD15C,
         }
@@ -119,6 +127,7 @@ mod tests {
         assert_eq!(c.theta, 0.9);
         assert!(c.elsh.is_none(), "adaptive by default");
         assert!(c.datatype_sampling.is_none(), "full scan by default");
+        assert!(c.dedup, "signature dedup on by default");
     }
 
     #[test]

@@ -224,10 +224,9 @@ fn find_node(schema: &SchemaGraph, t: &crate::schema::NodeType) -> Option<usize>
     }
     // Abstract types: match by key set.
     let keys: BTreeSet<&str> = t.props.keys().map(String::as_str).collect();
-    schema
-        .node_types
-        .iter()
-        .position(|o| o.labels.is_empty() && o.props.keys().map(String::as_str).collect::<BTreeSet<_>>() == keys)
+    schema.node_types.iter().position(|o| {
+        o.labels.is_empty() && o.props.keys().map(String::as_str).collect::<BTreeSet<_>>() == keys
+    })
 }
 
 fn prop_changes(
@@ -273,7 +272,11 @@ mod tests {
     use crate::schema::{label_set, NodeType, PropertySpec};
     use std::collections::BTreeMap;
 
-    fn node_type(labels: &[&str], props: &[(&str, u64, Option<ValueKind>)], count: u64) -> NodeType {
+    fn node_type(
+        labels: &[&str],
+        props: &[(&str, u64, Option<ValueKind>)],
+        count: u64,
+    ) -> NodeType {
         NodeType {
             labels: label_set(labels),
             props: props
@@ -358,7 +361,10 @@ mod tests {
         let old = schema(vec![node_type(&["A"], &[("x", 1, Some(Integer))], 1)]);
         let new = schema(vec![node_type(&["A"], &[("x", 1, Some(Float))], 1)]);
         assert!(diff_schemas(&old, &new).is_monotone(), "Int → Float widens");
-        assert!(!diff_schemas(&new, &old).is_monotone(), "Float → Int narrows");
+        assert!(
+            !diff_schemas(&new, &old).is_monotone(),
+            "Float → Int narrows"
+        );
     }
 
     #[test]

@@ -112,14 +112,18 @@ pub fn merge_node_candidates(schema: &mut SchemaGraph, cands: Vec<NodeType>, the
     // Lines 8–11: unlabeled clusters vs labeled types, best Jaccard ≥ θ.
     let mut still_unlabeled = Vec::new();
     for cand in unlabeled {
-        let cand_keys: std::collections::BTreeSet<String> =
-            cand.props.keys().cloned().collect();
+        let cand_keys: std::collections::BTreeSet<String> = cand.props.keys().cloned().collect();
         let best = schema
             .node_types
             .iter()
             .enumerate()
             .filter(|(_, t)| !t.labels.is_empty())
-            .map(|(i, t)| (i, jaccard_str(&cand_keys, &t.props.keys().cloned().collect())))
+            .map(|(i, t)| {
+                (
+                    i,
+                    jaccard_str(&cand_keys, &t.props.keys().cloned().collect()),
+                )
+            })
             .filter(|(_, sim)| *sim >= theta)
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         match best {
@@ -131,14 +135,18 @@ pub fn merge_node_candidates(schema: &mut SchemaGraph, cands: Vec<NodeType>, the
     // Lines 12–14: unlabeled vs unlabeled (including pre-existing ABSTRACT
     // types in the schema), then keep the rest as ABSTRACT.
     for cand in still_unlabeled {
-        let cand_keys: std::collections::BTreeSet<String> =
-            cand.props.keys().cloned().collect();
+        let cand_keys: std::collections::BTreeSet<String> = cand.props.keys().cloned().collect();
         let target = schema
             .node_types
             .iter()
             .enumerate()
             .filter(|(_, t)| t.labels.is_empty())
-            .map(|(i, t)| (i, jaccard_str(&cand_keys, &t.props.keys().cloned().collect())))
+            .map(|(i, t)| {
+                (
+                    i,
+                    jaccard_str(&cand_keys, &t.props.keys().cloned().collect()),
+                )
+            })
             .filter(|(_, sim)| *sim >= theta)
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         match target {
@@ -165,14 +173,18 @@ pub fn merge_edge_candidates(schema: &mut SchemaGraph, cands: Vec<EdgeType>, the
 
     let mut still_unlabeled = Vec::new();
     for cand in unlabeled {
-        let cand_keys: std::collections::BTreeSet<String> =
-            cand.props.keys().cloned().collect();
+        let cand_keys: std::collections::BTreeSet<String> = cand.props.keys().cloned().collect();
         let best = schema
             .edge_types
             .iter()
             .enumerate()
             .filter(|(_, t)| !t.labels.is_empty())
-            .map(|(i, t)| (i, jaccard_str(&cand_keys, &t.props.keys().cloned().collect())))
+            .map(|(i, t)| {
+                (
+                    i,
+                    jaccard_str(&cand_keys, &t.props.keys().cloned().collect()),
+                )
+            })
             .filter(|(_, sim)| *sim >= theta)
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         match best {
@@ -182,14 +194,18 @@ pub fn merge_edge_candidates(schema: &mut SchemaGraph, cands: Vec<EdgeType>, the
     }
 
     for cand in still_unlabeled {
-        let cand_keys: std::collections::BTreeSet<String> =
-            cand.props.keys().cloned().collect();
+        let cand_keys: std::collections::BTreeSet<String> = cand.props.keys().cloned().collect();
         let target = schema
             .edge_types
             .iter()
             .enumerate()
             .filter(|(_, t)| t.labels.is_empty())
-            .map(|(i, t)| (i, jaccard_str(&cand_keys, &t.props.keys().cloned().collect())))
+            .map(|(i, t)| {
+                (
+                    i,
+                    jaccard_str(&cand_keys, &t.props.keys().cloned().collect()),
+                )
+            })
             .filter(|(_, sim)| *sim >= theta)
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         match target {
@@ -206,7 +222,11 @@ mod tests {
     use pg_hive_graph::{GraphBuilder, Value};
 
     fn cluster_of(assignment: Vec<u32>) -> Clustering {
-        let num = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let num = assignment
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1);
         Clustering {
             assignment,
             num_clusters: num,
@@ -215,7 +235,10 @@ mod tests {
 
     fn person_graph() -> (PropertyGraph, Vec<NodeId>) {
         let mut b = GraphBuilder::new();
-        let n0 = b.add_node(&["Person"], &[("name", Value::from("a")), ("age", Value::Int(1))]);
+        let n0 = b.add_node(
+            &["Person"],
+            &[("name", Value::from("a")), ("age", Value::Int(1))],
+        );
         let n1 = b.add_node(&["Person"], &[("name", Value::from("b"))]);
         let n2 = b.add_node(&[], &[("name", Value::from("c")), ("age", Value::Int(2))]);
         let n3 = b.add_node(&["Post"], &[("content", Value::from("x"))]);

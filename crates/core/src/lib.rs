@@ -12,7 +12,17 @@
 //! 1. **Load** nodes/edges from a [`pg_hive_graph::PropertyGraph`].
 //! 2. **Preprocess** into hybrid vectors: weighted label embeddings
 //!    concatenated with binary property indicators ([`preprocess`]).
-//! 3. **Cluster** with Euclidean LSH or MinHash ([`cluster`]).
+//!    Elements are **deduplicated by signature** — (labels, property keys)
+//!    for nodes, (labels, endpoint labels, keys) for edges — so each
+//!    distinct signature is embedded once into a flat
+//!    [`pg_hive_lsh::VectorMatrix`] row and elements carry only a `rep_of`
+//!    index (typically 10–100× fewer points downstream).
+//! 3. **Cluster** with Euclidean LSH or MinHash ([`cluster`]): LSH hashes
+//!    the distinct rows (data-parallel, `pg-hive-lsh`'s `parallel` feature,
+//!    on by default) and assignments broadcast back through `rep_of` —
+//!    provably the same clustering the per-element sweep produces, and
+//!    byte-identical across thread counts for a fixed seed. Set
+//!    [`PipelineConfig::dedup`]` = false` to run the naive path.
 //! 4. **Extract types** — merge clusters by label, then by property Jaccard
 //!    similarity, Algorithm 2 ([`extract`]).
 //! 5. **Post-process** — constraints, datatypes, cardinalities
@@ -61,8 +71,8 @@ pub mod validate;
 pub use config::{ClusterMethod, EmbeddingStrategy, PipelineConfig, SamplingConfig};
 pub use diff::{diff_schemas, SchemaDiff};
 pub use parse::{parse_pg_schema, ParseError, ParsedMode};
-pub use retract::{retract_batch, RetractionStats};
 pub use pipeline::{Discoverer, DiscoveryResult, PipelineStats, StageTimings, StreamResult};
+pub use retract::{retract_batch, RetractionStats};
 pub use schema::{
     label_set, Cardinality, CardinalityClass, EdgeType, LabelSet, NodeType, PropertySpec,
     SchemaGraph,

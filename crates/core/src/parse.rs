@@ -59,13 +59,15 @@ pub fn parse_pg_schema(text: &str) -> Result<(SchemaGraph, ParsedMode), ParseErr
             continue;
         }
         if trimmed.starts_with("CREATE GRAPH TYPE") {
-            mode = Some(if trimmed.contains(" STRICT ") || trimmed.ends_with("STRICT {") {
-                ParsedMode::Strict
-            } else if trimmed.contains(" LOOSE ") || trimmed.ends_with("LOOSE {") {
-                ParsedMode::Loose
-            } else {
-                return Err(err(line, "expected STRICT or LOOSE"));
-            });
+            mode = Some(
+                if trimmed.contains(" STRICT ") || trimmed.ends_with("STRICT {") {
+                    ParsedMode::Strict
+                } else if trimmed.contains(" LOOSE ") || trimmed.ends_with("LOOSE {") {
+                    ParsedMode::Loose
+                } else {
+                    return Err(err(line, "expected STRICT or LOOSE"));
+                },
+            );
             in_body = true;
             continue;
         }
@@ -259,10 +261,22 @@ fn parse_kind(token: &str, line: usize) -> Result<ValueKind, ParseError> {
 fn parse_cardinality(notation: &str) -> Option<Cardinality> {
     // Class-level information only: reconstruct representative bounds.
     match notation {
-        "0:1" => Some(Cardinality { max_out: 1, max_in: 1 }),
-        "N:1" => Some(Cardinality { max_out: 2, max_in: 1 }),
-        "0:N" => Some(Cardinality { max_out: 1, max_in: 2 }),
-        "M:N" => Some(Cardinality { max_out: 2, max_in: 2 }),
+        "0:1" => Some(Cardinality {
+            max_out: 1,
+            max_in: 1,
+        }),
+        "N:1" => Some(Cardinality {
+            max_out: 2,
+            max_in: 1,
+        }),
+        "0:N" => Some(Cardinality {
+            max_out: 1,
+            max_in: 2,
+        }),
+        "M:N" => Some(Cardinality {
+            max_out: 2,
+            max_in: 2,
+        }),
         _ => None,
     }
 }
@@ -279,7 +293,10 @@ mod tests {
         let mut b = GraphBuilder::new();
         let mut people = Vec::new();
         for i in 0..6 {
-            let mut props = vec![("name", Value::from("x")), ("bday", Value::from("1990-01-01"))];
+            let mut props = vec![
+                ("name", Value::from("x")),
+                ("bday", Value::from("1990-01-01")),
+            ];
             if i % 2 == 0 {
                 props.push(("email", Value::from("e")));
             }
@@ -309,10 +326,10 @@ mod tests {
                 .node_type_by_labels(&t.labels)
                 .or_else(|| {
                     // abstract types: match by keys
-                    parsed.node_types.iter().position(|o| {
-                        o.labels.is_empty()
-                            && o.props.keys().eq(t.props.keys())
-                    })
+                    parsed
+                        .node_types
+                        .iter()
+                        .position(|o| o.labels.is_empty() && o.props.keys().eq(t.props.keys()))
                 })
                 .unwrap_or_else(|| panic!("type {:?} lost", t.labels));
             let pt = &parsed.node_types[p];

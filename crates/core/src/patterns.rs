@@ -29,7 +29,11 @@ impl NodePattern {
     /// Pattern of a concrete node.
     pub fn of(g: &PropertyGraph, n: &Node) -> Self {
         NodePattern {
-            labels: n.labels.iter().map(|&l| g.label_str(l).to_string()).collect(),
+            labels: n
+                .labels
+                .iter()
+                .map(|&l| g.label_str(l).to_string())
+                .collect(),
             keys: n.keys().map(|k| g.key_str(k).to_string()).collect(),
         }
     }
@@ -40,7 +44,11 @@ impl EdgePattern {
     pub fn of(g: &PropertyGraph, e: &Edge) -> Self {
         let (src, tgt) = g.edge_endpoint_labels(e);
         EdgePattern {
-            labels: e.labels.iter().map(|&l| g.label_str(l).to_string()).collect(),
+            labels: e
+                .labels
+                .iter()
+                .map(|&l| g.label_str(l).to_string())
+                .collect(),
             keys: e.keys().map(|k| g.key_str(k).to_string()).collect(),
             src_labels: src.iter().map(|&l| g.label_str(l).to_string()).collect(),
             tgt_labels: tgt.iter().map(|&l| g.label_str(l).to_string()).collect(),

@@ -58,6 +58,15 @@ pub struct PipelineStats {
     pub node_clusters: usize,
     /// Total LSH clusters produced before merging (edges).
     pub edge_clusters: usize,
+    /// Nodes processed across batches.
+    pub node_elements: usize,
+    /// Distinct node signatures actually hashed by LSH (summed over
+    /// batches) — `node_elements / node_signatures` is the dedup win.
+    pub node_signatures: usize,
+    /// Edges processed across batches.
+    pub edge_elements: usize,
+    /// Distinct edge signatures actually hashed by LSH.
+    pub edge_signatures: usize,
     /// Adaptive parameters chosen for the *first* batch, when the adaptive
     /// path was used.
     pub adaptive_nodes: Option<AdaptiveParams>,
@@ -145,29 +154,24 @@ impl Discoverer {
             // (b) preprocess: embedder + representation vectors.
             let t0 = Instant::now();
             let embedder = self.make_embedder(g, batch);
-            let nodes = node_representations(g, &batch.nodes, embedder.as_ref(), self.config.label_weight);
-            let edges = edge_representations(g, &batch.edges, embedder.as_ref(), self.config.label_weight);
+            let nodes =
+                node_representations(g, &batch.nodes, embedder.as_ref(), self.config.label_weight);
+            let edges =
+                edge_representations(g, &batch.edges, embedder.as_ref(), self.config.label_weight);
             stats.timings.preprocess += t0.elapsed();
 
-            // (c) LSH clustering.
+            // (c) LSH clustering over distinct signatures, broadcast back
+            // to elements inside `cluster_elements`.
             let t1 = Instant::now();
-            let node_out = cluster_elements(
-                &nodes.dense,
-                &nodes.sets,
-                nodes.distinct_labels,
-                ElementClass::Nodes,
-                &self.config,
-            );
-            let edge_out = cluster_elements(
-                &edges.dense,
-                &edges.sets,
-                edges.distinct_labels,
-                ElementClass::Edges,
-                &self.config,
-            );
+            let node_out = cluster_elements(&nodes.repr, ElementClass::Nodes, &self.config);
+            let edge_out = cluster_elements(&edges.repr, ElementClass::Edges, &self.config);
             stats.timings.clustering += t1.elapsed();
             stats.node_clusters += node_out.clustering.num_clusters;
             stats.edge_clusters += edge_out.clustering.num_clusters;
+            stats.node_elements += nodes.repr.len();
+            stats.node_signatures += node_out.hashed_points;
+            stats.edge_elements += edges.repr.len();
+            stats.edge_signatures += edge_out.hashed_points;
             for (pos, &id) in batch.nodes.iter().enumerate() {
                 node_cluster_assignment[id.index()] =
                     node_cluster_offset + node_out.clustering.assignment[pos];
@@ -352,7 +356,12 @@ mod tests {
         );
         let place = b.add_node(&["Place"], &[("name", Value::from("Greece"))]);
         b.add_edge(alice, john, &["KNOWS"], &[]);
-        b.add_edge(bob, john, &["KNOWS"], &[("since", Value::from("2025-01-01"))]);
+        b.add_edge(
+            bob,
+            john,
+            &["KNOWS"],
+            &[("since", Value::from("2025-01-01"))],
+        );
         b.add_edge(alice, post2, &["LIKES"], &[]);
         b.add_edge(john, post1, &["LIKES"], &[]);
         b.add_edge(bob, org, &["WORKS_AT"], &[("from", Value::Int(2000))]);
@@ -427,7 +436,10 @@ mod tests {
         assert!(!post.props["imgFile"].is_mandatory(post.instance_count));
         // Example 8: KNOWS is M:N... with only 2 KNOWS edges sharing target
         // John, max_in = 2, max_out = 1 ⇒ 0:N on this tiny graph.
-        let knows_idx = r.schema.edge_type_by_labels(&label_set(&["KNOWS"])).unwrap();
+        let knows_idx = r
+            .schema
+            .edge_type_by_labels(&label_set(&["KNOWS"]))
+            .unwrap();
         let c = r.schema.edge_types[knows_idx].cardinality.unwrap();
         assert_eq!(c.max_in, 2);
     }

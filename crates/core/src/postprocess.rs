@@ -201,7 +201,10 @@ mod tests {
         assert_eq!(infer_value_kind("4.5"), ValueKind::Float);
         assert_eq!(infer_value_kind("true"), ValueKind::Boolean);
         assert_eq!(infer_value_kind("1999-12-19"), ValueKind::Date);
-        assert_eq!(infer_value_kind("1999-12-19T01:02:03"), ValueKind::Timestamp);
+        assert_eq!(
+            infer_value_kind("1999-12-19T01:02:03"),
+            ValueKind::Timestamp
+        );
         assert_eq!(infer_value_kind("hello"), ValueKind::String);
     }
 
@@ -211,14 +214,8 @@ mod tests {
             infer_kind_of_values(["1", "2", "3"]),
             Some(ValueKind::Integer)
         );
-        assert_eq!(
-            infer_kind_of_values(["1", "2.5"]),
-            Some(ValueKind::Float)
-        );
-        assert_eq!(
-            infer_kind_of_values(["1", "x"]),
-            Some(ValueKind::String)
-        );
+        assert_eq!(infer_kind_of_values(["1", "2.5"]), Some(ValueKind::Float));
+        assert_eq!(infer_kind_of_values(["1", "x"]), Some(ValueKind::String));
         assert_eq!(infer_kind_of_values([]), None);
     }
 

@@ -1,4 +1,4 @@
-//! Stage (b): representation vectors (§4.1).
+//! Stage (b): representation vectors (§4.1), with signature deduplication.
 //!
 //! Every node becomes `w·Word2Vec(labels) ∥ b_v ∈ {0,1}^K` and every edge
 //! `w·Word2Vec(edge) ∥ w·Word2Vec(src) ∥ w·Word2Vec(tgt) ∥ b_e ∈ {0,1}^K`,
@@ -14,9 +14,25 @@
 //! *sets*: property keys plus salted copies of the label tokens (copies
 //! raise the labels' share of the Jaccard similarity — the set-based
 //! analogue of `label_weight`).
+//!
+//! # Signature deduplication
+//!
+//! An element's representation is a pure function of its **signature** —
+//! for nodes `(labels, property keys)`, for edges `(labels, source labels,
+//! target labels, property keys)`. Real property graphs have orders of
+//! magnitude fewer distinct signatures than elements (LDBC at 100k nodes
+//! has a few dozen), so each distinct signature is embedded **once** into a
+//! flat [`VectorMatrix`] row and every element carries only an index into
+//! it (`rep_of`). Downstream, LSH runs on the distinct rows and the
+//! assignment is broadcast back through `rep_of` — provably the same
+//! clustering (identical vectors always share every hash bucket) at a
+//! fraction of the hashing and embedding work. See
+//! [`crate::cluster::cluster_elements`].
 
 use pg_hive_embed::{canonical_token, LabelEmbedder};
-use pg_hive_graph::{EdgeId, GraphBatch, NodeId, PropertyGraph};
+use pg_hive_graph::{EdgeId, GraphBatch, NodeId, PropertyGraph, Symbol};
+use pg_hive_lsh::fx::FxHashMap;
+use pg_hive_lsh::VectorMatrix;
 use std::collections::HashSet;
 
 /// Salted label-feature copies in node sets.
@@ -29,30 +45,107 @@ pub const NODE_LABEL_COPIES: usize = 8;
 /// differing slot separates the vectors in L2.
 pub const EDGE_IDENTITY_COPIES: usize = 12;
 
-/// Dense + set representations of a batch's nodes.
+/// Deduplicated dense + set representations of one element class.
+///
+/// `matrix.rows() == sets.len()` is the number of **distinct signatures**;
+/// `rep_of.len()` is the number of **elements**, each entry pointing at its
+/// signature's row.
+#[derive(Debug, Clone, Default)]
+pub struct ElementRepr {
+    /// One row per distinct signature, dimension `d + K` (nodes) or
+    /// `3d + K` (edges).
+    pub matrix: VectorMatrix,
+    /// One feature-id set per distinct signature (for MinHash).
+    pub sets: Vec<Vec<u64>>,
+    /// Element → distinct-signature row.
+    pub rep_of: Vec<u32>,
+    /// Distinct individual labels observed among these elements (the `L`
+    /// of the adaptive heuristics).
+    pub distinct_labels: usize,
+}
+
+impl ElementRepr {
+    /// Number of elements represented.
+    pub fn len(&self) -> usize {
+        self.rep_of.len()
+    }
+
+    /// True when no elements are represented.
+    pub fn is_empty(&self) -> bool {
+        self.rep_of.is_empty()
+    }
+
+    /// Number of distinct signatures.
+    pub fn distinct(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Dense vector of element `i` (via its representative row).
+    pub fn dense_of(&self, i: usize) -> &[f32] {
+        self.matrix.row(self.rep_of[i] as usize)
+    }
+
+    /// Feature set of element `i` (via its representative row).
+    pub fn set_of(&self, i: usize) -> &[u64] {
+        &self.sets[self.rep_of[i] as usize]
+    }
+
+    /// Elements per distinct signature (the dedup win; 1.0 = no sharing).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.matrix.rows() == 0 {
+            1.0
+        } else {
+            self.len() as f64 / self.distinct() as f64
+        }
+    }
+
+    /// Expand the dense rows back to one per element — the naive
+    /// per-element layout (`dedup: false` runs and equivalence tests).
+    pub fn expanded_matrix(&self) -> VectorMatrix {
+        let mut matrix = VectorMatrix::with_capacity(self.len(), self.matrix.dim());
+        for &r in &self.rep_of {
+            matrix.push_row(self.matrix.row(r as usize));
+        }
+        matrix
+    }
+
+    /// Expand the feature sets back to one per element.
+    pub fn expanded_sets(&self) -> Vec<Vec<u64>> {
+        self.rep_of
+            .iter()
+            .map(|&r| self.sets[r as usize].clone())
+            .collect()
+    }
+}
+
+/// Representations of a batch's nodes.
 #[derive(Debug, Clone)]
 pub struct NodeRepr {
     pub ids: Vec<NodeId>,
-    /// One vector per node, dimension `d + K`.
-    pub dense: Vec<Vec<f32>>,
-    /// One feature-id set per node (for MinHash).
-    pub sets: Vec<Vec<u64>>,
-    /// Distinct individual labels observed among these nodes (the `L` of
-    /// the adaptive heuristics).
-    pub distinct_labels: usize,
+    pub repr: ElementRepr,
 }
 
-/// Dense + set representations of a batch's edges.
+/// Representations of a batch's edges.
 #[derive(Debug, Clone)]
 pub struct EdgeRepr {
     pub ids: Vec<EdgeId>,
-    /// One vector per edge, dimension `3d + K`.
-    pub dense: Vec<Vec<f32>>,
-    pub sets: Vec<Vec<u64>>,
-    pub distinct_labels: usize,
+    pub repr: ElementRepr,
 }
 
-/// Build node representations for `ids` (a batch or the whole graph).
+/// A node's signature: labels and property keys, in stored order. (Stored
+/// order is at least as fine as representation equality — two nodes whose
+/// signatures differ only in ordering get separate rows with *equal*
+/// vectors, which LSH clusters together anyway.)
+type NodeSig = (Vec<u32>, Vec<u32>);
+/// An edge's signature: labels, source labels, target labels, keys.
+type EdgeSig = (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>);
+
+fn symbol_ids(symbols: &[Symbol]) -> Vec<u32> {
+    symbols.iter().map(|s| s.0).collect()
+}
+
+/// Build deduplicated node representations for `ids` (a batch or the whole
+/// graph).
 pub fn node_representations(
     g: &PropertyGraph,
     ids: &[NodeId],
@@ -61,8 +154,11 @@ pub fn node_representations(
 ) -> NodeRepr {
     let d = embedder.dim();
     let key_count = g.keys().len();
-    let mut dense = Vec::with_capacity(ids.len());
-    let mut sets = Vec::with_capacity(ids.len());
+    let mut repr = ElementRepr {
+        matrix: VectorMatrix::new(d + key_count),
+        ..ElementRepr::default()
+    };
+    let mut rows: FxHashMap<NodeSig, u32> = FxHashMap::default();
     let mut labels_seen: HashSet<u32> = HashSet::new();
 
     for &id in ids {
@@ -70,38 +166,47 @@ pub fn node_representations(
         for &l in &n.labels {
             labels_seen.insert(l.0);
         }
-        let mut v = vec![0.0f32; d + key_count];
-        let token = token_of(g, &n.labels);
-        if let Some(tok) = &token {
-            embedder.embed_into(tok, &mut v[..d]);
-            for x in &mut v[..d] {
-                *x *= label_weight;
-            }
-        }
-        for k in n.keys() {
-            v[d + k.index()] = 1.0;
-        }
-        dense.push(v);
+        let sig: NodeSig = (symbol_ids(&n.labels), n.keys().map(|k| k.0).collect());
+        let row = match rows.get(&sig) {
+            Some(&row) => row,
+            None => {
+                let row = repr.matrix.rows() as u32;
+                let token = token_of(g, &n.labels);
+                repr.matrix.push_row_with(|v| {
+                    if let Some(tok) = &token {
+                        embedder.embed_into(tok, &mut v[..d]);
+                        for x in &mut v[..d] {
+                            *x *= label_weight;
+                        }
+                    }
+                    for k in n.keys() {
+                        v[d + k.index()] = 1.0;
+                    }
+                });
 
-        let mut set = Vec::with_capacity(n.props.len() + NODE_LABEL_COPIES);
-        if let Some(tok) = &token {
-            push_salted(&mut set, tok, NODE_LABEL_COPIES, 0x4E);
-        }
-        for k in n.keys() {
-            set.push(feature_hash(g.key_str(k), 0x50));
-        }
-        sets.push(set);
+                let mut set = Vec::with_capacity(n.props.len() + NODE_LABEL_COPIES);
+                if let Some(tok) = &token {
+                    push_salted(&mut set, tok, NODE_LABEL_COPIES, 0x4E);
+                }
+                for k in n.keys() {
+                    set.push(feature_hash(g.key_str(k), 0x50));
+                }
+                repr.sets.push(set);
+                rows.insert(sig, row);
+                row
+            }
+        };
+        repr.rep_of.push(row);
     }
 
+    repr.distinct_labels = labels_seen.len();
     NodeRepr {
         ids: ids.to_vec(),
-        dense,
-        sets,
-        distinct_labels: labels_seen.len(),
+        repr,
     }
 }
 
-/// Build edge representations for `ids`.
+/// Build deduplicated edge representations for `ids`.
 pub fn edge_representations(
     g: &PropertyGraph,
     ids: &[EdgeId],
@@ -110,8 +215,11 @@ pub fn edge_representations(
 ) -> EdgeRepr {
     let d = embedder.dim();
     let key_count = g.keys().len();
-    let mut dense = Vec::with_capacity(ids.len());
-    let mut sets = Vec::with_capacity(ids.len());
+    let mut repr = ElementRepr {
+        matrix: VectorMatrix::new(3 * d + key_count),
+        ..ElementRepr::default()
+    };
+    let mut rows: FxHashMap<EdgeSig, u32> = FxHashMap::default();
     let mut labels_seen: HashSet<u32> = HashSet::new();
 
     for &id in ids {
@@ -120,46 +228,60 @@ pub fn edge_representations(
             labels_seen.insert(l.0);
         }
         let (src, tgt) = g.edge_endpoint_labels(e);
-        let e_tok = token_of(g, &e.labels);
-        let s_tok = token_of(g, src);
-        let t_tok = token_of(g, tgt);
+        let sig: EdgeSig = (
+            symbol_ids(&e.labels),
+            symbol_ids(src),
+            symbol_ids(tgt),
+            e.keys().map(|k| k.0).collect(),
+        );
+        let row = match rows.get(&sig) {
+            Some(&row) => row,
+            None => {
+                let row = repr.matrix.rows() as u32;
+                let e_tok = token_of(g, &e.labels);
+                let s_tok = token_of(g, src);
+                let t_tok = token_of(g, tgt);
 
-        let mut v = vec![0.0f32; 3 * d + key_count];
-        for (slot, tok) in [(0, &e_tok), (1, &s_tok), (2, &t_tok)] {
-            if let Some(tok) = tok {
-                let range = slot * d..(slot + 1) * d;
-                embedder.embed_into(tok, &mut v[range.clone()]);
-                for x in &mut v[range] {
-                    *x *= label_weight;
+                repr.matrix.push_row_with(|v| {
+                    for (slot, tok) in [(0, &e_tok), (1, &s_tok), (2, &t_tok)] {
+                        if let Some(tok) = tok {
+                            let range = slot * d..(slot + 1) * d;
+                            embedder.embed_into(tok, &mut v[range.clone()]);
+                            for x in &mut v[range] {
+                                *x *= label_weight;
+                            }
+                        }
+                    }
+                    for k in e.keys() {
+                        v[3 * d + k.index()] = 1.0;
+                    }
+                });
+
+                let mut set = Vec::with_capacity(e.props.len() + EDGE_IDENTITY_COPIES);
+                if e_tok.is_some() || s_tok.is_some() || t_tok.is_some() {
+                    let identity = format!(
+                        "{}\u{1}{}\u{1}{}",
+                        e_tok.as_deref().unwrap_or(""),
+                        s_tok.as_deref().unwrap_or(""),
+                        t_tok.as_deref().unwrap_or("")
+                    );
+                    push_salted(&mut set, &identity, EDGE_IDENTITY_COPIES, 0xED);
                 }
+                for k in e.keys() {
+                    set.push(feature_hash(g.key_str(k), 0x50));
+                }
+                repr.sets.push(set);
+                rows.insert(sig, row);
+                row
             }
-        }
-        for k in e.keys() {
-            v[3 * d + k.index()] = 1.0;
-        }
-        dense.push(v);
-
-        let mut set = Vec::with_capacity(e.props.len() + EDGE_IDENTITY_COPIES);
-        if e_tok.is_some() || s_tok.is_some() || t_tok.is_some() {
-            let identity = format!(
-                "{}\u{1}{}\u{1}{}",
-                e_tok.as_deref().unwrap_or(""),
-                s_tok.as_deref().unwrap_or(""),
-                t_tok.as_deref().unwrap_or("")
-            );
-            push_salted(&mut set, &identity, EDGE_IDENTITY_COPIES, 0xED);
-        }
-        for k in e.keys() {
-            set.push(feature_hash(g.key_str(k), 0x50));
-        }
-        sets.push(set);
+        };
+        repr.rep_of.push(row);
     }
 
+    repr.distinct_labels = labels_seen.len();
     EdgeRepr {
         ids: ids.to_vec(),
-        dense,
-        sets,
-        distinct_labels: labels_seen.len(),
+        repr,
     }
 }
 
@@ -238,7 +360,10 @@ mod tests {
             &["Person"],
             &[("name", Value::from("Jo")), ("age", Value::Int(30))],
         );
-        let anon = b.add_node(&[], &[("name", Value::from("Alice")), ("age", Value::Int(20))]);
+        let anon = b.add_node(
+            &[],
+            &[("name", Value::from("Alice")), ("age", Value::Int(20))],
+        );
         let org = b.add_node(&["Org"], &[("url", Value::from("x.com"))]);
         b.add_edge(p1, org, &["WORKS_AT"], &[("from", Value::Int(2000))]);
         b.add_edge(p2, org, &["WORKS_AT"], &[]);
@@ -259,13 +384,33 @@ mod tests {
         let emb = HashEmbedder::new(8, 1);
         let r = node_representations(&g, &all_nodes(&g), &emb, 2.0);
         // d + K where K = all interned keys (name, age, url, from).
-        assert_eq!(r.dense[0].len(), 8 + 4);
+        assert_eq!(r.repr.dense_of(0).len(), 8 + 4);
         // Same labels + same keys ⇒ identical embedding halves.
-        assert_eq!(r.dense[0][..8], r.dense[1][..8]);
+        assert_eq!(r.repr.dense_of(0)[..8], r.repr.dense_of(1)[..8]);
         // Binary part marks name+age for persons.
-        let ones: usize = r.dense[0][8..].iter().map(|&x| x as usize).sum();
+        let ones: usize = r.repr.dense_of(0)[8..].iter().map(|&x| x as usize).sum();
         assert_eq!(ones, 2);
-        assert_eq!(r.distinct_labels, 2); // Person, Org
+        assert_eq!(r.repr.distinct_labels, 2); // Person, Org
+    }
+
+    #[test]
+    fn duplicate_signatures_share_a_row() {
+        let g = sample_graph();
+        let emb = HashEmbedder::new(8, 1);
+        let r = node_representations(&g, &all_nodes(&g), &emb, 2.0);
+        // Both Person nodes have signature (Person | name, age).
+        assert_eq!(r.repr.len(), 4);
+        assert_eq!(r.repr.distinct(), 3);
+        assert_eq!(r.repr.rep_of[0], r.repr.rep_of[1]);
+        assert_ne!(r.repr.rep_of[0], r.repr.rep_of[2]);
+        assert!((r.repr.dedup_ratio() - 4.0 / 3.0).abs() < 1e-12);
+        // The shared row is the same storage, and expansion restores the
+        // per-element layout.
+        let expanded = r.repr.expanded_matrix();
+        let sets = r.repr.expanded_sets();
+        assert_eq!(expanded.rows(), 4);
+        assert_eq!(expanded.row(1), r.repr.dense_of(1));
+        assert_eq!(sets[0], sets[1]);
     }
 
     #[test]
@@ -273,9 +418,9 @@ mod tests {
         let g = sample_graph();
         let emb = HashEmbedder::new(8, 1);
         let r = node_representations(&g, &all_nodes(&g), &emb, 2.0);
-        assert!(r.dense[2][..8].iter().all(|&x| x == 0.0));
+        assert!(r.repr.dense_of(2)[..8].iter().all(|&x| x == 0.0));
         // ... but same binary part as the labeled persons.
-        assert_eq!(r.dense[2][8..], r.dense[0][8..]);
+        assert_eq!(r.repr.dense_of(2)[8..], r.repr.dense_of(0)[8..]);
     }
 
     #[test]
@@ -284,7 +429,10 @@ mod tests {
         let emb = HashEmbedder::new(8, 1);
         let r1 = node_representations(&g, &all_nodes(&g), &emb, 1.0);
         let r4 = node_representations(&g, &all_nodes(&g), &emb, 4.0);
-        for (a, b) in r1.dense[0][..8].iter().zip(&r4.dense[0][..8]) {
+        for (a, b) in r1.repr.dense_of(0)[..8]
+            .iter()
+            .zip(&r4.repr.dense_of(0)[..8])
+        {
             assert!((4.0 * a - b).abs() < 1e-6);
         }
     }
@@ -294,12 +442,14 @@ mod tests {
         let g = sample_graph();
         let emb = HashEmbedder::new(8, 1);
         let r = edge_representations(&g, &all_edges(&g), &emb, 2.0);
-        assert_eq!(r.dense[0].len(), 3 * 8 + 4);
+        assert_eq!(r.repr.dense_of(0).len(), 3 * 8 + 4);
         // Both WORKS_AT edges share all three embedding slots.
-        assert_eq!(r.dense[0][..24], r.dense[1][..24]);
-        // But differ in the binary part ('from' on the first only).
-        assert_ne!(r.dense[0][24..], r.dense[1][24..]);
-        assert_eq!(r.distinct_labels, 2); // WORKS_AT, KNOWS
+        assert_eq!(r.repr.dense_of(0)[..24], r.repr.dense_of(1)[..24]);
+        // But differ in the binary part ('from' on the first only) — so
+        // they are distinct signatures, not shared rows.
+        assert_ne!(r.repr.dense_of(0)[24..], r.repr.dense_of(1)[24..]);
+        assert_eq!(r.repr.distinct(), 3);
+        assert_eq!(r.repr.distinct_labels, 2); // WORKS_AT, KNOWS
     }
 
     #[test]
@@ -308,9 +458,9 @@ mod tests {
         let emb = HashEmbedder::new(8, 1);
         let r = edge_representations(&g, &all_edges(&g), &emb, 2.0);
         // Edge 2 is KNOWS from the unlabeled node.
-        assert!(r.dense[2][8..16].iter().all(|&x| x == 0.0));
+        assert!(r.repr.dense_of(2)[8..16].iter().all(|&x| x == 0.0));
         // Its own label slot is non-zero.
-        assert!(r.dense[2][..8].iter().any(|&x| x != 0.0));
+        assert!(r.repr.dense_of(2)[..8].iter().any(|&x| x != 0.0));
     }
 
     #[test]
@@ -318,11 +468,11 @@ mod tests {
         let g = sample_graph();
         let emb = HashEmbedder::new(4, 1);
         let r = node_representations(&g, &all_nodes(&g), &emb, 1.0);
-        assert_eq!(r.sets[0].len(), NODE_LABEL_COPIES + 2);
+        assert_eq!(r.repr.set_of(0).len(), NODE_LABEL_COPIES + 2);
         // Unlabeled: only keys.
-        assert_eq!(r.sets[2].len(), 2);
-        // Identical structure+labels ⇒ identical sets.
-        assert_eq!(r.sets[0], r.sets[1]);
+        assert_eq!(r.repr.set_of(2).len(), 2);
+        // Identical structure+labels ⇒ the same set (same row).
+        assert_eq!(r.repr.set_of(0), r.repr.set_of(1));
     }
 
     #[test]
@@ -331,11 +481,9 @@ mod tests {
         let batches = split_batches(&g, 1, 0);
         let s = label_sentences(&g, &batches[0]);
         assert_eq!(s.len(), 3);
-        assert!(s
-            .iter()
-            .any(|sent| sent.contains(&"WORKS_AT".to_string())
-                && sent.contains(&"Person".to_string())
-                && sent.contains(&"Org".to_string())));
+        assert!(s.iter().any(|sent| sent.contains(&"WORKS_AT".to_string())
+            && sent.contains(&"Person".to_string())
+            && sent.contains(&"Org".to_string())));
         // KNOWS edge from unlabeled Alice: only 2 tokens but still kept.
         assert!(s.iter().any(|sent| sent.len() == 2));
     }
@@ -360,7 +508,9 @@ mod tests {
         let g = sample_graph();
         let emb = HashEmbedder::new(4, 1);
         let r = node_representations(&g, &[], &emb, 1.0);
-        assert!(r.dense.is_empty());
-        assert_eq!(r.distinct_labels, 0);
+        assert!(r.repr.is_empty());
+        assert_eq!(r.repr.distinct(), 0);
+        assert_eq!(r.repr.distinct_labels, 0);
+        assert_eq!(r.repr.dedup_ratio(), 1.0);
     }
 }

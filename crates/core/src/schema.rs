@@ -282,19 +282,39 @@ mod tests {
     #[test]
     fn cardinality_classes_match_paper() {
         assert_eq!(
-            Cardinality { max_out: 1, max_in: 1 }.class().notation(),
+            Cardinality {
+                max_out: 1,
+                max_in: 1
+            }
+            .class()
+            .notation(),
             "0:1"
         );
         assert_eq!(
-            Cardinality { max_out: 5, max_in: 1 }.class().notation(),
+            Cardinality {
+                max_out: 5,
+                max_in: 1
+            }
+            .class()
+            .notation(),
             "N:1"
         );
         assert_eq!(
-            Cardinality { max_out: 1, max_in: 7 }.class().notation(),
+            Cardinality {
+                max_out: 1,
+                max_in: 7
+            }
+            .class()
+            .notation(),
             "0:N"
         );
         assert_eq!(
-            Cardinality { max_out: 3, max_in: 3 }.class().notation(),
+            Cardinality {
+                max_out: 3,
+                max_in: 3
+            }
+            .class()
+            .notation(),
             "M:N"
         );
     }
@@ -351,7 +371,10 @@ mod tests {
             endpoints: [(label_set(&["Org"]), label_set(&["Place"]))].into(),
             instance_count: 3,
             members: vec![0, 1, 2],
-            cardinality: Some(Cardinality { max_out: 1, max_in: 2 }),
+            cardinality: Some(Cardinality {
+                max_out: 1,
+                max_in: 2,
+            }),
         };
         let b = EdgeType {
             labels: label_set(&["LOCATED_IN"]),
@@ -359,7 +382,10 @@ mod tests {
             endpoints: [(label_set(&["Person"]), label_set(&["Place"]))].into(),
             instance_count: 1,
             members: vec![7],
-            cardinality: Some(Cardinality { max_out: 4, max_in: 1 }),
+            cardinality: Some(Cardinality {
+                max_out: 4,
+                max_in: 1,
+            }),
         };
         a.absorb(b);
         assert_eq!(a.endpoints.len(), 2);
@@ -367,7 +393,10 @@ mod tests {
         assert_eq!(a.members, vec![0, 1, 2, 7]);
         assert_eq!(
             a.cardinality,
-            Some(Cardinality { max_out: 4, max_in: 2 })
+            Some(Cardinality {
+                max_out: 4,
+                max_in: 2
+            })
         );
     }
 

@@ -159,7 +159,11 @@ pub fn validate(g: &PropertyGraph, schema: &SchemaGraph, mode: ValidationMode) -
 
     for (id, n) in g.nodes() {
         report.nodes_checked += 1;
-        let labels: LabelSet = n.labels.iter().map(|&l| g.label_str(l).to_string()).collect();
+        let labels: LabelSet = n
+            .labels
+            .iter()
+            .map(|&l| g.label_str(l).to_string())
+            .collect();
         let Some(&t) = node_idx.get(&labels) else {
             if strict {
                 report.violations.push(Violation::UnknownNodeType {
@@ -217,7 +221,11 @@ pub fn validate(g: &PropertyGraph, schema: &SchemaGraph, mode: ValidationMode) -
 
     for (id, e) in g.edges() {
         report.edges_checked += 1;
-        let labels: LabelSet = e.labels.iter().map(|&l| g.label_str(l).to_string()).collect();
+        let labels: LabelSet = e
+            .labels
+            .iter()
+            .map(|&l| g.label_str(l).to_string())
+            .collect();
         let Some(&t) = edge_idx.get(&labels) else {
             if strict {
                 report.violations.push(Violation::UnknownEdgeType {
@@ -286,7 +294,9 @@ pub fn validate(g: &PropertyGraph, schema: &SchemaGraph, mode: ValidationMode) -
 
     if strict {
         for (t, ty) in schema.edge_types.iter().enumerate() {
-            let Some(bound) = ty.cardinality else { continue };
+            let Some(bound) = ty.cardinality else {
+                continue;
+            };
             let observed_max_out = degree_out
                 .iter()
                 .filter(|((tt, _), _)| *tt == t)
@@ -444,7 +454,10 @@ mod tests {
         // Training data: each Person works at exactly one Org (max_out 1).
         let schema = discovered_schema();
         let mut b = GraphBuilder::new();
-        let p = b.add_node(&["Person"], &[("name", Value::from("x")), ("age", Value::Int(1))]);
+        let p = b.add_node(
+            &["Person"],
+            &[("name", Value::from("x")), ("age", Value::Int(1))],
+        );
         let o1 = b.add_node(&["Org"], &[("url", Value::from("a"))]);
         let o2 = b.add_node(&["Org"], &[("url", Value::from("b"))]);
         b.add_edge(p, o1, &["WORKS_AT"], &[("from", Value::Int(1))]);

@@ -126,7 +126,14 @@ fn node(name: &str, labels: &[&str], props: Vec<PropDef>, weight: f64) -> NodeDe
     }
 }
 
-fn edge(name: &str, label: &str, src: usize, tgt: usize, props: Vec<PropDef>, weight: f64) -> EdgeDef {
+fn edge(
+    name: &str,
+    label: &str,
+    src: usize,
+    tgt: usize,
+    props: Vec<PropDef>,
+    weight: f64,
+) -> EdgeDef {
     EdgeDef {
         name: name.to_string(),
         label: label.to_string(),
@@ -150,47 +157,102 @@ fn opt(key: &str, gen: ValueGen, presence: f64) -> PropDef {
 
 fn pole() -> DatasetSpec {
     let nodes = vec![
-        node("Person", &["Person"], vec![
-            req("name", ValueGen::Name(400)),
-            req("surname", ValueGen::Name(300)),
-            opt("nhs_no", ValueGen::Name(1000), 0.8),
-        ], 5.0),
-        node("Officer", &["Officer"], vec![
-            req("name", ValueGen::Name(100)),
-            req("rank", ValueGen::Name(8)),
-            req("badge_no", ValueGen::Int(1000, 9999)),
-        ], 1.0),
-        node("Crime", &["Crime"], vec![
-            req("date", ValueGen::Date),
-            req("type", ValueGen::Name(12)),
-            opt("last_outcome", ValueGen::Name(10), 0.7),
-            opt("note", ValueGen::Text, 0.2),
-        ], 4.0),
-        node("Location", &["Location"], vec![
-            req("address", ValueGen::Text),
-            req("latitude", ValueGen::Float(90.0)),
-            req("longitude", ValueGen::Float(180.0)),
-        ], 3.0),
-        node("Object", &["Object"], vec![
-            req("description", ValueGen::Text),
-            req("type", ValueGen::Name(15)),
-        ], 1.0),
-        node("Vehicle", &["Vehicle"], vec![
-            req("make", ValueGen::Name(30)),
-            req("model", ValueGen::Name(60)),
-            req("year", ValueGen::Int(1990, 2025)),
-            req("reg", ValueGen::Name(2000)),
-        ], 1.0),
-        node("Area", &["Area"], vec![req("areaCode", ValueGen::Name(50))], 0.3),
-        node("PostCode", &["PostCode"], vec![req("code", ValueGen::Name(600))], 1.5),
-        node("Phone", &["Phone"], vec![req("phoneNo", ValueGen::Name(3000))], 2.0),
-        node("Email", &["Email"], vec![req("email_address", ValueGen::Name(3000))], 1.5),
-        node("PhoneCall", &["PhoneCall"], vec![
-            req("call_date", ValueGen::Date),
-            req("call_time", ValueGen::Name(1440)),
-            req("call_duration", ValueGen::Int(1, 7200)),
-            req("call_type", ValueGen::Name(2)),
-        ], 3.0),
+        node(
+            "Person",
+            &["Person"],
+            vec![
+                req("name", ValueGen::Name(400)),
+                req("surname", ValueGen::Name(300)),
+                opt("nhs_no", ValueGen::Name(1000), 0.8),
+            ],
+            5.0,
+        ),
+        node(
+            "Officer",
+            &["Officer"],
+            vec![
+                req("name", ValueGen::Name(100)),
+                req("rank", ValueGen::Name(8)),
+                req("badge_no", ValueGen::Int(1000, 9999)),
+            ],
+            1.0,
+        ),
+        node(
+            "Crime",
+            &["Crime"],
+            vec![
+                req("date", ValueGen::Date),
+                req("type", ValueGen::Name(12)),
+                opt("last_outcome", ValueGen::Name(10), 0.7),
+                opt("note", ValueGen::Text, 0.2),
+            ],
+            4.0,
+        ),
+        node(
+            "Location",
+            &["Location"],
+            vec![
+                req("address", ValueGen::Text),
+                req("latitude", ValueGen::Float(90.0)),
+                req("longitude", ValueGen::Float(180.0)),
+            ],
+            3.0,
+        ),
+        node(
+            "Object",
+            &["Object"],
+            vec![
+                req("description", ValueGen::Text),
+                req("type", ValueGen::Name(15)),
+            ],
+            1.0,
+        ),
+        node(
+            "Vehicle",
+            &["Vehicle"],
+            vec![
+                req("make", ValueGen::Name(30)),
+                req("model", ValueGen::Name(60)),
+                req("year", ValueGen::Int(1990, 2025)),
+                req("reg", ValueGen::Name(2000)),
+            ],
+            1.0,
+        ),
+        node(
+            "Area",
+            &["Area"],
+            vec![req("areaCode", ValueGen::Name(50))],
+            0.3,
+        ),
+        node(
+            "PostCode",
+            &["PostCode"],
+            vec![req("code", ValueGen::Name(600))],
+            1.5,
+        ),
+        node(
+            "Phone",
+            &["Phone"],
+            vec![req("phoneNo", ValueGen::Name(3000))],
+            2.0,
+        ),
+        node(
+            "Email",
+            &["Email"],
+            vec![req("email_address", ValueGen::Name(3000))],
+            1.5,
+        ),
+        node(
+            "PhoneCall",
+            &["PhoneCall"],
+            vec![
+                req("call_date", ValueGen::Date),
+                req("call_time", ValueGen::Name(1440)),
+                req("call_duration", ValueGen::Int(1, 7200)),
+                req("call_type", ValueGen::Name(2)),
+            ],
+            3.0,
+        ),
     ];
     let (person, officer, crime, location, object, vehicle, area, postcode, phone, email, call) =
         (0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10);
@@ -199,19 +261,54 @@ fn pole() -> DatasetSpec {
         edge("KNOWS_LW", "KNOWS_LW", person, person, vec![], 1.0),
         edge("KNOWS_SN", "KNOWS_SN", person, person, vec![], 1.0),
         edge("KNOWS_PHONE", "KNOWS_PHONE", person, person, vec![], 1.0),
-        edge("FAMILY_REL", "FAMILY_REL", person, person, vec![req("rel_type", ValueGen::Name(8))], 1.0),
+        edge(
+            "FAMILY_REL",
+            "FAMILY_REL",
+            person,
+            person,
+            vec![req("rel_type", ValueGen::Name(8))],
+            1.0,
+        ),
         edge("PARTY_TO", "PARTY_TO", person, crime, vec![], 3.0),
-        edge("INVESTIGATED_BY", "INVESTIGATED_BY", crime, officer, vec![], 3.0),
+        edge(
+            "INVESTIGATED_BY",
+            "INVESTIGATED_BY",
+            crime,
+            officer,
+            vec![],
+            3.0,
+        ),
         edge("OCCURRED_AT", "OCCURRED_AT", crime, location, vec![], 3.0),
-        edge("CURRENT_ADDRESS", "CURRENT_ADDRESS", person, location, vec![], 2.0),
+        edge(
+            "CURRENT_ADDRESS",
+            "CURRENT_ADDRESS",
+            person,
+            location,
+            vec![],
+            2.0,
+        ),
         edge("HAS_PHONE", "HAS_PHONE", person, phone, vec![], 1.5),
         edge("HAS_EMAIL", "HAS_EMAIL", person, email, vec![], 1.0),
         edge("CALLER", "CALLER", call, phone, vec![], 2.0),
         edge("CALLED", "CALLED", call, phone, vec![], 2.0),
         edge("INVOLVED_IN", "INVOLVED_IN", object, crime, vec![], 1.0),
         edge("VEHICLE_IN", "INVOLVED_IN", vehicle, crime, vec![], 0.5),
-        edge("HAS_POSTCODE", "HAS_POSTCODE", location, postcode, vec![], 1.5),
-        edge("POSTCODE_IN_AREA", "POSTCODE_IN_AREA", postcode, area, vec![], 1.0),
+        edge(
+            "HAS_POSTCODE",
+            "HAS_POSTCODE",
+            location,
+            postcode,
+            vec![],
+            1.5,
+        ),
+        edge(
+            "POSTCODE_IN_AREA",
+            "POSTCODE_IN_AREA",
+            postcode,
+            area,
+            vec![],
+            1.0,
+        ),
     ];
     DatasetSpec {
         name: "POLE".into(),
@@ -230,40 +327,68 @@ fn pole() -> DatasetSpec {
 fn connectome(name: &str, ds_label: &str, pattern_variance: f64) -> DatasetSpec {
     let p = pattern_variance;
     let nodes = vec![
-        node("Neuron", &[ds_label, "Neuron", "Segment"], vec![
-            req("bodyId", ValueGen::Int(1, 10_000_000)),
-            opt("name", ValueGen::Name(500), 0.9),
-            opt("status", ValueGen::Name(4), 0.8),
-            opt("statusLabel", ValueGen::Name(6), p),
-            opt("instance", ValueGen::Name(300), p),
-            opt("type", ValueGen::Name(60), p),
-            opt("cropped", ValueGen::Bool, p * 0.6),
-            opt("somaLocation", ValueGen::Text, p * 0.5),
-            opt("somaRadius", ValueGen::Float(500.0), p * 0.5),
-            req("pre", ValueGen::Int(0, 5000)),
-            req("post", ValueGen::Int(0, 5000)),
-        ], 1.0),
-        node("Segment", &[ds_label, "Segment"], vec![
-            req("bodyId", ValueGen::Int(1, 10_000_000)),
-            opt("size", ValueGen::Int(1, 1_000_000), 0.9),
-        ], 4.0),
-        node("SynapseSet", &[ds_label, "SynapseSet"], vec![
-            req("datasetBodyIds", ValueGen::Name(5000)),
-        ], 2.0),
-        node("Synapse", &[ds_label, "Synapse"], vec![
-            req("location", ValueGen::Text),
-            req("confidence", ValueGen::Float(1.0)),
-            req("type", ValueGen::Name(2)),
-        ], 5.0),
+        node(
+            "Neuron",
+            &[ds_label, "Neuron", "Segment"],
+            vec![
+                req("bodyId", ValueGen::Int(1, 10_000_000)),
+                opt("name", ValueGen::Name(500), 0.9),
+                opt("status", ValueGen::Name(4), 0.8),
+                opt("statusLabel", ValueGen::Name(6), p),
+                opt("instance", ValueGen::Name(300), p),
+                opt("type", ValueGen::Name(60), p),
+                opt("cropped", ValueGen::Bool, p * 0.6),
+                opt("somaLocation", ValueGen::Text, p * 0.5),
+                opt("somaRadius", ValueGen::Float(500.0), p * 0.5),
+                req("pre", ValueGen::Int(0, 5000)),
+                req("post", ValueGen::Int(0, 5000)),
+            ],
+            1.0,
+        ),
+        node(
+            "Segment",
+            &[ds_label, "Segment"],
+            vec![
+                req("bodyId", ValueGen::Int(1, 10_000_000)),
+                opt("size", ValueGen::Int(1, 1_000_000), 0.9),
+            ],
+            4.0,
+        ),
+        node(
+            "SynapseSet",
+            &[ds_label, "SynapseSet"],
+            vec![req("datasetBodyIds", ValueGen::Name(5000))],
+            2.0,
+        ),
+        node(
+            "Synapse",
+            &[ds_label, "Synapse"],
+            vec![
+                req("location", ValueGen::Text),
+                req("confidence", ValueGen::Float(1.0)),
+                req("type", ValueGen::Name(2)),
+            ],
+            5.0,
+        ),
     ];
     let (neuron, segment, synset, synapse) = (0, 1, 2, 3);
     let edges = vec![
-        edge("ConnectsTo_NN", "ConnectsTo", neuron, neuron, vec![
-            req("weight", ValueGen::Int(1, 300)),
-        ], 3.0),
-        edge("ConnectsTo_SS", "ConnectsTo", segment, segment, vec![
-            req("weight", ValueGen::Int(1, 50)),
-        ], 2.0),
+        edge(
+            "ConnectsTo_NN",
+            "ConnectsTo",
+            neuron,
+            neuron,
+            vec![req("weight", ValueGen::Int(1, 300))],
+            3.0,
+        ),
+        edge(
+            "ConnectsTo_SS",
+            "ConnectsTo",
+            segment,
+            segment,
+            vec![req("weight", ValueGen::Int(1, 50))],
+            2.0,
+        ),
         edge("Contains_NSS", "Contains", neuron, synset, vec![], 2.0),
         edge("Contains_SSS", "Contains", synset, synapse, vec![], 3.0),
         edge("SynapsesTo", "SynapsesTo", synapse, synapse, vec![], 3.0),
@@ -298,41 +423,172 @@ fn hetio() -> DatasetSpec {
     let nodes: Vec<NodeDef> = kinds
         .iter()
         .map(|(k, w)| {
-            node(k, &[k, "HetionetNode"], vec![
-                req("identifier", ValueGen::Name(20_000)),
-                req("name", ValueGen::Name(10_000)),
-                opt("source", ValueGen::Name(12), 0.85),
-                opt("url", ValueGen::Text, 0.6),
-            ], *w)
+            node(
+                k,
+                &[k, "HetionetNode"],
+                vec![
+                    req("identifier", ValueGen::Name(20_000)),
+                    req("name", ValueGen::Name(10_000)),
+                    opt("source", ValueGen::Name(12), 0.85),
+                    opt("url", ValueGen::Text, 0.6),
+                ],
+                *w,
+            )
         })
         .collect();
     let (gene, disease, compound, anatomy, bp, cc, mf, pathway, pc, se, symptom) =
         (0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10);
     let edges = vec![
-        edge("BINDS_CbG", "BINDS_CbG", compound, gene, vec![opt("affinity", ValueGen::Float(10.0), 0.4)], 1.5),
+        edge(
+            "BINDS_CbG",
+            "BINDS_CbG",
+            compound,
+            gene,
+            vec![opt("affinity", ValueGen::Float(10.0), 0.4)],
+            1.5,
+        ),
         edge("TREATS_CtD", "TREATS_CtD", compound, disease, vec![], 0.5),
-        edge("PALLIATES_CpD", "PALLIATES_CpD", compound, disease, vec![], 0.3),
-        edge("RESEMBLES_CrC", "RESEMBLES_CrC", compound, compound, vec![req("similarity", ValueGen::Float(1.0))], 0.5),
+        edge(
+            "PALLIATES_CpD",
+            "PALLIATES_CpD",
+            compound,
+            disease,
+            vec![],
+            0.3,
+        ),
+        edge(
+            "RESEMBLES_CrC",
+            "RESEMBLES_CrC",
+            compound,
+            compound,
+            vec![req("similarity", ValueGen::Float(1.0))],
+            0.5,
+        ),
         edge("CAUSES_CcSE", "CAUSES_CcSE", compound, se, vec![], 2.0),
-        edge("UPREGULATES_CuG", "UPREGULATES_CuG", compound, gene, vec![req("z_score", ValueGen::Float(10.0))], 1.0),
-        edge("DOWNREGULATES_CdG", "DOWNREGULATES_CdG", compound, gene, vec![req("z_score", ValueGen::Float(10.0))], 1.0),
+        edge(
+            "UPREGULATES_CuG",
+            "UPREGULATES_CuG",
+            compound,
+            gene,
+            vec![req("z_score", ValueGen::Float(10.0))],
+            1.0,
+        ),
+        edge(
+            "DOWNREGULATES_CdG",
+            "DOWNREGULATES_CdG",
+            compound,
+            gene,
+            vec![req("z_score", ValueGen::Float(10.0))],
+            1.0,
+        ),
         edge("INCLUDES_PCiC", "INCLUDES_PCiC", pc, compound, vec![], 0.2),
-        edge("ASSOCIATES_DaG", "ASSOCIATES_DaG", disease, gene, vec![], 1.5),
-        edge("UPREGULATES_DuG", "UPREGULATES_DuG", disease, gene, vec![], 0.8),
-        edge("DOWNREGULATES_DdG", "DOWNREGULATES_DdG", disease, gene, vec![], 0.8),
-        edge("LOCALIZES_DlA", "LOCALIZES_DlA", disease, anatomy, vec![], 0.8),
-        edge("PRESENTS_DpS", "PRESENTS_DpS", disease, symptom, vec![], 0.6),
-        edge("RESEMBLES_DrD", "RESEMBLES_DrD", disease, disease, vec![], 0.1),
+        edge(
+            "ASSOCIATES_DaG",
+            "ASSOCIATES_DaG",
+            disease,
+            gene,
+            vec![],
+            1.5,
+        ),
+        edge(
+            "UPREGULATES_DuG",
+            "UPREGULATES_DuG",
+            disease,
+            gene,
+            vec![],
+            0.8,
+        ),
+        edge(
+            "DOWNREGULATES_DdG",
+            "DOWNREGULATES_DdG",
+            disease,
+            gene,
+            vec![],
+            0.8,
+        ),
+        edge(
+            "LOCALIZES_DlA",
+            "LOCALIZES_DlA",
+            disease,
+            anatomy,
+            vec![],
+            0.8,
+        ),
+        edge(
+            "PRESENTS_DpS",
+            "PRESENTS_DpS",
+            disease,
+            symptom,
+            vec![],
+            0.6,
+        ),
+        edge(
+            "RESEMBLES_DrD",
+            "RESEMBLES_DrD",
+            disease,
+            disease,
+            vec![],
+            0.1,
+        ),
         edge("EXPRESSES_AeG", "EXPRESSES_AeG", anatomy, gene, vec![], 5.0),
-        edge("UPREGULATES_AuG", "UPREGULATES_AuG", anatomy, gene, vec![], 2.0),
-        edge("DOWNREGULATES_AdG", "DOWNREGULATES_AdG", anatomy, gene, vec![], 2.0),
+        edge(
+            "UPREGULATES_AuG",
+            "UPREGULATES_AuG",
+            anatomy,
+            gene,
+            vec![],
+            2.0,
+        ),
+        edge(
+            "DOWNREGULATES_AdG",
+            "DOWNREGULATES_AdG",
+            anatomy,
+            gene,
+            vec![],
+            2.0,
+        ),
         edge("INTERACTS_GiG", "INTERACTS_GiG", gene, gene, vec![], 2.0),
-        edge("COVARIES_GcG", "COVARIES_GcG", gene, gene, vec![req("correlation", ValueGen::Float(1.0))], 1.0),
+        edge(
+            "COVARIES_GcG",
+            "COVARIES_GcG",
+            gene,
+            gene,
+            vec![req("correlation", ValueGen::Float(1.0))],
+            1.0,
+        ),
         edge("REGULATES_GrG", "REGULATES_GrG", gene, gene, vec![], 2.0),
-        edge("PARTICIPATES_GpBP", "PARTICIPATES_GpBP", gene, bp, vec![], 3.0),
-        edge("PARTICIPATES_GpCC", "PARTICIPATES_GpCC", gene, cc, vec![], 1.0),
-        edge("PARTICIPATES_GpMF", "PARTICIPATES_GpMF", gene, mf, vec![], 1.0),
-        edge("PARTICIPATES_GpPW", "PARTICIPATES_GpPW", gene, pathway, vec![], 1.0),
+        edge(
+            "PARTICIPATES_GpBP",
+            "PARTICIPATES_GpBP",
+            gene,
+            bp,
+            vec![],
+            3.0,
+        ),
+        edge(
+            "PARTICIPATES_GpCC",
+            "PARTICIPATES_GpCC",
+            gene,
+            cc,
+            vec![],
+            1.0,
+        ),
+        edge(
+            "PARTICIPATES_GpMF",
+            "PARTICIPATES_GpMF",
+            gene,
+            mf,
+            vec![],
+            1.0,
+        ),
+        edge(
+            "PARTICIPATES_GpPW",
+            "PARTICIPATES_GpPW",
+            gene,
+            pathway,
+            vec![],
+            1.0,
+        ),
     ];
     DatasetSpec {
         name: "HET.IO".into(),
@@ -364,47 +620,130 @@ fn icij() -> DatasetSpec {
     ];
     let nodes = vec![
         node("Entity", &["Entity"], entity_props, 4.0),
-        node("Officer", &["Officer"], vec![
-            req("name", ValueGen::Name(80_000)),
-            opt("country_codes", ValueGen::Name(200), 0.5),
-            req("sourceID", ValueGen::Name(6)),
-            opt("valid_until", ValueGen::Text, 0.4),
-        ], 4.0),
-        node("Intermediary", &["Intermediary"], vec![
-            req("name", ValueGen::Name(10_000)),
-            opt("country_codes", ValueGen::Name(200), 0.6),
-            opt("status", ValueGen::Name(10), 0.4),
-            req("sourceID", ValueGen::Name(6)),
-        ], 1.0),
-        node("Address", &["Address"], vec![
-            req("address", ValueGen::Text),
-            opt("country_codes", ValueGen::Name(200), 0.7),
-            req("sourceID", ValueGen::Name(6)),
-        ], 3.0),
-        node("Other", &["Other"], vec![
-            req("name", ValueGen::Name(5_000)),
-            opt("note", ValueGen::Text, 0.2),
-            req("sourceID", ValueGen::Name(6)),
-        ], 0.5),
+        node(
+            "Officer",
+            &["Officer"],
+            vec![
+                req("name", ValueGen::Name(80_000)),
+                opt("country_codes", ValueGen::Name(200), 0.5),
+                req("sourceID", ValueGen::Name(6)),
+                opt("valid_until", ValueGen::Text, 0.4),
+            ],
+            4.0,
+        ),
+        node(
+            "Intermediary",
+            &["Intermediary"],
+            vec![
+                req("name", ValueGen::Name(10_000)),
+                opt("country_codes", ValueGen::Name(200), 0.6),
+                opt("status", ValueGen::Name(10), 0.4),
+                req("sourceID", ValueGen::Name(6)),
+            ],
+            1.0,
+        ),
+        node(
+            "Address",
+            &["Address"],
+            vec![
+                req("address", ValueGen::Text),
+                opt("country_codes", ValueGen::Name(200), 0.7),
+                req("sourceID", ValueGen::Name(6)),
+            ],
+            3.0,
+        ),
+        node(
+            "Other",
+            &["Other"],
+            vec![
+                req("name", ValueGen::Name(5_000)),
+                opt("note", ValueGen::Text, 0.2),
+                req("sourceID", ValueGen::Name(6)),
+            ],
+            0.5,
+        ),
     ];
     let (entity, officer, intermediary, address, other) = (0, 1, 2, 3, 4);
     let edges = vec![
-        edge("officer_of", "officer_of", officer, entity, vec![
-            opt("link", ValueGen::Name(30), 0.8),
-            opt("start_date", ValueGen::MixedDateStr(0.04), 0.3),
-            opt("end_date", ValueGen::MixedDateStr(0.04), 0.2),
-        ], 5.0),
-        edge("intermediary_of", "intermediary_of", intermediary, entity, vec![], 2.0),
-        edge("registered_address_E", "registered_address", entity, address, vec![], 3.0),
-        edge("registered_address_O", "registered_address", officer, address, vec![], 2.0),
+        edge(
+            "officer_of",
+            "officer_of",
+            officer,
+            entity,
+            vec![
+                opt("link", ValueGen::Name(30), 0.8),
+                opt("start_date", ValueGen::MixedDateStr(0.04), 0.3),
+                opt("end_date", ValueGen::MixedDateStr(0.04), 0.2),
+            ],
+            5.0,
+        ),
+        edge(
+            "intermediary_of",
+            "intermediary_of",
+            intermediary,
+            entity,
+            vec![],
+            2.0,
+        ),
+        edge(
+            "registered_address_E",
+            "registered_address",
+            entity,
+            address,
+            vec![],
+            3.0,
+        ),
+        edge(
+            "registered_address_O",
+            "registered_address",
+            officer,
+            address,
+            vec![],
+            2.0,
+        ),
         edge("connected_to", "connected_to", entity, entity, vec![], 0.5),
         edge("similar", "similar", entity, entity, vec![], 0.3),
-        edge("same_name_as_E", "same_name_as", entity, entity, vec![], 0.4),
-        edge("same_name_as_O", "same_name_as", officer, officer, vec![], 0.4),
+        edge(
+            "same_name_as_E",
+            "same_name_as",
+            entity,
+            entity,
+            vec![],
+            0.4,
+        ),
+        edge(
+            "same_name_as_O",
+            "same_name_as",
+            officer,
+            officer,
+            vec![],
+            0.4,
+        ),
         edge("same_id_as", "same_id_as", entity, entity, vec![], 0.2),
-        edge("probably_same_officer_as", "probably_same_officer_as", officer, officer, vec![], 0.4),
-        edge("same_company_as", "same_company_as", entity, entity, vec![], 0.3),
-        edge("same_intermediary_as", "same_intermediary_as", intermediary, intermediary, vec![], 0.2),
+        edge(
+            "probably_same_officer_as",
+            "probably_same_officer_as",
+            officer,
+            officer,
+            vec![],
+            0.4,
+        ),
+        edge(
+            "same_company_as",
+            "same_company_as",
+            entity,
+            entity,
+            vec![],
+            0.3,
+        ),
+        edge(
+            "same_intermediary_as",
+            "same_intermediary_as",
+            intermediary,
+            intermediary,
+            vec![],
+            0.2,
+        ),
         edge("underlying", "underlying", other, entity, vec![], 0.2),
         edge("alias", "alias", officer, officer, vec![], 0.3),
     ];
@@ -422,66 +761,171 @@ fn icij() -> DatasetSpec {
 
 fn ldbc() -> DatasetSpec {
     let nodes = vec![
-        node("Person", &["Person"], vec![
-            req("firstName", ValueGen::Name(2000)),
-            req("lastName", ValueGen::Name(4000)),
-            req("gender", ValueGen::Name(2)),
-            req("birthday", ValueGen::Date),
-            req("creationDate", ValueGen::DateTime),
-            req("locationIP", ValueGen::Name(50_000)),
-            req("browserUsed", ValueGen::Name(5)),
-        ], 1.0),
-        node("Post", &["Message", "Post"], vec![
-            req("creationDate", ValueGen::DateTime),
-            opt("content", ValueGen::Text, 0.7),
-            opt("imageFile", ValueGen::Name(100_000), 0.3),
-            req("locationIP", ValueGen::Name(50_000)),
-            req("browserUsed", ValueGen::Name(5)),
-            req("length", ValueGen::Int(0, 2000)),
-        ], 6.0),
-        node("Comment", &["Comment", "Message"], vec![
-            req("creationDate", ValueGen::DateTime),
-            req("content", ValueGen::Text),
-            req("locationIP", ValueGen::Name(50_000)),
-            req("browserUsed", ValueGen::Name(5)),
-            req("length", ValueGen::Int(0, 2000)),
-        ], 8.0),
-        node("Forum", &["Forum"], vec![
-            req("title", ValueGen::Text),
-            req("creationDate", ValueGen::DateTime),
-        ], 1.0),
-        node("Organisation", &["Organisation"], vec![
-            req("name", ValueGen::Name(8000)),
-            req("type", ValueGen::Name(2)),
-            req("url", ValueGen::Text),
-        ], 0.5),
-        node("Place", &["Place"], vec![
-            req("name", ValueGen::Name(1500)),
-            req("type", ValueGen::Name(3)),
-            req("url", ValueGen::Text),
-        ], 0.3),
-        node("Tag", &["Tag"], vec![
-            req("name", ValueGen::Name(16_000)),
-            req("url", ValueGen::Text),
-        ], 1.0),
+        node(
+            "Person",
+            &["Person"],
+            vec![
+                req("firstName", ValueGen::Name(2000)),
+                req("lastName", ValueGen::Name(4000)),
+                req("gender", ValueGen::Name(2)),
+                req("birthday", ValueGen::Date),
+                req("creationDate", ValueGen::DateTime),
+                req("locationIP", ValueGen::Name(50_000)),
+                req("browserUsed", ValueGen::Name(5)),
+            ],
+            1.0,
+        ),
+        node(
+            "Post",
+            &["Message", "Post"],
+            vec![
+                req("creationDate", ValueGen::DateTime),
+                opt("content", ValueGen::Text, 0.7),
+                opt("imageFile", ValueGen::Name(100_000), 0.3),
+                req("locationIP", ValueGen::Name(50_000)),
+                req("browserUsed", ValueGen::Name(5)),
+                req("length", ValueGen::Int(0, 2000)),
+            ],
+            6.0,
+        ),
+        node(
+            "Comment",
+            &["Comment", "Message"],
+            vec![
+                req("creationDate", ValueGen::DateTime),
+                req("content", ValueGen::Text),
+                req("locationIP", ValueGen::Name(50_000)),
+                req("browserUsed", ValueGen::Name(5)),
+                req("length", ValueGen::Int(0, 2000)),
+            ],
+            8.0,
+        ),
+        node(
+            "Forum",
+            &["Forum"],
+            vec![
+                req("title", ValueGen::Text),
+                req("creationDate", ValueGen::DateTime),
+            ],
+            1.0,
+        ),
+        node(
+            "Organisation",
+            &["Organisation"],
+            vec![
+                req("name", ValueGen::Name(8000)),
+                req("type", ValueGen::Name(2)),
+                req("url", ValueGen::Text),
+            ],
+            0.5,
+        ),
+        node(
+            "Place",
+            &["Place"],
+            vec![
+                req("name", ValueGen::Name(1500)),
+                req("type", ValueGen::Name(3)),
+                req("url", ValueGen::Text),
+            ],
+            0.3,
+        ),
+        node(
+            "Tag",
+            &["Tag"],
+            vec![
+                req("name", ValueGen::Name(16_000)),
+                req("url", ValueGen::Text),
+            ],
+            1.0,
+        ),
     ];
     let (person, post, comment, forum, org, place, tag) = (0, 1, 2, 3, 4, 5, 6);
     let edges = vec![
-        edge("KNOWS", "KNOWS", person, person, vec![req("creationDate", ValueGen::DateTime)], 3.0),
+        edge(
+            "KNOWS",
+            "KNOWS",
+            person,
+            person,
+            vec![req("creationDate", ValueGen::DateTime)],
+            3.0,
+        ),
         edge("HAS_INTEREST", "HAS_INTEREST", person, tag, vec![], 1.5),
-        edge("LIKES_Post", "LIKES", person, post, vec![req("creationDate", ValueGen::DateTime)], 2.0),
-        edge("LIKES_Comment", "LIKES", person, comment, vec![req("creationDate", ValueGen::DateTime)], 2.0),
+        edge(
+            "LIKES_Post",
+            "LIKES",
+            person,
+            post,
+            vec![req("creationDate", ValueGen::DateTime)],
+            2.0,
+        ),
+        edge(
+            "LIKES_Comment",
+            "LIKES",
+            person,
+            comment,
+            vec![req("creationDate", ValueGen::DateTime)],
+            2.0,
+        ),
         edge("HAS_CREATOR_Post", "HAS_CREATOR", post, person, vec![], 3.0),
-        edge("HAS_CREATOR_Comment", "HAS_CREATOR", comment, person, vec![], 3.0),
+        edge(
+            "HAS_CREATOR_Comment",
+            "HAS_CREATOR",
+            comment,
+            person,
+            vec![],
+            3.0,
+        ),
         edge("REPLY_OF_Post", "REPLY_OF", comment, post, vec![], 2.0),
-        edge("REPLY_OF_Comment", "REPLY_OF", comment, comment, vec![], 2.0),
+        edge(
+            "REPLY_OF_Comment",
+            "REPLY_OF",
+            comment,
+            comment,
+            vec![],
+            2.0,
+        ),
         edge("CONTAINER_OF", "CONTAINER_OF", forum, post, vec![], 2.0),
-        edge("HAS_MEMBER", "HAS_MEMBER", forum, person, vec![req("joinDate", ValueGen::DateTime)], 2.5),
+        edge(
+            "HAS_MEMBER",
+            "HAS_MEMBER",
+            forum,
+            person,
+            vec![req("joinDate", ValueGen::DateTime)],
+            2.5,
+        ),
         edge("HAS_MODERATOR", "HAS_MODERATOR", forum, person, vec![], 0.5),
-        edge("IS_LOCATED_IN_Person", "IS_LOCATED_IN", person, place, vec![], 1.0),
-        edge("IS_LOCATED_IN_Org", "IS_LOCATED_IN", org, place, vec![], 0.5),
-        edge("WORK_AT", "WORK_AT", person, org, vec![req("workFrom", ValueGen::Int(1990, 2025))], 0.8),
-        edge("STUDY_AT", "STUDY_AT", person, org, vec![req("classYear", ValueGen::Int(1990, 2025))], 0.8),
+        edge(
+            "IS_LOCATED_IN_Person",
+            "IS_LOCATED_IN",
+            person,
+            place,
+            vec![],
+            1.0,
+        ),
+        edge(
+            "IS_LOCATED_IN_Org",
+            "IS_LOCATED_IN",
+            org,
+            place,
+            vec![],
+            0.5,
+        ),
+        edge(
+            "WORK_AT",
+            "WORK_AT",
+            person,
+            org,
+            vec![req("workFrom", ValueGen::Int(1990, 2025))],
+            0.8,
+        ),
+        edge(
+            "STUDY_AT",
+            "STUDY_AT",
+            person,
+            org,
+            vec![req("classYear", ValueGen::Int(1990, 2025))],
+            0.8,
+        ),
         edge("HAS_TAG_Post", "HAS_TAG", post, tag, vec![], 2.0),
         edge("HAS_TAG_Forum", "HAS_TAG", forum, tag, vec![], 1.0),
     ];
@@ -499,80 +943,267 @@ fn ldbc() -> DatasetSpec {
 
 fn cord19() -> DatasetSpec {
     let nodes = vec![
-        node("Paper", &["Paper"], vec![
-            req("cord_uid", ValueGen::Name(100_000)),
-            req("title", ValueGen::Text),
-            opt("publish_time", ValueGen::MixedDateStr(0.06), 0.9),
-            opt("doi", ValueGen::Name(100_000), 0.8),
-            opt("journal", ValueGen::Name(4000), 0.7),
-        ], 4.0),
-        node("Author", &["Author"], vec![
-            req("first", ValueGen::Name(8000)),
-            req("last", ValueGen::Name(20_000)),
-            opt("email", ValueGen::Name(40_000), 0.2),
-        ], 8.0),
-        node("Affiliation", &["Affiliation"], vec![
-            req("institution", ValueGen::Name(6000)),
-            opt("laboratory", ValueGen::Name(3000), 0.3),
-        ], 2.0),
-        node("Abstract", &["Abstract"], vec![req("text", ValueGen::Text)], 3.5),
-        node("BodyText", &["BodyText"], vec![
-            req("text", ValueGen::Text),
-            req("section", ValueGen::Name(30)),
-        ], 6.0),
-        node("Reference", &["Reference"], vec![
-            req("title", ValueGen::Text),
-            opt("year", ValueGen::MixedIntStr(0.04), 0.8),
-        ], 6.0),
-        node("Journal", &["Journal"], vec![req("name", ValueGen::Name(4000))], 0.4),
-        node("Gene", &["Gene"], vec![
-            req("sid", ValueGen::Name(30_000)),
-            req("taxid", ValueGen::Int(1, 100_000)),
-        ], 3.0),
-        node("Protein", &["Protein"], vec![
-            req("sid", ValueGen::Name(30_000)),
-            opt("name", ValueGen::Name(20_000), 0.8),
-        ], 2.0),
-        node("Disease", &["Disease"], vec![
-            req("doid", ValueGen::Name(8000)),
-            req("name", ValueGen::Name(8000)),
-            opt("definition", ValueGen::Text, 0.7),
-        ], 0.5),
-        node("Pathway", &["Pathway"], vec![
-            req("sid", ValueGen::Name(2500)),
-            req("name", ValueGen::Name(2500)),
-        ], 0.4),
-        node("GeneSymbol", &["GeneSymbol"], vec![req("symbol", ValueGen::Name(25_000))], 2.0),
-        node("Transcript", &["Transcript"], vec![req("sid", ValueGen::Name(30_000))], 2.0),
-        node("ClinicalTrial", &["ClinicalTrial"], vec![
-            req("nct_id", ValueGen::Name(5000)),
-            opt("phase", ValueGen::Name(5), 0.6),
-        ], 0.3),
-        node("Patent", &["Patent"], vec![
-            req("number", ValueGen::Name(8000)),
-            opt("filed", ValueGen::MixedDateStr(0.08), 0.7),
-        ], 0.3),
-        node("Fraction", &["Fraction"], vec![req("value", ValueGen::Float(1.0))], 0.6),
+        node(
+            "Paper",
+            &["Paper"],
+            vec![
+                req("cord_uid", ValueGen::Name(100_000)),
+                req("title", ValueGen::Text),
+                opt("publish_time", ValueGen::MixedDateStr(0.06), 0.9),
+                opt("doi", ValueGen::Name(100_000), 0.8),
+                opt("journal", ValueGen::Name(4000), 0.7),
+            ],
+            4.0,
+        ),
+        node(
+            "Author",
+            &["Author"],
+            vec![
+                req("first", ValueGen::Name(8000)),
+                req("last", ValueGen::Name(20_000)),
+                opt("email", ValueGen::Name(40_000), 0.2),
+            ],
+            8.0,
+        ),
+        node(
+            "Affiliation",
+            &["Affiliation"],
+            vec![
+                req("institution", ValueGen::Name(6000)),
+                opt("laboratory", ValueGen::Name(3000), 0.3),
+            ],
+            2.0,
+        ),
+        node(
+            "Abstract",
+            &["Abstract"],
+            vec![req("text", ValueGen::Text)],
+            3.5,
+        ),
+        node(
+            "BodyText",
+            &["BodyText"],
+            vec![
+                req("text", ValueGen::Text),
+                req("section", ValueGen::Name(30)),
+            ],
+            6.0,
+        ),
+        node(
+            "Reference",
+            &["Reference"],
+            vec![
+                req("title", ValueGen::Text),
+                opt("year", ValueGen::MixedIntStr(0.04), 0.8),
+            ],
+            6.0,
+        ),
+        node(
+            "Journal",
+            &["Journal"],
+            vec![req("name", ValueGen::Name(4000))],
+            0.4,
+        ),
+        node(
+            "Gene",
+            &["Gene"],
+            vec![
+                req("sid", ValueGen::Name(30_000)),
+                req("taxid", ValueGen::Int(1, 100_000)),
+            ],
+            3.0,
+        ),
+        node(
+            "Protein",
+            &["Protein"],
+            vec![
+                req("sid", ValueGen::Name(30_000)),
+                opt("name", ValueGen::Name(20_000), 0.8),
+            ],
+            2.0,
+        ),
+        node(
+            "Disease",
+            &["Disease"],
+            vec![
+                req("doid", ValueGen::Name(8000)),
+                req("name", ValueGen::Name(8000)),
+                opt("definition", ValueGen::Text, 0.7),
+            ],
+            0.5,
+        ),
+        node(
+            "Pathway",
+            &["Pathway"],
+            vec![
+                req("sid", ValueGen::Name(2500)),
+                req("name", ValueGen::Name(2500)),
+            ],
+            0.4,
+        ),
+        node(
+            "GeneSymbol",
+            &["GeneSymbol"],
+            vec![req("symbol", ValueGen::Name(25_000))],
+            2.0,
+        ),
+        node(
+            "Transcript",
+            &["Transcript"],
+            vec![req("sid", ValueGen::Name(30_000))],
+            2.0,
+        ),
+        node(
+            "ClinicalTrial",
+            &["ClinicalTrial"],
+            vec![
+                req("nct_id", ValueGen::Name(5000)),
+                opt("phase", ValueGen::Name(5), 0.6),
+            ],
+            0.3,
+        ),
+        node(
+            "Patent",
+            &["Patent"],
+            vec![
+                req("number", ValueGen::Name(8000)),
+                opt("filed", ValueGen::MixedDateStr(0.08), 0.7),
+            ],
+            0.3,
+        ),
+        node(
+            "Fraction",
+            &["Fraction"],
+            vec![req("value", ValueGen::Float(1.0))],
+            0.6,
+        ),
     ];
-    let (paper, author, affiliation, abstr, body, reference, journal, gene, protein, disease, pathway, genesym, transcript, trial, patent, fraction) =
-        (0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+    let (
+        paper,
+        author,
+        affiliation,
+        abstr,
+        body,
+        reference,
+        journal,
+        gene,
+        protein,
+        disease,
+        pathway,
+        genesym,
+        transcript,
+        trial,
+        patent,
+        fraction,
+    ) = (0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
     let edges = vec![
-        edge("PAPER_HAS_ABSTRACT", "PAPER_HAS_ABSTRACT", paper, abstr, vec![], 2.0),
-        edge("PAPER_HAS_BODYTEXT", "PAPER_HAS_BODYTEXT", paper, body, vec![req("position", ValueGen::Int(0, 200))], 3.0),
-        edge("PAPER_HAS_REFERENCE", "PAPER_HAS_REFERENCE", paper, reference, vec![], 3.0),
-        edge("PAPER_HAS_AUTHOR", "PAPER_HAS_AUTHOR", paper, author, vec![req("position", ValueGen::Int(0, 30))], 4.0),
-        edge("AUTHOR_HAS_AFFILIATION", "AUTHOR_HAS_AFFILIATION", author, affiliation, vec![], 2.0),
-        edge("PAPER_PUBLISHED_IN", "PAPER_PUBLISHED_IN", paper, journal, vec![], 1.5),
-        edge("PAPER_MENTIONS_GENE", "MENTIONS", paper, gene, vec![req("count", ValueGen::Int(1, 50))], 1.5),
-        edge("PAPER_MENTIONS_DISEASE", "MENTIONS", paper, disease, vec![req("count", ValueGen::Int(1, 50))], 1.0),
-        edge("PAPER_MENTIONS_PROTEIN", "MENTIONS", paper, protein, vec![req("count", ValueGen::Int(1, 50))], 1.0),
+        edge(
+            "PAPER_HAS_ABSTRACT",
+            "PAPER_HAS_ABSTRACT",
+            paper,
+            abstr,
+            vec![],
+            2.0,
+        ),
+        edge(
+            "PAPER_HAS_BODYTEXT",
+            "PAPER_HAS_BODYTEXT",
+            paper,
+            body,
+            vec![req("position", ValueGen::Int(0, 200))],
+            3.0,
+        ),
+        edge(
+            "PAPER_HAS_REFERENCE",
+            "PAPER_HAS_REFERENCE",
+            paper,
+            reference,
+            vec![],
+            3.0,
+        ),
+        edge(
+            "PAPER_HAS_AUTHOR",
+            "PAPER_HAS_AUTHOR",
+            paper,
+            author,
+            vec![req("position", ValueGen::Int(0, 30))],
+            4.0,
+        ),
+        edge(
+            "AUTHOR_HAS_AFFILIATION",
+            "AUTHOR_HAS_AFFILIATION",
+            author,
+            affiliation,
+            vec![],
+            2.0,
+        ),
+        edge(
+            "PAPER_PUBLISHED_IN",
+            "PAPER_PUBLISHED_IN",
+            paper,
+            journal,
+            vec![],
+            1.5,
+        ),
+        edge(
+            "PAPER_MENTIONS_GENE",
+            "MENTIONS",
+            paper,
+            gene,
+            vec![req("count", ValueGen::Int(1, 50))],
+            1.5,
+        ),
+        edge(
+            "PAPER_MENTIONS_DISEASE",
+            "MENTIONS",
+            paper,
+            disease,
+            vec![req("count", ValueGen::Int(1, 50))],
+            1.0,
+        ),
+        edge(
+            "PAPER_MENTIONS_PROTEIN",
+            "MENTIONS",
+            paper,
+            protein,
+            vec![req("count", ValueGen::Int(1, 50))],
+            1.0,
+        ),
         edge("GENE_CODES_PROTEIN", "CODES", gene, protein, vec![], 1.0),
         edge("GENE_HAS_SYMBOL", "HAS_SYMBOL", gene, genesym, vec![], 1.5),
-        edge("GENE_HAS_TRANSCRIPT", "HAS_TRANSCRIPT", gene, transcript, vec![], 1.5),
-        edge("PROTEIN_IN_PATHWAY", "IN_PATHWAY", protein, pathway, vec![], 0.8),
-        edge("DISEASE_TRIAL", "INVESTIGATED_IN", disease, trial, vec![], 0.3),
+        edge(
+            "GENE_HAS_TRANSCRIPT",
+            "HAS_TRANSCRIPT",
+            gene,
+            transcript,
+            vec![],
+            1.5,
+        ),
+        edge(
+            "PROTEIN_IN_PATHWAY",
+            "IN_PATHWAY",
+            protein,
+            pathway,
+            vec![],
+            0.8,
+        ),
+        edge(
+            "DISEASE_TRIAL",
+            "INVESTIGATED_IN",
+            disease,
+            trial,
+            vec![],
+            0.3,
+        ),
         edge("PATENT_ABOUT_GENE", "ABOUT", patent, gene, vec![], 0.3),
-        edge("FRACTION_OF_BODY", "FRACTION_OF", fraction, body, vec![], 0.5),
+        edge(
+            "FRACTION_OF_BODY",
+            "FRACTION_OF",
+            fraction,
+            body,
+            vec![],
+            0.5,
+        ),
     ];
     DatasetSpec {
         name: "CORD19".into(),
@@ -590,40 +1221,67 @@ fn cord19() -> DatasetSpec {
 
 fn iyp() -> DatasetSpec {
     const LABELS: [&str; 33] = [
-        "AS", "Prefix", "IP", "DomainName", "HostName", "ASN", "Country", "IXP", "Facility",
-        "Organization", "BGPCollector", "AtlasProbe", "AtlasMeasurement", "Ranking", "Tag",
-        "OpaqueID", "Name", "PeeringLAN", "CaidaIXID", "PeeringdbOrgID", "PeeringdbIXID",
-        "PeeringdbFacID", "PeeringdbNetID", "URL", "AuthoritativeNameServer", "Resolver",
-        "Estimate", "GeoPrefix", "RPKIPrefix", "RIRPrefix", "RDNSPrefix", "QueriedDomain",
+        "AS",
+        "Prefix",
+        "IP",
+        "DomainName",
+        "HostName",
+        "ASN",
+        "Country",
+        "IXP",
+        "Facility",
+        "Organization",
+        "BGPCollector",
+        "AtlasProbe",
+        "AtlasMeasurement",
+        "Ranking",
+        "Tag",
+        "OpaqueID",
+        "Name",
+        "PeeringLAN",
+        "CaidaIXID",
+        "PeeringdbOrgID",
+        "PeeringdbIXID",
+        "PeeringdbFacID",
+        "PeeringdbNetID",
+        "URL",
+        "AuthoritativeNameServer",
+        "Resolver",
+        "Estimate",
+        "GeoPrefix",
+        "RPKIPrefix",
+        "RIRPrefix",
+        "RDNSPrefix",
+        "QueriedDomain",
         "RankedDomain",
     ];
     // Multi-label combos: base label alone, plus combos with Tag-ish labels.
     let mut nodes = Vec::new();
     let combos: [(usize, &[usize]); 24] = [
-        (0, &[5]),          // AS + ASN
-        (1, &[27]),         // Prefix + GeoPrefix
-        (1, &[28]),         // Prefix + RPKIPrefix
-        (1, &[29]),         // Prefix + RIRPrefix
-        (1, &[30]),         // Prefix + RDNSPrefix
-        (2, &[]),           // IP
-        (3, &[31]),         // DomainName + QueriedDomain
-        (3, &[32]),         // DomainName + RankedDomain
-        (4, &[]),           // HostName
-        (6, &[]),           // Country
-        (7, &[17]),         // IXP + PeeringLAN
-        (8, &[]),           // Facility
-        (9, &[]),           // Organization
-        (10, &[]),          // BGPCollector
-        (11, &[]),          // AtlasProbe
-        (12, &[]),          // AtlasMeasurement
-        (13, &[]),          // Ranking
-        (14, &[]),          // Tag
-        (15, &[]),          // OpaqueID
-        (16, &[]),          // Name
-        (23, &[]),          // URL
-        (24, &[]),          // AuthoritativeNameServer
-        (25, &[]),          // Resolver
-        (26, &[]),          // Estimate
+        (0, &[5]),  // AS + ASN
+        (1, &[27]), // Prefix + GeoPrefix
+        (1, &[28]), // Prefix + RPKIPrefix
+        (1, &[29]), // Prefix + RIRPrefix
+        (1, &[30]), // Prefix + RDNSPrefix
+        (2, &[]),   // IP
+        (3, &[31]), // DomainName + QueriedDomain
+        (3, &[32]), // DomainName + RankedDomain
+        (4, &[]),   // HostName
+        (6, &[]),   // Country
+        (7, &[17]), // IXP + PeeringLAN
+        (8, &[]),   // Facility
+        (9, &[]),   // Organization
+        (10, &[]),  // BGPCollector
+        (11, &[]),  // AtlasProbe
+        (12, &[]),  // AtlasMeasurement
+        (13, &[]),  // Ranking
+        (14, &[]),  // Tag
+        (15, &[]),  // OpaqueID
+        (16, &[]),  // Name
+        (23, &[]),  // URL
+        (24, &[]),  // AuthoritativeNameServer
+        (25, &[]),  // Resolver
+        (26, &[]),  // Estimate
     ];
     for (i, (base, extras)) in combos.iter().enumerate() {
         let mut labels: Vec<&str> = vec![LABELS[*base]];

@@ -73,7 +73,12 @@ pub fn integration_scenario(per_source: usize, seed: u64) -> Dataset {
             );
             node_types.push(CONCEPT_PERSON);
             let org = orgs[rng.gen_range(0..orgs.len())];
-            b.add_edge(p, org, &["WORKS_AT"], &[("from", Value::Int(rng.gen_range(1990..2026)))]);
+            b.add_edge(
+                p,
+                org,
+                &["WORKS_AT"],
+                &[("from", Value::Int(rng.gen_range(1990..2026)))],
+            );
             edge_types.push(CONCEPT_WORKS_AT);
         }
         for &org in &orgs {
@@ -129,10 +134,7 @@ mod tests {
     fn deterministic_per_seed() {
         let a = integration_scenario(30, 3);
         let b = integration_scenario(30, 3);
-        assert_eq!(
-            GraphStats::compute(&a.graph),
-            GraphStats::compute(&b.graph)
-        );
+        assert_eq!(GraphStats::compute(&a.graph), GraphStats::compute(&b.graph));
         assert_eq!(a.truth.node_types, b.truth.node_types);
     }
 }

@@ -76,7 +76,11 @@ mod tests {
         for i in 0..n {
             let id = b.add_node(
                 &["T"],
-                &[("a", Value::Int(i as i64)), ("b", Value::Int(1)), ("c", Value::Int(2))],
+                &[
+                    ("a", Value::Int(i as i64)),
+                    ("b", Value::Int(1)),
+                    ("c", Value::Int(2)),
+                ],
             );
             if let Some(p) = prev {
                 b.add_edge(p, id, &["E"], &[("w", Value::Int(1))]);

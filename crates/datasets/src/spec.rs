@@ -110,10 +110,12 @@ impl DatasetSpec {
         let mut b = GraphBuilder::with_capacity(n_nodes, n_edges);
 
         // Allocate node counts by weight.
-        let counts = allocate(n_nodes, &self.nodes.iter().map(|n| n.weight).collect::<Vec<_>>());
+        let counts = allocate(
+            n_nodes,
+            &self.nodes.iter().map(|n| n.weight).collect::<Vec<_>>(),
+        );
         let mut node_types = Vec::with_capacity(n_nodes);
-        let mut per_type_ids: Vec<Vec<pg_hive_graph::NodeId>> =
-            vec![Vec::new(); self.nodes.len()];
+        let mut per_type_ids: Vec<Vec<pg_hive_graph::NodeId>> = vec![Vec::new(); self.nodes.len()];
 
         // Interleave types (round-robin over remaining quotas) so batch
         // splits see all types early.
@@ -140,8 +142,10 @@ impl DatasetSpec {
         // Edges by weight.
         let mut edge_types = Vec::with_capacity(n_edges);
         if !self.edges.is_empty() {
-            let ecounts =
-                allocate(n_edges, &self.edges.iter().map(|e| e.weight).collect::<Vec<_>>());
+            let ecounts = allocate(
+                n_edges,
+                &self.edges.iter().map(|e| e.weight).collect::<Vec<_>>(),
+            );
             let mut eremaining = ecounts;
             let mut eactive: Vec<usize> = (0..self.edges.len()).collect();
             while !eactive.is_empty() {

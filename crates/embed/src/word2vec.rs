@@ -116,13 +116,7 @@ impl Word2Vec {
                         let ctx = sentence[j];
                         grad.iter_mut().for_each(|g| *g = 0.0);
                         // Positive pair.
-                        train_pair(
-                            &mut input[center],
-                            &mut output[ctx],
-                            1.0,
-                            lr,
-                            &mut grad,
-                        );
+                        train_pair(&mut input[center], &mut output[ctx], 1.0, lr, &mut grad);
                         // Negative samples.
                         for _ in 0..config.negatives {
                             if neg_table.is_empty() {

@@ -82,11 +82,7 @@ pub fn majority_f1(clusters: &[u32], truth: &[u32]) -> F1Scores {
         types += 1;
     }
 
-    let correct = predicted
-        .iter()
-        .zip(truth)
-        .filter(|(p, t)| p == t)
-        .count() as f64;
+    let correct = predicted.iter().zip(truth).filter(|(p, t)| p == t).count() as f64;
 
     let distinct_predicted: std::collections::HashSet<u32> = majority.values().copied().collect();
 

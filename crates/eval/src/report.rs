@@ -59,7 +59,14 @@ pub fn table2_row(name: &str, g: &PropertyGraph, node_types: usize, edge_types: 
 pub fn table2_header() -> String {
     format!(
         "{:<8} {:>9} {:>10} {:>6} {:>6} {:>7} {:>7} {:>9} {:>9}",
-        "Dataset", "Nodes", "Edges", "NTypes", "ETypes", "NLabels", "ELabels", "NPatterns",
+        "Dataset",
+        "Nodes",
+        "Edges",
+        "NTypes",
+        "ETypes",
+        "NLabels",
+        "ELabels",
+        "NPatterns",
         "EPatterns"
     )
 }

@@ -76,8 +76,8 @@ pub fn sampling_errors(g: &PropertyGraph, sampling: &SamplingConfig) -> Property
 
     let mut errors = PropertyErrors::new();
     for (key, vals) in values {
-        let full_kind = infer_kind_of_values(vals.iter().map(String::as_str))
-            .expect("non-empty value list");
+        let full_kind =
+            infer_kind_of_values(vals.iter().map(String::as_str)).expect("non-empty value list");
         let want = ((vals.len() as f64 * sampling.fraction).ceil() as usize)
             .max(sampling.min_values)
             .min(vals.len());

@@ -115,8 +115,12 @@ impl GaussianMixture {
                 }
                 weights[c] = nk / n as f64;
                 for j in 0..d {
-                    let mean: f64 =
-                        resp.iter().zip(points).map(|(r, p)| r[c] * p[j]).sum::<f64>() / nk;
+                    let mean: f64 = resp
+                        .iter()
+                        .zip(points)
+                        .map(|(r, p)| r[c] * p[j])
+                        .sum::<f64>()
+                        / nk;
                     means[c][j] = mean;
                 }
                 for j in 0..d {
@@ -237,9 +241,7 @@ mod tests {
                     .map(|&c| {
                         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
                         let u2: f64 = rng.gen();
-                        c + std
-                            * (-2.0 * u1.ln()).sqrt()
-                            * (std::f64::consts::TAU * u2).cos()
+                        c + std * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
                     })
                     .collect()
             })
@@ -250,10 +252,13 @@ mod tests {
     fn recovers_two_components() {
         let mut pts = gaussian_blob(&[0.0, 0.0], 200, 0.3, 1);
         pts.extend(gaussian_blob(&[5.0, 5.0], 200, 0.3, 2));
-        let m = GaussianMixture::fit(&pts, &GmmConfig {
-            components: 2,
-            ..Default::default()
-        });
+        let m = GaussianMixture::fit(
+            &pts,
+            &GmmConfig {
+                components: 2,
+                ..Default::default()
+            },
+        );
         // Means near (0,0) and (5,5) in some order.
         let mut found_origin = false;
         let mut found_five = false;
@@ -274,10 +279,13 @@ mod tests {
     fn predict_separates_blobs() {
         let mut pts = gaussian_blob(&[0.0], 100, 0.2, 3);
         pts.extend(gaussian_blob(&[10.0], 100, 0.2, 4));
-        let m = GaussianMixture::fit(&pts, &GmmConfig {
-            components: 2,
-            ..Default::default()
-        });
+        let m = GaussianMixture::fit(
+            &pts,
+            &GmmConfig {
+                components: 2,
+                ..Default::default()
+            },
+        );
         let a = m.predict(&[0.1]);
         let b = m.predict(&[9.8]);
         assert_ne!(a, b);
@@ -290,14 +298,20 @@ mod tests {
     fn log_likelihood_improves_with_right_k() {
         let mut pts = gaussian_blob(&[0.0, 0.0], 150, 0.2, 5);
         pts.extend(gaussian_blob(&[4.0, 4.0], 150, 0.2, 6));
-        let m1 = GaussianMixture::fit(&pts, &GmmConfig {
-            components: 1,
-            ..Default::default()
-        });
-        let m2 = GaussianMixture::fit(&pts, &GmmConfig {
-            components: 2,
-            ..Default::default()
-        });
+        let m1 = GaussianMixture::fit(
+            &pts,
+            &GmmConfig {
+                components: 1,
+                ..Default::default()
+            },
+        );
+        let m2 = GaussianMixture::fit(
+            &pts,
+            &GmmConfig {
+                components: 2,
+                ..Default::default()
+            },
+        );
         assert!(m2.log_likelihood > m1.log_likelihood);
         assert!(m2.bic(pts.len()) < m1.bic(pts.len()));
     }
@@ -305,10 +319,13 @@ mod tests {
     #[test]
     fn variance_floor_prevents_collapse() {
         let pts = vec![vec![1.0, 2.0]; 50];
-        let m = GaussianMixture::fit(&pts, &GmmConfig {
-            components: 2,
-            ..Default::default()
-        });
+        let m = GaussianMixture::fit(
+            &pts,
+            &GmmConfig {
+                components: 2,
+                ..Default::default()
+            },
+        );
         for var in &m.variances {
             for &v in var {
                 assert!(v >= 1e-6);
@@ -326,10 +343,13 @@ mod tests {
     #[test]
     fn num_parameters_formula() {
         let pts = gaussian_blob(&[0.0, 0.0, 0.0], 30, 1.0, 7);
-        let m = GaussianMixture::fit(&pts, &GmmConfig {
-            components: 2,
-            ..Default::default()
-        });
+        let m = GaussianMixture::fit(
+            &pts,
+            &GmmConfig {
+                components: 2,
+                ..Default::default()
+            },
+        );
         // (k-1) + k*d + k*d = 1 + 6 + 6 = 13.
         assert_eq!(m.num_parameters(), 13);
     }
@@ -337,9 +357,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one component")]
     fn zero_components_panics() {
-        GaussianMixture::fit(&[vec![0.0]], &GmmConfig {
-            components: 0,
-            ..Default::default()
-        });
+        GaussianMixture::fit(
+            &[vec![0.0]],
+            &GmmConfig {
+                components: 0,
+                ..Default::default()
+            },
+        );
     }
 }

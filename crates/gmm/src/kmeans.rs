@@ -92,10 +92,7 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
 fn seed_plus_plus(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
     let mut centroids = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..points.len())].clone());
-    let mut dists: Vec<f64> = points
-        .iter()
-        .map(|p| sq_dist(p, &centroids[0]))
-        .collect();
+    let mut dists: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = dists.iter().sum();
         let next = if total <= 0.0 {
@@ -221,10 +218,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
-        kmeans(&[vec![0.0]], &KMeansConfig {
-            k: 0,
-            max_iters: 1,
-            seed: 0,
-        });
+        kmeans(
+            &[vec![0.0]],
+            &KMeansConfig {
+                k: 0,
+                max_iters: 1,
+                seed: 0,
+            },
+        );
     }
 }

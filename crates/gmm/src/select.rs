@@ -34,10 +34,13 @@ pub fn fit_best(
         if k == 0 || k > points.len() {
             continue;
         }
-        let m = GaussianMixture::fit(points, &GmmConfig {
-            components: k,
-            ..base.clone()
-        });
+        let m = GaussianMixture::fit(
+            points,
+            &GmmConfig {
+                components: k,
+                ..base.clone()
+            },
+        );
         let score = match criterion {
             SelectionCriterion::Bic => m.bic(points.len()),
             SelectionCriterion::Aic => m.aic(),

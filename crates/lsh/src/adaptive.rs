@@ -21,6 +21,21 @@
 //! straddle for `b = 1.2·μ` to keep same-type elements colliding while
 //! separating types; the mean over *random* pairs would instead be dominated
 //! by inter-type distances and `1.2·μ` would merge everything.
+//!
+//! # Deduplicated inputs
+//!
+//! The pipeline clusters *distinct signatures* but the paper's heuristics
+//! are defined over the *element population* (duplicates and all — e.g. a
+//! graph that is 90% one node type must see that mass in the sample).
+//! Estimation therefore takes the distinct-row [`VectorMatrix`] plus an
+//! optional `rep_of` map (element → distinct row); sampling is over
+//! elements, distances are computed on their representative rows. Passing
+//! `rep_of = None` means "rows are the population", and feeding the same
+//! data either way produces **identical** parameters — the equivalence the
+//! dedup fast path relies on.
+
+use crate::matrix::VectorMatrix;
+use crate::par;
 
 /// Whether parameters are being derived for node or edge clustering — the
 /// two use different `T` heuristics in the paper.
@@ -101,21 +116,24 @@ pub fn tables_heuristic(b_base: f64, alpha: f64, population: usize, class: Eleme
     (t.round() as usize).clamp(1, 64)
 }
 
-/// Derive adaptive parameters from the dense vectors to be clustered and the
-/// number of distinct labels `label_count` observed in the dataset.
+/// Derive adaptive parameters for the population described by
+/// `(matrix, rep_of)` — see the module docs — and the number of distinct
+/// labels `label_count` observed in the dataset.
 pub fn derive_params(
-    vectors: &[Vec<f32>],
+    matrix: &VectorMatrix,
+    rep_of: Option<&[u32]>,
     label_count: usize,
     class: ElementClass,
     config: &AdaptiveConfig,
 ) -> AdaptiveParams {
-    let mu = estimate_mu(vectors, config);
+    let population = rep_of.map_or(matrix.rows(), <[u32]>::len);
+    let mu = estimate_mu(matrix, rep_of, config);
     let b_base = 1.2 * mu;
     let alpha = alpha_for_label_count(label_count);
     // Guard degenerate data (all-identical vectors → μ = 0): fall back to a
     // unit bucket so LSH still runs; everything collides, which is correct.
     let bucket_width = if b_base > 1e-9 { b_base * alpha } else { 1.0 };
-    let tables = tables_heuristic(b_base.max(1.0), alpha, vectors.len(), class);
+    let tables = tables_heuristic(b_base.max(1.0), alpha, population, class);
     AdaptiveParams {
         mu,
         b_base,
@@ -126,13 +144,14 @@ pub fn derive_params(
 }
 
 /// Estimate the distance scale μ: the median nearest-neighbor Euclidean
-/// distance within a random sample (see module docs for why NN rather than
-/// random pairs, and median rather than mean).
-pub fn estimate_mu(vectors: &[Vec<f32>], config: &AdaptiveConfig) -> f64 {
-    let n = vectors.len();
+/// distance within a random sample of the population (see module docs for
+/// why NN rather than random pairs, and median rather than mean).
+pub fn estimate_mu(matrix: &VectorMatrix, rep_of: Option<&[u32]>, config: &AdaptiveConfig) -> f64 {
+    let n = rep_of.map_or(matrix.rows(), <[u32]>::len);
     if n < 2 {
         return 0.0;
     }
+    let row_of = |element: usize| rep_of.map_or(element, |r| r[element] as usize);
     let target = ((n as f64 * config.sample_fraction) as usize)
         .max(config.min_sample)
         .min(config.max_sample)
@@ -146,7 +165,7 @@ pub fn estimate_mu(vectors: &[Vec<f32>], config: &AdaptiveConfig) -> f64 {
         z ^ (z >> 31)
     };
 
-    // Sample indices without replacement via partial Fisher–Yates.
+    // Sample element indices without replacement via partial Fisher–Yates.
     let mut pool: Vec<usize> = (0..n).collect();
     for i in 0..target {
         let j = i + (next() % (n - i) as u64) as usize;
@@ -154,20 +173,21 @@ pub fn estimate_mu(vectors: &[Vec<f32>], config: &AdaptiveConfig) -> f64 {
     }
     let sample = &pool[..target];
 
-    let mut nn = Vec::with_capacity(target);
-    for (i, &a) in sample.iter().enumerate() {
+    // O(m²) nearest-neighbor scan, parallel over sample rows.
+    let mut nn = par::par_map_indexed(target, target, |i| {
+        let a = matrix.row(row_of(sample[i]));
         let mut best = f64::INFINITY;
-        for (j, &b) in sample.iter().enumerate() {
+        for (j, &e) in sample.iter().enumerate() {
             if i == j {
                 continue;
             }
-            let d = euclidean(&vectors[a], &vectors[b]);
+            let d = euclidean(a, matrix.row(row_of(e)));
             if d < best {
                 best = d;
             }
         }
-        nn.push(best);
-    }
+        best
+    });
     nn.sort_by(|a, b| a.partial_cmp(b).unwrap());
     // Median (upper of the two middles for even counts, so a 50/50 split of
     // zero-duplicates and real spacings picks the spacing, not zero).
@@ -188,6 +208,10 @@ fn euclidean(a: &[f32], b: &[f32]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn mat(rows: Vec<Vec<f32>>) -> VectorMatrix {
+        VectorMatrix::from_rows(&rows)
+    }
 
     #[test]
     fn alpha_brackets() {
@@ -222,8 +246,8 @@ mod tests {
     fn mu_is_nearest_neighbor_scale() {
         // Points on a 1-D lattice spaced 1 apart: every point's nearest
         // neighbor is at distance 1, regardless of the lattice extent.
-        let vs: Vec<Vec<f32>> = (0..400).map(|i| vec![i as f32]).collect();
-        let mu = estimate_mu(&vs, &AdaptiveConfig::default());
+        let vs = mat((0..400).map(|i| vec![i as f32]).collect());
+        let mu = estimate_mu(&vs, None, &AdaptiveConfig::default());
         assert!((mu - 1.0).abs() < 0.3, "mu = {mu}");
     }
 
@@ -232,33 +256,42 @@ mod tests {
         // Two tight blobs far apart: NN distances stay intra-blob.
         let mut vs = vec![vec![0.0f32, 0.0]; 100];
         vs.extend(vec![vec![100.0f32, 0.0]; 100]);
-        let mu = estimate_mu(&vs, &AdaptiveConfig::default());
+        let mu = estimate_mu(&mat(vs), None, &AdaptiveConfig::default());
         assert_eq!(mu, 0.0, "duplicates give zero NN distance");
     }
 
     #[test]
     fn mu_zero_for_identical_points() {
-        let vs = vec![vec![1.0f32, 1.0]; 100];
-        let mu = estimate_mu(&vs, &AdaptiveConfig::default());
+        let vs = mat(vec![vec![1.0f32, 1.0]; 100]);
+        let mu = estimate_mu(&vs, None, &AdaptiveConfig::default());
         assert_eq!(mu, 0.0);
     }
 
     #[test]
     fn mu_handles_tiny_inputs() {
-        assert_eq!(estimate_mu(&[], &AdaptiveConfig::default()), 0.0);
         assert_eq!(
-            estimate_mu(&[vec![1.0f32]], &AdaptiveConfig::default()),
+            estimate_mu(&VectorMatrix::new(1), None, &AdaptiveConfig::default()),
             0.0
         );
-        let two = vec![vec![0.0f32], vec![3.0f32]];
-        let mu = estimate_mu(&two, &AdaptiveConfig::default());
+        assert_eq!(
+            estimate_mu(&mat(vec![vec![1.0f32]]), None, &AdaptiveConfig::default()),
+            0.0
+        );
+        let two = mat(vec![vec![0.0f32], vec![3.0f32]]);
+        let mu = estimate_mu(&two, None, &AdaptiveConfig::default());
         assert!((mu - 3.0).abs() < 1e-6);
     }
 
     #[test]
     fn derive_params_degenerate_data_falls_back() {
-        let vs = vec![vec![5.0f32; 4]; 50];
-        let p = derive_params(&vs, 2, ElementClass::Nodes, &AdaptiveConfig::default());
+        let vs = mat(vec![vec![5.0f32; 4]; 50]);
+        let p = derive_params(
+            &vs,
+            None,
+            2,
+            ElementClass::Nodes,
+            &AdaptiveConfig::default(),
+        );
         assert_eq!(p.bucket_width, 1.0, "fallback bucket");
         assert!(p.tables >= 1);
     }
@@ -266,11 +299,35 @@ mod tests {
     #[test]
     fn derive_params_reflects_scale() {
         // NN spacing of 2 along a line: b should be 1.2 * 2 * alpha.
-        let vs: Vec<Vec<f32>> = (0..300).map(|i| vec![(2 * i) as f32, 0.0]).collect();
-        let p = derive_params(&vs, 5, ElementClass::Nodes, &AdaptiveConfig::default());
+        let vs = mat((0..300).map(|i| vec![(2 * i) as f32, 0.0]).collect());
+        let p = derive_params(
+            &vs,
+            None,
+            5,
+            ElementClass::Nodes,
+            &AdaptiveConfig::default(),
+        );
         assert!((p.alpha - 1.0).abs() < 1e-12);
         assert!((p.mu - 2.0).abs() < 0.5, "mu = {}", p.mu);
         assert!((p.bucket_width - 1.2 * p.mu).abs() < 1e-9);
     }
 
+    #[test]
+    fn dedup_view_matches_expanded_population() {
+        // 3 distinct rows, element population of 200 with skewed
+        // multiplicities: parameters from (distinct, rep_of) must equal
+        // parameters from the fully expanded matrix.
+        let distinct = mat(vec![vec![0.0f32, 0.0], vec![5.0, 0.0], vec![0.0, 7.0]]);
+        let rep_of: Vec<u32> = (0..200)
+            .map(|i| if i % 10 == 0 { i as u32 % 3 } else { 0 })
+            .collect();
+        let expanded = mat(rep_of
+            .iter()
+            .map(|&r| distinct.row(r as usize).to_vec())
+            .collect());
+        let cfg = AdaptiveConfig::default();
+        let a = derive_params(&distinct, Some(&rep_of), 4, ElementClass::Nodes, &cfg);
+        let b = derive_params(&expanded, None, 4, ElementClass::Nodes, &cfg);
+        assert_eq!(a, b);
+    }
 }

@@ -1,0 +1,52 @@
+//! The shared bucketing sweep both LSH families end in: union all rows
+//! that share a key within at least one group (a "group" is an ELSH table
+//! or a MinHash band).
+//!
+//! Collision pairs are *collected* per group (parallel across groups —
+//! each group's scan is independent) and *applied* in group-major,
+//! index-major order, which is exactly the order a serial sweep produces;
+//! the union-find therefore evolves identically regardless of thread
+//! count. This ordering is determinism-critical — both families rely on
+//! it for the "same seed → same clustering, parallel or not" contract.
+
+use crate::fx::fx_map_with_capacity;
+use crate::par;
+use crate::unionfind::UnionFind;
+
+/// `keys` is row-major `n × groups` (`keys[i · groups + g]`).
+pub(crate) fn union_keyed_collisions(keys: &[u64], n: usize, groups: usize, uf: &mut UnionFind) {
+    let per_group: Vec<Vec<(u32, u32)>> = par::par_map_indexed(groups, n, |g| {
+        let mut buckets = fx_map_with_capacity::<u64, u32>(n.min(1 << 16));
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            let key = keys[i * groups + g];
+            match buckets.get(&key) {
+                Some(&first) => pairs.push((first, i as u32)),
+                None => {
+                    buckets.insert(key, i as u32);
+                }
+            }
+        }
+        pairs
+    });
+    for pairs in per_group {
+        for (first, i) in pairs {
+            uf.union(first as usize, i as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_rows_sharing_any_group_key() {
+        // 3 rows × 2 groups: rows 0 and 2 share a key in group 1 only.
+        let keys = vec![10, 77, 20, 30, 40, 77];
+        let mut uf = UnionFind::new(3);
+        union_keyed_collisions(&keys, 3, 2, &mut uf);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 1));
+    }
+}

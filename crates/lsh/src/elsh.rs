@@ -11,13 +11,31 @@
 //! describes — while `k > 1` suppresses the rare far-apart collisions that
 //! would otherwise chain whole clusters together (per-table false-positive
 //! probability drops from `p` to `p^k`).
+//!
+//! # Execution strategy
+//!
+//! The seed implementation was a scalar loop over per-element `Vec<Vec<f32>>`
+//! (kept verbatim in [`crate::reference`] as the perf baseline). This
+//! version is built for throughput:
+//!
+//! 1. All `T·k` projection directions are drawn up front into one flat
+//!    row-major [`VectorMatrix`], so the inner loop is a cache-friendly
+//!    GEMV-style sweep: each input row is streamed once against the whole
+//!    direction matrix.
+//! 2. Hashing is embarrassingly parallel — `hash key(i, t)` is a pure
+//!    function of the input row and the projections — and is chunked across
+//!    threads ([`crate::par`], `parallel` feature, on by default).
+//! 3. Bucketing unions collisions per table through an
+//!    [`FxHashMap`](crate::fx::FxHashMap) in a fixed (table-major,
+//!    index-major) order, so the resulting clustering is byte-identical
+//!    whether hashing ran on one thread or many.
 
+use crate::matrix::VectorMatrix;
 use crate::unionfind::UnionFind;
-use crate::Clustering;
+use crate::{par, Clustering};
+use rand::distributions::{Distribution, Uniform};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rand::distributions::{Distribution, Uniform};
-use std::collections::HashMap;
 
 /// Parameters of Euclidean LSH.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,82 +63,121 @@ impl Default for ElshParams {
     }
 }
 
-/// Cluster dense vectors with Euclidean LSH. All vectors must share the same
-/// dimension. Returns a [`Clustering`] over the input indices.
+/// The precomputed projection bank: `tables · hashes_per_table` Gaussian
+/// directions (one flat matrix) plus their uniform offsets, drawn from the
+/// seeded RNG in a fixed order (per table: `k` directions, then `k`
+/// offsets — the same order the seed implementation used, so fixed seeds
+/// reproduce the seed's clustering exactly).
+#[derive(Debug, Clone)]
+pub struct Projections {
+    pub dirs: VectorMatrix,
+    pub offsets: Vec<f64>,
+}
+
+impl Projections {
+    /// Draw the full projection bank for `params` over vectors of `dim`.
+    pub fn draw(dim: usize, params: &ElshParams) -> Self {
+        let k = params.hashes_per_table;
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut dirs = VectorMatrix::with_capacity(params.tables * k, dim);
+        let mut offsets = Vec::with_capacity(params.tables * k);
+        for _table in 0..params.tables {
+            for _j in 0..k {
+                dirs.push_row_with(|row| {
+                    for x in row.iter_mut() {
+                        *x = gaussian(&mut rng);
+                    }
+                });
+            }
+            for _j in 0..k {
+                offsets.push(Uniform::new(0.0, params.bucket_width).sample(&mut rng));
+            }
+        }
+        Projections { dirs, offsets }
+    }
+}
+
+/// Cluster the rows of a [`VectorMatrix`] with Euclidean LSH. Returns a
+/// [`Clustering`] over row indices.
 ///
-/// Complexity `O(N·T·D)` — the paper's §4.7 efficiency bound.
+/// Complexity `O(N·T·D)` — the paper's §4.7 efficiency bound — executed as
+/// a parallel flat-matrix sweep (see the module docs). Same seed → same
+/// clustering, with or without the `parallel` feature.
 ///
 /// # Panics
-/// Panics if `bucket_width <= 0`, `tables == 0`, or vector dims differ.
-pub fn elsh_cluster(vectors: &[Vec<f32>], params: &ElshParams) -> Clustering {
+/// Panics if `bucket_width <= 0`, `tables == 0`, or `hashes_per_table == 0`.
+pub fn elsh_cluster(matrix: &VectorMatrix, params: &ElshParams) -> Clustering {
     assert!(params.bucket_width > 0.0, "bucket width must be positive");
     assert!(params.tables > 0, "need at least one hash table");
     assert!(
         params.hashes_per_table > 0,
         "need at least one hash per table"
     );
-    let n = vectors.len();
+    let n = matrix.rows();
     if n == 0 {
         return Clustering {
             assignment: vec![],
             num_clusters: 0,
         };
     }
-    let dim = vectors[0].len();
-    assert!(
-        vectors.iter().all(|v| v.len() == dim),
-        "all vectors must share a dimension"
-    );
 
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let projections = Projections::draw(matrix.dim(), params);
+    let keys = hash_keys(matrix, &projections, params);
     let mut uf = UnionFind::new(n);
-    let mut buckets: HashMap<u64, usize> = HashMap::new();
-    let k = params.hashes_per_table;
-
-    for _table in 0..params.tables {
-        // k Gaussian directions + offsets per table (AND-composition).
-        let dirs: Vec<Vec<f32>> = (0..k)
-            .map(|_| (0..dim).map(|_| gaussian(&mut rng)).collect())
-            .collect();
-        let offsets: Vec<f64> = (0..k)
-            .map(|_| Uniform::new(0.0, params.bucket_width).sample(&mut rng))
-            .collect();
-
-        buckets.clear();
-        for (i, v) in vectors.iter().enumerate() {
-            let mut key = 0xcbf2_9ce4_8422_2325u64;
-            for (dir, &offset) in dirs.iter().zip(&offsets) {
-                let proj: f64 = v
-                    .iter()
-                    .zip(dir)
-                    .map(|(x, a)| (*x as f64) * (*a as f64))
-                    .sum();
-                let bucket = ((proj + offset) / params.bucket_width).floor() as i64;
-                key = mix(key ^ bucket as u64);
-            }
-            match buckets.get(&key) {
-                Some(&first) => {
-                    uf.union(first, i);
-                }
-                None => {
-                    buckets.insert(key, i);
-                }
-            }
-        }
-    }
-
+    crate::bucket::union_keyed_collisions(&keys, n, params.tables, &mut uf);
     Clustering::from_union_find(&mut uf)
 }
 
+/// Compute the `n × T` bucket-key matrix (row-major: `keys[i·T + t]`).
+/// Pure per-row work, chunked across threads.
+fn hash_keys(matrix: &VectorMatrix, projections: &Projections, params: &ElshParams) -> Vec<u64> {
+    let n = matrix.rows();
+    let tables = params.tables;
+    let k = params.hashes_per_table;
+    // Divide rather than multiply by a precomputed reciprocal: the rounding
+    // of `x * (1/b)` can differ from `x / b` in the last ulp, which moves
+    // bucket boundaries and would break bit-parity with the reference path.
+    let b = params.bucket_width;
+    let mut keys = vec![0u64; n * tables];
+    par::par_chunks_mut(&mut keys, tables, |start_row, chunk| {
+        for (local, out) in chunk.chunks_mut(tables).enumerate() {
+            let v = matrix.row(start_row + local);
+            for (t, slot) in out.iter_mut().enumerate() {
+                let mut key = 0xcbf2_9ce4_8422_2325u64;
+                for j in 0..k {
+                    let p = t * k + j;
+                    let proj = dot_f64(v, projections.dirs.row(p));
+                    let bucket = ((proj + projections.offsets[p]) / b).floor() as i64;
+                    key = mix(key ^ bucket as u64);
+                }
+                *slot = key;
+            }
+        }
+    });
+    keys
+}
+
+/// Dot product with `f64` accumulation in index order — the exact summation
+/// the seed's scalar loop performed, so bucket boundaries land identically.
 #[inline]
-fn mix(mut z: u64) -> u64 {
+fn dot_f64(v: &[f32], dir: &[f32]) -> f64 {
+    debug_assert_eq!(v.len(), dir.len());
+    let mut acc = 0.0f64;
+    for (x, a) in v.iter().zip(dir) {
+        acc += (*x as f64) * (*a as f64);
+    }
+    acc
+}
+
+#[inline]
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
-fn gaussian(rng: &mut StdRng) -> f32 {
+pub(crate) fn gaussian(rng: &mut StdRng) -> f32 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen::<f64>();
     ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
@@ -144,7 +201,7 @@ mod tests {
 
     #[test]
     fn identical_vectors_always_cluster_together() {
-        let vectors = vec![vec![1.0, 2.0, 3.0]; 10];
+        let vectors = VectorMatrix::from_rows(&vec![vec![1.0, 2.0, 3.0]; 10]);
         let c = elsh_cluster(&vectors, &ElshParams::default());
         assert_eq!(c.num_clusters, 1);
     }
@@ -154,7 +211,7 @@ mod tests {
         let mut vs = blob(&[0.0, 0.0, 0.0, 0.0], 50, 0.05, 1);
         vs.extend(blob(&[10.0, 10.0, 10.0, 10.0], 50, 0.05, 2));
         let c = elsh_cluster(
-            &vs,
+            &VectorMatrix::from_rows(&vs),
             &ElshParams {
                 bucket_width: 0.5,
                 tables: 15,
@@ -180,6 +237,7 @@ mod tests {
     fn wider_buckets_merge_more() {
         let mut vs = blob(&[0.0; 4], 30, 0.2, 5);
         vs.extend(blob(&[2.0; 4], 30, 0.2, 6));
+        let vs = VectorMatrix::from_rows(&vs);
         let narrow = elsh_cluster(
             &vs,
             &ElshParams {
@@ -204,7 +262,7 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let vs = blob(&[0.0; 8], 40, 1.0, 11);
+        let vs = VectorMatrix::from_rows(&blob(&[0.0; 8], 40, 1.0, 11));
         let p = ElshParams {
             bucket_width: 0.7,
             tables: 8,
@@ -215,8 +273,26 @@ mod tests {
     }
 
     #[test]
+    fn matches_reference_scalar_implementation() {
+        // The flat-matrix parallel path must reproduce the seed's scalar
+        // clustering bit-for-bit for any fixed seed.
+        for seed in [0u64, 13, 0xE15E] {
+            let vs = blob(&[0.0; 6], 120, 2.0, seed ^ 0xAB);
+            let p = ElshParams {
+                bucket_width: 0.9,
+                tables: 12,
+                hashes_per_table: 3,
+                seed,
+            };
+            let fast = elsh_cluster(&VectorMatrix::from_rows(&vs), &p);
+            let reference = crate::reference::elsh_cluster_scalar(&vs, &p);
+            assert_eq!(fast, reference, "divergence at seed {seed}");
+        }
+    }
+
+    #[test]
     fn empty_input() {
-        let c = elsh_cluster(&[], &ElshParams::default());
+        let c = elsh_cluster(&VectorMatrix::new(0), &ElshParams::default());
         assert_eq!(c.num_clusters, 0);
         assert!(c.assignment.is_empty());
     }
@@ -224,20 +300,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "bucket width")]
     fn zero_bucket_width_panics() {
-        elsh_cluster(&[vec![1.0]], &ElshParams {
-            bucket_width: 0.0,
-            tables: 1,
-            seed: 0,
-            ..Default::default()
-        });
-    }
-
-    #[test]
-    #[should_panic(expected = "dimension")]
-    fn mismatched_dims_panic() {
         elsh_cluster(
-            &[vec![1.0, 2.0], vec![1.0]],
-            &ElshParams::default(),
+            &VectorMatrix::from_rows(&[vec![1.0]]),
+            &ElshParams {
+                bucket_width: 0.0,
+                tables: 1,
+                seed: 0,
+                ..Default::default()
+            },
         );
     }
 }

@@ -1,0 +1,86 @@
+//! FxHash — the rustc hash function, vendored in-tree (the `rustc-hash`
+//! crate is unavailable offline). Bucket keys in [`crate::elsh`] and
+//! [`crate::minhash`] are already well-mixed 64-bit values, so the default
+//! SipHash's DoS resistance buys nothing here and its per-lookup cost is
+//! pure overhead on the `O(N·T)` bucketing sweep.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative word-at-a-time hasher (the algorithm used by rustc).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed by the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// An `FxHashMap` with reserved capacity.
+pub fn fx_map_with_capacity<K, V>(capacity: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_works_and_is_deterministic() {
+        let mut m: FxHashMap<u64, usize> = fx_map_with_capacity(8);
+        for i in 0..100u64 {
+            m.insert(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), i as usize);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m[&0], 0);
+    }
+
+    #[test]
+    fn hasher_mixes_u64s() {
+        let mut a = FxHasher::default();
+        a.write_u64(1);
+        let mut b = FxHasher::default();
+        b.write_u64(2);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -20,15 +20,31 @@
 //!
 //! [`probability`] provides the closed-form collision probabilities used to
 //! reason about parameter effects (and tested against simulation).
+//!
+//! ## Execution model
+//!
+//! Dense vectors live in a flat row-major [`VectorMatrix`] (one allocation
+//! for the whole batch) and both families hash through precomputed
+//! projection/permutation banks with the per-element work chunked across
+//! threads ([`par`], `parallel` feature — **on by default**). The
+//! determinism contract is strict: *same seed → same clustering*, with or
+//! without the feature, verified bit-for-bit against the seed's sequential
+//! scalar implementations preserved in [`reference`].
 
 pub mod adaptive;
+mod bucket;
 pub mod elsh;
+pub mod fx;
+pub mod matrix;
 pub mod minhash;
+pub mod par;
 pub mod probability;
+pub mod reference;
 pub mod unionfind;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveParams, ElementClass};
-pub use elsh::{elsh_cluster, ElshParams};
+pub use elsh::{elsh_cluster, ElshParams, Projections};
+pub use matrix::VectorMatrix;
 pub use minhash::{minhash_cluster, MinHashParams};
 pub use unionfind::UnionFind;
 
@@ -48,6 +64,20 @@ impl Clustering {
             groups[c as usize].push(i);
         }
         groups
+    }
+
+    /// Map a clustering of distinct representatives back onto elements:
+    /// element `i` gets the cluster of its representative `rep_of[i]`.
+    /// Cluster ids and count are preserved (every representative has at
+    /// least one element when `rep_of` is a surjection onto rows).
+    pub fn broadcast(&self, rep_of: &[u32]) -> Clustering {
+        Clustering {
+            assignment: rep_of
+                .iter()
+                .map(|&r| self.assignment[r as usize])
+                .collect(),
+            num_clusters: self.num_clusters,
+        }
     }
 
     /// Build from a union-find over `n` elements.

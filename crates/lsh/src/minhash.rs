@@ -10,10 +10,19 @@
 //! The paper exposes a single parameter `T` (number of hash tables); here a
 //! table is a band, and `rows_per_band` defaults to 2, giving the S-curve a
 //! usable threshold while keeping signatures short.
+//!
+//! # Execution strategy
+//!
+//! Signature + band-key computation is a pure per-set function, computed
+//! into one flat `n × bands` key matrix in parallel chunks
+//! ([`crate::par`]); banding then unions collisions per band through an
+//! [`FxHashMap`](crate::fx::FxHashMap) in a fixed order, so results are
+//! byte-identical to the sequential reference
+//! ([`crate::reference::minhash_cluster_scalar`]) for any seed and thread
+//! count.
 
 use crate::unionfind::UnionFind;
-use crate::Clustering;
-use std::collections::HashMap;
+use crate::{par, Clustering};
 
 /// Parameters of MinHash LSH.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,20 +45,28 @@ impl Default for MinHashParams {
     }
 }
 
-/// Compute the MinHash signature of one set under `k` hash functions derived
-/// from `seed`. The empty set gets a signature of `u64::MAX` entries, so all
-/// empty sets collide with each other and (almost surely) nothing else.
-pub fn signature(set: &[u64], k: usize, seed: u64) -> Vec<u64> {
-    let mut sig = vec![u64::MAX; k];
-    for (i, s) in sig.iter_mut().enumerate() {
+/// Compute the MinHash signature of one set into `out` (`out.len()` hash
+/// functions derived from `seed`). The empty set gets a signature of
+/// `u64::MAX` entries, so all empty sets collide with each other and
+/// (almost surely) nothing else.
+pub fn signature_into(set: &[u64], seed: u64, out: &mut [u64]) {
+    for (i, s) in out.iter_mut().enumerate() {
         let h_seed = mix(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut best = u64::MAX;
         for &x in set {
             let h = mix(x ^ h_seed);
-            if h < *s {
-                *s = h;
+            if h < best {
+                best = h;
             }
         }
+        *s = best;
     }
+}
+
+/// Allocating variant of [`signature_into`].
+pub fn signature(set: &[u64], k: usize, seed: u64) -> Vec<u64> {
+    let mut sig = vec![u64::MAX; k];
+    signature_into(set, seed, &mut sig);
     sig
 }
 
@@ -67,7 +84,9 @@ pub fn jaccard(a: &[u64], b: &[u64]) -> f64 {
 
 /// Cluster sets with banded MinHash LSH. Returns a [`Clustering`] over the
 /// input indices. Complexity `O(N·T)` per §4.7 (signature length is
-/// `bands · rows_per_band`, a constant).
+/// `bands · rows_per_band`, a constant); signatures are hashed in parallel
+/// chunks. Same seed → same clustering, with or without the `parallel`
+/// feature.
 ///
 /// # Panics
 /// Panics if `bands == 0` or `rows_per_band == 0`.
@@ -82,35 +101,34 @@ pub fn minhash_cluster(sets: &[Vec<u64>], params: &MinHashParams) -> Clustering 
         };
     }
 
-    let k = params.bands * params.rows_per_band;
-    let sigs: Vec<Vec<u64>> = sets
-        .iter()
-        .map(|s| signature(s, k, params.seed))
-        .collect();
-
+    let keys = band_keys(sets, params);
     let mut uf = UnionFind::new(n);
-    let mut buckets: HashMap<u64, usize> = HashMap::new();
-    for band in 0..params.bands {
-        buckets.clear();
-        let lo = band * params.rows_per_band;
-        let hi = lo + params.rows_per_band;
-        for (i, sig) in sigs.iter().enumerate() {
-            let mut key = 0xcbf2_9ce4_8422_2325u64 ^ (band as u64);
-            for &row in &sig[lo..hi] {
-                key = mix(key ^ row);
-            }
-            match buckets.get(&key) {
-                Some(&first) => {
-                    uf.union(first, i);
+    crate::bucket::union_keyed_collisions(&keys, n, params.bands, &mut uf);
+    Clustering::from_union_find(&mut uf)
+}
+
+/// Flat `n × bands` band-key matrix (row-major: `keys[i·B + band]`),
+/// computed per set in parallel chunks. Each set's signature lives in a
+/// thread-local scratch buffer — no per-set allocation.
+fn band_keys(sets: &[Vec<u64>], params: &MinHashParams) -> Vec<u64> {
+    let bands = params.bands;
+    let r = params.rows_per_band;
+    let k = bands * r;
+    let mut keys = vec![0u64; sets.len() * bands];
+    par::par_chunks_mut(&mut keys, bands, |start_row, chunk| {
+        let mut sig = vec![u64::MAX; k];
+        for (local, out) in chunk.chunks_mut(bands).enumerate() {
+            signature_into(&sets[start_row + local], params.seed, &mut sig);
+            for (band, slot) in out.iter_mut().enumerate() {
+                let mut key = 0xcbf2_9ce4_8422_2325u64 ^ (band as u64);
+                for &row in &sig[band * r..(band + 1) * r] {
+                    key = mix(key ^ row);
                 }
-                None => {
-                    buckets.insert(key, i);
-                }
+                *slot = key;
             }
         }
-    }
-
-    Clustering::from_union_find(&mut uf)
+    });
+    keys
 }
 
 #[inline]
@@ -167,10 +185,7 @@ mod tests {
     #[test]
     fn high_jaccard_sets_cluster_together() {
         // J = 9/11 ≈ 0.82; with r=2, B=20: P ≈ 1-(1-0.67)^20 ≈ 1.
-        let sets = vec![
-            (0..10).collect::<Vec<u64>>(),
-            (1..11).collect::<Vec<u64>>(),
-        ];
+        let sets = vec![(0..10).collect::<Vec<u64>>(), (1..11).collect::<Vec<u64>>()];
         let c = minhash_cluster(&sets, &MinHashParams::default());
         assert_eq!(c.num_clusters, 1);
     }
@@ -178,10 +193,7 @@ mod tests {
     #[test]
     fn low_jaccard_sets_usually_split() {
         // J = 1/19 ≈ 0.05; with r=2, B=20: P ≈ 1-(1-0.0028)^20 ≈ 0.05.
-        let sets = vec![
-            (0..10).collect::<Vec<u64>>(),
-            (9..19).collect::<Vec<u64>>(),
-        ];
+        let sets = vec![(0..10).collect::<Vec<u64>>(), (9..19).collect::<Vec<u64>>()];
         let c = minhash_cluster(
             &sets,
             &MinHashParams {
@@ -209,12 +221,32 @@ mod tests {
     }
 
     #[test]
+    fn matches_reference_scalar_implementation() {
+        for seed in [0u64, 21, 0x314] {
+            let sets: Vec<Vec<u64>> = (0..150)
+                .map(|i| (0..(i % 7 + 1)).map(|j| (i % 13) * 50 + j).collect())
+                .collect();
+            let p = MinHashParams {
+                bands: 16,
+                rows_per_band: 3,
+                seed,
+            };
+            let fast = minhash_cluster(&sets, &p);
+            let reference = crate::reference::minhash_cluster_scalar(&sets, &p);
+            assert_eq!(fast, reference, "divergence at seed {seed}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "band")]
     fn zero_bands_panics() {
-        minhash_cluster(&[vec![1]], &MinHashParams {
-            bands: 0,
-            rows_per_band: 1,
-            seed: 0,
-        });
+        minhash_cluster(
+            &[vec![1]],
+            &MinHashParams {
+                bands: 0,
+                rows_per_band: 1,
+                seed: 0,
+            },
+        );
     }
 }

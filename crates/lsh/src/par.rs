@@ -1,0 +1,184 @@
+//! Deterministic data-parallel primitives for the hashing hot path.
+//!
+//! Rayon is the natural fit but is unavailable offline, so this module
+//! provides the two shapes the LSH kernels need on plain `std::thread`:
+//! disjoint mutable chunks of an output buffer, and an indexed map over
+//! tasks. Both produce results that are **bit-identical** to the serial
+//! path — work is only *scheduled* across threads; each output location is
+//! computed by a pure function of its index — so the `parallel` feature
+//! cannot change any clustering.
+//!
+//! With the `parallel` feature disabled (or a single available core, or
+//! inputs below [`PAR_THRESHOLD`]) everything runs inline on the calling
+//! thread.
+
+/// Inputs smaller than this are hashed serially — thread spawn overhead
+/// (~10µs each) dominates below a few thousand rows.
+pub const PAR_THRESHOLD: usize = 2048;
+
+/// Number of worker threads to use for `len` items.
+pub fn thread_count(len: usize) -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        if len < PAR_THRESHOLD {
+            return 1;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(len.div_ceil(PAR_THRESHOLD / 2))
+            .max(1)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = len;
+        1
+    }
+}
+
+/// Split `out` into `workers` near-equal chunks and run
+/// `f(chunk_start, chunk)` for each — on worker threads when the `parallel`
+/// feature is active and the input is large enough, inline otherwise.
+///
+/// `chunk_start` is the index of `chunk[0]` within `out`, so `f` can be a
+/// pure function of global indices regardless of scheduling.
+pub fn par_chunks_mut<T, F>(out: &mut [T], items_per_entry: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let entries = out.len().checked_div(items_per_entry).unwrap_or(0);
+    par_chunks_mut_with_workers(out, items_per_entry, thread_count(entries), f)
+}
+
+/// [`par_chunks_mut`] with an explicit worker count — lets tests exercise
+/// real multi-threaded scheduling on any machine.
+pub fn par_chunks_mut_with_workers<T, F>(
+    out: &mut [T],
+    items_per_entry: usize,
+    workers: usize,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let entries = out.len().checked_div(items_per_entry).unwrap_or(0);
+    if workers <= 1 || entries <= 1 {
+        f(0, out);
+        return;
+    }
+    let chunk_entries = entries.div_ceil(workers);
+    let chunk_len = chunk_entries * items_per_entry;
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut start = 0usize;
+        for chunk in out.chunks_mut(chunk_len) {
+            scope.spawn(move || f(start, chunk));
+            start += chunk_entries;
+        }
+    });
+}
+
+/// Map `f` over `0..n`, collecting results in index order — parallel when
+/// worthwhile (`cost_hint` is the per-item weight; tasks with `n *
+/// cost_hint` below the threshold run inline).
+pub fn par_map_indexed<R, F>(n: usize, cost_hint: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_indexed_with_workers(n, thread_count(n.saturating_mul(cost_hint.max(1))), f)
+}
+
+/// [`par_map_indexed`] with an explicit worker count (see
+/// [`par_chunks_mut_with_workers`]).
+pub fn par_map_indexed_with_workers<R, F>(n: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = workers.min(n);
+    let per = n.div_ceil(workers);
+    let mut parts: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * per;
+                let hi = ((w + 1) * per).min(n);
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_every_entry_once() {
+        let mut out = vec![0u64; 10_000];
+        par_chunks_mut(&mut out, 2, |start, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (start * 2 + k) as u64;
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        let mut out = vec![0u8; 16];
+        par_chunks_mut(&mut out, 1, |start, chunk| {
+            assert_eq!(start, 0);
+            assert_eq!(chunk.len(), 16);
+            chunk.fill(1);
+        });
+        assert!(out.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let big = par_map_indexed(5000, PAR_THRESHOLD, |i| i * 3);
+        assert_eq!(big.len(), 5000);
+        for (i, v) in big.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+        let small = par_map_indexed(3, 1, |i| i + 1);
+        assert_eq!(small, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn forced_multithreading_matches_inline_execution() {
+        // Run the same pure-index workload inline and on 7 real threads
+        // (independent of this machine's core count): results must be
+        // byte-identical — the determinism contract the LSH kernels rely on.
+        let mut inline = vec![0u64; 9973 * 3];
+        par_chunks_mut_with_workers(&mut inline, 3, 1, |start, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = ((start * 3 + k) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+        });
+        let mut threaded = vec![0u64; 9973 * 3];
+        par_chunks_mut_with_workers(&mut threaded, 3, 7, |start, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = ((start * 3 + k) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+        });
+        assert_eq!(inline, threaded);
+
+        let a = par_map_indexed_with_workers(997, 1, |i| i * i);
+        let b = par_map_indexed_with_workers(997, 5, |i| i * i);
+        assert_eq!(a, b);
+    }
+}

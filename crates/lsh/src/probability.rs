@@ -25,8 +25,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -46,7 +45,8 @@ pub fn elsh_collision_prob(d: f64, b: f64) -> f64 {
         return 1.0;
     }
     let r = b / d;
-    let p = 1.0 - 2.0 * normal_cdf(-r)
+    let p = 1.0
+        - 2.0 * normal_cdf(-r)
         - (2.0 / (std::f64::consts::TAU.sqrt() * r)) * (1.0 - (-(r * r) / 2.0).exp());
     p.clamp(0.0, 1.0)
 }

@@ -97,9 +97,11 @@ impl GraphBuilder {
             .collect();
         out.sort_by_key(|(k, _)| *k);
         // Last write wins on duplicate keys.
-        out.dedup_by(|a, b| a.0 == b.0 && {
-            b.1 = a.1.clone();
-            true
+        out.dedup_by(|a, b| {
+            a.0 == b.0 && {
+                b.1 = a.1.clone();
+                true
+            }
         });
         out
     }
@@ -138,7 +140,10 @@ mod tests {
             }
             prev = Some(*k);
         }
-        assert_eq!(node.get(g.keys().get("age").unwrap()), Some(&Value::Int(45)));
+        assert_eq!(
+            node.get(g.keys().get("age").unwrap()),
+            Some(&Value::Int(45))
+        );
     }
 
     #[test]

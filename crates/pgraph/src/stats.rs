@@ -46,8 +46,12 @@ impl GraphStats {
         let mut edge_labels: HashSet<Symbol> = HashSet::new();
         let mut edge_label_sets: HashSet<Vec<Symbol>> = HashSet::new();
         #[allow(clippy::type_complexity)]
-        let mut edge_patterns: HashSet<(Vec<Symbol>, Vec<Symbol>, Vec<Symbol>, Vec<Symbol>)> =
-            HashSet::new();
+        let mut edge_patterns: HashSet<(
+            Vec<Symbol>,
+            Vec<Symbol>,
+            Vec<Symbol>,
+            Vec<Symbol>,
+        )> = HashSet::new();
 
         for (_, e) in g.edges() {
             for &l in &e.labels {
@@ -121,7 +125,12 @@ mod tests {
         let place = b.add_node(&["Place"], &[("name", Value::from("Greece"))]);
 
         b.add_edge(alice, john, &["KNOWS"], &[]);
-        b.add_edge(bob, john, &["KNOWS"], &[("since", Value::from("2025-01-01"))]);
+        b.add_edge(
+            bob,
+            john,
+            &["KNOWS"],
+            &[("since", Value::from("2025-01-01"))],
+        );
         b.add_edge(alice, post2, &["LIKES"], &[]);
         b.add_edge(john, post1, &["LIKES"], &[]);
         b.add_edge(bob, org, &["WORKS_AT"], &[("from", Value::Int(2000))]);

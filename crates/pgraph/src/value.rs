@@ -337,7 +337,10 @@ mod tests {
 
     #[test]
     fn string_fallback() {
-        assert_eq!(Value::parse_lexical("bazinga!"), Value::Str("bazinga!".into()));
+        assert_eq!(
+            Value::parse_lexical("bazinga!"),
+            Value::Str("bazinga!".into())
+        );
     }
 
     #[test]

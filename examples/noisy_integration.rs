@@ -31,7 +31,10 @@ fn main() {
     // The baselines refuse this input.
     for m in [Method::GmmSchema, Method::SchemI] {
         match m.run(&dataset.graph, 23) {
-            None => println!("{:<16} -> cannot run (requires fully labeled data)", m.name()),
+            None => println!(
+                "{:<16} -> cannot run (requires fully labeled data)",
+                m.name()
+            ),
             Some(_) => println!("{:<16} -> unexpectedly ran!", m.name()),
         }
     }
@@ -53,7 +56,11 @@ fn main() {
             .count();
         println!(
             "PG-HIVE-{:<8} -> node F1* {:.3} ({} node types, {} ABSTRACT)",
-            if method == ClusterMethod::Elsh { "ELSH" } else { "MinHash" },
+            if method == ClusterMethod::Elsh {
+                "ELSH"
+            } else {
+                "MinHash"
+            },
             f1.macro_f1,
             r.schema.node_types.len(),
             abstract_types

@@ -64,14 +64,8 @@ fn pg_hive_beats_schemi_on_multilabel_connectome() {
     let d = DatasetId::Mb6.generate(0.05, 5);
     let hive = Method::PgHiveElsh.run(&d.graph, 5).unwrap();
     let schemi = Method::SchemI.run(&d.graph, 5).unwrap();
-    let hive_f1 = majority_f1(
-        &hive.edge_assignment.unwrap(),
-        &d.truth.edge_types,
-    );
-    let schemi_f1 = majority_f1(
-        &schemi.edge_assignment.unwrap(),
-        &d.truth.edge_types,
-    );
+    let hive_f1 = majority_f1(&hive.edge_assignment.unwrap(), &d.truth.edge_types);
+    let schemi_f1 = majority_f1(&schemi.edge_assignment.unwrap(), &d.truth.edge_types);
     assert!(
         hive_f1.macro_f1 > schemi_f1.macro_f1 + 0.2,
         "hive {} vs schemi {}",

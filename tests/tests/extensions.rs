@@ -117,7 +117,11 @@ fn incremental_prefix_diffs_are_monotone_on_real_data() {
 fn alignment_merges_synonym_vocabularies_end_to_end() {
     let d = integration_scenario(200, 48);
     let r = Discoverer::new(PipelineConfig::elsh_adaptive()).discover(&d.graph);
-    assert_eq!(r.schema.node_types.len(), 6, "two vocabularies, pre-alignment");
+    assert_eq!(
+        r.schema.node_types.len(),
+        6,
+        "two vocabularies, pre-alignment"
+    );
 
     let all = GraphBatch {
         nodes: d.graph.nodes().map(|(id, _)| id).collect(),
@@ -158,5 +162,8 @@ fn diff_detects_drift_between_dataset_versions() {
     let s1 = d.discover(&v1.graph).schema;
     let s2 = d.discover(&v2.graph).schema;
     let diff = diff_schemas(&s1, &s2);
-    assert!(!diff.is_empty(), "property removal must surface in the diff");
+    assert!(
+        !diff.is_empty(),
+        "property removal must surface in the diff"
+    );
 }

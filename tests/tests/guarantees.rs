@@ -44,8 +44,7 @@ fn inferred_datatypes_are_compatible_with_all_values() {
             let sym = d.graph.keys().get(key).unwrap();
             for &m in &t.members {
                 if let Some(v) = d.graph.node(NodeId(m)).get(sym) {
-                    let vkind =
-                        pg_hive_core::postprocess::infer_value_kind(&v.lexical());
+                    let vkind = pg_hive_core::postprocess::infer_value_kind(&v.lexical());
                     assert_eq!(
                         kind.join(vkind),
                         kind,
@@ -105,10 +104,7 @@ fn incremental_final_instance_counts_match_static() {
     let stat = discoverer.discover(&d.graph);
     assert_eq!(incr.schema.node_instances(), stat.schema.node_instances());
     assert_eq!(incr.schema.edge_instances(), stat.schema.edge_instances());
-    assert_eq!(
-        incr.schema.node_instances() as usize,
-        d.graph.node_count()
-    );
+    assert_eq!(incr.schema.node_instances() as usize, d.graph.node_count());
 }
 
 #[test]
@@ -117,8 +113,18 @@ fn incremental_discovers_same_labeled_type_inventory_as_static() {
     let discoverer = Discoverer::new(PipelineConfig::elsh_adaptive());
     let incr = discoverer.discover_incremental(&d.graph, 8);
     let stat = discoverer.discover(&d.graph);
-    let mut a: Vec<_> = stat.schema.node_types.iter().map(|t| t.labels.clone()).collect();
-    let mut b: Vec<_> = incr.schema.node_types.iter().map(|t| t.labels.clone()).collect();
+    let mut a: Vec<_> = stat
+        .schema
+        .node_types
+        .iter()
+        .map(|t| t.labels.clone())
+        .collect();
+    let mut b: Vec<_> = incr
+        .schema
+        .node_types
+        .iter()
+        .map(|t| t.labels.clone())
+        .collect();
     a.sort();
     b.sort();
     assert_eq!(a, b);

@@ -7,7 +7,7 @@ use pg_hive_core::{label_set, NodeType, PropertySpec, SchemaGraph};
 use pg_hive_eval::majority_f1;
 use pg_hive_graph::Value;
 use pg_hive_lsh::minhash::{jaccard, signature};
-use pg_hive_lsh::{elsh_cluster, ElshParams, UnionFind};
+use pg_hive_lsh::{elsh_cluster, ElshParams, UnionFind, VectorMatrix};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -120,7 +120,7 @@ proptest! {
         points in proptest::collection::vec(
             proptest::collection::vec(-10.0f32..10.0, 4), 1..60)
     ) {
-        let c = elsh_cluster(&points, &ElshParams::default());
+        let c = elsh_cluster(&VectorMatrix::from_rows(&points), &ElshParams::default());
         prop_assert_eq!(c.assignment.len(), points.len());
         for &a in &c.assignment {
             prop_assert!((a as usize) < c.num_clusters);

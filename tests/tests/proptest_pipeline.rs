@@ -10,7 +10,11 @@ use proptest::prelude::*;
 /// up to 40 nodes and 40 edges, with optional unlabeled nodes and missing
 /// properties.
 fn arb_graph() -> impl Strategy<Value = PropertyGraph> {
-    let node = (0u8..5, any::<bool>(), proptest::collection::vec(any::<bool>(), 3));
+    let node = (
+        0u8..5,
+        any::<bool>(),
+        proptest::collection::vec(any::<bool>(), 3),
+    );
     (
         proptest::collection::vec(node, 1..40),
         proptest::collection::vec((0u8..40, 0u8..40, 0u8..3), 0..40),

@@ -56,8 +56,7 @@ fn xsd_is_structurally_balanced() {
     assert!(xml.ends_with("</xs:schema>\n"));
     // Every node type surfaces as a complexType.
     assert!(
-        xml.matches("<xs:complexType").count()
-            >= schema.node_types.len() + schema.edge_types.len()
+        xml.matches("<xs:complexType").count() >= schema.node_types.len() + schema.edge_types.len()
     );
 }
 

@@ -90,8 +90,16 @@ fn stream_matches_resident_discovery_on_split_dataset() {
     // Rebuild two chunks through the text round trip (fresh interners).
     let text = pg_hive_graph::loader::save_text(&full.graph);
     let lines: Vec<&str> = text.lines().collect();
-    let nodes: Vec<&str> = lines.iter().filter(|l| l.starts_with('N')).copied().collect();
-    let edges: Vec<&str> = lines.iter().filter(|l| l.starts_with('E')).copied().collect();
+    let nodes: Vec<&str> = lines
+        .iter()
+        .filter(|l| l.starts_with('N'))
+        .copied()
+        .collect();
+    let edges: Vec<&str> = lines
+        .iter()
+        .filter(|l| l.starts_with('E'))
+        .copied()
+        .collect();
     // All nodes in both chunks (edges need endpoints); split the edges.
     let half = edges.len() / 2;
     let chunk = |es: &[&str]| {

@@ -1,0 +1,544 @@
+//! Vendored offline subset of the `proptest 1.x` API.
+//!
+//! Supports the strategy combinators this workspace's property tests use:
+//! numeric range strategies, char-class string patterns (`"[a-z]{1,20}"`),
+//! tuples, `prop_map`, `any::<bool>() / any::<i64>()`, and
+//! `collection::{vec, btree_map, hash_set}` — driven by the [`proptest!`]
+//! macro with `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Deliberately omitted relative to upstream: shrinking (failures report the
+//! generating seed and case index instead), `prop_filter`, recursive
+//! strategies, and persistence files.
+
+use std::collections::{BTreeMap, HashSet};
+
+/// Deterministic generator driving all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+}
+
+/// FNV-1a — stable test-name → seed mapping for [`proptest!`].
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A failed `prop_assert!` inside a property body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    pub message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Generation interface: every strategy can produce a value from a
+/// [`TestRng`]. (Upstream separates `Strategy` from `ValueTree`; without
+/// shrinking the two collapse.)
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u128;
+                assert!(span > 0, "empty range strategy");
+                let off = (rng.next_u64() as u128 * span) >> 64;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128 * span) >> 64;
+                (*self.start() as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// `&'static str` char-class patterns: `"[a-zA-Z ]{1,20}"` (repetition
+/// defaults to exactly 1). The only regex syntax supported is a single
+/// bracketed class with ranges/literals, optionally followed by `{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_pattern(self);
+        let len = lo + rng.below(hi - lo + 1);
+        (0..len).map(|_| chars[rng.below(chars.len())]).collect()
+    }
+}
+
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let rest = pattern
+        .strip_prefix('[')
+        .unwrap_or_else(|| panic!("unsupported string strategy pattern {pattern:?}"));
+    let close = rest
+        .find(']')
+        .unwrap_or_else(|| panic!("unterminated char class in {pattern:?}"));
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i] as u32, class[i + 2] as u32);
+            assert!(a <= b, "descending char range in {pattern:?}");
+            chars.extend((a..=b).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    assert!(!chars.is_empty(), "empty char class in {pattern:?}");
+    let tail = &rest[close + 1..];
+    if tail.is_empty() {
+        return (chars, 1, 1);
+    }
+    let inner = tail
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition in {pattern:?}"));
+    let (lo, hi) = match inner.split_once(',') {
+        Some((l, h)) => (l.trim().parse().unwrap(), h.trim().parse().unwrap()),
+        None => {
+            let n = inner.trim().parse().unwrap();
+            (n, n)
+        }
+    };
+    assert!(lo <= hi, "descending repetition in {pattern:?}");
+    (chars, lo, hi)
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub use arbitrary::any;
+
+/// Collection strategies (`proptest::collection::*`).
+pub mod collection {
+    use super::*;
+
+    /// Element-count specification: a fixed `usize` or a `usize` range.
+    pub trait IntoSizeRange {
+        /// Inclusive bounds `(lo, hi)`.
+        fn size_bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn size_bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn size_bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn size_bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    fn pick_len(rng: &mut TestRng, size: &impl IntoSizeRange) -> usize {
+        let (lo, hi) = size.size_bounds();
+        lo + rng.below(hi - lo + 1)
+    }
+
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: IntoSizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = pick_len(rng, &self.size);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy, Z: IntoSizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    pub struct HashSetStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: IntoSizeRange> Strategy for HashSetStrategy<S, Z>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = pick_len(rng, &self.size);
+            let mut out = HashSet::new();
+            // A finite element domain may not contain `target` distinct
+            // values; cap the attempts like upstream does.
+            for _ in 0..(target * 16 + 32) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    pub fn hash_set<S: Strategy, Z: IntoSizeRange>(element: S, size: Z) -> HashSetStrategy<S, Z> {
+        HashSetStrategy { element, size }
+    }
+
+    pub struct BTreeMapStrategy<K, V, Z> {
+        key: K,
+        value: V,
+        size: Z,
+    }
+
+    impl<K: Strategy, V: Strategy, Z: IntoSizeRange> Strategy for BTreeMapStrategy<K, V, Z>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = pick_len(rng, &self.size);
+            let mut out = BTreeMap::new();
+            for _ in 0..(target * 16 + 32) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+
+    pub fn btree_map<K: Strategy, V: Strategy, Z: IntoSizeRange>(
+        key: K,
+        value: V,
+        size: Z,
+    ) -> BTreeMapStrategy<K, V, Z> {
+        BTreeMapStrategy { key, value, size }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} (left: `{:?}`, right: `{:?}`)", format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// The test-defining macro. Each property becomes a `#[test]` that runs
+/// `config.cases` deterministic cases seeded from the test's name.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::new(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed (seed {seed:#x}): {}",
+                        case + 1, config.cases, e.message
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn pattern_single_char() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..50 {
+            let s = "[A-E]".generate(&mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(('A'..='E').contains(&s.chars().next().unwrap()));
+        }
+    }
+
+    #[test]
+    fn pattern_with_repetition() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..50 {
+            let s = "[a-zA-Z ]{1,20}".generate(&mut rng);
+            assert!((1..=20).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn ranges_and_collections() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let v = collection::vec(0u8..5, 1..40).generate(&mut rng);
+            assert!((1..40).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+            let m = collection::btree_map("[a-h]", 1u64..20, 0..6).generate(&mut rng);
+            assert!(m.len() < 6);
+            let s = collection::hash_set(0u64..40, 1..25).generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 25);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_wires_args(x in 0u32..10, pair in (0i64..5, any::<bool>())) {
+            prop_assert!(x < 10);
+            prop_assert!(pair.0 < 5, "got {}", pair.0);
+            prop_assert_eq!(pair.0, pair.0);
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (0u32..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+        }
+    }
+}

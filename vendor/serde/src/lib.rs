@@ -1,0 +1,12 @@
+//! Vendored serde facade: the `Serialize` / `Deserialize` names exist both
+//! as marker traits and as (no-op) derive macros, mirroring how the real
+//! crate exports them, so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compiles unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

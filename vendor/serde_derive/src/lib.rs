@@ -1,0 +1,18 @@
+//! Vendored no-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace tags data structures with serde derives so that a real
+//! serde can be dropped in when the environment has registry access, but
+//! nothing currently serializes through serde — so the derives expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
