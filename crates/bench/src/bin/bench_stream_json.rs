@@ -1,0 +1,212 @@
+//! Perf + memory tracker for the streaming ingestion subsystem: writes a
+//! ≥500k-element synthetic graph to a temp `.pgt` file, then discovers its
+//! schema twice —
+//!
+//! 1. **baseline**: `read_to_string` + `load_text` + `discover` (resident
+//!    memory O(dataset), the CLI's non-streaming path), and
+//! 2. **stream**: `PgtSource` → `ChunkedTextReader` → `discover_stream`
+//!    (resident memory O(chunk)) —
+//!
+//! verifies both runs discover the same labeled-type inventory, checks the
+//! peak chunk-resident element count stays ≤ 2× the chunk size, and writes
+//! `BENCH_stream.json` (elements/sec for both paths, peak residency) so
+//! the streaming trajectory is tracked PR over PR.
+//!
+//! Usage: `cargo run --release -p pg-hive-bench --bin bench_stream_json`
+//! (honors `PGHIVE_SCALE` — element count is `500_000 × scale` — plus
+//! `PGHIVE_SEED` and `PGHIVE_CHUNK`, default 50000).
+
+use pg_hive_core::schema::SchemaGraph;
+use pg_hive_core::{Discoverer, PipelineConfig};
+use pg_hive_datasets::{DatasetSpec, EdgeDef, NodeDef, PropDef, ValueGen};
+use pg_hive_graph::loader::{load_text, save_text};
+use pg_hive_graph::stream::pgt::PgtSource;
+use pg_hive_graph::ChunkedTextReader;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::BufReader;
+use std::time::Instant;
+
+/// A 12-node-type / 8-edge-type social-network-shaped spec: enough label
+/// and pattern variety to exercise clustering and merging, all types
+/// labeled so the inventory comparison is exact.
+fn spec() -> DatasetSpec {
+    let node = |name: &str, keys: &[(&str, f64)], weight: f64| NodeDef {
+        name: name.to_string(),
+        labels: vec![name.to_string()],
+        props: keys
+            .iter()
+            .map(|(k, presence)| {
+                PropDef::opt(
+                    &format!("{}_{k}", name.to_lowercase()),
+                    ValueGen::Text,
+                    *presence,
+                )
+            })
+            .collect(),
+        weight,
+    };
+    let nodes: Vec<NodeDef> = (0..12)
+        .map(|i| {
+            node(
+                &format!("Type{i}"),
+                &[("id", 1.0), ("name", 1.0), ("opt_a", 0.7), ("opt_b", 0.4)],
+                1.0 + (i % 3) as f64,
+            )
+        })
+        .collect();
+    let edge = |name: &str, src: usize, tgt: usize, weight: f64| EdgeDef {
+        name: name.to_string(),
+        label: name.to_string(),
+        props: vec![PropDef::opt("since", ValueGen::Int(1990, 2025), 0.5)],
+        src,
+        tgt,
+        weight,
+    };
+    let edges: Vec<EdgeDef> = (0..8)
+        .map(|i| edge(&format!("REL{i}"), i % 12, (i * 5 + 3) % 12, 1.0))
+        .collect();
+    DatasetSpec {
+        name: "stream-bench".to_string(),
+        nodes,
+        edges,
+    }
+}
+
+fn labeled_inventory(s: &SchemaGraph) -> (BTreeSet<Vec<String>>, BTreeSet<Vec<String>>) {
+    let nodes = s
+        .node_types
+        .iter()
+        .map(|t| t.labels.iter().cloned().collect())
+        .collect();
+    let edges = s
+        .edge_types
+        .iter()
+        .map(|t| t.labels.iter().cloned().collect())
+        .collect();
+    (nodes, edges)
+}
+
+fn main() {
+    let scale = pg_hive_bench::scale(1.0);
+    let seed = pg_hive_bench::seed();
+    let chunk_size: usize = std::env::var("PGHIVE_CHUNK")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let elements = ((500_000.0 * scale) as usize).max(5_000);
+    let n_nodes = elements * 13 / 20; // 65% nodes, 35% edges
+    let n_edges = elements - n_nodes;
+    pg_hive_bench::banner(
+        "BENCH_stream — chunked streaming ingestion vs load-everything baseline",
+        scale,
+        seed,
+    );
+
+    let d = spec().generate(n_nodes, n_edges, seed);
+    let path =
+        std::env::temp_dir().join(format!("pg-hive-bench-stream-{}.pgt", std::process::id()));
+    std::fs::write(&path, save_text(&d.graph)).expect("write temp dataset");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "   dataset: {n_nodes} nodes + {n_edges} edges = {elements} elements \
+         ({:.1} MiB on disk), chunk size {chunk_size}",
+        bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    let discoverer = Discoverer::new(PipelineConfig {
+        seed,
+        ..PipelineConfig::default()
+    });
+
+    // Baseline: everything resident.
+    let t0 = Instant::now();
+    let text = std::fs::read_to_string(&path).expect("read temp dataset");
+    let baseline_graph = load_text(&text).expect("parse temp dataset");
+    drop(text);
+    let baseline_result = discoverer.discover(&baseline_graph);
+    let baseline_secs = t0.elapsed().as_secs_f64();
+    let baseline_eps = elements as f64 / baseline_secs;
+    drop(baseline_graph);
+
+    // Streaming: O(chunk) resident.
+    let t1 = Instant::now();
+    let file = BufReader::new(File::open(&path).expect("open temp dataset"));
+    let mut reader = ChunkedTextReader::new(PgtSource::new(file), chunk_size);
+    let stream_result = discoverer.discover_stream(std::iter::from_fn(|| {
+        reader.next_chunk().expect("stream temp dataset")
+    }));
+    let stream_secs = t1.elapsed().as_secs_f64();
+    let stream_eps = elements as f64 / stream_secs;
+    let max_resident = reader.max_resident_elements();
+    let warnings = reader.warnings();
+    let _ = std::fs::remove_file(&path);
+
+    let schema_match =
+        labeled_inventory(&baseline_result.schema) == labeled_inventory(&stream_result.schema);
+    let resident_ok = max_resident <= 2 * chunk_size;
+
+    println!(
+        "   baseline: {baseline_secs:.3}s ({baseline_eps:.0} elem/s), resident {elements} elements"
+    );
+    println!(
+        "   stream:   {stream_secs:.3}s ({stream_eps:.0} elem/s), peak resident {max_resident} \
+         elements over {} chunks ({} cross-chunk edges)",
+        stream_result.chunk_times.len(),
+        warnings.cross_chunk_edges
+    );
+    println!(
+        "   labeled-type inventory match: {schema_match}; \
+         peak resident <= 2x chunk: {resident_ok}"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"stream\",");
+    let _ = writeln!(json, "  \"elements\": {elements},");
+    let _ = writeln!(json, "  \"nodes\": {n_nodes},");
+    let _ = writeln!(json, "  \"edges\": {n_edges},");
+    let _ = writeln!(json, "  \"chunk_size\": {chunk_size},");
+    let _ = writeln!(json, "  \"chunks\": {},", stream_result.chunk_times.len());
+    let _ = writeln!(json, "  \"baseline_secs\": {baseline_secs:.6},");
+    let _ = writeln!(json, "  \"baseline_elements_per_sec\": {baseline_eps:.1},");
+    let _ = writeln!(json, "  \"stream_secs\": {stream_secs:.6},");
+    let _ = writeln!(json, "  \"stream_elements_per_sec\": {stream_eps:.1},");
+    let _ = writeln!(json, "  \"baseline_resident_elements\": {elements},");
+    let _ = writeln!(json, "  \"max_chunk_resident_elements\": {max_resident},");
+    let _ = writeln!(
+        json,
+        "  \"resident_ratio\": {:.6},",
+        max_resident as f64 / elements as f64
+    );
+    let _ = writeln!(
+        json,
+        "  \"cross_chunk_edges\": {},",
+        warnings.cross_chunk_edges
+    );
+    let _ = writeln!(
+        json,
+        "  \"unresolved_edges\": {},",
+        warnings.unresolved_edges
+    );
+    let _ = writeln!(
+        json,
+        "  \"node_types\": {},",
+        stream_result.schema.node_types.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"edge_types\": {},",
+        stream_result.schema.edge_types.len()
+    );
+    let _ = writeln!(json, "  \"schema_match\": {schema_match},");
+    let _ = writeln!(json, "  \"resident_within_2x_chunk\": {resident_ok}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");
+    println!("   wrote BENCH_stream.json");
+
+    if !schema_match || !resident_ok {
+        eprintln!("FAIL: streaming acceptance criteria not met");
+        std::process::exit(1);
+    }
+}

@@ -1,28 +1,42 @@
-//! Export the generated datasets as `.pgt` text files (the format the
-//! `pg-hive` CLI and the loader consume), so the evaluation datasets can be
-//! inspected or fed through external tooling.
+//! Export the generated datasets as files the `pg-hive` CLI and the
+//! streaming loaders consume, so the evaluation datasets can be inspected
+//! or fed through external tooling.
 //!
-//! Usage: `cargo run --release -p pg-hive-bench --bin export_datasets [dir]`
+//! Usage: `cargo run --release -p pg-hive-bench --bin export_datasets
+//!         [dir] [pgt|csv|jsonl|all]` (default: `datasets_out` / `pgt`)
 
 use pg_hive_bench::{banner, scale, seed, selected_datasets};
-use pg_hive_graph::loader::save_text;
+use pg_hive_datasets::{export_graph, ExportFormat};
+use std::path::Path;
 
 fn main() {
     let scale = scale(0.1);
     let seed = seed();
-    banner("Export datasets as .pgt files", scale, seed);
+    banner("Export datasets", scale, seed);
     let dir = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "datasets_out".to_string());
-    std::fs::create_dir_all(&dir).expect("create output dir");
+    let formats: Vec<ExportFormat> = match std::env::args().nth(2).as_deref() {
+        None => vec![ExportFormat::Pgt],
+        Some("all") => ExportFormat::ALL.to_vec(),
+        Some(name) => vec![ExportFormat::parse(name).unwrap_or_else(|| {
+            eprintln!("unknown format '{name}', expected pgt|csv|jsonl|all");
+            std::process::exit(2);
+        })],
+    };
     for id in selected_datasets() {
         let d = id.generate(scale, seed);
-        let path = format!("{dir}/{}.pgt", id.name().replace('.', "_").to_lowercase());
-        std::fs::write(&path, save_text(&d.graph)).expect("write dataset");
-        println!(
-            "  {path}: {} nodes, {} edges",
-            d.graph.node_count(),
-            d.graph.edge_count()
-        );
+        let stem = id.name().replace('.', "_").to_lowercase();
+        for &format in &formats {
+            let path =
+                export_graph(&d.graph, Path::new(&dir), &stem, format).expect("write dataset");
+            println!(
+                "  {} [{}]: {} nodes, {} edges",
+                path.display(),
+                format.name(),
+                d.graph.node_count(),
+                d.graph.edge_count()
+            );
+        }
     }
 }

@@ -6,17 +6,35 @@ pub const USAGE: &str = "\
 pg-hive — hybrid incremental schema discovery for property graphs
 
 USAGE:
-  pg-hive discover <graph.pgt> [OPTIONS]   infer the schema of a graph
+  pg-hive discover <input> [OPTIONS]       infer the schema of a graph
   pg-hive validate <data.pgt> <reference.pgt> [--loose]
                                            check data against the schema
                                            discovered from a reference graph
-  pg-hive stats    <graph.pgt>             structural statistics (Table 2)
+  pg-hive stats    <input> [OPTIONS]       structural statistics (Table 2)
   pg-hive help                             this message
+
+INPUT FORMATS (discover, stats):
+  --input-format pgt|csv|jsonl  (default: pgt)
+     pgt    line-oriented text graph (<input> is a .pgt file)
+     csv    <input> is a directory holding nodes.csv (+ optional edges.csv):
+            headers `id,labels,<key>,...` / `src,tgt,labels,<key>,...`,
+            `;`-separated labels, empty cell = absent property
+     jsonl  one JSON object per line: {\"type\":\"node\",\"id\":...,
+            \"labels\":[...],\"props\":{...}} / {\"type\":\"edge\",\"src\":...}
+
+STREAMING (discover, stats):
+  --stream                 process the input in independent chunks with
+                           O(chunk) resident memory (discovery merges
+                           per-chunk schemas, §4.6); cross-chunk edges are
+                           resolved through a compact id→labels registry
+                           and reported as warnings
+  --chunk-size <N>         elements per chunk (default: 100000)
 
 DISCOVER OPTIONS:
   --method elsh|minhash    LSH family (default: elsh)
   --theta <0..1>           Jaccard merge threshold (default: 0.9)
-  --batches <N>            incremental batches (default: 1 = static)
+  --batches <N>            incremental batches (default: 1 = static;
+                           incompatible with --stream)
   --format strict|loose|xsd|summary   output (default: summary)
   --sample                 sample-based datatype inference
   --seed <N>               RNG seed (default: 42)";
@@ -30,6 +48,31 @@ pub enum OutputFormat {
     Summary,
 }
 
+/// Wire format of the graph input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InputFormat {
+    #[default]
+    Pgt,
+    Csv,
+    Jsonl,
+}
+
+impl InputFormat {
+    fn parse(s: Option<&str>) -> Result<Self, String> {
+        match s {
+            Some("pgt") => Ok(InputFormat::Pgt),
+            Some("csv") => Ok(InputFormat::Csv),
+            Some("jsonl") => Ok(InputFormat::Jsonl),
+            other => Err(format!(
+                "--input-format expects pgt|csv|jsonl, got {other:?}"
+            )),
+        }
+    }
+}
+
+/// Default `--chunk-size`.
+pub const DEFAULT_CHUNK_SIZE: usize = 100_000;
+
 /// Parsed sub-command.
 #[derive(Debug, Clone)]
 pub enum Command {
@@ -41,6 +84,9 @@ pub enum Command {
         format: OutputFormat,
         sample: bool,
         seed: u64,
+        input_format: InputFormat,
+        stream: bool,
+        chunk_size: usize,
     },
     Validate {
         data_path: String,
@@ -49,6 +95,8 @@ pub enum Command {
     },
     Stats {
         path: String,
+        input_format: InputFormat,
+        stream: bool,
     },
     Help,
 }
@@ -74,8 +122,30 @@ impl Args {
             }),
             "stats" => {
                 let path = it.next().ok_or("stats needs a graph file")?;
+                let mut input_format = InputFormat::Pgt;
+                let mut stream = false;
+                let mut chunk_size = DEFAULT_CHUNK_SIZE;
+                while let Some(flag) = it.next() {
+                    match flag.as_str() {
+                        "--input-format" => {
+                            input_format = InputFormat::parse(it.next().as_deref())?;
+                        }
+                        "--stream" => stream = true,
+                        "--chunk-size" => {
+                            chunk_size = parse_chunk_size(it.next())?;
+                        }
+                        other => return Err(format!("unknown flag '{other}'")),
+                    }
+                }
+                // Streaming stats folds records directly; chunk size is
+                // accepted for symmetry but has no effect.
+                let _ = chunk_size;
                 Ok(Args {
-                    command: Command::Stats { path },
+                    command: Command::Stats {
+                        path,
+                        input_format,
+                        stream,
+                    },
                 })
             }
             "validate" => {
@@ -104,6 +174,9 @@ impl Args {
                 let mut format = OutputFormat::Summary;
                 let mut sample = false;
                 let mut seed = 42u64;
+                let mut input_format = InputFormat::Pgt;
+                let mut stream = false;
+                let mut chunk_size = DEFAULT_CHUNK_SIZE;
                 while let Some(flag) = it.next() {
                     match flag.as_str() {
                         "--method" => {
@@ -158,8 +231,20 @@ impl Args {
                                 .parse()
                                 .map_err(|e| format!("--seed: {e}"))?;
                         }
+                        "--input-format" => {
+                            input_format = InputFormat::parse(it.next().as_deref())?;
+                        }
+                        "--stream" => stream = true,
+                        "--chunk-size" => {
+                            chunk_size = parse_chunk_size(it.next())?;
+                        }
                         other => return Err(format!("unknown flag '{other}'")),
                     }
+                }
+                if stream && batches > 1 {
+                    return Err("--stream and --batches are incompatible: streaming chunks \
+                         are the batches"
+                        .into());
                 }
                 Ok(Args {
                     command: Command::Discover {
@@ -170,12 +255,26 @@ impl Args {
                         format,
                         sample,
                         seed,
+                        input_format,
+                        stream,
+                        chunk_size,
                     },
                 })
             }
             other => Err(format!("unknown command '{other}'")),
         }
     }
+}
+
+fn parse_chunk_size(arg: Option<String>) -> Result<usize, String> {
+    let n: usize = arg
+        .ok_or("--chunk-size needs a value")?
+        .parse()
+        .map_err(|e| format!("--chunk-size: {e}"))?;
+    if n == 0 {
+        return Err("--chunk-size must be >= 1".into());
+    }
+    Ok(n)
 }
 
 #[cfg(test)]
@@ -202,6 +301,9 @@ mod tests {
             format,
             sample,
             seed,
+            input_format,
+            stream,
+            chunk_size,
         } = a.command
         else {
             panic!()
@@ -213,6 +315,9 @@ mod tests {
         assert_eq!(format, OutputFormat::Summary);
         assert!(!sample);
         assert_eq!(seed, 42);
+        assert_eq!(input_format, InputFormat::Pgt);
+        assert!(!stream);
+        assert_eq!(chunk_size, DEFAULT_CHUNK_SIZE);
     }
 
     #[test]
@@ -254,6 +359,51 @@ mod tests {
     }
 
     #[test]
+    fn discover_streaming_flags() {
+        let a = parse(&[
+            "discover",
+            "dump",
+            "--stream",
+            "--chunk-size",
+            "5000",
+            "--input-format",
+            "csv",
+        ])
+        .unwrap();
+        let Command::Discover {
+            stream,
+            chunk_size,
+            input_format,
+            ..
+        } = a.command
+        else {
+            panic!()
+        };
+        assert!(stream);
+        assert_eq!(chunk_size, 5000);
+        assert_eq!(input_format, InputFormat::Csv);
+    }
+
+    #[test]
+    fn stream_excludes_batches() {
+        assert!(parse(&["discover", "g", "--stream", "--batches", "4"]).is_err());
+        assert!(parse(&["discover", "g", "--stream", "--batches", "1"]).is_ok());
+    }
+
+    #[test]
+    fn chunk_size_validated() {
+        assert!(parse(&["discover", "g", "--chunk-size", "0"]).is_err());
+        assert!(parse(&["discover", "g", "--chunk-size", "nope"]).is_err());
+        assert!(parse(&["stats", "g", "--chunk-size", "0"]).is_err());
+    }
+
+    #[test]
+    fn input_format_validated() {
+        assert!(parse(&["discover", "g", "--input-format", "xml"]).is_err());
+        assert!(parse(&["stats", "g", "--input-format", "jsonl"]).is_ok());
+    }
+
+    #[test]
     fn invalid_theta_rejected() {
         assert!(parse(&["discover", "g", "--theta", "1.5"]).is_err());
         assert!(parse(&["discover", "g", "--theta", "nope"]).is_err());
@@ -288,7 +438,9 @@ mod tests {
 
     #[test]
     fn stats_parses() {
-        let a = parse(&["stats", "g.pgt"]).unwrap();
-        assert!(matches!(a.command, Command::Stats { .. }));
+        let a = parse(&["stats", "g.pgt", "--stream"]).unwrap();
+        let Command::Stats { stream: true, .. } = a.command else {
+            panic!()
+        };
     }
 }

@@ -1,24 +1,38 @@
 //! `pg-hive` — command-line schema discovery for property graphs.
 //!
 //! ```text
-//! pg-hive discover <graph.pgt> [--method elsh|minhash] [--theta T]
+//! pg-hive discover <input> [--method elsh|minhash] [--theta T]
 //!                  [--batches N] [--format strict|loose|xsd|summary]
 //!                  [--sample] [--seed S]
+//!                  [--input-format pgt|csv|jsonl] [--stream]
+//!                  [--chunk-size N]
 //! pg-hive validate <graph.pgt> <schema-graph.pgt> [--loose]
-//! pg-hive stats    <graph.pgt>
+//! pg-hive stats    <input> [--input-format pgt|csv|jsonl] [--stream]
 //! ```
 //!
-//! Graphs are read in the line-oriented text format of
-//! [`pg_hive_graph::loader`] (see `examples/quickstart.rs` for a sample).
+//! Inputs are read in one of three formats (see [`pg_hive_graph::stream`]):
+//! the line-oriented `.pgt` text format of [`pg_hive_graph::loader`], CSV
+//! (`<input>` is a directory with `nodes.csv` + optional `edges.csv`), or
+//! JSON-Lines (one node/edge object per line).
+//!
+//! With `--stream`, `discover` feeds independent ~`--chunk-size`-element
+//! chunks through `Discoverer::discover_stream`, so resident memory is
+//! O(chunk) instead of O(dataset) (§4.6): per-chunk progress goes to
+//! stderr, and the report includes the peak-resident element count plus
+//! counted ingestion warnings (cross-chunk edges, dangling refs).
 
+use pg_hive_core::schema::SchemaGraph;
 use pg_hive_core::serialize::{pg_schema_loose, pg_schema_strict, to_xsd};
 use pg_hive_core::{validate, Discoverer, PipelineConfig, SamplingConfig, ValidationMode};
 use pg_hive_graph::loader::load_text;
-use pg_hive_graph::GraphStats;
+use pg_hive_graph::stream::{csv::CsvSource, jsonl::JsonlSource, pgt::PgtSource};
+use pg_hive_graph::{ChunkedTextReader, GraphSource, GraphStats, PropertyGraph, StreamWarnings};
+use std::io::{BufReader, Write};
+use std::path::Path;
 use std::process::ExitCode;
 
 mod args;
-use args::{Args, Command, OutputFormat};
+use args::{Args, Command, InputFormat, OutputFormat};
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -39,6 +53,80 @@ fn main() -> ExitCode {
     }
 }
 
+/// Open a streaming record source for `path` in the given wire format.
+fn open_source(path: &str, format: InputFormat) -> Result<Box<dyn GraphSource>, String> {
+    match format {
+        InputFormat::Pgt => {
+            let f = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Ok(Box::new(PgtSource::new(BufReader::new(f))))
+        }
+        InputFormat::Csv => CsvSource::open_dir(Path::new(path))
+            .map(|s| Box::new(s) as Box<dyn GraphSource>)
+            .map_err(|e| format!("cannot open csv dataset {path}: {e}")),
+        InputFormat::Jsonl => {
+            let f = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Ok(Box::new(JsonlSource::new(BufReader::new(f))))
+        }
+    }
+}
+
+/// Load a whole graph into memory (the non-streaming path).
+fn load_graph(path: &str, format: InputFormat) -> Result<PropertyGraph, String> {
+    match format {
+        InputFormat::Pgt => {
+            // Keep the strict loader here: it reports duplicate-id and
+            // unknown-node errors with line numbers.
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            load_text(&text).map_err(|e| format!("parse {path}: {e}"))
+        }
+        _ => {
+            let source = open_source(path, format)?;
+            let (g, warnings) = pg_hive_graph::stream::read_all(source)
+                .map_err(|e| format!("parse {path}: {e}"))?;
+            report_warnings(&warnings);
+            Ok(g)
+        }
+    }
+}
+
+fn report_warnings(w: &StreamWarnings) {
+    if w.is_empty() {
+        return;
+    }
+    eprintln!(
+        "warning: {} cross-chunk edge(s) resolved through stubs, {} edge(s) dropped \
+         (endpoint never declared; {} evicted from the pending buffer), {} edge(s) \
+         arrived before an endpoint, {} duplicate node id(s)",
+        w.cross_chunk_edges,
+        w.unresolved_edges,
+        w.evicted_edges,
+        w.deferred_edges,
+        w.duplicate_nodes
+    );
+}
+
+fn print_type_lines(schema: &SchemaGraph) {
+    for t in &schema.node_types {
+        let labels: Vec<&str> = t.labels.iter().map(String::as_str).collect();
+        println!(
+            "  node {{{}}} x{} ({} props)",
+            labels.join(","),
+            t.instance_count,
+            t.props.len()
+        );
+    }
+    for t in &schema.edge_types {
+        let labels: Vec<&str> = t.labels.iter().map(String::as_str).collect();
+        println!(
+            "  edge {{{}}} x{} ({} endpoint pairs)",
+            labels.join(","),
+            t.instance_count,
+            t.endpoints.len()
+        );
+    }
+}
+
 fn run(args: Args) -> Result<ExitCode, String> {
     match args.command {
         Command::Discover {
@@ -49,10 +137,10 @@ fn run(args: Args) -> Result<ExitCode, String> {
             format,
             sample,
             seed,
+            input_format,
+            stream,
+            chunk_size,
         } => {
-            let text =
-                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let graph = load_text(&text).map_err(|e| format!("parse {path}: {e}"))?;
             let config = PipelineConfig {
                 method,
                 theta,
@@ -61,6 +149,12 @@ fn run(args: Args) -> Result<ExitCode, String> {
                 ..PipelineConfig::default()
             };
             let discoverer = Discoverer::new(config);
+
+            if stream {
+                return discover_stream(&path, input_format, chunk_size, &discoverer, format);
+            }
+
+            let graph = load_graph(&path, input_format)?;
             let result = if batches > 1 {
                 discoverer.discover_incremental(&graph, batches)
             } else {
@@ -88,24 +182,7 @@ fn run(args: Args) -> Result<ExitCode, String> {
                             .count(),
                         result.stats.timings.discovery().as_secs_f64()
                     );
-                    for t in &result.schema.node_types {
-                        let labels: Vec<&str> = t.labels.iter().map(String::as_str).collect();
-                        println!(
-                            "  node {{{}}} x{} ({} props)",
-                            labels.join(","),
-                            t.instance_count,
-                            t.props.len()
-                        );
-                    }
-                    for t in &result.schema.edge_types {
-                        let labels: Vec<&str> = t.labels.iter().map(String::as_str).collect();
-                        println!(
-                            "  edge {{{}}} x{} ({} endpoint pairs)",
-                            labels.join(","),
-                            t.instance_count,
-                            t.endpoints.len()
-                        );
-                    }
+                    print_type_lines(&result.schema);
                 }
             }
             Ok(ExitCode::SUCCESS)
@@ -150,11 +227,26 @@ fn run(args: Args) -> Result<ExitCode, String> {
                 Ok(ExitCode::FAILURE)
             }
         }
-        Command::Stats { path } => {
-            let text =
-                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let graph = load_text(&text).map_err(|e| format!("parse {path}: {e}"))?;
-            let s = GraphStats::compute(&graph);
+        Command::Stats {
+            path,
+            input_format,
+            stream,
+        } => {
+            let s = if stream {
+                // Fold records directly — no resident graph at all.
+                let source = open_source(&path, input_format)?;
+                let (s, dangling) = pg_hive_graph::stats::stream_stats(source)
+                    .map_err(|e| format!("parse {path}: {e}"))?;
+                if dangling > 0 {
+                    eprintln!(
+                        "warning: {dangling} edge(s) reference node ids never declared; \
+                         their patterns count unlabeled endpoints"
+                    );
+                }
+                s
+            } else {
+                GraphStats::compute(&load_graph(&path, input_format)?)
+            };
             println!("nodes:          {}", s.nodes);
             println!("edges:          {}", s.edges);
             println!("node labels:    {}", s.node_labels);
@@ -169,4 +261,67 @@ fn run(args: Args) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
     }
+}
+
+/// The `discover --stream` path: chunked ingestion into
+/// `Discoverer::discover_stream`, with per-chunk progress on stderr.
+fn discover_stream(
+    path: &str,
+    input_format: InputFormat,
+    chunk_size: usize,
+    discoverer: &Discoverer,
+    format: OutputFormat,
+) -> Result<ExitCode, String> {
+    let source = open_source(path, input_format)?;
+    let mut reader = ChunkedTextReader::new(source, chunk_size);
+    let mut stream_err: Option<String> = None;
+    let mut chunk_no = 0usize;
+    let result = discoverer.discover_stream(std::iter::from_fn(|| match reader.next_chunk() {
+        Ok(Some(g)) => {
+            chunk_no += 1;
+            eprintln!(
+                "chunk {chunk_no}: {} nodes, {} edges",
+                g.node_count(),
+                g.edge_count()
+            );
+            let _ = std::io::stderr().flush();
+            Some(g)
+        }
+        Ok(None) => None,
+        Err(e) => {
+            stream_err = Some(e.to_string());
+            None
+        }
+    }));
+    if let Some(e) = stream_err {
+        return Err(format!("parse {path}: {e}"));
+    }
+    let warnings = reader.warnings();
+    report_warnings(&warnings);
+
+    match format {
+        OutputFormat::Strict => print!("{}", pg_schema_strict(&result.schema, "Discovered")),
+        OutputFormat::Loose => print!("{}", pg_schema_loose(&result.schema, "Discovered")),
+        OutputFormat::Xsd => print!("{}", to_xsd(&result.schema)),
+        OutputFormat::Summary => {
+            let total: f64 = result.chunk_times.iter().map(|t| t.as_secs_f64()).sum();
+            println!(
+                "{} elements in {} chunk(s) (peak resident {} elements) -> \
+                 {} node types, {} edge types ({} abstract), {total:.3}s",
+                result.elements,
+                result.chunk_times.len(),
+                reader.max_resident_elements(),
+                result.schema.node_types.len(),
+                result.schema.edge_types.len(),
+                result
+                    .schema
+                    .node_types
+                    .iter()
+                    .filter(|t| t.is_abstract())
+                    .count(),
+            );
+            print_type_lines(&result.schema);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }

@@ -100,6 +100,136 @@ fn stats_counts() {
     assert!(stdout.contains("edges:          2"));
 }
 
+fn write_temp_dir(name: &str, files: &[(&str, &str)]) -> std::path::PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("pg-hive-e2e-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (file, content) in files {
+        std::fs::write(dir.join(file), content).unwrap();
+    }
+    dir
+}
+
+const NODES_CSV: &str = "\
+id,labels,name,age,url
+a,Person,Ann,30,
+b,Person,Bob,40,
+c,,Cid,50,
+o,Org,,,x.com
+";
+
+const EDGES_CSV: &str = "\
+src,tgt,labels,from
+a,o,WORKS_AT,2001
+b,o,WORKS_AT,2002
+";
+
+#[test]
+fn discover_csv_matches_pgt_inventory() {
+    let dir = write_temp_dir("csv", &[("nodes.csv", NODES_CSV), ("edges.csv", EDGES_CSV)]);
+    let (stdout, _, code) = run(&["discover", dir.to_str().unwrap(), "--input-format", "csv"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("node {Person} x3"), "{stdout}");
+    assert!(stdout.contains("node {Org} x1"), "{stdout}");
+    assert!(stdout.contains("edge {WORKS_AT} x2"), "{stdout}");
+}
+
+#[test]
+fn discover_stream_reports_chunks_and_same_inventory() {
+    let dir = write_temp_dir(
+        "csv-stream",
+        &[("nodes.csv", NODES_CSV), ("edges.csv", EDGES_CSV)],
+    );
+    let (stdout, stderr, code) = run(&[
+        "discover",
+        dir.to_str().unwrap(),
+        "--input-format",
+        "csv",
+        "--stream",
+        "--chunk-size",
+        "3",
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stderr.contains("chunk 1:"), "{stderr}");
+    assert!(stdout.contains("peak resident"), "{stdout}");
+    // Same labeled-type inventory as the non-streaming run.
+    assert!(stdout.contains("node {Person}"), "{stdout}");
+    assert!(stdout.contains("node {Org}"), "{stdout}");
+    assert!(stdout.contains("edge {WORKS_AT} x2"), "{stdout}");
+}
+
+#[test]
+fn discover_jsonl_input() {
+    let jsonl = "\
+{\"type\":\"node\",\"id\":\"a\",\"labels\":[\"Person\"],\"props\":{\"name\":\"Ann\",\"age\":30}}
+{\"type\":\"node\",\"id\":\"o\",\"labels\":[\"Org\"],\"props\":{\"url\":\"x.com\"}}
+{\"type\":\"edge\",\"src\":\"a\",\"tgt\":\"o\",\"labels\":[\"WORKS_AT\"],\"props\":{\"from\":2001}}
+";
+    let mut path = std::env::temp_dir();
+    path.push(format!("pg-hive-e2e-{}.jsonl", std::process::id()));
+    std::fs::write(&path, jsonl).unwrap();
+    let (stdout, _, code) = run(&[
+        "discover",
+        path.to_str().unwrap(),
+        "--input-format",
+        "jsonl",
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("node {Person} x1"), "{stdout}");
+    assert!(stdout.contains("edge {WORKS_AT} x1"), "{stdout}");
+}
+
+#[test]
+fn stats_stream_matches_resident() {
+    let dir = write_temp_dir(
+        "csv-stats",
+        &[("nodes.csv", NODES_CSV), ("edges.csv", EDGES_CSV)],
+    );
+    let (resident, _, code) = run(&["stats", dir.to_str().unwrap(), "--input-format", "csv"]);
+    assert_eq!(code, Some(0));
+    let (streamed, _, code) = run(&[
+        "stats",
+        dir.to_str().unwrap(),
+        "--input-format",
+        "csv",
+        "--stream",
+    ]);
+    assert_eq!(code, Some(0));
+    assert_eq!(resident, streamed, "streaming stats must agree");
+    assert!(streamed.contains("nodes:          4"), "{streamed}");
+}
+
+#[test]
+fn stream_pgt_with_forward_edge_references() {
+    // Regression companion to the loader fix: edges before nodes work in
+    // both the resident and the streaming path.
+    let reordered = "\
+E a o WORKS_AT from=2001
+N a Person name=Ann,age=30
+N o Org url=x.com
+";
+    let path = write_temp(reordered);
+    let (stdout, _, code) = run(&["discover", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("edge {WORKS_AT} x1"), "{stdout}");
+    let (stdout, _, code) = run(&[
+        "discover",
+        path.to_str().unwrap(),
+        "--stream",
+        "--chunk-size",
+        "2",
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("edge {WORKS_AT} x1"), "{stdout}");
+}
+
+#[test]
+fn stream_and_batches_conflict() {
+    let (_, stderr, code) = run(&["discover", "g.pgt", "--stream", "--batches", "3"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("incompatible"), "{stderr}");
+}
+
 #[test]
 fn bad_usage_exits_2() {
     let (_, stderr, code) = run(&["frobnicate"]);

@@ -110,6 +110,9 @@ pub fn merge_node_candidates(schema: &mut SchemaGraph, cands: Vec<NodeType>, the
     }
 
     // Lines 8–11: unlabeled clusters vs labeled types, best Jaccard ≥ θ.
+    // `jaccard_str` is total on its domain (∅ vs ∅ is defined as 1.0) and
+    // the comparator uses `f64::total_cmp`, so no similarity value — not
+    // even a NaN smuggled in by a future refactor — can panic the merge.
     let mut still_unlabeled = Vec::new();
     for cand in unlabeled {
         let cand_keys: std::collections::BTreeSet<String> = cand.props.keys().cloned().collect();
@@ -125,7 +128,7 @@ pub fn merge_node_candidates(schema: &mut SchemaGraph, cands: Vec<NodeType>, the
                 )
             })
             .filter(|(_, sim)| *sim >= theta)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            .max_by(|a, b| a.1.total_cmp(&b.1));
         match best {
             Some((idx, _)) => schema.node_types[idx].absorb(cand),
             None => still_unlabeled.push(cand),
@@ -148,7 +151,7 @@ pub fn merge_node_candidates(schema: &mut SchemaGraph, cands: Vec<NodeType>, the
                 )
             })
             .filter(|(_, sim)| *sim >= theta)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            .max_by(|a, b| a.1.total_cmp(&b.1));
         match target {
             Some((idx, _)) => schema.node_types[idx].absorb(cand),
             None => schema.node_types.push(cand),
@@ -186,7 +189,7 @@ pub fn merge_edge_candidates(schema: &mut SchemaGraph, cands: Vec<EdgeType>, the
                 )
             })
             .filter(|(_, sim)| *sim >= theta)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            .max_by(|a, b| a.1.total_cmp(&b.1));
         match best {
             Some((idx, _)) => schema.edge_types[idx].absorb(cand),
             None => still_unlabeled.push(cand),
@@ -207,7 +210,7 @@ pub fn merge_edge_candidates(schema: &mut SchemaGraph, cands: Vec<EdgeType>, the
                 )
             })
             .filter(|(_, sim)| *sim >= theta)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            .max_by(|a, b| a.1.total_cmp(&b.1));
         match target {
             Some((idx, _)) => schema.edge_types[idx].absorb(cand),
             None => schema.edge_types.push(cand),
@@ -303,6 +306,40 @@ mod tests {
         merge_node_candidates(&mut schema, cands, 0.9);
         assert_eq!(schema.node_types.len(), 2);
         assert!(schema.node_types.iter().any(|t| t.is_abstract()));
+    }
+
+    #[test]
+    fn property_less_unlabeled_clusters_merge_without_panic() {
+        // Regression: two unlabeled, property-less clusters used to drive
+        // the merge comparator through J(∅, ∅); with a 0/0 NaN that
+        // `partial_cmp(..).unwrap()` panicked the whole pipeline. J(∅, ∅)
+        // is now defined as 1.0 and the comparator is total.
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(&[], &[]);
+        let n1 = b.add_node(&[], &[]);
+        let g = b.finish();
+        let c = cluster_of(vec![0, 1]);
+        let cands = candidate_node_types(&g, &[n0, n1], &c);
+        let mut schema = SchemaGraph::new();
+        merge_node_candidates(&mut schema, cands, 0.9);
+        assert_eq!(schema.node_types.len(), 1, "identical empty keysets merge");
+        assert_eq!(schema.node_types[0].instance_count, 2);
+        assert!(schema.node_types[0].is_abstract());
+
+        // Same path for property-less unlabeled edge clusters.
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(&["A"], &[]);
+        let y = b.add_node(&["B"], &[]);
+        b.add_edge(x, y, &[], &[]);
+        b.add_edge(y, x, &[], &[]);
+        let g = b.finish();
+        let ids: Vec<EdgeId> = g.edges().map(|(i, _)| i).collect();
+        let c = cluster_of(vec![0, 1]);
+        let cands = candidate_edge_types(&g, &ids, &c);
+        let mut schema = SchemaGraph::new();
+        merge_edge_candidates(&mut schema, cands, 0.9);
+        assert_eq!(schema.edge_types.len(), 1);
+        assert_eq!(schema.edge_types[0].instance_count, 2);
     }
 
     #[test]

@@ -172,6 +172,20 @@ impl Discoverer {
             stats.node_signatures += node_out.hashed_points;
             stats.edge_elements += edges.repr.len();
             stats.edge_signatures += edge_out.hashed_points;
+            // Advance the global cluster-id offsets with *checked*
+            // arithmetic before touching the assignment arrays: on huge
+            // many-batch runs an unchecked `as u32` accumulation would wrap
+            // silently and corrupt every later cluster id.
+            let next_node_offset = advance_cluster_offset(
+                node_cluster_offset,
+                node_out.clustering.num_clusters,
+                "node",
+            );
+            let next_edge_offset = advance_cluster_offset(
+                edge_cluster_offset,
+                edge_out.clustering.num_clusters,
+                "edge",
+            );
             for (pos, &id) in batch.nodes.iter().enumerate() {
                 node_cluster_assignment[id.index()] =
                     node_cluster_offset + node_out.clustering.assignment[pos];
@@ -180,8 +194,8 @@ impl Discoverer {
                 edge_cluster_assignment[id.index()] =
                     edge_cluster_offset + edge_out.clustering.assignment[pos];
             }
-            node_cluster_offset += node_out.clustering.num_clusters as u32;
-            edge_cluster_offset += edge_out.clustering.num_clusters as u32;
+            node_cluster_offset = next_node_offset;
+            edge_cluster_offset = next_edge_offset;
             if i == 0 {
                 stats.adaptive_nodes = node_out.adaptive.clone();
                 stats.adaptive_edges = edge_out.adaptive.clone();
@@ -289,6 +303,29 @@ impl Discoverer {
             }
         }
     }
+}
+
+/// Add a batch's cluster count onto the running global cluster-id offset.
+/// Per-element ids are `offset + local_id` with `local_id < num_clusters`,
+/// so checking `offset + num_clusters` up front guarantees every id of the
+/// batch fits in `u32` without wrapping.
+///
+/// # Panics
+/// Panics with a diagnosable message when the global cluster-id space
+/// exceeds `u32::MAX` — at that point `node_cluster_assignment` could no
+/// longer distinguish clusters and every downstream F1* score would be
+/// silently wrong.
+fn advance_cluster_offset(offset: u32, num_clusters: usize, class: &str) -> u32 {
+    u32::try_from(num_clusters)
+        .ok()
+        .and_then(|n| offset.checked_add(n))
+        .unwrap_or_else(|| {
+            panic!(
+                "global {class} cluster-id space overflowed u32 \
+                 (offset {offset} + {num_clusters} clusters in this batch); \
+                 run with fewer batches or a coarser clustering"
+            )
+        })
 }
 
 /// Derive element→type assignments from type membership lists. Every
@@ -519,6 +556,27 @@ mod tests {
         assert!(r.stats.timings.total() >= r.stats.timings.discovery());
         assert_eq!(r.stats.batch_times.len(), 1);
         assert!(r.stats.node_clusters >= 4);
+    }
+
+    #[test]
+    fn cluster_offsets_advance_checked() {
+        assert_eq!(advance_cluster_offset(10, 5, "node"), 15);
+        assert_eq!(advance_cluster_offset(u32::MAX - 1, 1, "node"), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster-id space overflowed u32")]
+    fn cluster_offset_overflow_panics_with_context() {
+        // Regression: the seed accumulated offsets with an unchecked
+        // `as u32` cast, so overflow wrapped silently and corrupted
+        // `node_cluster_assignment` instead of failing loudly.
+        advance_cluster_offset(u32::MAX - 1, 2, "node");
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster-id space overflowed u32")]
+    fn cluster_count_beyond_u32_panics_with_context() {
+        advance_cluster_offset(0, u32::MAX as usize + 1, "edge");
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Write generated datasets to disk in any of the ingestion formats the
+//! streaming subsystem reads back (`.pgt`, CSV, JSON-Lines), so tests,
+//! benches and the CI smoke job can round-trip graphs through files.
+
+use pg_hive_graph::loader::save_text;
+use pg_hive_graph::stream::csv::{save_edges_csv, save_nodes_csv, EDGES_FILE, NODES_FILE};
+use pg_hive_graph::stream::jsonl::save_jsonl;
+use pg_hive_graph::PropertyGraph;
+use std::path::{Path, PathBuf};
+
+/// On-disk format for [`export_graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// One `<stem>.pgt` file in the line-oriented text format.
+    Pgt,
+    /// A `<stem>/` directory holding `nodes.csv` + `edges.csv`.
+    Csv,
+    /// One `<stem>.jsonl` file, one node/edge object per line.
+    Jsonl,
+}
+
+impl ExportFormat {
+    /// All formats, for round-trip sweeps.
+    pub const ALL: [ExportFormat; 3] = [ExportFormat::Pgt, ExportFormat::Csv, ExportFormat::Jsonl];
+
+    /// Parse a CLI-style name.
+    pub fn parse(s: &str) -> Option<ExportFormat> {
+        match s {
+            "pgt" => Some(ExportFormat::Pgt),
+            "csv" => Some(ExportFormat::Csv),
+            "jsonl" => Some(ExportFormat::Jsonl),
+            _ => None,
+        }
+    }
+
+    /// Name as accepted by `pg-hive --input-format`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExportFormat::Pgt => "pgt",
+            ExportFormat::Csv => "csv",
+            ExportFormat::Jsonl => "jsonl",
+        }
+    }
+}
+
+/// Write `g` under `dir` with the given file stem. Returns the path the
+/// `pg-hive` CLI should be pointed at (`--input-format` matching
+/// [`ExportFormat::name`]): the file for pgt/jsonl, the dataset directory
+/// for csv.
+pub fn export_graph(
+    g: &PropertyGraph,
+    dir: &Path,
+    stem: &str,
+    format: ExportFormat,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    match format {
+        ExportFormat::Pgt => {
+            let path = dir.join(format!("{stem}.pgt"));
+            std::fs::write(&path, save_text(g))?;
+            Ok(path)
+        }
+        ExportFormat::Csv => {
+            let subdir = dir.join(stem);
+            std::fs::create_dir_all(&subdir)?;
+            std::fs::write(subdir.join(NODES_FILE), save_nodes_csv(g))?;
+            std::fs::write(subdir.join(EDGES_FILE), save_edges_csv(g))?;
+            Ok(subdir)
+        }
+        ExportFormat::Jsonl => {
+            let path = dir.join(format!("{stem}.jsonl"));
+            std::fs::write(&path, save_jsonl(g))?;
+            Ok(path)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::DatasetId;
+    use pg_hive_graph::stream::{csv::CsvSource, jsonl::JsonlSource, pgt::PgtSource, read_all};
+    use pg_hive_graph::GraphStats;
+    use std::fs::File;
+    use std::io::BufReader;
+
+    #[test]
+    fn all_formats_round_trip_a_generated_dataset() {
+        let d = DatasetId::Pole.generate(0.02, 7);
+        let want = GraphStats::compute(&d.graph);
+        let dir = std::env::temp_dir().join(format!("pg-hive-export-{}", std::process::id()));
+        for format in ExportFormat::ALL {
+            let path = export_graph(&d.graph, &dir, "pole", format).unwrap();
+            let (back, warnings) = match format {
+                ExportFormat::Pgt => {
+                    read_all(PgtSource::new(BufReader::new(File::open(&path).unwrap()))).unwrap()
+                }
+                ExportFormat::Csv => read_all(CsvSource::open_dir(&path).unwrap()).unwrap(),
+                ExportFormat::Jsonl => {
+                    read_all(JsonlSource::new(BufReader::new(File::open(&path).unwrap()))).unwrap()
+                }
+            };
+            assert!(warnings.is_empty(), "{format:?}: {warnings:?}");
+            let got = GraphStats::compute(&back);
+            assert_eq!(got, want, "{format:?} round-trip changed the structure");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

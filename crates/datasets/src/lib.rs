@@ -22,12 +22,14 @@
 //! remove 0–40% of properties, keep labels on 100/50/0% of elements.
 
 pub mod catalog;
+pub mod export;
 pub mod integration;
 pub mod noise;
 pub mod spec;
 pub mod values;
 
 pub use catalog::{all_datasets, dataset_by_name, DatasetId};
+pub use export::{export_graph, ExportFormat};
 pub use noise::{inject_noise, NoiseSpec};
 pub use spec::{Dataset, DatasetSpec, EdgeDef, GroundTruth, NodeDef, PropDef};
 pub use values::ValueGen;

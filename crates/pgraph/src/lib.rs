@@ -16,6 +16,10 @@
 //! - [`batch`]: deterministic random batch splitting for incremental runs.
 //! - [`stats`]: dataset statistics (the columns of Table 2).
 //! - [`loader`]: a small line-oriented text loader used by examples.
+//! - [`stream`]: streaming ingestion — a [`stream::GraphSource`] trait over
+//!   `.pgt` / CSV / JSON-Lines exports and a [`stream::ChunkedTextReader`]
+//!   that yields independent graph chunks with O(chunk) resident memory,
+//!   feeding `Discoverer::discover_stream` (§4.6).
 
 pub mod adjacency;
 pub mod batch;
@@ -25,6 +29,7 @@ pub mod graph;
 pub mod interner;
 pub mod loader;
 pub mod stats;
+pub mod stream;
 pub mod value;
 
 pub use adjacency::AdjacencyIndex;
@@ -34,4 +39,5 @@ pub use element::{Edge, EdgeId, Node, NodeId};
 pub use graph::PropertyGraph;
 pub use interner::{Interner, Symbol};
 pub use stats::GraphStats;
+pub use stream::{ChunkedTextReader, GraphSource, Record, StreamError, StreamWarnings};
 pub use value::{Value, ValueKind};

@@ -13,11 +13,14 @@
 //! [`Value::parse_lexical`], so `age=42` becomes an integer and
 //! `bday=1999-12-19` a date. Reserved characters inside values (space,
 //! comma, equals, percent) are percent-encoded by [`save_text`] and decoded
-//! on load, so arbitrary strings round-trip.
+//! on load, so arbitrary strings round-trip. Label names must not contain
+//! `;` (the label-set separator here and in the CSV exporter) or
+//! whitespace.
 
 use crate::builder::GraphBuilder;
 use crate::element::NodeId;
 use crate::graph::PropertyGraph;
+use crate::stream::Record;
 use crate::value::Value;
 use std::collections::HashMap;
 use std::fmt;
@@ -61,56 +64,104 @@ impl fmt::Display for LoadError {
 
 impl std::error::Error for LoadError {}
 
+/// Parse one line of the text format into a [`Record`]. Returns `Ok(None)`
+/// for blank lines and `#` comments. Shared by [`load_text`] and the
+/// streaming [`crate::stream::pgt::PgtSource`].
+pub fn parse_line(line: usize, raw: &str) -> Result<Option<Record>, LoadError> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = trimmed.split_whitespace().collect();
+    match fields[0] {
+        "N" => {
+            if fields.len() != 4 {
+                return Err(LoadError::Malformed { line, expected: 4 });
+            }
+            Ok(Some(Record::Node {
+                id: fields[1].to_string(),
+                labels: parse_labels(fields[2]),
+                props: parse_props(fields[3], line)?,
+            }))
+        }
+        "E" => {
+            if fields.len() != 5 {
+                return Err(LoadError::Malformed { line, expected: 5 });
+            }
+            Ok(Some(Record::Edge {
+                src: fields[1].to_string(),
+                tgt: fields[2].to_string(),
+                labels: parse_labels(fields[3]),
+                props: parse_props(fields[4], line)?,
+            }))
+        }
+        _ => Err(LoadError::UnknownRecord { line }),
+    }
+}
+
 /// Parse the text format into a [`PropertyGraph`].
+///
+/// `E` lines may reference node ids declared *later* in the file —
+/// concatenated or re-ordered exports are common — so edges are deferred
+/// and resolved after the full pass. Edge ids are assigned in `E`-line
+/// order. [`LoadError::UnknownNode`] is reserved for ids never declared by
+/// any `N` line.
 pub fn load_text(input: &str) -> Result<PropertyGraph, LoadError> {
+    struct DeferredEdge {
+        line: usize,
+        src: String,
+        tgt: String,
+        labels: Vec<String>,
+        props: Vec<(String, Value)>,
+    }
     let mut b = GraphBuilder::new();
     let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let mut edges: Vec<DeferredEdge> = Vec::new();
 
     for (lineno, raw) in input.lines().enumerate() {
         let line = lineno + 1;
-        let trimmed = raw.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let fields: Vec<&str> = trimmed.split_whitespace().collect();
-        match fields[0] {
-            "N" => {
-                if fields.len() != 4 {
-                    return Err(LoadError::Malformed { line, expected: 4 });
-                }
-                let id = fields[1].to_string();
+        match parse_line(line, raw)? {
+            None => {}
+            Some(Record::Node { id, labels, props }) => {
                 if ids.contains_key(&id) {
                     return Err(LoadError::DuplicateNode { line, id });
                 }
-                let labels = parse_labels(fields[2]);
-                let props = parse_props(fields[3], line)?;
                 let prop_refs: Vec<(&str, Value)> =
                     props.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
                 let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
                 let nid = b.add_node(&label_refs, &prop_refs);
                 ids.insert(id, nid);
             }
-            "E" => {
-                if fields.len() != 5 {
-                    return Err(LoadError::Malformed { line, expected: 5 });
-                }
-                let src = *ids.get(fields[1]).ok_or_else(|| LoadError::UnknownNode {
-                    line,
-                    id: fields[1].to_string(),
-                })?;
-                let tgt = *ids.get(fields[2]).ok_or_else(|| LoadError::UnknownNode {
-                    line,
-                    id: fields[2].to_string(),
-                })?;
-                let labels = parse_labels(fields[3]);
-                let props = parse_props(fields[4], line)?;
-                let prop_refs: Vec<(&str, Value)> =
-                    props.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
-                let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
-                b.add_edge(src, tgt, &label_refs, &prop_refs);
-            }
-            _ => return Err(LoadError::UnknownRecord { line }),
+            Some(Record::Edge {
+                src,
+                tgt,
+                labels,
+                props,
+            }) => edges.push(DeferredEdge {
+                line,
+                src,
+                tgt,
+                labels,
+                props,
+            }),
         }
+    }
+
+    for e in edges {
+        let line = e.line;
+        let src = *ids
+            .get(&e.src)
+            .ok_or(LoadError::UnknownNode { line, id: e.src })?;
+        let tgt = *ids
+            .get(&e.tgt)
+            .ok_or(LoadError::UnknownNode { line, id: e.tgt })?;
+        let prop_refs: Vec<(&str, Value)> = e
+            .props
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect();
+        let label_refs: Vec<&str> = e.labels.iter().map(String::as_str).collect();
+        b.add_edge(src, tgt, &label_refs, &prop_refs);
     }
     Ok(b.finish())
 }
@@ -266,6 +317,31 @@ mod tests {
     fn rejects_unknown_node() {
         let err = load_text("E a b KNOWS -").unwrap_err();
         assert!(matches!(err, LoadError::UnknownNode { line: 1, .. }));
+    }
+
+    #[test]
+    fn forward_edge_references_resolve() {
+        // Regression: an `E` line may reference a node declared later (a
+        // concatenated or re-ordered export); the single-pass loader used
+        // to fail this with UnknownNode.
+        let g = load_text(
+            "E a b KNOWS since=2020\n\
+             N a Person name=Ann\n\
+             E b a KNOWS -\n\
+             N b Person name=Bob\n",
+        )
+        .unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+        let (_, e0) = g.edges().next().unwrap();
+        // Edge ids follow E-line order: first edge is a -> b.
+        assert_eq!((e0.src.0, e0.tgt.0), (0, 1));
+        // The error is kept for ids never declared anywhere.
+        let err = load_text("N a - -\nE a ghost KNOWS -").unwrap_err();
+        assert!(
+            matches!(err, LoadError::UnknownNode { line: 2, ref id } if id == "ghost"),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use crate::graph::PropertyGraph;
 use crate::interner::Symbol;
+use crate::stream::{GraphSource, LabelSetRegistry, Record, StreamError};
 use std::collections::HashSet;
 
 /// Structural statistics of a property graph.
@@ -78,6 +79,111 @@ impl GraphStats {
             edge_label_sets: edge_label_sets.len(),
         }
     }
+}
+
+/// Compute [`GraphStats`] straight from a record stream with O(distinct
+/// patterns + node ids) memory — no resident graph, no per-chunk stub
+/// nodes. Element and pattern counts match [`GraphStats::compute`] on the
+/// fully-loaded graph.
+///
+/// Edge patterns need endpoint label sets; a compact id → label-set
+/// registry provides them. Edges referencing a node id that only appears
+/// *later* in the stream are buffered (bounded at ~1M) and resolved at end
+/// of stream. The second return value counts edges whose endpoints were
+/// never declared — their patterns fall back to unlabeled endpoints.
+pub fn stream_stats<S: GraphSource>(mut source: S) -> Result<(GraphStats, u64), StreamError> {
+    const PENDING_CAP: usize = 1 << 20;
+    let mut nodes = 0usize;
+    let mut edges = 0usize;
+    let mut node_labels: HashSet<String> = HashSet::new();
+    let mut edge_labels: HashSet<String> = HashSet::new();
+    let mut node_label_sets: HashSet<Vec<String>> = HashSet::new();
+    let mut edge_label_sets: HashSet<Vec<String>> = HashSet::new();
+    let mut node_patterns: HashSet<(Vec<String>, Vec<String>)> = HashSet::new();
+    #[allow(clippy::type_complexity)]
+    let mut edge_patterns: HashSet<(Vec<String>, Vec<String>, u32, u32)> = HashSet::new();
+
+    let mut registry = LabelSetRegistry::default();
+    #[allow(clippy::type_complexity)]
+    let mut pending: Vec<(Vec<String>, Vec<String>, String, String)> = Vec::new();
+    let mut fallback = 0u64;
+
+    while let Some(rec) = source.next_record()? {
+        match rec {
+            Record::Node { id, labels, props } => {
+                nodes += 1;
+                let mut ls = labels;
+                ls.sort_unstable();
+                ls.dedup();
+                let mut keys: Vec<String> = props.into_iter().map(|(k, _)| k).collect();
+                keys.sort_unstable();
+                keys.dedup();
+                for l in &ls {
+                    node_labels.insert(l.clone());
+                }
+                registry.insert(id, &ls);
+                node_label_sets.insert(ls.clone());
+                node_patterns.insert((ls, keys));
+            }
+            Record::Edge {
+                src,
+                tgt,
+                labels,
+                props,
+            } => {
+                edges += 1;
+                let mut ls = labels;
+                ls.sort_unstable();
+                ls.dedup();
+                let mut keys: Vec<String> = props.into_iter().map(|(k, _)| k).collect();
+                keys.sort_unstable();
+                keys.dedup();
+                for l in &ls {
+                    edge_labels.insert(l.clone());
+                }
+                edge_label_sets.insert(ls.clone());
+                match (registry.get(&src), registry.get(&tgt)) {
+                    (Some(s), Some(t)) => {
+                        edge_patterns.insert((ls, keys, s, t));
+                    }
+                    _ if pending.len() < PENDING_CAP => pending.push((ls, keys, src, tgt)),
+                    _ => {
+                        // Buffer overflowed: resolve now with what we have.
+                        fallback += 1;
+                        let empty = registry.intern(&[]);
+                        let s = registry.get(&src).unwrap_or(empty);
+                        let t = registry.get(&tgt).unwrap_or(empty);
+                        edge_patterns.insert((ls, keys, s, t));
+                    }
+                }
+            }
+        }
+    }
+    for (ls, keys, src, tgt) in pending {
+        let empty = registry.intern(&[]);
+        let (s, t) = match (registry.get(&src), registry.get(&tgt)) {
+            (Some(s), Some(t)) => (s, t),
+            (s, t) => {
+                fallback += 1;
+                (s.unwrap_or(empty), t.unwrap_or(empty))
+            }
+        };
+        edge_patterns.insert((ls, keys, s, t));
+    }
+
+    Ok((
+        GraphStats {
+            nodes,
+            edges,
+            node_labels: node_labels.len(),
+            edge_labels: edge_labels.len(),
+            node_patterns: node_patterns.len(),
+            edge_patterns: edge_patterns.len(),
+            node_label_sets: node_label_sets.len(),
+            edge_label_sets: edge_label_sets.len(),
+        },
+        fallback,
+    ))
 }
 
 #[cfg(test)]
@@ -178,6 +284,32 @@ mod tests {
                 edge_label_sets: 0,
             }
         );
+    }
+
+    #[test]
+    fn stream_stats_matches_compute() {
+        let g = figure1();
+        let text = crate::loader::save_text(&g);
+        let (streamed, fallback) =
+            stream_stats(crate::stream::pgt::PgtSource::new(text.as_bytes())).unwrap();
+        assert_eq!(fallback, 0);
+        assert_eq!(streamed, GraphStats::compute(&g));
+    }
+
+    #[test]
+    fn stream_stats_resolves_forward_references() {
+        let text = "E a b KNOWS -\nN a Person x=1\nN b Person -\n";
+        let (s, fallback) =
+            stream_stats(crate::stream::pgt::PgtSource::new(text.as_bytes())).unwrap();
+        assert_eq!(fallback, 0);
+        assert_eq!(s.edges, 1);
+        assert_eq!(s.edge_patterns, 1);
+        // Truly dangling endpoints are counted and fall back to unlabeled.
+        let text = "N a Person -\nE a ghost KNOWS -\n";
+        let (s, fallback) =
+            stream_stats(crate::stream::pgt::PgtSource::new(text.as_bytes())).unwrap();
+        assert_eq!(fallback, 1);
+        assert_eq!(s.edges, 1);
     }
 
     #[test]

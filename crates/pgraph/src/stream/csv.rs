@@ -1,0 +1,497 @@
+//! CSV ingestion and export: `nodes.csv` + `edges.csv`, the flat-export
+//! shape most schema-profiling systems assume (DiScala/Abadi-style
+//! relational extraction works from exactly such dumps).
+//!
+//! # Format
+//!
+//! `nodes.csv` header: `id,labels,<key>,<key>,...` — `id` and `labels`
+//! are required leading columns; every further column names a property
+//! key. `edges.csv` header: `src,tgt,labels,<key>,...`.
+//!
+//! - the `labels` cell holds `;`-separated labels (empty = unlabeled);
+//!   label *names* therefore must not contain `;` — the same restriction
+//!   the `.pgt` format imposes;
+//! - an *unquoted* empty property cell means *absent* (this is what
+//!   creates multiple patterns per type, Def. 3.5); a quoted empty cell
+//!   (`""`) is a present empty-string value;
+//! - values are parsed with [`Value::parse_lexical`], so `42` becomes an
+//!   integer and `1999-12-19` a date, exactly like the `.pgt` loader;
+//! - RFC 4180 quoting: cells containing `,`, `"`, or newlines are wrapped
+//!   in double quotes with inner quotes doubled (quoted cells may span
+//!   physical lines).
+
+use super::{GraphSource, Record, StreamError};
+use crate::graph::PropertyGraph;
+use crate::value::Value;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// Name of the node file inside a CSV dataset directory.
+pub const NODES_FILE: &str = "nodes.csv";
+/// Name of the (optional) edge file inside a CSV dataset directory.
+pub const EDGES_FILE: &str = "edges.csv";
+
+/// Streaming source over a `nodes.csv` + `edges.csv` pair. Nodes are
+/// yielded first, then edges; the edge half is optional.
+pub struct CsvSource<R> {
+    nodes: CsvHalf<R>,
+    edges: Option<CsvHalf<R>>,
+    in_edges: bool,
+}
+
+struct CsvHalf<R> {
+    reader: R,
+    line: u64,
+    /// Property-key columns after the fixed leading columns.
+    keys: Option<Vec<String>>,
+    fixed: usize,
+}
+
+impl CsvSource<BufReader<File>> {
+    /// Open `<dir>/nodes.csv` (required) and `<dir>/edges.csv` (optional).
+    pub fn open_dir(dir: &Path) -> Result<Self, StreamError> {
+        let nodes = BufReader::new(File::open(dir.join(NODES_FILE))?);
+        let edges_path = dir.join(EDGES_FILE);
+        let edges = if edges_path.exists() {
+            Some(BufReader::new(File::open(edges_path)?))
+        } else {
+            None
+        };
+        Ok(Self::new(nodes, edges))
+    }
+}
+
+impl<R: BufRead> CsvSource<R> {
+    /// Source over in-memory or file readers; `edges` may be `None`.
+    pub fn new(nodes: R, edges: Option<R>) -> Self {
+        Self {
+            nodes: CsvHalf {
+                reader: nodes,
+                line: 0,
+                keys: None,
+                fixed: 2,
+            },
+            edges: edges.map(|reader| CsvHalf {
+                reader,
+                line: 0,
+                keys: None,
+                fixed: 3,
+            }),
+            in_edges: false,
+        }
+    }
+}
+
+impl<R: BufRead> CsvHalf<R> {
+    /// Read the header once, checking the fixed leading columns.
+    fn ensure_header(&mut self, expect: &[&str]) -> Result<bool, StreamError> {
+        if self.keys.is_some() {
+            return Ok(true);
+        }
+        let Some(cells) = read_csv_record(&mut self.reader, &mut self.line)? else {
+            return Ok(false); // empty file: no records
+        };
+        let header: Vec<String> = cells.into_iter().map(|c| c.text).collect();
+        if header.len() < expect.len()
+            || header[..expect.len()]
+                .iter()
+                .zip(expect)
+                .any(|(got, want)| got != want)
+        {
+            return Err(StreamError::Parse {
+                line: self.line,
+                msg: format!(
+                    "csv header must start with {}, got {:?}",
+                    expect.join(","),
+                    header
+                ),
+            });
+        }
+        self.keys = Some(header[expect.len()..].to_vec());
+        Ok(true)
+    }
+
+    /// Next data row, split into (fixed cells, property pairs).
+    #[allow(clippy::type_complexity)]
+    fn next_row(&mut self) -> Result<Option<(Vec<String>, Vec<(String, Value)>)>, StreamError> {
+        let keys = self.keys.as_ref().expect("header read first");
+        loop {
+            let Some(cells) = read_csv_record(&mut self.reader, &mut self.line)? else {
+                return Ok(None);
+            };
+            // Skip blank rows.
+            if cells.iter().all(|c| c.text.is_empty() && !c.quoted) {
+                continue;
+            }
+            if cells.len() > self.fixed + keys.len() {
+                return Err(StreamError::Parse {
+                    line: self.line,
+                    msg: format!(
+                        "row has {} cells, header declared {}",
+                        cells.len(),
+                        self.fixed + keys.len()
+                    ),
+                });
+            }
+            let mut fixed: Vec<String> = cells
+                .iter()
+                .take(self.fixed)
+                .map(|c| c.text.clone())
+                .collect();
+            fixed.resize(self.fixed, String::new());
+            let props = keys
+                .iter()
+                .zip(cells.iter().skip(self.fixed))
+                // An unquoted empty cell is an absent property; a quoted
+                // empty cell ("") is a present empty string.
+                .filter(|(_, cell)| !cell.text.is_empty() || cell.quoted)
+                .map(|(k, cell)| (k.clone(), Value::parse_lexical(&cell.text)))
+                .collect();
+            return Ok(Some((fixed, props)));
+        }
+    }
+}
+
+impl<R: BufRead> GraphSource for CsvSource<R> {
+    fn next_record(&mut self) -> Result<Option<Record>, StreamError> {
+        if !self.in_edges {
+            if self.nodes.ensure_header(&["id", "labels"])? {
+                if let Some((fixed, props)) = self.nodes.next_row()? {
+                    if fixed[0].is_empty() {
+                        return Err(StreamError::Parse {
+                            line: self.nodes.line,
+                            msg: "node row with empty id".into(),
+                        });
+                    }
+                    return Ok(Some(Record::Node {
+                        id: fixed[0].clone(),
+                        labels: split_labels(&fixed[1]),
+                        props,
+                    }));
+                }
+            }
+            self.in_edges = true;
+        }
+        let Some(edges) = self.edges.as_mut() else {
+            return Ok(None);
+        };
+        if !edges.ensure_header(&["src", "tgt", "labels"])? {
+            return Ok(None);
+        }
+        match edges.next_row()? {
+            Some((fixed, props)) => {
+                if fixed[0].is_empty() || fixed[1].is_empty() {
+                    return Err(StreamError::Parse {
+                        line: edges.line,
+                        msg: "edge row with empty src/tgt".into(),
+                    });
+                }
+                Ok(Some(Record::Edge {
+                    src: fixed[0].clone(),
+                    tgt: fixed[1].clone(),
+                    labels: split_labels(&fixed[2]),
+                    props,
+                }))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn format_name(&self) -> &'static str {
+        "csv"
+    }
+}
+
+fn split_labels(cell: &str) -> Vec<String> {
+    cell.split(';')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// One parsed CSV cell. `quoted` distinguishes `""` (present empty
+/// string) from a bare empty cell (absent property).
+struct Cell {
+    text: String,
+    quoted: bool,
+}
+
+/// Read one (possibly multi-line, RFC 4180 quoted) CSV record.
+fn read_csv_record<R: BufRead>(
+    r: &mut R,
+    line: &mut u64,
+) -> Result<Option<Vec<Cell>>, StreamError> {
+    let mut fields: Vec<Cell> = Vec::new();
+    let mut cur = String::new();
+    let mut cur_quoted = false;
+    let mut in_quotes = false;
+    let mut started = false;
+    let mut buf = String::new();
+    let push_field = |cur: &mut String, cur_quoted: &mut bool, fields: &mut Vec<Cell>| {
+        fields.push(Cell {
+            text: std::mem::take(cur),
+            quoted: std::mem::take(cur_quoted),
+        });
+    };
+    loop {
+        buf.clear();
+        if r.read_line(&mut buf)? == 0 {
+            if !started {
+                return Ok(None);
+            }
+            if in_quotes {
+                return Err(StreamError::Parse {
+                    line: *line,
+                    msg: "unterminated quoted csv field".into(),
+                });
+            }
+            push_field(&mut cur, &mut cur_quoted, &mut fields);
+            return Ok(Some(fields));
+        }
+        *line += 1;
+        started = true;
+        let mut chars = buf.chars().peekable();
+        while let Some(c) = chars.next() {
+            if in_quotes {
+                if c == '"' {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                } else {
+                    cur.push(c);
+                }
+            } else {
+                match c {
+                    ',' => push_field(&mut cur, &mut cur_quoted, &mut fields),
+                    '"' => {
+                        in_quotes = true;
+                        cur_quoted = true;
+                    }
+                    '\r' | '\n' => {}
+                    other => cur.push(other),
+                }
+            }
+        }
+        if !in_quotes {
+            push_field(&mut cur, &mut cur_quoted, &mut fields);
+            return Ok(Some(fields));
+        }
+        // Quoted field spans the line break: the newline is part of the
+        // value and was pushed above; keep reading physical lines.
+    }
+}
+
+/// Quote a cell per RFC 4180 when it contains a reserved character.
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serialize the node side of a graph as `nodes.csv` (inverse of the node
+/// half of [`CsvSource`]; node ids are `n<index>` as in
+/// [`crate::loader::save_text`]).
+pub fn save_nodes_csv(g: &PropertyGraph) -> String {
+    let keys = sorted_keys(g, true);
+    let mut out = String::from("id,labels");
+    for k in &keys {
+        out.push(',');
+        out.push_str(&csv_escape(k));
+    }
+    out.push('\n');
+    for (id, n) in g.nodes() {
+        out.push_str(&format!("n{}", id.0));
+        out.push(',');
+        out.push_str(&csv_escape(&labels_cell(g, &n.labels)));
+        push_prop_cells(g, &mut out, &keys, &n.props);
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize the edge side of a graph as `edges.csv`.
+pub fn save_edges_csv(g: &PropertyGraph) -> String {
+    let keys = sorted_keys(g, false);
+    let mut out = String::from("src,tgt,labels");
+    for k in &keys {
+        out.push(',');
+        out.push_str(&csv_escape(k));
+    }
+    out.push('\n');
+    for (_, e) in g.edges() {
+        out.push_str(&format!("n{},n{}", e.src.0, e.tgt.0));
+        out.push(',');
+        out.push_str(&csv_escape(&labels_cell(g, &e.labels)));
+        push_prop_cells(g, &mut out, &keys, &e.props);
+        out.push('\n');
+    }
+    out
+}
+
+fn sorted_keys(g: &PropertyGraph, nodes: bool) -> Vec<String> {
+    let mut keys: std::collections::BTreeSet<String> = Default::default();
+    if nodes {
+        for (_, n) in g.nodes() {
+            for k in n.keys() {
+                keys.insert(g.key_str(k).to_string());
+            }
+        }
+    } else {
+        for (_, e) in g.edges() {
+            for k in e.keys() {
+                keys.insert(g.key_str(k).to_string());
+            }
+        }
+    }
+    keys.into_iter().collect()
+}
+
+fn labels_cell(g: &PropertyGraph, labels: &[crate::Symbol]) -> String {
+    labels
+        .iter()
+        .map(|&l| g.label_str(l))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn push_prop_cells(
+    g: &PropertyGraph,
+    out: &mut String,
+    keys: &[String],
+    props: &[(crate::Symbol, Value)],
+) {
+    for k in keys {
+        out.push(',');
+        if let Some(sym) = g.keys().get(k) {
+            if let Some((_, v)) = props.iter().find(|(ks, _)| *ks == sym) {
+                let lex = v.lexical();
+                if lex.is_empty() {
+                    // Quoted empty = present empty string; a bare empty
+                    // cell would read back as absent.
+                    out.push_str("\"\"");
+                } else {
+                    out.push_str(&csv_escape(&lex));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::read_all;
+    use crate::{GraphBuilder, ValueKind};
+
+    fn demo_graph() -> PropertyGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(
+            &["Person"],
+            &[
+                ("name", Value::from("Ann, \"the\" 1st")),
+                ("age", Value::Int(30)),
+            ],
+        );
+        let c = b.add_node(&[], &[("bday", Value::from("1999-12-19"))]);
+        let o = b.add_node(&["Org", "Corp"], &[("url", Value::from("x.com"))]);
+        b.add_edge(a, o, &["WORKS_AT"], &[("from", Value::Int(2001))]);
+        b.add_edge(c, a, &["KNOWS"], &[]);
+        b.finish()
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_structure() {
+        let g = demo_graph();
+        let nodes = save_nodes_csv(&g);
+        let edges = save_edges_csv(&g);
+        let (back, warnings) =
+            read_all(CsvSource::new(nodes.as_bytes(), Some(edges.as_bytes()))).unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(back.node_count(), 3);
+        assert_eq!(back.edge_count(), 2);
+        let (_, ann) = back.nodes().next().unwrap();
+        let name = back.keys().get("name").unwrap();
+        assert_eq!(ann.get(name), Some(&Value::from("Ann, \"the\" 1st")));
+        let bday = back.keys().get("bday").unwrap();
+        let (_, anon) = back.nodes().nth(1).unwrap();
+        assert_eq!(anon.get(bday).unwrap().kind(), ValueKind::Date);
+        let (_, org) = back.nodes().nth(2).unwrap();
+        assert_eq!(back.label_set_str(&org.labels), "{Corp, Org}");
+    }
+
+    #[test]
+    fn quoted_cells_may_span_lines() {
+        let nodes = "id,labels,note\na,Doc,\"line one\nline two\"\n";
+        let (g, _) = read_all(CsvSource::new(nodes.as_bytes(), None)).unwrap();
+        let (_, n) = g.nodes().next().unwrap();
+        let note = g.keys().get("note").unwrap();
+        assert_eq!(n.get(note), Some(&Value::from("line one\nline two")));
+    }
+
+    #[test]
+    fn empty_cells_mean_absent_properties() {
+        let nodes = "id,labels,name,age\na,Person,Ann,30\nb,Person,Bob,\n";
+        let (g, _) = read_all(CsvSource::new(nodes.as_bytes(), None)).unwrap();
+        let age = g.keys().get("age").unwrap();
+        assert!(g.nodes().nth(1).unwrap().1.get(age).is_none());
+        assert!(g.nodes().next().unwrap().1.get(age).is_some());
+    }
+
+    #[test]
+    fn quoted_empty_cells_are_present_empty_strings() {
+        // Regression: a present empty-string value used to export as a
+        // bare empty cell, which reads back as *absent* and silently
+        // changes the node's pattern.
+        let mut b = GraphBuilder::new();
+        b.add_node(&["Doc"], &[("note", Value::from("")), ("n", Value::Int(1))]);
+        b.add_node(&["Doc"], &[("n", Value::Int(2))]);
+        let g = b.finish();
+        let csv = save_nodes_csv(&g);
+        let (back, _) = read_all(CsvSource::new(csv.as_bytes(), None)).unwrap();
+        let note = back.keys().get("note").unwrap();
+        assert_eq!(
+            back.nodes().next().unwrap().1.get(note),
+            Some(&Value::from("")),
+            "{csv}"
+        );
+        assert!(back.nodes().nth(1).unwrap().1.get(note).is_none());
+    }
+
+    #[test]
+    fn bad_header_is_an_error() {
+        let nodes = "identifier,labels\na,Person\n";
+        let err = read_all(CsvSource::new(nodes.as_bytes(), None)).unwrap_err();
+        assert!(matches!(err, StreamError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn short_rows_tolerated_long_rows_rejected() {
+        let ok = "id,labels,name\na,Person\n";
+        let (g, _) = read_all(CsvSource::new(ok.as_bytes(), None)).unwrap();
+        assert_eq!(g.node_count(), 1);
+        let bad = "id,labels\na,Person,extra\n";
+        assert!(read_all(CsvSource::new(bad.as_bytes(), None)).is_err());
+    }
+
+    #[test]
+    fn missing_edges_file_means_no_edges() {
+        let nodes = "id,labels\na,Person\n";
+        let (g, _) = read_all(CsvSource::new(nodes.as_bytes(), None)).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,502 @@
+//! JSON-Lines ingestion and export: one node or edge object per line, the
+//! shape of `neo4j-admin` / APOC style JSON dumps.
+//!
+//! # Format
+//!
+//! ```text
+//! {"type":"node","id":"n0","labels":["Person"],"props":{"name":"Ann","age":30}}
+//! {"type":"edge","src":"n0","tgt":"n1","labels":["KNOWS"],"props":{"since":2020}}
+//! ```
+//!
+//! `labels` and `props` are optional (default empty). Property values may
+//! be JSON numbers, booleans or strings; strings (and the raw text of
+//! numbers) are re-parsed with [`Value::parse_lexical`], so `"1999-12-19"`
+//! becomes a date and `"42"` an integer — identical typing semantics to the
+//! `.pgt` and CSV loaders. `null` values mean *absent*; nested arrays or
+//! objects are rejected.
+//!
+//! The vendored `serde` subset has no JSON support (this workspace builds
+//! offline), so a minimal recursive-descent parser lives here.
+
+use super::{GraphSource, Record, StreamError};
+use crate::graph::PropertyGraph;
+use crate::value::Value;
+use std::io::BufRead;
+
+/// Streaming source over a JSON-Lines dump.
+pub struct JsonlSource<R> {
+    reader: R,
+    line: u64,
+    buf: String,
+}
+
+impl<R: BufRead> JsonlSource<R> {
+    /// Source over any buffered reader.
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            line: 0,
+            buf: String::new(),
+        }
+    }
+
+    fn parse_err(&self, msg: impl Into<String>) -> StreamError {
+        StreamError::Parse {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl<R: BufRead> GraphSource for JsonlSource<R> {
+    fn next_record(&mut self) -> Result<Option<Record>, StreamError> {
+        loop {
+            self.buf.clear();
+            if self.reader.read_line(&mut self.buf)? == 0 {
+                return Ok(None);
+            }
+            self.line += 1;
+            let trimmed = self.buf.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let json = parse_json(trimmed).map_err(|m| self.parse_err(m))?;
+            let Json::Obj(fields) = json else {
+                return Err(self.parse_err("expected a JSON object per line"));
+            };
+            let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+            let kind = match get("type") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => return Err(self.parse_err("missing string field \"type\"")),
+            };
+            let labels = match get("labels") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(Json::Arr(items)) => {
+                    let mut out = Vec::with_capacity(items.len());
+                    for it in items {
+                        match it {
+                            Json::Str(s) => out.push(s.clone()),
+                            _ => return Err(self.parse_err("\"labels\" must hold strings")),
+                        }
+                    }
+                    out
+                }
+                _ => return Err(self.parse_err("\"labels\" must be an array")),
+            };
+            let props = match get("props") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(Json::Obj(pairs)) => {
+                    let mut out = Vec::with_capacity(pairs.len());
+                    for (k, v) in pairs {
+                        let value = match v {
+                            Json::Str(s) => Value::parse_lexical(s),
+                            Json::Num(raw) => Value::parse_lexical(raw),
+                            Json::Bool(b) => Value::Bool(*b),
+                            Json::Null => continue,
+                            _ => {
+                                return Err(self.parse_err(format!(
+                                    "property \"{k}\": nested arrays/objects unsupported"
+                                )))
+                            }
+                        };
+                        out.push((k.clone(), value));
+                    }
+                    out
+                }
+                _ => return Err(self.parse_err("\"props\" must be an object")),
+            };
+            let str_field = |k: &str| -> Result<String, StreamError> {
+                match get(k) {
+                    Some(Json::Str(s)) if !s.is_empty() => Ok(s.clone()),
+                    _ => Err(StreamError::Parse {
+                        line: self.line,
+                        msg: format!("missing string field \"{k}\""),
+                    }),
+                }
+            };
+            return Ok(Some(match kind.as_str() {
+                "node" => Record::Node {
+                    id: str_field("id")?,
+                    labels,
+                    props,
+                },
+                "edge" => Record::Edge {
+                    src: str_field("src")?,
+                    tgt: str_field("tgt")?,
+                    labels,
+                    props,
+                },
+                other => return Err(self.parse_err(format!("unknown record type \"{other}\""))),
+            }));
+        }
+    }
+
+    fn format_name(&self) -> &'static str {
+        "jsonl"
+    }
+}
+
+/// Serialize a graph as JSON-Lines, the inverse of [`JsonlSource`] (node
+/// ids are `n<index>` as in [`crate::loader::save_text`]).
+pub fn save_jsonl(g: &PropertyGraph) -> String {
+    let mut out = String::new();
+    for (id, n) in g.nodes() {
+        out.push_str(&format!("{{\"type\":\"node\",\"id\":\"n{}\"", id.0));
+        push_labels(g, &mut out, &n.labels);
+        push_props(g, &mut out, &n.props);
+        out.push_str("}\n");
+    }
+    for (_, e) in g.edges() {
+        out.push_str(&format!(
+            "{{\"type\":\"edge\",\"src\":\"n{}\",\"tgt\":\"n{}\"",
+            e.src.0, e.tgt.0
+        ));
+        push_labels(g, &mut out, &e.labels);
+        push_props(g, &mut out, &e.props);
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn push_labels(g: &PropertyGraph, out: &mut String, labels: &[crate::Symbol]) {
+    out.push_str(",\"labels\":[");
+    for (i, &l) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(g.label_str(l)));
+    }
+    out.push(']');
+}
+
+fn push_props(g: &PropertyGraph, out: &mut String, props: &[(crate::Symbol, Value)]) {
+    out.push_str(",\"props\":{");
+    for (i, (k, v)) in props.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(g.key_str(*k)));
+        out.push(':');
+        match v {
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Float(x) if x.is_finite() => out.push_str(&v.lexical()),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            // Dates, timestamps, strings — and non-finite floats, which
+            // JSON cannot represent as numbers — go through their lexical
+            // form, which `parse_lexical` maps back to the same kind.
+            _ => out.push_str(&json_string(&v.lexical())),
+        }
+    }
+    out.push('}');
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value tree. Numbers keep their raw text so value typing is
+/// delegated to [`Value::parse_lexical`].
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(String),
+    Bool(bool),
+    Null,
+}
+
+/// Parse a complete JSON document (trailing non-whitespace rejected).
+fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        chars: s.char_indices().peekable(),
+        src: s,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if let Some((i, c)) = p.chars.peek() {
+        return Err(format!("trailing '{c}' at byte {i}"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some((_, ' ' | '\t' | '\n' | '\r'))) {
+            self.chars.next();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            Some((i, c)) => Err(format!("expected '{want}', got '{c}' at byte {i}")),
+            None => Err(format!("expected '{want}', got end of input")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.chars.peek().copied() {
+            Some((_, '{')) => self.object(),
+            Some((_, '[')) => self.array(),
+            Some((_, '"')) => Ok(Json::Str(self.string()?)),
+            Some((_, 't' | 'f' | 'n')) => self.keyword(),
+            Some((_, c)) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some((i, c)) => Err(format!("unexpected '{c}' at byte {i}")),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if matches!(self.chars.peek(), Some((_, '}'))) {
+            self.chars.next();
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => return Ok(Json::Obj(fields)),
+                Some((i, c)) => return Err(format!("expected ',' or '}}', got '{c}' at byte {i}")),
+                None => return Err("unterminated object".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if matches!(self.chars.peek(), Some((_, ']'))) {
+            self.chars.next();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, ']')) => return Ok(Json::Arr(items)),
+                Some((i, c)) => return Err(format!("expected ',' or ']', got '{c}' at byte {i}")),
+                None => return Err("unterminated array".into()),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err("unterminated string".into()),
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'b')) => out.push('\u{0008}'),
+                    Some((_, 'f')) => out.push('\u{000C}'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'u')) => {
+                        let hi = self.hex4()?;
+                        let cp = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: require \uXXXX low half.
+                            if self.chars.next().map(|(_, c)| c) == Some('\\')
+                                && self.chars.next().map(|(_, c)| c) == Some('u')
+                            {
+                                let lo = self.hex4()?;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00))
+                            } else {
+                                return Err("lone high surrogate".into());
+                            }
+                        } else {
+                            hi
+                        };
+                        out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                    }
+                    Some((i, c)) => return Err(format!("bad escape '\\{c}' at byte {i}")),
+                    None => return Err("unterminated escape".into()),
+                },
+                Some((_, c)) => out.push(c),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some((i, c)) = self.chars.next() else {
+                return Err("unterminated \\u escape".into());
+            };
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| format!("bad hex digit '{c}' at byte {i}"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = match self.chars.peek() {
+            Some(&(i, _)) => i,
+            None => return Err("unexpected end of input".into()),
+        };
+        let mut end = start;
+        while let Some(&(i, c)) = self.chars.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                end = i + c.len_utf8();
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        let raw = &self.src[start..end];
+        // Validate through the float parser; the raw text is kept.
+        raw.parse::<f64>()
+            .map_err(|_| format!("bad number '{raw}'"))?;
+        Ok(Json::Num(raw.to_string()))
+    }
+
+    fn keyword(&mut self) -> Result<Json, String> {
+        let start = match self.chars.peek() {
+            Some(&(i, _)) => i,
+            None => return Err("unexpected end of input".into()),
+        };
+        let mut end = start;
+        while let Some(&(i, c)) = self.chars.peek() {
+            if c.is_ascii_alphabetic() {
+                end = i + c.len_utf8();
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        match &self.src[start..end] {
+            "true" => Ok(Json::Bool(true)),
+            "false" => Ok(Json::Bool(false)),
+            "null" => Ok(Json::Null),
+            other => Err(format!("unknown keyword '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::read_all;
+    use crate::{GraphBuilder, ValueKind};
+
+    #[test]
+    fn parses_node_and_edge_lines() {
+        let text = r#"
+{"type":"node","id":"a","labels":["Person"],"props":{"name":"Ann","age":30}}
+{"type":"node","id":"b","labels":[],"props":{"bday":"1999-12-19","score":2.5}}
+{"type":"edge","src":"a","tgt":"b","labels":["KNOWS"],"props":{"close":true,"gone":null}}
+"#;
+        let (g, warnings) = read_all(JsonlSource::new(text.as_bytes())).unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        let age = g.keys().get("age").unwrap();
+        assert_eq!(g.nodes().next().unwrap().1.get(age), Some(&Value::Int(30)));
+        let bday = g.keys().get("bday").unwrap();
+        assert_eq!(
+            g.nodes().nth(1).unwrap().1.get(bday).unwrap().kind(),
+            ValueKind::Date
+        );
+        let (_, e) = g.edges().next().unwrap();
+        let close = g.keys().get("close").unwrap();
+        assert_eq!(e.get(close), Some(&Value::Bool(true)));
+        assert!(g.keys().get("gone").is_none(), "null means absent");
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(
+            &["Person"],
+            &[
+                ("name", Value::from("A \"quoted\" na\\me\nnewline")),
+                ("age", Value::Int(30)),
+                ("score", Value::Float(2.0)),
+            ],
+        );
+        let o = b.add_node(&["Org"], &[("url", Value::from("x.com"))]);
+        b.add_edge(a, o, &["WORKS_AT"], &[("from", Value::Int(2001))]);
+        let g = b.finish();
+        let text = save_jsonl(&g);
+        let (back, warnings) = read_all(JsonlSource::new(text.as_bytes())).unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(back.node_count(), 2);
+        assert_eq!(back.edge_count(), 1);
+        let name = back.keys().get("name").unwrap();
+        assert_eq!(
+            back.nodes().next().unwrap().1.get(name),
+            Some(&Value::from("A \"quoted\" na\\me\nnewline"))
+        );
+        let score = back.keys().get("score").unwrap();
+        assert_eq!(
+            back.nodes().next().unwrap().1.get(score),
+            Some(&Value::Float(2.0)),
+            "the .0 marker keeps integral floats floats"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "not json",
+            "[1,2]",
+            "{\"type\":\"node\"}",
+            "{\"type\":\"what\",\"id\":\"a\"}",
+            "{\"type\":\"node\",\"id\":\"a\",\"props\":{\"x\":[1]}}",
+            "{\"type\":\"node\",\"id\":\"a\"} trailing",
+        ] {
+            let err = read_all(JsonlSource::new(bad.as_bytes()));
+            assert!(err.is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let text = "{\"type\":\"node\",\"id\":\"a\",\"props\":{\"s\":\"\\u00e9\\ud83d\\ude00\"}}\n";
+        let (g, _) = read_all(JsonlSource::new(text.as_bytes())).unwrap();
+        let s = g.keys().get("s").unwrap();
+        assert_eq!(
+            g.nodes().next().unwrap().1.get(s),
+            Some(&Value::from("é😀"))
+        );
+    }
+}

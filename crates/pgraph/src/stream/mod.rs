@@ -1,0 +1,598 @@
+//! Streaming ingestion: chunked, format-agnostic graph loading (§4.6).
+//!
+//! The paper motivates incremental discovery with "process large datasets on
+//! machines with limited memory". This module supplies the I/O side of that
+//! scenario: instead of slurping a whole export into one [`PropertyGraph`],
+//! a [`ChunkedTextReader`] wraps any [`GraphSource`] — a format-specific
+//! record parser over a [`std::io::BufRead`] — and yields *independent*
+//! graph chunks of roughly `chunk_size` elements. Each chunk has its own
+//! interners and ids and can be dropped as soon as the discovery pipeline
+//! has consumed it, so resident memory is O(chunk), not O(dataset).
+//!
+//! Three wire formats implement [`GraphSource`]:
+//!
+//! - [`pgt::PgtSource`] — the line-oriented `.pgt` text format of
+//!   [`crate::loader`];
+//! - [`csv::CsvSource`] — `nodes.csv` + `edges.csv` with `id`/`src`/`tgt`,
+//!   a `;`-separated `labels` column, and one column per property key;
+//! - [`jsonl::JsonlSource`] — one JSON object per line
+//!   (`{"type":"node",...}` / `{"type":"edge",...}`).
+//!
+//! # Cross-chunk edges
+//!
+//! Edges are resolved within their chunk. For an edge whose endpoint lives
+//! in an *earlier* chunk, the reader keeps a compact id → label-set
+//! registry (a few tens of bytes per node id — property values, the
+//! dominant memory cost, never outlive their chunk) and materializes a
+//! property-less *stub* node carrying the endpoint's label set, so the edge
+//! keeps its endpoint labels for clustering and type extraction. Such edges
+//! are surfaced as counted warnings ([`StreamWarnings::cross_chunk_edges`]),
+//! not errors. Edges that reference an id *never* declared anywhere are
+//! dropped and counted ([`StreamWarnings::unresolved_edges`]). Edges that
+//! arrive *before* their endpoint's `N` record are buffered (bounded) and
+//! resolved once the node appears.
+//!
+//! Stubs keep the *labeled-type inventory* of a streamed discovery
+//! identical to the resident run, but they are counted as property-less
+//! instances of their type — so in streaming mode per-type instance counts
+//! are upper bounds and property optionality is a lower bound.
+
+pub mod csv;
+pub mod jsonl;
+pub mod pgt;
+
+use crate::builder::GraphBuilder;
+use crate::element::NodeId;
+use crate::graph::PropertyGraph;
+use crate::value::Value;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// One parsed ingestion record, independent of the wire format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A node declaration with a dataset-scoped id.
+    Node {
+        id: String,
+        labels: Vec<String>,
+        props: Vec<(String, Value)>,
+    },
+    /// An edge between two node ids.
+    Edge {
+        src: String,
+        tgt: String,
+        labels: Vec<String>,
+        props: Vec<(String, Value)>,
+    },
+}
+
+/// Errors produced while streaming records from a source.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Underlying reader failure.
+    Io(std::io::Error),
+    /// A record could not be parsed. `line` is 1-based within the file the
+    /// source was reading when the error occurred.
+    Parse { line: u64, msg: String },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "io error: {e}"),
+            StreamError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+/// A format-specific record parser: the one trait the CLI, benches and the
+/// chunker program against, so they stay format-agnostic.
+pub trait GraphSource {
+    /// Next record, `Ok(None)` at end of stream.
+    fn next_record(&mut self) -> Result<Option<Record>, StreamError>;
+
+    /// Short format name for diagnostics (`"pgt"`, `"csv"`, `"jsonl"`).
+    fn format_name(&self) -> &'static str;
+}
+
+impl<S: GraphSource + ?Sized> GraphSource for Box<S> {
+    fn next_record(&mut self) -> Result<Option<Record>, StreamError> {
+        (**self).next_record()
+    }
+    fn format_name(&self) -> &'static str {
+        (**self).format_name()
+    }
+}
+
+/// Counted non-fatal conditions observed while chunking a stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamWarnings {
+    /// Edges whose endpoint node lived in an earlier chunk; the endpoint
+    /// was materialized as a label-carrying stub node.
+    pub cross_chunk_edges: u64,
+    /// Edges dropped because an endpoint id was never declared (includes
+    /// `evicted_edges`).
+    pub unresolved_edges: u64,
+    /// Edges that arrived before an endpoint's node record and were
+    /// buffered until it appeared.
+    pub deferred_edges: u64,
+    /// Deferred edges evicted because the pending buffer overflowed.
+    pub evicted_edges: u64,
+    /// Node ids declared more than once. Each declaration still becomes its
+    /// own node; later declarations win in the endpoint registry.
+    pub duplicate_nodes: u64,
+}
+
+impl StreamWarnings {
+    /// True when nothing noteworthy happened.
+    pub fn is_empty(&self) -> bool {
+        *self == StreamWarnings::default()
+    }
+}
+
+struct PendingEdge {
+    src: String,
+    tgt: String,
+    labels: Vec<String>,
+    props: Vec<(String, Value)>,
+}
+
+/// Compact id → label-set registry: interns every distinct label set once
+/// and maps each node id ever seen to its set. Shared by
+/// [`ChunkedTextReader`] (stub endpoints for cross-chunk edges) and
+/// [`crate::stats::stream_stats`] (edge patterns); memory is O(distinct
+/// ids + distinct label sets), never O(property values).
+#[derive(Debug, Default)]
+pub(crate) struct LabelSetRegistry {
+    ids: HashMap<String, u32>,
+    sets: Vec<Vec<String>>,
+    set_ids: HashMap<Vec<String>, u32>,
+}
+
+impl LabelSetRegistry {
+    /// Intern a label set, returning its dense id.
+    pub(crate) fn intern(&mut self, labels: &[String]) -> u32 {
+        if let Some(&id) = self.set_ids.get(labels) {
+            return id;
+        }
+        let id = self.sets.len() as u32;
+        self.sets.push(labels.to_vec());
+        self.set_ids.insert(labels.to_vec(), id);
+        id
+    }
+
+    /// Register a node id; returns `true` when the id was already present
+    /// (the new label set wins).
+    pub(crate) fn insert(&mut self, id: String, labels: &[String]) -> bool {
+        let ls = self.intern(labels);
+        self.ids.insert(id, ls).is_some()
+    }
+
+    /// Label-set id of a registered node id.
+    pub(crate) fn get(&self, id: &str) -> Option<u32> {
+        self.ids.get(id).copied()
+    }
+
+    /// Whether the node id has been registered.
+    pub(crate) fn contains(&self, id: &str) -> bool {
+        self.ids.contains_key(id)
+    }
+
+    /// Resolve an interned label-set id.
+    pub(crate) fn set(&self, ls: u32) -> &[String] {
+        &self.sets[ls as usize]
+    }
+}
+
+/// Chunks any [`GraphSource`] into independent [`PropertyGraph`]s of
+/// roughly `chunk_size` elements (nodes + edges + endpoint stubs), so a
+/// dataset can be discovered with O(chunk) resident memory via
+/// `Discoverer::discover_stream`.
+///
+/// See the [module docs](self) for the cross-chunk edge semantics.
+pub struct ChunkedTextReader<S> {
+    source: S,
+    chunk_size: usize,
+    pending_cap: usize,
+    registry: LabelSetRegistry,
+    pending: VecDeque<PendingEdge>,
+    warnings: StreamWarnings,
+    max_resident: usize,
+    chunks: usize,
+    done: bool,
+}
+
+impl<S: GraphSource> ChunkedTextReader<S> {
+    /// Reader yielding chunks of roughly `chunk_size` elements (minimum 1).
+    pub fn new(source: S, chunk_size: usize) -> Self {
+        let chunk_size = chunk_size.max(1);
+        Self {
+            source,
+            chunk_size,
+            // Forward-referencing edges are buffered up to this many before
+            // the oldest are dropped as unresolved — keeps memory bounded on
+            // adversarial (edges-before-nodes) input orderings.
+            pending_cap: chunk_size.saturating_mul(4).max(1024),
+            registry: LabelSetRegistry::default(),
+            pending: VecDeque::new(),
+            warnings: StreamWarnings::default(),
+            max_resident: 0,
+            chunks: 0,
+            done: false,
+        }
+    }
+
+    /// Warnings accumulated so far (final after the last chunk).
+    pub fn warnings(&self) -> StreamWarnings {
+        self.warnings
+    }
+
+    /// Largest `node_count + edge_count` of any emitted chunk — the
+    /// peak-resident element count the streaming pipeline had to hold.
+    pub fn max_resident_elements(&self) -> usize {
+        self.max_resident
+    }
+
+    /// Chunks emitted so far.
+    pub fn chunks_emitted(&self) -> usize {
+        self.chunks
+    }
+
+    /// Underlying source's format name.
+    pub fn format_name(&self) -> &'static str {
+        self.source.format_name()
+    }
+
+    fn resolvable(&self, e: &PendingEdge) -> bool {
+        self.registry.contains(&e.src) && self.registry.contains(&e.tgt)
+    }
+
+    /// Move every currently-resolvable pending edge into `ready`,
+    /// preserving arrival order.
+    fn refill_ready(&mut self, ready: &mut VecDeque<PendingEdge>) {
+        let mut rest = VecDeque::with_capacity(self.pending.len());
+        while let Some(e) = self.pending.pop_front() {
+            if self.resolvable(&e) {
+                ready.push_back(e);
+            } else {
+                rest.push_back(e);
+            }
+        }
+        self.pending = rest;
+    }
+
+    /// Next chunk, or `Ok(None)` when the stream is exhausted. Each chunk
+    /// is a self-contained graph: fresh interners, edges wired to resident
+    /// (or stub) endpoints.
+    pub fn next_chunk(&mut self) -> Result<Option<PropertyGraph>, StreamError> {
+        if self.done && self.pending.is_empty() {
+            return Ok(None);
+        }
+
+        let mut b = GraphBuilder::new();
+        let mut chunk_ids: HashMap<String, NodeId> = HashMap::new();
+        let mut stub_ids: HashMap<String, NodeId> = HashMap::new();
+        let mut ready: VecDeque<PendingEdge> = VecDeque::new();
+        let mut budget = 0usize;
+        self.refill_ready(&mut ready);
+
+        loop {
+            if budget >= self.chunk_size {
+                break;
+            }
+            if let Some(e) = ready.pop_front() {
+                self.accept_edge(&mut b, &chunk_ids, &mut stub_ids, &mut budget, e);
+                continue;
+            }
+            if self.done {
+                // The source is drained; see whether nodes read since the
+                // last refill unlocked more pending edges.
+                self.refill_ready(&mut ready);
+                if ready.is_empty() {
+                    break;
+                }
+                continue;
+            }
+            match self.source.next_record()? {
+                None => {
+                    self.done = true;
+                }
+                Some(Record::Node { id, labels, props }) => {
+                    if self.registry.insert(id.clone(), &labels) {
+                        self.warnings.duplicate_nodes += 1;
+                    }
+                    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                    let prop_refs: Vec<(&str, Value)> =
+                        props.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+                    let nid = b.add_node(&label_refs, &prop_refs);
+                    chunk_ids.insert(id, nid);
+                    budget += 1;
+                }
+                Some(Record::Edge {
+                    src,
+                    tgt,
+                    labels,
+                    props,
+                }) => {
+                    let e = PendingEdge {
+                        src,
+                        tgt,
+                        labels,
+                        props,
+                    };
+                    if self.resolvable(&e) {
+                        self.accept_edge(&mut b, &chunk_ids, &mut stub_ids, &mut budget, e);
+                    } else {
+                        self.warnings.deferred_edges += 1;
+                        self.pending.push_back(e);
+                        if self.pending.len() > self.pending_cap {
+                            let victim = self.pending.pop_front().expect("cap >= 1");
+                            if self.resolvable(&victim) {
+                                // Its endpoints were declared after it was
+                                // deferred: emit it rather than dropping a
+                                // fully-declared edge.
+                                self.accept_edge(
+                                    &mut b,
+                                    &chunk_ids,
+                                    &mut stub_ids,
+                                    &mut budget,
+                                    victim,
+                                );
+                            } else {
+                                self.warnings.evicted_edges += 1;
+                                self.warnings.unresolved_edges += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let any_resolvable = self
+            .pending
+            .iter()
+            .any(|e| self.registry.contains(&e.src) && self.registry.contains(&e.tgt));
+        if self.done && ready.is_empty() && !any_resolvable {
+            // Whatever is still pending references ids that never appeared.
+            self.warnings.unresolved_edges += self.pending.len() as u64;
+            self.pending.clear();
+        } else {
+            // Budget filled with resolvable edges left over: put them back
+            // in front so the next chunk starts with them.
+            while let Some(e) = ready.pop_back() {
+                self.pending.push_front(e);
+            }
+        }
+
+        if budget == 0 {
+            return Ok(None);
+        }
+        let g = b.finish();
+        self.max_resident = self.max_resident.max(g.node_count() + g.edge_count());
+        self.chunks += 1;
+        Ok(Some(g))
+    }
+
+    fn accept_edge(
+        &mut self,
+        b: &mut GraphBuilder,
+        chunk_ids: &HashMap<String, NodeId>,
+        stub_ids: &mut HashMap<String, NodeId>,
+        budget: &mut usize,
+        e: PendingEdge,
+    ) {
+        let mut used_stub = false;
+        let mut endpoint = |id: &str, b: &mut GraphBuilder, budget: &mut usize| -> NodeId {
+            if let Some(&nid) = chunk_ids.get(id) {
+                return nid;
+            }
+            if let Some(&nid) = stub_ids.get(id) {
+                used_stub = true;
+                return nid;
+            }
+            let ls = self
+                .registry
+                .get(id)
+                .expect("accepted edges are resolvable");
+            let label_refs: Vec<&str> = self.registry.set(ls).iter().map(String::as_str).collect();
+            let nid = b.add_node(&label_refs, &[]);
+            stub_ids.insert(id.to_string(), nid);
+            *budget += 1;
+            used_stub = true;
+            nid
+        };
+        let s = endpoint(&e.src, b, budget);
+        let t = endpoint(&e.tgt, b, budget);
+        let label_refs: Vec<&str> = e.labels.iter().map(String::as_str).collect();
+        let prop_refs: Vec<(&str, Value)> = e
+            .props
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.clone()))
+            .collect();
+        b.add_edge(s, t, &label_refs, &prop_refs);
+        *budget += 1;
+        if used_stub {
+            self.warnings.cross_chunk_edges += 1;
+        }
+    }
+}
+
+/// Drain a whole source into a single [`PropertyGraph`] (the non-streaming
+/// path for formats other than `.pgt`). Forward-referencing edges resolve
+/// within the single chunk; truly dangling edges are counted in the
+/// returned warnings, mirroring the chunked semantics.
+pub fn read_all<S: GraphSource>(source: S) -> Result<(PropertyGraph, StreamWarnings), StreamError> {
+    let mut reader = ChunkedTextReader::new(source, usize::MAX);
+    let g = reader.next_chunk()?.unwrap_or_default();
+    Ok((g, reader.warnings()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pgt::PgtSource;
+    use super::*;
+
+    fn chunks_of(text: &str, chunk_size: usize) -> (Vec<PropertyGraph>, StreamWarnings, usize) {
+        let mut r = ChunkedTextReader::new(PgtSource::new(text.as_bytes()), chunk_size);
+        let mut out = Vec::new();
+        while let Some(g) = r.next_chunk().unwrap() {
+            out.push(g);
+        }
+        (out, r.warnings(), r.max_resident_elements())
+    }
+
+    /// 6 nodes then 3 edges, nodes-first like a real export.
+    const SMALL: &str = "\
+N a Person name=Ann
+N b Person name=Bob
+N c Person name=Cid
+N d Org url=x.com
+N e Org url=y.com
+N f Place name=GR
+E a d WORKS_AT -
+E b e WORKS_AT -
+E d f LOCATED_IN -
+";
+
+    #[test]
+    fn one_big_chunk_contains_everything() {
+        let (chunks, warnings, peak) = chunks_of(SMALL, 1000);
+        assert_eq!(chunks.len(), 1);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(chunks[0].node_count(), 6);
+        assert_eq!(chunks[0].edge_count(), 3);
+        assert_eq!(peak, 9);
+    }
+
+    #[test]
+    fn chunking_bounds_resident_elements() {
+        let (chunks, _, peak) = chunks_of(SMALL, 3);
+        assert!(chunks.len() >= 3, "got {} chunks", chunks.len());
+        // Budget is checked before appending, and an edge can bring at most
+        // two stub endpoints: resident stays under 2x the chunk size.
+        assert!(peak <= 6, "peak resident {peak}");
+        let total_edges: usize = chunks.iter().map(|c| c.edge_count()).sum();
+        assert_eq!(total_edges, 3, "no edge lost to chunking");
+    }
+
+    #[test]
+    fn cross_chunk_edges_get_labeled_stubs_and_warnings() {
+        let (chunks, warnings, _) = chunks_of(SMALL, 3);
+        assert!(warnings.cross_chunk_edges > 0);
+        assert_eq!(warnings.unresolved_edges, 0);
+        // Every edge still sees its endpoints' label sets: collect endpoint
+        // label pairs across chunks and check WORKS_AT goes Person -> Org.
+        let mut pairs = Vec::new();
+        for c in &chunks {
+            for (_, e) in c.edges() {
+                let (src, tgt) = c.edge_endpoint_labels(e);
+                pairs.push((
+                    c.label_set_str(src),
+                    c.label_set_str(tgt),
+                    c.label_set_str(&e.labels),
+                ));
+            }
+        }
+        assert!(pairs
+            .iter()
+            .any(|(s, t, l)| s == "{Person}" && t == "{Org}" && l == "{WORKS_AT}"));
+    }
+
+    #[test]
+    fn forward_references_resolve_across_chunks() {
+        // Edge arrives before either endpoint exists.
+        let text = "E a b KNOWS -\nN a Person -\nN b Person -\n";
+        let (chunks, warnings, _) = chunks_of(text, 2);
+        assert_eq!(warnings.deferred_edges, 1);
+        assert_eq!(warnings.unresolved_edges, 0);
+        let total_edges: usize = chunks.iter().map(|c| c.edge_count()).sum();
+        assert_eq!(total_edges, 1);
+    }
+
+    #[test]
+    fn never_declared_endpoints_are_counted_not_fatal() {
+        let text = "N a Person -\nE a ghost KNOWS -\nE phantom a KNOWS -\n";
+        let (chunks, warnings, _) = chunks_of(text, 100);
+        assert_eq!(warnings.unresolved_edges, 2);
+        let total_edges: usize = chunks.iter().map(|c| c.edge_count()).sum();
+        assert_eq!(total_edges, 0);
+        assert_eq!(chunks[0].node_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_ids_warn_and_rebind() {
+        let text = "N a Person -\nN a Org -\nE a a SELF -\n";
+        let (chunks, warnings, _) = chunks_of(text, 100);
+        assert_eq!(warnings.duplicate_nodes, 1);
+        // The edge binds to the latest declaration.
+        let c = &chunks[0];
+        let (_, e) = c.edges().next().unwrap();
+        let (src, _) = c.edge_endpoint_labels(e);
+        assert_eq!(c.label_set_str(src), "{Org}");
+    }
+
+    #[test]
+    fn pending_buffer_is_bounded() {
+        // Thousands of dangling edges must not accumulate unboundedly.
+        let mut text = String::from("N a Person -\n");
+        for i in 0..10_000 {
+            text.push_str(&format!("E a ghost{i} KNOWS -\n"));
+        }
+        let mut r = ChunkedTextReader::new(PgtSource::new(text.as_bytes()), 4);
+        while r.next_chunk().unwrap().is_some() {}
+        let w = r.warnings();
+        assert_eq!(w.unresolved_edges, 10_000);
+        assert!(w.evicted_edges > 0, "cap kicked in: {w:?}");
+    }
+
+    #[test]
+    fn eviction_never_drops_a_resolvable_edge() {
+        // Regression: a deferred edge whose endpoints are declared later in
+        // the same chunk used to be evictable by a flood of dangling edges
+        // (it was only re-checked at chunk boundaries). Eviction must emit
+        // it instead.
+        let mut text = String::from("E a b KNOWS -\nN a Person -\nN b Person -\n");
+        let dangling = 8_200; // cap is 4 * 2000 = 8000
+        for i in 0..dangling {
+            text.push_str(&format!("E a ghost{i} REF -\n"));
+        }
+        let mut r = ChunkedTextReader::new(PgtSource::new(text.as_bytes()), 2_000);
+        let mut edges = 0usize;
+        while let Some(c) = r.next_chunk().unwrap() {
+            edges += c.edge_count();
+        }
+        assert_eq!(edges, 1, "the fully-declared KNOWS edge survives");
+        let w = r.warnings();
+        assert_eq!(w.unresolved_edges, dangling);
+        assert!(w.evicted_edges > 0, "{w:?}");
+    }
+
+    #[test]
+    fn empty_source_yields_no_chunks() {
+        let (chunks, warnings, peak) = chunks_of("# only comments\n", 10);
+        assert!(chunks.is_empty());
+        assert!(warnings.is_empty());
+        assert_eq!(peak, 0);
+    }
+
+    #[test]
+    fn chunk_graphs_are_independent() {
+        let (chunks, _, _) = chunks_of(SMALL, 3);
+        // Interners are per chunk: the same label resolves independently.
+        for c in &chunks {
+            for (_, n) in c.nodes() {
+                for &l in &n.labels {
+                    assert!(!c.label_str(l).is_empty());
+                }
+            }
+        }
+    }
+}

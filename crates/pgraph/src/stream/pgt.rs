@@ -1,0 +1,103 @@
+//! Streaming source for the line-oriented `.pgt` text format of
+//! [`crate::loader`] — same grammar, same percent-encoding, but reads one
+//! record at a time from any [`BufRead`] instead of a full in-memory string.
+
+use super::{GraphSource, Record, StreamError};
+use crate::loader::parse_line;
+use std::io::BufRead;
+
+/// Record-at-a-time reader of the `.pgt` format.
+pub struct PgtSource<R> {
+    reader: R,
+    line: u64,
+    buf: String,
+}
+
+impl<R: BufRead> PgtSource<R> {
+    /// Source over any buffered reader.
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            line: 0,
+            buf: String::new(),
+        }
+    }
+}
+
+impl<R: BufRead> GraphSource for PgtSource<R> {
+    fn next_record(&mut self) -> Result<Option<Record>, StreamError> {
+        loop {
+            self.buf.clear();
+            if self.reader.read_line(&mut self.buf)? == 0 {
+                return Ok(None);
+            }
+            self.line += 1;
+            match parse_line(self.line as usize, &self.buf) {
+                Ok(Some(rec)) => return Ok(Some(rec)),
+                Ok(None) => continue,
+                Err(e) => {
+                    return Err(StreamError::Parse {
+                        line: self.line,
+                        msg: e.to_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn format_name(&self) -> &'static str {
+        "pgt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::{load_text, save_text};
+    use crate::stream::read_all;
+    use crate::GraphBuilder;
+    use crate::Value;
+
+    #[test]
+    fn streams_same_records_as_loader() {
+        let text = "# comment\n\
+                    N a Person name=Ann,age=30\n\
+                    N b - -\n\
+                    E a b KNOWS since=2020\n";
+        let mut src = PgtSource::new(text.as_bytes());
+        let mut records = Vec::new();
+        while let Some(r) = src.next_record().unwrap() {
+            records.push(r);
+        }
+        assert_eq!(records.len(), 3);
+        assert!(matches!(&records[0], Record::Node { id, .. } if id == "a"));
+        assert!(matches!(&records[2], Record::Edge { src, tgt, .. } if src == "a" && tgt == "b"));
+    }
+
+    #[test]
+    fn read_all_matches_load_text() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(&["Person"], &[("name", Value::from("Ann, esq."))]);
+        let y = b.add_node(&[], &[("score", Value::Float(2.5))]);
+        b.add_edge(x, y, &["KNOWS"], &[("since", Value::Int(2020))]);
+        let text = save_text(&b.finish());
+
+        let via_loader = load_text(&text).unwrap();
+        let (via_stream, warnings) = read_all(PgtSource::new(text.as_bytes())).unwrap();
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(via_stream.node_count(), via_loader.node_count());
+        assert_eq!(via_stream.edge_count(), via_loader.edge_count());
+        for ((_, a), (_, b)) in via_loader.nodes().zip(via_stream.nodes()) {
+            assert_eq!(a.props.len(), b.props.len());
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "N a - -\nX bogus\n";
+        let mut src = PgtSource::new(text.as_bytes());
+        src.next_record().unwrap();
+        let err = src.next_record().unwrap_err();
+        assert!(matches!(err, StreamError::Parse { line: 2, .. }), "{err}");
+    }
+}

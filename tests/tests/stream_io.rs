@@ -1,0 +1,268 @@
+//! Integration tests for the streaming *ingestion* layer: the
+//! `ChunkedTextReader` end-to-end into `discover_stream`, and a proptest
+//! that pgt / CSV / JSONL round-trips through the exporters reproduce the
+//! same discovered schema.
+
+use pg_hive_core::schema::SchemaGraph;
+use pg_hive_core::{Discoverer, PipelineConfig};
+use pg_hive_graph::loader::{load_text, save_text};
+use pg_hive_graph::stream::csv::{save_edges_csv, save_nodes_csv, CsvSource};
+use pg_hive_graph::stream::jsonl::{save_jsonl, JsonlSource};
+use pg_hive_graph::stream::{pgt::PgtSource, read_all};
+use pg_hive_graph::{ChunkedTextReader, GraphBuilder, PropertyGraph, Value};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn node_inventory(s: &SchemaGraph) -> BTreeSet<Vec<String>> {
+    s.node_types
+        .iter()
+        .map(|t| t.labels.iter().cloned().collect())
+        .collect()
+}
+
+fn edge_inventory(s: &SchemaGraph) -> BTreeSet<Vec<String>> {
+    s.edge_types
+        .iter()
+        .map(|t| t.labels.iter().cloned().collect())
+        .collect()
+}
+
+#[test]
+fn chunked_reader_matches_resident_inventory() {
+    // 30 people, 10 orgs, 30 WORKS_AT edges: serialized nodes-first, so
+    // every edge chunk must resolve its endpoints through the registry.
+    let g = {
+        let mut b = GraphBuilder::new();
+        let mut people = Vec::new();
+        for i in 0..30 {
+            people.push(b.add_node(
+                &["Person"],
+                &[("name", Value::from(format!("p{i}").as_str()))],
+            ));
+        }
+        let mut orgs = Vec::new();
+        for i in 0..10 {
+            orgs.push(b.add_node(
+                &["Org"],
+                &[("url", Value::from(format!("o{i}.com").as_str()))],
+            ));
+        }
+        for (i, &p) in people.iter().enumerate() {
+            b.add_edge(p, orgs[i % 10], &["WORKS_AT"], &[]);
+        }
+        b.finish()
+    };
+    let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+    let resident = d.discover(&g);
+
+    let text = save_text(&g);
+    let mut reader = ChunkedTextReader::new(PgtSource::new(text.as_bytes()), 7);
+    let streamed = d.discover_stream(std::iter::from_fn(|| reader.next_chunk().unwrap()));
+
+    assert_eq!(reader.warnings().unresolved_edges, 0);
+    assert!(reader.chunks_emitted() >= 8, "70 elements / chunk 7");
+    assert!(
+        reader.max_resident_elements() <= 14,
+        "peak resident {} must stay <= 2x chunk size",
+        reader.max_resident_elements()
+    );
+    assert_eq!(
+        node_inventory(&streamed.schema),
+        node_inventory(&resident.schema)
+    );
+    assert_eq!(
+        edge_inventory(&streamed.schema),
+        edge_inventory(&resident.schema)
+    );
+    // No edge was lost to chunking: WORKS_AT keeps its full count.
+    let works = streamed
+        .schema
+        .edge_type_by_labels(&pg_hive_core::label_set(&["WORKS_AT"]))
+        .unwrap();
+    assert_eq!(streamed.schema.edge_types[works].instance_count, 30);
+}
+
+/// Random small graphs with value variety (commas, quotes, `=`, `%`,
+/// dates, floats) to stress every escaper. With `all_labeled`, every node
+/// carries its type label; otherwise nodes are randomly unlabeled.
+fn arb_graph(all_labeled: bool) -> impl Strategy<Value = PropertyGraph> {
+    let node = (
+        0u8..5,
+        any::<bool>(),
+        proptest::collection::vec(any::<bool>(), 4),
+    );
+    (
+        proptest::collection::vec(node, 1..40),
+        proptest::collection::vec((0u8..40, 0u8..40, 0u8..3), 0..30),
+    )
+        .prop_map(move |(nodes, edges)| {
+            let mut b = GraphBuilder::new();
+            let mut ids = Vec::new();
+            for (ty, labeled, key_mask) in &nodes {
+                let label = format!("T{ty}");
+                let labels: Vec<&str> = if all_labeled || *labeled {
+                    vec![&label]
+                } else {
+                    vec![]
+                };
+                let keys = ["alpha", "beta", "gamma", "delta"];
+                let values = [
+                    Value::Int(7),
+                    Value::from("x, \"quoted\"=tricky %"),
+                    Value::from("1999-12-19"),
+                    Value::Float(2.5),
+                ];
+                let props: Vec<(&str, Value)> = keys
+                    .iter()
+                    .zip(key_mask)
+                    .enumerate()
+                    .filter(|(_, (_, &m))| m)
+                    .map(|(i, (k, _))| (*k, values[i].clone()))
+                    .collect();
+                ids.push(b.add_node(&labels, &props));
+            }
+            for (s, t, e) in &edges {
+                let si = *s as usize % ids.len();
+                let ti = *t as usize % ids.len();
+                let label = format!("E{e}");
+                b.add_edge(ids[si], ids[ti], &[&label], &[("w", Value::Int(*e as i64))]);
+            }
+            b.finish()
+        })
+}
+
+/// The discovered schema reduced to a comparable form: sorted labeled
+/// types with instance counts and property-key sets.
+type Fingerprint = (
+    Vec<(Vec<String>, u64, Vec<String>)>,
+    Vec<(Vec<String>, u64)>,
+);
+
+fn schema_fingerprint(s: &SchemaGraph) -> Fingerprint {
+    let mut nodes: Vec<(Vec<String>, u64, Vec<String>)> = s
+        .node_types
+        .iter()
+        .map(|t| {
+            (
+                t.labels.iter().cloned().collect(),
+                t.instance_count,
+                t.props.keys().cloned().collect(),
+            )
+        })
+        .collect();
+    nodes.sort();
+    let mut edges: Vec<(Vec<String>, u64)> = s
+        .edge_types
+        .iter()
+        .map(|t| (t.labels.iter().cloned().collect(), t.instance_count))
+        .collect();
+    edges.sort();
+    (nodes, edges)
+}
+
+/// The parts of a discovered schema that must survive *any* faithful
+/// round-trip of a graph with unlabeled nodes: the labeled node-type
+/// inventory, the exact edge types (edge merging is label-only, hence
+/// order-invariant), and the instance totals. Per-type node counts and key
+/// unions are excluded: they depend on which labeled type absorbs a
+/// borderline unlabeled cluster, which can shift when a format re-orders
+/// key interning.
+#[allow(clippy::type_complexity)]
+fn labeled_fingerprint(
+    s: &SchemaGraph,
+) -> (BTreeSet<Vec<String>>, Vec<(Vec<String>, u64)>, u64, u64) {
+    let (_, edges) = schema_fingerprint(s);
+    let labeled: BTreeSet<Vec<String>> = node_inventory(s)
+        .into_iter()
+        .filter(|l| !l.is_empty())
+        .collect();
+    (labeled, edges, s.node_instances(), s.edge_instances())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On fully labeled graphs discovery is invariant to the property-key
+    /// interning order a format imposes, so every round-trip must
+    /// reproduce the exact discovered schema.
+    #[test]
+    fn labeled_round_trips_reproduce_the_exact_schema(g in arb_graph(true)) {
+        let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+        let want = schema_fingerprint(&d.discover(&g).schema);
+
+        let text = save_text(&g);
+        let via_loader = load_text(&text).unwrap();
+        prop_assert_eq!(&schema_fingerprint(&d.discover(&via_loader).schema), &want);
+
+        let (via_pgt, w) = read_all(PgtSource::new(text.as_bytes())).unwrap();
+        prop_assert!(w.is_empty());
+        prop_assert_eq!(&schema_fingerprint(&d.discover(&via_pgt).schema), &want);
+
+        let nodes_csv = save_nodes_csv(&g);
+        let edges_csv = save_edges_csv(&g);
+        let (via_csv, w) =
+            read_all(CsvSource::new(nodes_csv.as_bytes(), Some(edges_csv.as_bytes()))).unwrap();
+        prop_assert!(w.is_empty());
+        prop_assert_eq!(&schema_fingerprint(&d.discover(&via_csv).schema), &want);
+
+        let jsonl = save_jsonl(&g);
+        let (via_jsonl, w) = read_all(JsonlSource::new(jsonl.as_bytes())).unwrap();
+        prop_assert!(w.is_empty());
+        prop_assert_eq!(&schema_fingerprint(&d.discover(&via_jsonl).schema), &want);
+    }
+
+    /// With unlabeled nodes, borderline abstract clusters may merge
+    /// differently when a format re-orders key interning (floating-point
+    /// summation order in the embedder); the structure, the labeled
+    /// inventory, and all totals must still round-trip bit-exactly. The
+    /// order-preserving pgt path keeps exact equality even here.
+    #[test]
+    fn mixed_round_trips_preserve_structure_and_labeled_inventory(g in arb_graph(false)) {
+        let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+        let want_exact = schema_fingerprint(&d.discover(&g).schema);
+        let want = labeled_fingerprint(&d.discover(&g).schema);
+        let want_stats = pg_hive_graph::GraphStats::compute(&g);
+
+        let text = save_text(&g);
+        let via_loader = load_text(&text).unwrap();
+        prop_assert_eq!(&schema_fingerprint(&d.discover(&via_loader).schema), &want_exact);
+
+        let (via_pgt, w) = read_all(PgtSource::new(text.as_bytes())).unwrap();
+        prop_assert!(w.is_empty());
+        prop_assert_eq!(&schema_fingerprint(&d.discover(&via_pgt).schema), &want_exact);
+
+        let nodes_csv = save_nodes_csv(&g);
+        let edges_csv = save_edges_csv(&g);
+        let (via_csv, w) =
+            read_all(CsvSource::new(nodes_csv.as_bytes(), Some(edges_csv.as_bytes()))).unwrap();
+        prop_assert!(w.is_empty());
+        prop_assert_eq!(&pg_hive_graph::GraphStats::compute(&via_csv), &want_stats);
+        prop_assert_eq!(&labeled_fingerprint(&d.discover(&via_csv).schema), &want);
+
+        let jsonl = save_jsonl(&g);
+        let (via_jsonl, w) = read_all(JsonlSource::new(jsonl.as_bytes())).unwrap();
+        prop_assert!(w.is_empty());
+        prop_assert_eq!(&pg_hive_graph::GraphStats::compute(&via_jsonl), &want_stats);
+        prop_assert_eq!(&labeled_fingerprint(&d.discover(&via_jsonl).schema), &want);
+    }
+
+    #[test]
+    fn chunking_never_loses_declared_edges(g in arb_graph(false), chunk_size in 1usize..20) {
+        let text = save_text(&g);
+        let mut reader = ChunkedTextReader::new(PgtSource::new(text.as_bytes()), chunk_size);
+        let mut nodes = 0usize;
+        let mut edges = 0usize;
+        let mut peak = 0usize;
+        while let Some(c) = reader.next_chunk().unwrap() {
+            nodes += c.node_count();
+            edges += c.edge_count();
+            peak = peak.max(c.node_count() + c.edge_count());
+        }
+        prop_assert_eq!(edges, g.edge_count());
+        prop_assert!(nodes >= g.node_count(), "stubs only ever add nodes");
+        prop_assert_eq!(reader.warnings().unresolved_edges, 0);
+        // Budget precheck: a chunk may overshoot by at most one edge plus
+        // its two stubs.
+        prop_assert!(peak <= chunk_size + 2, "peak {} chunk {}", peak, chunk_size);
+    }
+}
