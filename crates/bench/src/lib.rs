@@ -17,6 +17,15 @@
 //! Criterion micro/meso benches: `bench_discovery`, `bench_incremental`,
 //! `bench_lsh`, `bench_components`.
 //!
+//! Two JSON perf trackers gate CI PR over PR:
+//!
+//! - `bench_lsh_json` → `BENCH_lsh.json` — LSH hot-path throughput
+//!   (signature dedup + projection banks vs the seed scalar reference);
+//! - `bench_stream_json` → `BENCH_stream.json` — streaming ingestion:
+//!   load-everything baseline vs serial streaming vs the pipeline-parallel
+//!   engine (read-ahead + worker pool; records thread count and read-ahead
+//!   depth, honors `PGHIVE_THREADS` / `PGHIVE_READ_AHEAD` / `PGHIVE_CHUNK`).
+//!
 //! All binaries accept the `PGHIVE_SCALE` environment variable (default
 //! shown per binary) to trade fidelity for runtime, and `PGHIVE_SEED`.
 

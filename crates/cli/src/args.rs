@@ -7,13 +7,15 @@ pg-hive — hybrid incremental schema discovery for property graphs
 
 USAGE:
   pg-hive discover <input> [OPTIONS]       infer the schema of a graph
+  pg-hive diff     <old> <new> [OPTIONS]   discover both schemas and report
+                                           what changed (exit 1 on changes)
   pg-hive validate <data.pgt> <reference.pgt> [--loose]
                                            check data against the schema
                                            discovered from a reference graph
   pg-hive stats    <input> [OPTIONS]       structural statistics (Table 2)
   pg-hive help                             this message
 
-INPUT FORMATS (discover, stats):
+INPUT FORMATS (discover, diff, stats):
   --input-format pgt|csv|jsonl  (default: pgt)
      pgt    line-oriented text graph (<input> is a .pgt file)
      csv    <input> is a directory holding nodes.csv (+ optional edges.csv):
@@ -22,22 +24,32 @@ INPUT FORMATS (discover, stats):
      jsonl  one JSON object per line: {\"type\":\"node\",\"id\":...,
             \"labels\":[...],\"props\":{...}} / {\"type\":\"edge\",\"src\":...}
 
-STREAMING (discover, stats):
+STREAMING (discover, diff, stats):
   --stream                 process the input in independent chunks with
                            O(chunk) resident memory (discovery merges
                            per-chunk schemas, §4.6); cross-chunk edges are
                            resolved through a compact id→labels registry
                            and reported as warnings
-  --chunk-size <N>         elements per chunk (default: 100000)
+  --chunk-size <N>         elements per chunk (default: 100000; N >= 1).
+                           stats folds records one at a time and ignores it
+  --threads <N>            worker threads discovering chunks concurrently
+                           (default: all available cores; N >= 1; results
+                           are byte-identical for every thread count).
+                           stats folds a single record stream, so --threads
+                           has no effect there
+  --read-ahead <N>         chunks parsed ahead of the workers by the
+                           producer thread (default: 2; N >= 1)
 
-DISCOVER OPTIONS:
+DISCOVER / DIFF OPTIONS:
   --method elsh|minhash    LSH family (default: elsh)
   --theta <0..1>           Jaccard merge threshold (default: 0.9)
+  --seed <N>               RNG seed (default: 42)
+
+DISCOVER OPTIONS:
   --batches <N>            incremental batches (default: 1 = static;
                            incompatible with --stream)
   --format strict|loose|xsd|summary   output (default: summary)
-  --sample                 sample-based datatype inference
-  --seed <N>               RNG seed (default: 42)";
+  --sample                 sample-based datatype inference";
 
 /// Output format of `discover`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +85,63 @@ impl InputFormat {
 /// Default `--chunk-size`.
 pub const DEFAULT_CHUNK_SIZE: usize = 100_000;
 
+/// Default `--read-ahead` depth (parsed chunks buffered ahead of the
+/// workers).
+pub const DEFAULT_READ_AHEAD: usize = 2;
+
+/// Ingestion options shared by `discover`, `diff` and `stats`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamOpts {
+    pub input_format: InputFormat,
+    pub stream: bool,
+    pub chunk_size: usize,
+    /// Worker threads for per-chunk discovery; `None` = all available
+    /// cores. Always ≥ 1 when set (0 is rejected at parse time).
+    pub threads: Option<usize>,
+    pub read_ahead: usize,
+}
+
+impl Default for StreamOpts {
+    fn default() -> Self {
+        Self {
+            input_format: InputFormat::Pgt,
+            stream: false,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            threads: None,
+            read_ahead: DEFAULT_READ_AHEAD,
+        }
+    }
+}
+
+impl StreamOpts {
+    /// Try to consume `flag` (and its value from `it`) as one of the shared
+    /// ingestion flags. `Ok(true)` when consumed, `Ok(false)` when the flag
+    /// is not an ingestion flag.
+    fn consume<I: Iterator<Item = String>>(
+        &mut self,
+        flag: &str,
+        it: &mut I,
+    ) -> Result<bool, String> {
+        match flag {
+            "--input-format" => {
+                self.input_format = InputFormat::parse(it.next().as_deref())?;
+            }
+            "--stream" => self.stream = true,
+            "--chunk-size" => {
+                self.chunk_size = parse_positive("--chunk-size", it.next())?;
+            }
+            "--threads" => {
+                self.threads = Some(parse_positive("--threads", it.next())?);
+            }
+            "--read-ahead" => {
+                self.read_ahead = parse_positive("--read-ahead", it.next())?;
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
 /// Parsed sub-command.
 #[derive(Debug, Clone)]
 pub enum Command {
@@ -84,9 +153,15 @@ pub enum Command {
         format: OutputFormat,
         sample: bool,
         seed: u64,
-        input_format: InputFormat,
-        stream: bool,
-        chunk_size: usize,
+        stream: StreamOpts,
+    },
+    Diff {
+        old_path: String,
+        new_path: String,
+        method: ClusterMethod,
+        theta: f64,
+        seed: u64,
+        stream: StreamOpts,
     },
     Validate {
         data_path: String,
@@ -95,8 +170,7 @@ pub enum Command {
     },
     Stats {
         path: String,
-        input_format: InputFormat,
-        stream: bool,
+        stream: StreamOpts,
     },
     Help,
 }
@@ -108,7 +182,7 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parse from an iterator of argument strings (without argv[0]).
+    /// Parse from an iterator of argument strings (without `argv[0]`).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
         let mut it = args.into_iter();
         let Some(cmd) = it.next() else {
@@ -122,30 +196,14 @@ impl Args {
             }),
             "stats" => {
                 let path = it.next().ok_or("stats needs a graph file")?;
-                let mut input_format = InputFormat::Pgt;
-                let mut stream = false;
-                let mut chunk_size = DEFAULT_CHUNK_SIZE;
+                let mut stream = StreamOpts::default();
                 while let Some(flag) = it.next() {
-                    match flag.as_str() {
-                        "--input-format" => {
-                            input_format = InputFormat::parse(it.next().as_deref())?;
-                        }
-                        "--stream" => stream = true,
-                        "--chunk-size" => {
-                            chunk_size = parse_chunk_size(it.next())?;
-                        }
-                        other => return Err(format!("unknown flag '{other}'")),
+                    if !stream.consume(&flag, &mut it)? {
+                        return Err(format!("unknown flag '{flag}'"));
                     }
                 }
-                // Streaming stats folds records directly; chunk size is
-                // accepted for symmetry but has no effect.
-                let _ = chunk_size;
                 Ok(Args {
-                    command: Command::Stats {
-                        path,
-                        input_format,
-                        stream,
-                    },
+                    command: Command::Stats { path, stream },
                 })
             }
             "validate" => {
@@ -166,6 +224,35 @@ impl Args {
                     },
                 })
             }
+            "diff" => {
+                let old_path = it.next().ok_or("diff needs an old graph file")?;
+                let new_path = it.next().ok_or("diff needs a new graph file")?;
+                let mut method = ClusterMethod::Elsh;
+                let mut theta = 0.9;
+                let mut seed = 42u64;
+                let mut stream = StreamOpts::default();
+                while let Some(flag) = it.next() {
+                    if stream.consume(&flag, &mut it)? {
+                        continue;
+                    }
+                    match flag.as_str() {
+                        "--method" => method = parse_method(it.next())?,
+                        "--theta" => theta = parse_theta(it.next())?,
+                        "--seed" => seed = parse_seed(it.next())?,
+                        other => return Err(format!("unknown flag '{other}'")),
+                    }
+                }
+                Ok(Args {
+                    command: Command::Diff {
+                        old_path,
+                        new_path,
+                        method,
+                        theta,
+                        seed,
+                        stream,
+                    },
+                })
+            }
             "discover" => {
                 let path = it.next().ok_or("discover needs a graph file")?;
                 let mut method = ClusterMethod::Elsh;
@@ -174,32 +261,14 @@ impl Args {
                 let mut format = OutputFormat::Summary;
                 let mut sample = false;
                 let mut seed = 42u64;
-                let mut input_format = InputFormat::Pgt;
-                let mut stream = false;
-                let mut chunk_size = DEFAULT_CHUNK_SIZE;
+                let mut stream = StreamOpts::default();
                 while let Some(flag) = it.next() {
+                    if stream.consume(&flag, &mut it)? {
+                        continue;
+                    }
                     match flag.as_str() {
-                        "--method" => {
-                            method = match it.next().as_deref() {
-                                Some("elsh") => ClusterMethod::Elsh,
-                                Some("minhash") => ClusterMethod::MinHash,
-                                other => {
-                                    return Err(format!(
-                                        "--method expects elsh|minhash, got {other:?}"
-                                    ))
-                                }
-                            }
-                        }
-                        "--theta" => {
-                            theta = it
-                                .next()
-                                .ok_or("--theta needs a value")?
-                                .parse()
-                                .map_err(|e| format!("--theta: {e}"))?;
-                            if !(0.0..=1.0).contains(&theta) {
-                                return Err("--theta must be in [0, 1]".into());
-                            }
-                        }
+                        "--method" => method = parse_method(it.next())?,
+                        "--theta" => theta = parse_theta(it.next())?,
                         "--batches" => {
                             batches = it
                                 .next()
@@ -224,24 +293,11 @@ impl Args {
                             }
                         }
                         "--sample" => sample = true,
-                        "--seed" => {
-                            seed = it
-                                .next()
-                                .ok_or("--seed needs a value")?
-                                .parse()
-                                .map_err(|e| format!("--seed: {e}"))?;
-                        }
-                        "--input-format" => {
-                            input_format = InputFormat::parse(it.next().as_deref())?;
-                        }
-                        "--stream" => stream = true,
-                        "--chunk-size" => {
-                            chunk_size = parse_chunk_size(it.next())?;
-                        }
+                        "--seed" => seed = parse_seed(it.next())?,
                         other => return Err(format!("unknown flag '{other}'")),
                     }
                 }
-                if stream && batches > 1 {
+                if stream.stream && batches > 1 {
                     return Err("--stream and --batches are incompatible: streaming chunks \
                          are the batches"
                         .into());
@@ -255,9 +311,7 @@ impl Args {
                         format,
                         sample,
                         seed,
-                        input_format,
                         stream,
-                        chunk_size,
                     },
                 })
             }
@@ -266,13 +320,41 @@ impl Args {
     }
 }
 
-fn parse_chunk_size(arg: Option<String>) -> Result<usize, String> {
-    let n: usize = arg
-        .ok_or("--chunk-size needs a value")?
+fn parse_method(arg: Option<String>) -> Result<ClusterMethod, String> {
+    match arg.as_deref() {
+        Some("elsh") => Ok(ClusterMethod::Elsh),
+        Some("minhash") => Ok(ClusterMethod::MinHash),
+        other => Err(format!("--method expects elsh|minhash, got {other:?}")),
+    }
+}
+
+fn parse_theta(arg: Option<String>) -> Result<f64, String> {
+    let theta: f64 = arg
+        .ok_or("--theta needs a value")?
         .parse()
-        .map_err(|e| format!("--chunk-size: {e}"))?;
+        .map_err(|e| format!("--theta: {e}"))?;
+    if !(0.0..=1.0).contains(&theta) {
+        return Err("--theta must be in [0, 1]".into());
+    }
+    Ok(theta)
+}
+
+fn parse_seed(arg: Option<String>) -> Result<u64, String> {
+    arg.ok_or("--seed needs a value")?
+        .parse()
+        .map_err(|e| format!("--seed: {e}"))
+}
+
+/// Parse a flag value that must be a positive integer — `0` would mean "no
+/// chunks" / "no workers" / "no buffer" and silently degenerate, so it is
+/// rejected with the flag's name in the error.
+fn parse_positive(flag: &str, arg: Option<String>) -> Result<usize, String> {
+    let n: usize = arg
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))?;
     if n == 0 {
-        return Err("--chunk-size must be >= 1".into());
+        return Err(format!("{flag} must be >= 1"));
     }
     Ok(n)
 }
@@ -301,9 +383,7 @@ mod tests {
             format,
             sample,
             seed,
-            input_format,
             stream,
-            chunk_size,
         } = a.command
         else {
             panic!()
@@ -315,9 +395,12 @@ mod tests {
         assert_eq!(format, OutputFormat::Summary);
         assert!(!sample);
         assert_eq!(seed, 42);
-        assert_eq!(input_format, InputFormat::Pgt);
-        assert!(!stream);
-        assert_eq!(chunk_size, DEFAULT_CHUNK_SIZE);
+        assert_eq!(stream, StreamOpts::default());
+        assert_eq!(stream.input_format, InputFormat::Pgt);
+        assert!(!stream.stream);
+        assert_eq!(stream.chunk_size, DEFAULT_CHUNK_SIZE);
+        assert_eq!(stream.threads, None);
+        assert_eq!(stream.read_ahead, DEFAULT_READ_AHEAD);
     }
 
     #[test]
@@ -368,20 +451,20 @@ mod tests {
             "5000",
             "--input-format",
             "csv",
+            "--threads",
+            "3",
+            "--read-ahead",
+            "5",
         ])
         .unwrap();
-        let Command::Discover {
-            stream,
-            chunk_size,
-            input_format,
-            ..
-        } = a.command
-        else {
+        let Command::Discover { stream, .. } = a.command else {
             panic!()
         };
-        assert!(stream);
-        assert_eq!(chunk_size, 5000);
-        assert_eq!(input_format, InputFormat::Csv);
+        assert!(stream.stream);
+        assert_eq!(stream.chunk_size, 5000);
+        assert_eq!(stream.input_format, InputFormat::Csv);
+        assert_eq!(stream.threads, Some(3));
+        assert_eq!(stream.read_ahead, 5);
     }
 
     #[test]
@@ -395,6 +478,26 @@ mod tests {
         assert!(parse(&["discover", "g", "--chunk-size", "0"]).is_err());
         assert!(parse(&["discover", "g", "--chunk-size", "nope"]).is_err());
         assert!(parse(&["stats", "g", "--chunk-size", "0"]).is_err());
+        assert!(parse(&["diff", "a", "b", "--chunk-size", "0"]).is_err());
+    }
+
+    #[test]
+    fn zero_threads_and_read_ahead_rejected_everywhere() {
+        // Regression: 0 would mean "no workers" / "no buffer" and must be a
+        // parse error with the flag name, not degenerate behavior.
+        for cmd in [&["discover", "g"][..], &["stats", "g"], &["diff", "a", "b"]] {
+            let mut with_threads = cmd.to_vec();
+            with_threads.extend(["--threads", "0"]);
+            let err = parse(&with_threads).unwrap_err();
+            assert!(err.contains("--threads must be >= 1"), "{err}");
+            let mut with_ra = cmd.to_vec();
+            with_ra.extend(["--read-ahead", "0"]);
+            let err = parse(&with_ra).unwrap_err();
+            assert!(err.contains("--read-ahead must be >= 1"), "{err}");
+        }
+        assert!(parse(&["discover", "g", "--threads", "4"]).is_ok());
+        assert!(parse(&["discover", "g", "--threads", "-2"]).is_err());
+        assert!(parse(&["discover", "g", "--read-ahead", "nope"]).is_err());
     }
 
     #[test]
@@ -417,6 +520,7 @@ mod tests {
     #[test]
     fn unknown_flags_rejected() {
         assert!(parse(&["discover", "g", "--frobnicate"]).is_err());
+        assert!(parse(&["stats", "g", "--batches", "2"]).is_err());
         assert!(parse(&["frobnicate"]).is_err());
     }
 
@@ -439,8 +543,40 @@ mod tests {
     #[test]
     fn stats_parses() {
         let a = parse(&["stats", "g.pgt", "--stream"]).unwrap();
-        let Command::Stats { stream: true, .. } = a.command else {
+        let Command::Stats { stream, .. } = a.command else {
             panic!()
         };
+        assert!(stream.stream);
+    }
+
+    #[test]
+    fn diff_parses() {
+        let a = parse(&[
+            "diff",
+            "old.pgt",
+            "new.pgt",
+            "--theta",
+            "0.8",
+            "--stream",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        let Command::Diff {
+            old_path,
+            new_path,
+            theta,
+            stream,
+            ..
+        } = a.command
+        else {
+            panic!()
+        };
+        assert_eq!(old_path, "old.pgt");
+        assert_eq!(new_path, "new.pgt");
+        assert_eq!(theta, 0.8);
+        assert!(stream.stream);
+        assert_eq!(stream.threads, Some(2));
+        assert!(parse(&["diff", "only-one"]).is_err());
     }
 }

@@ -5,9 +5,13 @@
 //!                  [--batches N] [--format strict|loose|xsd|summary]
 //!                  [--sample] [--seed S]
 //!                  [--input-format pgt|csv|jsonl] [--stream]
-//!                  [--chunk-size N]
+//!                  [--chunk-size N] [--threads N] [--read-ahead N]
+//! pg-hive diff     <old> <new> [--method M] [--theta T] [--seed S]
+//!                  [--input-format F] [--stream] [--chunk-size N]
+//!                  [--threads N] [--read-ahead N]
 //! pg-hive validate <graph.pgt> <schema-graph.pgt> [--loose]
 //! pg-hive stats    <input> [--input-format pgt|csv|jsonl] [--stream]
+//!                  [--read-ahead N]
 //! ```
 //!
 //! Inputs are read in one of three formats (see [`pg_hive_graph::stream`]):
@@ -15,24 +19,40 @@
 //! (`<input>` is a directory with `nodes.csv` + optional `edges.csv`), or
 //! JSON-Lines (one node/edge object per line).
 //!
-//! With `--stream`, `discover` feeds independent ~`--chunk-size`-element
-//! chunks through `Discoverer::discover_stream`, so resident memory is
-//! O(chunk) instead of O(dataset) (§4.6): per-chunk progress goes to
-//! stderr, and the report includes the peak-resident element count plus
+//! With `--stream`, `discover` runs the pipeline-parallel streaming engine:
+//! a dedicated producer thread parses `--read-ahead` chunks ahead
+//! ([`pg_hive_graph::stream::ReadAheadChunks`]), a pool of `--threads`
+//! workers discovers chunks concurrently, and per-chunk schemas merge in
+//! input order (`Discoverer::discover_stream_parallel`) — so resident
+//! memory stays O(chunk × in-flight), the output is byte-identical for
+//! every thread count, and wall-clock tracks the slower of I/O and compute
+//! instead of their sum. Per-chunk progress (with the in-flight bound) goes
+//! to stderr; the report includes the peak-resident element count plus
 //! counted ingestion warnings (cross-chunk edges, dangling refs).
+//!
+//! `diff` discovers the schema of two snapshots of a dataset and reports
+//! added/removed/changed types — the operational counterpart of the
+//! incremental monotone chain (§4.6). See `docs/CLI.md` for the full
+//! reference.
 
 use pg_hive_core::schema::SchemaGraph;
 use pg_hive_core::serialize::{pg_schema_loose, pg_schema_strict, to_xsd};
-use pg_hive_core::{validate, Discoverer, PipelineConfig, SamplingConfig, ValidationMode};
+use pg_hive_core::{
+    diff_schemas, validate, Discoverer, PipelineConfig, SamplingConfig, StreamResult,
+    ValidationMode,
+};
 use pg_hive_graph::loader::load_text;
 use pg_hive_graph::stream::{csv::CsvSource, jsonl::JsonlSource, pgt::PgtSource};
-use pg_hive_graph::{ChunkedTextReader, GraphSource, GraphStats, PropertyGraph, StreamWarnings};
+use pg_hive_graph::{
+    GraphSource, GraphStats, PropertyGraph, ReadAheadChunks, ReadAheadRecords, StreamSummary,
+    StreamWarnings,
+};
 use std::io::{BufReader, Write};
 use std::path::Path;
 use std::process::ExitCode;
 
 mod args;
-use args::{Args, Command, InputFormat, OutputFormat};
+use args::{Args, Command, InputFormat, OutputFormat, StreamOpts};
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -53,15 +73,16 @@ fn main() -> ExitCode {
     }
 }
 
-/// Open a streaming record source for `path` in the given wire format.
-fn open_source(path: &str, format: InputFormat) -> Result<Box<dyn GraphSource>, String> {
+/// Open a streaming record source for `path` in the given wire format. The
+/// source is `Send` so it can be driven by a read-ahead producer thread.
+fn open_source(path: &str, format: InputFormat) -> Result<Box<dyn GraphSource + Send>, String> {
     match format {
         InputFormat::Pgt => {
             let f = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             Ok(Box::new(PgtSource::new(BufReader::new(f))))
         }
         InputFormat::Csv => CsvSource::open_dir(Path::new(path))
-            .map(|s| Box::new(s) as Box<dyn GraphSource>)
+            .map(|s| Box::new(s) as Box<dyn GraphSource + Send>)
             .map_err(|e| format!("cannot open csv dataset {path}: {e}")),
         InputFormat::Jsonl => {
             let f = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -127,6 +148,15 @@ fn print_type_lines(schema: &SchemaGraph) {
     }
 }
 
+/// Effective worker count: the `--threads` value, or every available core.
+fn resolve_threads(opts: &StreamOpts) -> usize {
+    opts.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
 fn run(args: Args) -> Result<ExitCode, String> {
     match args.command {
         Command::Discover {
@@ -137,9 +167,7 @@ fn run(args: Args) -> Result<ExitCode, String> {
             format,
             sample,
             seed,
-            input_format,
             stream,
-            chunk_size,
         } => {
             let config = PipelineConfig {
                 method,
@@ -150,11 +178,11 @@ fn run(args: Args) -> Result<ExitCode, String> {
             };
             let discoverer = Discoverer::new(config);
 
-            if stream {
-                return discover_stream(&path, input_format, chunk_size, &discoverer, format);
+            if stream.stream {
+                return discover_stream(&path, &stream, &discoverer, format);
             }
 
-            let graph = load_graph(&path, input_format)?;
+            let graph = load_graph(&path, stream.input_format)?;
             let result = if batches > 1 {
                 discoverer.discover_incremental(&graph, batches)
             } else {
@@ -186,6 +214,65 @@ fn run(args: Args) -> Result<ExitCode, String> {
                 }
             }
             Ok(ExitCode::SUCCESS)
+        }
+        Command::Diff {
+            old_path,
+            new_path,
+            method,
+            theta,
+            seed,
+            stream,
+        } => {
+            let config = PipelineConfig {
+                method,
+                theta,
+                seed,
+                ..PipelineConfig::default()
+            };
+            let discoverer = Discoverer::new(config);
+            let schema_of = |p: &str| -> Result<SchemaGraph, String> {
+                if stream.stream {
+                    let (result, summary) = stream_discover(p, &stream, &discoverer, false)?;
+                    // Streamed ingestion tolerates conditions the strict
+                    // loader rejects (dangling refs become stubs) — the
+                    // diff is only trustworthy if the user sees them.
+                    if !summary.warnings.is_empty() {
+                        eprintln!("warning: while streaming {p}:");
+                        report_warnings(&summary.warnings);
+                    }
+                    Ok(result.schema)
+                } else {
+                    Ok(discoverer
+                        .discover(&load_graph(p, stream.input_format)?)
+                        .schema)
+                }
+            };
+            let old = schema_of(&old_path)?;
+            let new = schema_of(&new_path)?;
+            let diff = diff_schemas(&old, &new);
+            if diff.is_empty() {
+                println!(
+                    "no schema changes: {} node type(s), {} edge type(s)",
+                    new.node_types.len(),
+                    new.edge_types.len()
+                );
+                Ok(ExitCode::SUCCESS)
+            } else {
+                print!("{diff}");
+                println!(
+                    "schema changed ({}): {} -> {} node type(s), {} -> {} edge type(s)",
+                    if diff.is_monotone() {
+                        "monotone: additions/relaxations only"
+                    } else {
+                        "NON-monotone: contains removals or tightenings"
+                    },
+                    old.node_types.len(),
+                    new.node_types.len(),
+                    old.edge_types.len(),
+                    new.edge_types.len()
+                );
+                Ok(ExitCode::FAILURE)
+            }
         }
         Command::Validate {
             data_path,
@@ -227,14 +314,20 @@ fn run(args: Args) -> Result<ExitCode, String> {
                 Ok(ExitCode::FAILURE)
             }
         }
-        Command::Stats {
-            path,
-            input_format,
-            stream,
-        } => {
-            let s = if stream {
-                // Fold records directly — no resident graph at all.
-                let source = open_source(&path, input_format)?;
+        Command::Stats { path, stream } => {
+            let s = if stream.stream {
+                // Fold records directly — no resident graph at all, so
+                // --chunk-size is accepted for flag symmetry but unused.
+                // The producer thread parses --read-ahead batches ahead of
+                // the fold; --threads has no effect on the single-pass fold.
+                if stream.threads.is_some_and(|t| t > 1) {
+                    eprintln!(
+                        "note: stats folds a single record stream; --threads has no effect \
+                         (--read-ahead still overlaps parsing with folding)"
+                    );
+                }
+                let source = open_source(&path, stream.input_format)?;
+                let source = ReadAheadRecords::spawn(source, stream.read_ahead);
                 let (s, dangling) = pg_hive_graph::stats::stream_stats(source)
                     .map_err(|e| format!("parse {path}: {e}"))?;
                 if dangling > 0 {
@@ -245,7 +338,7 @@ fn run(args: Args) -> Result<ExitCode, String> {
                 }
                 s
             } else {
-                GraphStats::compute(&load_graph(&path, input_format)?)
+                GraphStats::compute(&load_graph(&path, stream.input_format)?)
             };
             println!("nodes:          {}", s.nodes);
             println!("edges:          {}", s.edges);
@@ -263,41 +356,72 @@ fn run(args: Args) -> Result<ExitCode, String> {
     }
 }
 
-/// The `discover --stream` path: chunked ingestion into
-/// `Discoverer::discover_stream`, with per-chunk progress on stderr.
-fn discover_stream(
+/// Run the pipeline-parallel streaming engine over `path`: read-ahead
+/// producer → `--threads` discovery workers → in-order merge. Returns the
+/// merged result and the producer's final accounting.
+fn stream_discover(
     path: &str,
-    input_format: InputFormat,
-    chunk_size: usize,
+    opts: &StreamOpts,
     discoverer: &Discoverer,
-    format: OutputFormat,
-) -> Result<ExitCode, String> {
-    let source = open_source(path, input_format)?;
-    let mut reader = ChunkedTextReader::new(source, chunk_size);
+    progress: bool,
+) -> Result<(StreamResult, StreamSummary), String> {
+    let source = open_source(path, opts.input_format)?;
+    let threads = resolve_threads(opts);
+    // Upper bound on simultaneously resident chunks: the producer's buffer,
+    // one chunk per worker (being processed), one per dispatch-channel slot,
+    // plus the one being parsed.
+    let in_flight_cap = opts.read_ahead + 2 * threads + 1;
+    if progress {
+        eprintln!(
+            "streaming {path}: {} worker thread(s), read-ahead {} \
+             (<= {in_flight_cap} chunks in flight)",
+            threads, opts.read_ahead
+        );
+    }
+    let mut reader = ReadAheadChunks::spawn(source, opts.chunk_size, opts.read_ahead);
     let mut stream_err: Option<String> = None;
     let mut chunk_no = 0usize;
-    let result = discoverer.discover_stream(std::iter::from_fn(|| match reader.next_chunk() {
-        Ok(Some(g)) => {
-            chunk_no += 1;
-            eprintln!(
-                "chunk {chunk_no}: {} nodes, {} edges",
-                g.node_count(),
-                g.edge_count()
-            );
-            let _ = std::io::stderr().flush();
-            Some(g)
-        }
-        Ok(None) => None,
-        Err(e) => {
-            stream_err = Some(e.to_string());
-            None
-        }
-    }));
+    let result = discoverer.discover_stream_parallel(
+        std::iter::from_fn(|| match reader.next_chunk() {
+            Ok(Some(g)) => {
+                chunk_no += 1;
+                if progress {
+                    eprintln!(
+                        "chunk {chunk_no}: {} nodes, {} edges dispatched",
+                        g.node_count(),
+                        g.edge_count()
+                    );
+                    let _ = std::io::stderr().flush();
+                }
+                Some(g)
+            }
+            Ok(None) => None,
+            Err(e) => {
+                stream_err = Some(e.to_string());
+                None
+            }
+        }),
+        threads,
+    );
     if let Some(e) = stream_err {
         return Err(format!("parse {path}: {e}"));
     }
-    let warnings = reader.warnings();
-    report_warnings(&warnings);
+    let summary = *reader
+        .summary()
+        .expect("stream exhausted without error: summary available");
+    Ok((result, summary))
+}
+
+/// The `discover --stream` path: report the merged schema plus streaming
+/// accounting.
+fn discover_stream(
+    path: &str,
+    opts: &StreamOpts,
+    discoverer: &Discoverer,
+    format: OutputFormat,
+) -> Result<ExitCode, String> {
+    let (result, summary) = stream_discover(path, opts, discoverer, true)?;
+    report_warnings(&summary.warnings);
 
     match format {
         OutputFormat::Strict => print!("{}", pg_schema_strict(&result.schema, "Discovered")),
@@ -307,10 +431,11 @@ fn discover_stream(
             let total: f64 = result.chunk_times.iter().map(|t| t.as_secs_f64()).sum();
             println!(
                 "{} elements in {} chunk(s) (peak resident {} elements) -> \
-                 {} node types, {} edge types ({} abstract), {total:.3}s",
+                 {} node types, {} edge types ({} abstract), {total:.3}s compute \
+                 across {} thread(s)",
                 result.elements,
                 result.chunk_times.len(),
-                reader.max_resident_elements(),
+                summary.max_resident_elements,
                 result.schema.node_types.len(),
                 result.schema.edge_types.len(),
                 result
@@ -319,6 +444,7 @@ fn discover_stream(
                     .iter()
                     .filter(|t| t.is_abstract())
                     .count(),
+                resolve_threads(opts),
             );
             print_type_lines(&result.schema);
         }

@@ -224,6 +224,97 @@ N o Org url=x.com
 }
 
 #[test]
+fn discover_stream_parallel_matches_serial_output() {
+    // The pipeline-parallel engine must print the same schema for any
+    // --threads / --read-ahead combination.
+    let mut big = String::new();
+    for i in 0..60 {
+        big.push_str(&format!("N p{i} Person name=p{i},age={}\n", 20 + i));
+    }
+    for i in 0..6 {
+        big.push_str(&format!("N o{i} Org url=o{i}.com\n"));
+    }
+    for i in 0..60 {
+        big.push_str(&format!("E p{i} o{} WORKS_AT from=200{}\n", i % 6, i % 10));
+    }
+    let path = write_temp(&big);
+    let serial = run(&[
+        "discover",
+        path.to_str().unwrap(),
+        "--stream",
+        "--chunk-size",
+        "10",
+        "--threads",
+        "1",
+        "--format",
+        "strict",
+    ]);
+    assert_eq!(serial.2, Some(0), "{}", serial.1);
+    for (threads, read_ahead) in [("2", "1"), ("4", "3")] {
+        let par = run(&[
+            "discover",
+            path.to_str().unwrap(),
+            "--stream",
+            "--chunk-size",
+            "10",
+            "--threads",
+            threads,
+            "--read-ahead",
+            read_ahead,
+            "--format",
+            "strict",
+        ]);
+        assert_eq!(par.2, Some(0), "{}", par.1);
+        assert_eq!(par.0, serial.0, "threads={threads} diverged from serial");
+    }
+}
+
+#[test]
+fn diff_reports_changes_and_exit_codes() {
+    let old = write_temp(DEMO);
+    let (stdout, _, code) = run(&["diff", old.to_str().unwrap(), old.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("no schema changes"), "{stdout}");
+
+    let evolved = format!("{DEMO}N p Place name=GR\nE o p LOCATED_IN -\n");
+    let new = write_temp(&evolved);
+    let (stdout, _, code) = run(&["diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("+ node type Place"), "{stdout}");
+    assert!(stdout.contains("+ edge type LOCATED_IN"), "{stdout}");
+    assert!(stdout.contains("monotone"), "{stdout}");
+
+    // Streaming diff agrees.
+    let (streamed, stderr, code) = run(&[
+        "diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--stream",
+        "--chunk-size",
+        "4",
+        "--threads",
+        "2",
+    ]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(streamed.contains("+ node type Place"), "{streamed}");
+}
+
+#[test]
+fn zero_thread_flags_rejected_with_usage() {
+    for flags in [
+        &["discover", "g.pgt", "--threads", "0"][..],
+        &["discover", "g.pgt", "--read-ahead", "0"],
+        &["discover", "g.pgt", "--chunk-size", "0"],
+        &["stats", "g.pgt", "--threads", "0"],
+        &["diff", "a.pgt", "b.pgt", "--read-ahead", "0"],
+    ] {
+        let (_, stderr, code) = run(flags);
+        assert_eq!(code, Some(2), "{flags:?}");
+        assert!(stderr.contains("must be >= 1"), "{flags:?}: {stderr}");
+    }
+}
+
+#[test]
 fn stream_and_batches_conflict() {
     let (_, stderr, code) = run(&["discover", "g.pgt", "--stream", "--batches", "3"]);
     assert_eq!(code, Some(2));

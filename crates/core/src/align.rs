@@ -39,9 +39,13 @@ impl Default for AlignmentConfig {
 /// One alignment decision, for reporting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Alignment {
+    /// Label set of the surviving (larger) type.
     pub kept: LabelSet,
+    /// Label set of the absorbed type.
     pub merged: LabelSet,
+    /// Cosine similarity of the two label embeddings.
     pub cosine: f32,
+    /// Property-key Jaccard similarity of the two types.
     pub jaccard: f64,
 }
 

@@ -14,21 +14,32 @@ use std::fmt;
 /// A per-property change between two versions of the same type.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PropertyChange {
+    /// The key appears only in the new version.
     Added {
+        /// The property key.
         key: String,
     },
+    /// The key appears only in the old version.
     Removed {
+        /// The property key.
         key: String,
     },
     /// MANDATORY → OPTIONAL (a relaxation) or the reverse (a tightening).
     ConstraintChanged {
+        /// The property key.
         key: String,
+        /// Whether the key was mandatory in the old version.
         was_mandatory: bool,
+        /// Whether the key is mandatory in the new version.
         now_mandatory: bool,
     },
+    /// The inferred datatype changed.
     KindChanged {
+        /// The property key.
         key: String,
+        /// Old inferred kind (`None` = never inferred).
         was: Option<ValueKind>,
+        /// New inferred kind.
         now: Option<ValueKind>,
     },
 }
@@ -36,12 +47,15 @@ pub enum PropertyChange {
 /// Changes to one type that exists in both schemas (matched by label set).
 #[derive(Debug, Clone, Default)]
 pub struct TypeDelta {
+    /// Label set identifying the type in both schemas.
     pub labels: LabelSet,
+    /// Per-property additions, removals, constraint and kind changes.
     pub property_changes: Vec<PropertyChange>,
     /// For edge types: newly observed endpoint pairs.
     pub added_endpoints: Vec<(LabelSet, LabelSet)>,
+    /// For edge types: endpoint pairs no longer observed.
     pub removed_endpoints: Vec<(LabelSet, LabelSet)>,
-    /// For edge types: cardinality class change.
+    /// For edge types: cardinality class change (old, new).
     pub cardinality_change: Option<(Option<CardinalityClass>, Option<CardinalityClass>)>,
 }
 
@@ -58,11 +72,17 @@ impl TypeDelta {
 /// The full diff between an `old` and a `new` schema.
 #[derive(Debug, Clone, Default)]
 pub struct SchemaDiff {
+    /// Node types present only in the new schema.
     pub added_node_types: Vec<LabelSet>,
+    /// Node types present only in the old schema.
     pub removed_node_types: Vec<LabelSet>,
+    /// Node types present in both but changed.
     pub changed_node_types: Vec<TypeDelta>,
+    /// Edge types present only in the new schema.
     pub added_edge_types: Vec<LabelSet>,
+    /// Edge types present only in the old schema.
     pub removed_edge_types: Vec<LabelSet>,
+    /// Edge types present in both but changed.
     pub changed_edge_types: Vec<TypeDelta>,
 }
 

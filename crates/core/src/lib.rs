@@ -32,7 +32,12 @@
 //! Batches can be processed **incrementally**
 //! ([`Discoverer::discover_incremental`]); schema merging is monotone
 //! (Lemmas 1–2), so the schema only ever generalizes — see
-//! [`merge::is_generalization_of`].
+//! [`merge::is_generalization_of`]. For datasets that do not fit in memory,
+//! [`Discoverer::discover_stream`] folds independent chunks with O(chunk)
+//! residency, and [`Discoverer::discover_stream_parallel`] overlaps chunk
+//! discovery across a worker pool while merging **in input order** — the
+//! result is byte-identical to the serial path for every thread count.
+//! `docs/ARCHITECTURE.md` at the repository root maps the whole system.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +56,8 @@
 //! assert_eq!(result.schema.edge_types.len(), 1);
 //! println!("{}", pg_hive_core::serialize::pg_schema_strict(&result.schema, "Demo"));
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod align;
 pub mod cluster;

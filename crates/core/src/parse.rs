@@ -24,7 +24,9 @@ use std::fmt;
 /// Parse errors with line context.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
+    /// 1-based line of the declaration text where parsing failed.
     pub line: usize,
+    /// What went wrong.
     pub message: String,
 }
 
@@ -42,7 +44,9 @@ pub const PARSED_INSTANCE_COUNT: u64 = 2;
 /// Whether the parsed declaration was STRICT or LOOSE.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParsedMode {
+    /// The declaration used `STRICT`.
     Strict,
+    /// The declaration used `LOOSE`.
     Loose,
 }
 

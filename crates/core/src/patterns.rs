@@ -12,16 +12,22 @@ use std::collections::BTreeSet;
 /// A node pattern `T_Np = (L, K)`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodePattern {
+    /// The node's label set `L`.
     pub labels: BTreeSet<String>,
+    /// The node's property-key set `K`.
     pub keys: BTreeSet<String>,
 }
 
 /// An edge pattern `T_Ep = (L, K, R)` with `R = (L_s, L_t)`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EdgePattern {
+    /// The edge's label set `L`.
     pub labels: BTreeSet<String>,
+    /// The edge's property-key set `K`.
     pub keys: BTreeSet<String>,
+    /// Source endpoint's label set `L_s`.
     pub src_labels: BTreeSet<String>,
+    /// Target endpoint's label set `L_t`.
     pub tgt_labels: BTreeSet<String>,
 }
 

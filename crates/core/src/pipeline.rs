@@ -24,14 +24,20 @@ use crate::schema::SchemaGraph;
 use pg_hive_embed::{HashEmbedder, LabelEmbedder, Word2Vec};
 use pg_hive_graph::{split_batches, GraphBatch, PropertyGraph};
 use pg_hive_lsh::{AdaptiveParams, ElementClass};
+use std::collections::BTreeMap;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Wall-clock spent in each stage, summed over batches.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StageTimings {
+    /// Stage (b): embeddings + representation vectors.
     pub preprocess: Duration,
+    /// Stage (c): LSH clustering.
     pub clustering: Duration,
+    /// Stage (d): type extraction and merging (Algorithm 2).
     pub extraction: Duration,
+    /// Stages (e)–(g): constraints, datatypes, cardinalities.
     pub postprocess: Duration,
 }
 
@@ -51,6 +57,7 @@ impl StageTimings {
 /// Extra observability into one run.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineStats {
+    /// Wall-clock per stage, summed over batches.
     pub timings: StageTimings,
     /// Per-batch wall-clock of the main pipeline (Fig. 7's series).
     pub batch_times: Vec<Duration>,
@@ -70,6 +77,8 @@ pub struct PipelineStats {
     /// Adaptive parameters chosen for the *first* batch, when the adaptive
     /// path was used.
     pub adaptive_nodes: Option<AdaptiveParams>,
+    /// Adaptive parameters for the first batch's edges (see
+    /// `adaptive_nodes`).
     pub adaptive_edges: Option<AdaptiveParams>,
 }
 
@@ -244,6 +253,20 @@ impl Discoverer {
     /// Because chunks are dropped, the result carries no member lists or
     /// element assignments (use [`Self::discover_batches`] when the full
     /// graph stays resident).
+    ///
+    /// ```
+    /// use pg_hive_core::{Discoverer, PipelineConfig};
+    /// use pg_hive_graph::stream::pgt::PgtSource;
+    /// use pg_hive_graph::ChunkedTextReader;
+    ///
+    /// let text = "N a Person name=Ann\nN b Person name=Bob\nN c Org url=x.com\n\
+    ///             E a c WORKS_AT -\nE b c WORKS_AT -\n";
+    /// let mut reader = ChunkedTextReader::new(PgtSource::new(text.as_bytes()), 2);
+    /// let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+    /// let result = d.discover_stream(std::iter::from_fn(|| reader.next_chunk().unwrap()));
+    /// assert_eq!(result.schema.node_types.len(), 2); // Person, Org
+    /// assert_eq!(result.schema.edge_types.len(), 1); // WORKS_AT
+    /// ```
     pub fn discover_stream<I>(&self, chunks: I) -> StreamResult
     where
         I: IntoIterator<Item = PropertyGraph>,
@@ -253,17 +276,9 @@ impl Discoverer {
         let mut elements = 0u64;
         for chunk in chunks {
             let t = Instant::now();
-            let mut result = self.discover_with_postprocess(&chunk);
             elements += (chunk.node_count() + chunk.edge_count()) as u64;
-            // Membership refers to chunk-local ids that are about to be
-            // dropped; strip it so the merged schema never dangles.
-            for ty in &mut result.schema.node_types {
-                ty.members.clear();
-            }
-            for ty in &mut result.schema.edge_types {
-                ty.members.clear();
-            }
-            crate::merge::merge_schemas(&mut schema, result.schema, self.config.theta);
+            let chunk_schema = self.process_stream_chunk(&chunk);
+            crate::merge::merge_schemas(&mut schema, chunk_schema, self.config.theta);
             chunk_times.push(t.elapsed());
         }
         StreamResult {
@@ -271,6 +286,181 @@ impl Discoverer {
             chunk_times,
             elements,
         }
+    }
+
+    /// Pipeline-parallel [`Self::discover_stream`]: a worker pool of
+    /// `threads` threads runs preprocess → LSH → extract → post-process on
+    /// chunks *concurrently*, while per-chunk schemas merge into the running
+    /// schema strictly **in input order** through a reorder buffer — so the
+    /// result is byte-identical to the serial path regardless of thread
+    /// count or completion order (the proptests in
+    /// `tests/tests/stream_parallel.rs` gate exactly this).
+    ///
+    /// Chunks are pulled from the iterator on the calling thread and handed
+    /// to workers through a bounded channel, so at most `2 × threads`
+    /// chunks are resident at once (plus whatever read-ahead the producer
+    /// feeding the iterator keeps in flight); the result channel and the
+    /// reorder buffer are bounded too (O(threads) small per-chunk schemas),
+    /// so one slow straggler chunk throttles the pool instead of letting
+    /// out-of-order results accumulate without limit. Pair it with
+    /// `pg_hive_graph::stream::ReadAheadChunks` and wall-clock tracks the
+    /// *slower* of I/O and compute instead of their sum.
+    ///
+    /// `threads == 1` (or ≤ 1 chunk of work) degrades to the serial path.
+    /// `chunk_times[i]` is chunk `i`'s processing time on its worker;
+    /// cross-chunk merge time is excluded (it happens concurrently with
+    /// later chunks' processing).
+    ///
+    /// ```
+    /// use pg_hive_core::{Discoverer, PipelineConfig};
+    /// use pg_hive_graph::stream::pgt::PgtSource;
+    /// use pg_hive_graph::ReadAheadChunks;
+    ///
+    /// let text = "N a Person -\nN b Person -\nN c Org -\nE a c WORKS_AT -\n".to_string();
+    /// // Producer thread parses up to 2 chunks ahead...
+    /// let source = PgtSource::new(std::io::Cursor::new(text.into_bytes()));
+    /// let mut ahead = ReadAheadChunks::spawn(source, 2, 2);
+    /// // ...while 2 workers discover chunks concurrently.
+    /// let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+    /// let result =
+    ///     d.discover_stream_parallel(std::iter::from_fn(|| ahead.next_chunk().unwrap()), 2);
+    /// assert_eq!(result.schema.node_types.len(), 2); // identical to the serial path
+    /// ```
+    pub fn discover_stream_parallel<I>(&self, chunks: I, threads: usize) -> StreamResult
+    where
+        I: IntoIterator<Item = PropertyGraph>,
+    {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return self.discover_stream(chunks);
+        }
+
+        struct ChunkOutcome {
+            schema: SchemaGraph,
+            elements: u64,
+            time: Duration,
+        }
+
+        let (work_tx, work_rx) = mpsc::sync_channel::<(usize, PropertyGraph)>(threads);
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        // The result channel is bounded too: if one early chunk is much
+        // slower than its successors, workers block here instead of piling
+        // unmergeable out-of-order schemas into the reorder buffer — total
+        // in-flight state stays O(threads), not O(chunks).
+        let (res_tx, res_rx) = mpsc::sync_channel::<(usize, ChunkOutcome)>(threads * 4);
+
+        let mut schema = SchemaGraph::new();
+        let mut merged_stats: Vec<(u64, Duration)> = Vec::new();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let work_rx = Arc::clone(&work_rx);
+                let res_tx = res_tx.clone();
+                scope.spawn(move || loop {
+                    // Hold the lock only while popping — processing runs
+                    // unlocked so workers overlap.
+                    let job = work_rx.lock().expect("stream worker queue lock").recv();
+                    let Ok((idx, chunk)) = job else { return };
+                    let t = Instant::now();
+                    let elements = (chunk.node_count() + chunk.edge_count()) as u64;
+                    let schema = self.process_stream_chunk(&chunk);
+                    // Free the chunk before a potentially blocking send on
+                    // the bounded result channel.
+                    drop(chunk);
+                    let outcome = ChunkOutcome {
+                        schema,
+                        elements,
+                        time: t.elapsed(),
+                    };
+                    if res_tx.send((idx, outcome)).is_err() {
+                        return;
+                    }
+                });
+            }
+            // Only workers may hold receiving halves now: when every worker
+            // exits (normally or by panic) the dispatch send below fails
+            // instead of blocking forever.
+            drop(work_rx);
+            drop(res_tx);
+
+            let mut dispatched = 0usize;
+            let mut merged = 0usize;
+            let mut pending: BTreeMap<usize, ChunkOutcome> = BTreeMap::new();
+            // In-order merge: only ever consume the contiguous prefix of
+            // finished chunks, so merge order equals input order.
+            let mut drain = |pending: &mut BTreeMap<usize, ChunkOutcome>, merged: &mut usize| {
+                while let Some(outcome) = pending.remove(&*merged) {
+                    crate::merge::merge_schemas(&mut schema, outcome.schema, self.config.theta);
+                    merged_stats.push((outcome.elements, outcome.time));
+                    *merged += 1;
+                }
+            };
+            for chunk in chunks {
+                // Dispatch with backpressure: when the work queue is full
+                // (workers may themselves be blocked on the full result
+                // channel), fold a finished result to make progress instead
+                // of blocking in `send` — that would deadlock now that both
+                // channels are bounded.
+                let mut job = Some((dispatched, chunk));
+                while let Some(j) = job.take() {
+                    match work_tx.try_send(j) {
+                        Ok(()) => {}
+                        Err(mpsc::TrySendError::Full(j)) => {
+                            job = Some(j);
+                            let (idx, outcome) = res_rx
+                                .recv()
+                                .expect("streaming worker pool terminated unexpectedly");
+                            pending.insert(idx, outcome);
+                            drain(&mut pending, &mut merged);
+                        }
+                        Err(mpsc::TrySendError::Disconnected(_)) => {
+                            panic!("streaming worker pool terminated unexpectedly")
+                        }
+                    }
+                }
+                dispatched += 1;
+                // Opportunistically fold finished chunks so the reorder
+                // buffer stays small while we keep dispatching.
+                while let Ok((idx, outcome)) = res_rx.try_recv() {
+                    pending.insert(idx, outcome);
+                }
+                drain(&mut pending, &mut merged);
+            }
+            drop(work_tx); // signal end of work; workers drain and exit
+            while let Ok((idx, outcome)) = res_rx.recv() {
+                pending.insert(idx, outcome);
+                drain(&mut pending, &mut merged);
+            }
+            assert_eq!(
+                merged, dispatched,
+                "a streaming worker died before finishing its chunk"
+            );
+        });
+
+        let mut chunk_times = Vec::with_capacity(merged_stats.len());
+        let mut elements = 0u64;
+        for (n, time) in merged_stats {
+            chunk_times.push(time);
+            elements += n;
+        }
+        StreamResult {
+            schema,
+            chunk_times,
+            elements,
+        }
+    }
+
+    /// One chunk's pipeline pass for the streaming paths: full discovery
+    /// with post-processing forced on, membership lists stripped (they refer
+    /// to chunk-local ids that die with the chunk).
+    fn process_stream_chunk(&self, chunk: &PropertyGraph) -> SchemaGraph {
+        let mut result = self.discover_with_postprocess(chunk);
+        for ty in &mut result.schema.node_types {
+            ty.members.clear();
+        }
+        for ty in &mut result.schema.edge_types {
+            ty.members.clear();
+        }
+        result.schema
     }
 
     /// One full pipeline pass over `g` with post-processing forced on
@@ -577,6 +767,52 @@ mod tests {
     #[should_panic(expected = "cluster-id space overflowed u32")]
     fn cluster_count_beyond_u32_panics_with_context() {
         advance_cluster_offset(0, u32::MAX as usize + 1, "edge");
+    }
+
+    #[test]
+    fn parallel_stream_is_byte_identical_to_serial() {
+        use pg_hive_graph::loader::save_text;
+        use pg_hive_graph::stream::pgt::PgtSource;
+        use pg_hive_graph::ChunkedTextReader;
+        let text = save_text(&figure1());
+        let chunks = |size: usize| {
+            let mut r = ChunkedTextReader::new(PgtSource::new(text.as_bytes()), size);
+            let mut out = Vec::new();
+            while let Some(c) = r.next_chunk().unwrap() {
+                out.push(c);
+            }
+            out
+        };
+        let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+        for size in [3, 5, 100] {
+            let serial = d.discover_stream(chunks(size));
+            let serial_text = crate::serialize::pg_schema_strict(&serial.schema, "G");
+            for threads in [2, 3, 4] {
+                let par = d.discover_stream_parallel(chunks(size), threads);
+                assert_eq!(par.elements, serial.elements, "size {size} x{threads}");
+                assert_eq!(par.chunk_times.len(), serial.chunk_times.len());
+                assert_eq!(
+                    crate::serialize::pg_schema_strict(&par.schema, "G"),
+                    serial_text,
+                    "size {size} x{threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_stream_with_one_thread_or_no_chunks_degrades_gracefully() {
+        let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+        let one = d.discover_stream_parallel(vec![figure1()], 1);
+        assert_eq!(one.chunk_times.len(), 1);
+        assert_eq!(one.elements, 14);
+        let none = d.discover_stream_parallel(Vec::new(), 4);
+        assert_eq!(none.elements, 0);
+        assert!(none.schema.node_types.is_empty());
+        // More threads than chunks is fine — idle workers just exit.
+        let few = d.discover_stream_parallel(vec![figure1()], 8);
+        assert_eq!(few.elements, 14);
+        assert_eq!(few.schema.node_types.len(), 4);
     }
 
     #[test]

@@ -121,14 +121,18 @@ impl ElementRepr {
 /// Representations of a batch's nodes.
 #[derive(Debug, Clone)]
 pub struct NodeRepr {
+    /// The batch's node ids, in representation-row order.
     pub ids: Vec<NodeId>,
+    /// Deduplicated representation vectors + per-element `rep_of` map.
     pub repr: ElementRepr,
 }
 
 /// Representations of a batch's edges.
 #[derive(Debug, Clone)]
 pub struct EdgeRepr {
+    /// The batch's edge ids, in representation-row order.
     pub ids: Vec<EdgeId>,
+    /// Deduplicated representation vectors + per-element `rep_of` map.
     pub repr: ElementRepr,
 }
 

@@ -22,9 +22,13 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 /// Outcome counters of a retraction.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RetractionStats {
+    /// Nodes whose contribution was removed.
     pub nodes_removed: usize,
+    /// Edges whose contribution was removed.
     pub edges_removed: usize,
+    /// Node types that lost their last instance and were dropped.
     pub node_types_dropped: usize,
+    /// Edge types that lost their last instance and were dropped.
     pub edge_types_dropped: usize,
 }
 

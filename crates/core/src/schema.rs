@@ -40,7 +40,9 @@ impl PropertySpec {
 /// distinct-source in-degree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Cardinality {
+    /// Maximum distinct-target out-degree observed for the edge type.
     pub max_out: u64,
+    /// Maximum distinct-source in-degree observed for the edge type.
     pub max_in: u64,
 }
 
@@ -122,12 +124,17 @@ impl NodeType {
 /// An edge type `E_s = (λ_e, π_e, ρ_e, C_e)` (Def. 3.3) plus aggregates.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EdgeType {
+    /// The type's label set λ_e (empty = abstract).
     pub labels: LabelSet,
+    /// Per-key property specs π_e (presence counts, inferred kinds).
     pub props: BTreeMap<String, PropertySpec>,
     /// Observed (source-labels, target-labels) endpoint pairs — ρ_e,
     /// generalized to a set because merging unions endpoints (Lemma 2).
     pub endpoints: BTreeSet<(LabelSet, LabelSet)>,
+    /// Edges covered by this type.
     pub instance_count: u64,
+    /// Member edge ids (cleared by the streaming paths — chunk-local ids
+    /// do not outlive their chunk).
     pub members: Vec<u32>,
     /// Filled by the cardinality pass (§4.4).
     pub cardinality: Option<Cardinality>,
@@ -182,7 +189,9 @@ fn merge_props(into: &mut BTreeMap<String, PropertySpec>, from: BTreeMap<String,
 /// The schema graph `S_G = (V_s, E_s, ρ_s)` (Def. 3.4).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchemaGraph {
+    /// The discovered node types V_s.
     pub node_types: Vec<NodeType>,
+    /// The discovered edge types E_s.
     pub edge_types: Vec<EdgeType>,
 }
 

@@ -23,7 +23,9 @@ use std::fmt;
 /// Conformance level (§4.5 / PG-Schema).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ValidationMode {
+    /// Flexible insertions: unmatched elements and extra properties pass.
     Loose,
+    /// Rigorous structure: every element must match a declared type exactly.
     Strict,
 }
 
@@ -31,42 +33,71 @@ pub enum ValidationMode {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Violation {
     /// A node's label set matches no node type (STRICT only).
-    UnknownNodeType { node: NodeId, labels: Vec<String> },
+    UnknownNodeType {
+        /// The offending node.
+        node: NodeId,
+        /// Its resolved label set.
+        labels: Vec<String>,
+    },
     /// An edge's label set matches no edge type (STRICT only).
-    UnknownEdgeType { edge: EdgeId, labels: Vec<String> },
+    UnknownEdgeType {
+        /// The offending edge.
+        edge: EdgeId,
+        /// Its resolved label set.
+        labels: Vec<String>,
+    },
     /// A mandatory property is absent (STRICT only).
     MissingMandatory {
+        /// The offending node, when the element is a node.
         node: Option<NodeId>,
+        /// The offending edge, when the element is an edge.
         edge: Option<EdgeId>,
+        /// The missing property key.
         key: String,
     },
     /// A property key is not declared by the matched type (STRICT only).
     UndeclaredProperty {
+        /// The offending node, when the element is a node.
         node: Option<NodeId>,
+        /// The offending edge, when the element is an edge.
         edge: Option<EdgeId>,
+        /// The undeclared property key.
         key: String,
     },
     /// A value's inferred kind is incompatible with the declared kind.
     DatatypeMismatch {
+        /// The offending node, when the element is a node.
         node: Option<NodeId>,
+        /// The offending edge, when the element is an edge.
         edge: Option<EdgeId>,
+        /// The property key whose value mismatched.
         key: String,
+        /// The kind the schema declares for the key.
         declared: ValueKind,
+        /// The kind inferred from the observed value.
         observed: ValueKind,
     },
     /// An edge connects endpoint label sets the type does not declare
     /// (STRICT only).
     UndeclaredEndpoints {
+        /// The offending edge.
         edge: EdgeId,
+        /// Source endpoint's label set.
         src_labels: Vec<String>,
+        /// Target endpoint's label set.
         tgt_labels: Vec<String>,
     },
     /// Observed degree exceeds the schema's cardinality bound (STRICT only).
     CardinalityExceeded {
+        /// Index of the edge type in `SchemaGraph::edge_types`.
         edge_type: usize,
+        /// Largest out-degree observed in the data.
         observed_max_out: u64,
+        /// Largest in-degree observed in the data.
         observed_max_in: u64,
+        /// The schema's out-degree bound.
         bound_max_out: u64,
+        /// The schema's in-degree bound.
         bound_max_in: u64,
     },
 }
@@ -126,8 +157,11 @@ impl fmt::Display for Violation {
 /// Validation outcome.
 #[derive(Debug, Clone, Default)]
 pub struct ValidationReport {
+    /// Every violation found, in element order.
     pub violations: Vec<Violation>,
+    /// Nodes examined.
     pub nodes_checked: usize,
+    /// Edges examined.
     pub edges_checked: usize,
 }
 

@@ -1,6 +1,6 @@
 //! Skip-gram Word2Vec with negative sampling, from scratch.
 //!
-//! Mikolov et al.'s estimator (cited by the paper as [69]): for every
+//! Mikolov et al.'s estimator (cited by the paper as \[69\]): for every
 //! (center, context) pair inside a window, maximize
 //! `log σ(u_ctx · v_center) + Σ_k log σ(-u_neg_k · v_center)`
 //! by SGD. Sentences here are label co-occurrence contexts, e.g. the triple

@@ -1,11 +1,11 @@
 //! # pg-hive-gmm
 //!
 //! Gaussian-mixture-model substrate, built from scratch for the GMMSchema
-//! baseline (Bonifati, Dumbrava, Mir — EDBT 2022, cited as [15] by the
+//! baseline (Bonifati, Dumbrava, Mir — EDBT 2022, cited as \[15\] by the
 //! PG-HIVE paper). GMMSchema clusters node feature vectors with hierarchical
 //! GMMs; this crate supplies the machinery:
 //!
-//! - [`kmeans`] — k-means++ seeding and Lloyd iterations (EM init),
+//! - [`mod@kmeans`] — k-means++ seeding and Lloyd iterations (EM init),
 //! - [`em`] — diagonal-covariance Gaussian mixtures fit by
 //!   expectation–maximization with log-sum-exp stabilization,
 //! - [`select`] — BIC/AIC model selection over a range of component counts.

@@ -1,4 +1,4 @@
-//! Euclidean (p-stable) LSH — Datar et al., cited as [32]/[63] in the paper.
+//! Euclidean (p-stable) LSH — Datar et al., cited as \[32\]/\[63\] in the paper.
 //!
 //! Each of the `T` hash tables draws `k` random Gaussian directions `a_j`
 //! and uniform offsets `o_j ∈ [0, b)`; the hash of vector `v` in a table is

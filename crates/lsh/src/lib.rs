@@ -29,7 +29,7 @@
 //! threads ([`par`], `parallel` feature — **on by default**). The
 //! determinism contract is strict: *same seed → same clustering*, with or
 //! without the feature, verified bit-for-bit against the seed's sequential
-//! scalar implementations preserved in [`reference`].
+//! scalar implementations preserved in [`mod@reference`].
 
 pub mod adaptive;
 mod bucket;

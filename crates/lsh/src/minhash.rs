@@ -1,4 +1,4 @@
-//! MinHash LSH with banding — Broder's scheme, cited as [64] (MMDS ch. 3).
+//! MinHash LSH with banding — Broder's scheme, cited as \[64\] (MMDS ch. 3).
 //!
 //! Elements are represented as sets of `u64` feature ids (property keys,
 //! label tokens, endpoint tokens — the caller decides). For each of

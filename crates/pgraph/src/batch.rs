@@ -1,6 +1,6 @@
 //! Batch splitting for the incremental pipeline (§4.6).
 //!
-//! The paper evaluates incrementality by "randomly separat[ing] the graph
+//! The paper evaluates incrementality by "randomly separat\[ing\] the graph
 //! into 10 batches" (Fig. 7). A batch is a view over the parent graph: node
 //! and edge id lists. Edges are assigned to the batch of their *source* node
 //! insertion round, mirroring a streaming ingest where an edge arrives with
@@ -14,7 +14,9 @@ use crate::graph::PropertyGraph;
 /// this round.
 #[derive(Debug, Clone, Default)]
 pub struct GraphBatch {
+    /// Node ids of this batch.
     pub nodes: Vec<NodeId>,
+    /// Edge ids of this batch.
     pub edges: Vec<EdgeId>,
 }
 

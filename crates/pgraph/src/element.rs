@@ -19,11 +19,13 @@ pub struct NodeId(pub u32);
 pub struct EdgeId(pub u32);
 
 impl NodeId {
+    /// The id as a vector index.
     pub fn index(self) -> usize {
         self.0 as usize
     }
 }
 impl EdgeId {
+    /// The id as a vector index.
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -41,7 +43,9 @@ pub struct Node {
 /// An edge: endpoints (ρ), label set (λ) and property map (π).
 #[derive(Debug, Clone)]
 pub struct Edge {
+    /// Source endpoint.
     pub src: NodeId,
+    /// Target endpoint.
     pub tgt: NodeId,
     /// Sorted, deduplicated label symbols. Empty = unlabeled.
     pub labels: Vec<Symbol>,

@@ -19,7 +19,15 @@
 //! - [`stream`]: streaming ingestion — a [`stream::GraphSource`] trait over
 //!   `.pgt` / CSV / JSON-Lines exports and a [`stream::ChunkedTextReader`]
 //!   that yields independent graph chunks with O(chunk) resident memory,
-//!   feeding `Discoverer::discover_stream` (§4.6).
+//!   feeding `Discoverer::discover_stream` (§4.6); plus
+//!   [`stream::ReadAheadChunks`] / [`stream::ReadAheadRecords`], the
+//!   bounded-channel producer stages that overlap parsing with downstream
+//!   discovery (`Discoverer::discover_stream_parallel`) or stats folding.
+//!
+//! See `docs/ARCHITECTURE.md` at the repository root for the crate map and
+//! the streaming chunk lifecycle.
+
+#![warn(missing_docs)]
 
 pub mod adjacency;
 pub mod batch;
@@ -39,5 +47,8 @@ pub use element::{Edge, EdgeId, Node, NodeId};
 pub use graph::PropertyGraph;
 pub use interner::{Interner, Symbol};
 pub use stats::GraphStats;
-pub use stream::{ChunkedTextReader, GraphSource, Record, StreamError, StreamWarnings};
+pub use stream::{
+    ChunkedTextReader, GraphSource, ReadAheadChunks, ReadAheadRecords, Record, StreamError,
+    StreamSummary, StreamWarnings,
+};
 pub use value::{Value, ValueKind};

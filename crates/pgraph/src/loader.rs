@@ -29,15 +29,38 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LoadError {
     /// A line did not start with `N` or `E`.
-    UnknownRecord { line: usize },
+    UnknownRecord {
+        /// 1-based line number.
+        line: usize,
+    },
     /// Wrong number of fields for the record type.
-    Malformed { line: usize, expected: usize },
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Fields the record type requires.
+        expected: usize,
+    },
     /// An edge referenced an id never declared by an `N` line.
-    UnknownNode { line: usize, id: String },
+    UnknownNode {
+        /// 1-based line number.
+        line: usize,
+        /// The undeclared node id.
+        id: String,
+    },
     /// A `key=value` pair had no `=`.
-    BadProperty { line: usize, token: String },
+    BadProperty {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
     /// The same node id was declared twice.
-    DuplicateNode { line: usize, id: String },
+    DuplicateNode {
+        /// 1-based line number.
+        line: usize,
+        /// The duplicated node id.
+        id: String,
+    },
 }
 
 impl fmt::Display for LoadError {

@@ -12,7 +12,9 @@ use std::collections::HashSet;
 /// Structural statistics of a property graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GraphStats {
+    /// Total node count.
     pub nodes: usize,
+    /// Total edge count.
     pub edges: usize,
     /// Distinct individual node labels.
     pub node_labels: usize,

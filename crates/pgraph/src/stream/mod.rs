@@ -40,6 +40,9 @@
 pub mod csv;
 pub mod jsonl;
 pub mod pgt;
+pub mod read_ahead;
+
+pub use read_ahead::{ReadAheadChunks, ReadAheadRecords, StreamSummary};
 
 use crate::builder::GraphBuilder;
 use crate::element::NodeId;
@@ -53,15 +56,22 @@ use std::fmt;
 pub enum Record {
     /// A node declaration with a dataset-scoped id.
     Node {
+        /// Dataset-scoped node id (referenced by edges).
         id: String,
+        /// The node's labels (may be empty).
         labels: Vec<String>,
+        /// The node's `(key, value)` properties.
         props: Vec<(String, Value)>,
     },
     /// An edge between two node ids.
     Edge {
+        /// Source node id.
         src: String,
+        /// Target node id.
         tgt: String,
+        /// The edge's labels (may be empty).
         labels: Vec<String>,
+        /// The edge's `(key, value)` properties.
         props: Vec<(String, Value)>,
     },
 }
@@ -73,7 +83,12 @@ pub enum StreamError {
     Io(std::io::Error),
     /// A record could not be parsed. `line` is 1-based within the file the
     /// source was reading when the error occurred.
-    Parse { line: u64, msg: String },
+    Parse {
+        /// 1-based line number within the file being read.
+        line: u64,
+        /// What went wrong.
+        msg: String,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -95,6 +110,18 @@ impl From<std::io::Error> for StreamError {
 
 /// A format-specific record parser: the one trait the CLI, benches and the
 /// chunker program against, so they stay format-agnostic.
+///
+/// ```
+/// use pg_hive_graph::stream::{pgt::PgtSource, GraphSource, Record};
+///
+/// let mut src = PgtSource::new("N a Person name=Ann\nE a a SELF -\n".as_bytes());
+/// let first = src.next_record().unwrap().unwrap();
+/// assert!(matches!(first, Record::Node { ref id, .. } if id == "a"));
+/// let second = src.next_record().unwrap().unwrap();
+/// assert!(matches!(second, Record::Edge { .. }));
+/// assert!(src.next_record().unwrap().is_none()); // end of stream
+/// assert_eq!(src.format_name(), "pgt");
+/// ```
 pub trait GraphSource {
     /// Next record, `Ok(None)` at end of stream.
     fn next_record(&mut self) -> Result<Option<Record>, StreamError>;
@@ -198,6 +225,22 @@ impl LabelSetRegistry {
 /// `Discoverer::discover_stream`.
 ///
 /// See the [module docs](self) for the cross-chunk edge semantics.
+///
+/// ```
+/// use pg_hive_graph::stream::pgt::PgtSource;
+/// use pg_hive_graph::ChunkedTextReader;
+///
+/// let text = "N a Person -\nN b Person -\nN c Org -\nE a c WORKS_AT -\n";
+/// let mut reader = ChunkedTextReader::new(PgtSource::new(text.as_bytes()), 2);
+/// let mut chunks = 0;
+/// while let Some(chunk) = reader.next_chunk().unwrap() {
+///     chunks += 1;
+///     assert!(chunk.node_count() + chunk.edge_count() <= 2 * 2); // O(chunk)
+/// }
+/// assert_eq!(chunks, reader.chunks_emitted());
+/// assert!(chunks >= 2);
+/// assert_eq!(reader.warnings().unresolved_edges, 0);
+/// ```
 pub struct ChunkedTextReader<S> {
     source: S,
     chunk_size: usize,

@@ -21,14 +21,27 @@ pub enum Value {
     /// Boolean literal.
     Bool(bool),
     /// Calendar date, ISO `YYYY-MM-DD`.
-    Date { year: i32, month: u8, day: u8 },
+    Date {
+        /// Calendar year (may be negative).
+        year: i32,
+        /// Month, 1–12.
+        month: u8,
+        /// Day of month, 1–31.
+        day: u8,
+    },
     /// Timestamp, ISO `YYYY-MM-DDThh:mm:ss` (seconds precision).
     DateTime {
+        /// Calendar year (may be negative).
         year: i32,
+        /// Month, 1–12.
         month: u8,
+        /// Day of month, 1–31.
         day: u8,
+        /// Hour, 0–23.
         hour: u8,
+        /// Minute, 0–59.
         minute: u8,
+        /// Second, 0–59.
         second: u8,
     },
     /// Arbitrary string (the inference default).
@@ -39,11 +52,17 @@ pub enum Value {
 /// (integer → float → boolean → date/timestamp → string).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ValueKind {
+    /// 64-bit signed integers.
     Integer,
+    /// Double-precision floats.
     Float,
+    /// Boolean literals.
     Boolean,
+    /// Calendar dates.
     Date,
+    /// Timestamps with seconds precision.
     Timestamp,
+    /// Arbitrary strings (top of the lattice).
     String,
 }
 
