@@ -9,13 +9,17 @@ USAGE:
   pg-hive discover <input> [OPTIONS]       infer the schema of a graph
   pg-hive diff     <old> <new> [OPTIONS]   discover both schemas and report
                                            what changed (exit 1 on changes)
+  pg-hive watch    <input> [OPTIONS]       monitor a growing/rotating input
+                                           for schema drift (long-running;
+                                           --once = one re-check, exit 1 on
+                                           drift)
   pg-hive validate <data.pgt> <reference.pgt> [--loose]
                                            check data against the schema
                                            discovered from a reference graph
   pg-hive stats    <input> [OPTIONS]       structural statistics (Table 2)
   pg-hive help                             this message
 
-INPUT FORMATS (discover, diff, stats):
+INPUT FORMATS (discover, diff, watch, stats):
   --input-format pgt|csv|jsonl  (default: pgt)
      pgt    line-oriented text graph (<input> is a .pgt file)
      csv    <input> is a directory holding nodes.csv (+ optional edges.csv):
@@ -40,7 +44,7 @@ STREAMING (discover, diff, stats):
   --read-ahead <N>         chunks parsed ahead of the workers by the
                            producer thread (default: 2; N >= 1)
 
-DISCOVER / DIFF OPTIONS:
+DISCOVER / DIFF / WATCH OPTIONS:
   --method elsh|minhash    LSH family (default: elsh)
   --theta <0..1>           Jaccard merge threshold (default: 0.9)
   --seed <N>               RNG seed (default: 42)
@@ -49,7 +53,14 @@ DISCOVER OPTIONS:
   --batches <N>            incremental batches (default: 1 = static;
                            incompatible with --stream)
   --format strict|loose|xsd|summary   output (default: summary)
-  --sample                 sample-based datatype inference";
+  --sample                 sample-based datatype inference
+
+WATCH OPTIONS:
+  --interval <SECS>        seconds between drift-check passes (default: 30;
+                           >= 1). Each pass ingests only newly appended
+                           records into the resident schema state
+  --once                   baseline + exactly one re-check, then exit
+                           (0 = no drift, 1 = drift) — the CI mode";
 
 /// Output format of `discover`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,6 +174,15 @@ pub enum Command {
         seed: u64,
         stream: StreamOpts,
     },
+    Watch {
+        path: String,
+        method: ClusterMethod,
+        theta: f64,
+        seed: u64,
+        interval_secs: u64,
+        once: bool,
+        stream: StreamOpts,
+    },
     Validate {
         data_path: String,
         schema_path: String,
@@ -249,6 +269,41 @@ impl Args {
                         method,
                         theta,
                         seed,
+                        stream,
+                    },
+                })
+            }
+            "watch" => {
+                let path = it.next().ok_or("watch needs a graph input")?;
+                let mut method = ClusterMethod::Elsh;
+                let mut theta = 0.9;
+                let mut seed = 42u64;
+                let mut interval_secs = 30u64;
+                let mut once = false;
+                let mut stream = StreamOpts::default();
+                while let Some(flag) = it.next() {
+                    if stream.consume(&flag, &mut it)? {
+                        continue;
+                    }
+                    match flag.as_str() {
+                        "--method" => method = parse_method(it.next())?,
+                        "--theta" => theta = parse_theta(it.next())?,
+                        "--seed" => seed = parse_seed(it.next())?,
+                        "--interval" => {
+                            interval_secs = parse_positive("--interval", it.next())? as u64;
+                        }
+                        "--once" => once = true,
+                        other => return Err(format!("unknown flag '{other}'")),
+                    }
+                }
+                Ok(Args {
+                    command: Command::Watch {
+                        path,
+                        method,
+                        theta,
+                        seed,
+                        interval_secs,
+                        once,
                         stream,
                     },
                 })
@@ -547,6 +602,68 @@ mod tests {
             panic!()
         };
         assert!(stream.stream);
+    }
+
+    #[test]
+    fn watch_parses_with_defaults_and_flags() {
+        let a = parse(&["watch", "g.pgt"]).unwrap();
+        let Command::Watch {
+            path,
+            interval_secs,
+            once,
+            stream,
+            ..
+        } = a.command
+        else {
+            panic!()
+        };
+        assert_eq!(path, "g.pgt");
+        assert_eq!(interval_secs, 30);
+        assert!(!once);
+        assert_eq!(stream, StreamOpts::default());
+
+        let a = parse(&[
+            "watch",
+            "dir",
+            "--input-format",
+            "csv",
+            "--interval",
+            "5",
+            "--once",
+            "--threads",
+            "2",
+            "--read-ahead",
+            "4",
+            "--chunk-size",
+            "100",
+            "--theta",
+            "0.8",
+        ])
+        .unwrap();
+        let Command::Watch {
+            interval_secs,
+            once,
+            theta,
+            stream,
+            ..
+        } = a.command
+        else {
+            panic!()
+        };
+        assert_eq!(interval_secs, 5);
+        assert!(once);
+        assert_eq!(theta, 0.8);
+        assert_eq!(stream.input_format, InputFormat::Csv);
+        assert_eq!(stream.threads, Some(2));
+        assert_eq!(stream.chunk_size, 100);
+    }
+
+    #[test]
+    fn watch_rejects_zero_interval_and_unknown_flags() {
+        let err = parse(&["watch", "g", "--interval", "0"]).unwrap_err();
+        assert!(err.contains("--interval must be >= 1"), "{err}");
+        assert!(parse(&["watch", "g", "--batches", "2"]).is_err());
+        assert!(parse(&["watch"]).is_err());
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! pg-hive diff     <old> <new> [--method M] [--theta T] [--seed S]
 //!                  [--input-format F] [--stream] [--chunk-size N]
 //!                  [--threads N] [--read-ahead N]
+//! pg-hive watch    <input> [--interval SECS] [--once] [--method M]
+//!                  [--theta T] [--seed S] [--input-format F]
+//!                  [--chunk-size N] [--threads N] [--read-ahead N]
 //! pg-hive validate <graph.pgt> <schema-graph.pgt> [--loose]
 //! pg-hive stats    <input> [--input-format pgt|csv|jsonl] [--stream]
 //!                  [--read-ahead N]
@@ -32,8 +35,11 @@
 //!
 //! `diff` discovers the schema of two snapshots of a dataset and reports
 //! added/removed/changed types — the operational counterpart of the
-//! incremental monotone chain (§4.6). See `docs/CLI.md` for the full
-//! reference.
+//! incremental monotone chain (§4.6). `watch` turns that into a
+//! long-running drift monitor: a resident canonical
+//! [`pg_hive_core::SchemaState`] absorbs only the records appended between
+//! passes and each pass's finalized schema is diffed against the previous
+//! one (see [`watch`]). See `docs/CLI.md` for the full reference.
 
 use pg_hive_core::schema::SchemaGraph;
 use pg_hive_core::serialize::{pg_schema_loose, pg_schema_strict, to_xsd};
@@ -52,6 +58,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 mod args;
+mod watch;
 use args::{Args, Command, InputFormat, OutputFormat, StreamOpts};
 
 fn main() -> ExitCode {
@@ -148,6 +155,12 @@ fn print_type_lines(schema: &SchemaGraph) {
     }
 }
 
+/// The named error `diff` and `watch` raise instead of treating an empty
+/// (or CSV header-only) input as a legitimate empty schema.
+fn empty_input_error(path: &str) -> String {
+    format!("empty input: {path} contains no graph elements (nodes or edges)")
+}
+
 /// Effective worker count: the `--threads` value, or every available core.
 fn resolve_threads(opts: &StreamOpts) -> usize {
     opts.threads.unwrap_or_else(|| {
@@ -240,11 +253,16 @@ fn run(args: Args) -> Result<ExitCode, String> {
                         eprintln!("warning: while streaming {p}:");
                         report_warnings(&summary.warnings);
                     }
+                    if result.elements == 0 {
+                        return Err(empty_input_error(p));
+                    }
                     Ok(result.schema)
                 } else {
-                    Ok(discoverer
-                        .discover(&load_graph(p, stream.input_format)?)
-                        .schema)
+                    let g = load_graph(p, stream.input_format)?;
+                    if g.node_count() + g.edge_count() == 0 {
+                        return Err(empty_input_error(p));
+                    }
+                    Ok(discoverer.discover(&g).schema)
                 }
             };
             let old = schema_of(&old_path)?;
@@ -273,6 +291,30 @@ fn run(args: Args) -> Result<ExitCode, String> {
                 );
                 Ok(ExitCode::FAILURE)
             }
+        }
+        Command::Watch {
+            path,
+            method,
+            theta,
+            seed,
+            interval_secs,
+            once,
+            stream,
+        } => {
+            let config = PipelineConfig {
+                method,
+                theta,
+                seed,
+                ..PipelineConfig::default()
+            };
+            let discoverer = Discoverer::new(config);
+            watch::run_watch(
+                &path,
+                &stream,
+                &discoverer,
+                std::time::Duration::from_secs(interval_secs),
+                once,
+            )
         }
         Command::Validate {
             data_path,

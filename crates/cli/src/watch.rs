@@ -1,0 +1,481 @@
+//! `pg-hive watch` — long-running schema-drift monitoring.
+//!
+//! The watcher keeps one resident canonical [`SchemaState`] and, on every
+//! pass, re-ingests only the bytes **appended** to the input since the
+//! previous pass (per-file byte offsets; a shrunken file is treated as a
+//! rotation and re-ingested from scratch). Appended records are chunked and
+//! absorbed into the resident state — incremental and associative, not
+//! repeated full re-discovery — and the pass's finalized schema is diffed
+//! against the previous one. Drift events are printed with the same
+//! monotonicity verdict as `pg-hive diff`; with `--once` the process
+//! performs exactly one re-check after the baseline and exits 1 when drift
+//! was detected (0 otherwise), which is the CI-friendly mode.
+//!
+//! Edges appended in a later pass usually reference nodes ingested in an
+//! earlier one; the chunk reader's id → label-set registry is carried
+//! across passes ([`ChunkedTextReader::with_registry`]), so such edges
+//! resolve through labeled stubs and are counted as cross-chunk warnings
+//! instead of being dropped.
+//!
+//! Partially written trailing lines are left unconsumed (the delta is cut
+//! at the last newline), so appending concurrently with a pass never
+//! corrupts a record — it is simply picked up by the next pass.
+
+use crate::args::{InputFormat, StreamOpts};
+use pg_hive_core::serialize::pg_schema_strict;
+use pg_hive_core::{diff_schemas, AbsorbReport, Discoverer, SchemaState};
+use pg_hive_graph::stream::{csv::CsvSource, jsonl::JsonlSource, pgt::PgtSource};
+use pg_hive_graph::{ChunkedTextReader, GraphSource, LabelSetRegistry, StreamWarnings};
+use std::io::{Cursor, Read, Seek, SeekFrom};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// How many trailing consumed bytes are remembered to recognize a file
+/// that was truncated and rewritten *past* the old offset between passes
+/// (logrotate `copytruncate` + a fast writer): the length check alone
+/// cannot see that.
+const ROTATION_TAIL: usize = 64;
+
+/// One watched file: consumed byte offset, the last consumed bytes (a
+/// rotation fingerprint), plus, for CSV, the retained header line
+/// (appended records do not repeat it).
+struct TrackedFile {
+    path: PathBuf,
+    offset: u64,
+    tail: Vec<u8>,
+    header: Option<Vec<u8>>,
+    required: bool,
+}
+
+enum FileDelta {
+    Unchanged,
+    Rotated,
+    Appended(Vec<u8>),
+}
+
+impl TrackedFile {
+    fn new(path: PathBuf, required: bool) -> Self {
+        Self {
+            path,
+            offset: 0,
+            tail: Vec::new(),
+            header: None,
+            required,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.offset = 0;
+        self.tail.clear();
+        self.header = None;
+    }
+
+    /// Read the bytes appended since the last pass, cut at the last
+    /// newline. `keep_header` retains the first-ever line separately and
+    /// prepends it to every later delta (CSV headers).
+    fn read_delta(&mut self, keep_header: bool) -> Result<FileDelta, String> {
+        let len = match std::fs::metadata(&self.path) {
+            Ok(m) => m.len(),
+            Err(e) if self.required => {
+                return Err(format!("cannot read {}: {e}", self.path.display()))
+            }
+            Err(_) => return Ok(FileDelta::Unchanged),
+        };
+        if len < self.offset {
+            return Ok(FileDelta::Rotated);
+        }
+        let mut f = std::fs::File::open(&self.path)
+            .map_err(|e| format!("cannot read {}: {e}", self.path.display()))?;
+        // Same-or-larger length does not prove the same file: verify the
+        // bytes we already consumed still end the way we remember before
+        // trusting the offset.
+        if !self.tail.is_empty() {
+            let tail_start = self.offset - self.tail.len() as u64;
+            f.seek(SeekFrom::Start(tail_start))
+                .map_err(|e| format!("cannot seek {}: {e}", self.path.display()))?;
+            let mut probe = vec![0u8; self.tail.len()];
+            if f.read_exact(&mut probe).is_err() || probe != self.tail {
+                return Ok(FileDelta::Rotated);
+            }
+        }
+        if len == self.offset {
+            return Ok(FileDelta::Unchanged);
+        }
+        f.seek(SeekFrom::Start(self.offset))
+            .map_err(|e| format!("cannot seek {}: {e}", self.path.display()))?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)
+            .map_err(|e| format!("cannot read {}: {e}", self.path.display()))?;
+        // A writer may be mid-append: consume only whole lines.
+        let cut = buf.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+        buf.truncate(cut);
+        if buf.is_empty() {
+            return Ok(FileDelta::Unchanged);
+        }
+        self.offset += buf.len() as u64;
+        let keep = buf.len().min(ROTATION_TAIL);
+        self.tail.extend_from_slice(&buf[buf.len() - keep..]);
+        let excess = self.tail.len().saturating_sub(ROTATION_TAIL);
+        self.tail.drain(..excess);
+        if keep_header {
+            match &self.header {
+                None => {
+                    let nl = buf
+                        .iter()
+                        .position(|&b| b == b'\n')
+                        .map_or(buf.len(), |i| i + 1);
+                    self.header = Some(buf[..nl].to_vec());
+                    // This first delta already starts with the header.
+                }
+                Some(h) => {
+                    let mut with_header = h.clone();
+                    with_header.extend_from_slice(&buf);
+                    buf = with_header;
+                }
+            }
+        }
+        Ok(FileDelta::Appended(buf))
+    }
+}
+
+/// What one pass found on disk.
+struct PassRead {
+    /// The input shrank (log rotation / truncation): the resident state and
+    /// registry were invalidated and the content below is the full file.
+    rotated: bool,
+    /// Parser over the appended (or, after rotation, full) records; `None`
+    /// when nothing new was appended.
+    source: Option<Box<dyn GraphSource>>,
+}
+
+/// A watched input: one file for pgt/jsonl, the `nodes.csv` (+ optional
+/// `edges.csv`) pair for CSV.
+struct WatchedInput {
+    format: InputFormat,
+    files: Vec<TrackedFile>,
+}
+
+impl WatchedInput {
+    fn open(path: &str, format: InputFormat) -> Result<Self, String> {
+        let files = match format {
+            InputFormat::Pgt | InputFormat::Jsonl => {
+                vec![TrackedFile::new(PathBuf::from(path), true)]
+            }
+            InputFormat::Csv => {
+                let dir = PathBuf::from(path);
+                vec![
+                    TrackedFile::new(dir.join("nodes.csv"), true),
+                    TrackedFile::new(dir.join("edges.csv"), false),
+                ]
+            }
+        };
+        Ok(Self { format, files })
+    }
+
+    fn read_pass(&mut self) -> Result<PassRead, String> {
+        let keep_header = self.format == InputFormat::Csv;
+        let mut deltas = Vec::with_capacity(self.files.len());
+        let mut rotated = false;
+        for f in &mut self.files {
+            match f.read_delta(keep_header)? {
+                FileDelta::Rotated => {
+                    rotated = true;
+                    break;
+                }
+                d => deltas.push(d),
+            }
+        }
+        if rotated {
+            // One shrunken file invalidates the whole input: restart every
+            // offset and re-read the full content.
+            deltas.clear();
+            for f in &mut self.files {
+                f.reset();
+                deltas.push(match f.read_delta(keep_header)? {
+                    FileDelta::Rotated => FileDelta::Unchanged, // racing writer; next pass
+                    d => d,
+                });
+            }
+        }
+        let mut bufs: Vec<Option<Vec<u8>>> = deltas
+            .into_iter()
+            .map(|d| match d {
+                FileDelta::Appended(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        if bufs.iter().all(Option::is_none) {
+            return Ok(PassRead {
+                rotated,
+                source: None,
+            });
+        }
+        let source: Box<dyn GraphSource> = match self.format {
+            InputFormat::Pgt => Box::new(PgtSource::new(Cursor::new(
+                bufs[0].take().unwrap_or_default(),
+            ))),
+            InputFormat::Jsonl => Box::new(JsonlSource::new(Cursor::new(
+                bufs[0].take().unwrap_or_default(),
+            ))),
+            InputFormat::Csv => {
+                // An untouched nodes.csv still contributes its header so the
+                // source can parse appended edge records.
+                let nodes = bufs[0]
+                    .take()
+                    .or_else(|| self.files[0].header.clone())
+                    .unwrap_or_default();
+                let edges = bufs[1].take();
+                Box::new(CsvSource::new(Cursor::new(nodes), edges.map(Cursor::new)))
+            }
+        };
+        Ok(PassRead {
+            rotated,
+            source: Some(source),
+        })
+    }
+}
+
+fn add_warnings(total: &mut StreamWarnings, w: StreamWarnings) {
+    total.cross_chunk_edges += w.cross_chunk_edges;
+    total.unresolved_edges += w.unresolved_edges;
+    total.deferred_edges += w.deferred_edges;
+    total.evicted_edges += w.evicted_edges;
+    total.duplicate_nodes += w.duplicate_nodes;
+}
+
+/// Chunk `source` (seeding the reader with the carried registry) and absorb
+/// every chunk into the resident state.
+fn absorb_source(
+    source: Box<dyn GraphSource>,
+    opts: &StreamOpts,
+    threads: usize,
+    discoverer: &Discoverer,
+    state: &mut SchemaState,
+    registry: &mut LabelSetRegistry,
+    warnings: &mut StreamWarnings,
+) -> Result<AbsorbReport, String> {
+    let mut reader =
+        ChunkedTextReader::with_registry(source, opts.chunk_size, std::mem::take(registry));
+    let mut stream_err: Option<String> = None;
+    let report = discoverer.absorb_stream(
+        std::iter::from_fn(|| match reader.next_chunk() {
+            Ok(c) => c,
+            Err(e) => {
+                stream_err = Some(e.to_string());
+                None
+            }
+        }),
+        state,
+        threads,
+    );
+    if let Some(e) = stream_err {
+        return Err(format!("parse error while watching: {e}"));
+    }
+    add_warnings(warnings, reader.warnings());
+    *registry = reader.into_registry();
+    Ok(report)
+}
+
+/// Run the watch loop. `--once` performs the baseline pass plus exactly one
+/// re-check and exits with the `diff` exit-code semantics (1 = drift);
+/// without it the loop runs until the process is killed or the input
+/// becomes unreadable.
+pub fn run_watch(
+    path: &str,
+    opts: &StreamOpts,
+    discoverer: &Discoverer,
+    interval: Duration,
+    once: bool,
+) -> Result<ExitCode, String> {
+    let mut input = WatchedInput::open(path, opts.input_format)?;
+    let threads = crate::resolve_threads(opts);
+    let mut state = discoverer.new_state();
+    let mut registry = LabelSetRegistry::default();
+    let mut warnings = StreamWarnings::default();
+
+    // Baseline pass.
+    let read = input.read_pass()?;
+    let baseline = match read.source {
+        Some(src) => absorb_source(
+            src,
+            opts,
+            threads,
+            discoverer,
+            &mut state,
+            &mut registry,
+            &mut warnings,
+        )?,
+        None => AbsorbReport {
+            elements: 0,
+            chunk_times: Vec::new(),
+        },
+    };
+    if baseline.elements == 0 {
+        // The named empty-input error: an empty (or CSV header-only) input
+        // would otherwise masquerade as a stable empty schema and every
+        // future pass would report drift against nothing.
+        return Err(format!(
+            "empty input: {path} contains no graph elements (nodes or edges) — nothing to watch"
+        ));
+    }
+    let mut schema = state.finalize();
+    eprintln!(
+        "watch {path}: baseline {} element(s) in {} chunk(s) -> {} node type(s), {} edge type(s); \
+         re-checking every {}s{}",
+        baseline.elements,
+        baseline.chunk_times.len(),
+        schema.node_types.len(),
+        schema.edge_types.len(),
+        interval.as_secs(),
+        if once { " (once)" } else { "" }
+    );
+
+    let mut drifted = false;
+    let mut pass = 1usize;
+    loop {
+        std::thread::sleep(interval);
+        pass += 1;
+        let read = input.read_pass()?;
+        if read.rotated {
+            eprintln!("pass {pass}: input rotated/truncated — re-ingesting from scratch");
+            state = discoverer.new_state();
+            registry = LabelSetRegistry::default();
+        }
+        let absorbed = match read.source {
+            Some(src) => absorb_source(
+                src,
+                opts,
+                threads,
+                discoverer,
+                &mut state,
+                &mut registry,
+                &mut warnings,
+            )?,
+            None => AbsorbReport {
+                elements: 0,
+                chunk_times: Vec::new(),
+            },
+        };
+        let new_schema = state.finalize();
+        let diff = diff_schemas(&schema, &new_schema);
+        if diff.is_empty() {
+            println!(
+                "pass {pass}: +{} element(s), no schema drift",
+                absorbed.elements
+            );
+        } else {
+            drifted = true;
+            println!(
+                "pass {pass}: +{} element(s), schema drift detected ({}):",
+                absorbed.elements,
+                if diff.is_monotone() {
+                    "monotone: additions/relaxations only"
+                } else {
+                    "NON-monotone: contains removals or tightenings"
+                }
+            );
+            print!("{diff}");
+        }
+        schema = new_schema;
+        if once {
+            crate::report_warnings(&warnings);
+            // Emit the final schema so CI (and the e2e suite) can assert it
+            // is byte-identical to `discover --stream --format strict`.
+            print!("{}", pg_schema_strict(&schema, "Discovered"));
+            return Ok(if drifted {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pg-hive-watch-unit-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn appended(d: FileDelta) -> Vec<u8> {
+        match d {
+            FileDelta::Appended(b) => b,
+            FileDelta::Unchanged => panic!("expected Appended, got Unchanged"),
+            FileDelta::Rotated => panic!("expected Appended, got Rotated"),
+        }
+    }
+
+    #[test]
+    fn appended_bytes_are_consumed_once() {
+        let p = temp("append");
+        std::fs::write(&p, "N a Person -\n").unwrap();
+        let mut t = TrackedFile::new(p.clone(), true);
+        assert_eq!(appended(t.read_delta(false).unwrap()), b"N a Person -\n");
+        assert!(matches!(t.read_delta(false).unwrap(), FileDelta::Unchanged));
+        let mut f = std::fs::OpenOptions::new().append(true).open(&p).unwrap();
+        std::io::Write::write_all(&mut f, b"N b Org -\n").unwrap();
+        assert_eq!(appended(t.read_delta(false).unwrap()), b"N b Org -\n");
+    }
+
+    #[test]
+    fn partial_trailing_line_waits_for_the_next_pass() {
+        let p = temp("partial");
+        std::fs::write(&p, "N a Person -\nN b Org").unwrap(); // no trailing \n
+        let mut t = TrackedFile::new(p.clone(), true);
+        assert_eq!(appended(t.read_delta(false).unwrap()), b"N a Person -\n");
+        // The half-written line is not consumed...
+        assert!(matches!(t.read_delta(false).unwrap(), FileDelta::Unchanged));
+        // ...until its newline lands.
+        let mut f = std::fs::OpenOptions::new().append(true).open(&p).unwrap();
+        std::io::Write::write_all(&mut f, b" url=x\n").unwrap();
+        assert_eq!(appended(t.read_delta(false).unwrap()), b"N b Org url=x\n");
+    }
+
+    #[test]
+    fn shrunken_file_is_a_rotation() {
+        let p = temp("shrink");
+        std::fs::write(&p, "N a Person -\nN b Person -\n").unwrap();
+        let mut t = TrackedFile::new(p.clone(), true);
+        appended(t.read_delta(false).unwrap());
+        std::fs::write(&p, "N z Other -\n").unwrap();
+        assert!(matches!(t.read_delta(false).unwrap(), FileDelta::Rotated));
+    }
+
+    #[test]
+    fn truncate_and_regrow_past_the_offset_is_a_rotation() {
+        // Regression: the length check alone (len < offset) misses
+        // logrotate copytruncate followed by a fast writer refilling the
+        // file beyond the old offset; the consumed-tail fingerprint
+        // catches it.
+        let p = temp("regrow");
+        std::fs::write(&p, "N a Person -\n").unwrap();
+        let mut t = TrackedFile::new(p.clone(), true);
+        appended(t.read_delta(false).unwrap());
+        std::fs::write(&p, "N zz Other -\nN yy Other -\nN xx Other -\n").unwrap();
+        assert!(matches!(t.read_delta(false).unwrap(), FileDelta::Rotated));
+    }
+
+    #[test]
+    fn csv_header_is_retained_and_prepended_to_later_deltas() {
+        let p = temp("header");
+        std::fs::write(&p, "id,labels,name\na,Person,Ann\n").unwrap();
+        let mut t = TrackedFile::new(p.clone(), true);
+        // First delta starts with the header itself.
+        assert_eq!(
+            appended(t.read_delta(true).unwrap()),
+            b"id,labels,name\na,Person,Ann\n"
+        );
+        let mut f = std::fs::OpenOptions::new().append(true).open(&p).unwrap();
+        std::io::Write::write_all(&mut f, b"b,Person,Bob\n").unwrap();
+        // Later deltas get the retained header prepended.
+        assert_eq!(
+            appended(t.read_delta(true).unwrap()),
+            b"id,labels,name\nb,Person,Bob\n"
+        );
+    }
+}

@@ -299,6 +299,150 @@ fn diff_reports_changes_and_exit_codes() {
     assert!(streamed.contains("+ node type Place"), "{streamed}");
 }
 
+/// A uniquely named temp file — for tests that must own their file
+/// exclusively (the watch tests keep it open across >1 s while other
+/// tests recreate the shared `write_temp(DEMO)` path concurrently).
+fn write_temp_named(name: &str, content: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("pg-hive-e2e-{}-{name}.pgt", std::process::id()));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+#[test]
+fn watch_once_without_changes_matches_discover_stream_schema() {
+    let path = write_temp_named("watch-stable", DEMO);
+    let (discover_out, _, code) = run(&[
+        "discover",
+        path.to_str().unwrap(),
+        "--stream",
+        "--chunk-size",
+        "3",
+        "--format",
+        "strict",
+    ]);
+    assert_eq!(code, Some(0));
+    let (watch_out, watch_err, code) = run(&[
+        "watch",
+        path.to_str().unwrap(),
+        "--once",
+        "--interval",
+        "1",
+        "--chunk-size",
+        "3",
+    ]);
+    assert_eq!(code, Some(0), "no drift on an unchanged file: {watch_err}");
+    assert!(watch_out.contains("no schema drift"), "{watch_out}");
+    // The final schema watch emits is byte-identical to the streaming
+    // discover path — both finalize the same canonical SchemaState.
+    let schema_part = &watch_out[watch_out.find("CREATE GRAPH TYPE").expect("schema emitted")..];
+    assert_eq!(schema_part, discover_out, "watch diverged from discover");
+}
+
+#[test]
+fn watch_once_detects_appended_drift_with_exit_1() {
+    use std::io::Read;
+    let path = write_temp_named("watch-drift", DEMO);
+    // Spawn watch with captured pipes and append only after its stderr
+    // shows the baseline pass finished — no fixed-sleep race against
+    // process startup on a loaded machine.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pg-hive"))
+        .args([
+            "watch",
+            path.to_str().unwrap(),
+            "--once",
+            "--interval",
+            "1",
+            "--chunk-size",
+            "4",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut child_err = child.stderr.take().unwrap();
+    let mut stderr = String::new();
+    let mut byte = [0u8; 1];
+    while !stderr.contains("baseline") {
+        assert_ne!(
+            child_err.read(&mut byte).expect("stderr readable"),
+            0,
+            "watch exited before printing a baseline: {stderr}"
+        );
+        stderr.push(byte[0] as char);
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    f.write_all(b"N p Place name=GR\nE o p LOCATED_IN since=2020\n")
+        .unwrap();
+    drop(f);
+    let out = child.wait_with_output().expect("watch terminates");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let mut rest = String::new();
+    child_err.read_to_string(&mut rest).unwrap();
+    stderr.push_str(&rest);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "drift must exit 1: {stderr}\n{stdout}"
+    );
+    assert!(stdout.contains("schema drift detected"), "{stdout}");
+    assert!(stdout.contains("monotone"), "{stdout}");
+    assert!(stdout.contains("+ node type Place"), "{stdout}");
+    assert!(stdout.contains("+ edge type LOCATED_IN"), "{stdout}");
+    // The appended edge references node `o` from the baseline pass: the
+    // carried registry resolves it instead of dropping it.
+    assert!(
+        stderr.contains("cross-chunk edge"),
+        "cross-pass edge resolved through the registry: {stderr}"
+    );
+}
+
+#[test]
+fn watch_and_diff_reject_empty_or_header_only_input() {
+    // Regression: an empty / CSV header-only input used to discover a
+    // legitimate-looking empty schema; it must be a *named* error.
+    let empty = write_temp("# nothing but a comment\n");
+    let (_, stderr, code) = run(&[
+        "watch",
+        empty.to_str().unwrap(),
+        "--once",
+        "--interval",
+        "1",
+    ]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("empty input:"), "{stderr}");
+
+    let full = write_temp(DEMO);
+    for order in [
+        [empty.to_str().unwrap(), full.to_str().unwrap()],
+        [full.to_str().unwrap(), empty.to_str().unwrap()],
+    ] {
+        let (_, stderr, code) = run(&["diff", order[0], order[1]]);
+        assert_eq!(code, Some(1), "{stderr}");
+        assert!(stderr.contains("empty input:"), "{stderr}");
+        // Streaming diff raises the same named error.
+        let (_, stderr, code) = run(&["diff", order[0], order[1], "--stream"]);
+        assert_eq!(code, Some(1), "{stderr}");
+        assert!(stderr.contains("empty input:"), "{stderr}");
+    }
+
+    let header_only = write_temp_dir("csv-header-only", &[("nodes.csv", "id,labels,name\n")]);
+    let (_, stderr, code) = run(&[
+        "watch",
+        header_only.to_str().unwrap(),
+        "--input-format",
+        "csv",
+        "--once",
+        "--interval",
+        "1",
+    ]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("empty input:"), "{stderr}");
+}
+
 #[test]
 fn zero_thread_flags_rejected_with_usage() {
     for flags in [

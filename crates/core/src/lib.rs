@@ -32,12 +32,19 @@
 //! Batches can be processed **incrementally**
 //! ([`Discoverer::discover_incremental`]); schema merging is monotone
 //! (Lemmas 1–2), so the schema only ever generalizes — see
-//! [`merge::is_generalization_of`]. For datasets that do not fit in memory,
+//! [`merge::is_generalization_of`]. Every schema-producing path assembles
+//! its result through the canonical [`state::SchemaState`] — an associative,
+//! commutative absorb over pooled types with a deterministic finalize — so
+//! the discovered schema is invariant to interning order and chunk arrival
+//! grouping. For datasets that do not fit in memory,
 //! [`Discoverer::discover_stream`] folds independent chunks with O(chunk)
 //! residency, and [`Discoverer::discover_stream_parallel`] overlaps chunk
-//! discovery across a worker pool while merging **in input order** — the
-//! result is byte-identical to the serial path for every thread count.
-//! `docs/ARCHITECTURE.md` at the repository root maps the whole system.
+//! discovery across a worker pool, folding chunk states in completion order
+//! — the result is byte-identical to the serial path for every thread
+//! count. [`Discoverer::absorb_stream`] exposes the same engine over a
+//! caller-resident state, which is what `pg-hive watch` builds its drift
+//! monitoring on. `docs/ARCHITECTURE.md` at the repository root maps the
+//! whole system.
 //!
 //! ## Quickstart
 //!
@@ -73,15 +80,19 @@ pub mod preprocess;
 pub mod retract;
 pub mod schema;
 pub mod serialize;
+pub mod state;
 pub mod validate;
 
 pub use config::{ClusterMethod, EmbeddingStrategy, PipelineConfig, SamplingConfig};
 pub use diff::{diff_schemas, SchemaDiff};
 pub use parse::{parse_pg_schema, ParseError, ParsedMode};
-pub use pipeline::{Discoverer, DiscoveryResult, PipelineStats, StageTimings, StreamResult};
+pub use pipeline::{
+    AbsorbReport, Discoverer, DiscoveryResult, PipelineStats, StageTimings, StreamResult,
+};
 pub use retract::{retract_batch, RetractionStats};
 pub use schema::{
     label_set, Cardinality, CardinalityClass, EdgeType, LabelSet, NodeType, PropertySpec,
     SchemaGraph,
 };
+pub use state::SchemaState;
 pub use validate::{validate, ValidationMode, ValidationReport, Violation};

@@ -3,18 +3,29 @@
 //! merge on equal label sets, unlabeled types merge by Jaccard similarity,
 //! leftovers stay ABSTRACT.
 //!
+//! Since the canonical-core refactor this routes through
+//! [`crate::state::SchemaState`]: both inputs are absorbed into one pooled
+//! state and re-finalized, so the merge is **order-invariant** —
+//! `merge(a, b)` and `merge(b, a)` produce the same canonical schema, and
+//! unlabeled-type resolution no longer depends on which input happened to
+//! come first.
+//!
 //! Monotonicity (§4.7): every label, property and endpoint of either input
 //! is present in the merged schema — guaranteed by the union-only `absorb`
 //! operations (Lemma 1 / Lemma 2).
 
-use crate::extract::{merge_edge_candidates, merge_node_candidates};
 use crate::schema::SchemaGraph;
+use crate::state::SchemaState;
 
 /// Merge `incoming` into `base` in place. `theta` is the Jaccard threshold
-/// for unlabeled-type matching (the paper uses 0.9).
+/// for unlabeled-type matching (the paper uses 0.9). The result is the
+/// canonical finalization of the pooled state of both inputs — symmetric in
+/// its arguments up to member-list order.
 pub fn merge_schemas(base: &mut SchemaGraph, incoming: SchemaGraph, theta: f64) {
-    merge_node_candidates(base, incoming.node_types, theta);
-    merge_edge_candidates(base, incoming.edge_types, theta);
+    let mut state = SchemaState::new(theta);
+    state.absorb_schema(std::mem::take(base));
+    state.absorb_schema(incoming);
+    *base = state.finalize();
 }
 
 /// Check `sub ⊑ sup`: every label, property key, and edge endpoint of `sub`

@@ -15,16 +15,13 @@
 
 use crate::cluster::cluster_elements;
 use crate::config::{EmbeddingStrategy, PipelineConfig};
-use crate::extract::{
-    candidate_edge_types, candidate_node_types, merge_edge_candidates, merge_node_candidates,
-};
-use crate::postprocess::{compute_cardinalities, infer_datatypes};
+use crate::extract::{candidate_edge_types, candidate_node_types};
 use crate::preprocess::{edge_representations, label_sentences, node_representations};
 use crate::schema::SchemaGraph;
+use crate::state::SchemaState;
 use pg_hive_embed::{HashEmbedder, LabelEmbedder, Word2Vec};
 use pg_hive_graph::{split_batches, GraphBatch, PropertyGraph};
 use pg_hive_lsh::{AdaptiveParams, ElementClass};
-use std::collections::BTreeMap;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -106,12 +103,24 @@ pub struct DiscoveryResult {
 /// Result of a [`Discoverer::discover_stream`] run over dropped chunks.
 #[derive(Debug, Clone)]
 pub struct StreamResult {
-    /// The accumulated schema (no member lists — chunks are gone).
+    /// The accumulated schema (no member lists — chunks are gone),
+    /// canonically finalized from the run's [`SchemaState`].
     pub schema: SchemaGraph,
-    /// Wall-clock per chunk.
+    /// Wall-clock per chunk, in input order.
     pub chunk_times: Vec<Duration>,
     /// Total elements (nodes + edges) consumed.
     pub elements: u64,
+}
+
+/// Accounting from one [`Discoverer::absorb_stream`] pass (the schema lives
+/// in the caller's [`SchemaState`], which survives across passes — that is
+/// the point).
+#[derive(Debug, Clone)]
+pub struct AbsorbReport {
+    /// Elements (nodes + edges) consumed by this pass.
+    pub elements: u64,
+    /// Wall-clock per chunk of this pass, in input order.
+    pub chunk_times: Vec<Duration>,
 }
 
 /// The PG-HIVE schema discoverer (Algorithm 1).
@@ -148,25 +157,36 @@ impl Discoverer {
 
     /// Algorithm 1 over explicit batches. Post-processing runs after every
     /// batch when `post_process_each_batch` is set, and always after the
-    /// final batch.
+    /// final batch. Candidate types pool into a [`SchemaState`]; the final
+    /// schema is its canonical finalization, so the result is invariant to
+    /// interning order and to how elements were grouped into batches.
     pub fn discover_batches(&self, g: &PropertyGraph, batches: &[GraphBatch]) -> DiscoveryResult {
-        let mut schema = SchemaGraph::new();
+        let mut state = self.new_state();
         let mut stats = PipelineStats::default();
         let mut node_cluster_assignment = vec![u32::MAX; g.node_count()];
         let mut edge_cluster_assignment = vec![u32::MAX; g.edge_count()];
         let mut node_cluster_offset = 0u32;
         let mut edge_cluster_offset = 0u32;
+        // The embedder is batch-independent for the hash strategy — build it
+        // once per run instead of once per batch (ROADMAP perf lever);
+        // Word2Vec still trains on each batch's label sentences.
+        let shared = self.shared_embedder();
 
         for (i, batch) in batches.iter().enumerate() {
             let t_batch = Instant::now();
 
             // (b) preprocess: embedder + representation vectors.
             let t0 = Instant::now();
-            let embedder = self.make_embedder(g, batch);
-            let nodes =
-                node_representations(g, &batch.nodes, embedder.as_ref(), self.config.label_weight);
-            let edges =
-                edge_representations(g, &batch.edges, embedder.as_ref(), self.config.label_weight);
+            let owned;
+            let embedder: &dyn LabelEmbedder = match shared.as_deref() {
+                Some(e) => e,
+                None => {
+                    owned = self.make_embedder(g, batch);
+                    owned.as_ref()
+                }
+            };
+            let nodes = node_representations(g, &batch.nodes, embedder, self.config.label_weight);
+            let edges = edge_representations(g, &batch.edges, embedder, self.config.label_weight);
             stats.timings.preprocess += t0.elapsed();
 
             // (c) LSH clustering over distinct signatures, broadcast back
@@ -210,26 +230,33 @@ impl Discoverer {
                 stats.adaptive_edges = edge_out.adaptive.clone();
             }
 
-            // (d) type extraction & merging (Algorithm 2).
+            // (d) type extraction (Algorithm 2): candidates pool into the
+            // state; unlabeled clusters stay unresolved until finalize.
             let t2 = Instant::now();
-            let node_cands = candidate_node_types(g, &batch.nodes, &node_out.clustering);
-            let edge_cands = candidate_edge_types(g, &batch.edges, &edge_out.clustering);
-            merge_node_candidates(&mut schema, node_cands, self.config.theta);
-            merge_edge_candidates(&mut schema, edge_cands, self.config.theta);
+            state.absorb_node_candidates(candidate_node_types(
+                g,
+                &batch.nodes,
+                &node_out.clustering,
+            ));
+            state.absorb_edge_candidates(candidate_edge_types(
+                g,
+                &batch.edges,
+                &edge_out.clustering,
+            ));
             stats.timings.extraction += t2.elapsed();
 
             // (e)–(g) optional post-processing.
             let last = i + 1 == batches.len();
             if self.config.post_process_each_batch || last {
                 let t3 = Instant::now();
-                infer_datatypes(&mut schema, g, self.config.datatype_sampling.as_ref());
-                compute_cardinalities(&mut schema, g);
+                state.postprocess(g, self.config.datatype_sampling.as_ref());
                 stats.timings.postprocess += t3.elapsed();
             }
 
             stats.batch_times.push(t_batch.elapsed());
         }
 
+        let schema = state.finalize();
         let (node_assignment, edge_assignment) = assignments(g, &schema);
         DiscoveryResult {
             schema,
@@ -271,38 +298,30 @@ impl Discoverer {
     where
         I: IntoIterator<Item = PropertyGraph>,
     {
-        let mut schema = SchemaGraph::new();
-        let mut chunk_times = Vec::new();
-        let mut elements = 0u64;
-        for chunk in chunks {
-            let t = Instant::now();
-            elements += (chunk.node_count() + chunk.edge_count()) as u64;
-            let chunk_schema = self.process_stream_chunk(&chunk);
-            crate::merge::merge_schemas(&mut schema, chunk_schema, self.config.theta);
-            chunk_times.push(t.elapsed());
-        }
+        let mut state = self.new_state();
+        let report = self.absorb_stream(chunks, &mut state, 1);
         StreamResult {
-            schema,
-            chunk_times,
-            elements,
+            schema: state.finalize(),
+            chunk_times: report.chunk_times,
+            elements: report.elements,
         }
     }
 
     /// Pipeline-parallel [`Self::discover_stream`]: a worker pool of
     /// `threads` threads runs preprocess → LSH → extract → post-process on
-    /// chunks *concurrently*, while per-chunk schemas merge into the running
-    /// schema strictly **in input order** through a reorder buffer — so the
-    /// result is byte-identical to the serial path regardless of thread
-    /// count or completion order (the proptests in
-    /// `tests/tests/stream_parallel.rs` gate exactly this).
+    /// chunks *concurrently*, folding per-chunk [`SchemaState`]s into the
+    /// running state as they complete. Because `SchemaState` absorption is
+    /// associative **and commutative**, completion order does not matter —
+    /// the result is byte-identical to the serial path for every thread
+    /// count *without* the reorder buffer the pre-canonical engine needed
+    /// (the proptests in `tests/tests/stream_parallel.rs` gate exactly
+    /// this).
     ///
     /// Chunks are pulled from the iterator on the calling thread and handed
     /// to workers through a bounded channel, so at most `2 × threads`
     /// chunks are resident at once (plus whatever read-ahead the producer
-    /// feeding the iterator keeps in flight); the result channel and the
-    /// reorder buffer are bounded too (O(threads) small per-chunk schemas),
-    /// so one slow straggler chunk throttles the pool instead of letting
-    /// out-of-order results accumulate without limit. Pair it with
+    /// feeding the iterator keeps in flight); the result channel is bounded
+    /// too, so in-flight state stays O(threads). Pair it with
     /// `pg_hive_graph::stream::ReadAheadChunks` and wall-clock tracks the
     /// *slower* of I/O and compute instead of their sum.
     ///
@@ -330,27 +349,78 @@ impl Discoverer {
     where
         I: IntoIterator<Item = PropertyGraph>,
     {
+        let mut state = self.new_state();
+        let report = self.absorb_stream(chunks, &mut state, threads);
+        StreamResult {
+            schema: state.finalize(),
+            chunk_times: report.chunk_times,
+            elements: report.elements,
+        }
+    }
+
+    /// Fold a stream of chunks into an **existing** [`SchemaState`] with
+    /// `threads` workers (1 = serial). This is the engine under both
+    /// `discover_stream*` entry points and the `pg-hive watch` drift
+    /// monitor, which keeps one resident state across passes and absorbs
+    /// only newly appended chunks — incremental, not re-discovery.
+    pub fn absorb_stream<I>(
+        &self,
+        chunks: I,
+        state: &mut SchemaState,
+        threads: usize,
+    ) -> AbsorbReport
+    where
+        I: IntoIterator<Item = PropertyGraph>,
+    {
         let threads = threads.max(1);
         if threads == 1 {
-            return self.discover_stream(chunks);
+            let shared = self.shared_embedder();
+            let mut chunk_times = Vec::new();
+            let mut elements = 0u64;
+            for chunk in chunks {
+                let t = Instant::now();
+                elements += (chunk.node_count() + chunk.edge_count()) as u64;
+                state.merge(self.chunk_state_with(&chunk, shared.as_deref()));
+                chunk_times.push(t.elapsed());
+            }
+            return AbsorbReport {
+                elements,
+                chunk_times,
+            };
         }
+        self.absorb_stream_parallel(chunks, state, threads)
+    }
 
+    fn absorb_stream_parallel<I>(
+        &self,
+        chunks: I,
+        state: &mut SchemaState,
+        threads: usize,
+    ) -> AbsorbReport
+    where
+        I: IntoIterator<Item = PropertyGraph>,
+    {
         struct ChunkOutcome {
-            schema: SchemaGraph,
+            state: SchemaState,
             elements: u64,
             time: Duration,
         }
 
+        // One embedder for the whole pool (hash strategy): workers share it
+        // by reference instead of rebuilding per chunk.
+        let shared = self.shared_embedder();
+        let shared_ref = shared.as_deref();
+
         let (work_tx, work_rx) = mpsc::sync_channel::<(usize, PropertyGraph)>(threads);
         let work_rx = Arc::new(Mutex::new(work_rx));
-        // The result channel is bounded too: if one early chunk is much
-        // slower than its successors, workers block here instead of piling
-        // unmergeable out-of-order schemas into the reorder buffer — total
-        // in-flight state stays O(threads), not O(chunks).
+        // The result channel is bounded: if the folding thread lags, workers
+        // block here instead of piling finished states up without limit.
         let (res_tx, res_rx) = mpsc::sync_channel::<(usize, ChunkOutcome)>(threads * 4);
 
-        let mut schema = SchemaGraph::new();
-        let mut merged_stats: Vec<(u64, Duration)> = Vec::new();
+        // Per-chunk accounting indexed by input position (results arrive in
+        // completion order; the schema itself is order-insensitive).
+        let mut per_chunk: Vec<Option<(u64, Duration)>> = Vec::new();
+        let mut merged = 0usize;
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let work_rx = Arc::clone(&work_rx);
@@ -362,12 +432,12 @@ impl Discoverer {
                     let Ok((idx, chunk)) = job else { return };
                     let t = Instant::now();
                     let elements = (chunk.node_count() + chunk.edge_count()) as u64;
-                    let schema = self.process_stream_chunk(&chunk);
+                    let chunk_state = self.chunk_state_with(&chunk, shared_ref);
                     // Free the chunk before a potentially blocking send on
                     // the bounded result channel.
                     drop(chunk);
                     let outcome = ChunkOutcome {
-                        schema,
+                        state: chunk_state,
                         elements,
                         time: t.elapsed(),
                     };
@@ -383,16 +453,18 @@ impl Discoverer {
             drop(res_tx);
 
             let mut dispatched = 0usize;
-            let mut merged = 0usize;
-            let mut pending: BTreeMap<usize, ChunkOutcome> = BTreeMap::new();
-            // In-order merge: only ever consume the contiguous prefix of
-            // finished chunks, so merge order equals input order.
-            let mut drain = |pending: &mut BTreeMap<usize, ChunkOutcome>, merged: &mut usize| {
-                while let Some(outcome) = pending.remove(&*merged) {
-                    crate::merge::merge_schemas(&mut schema, outcome.schema, self.config.theta);
-                    merged_stats.push((outcome.elements, outcome.time));
-                    *merged += 1;
+            let fold = |state: &mut SchemaState,
+                        per_chunk: &mut Vec<Option<(u64, Duration)>>,
+                        merged: &mut usize,
+                        (idx, outcome): (usize, ChunkOutcome)| {
+                // Commutative absorb: fold in completion order, no reorder
+                // buffer needed.
+                state.merge(outcome.state);
+                if per_chunk.len() <= idx {
+                    per_chunk.resize(idx + 1, None);
                 }
+                per_chunk[idx] = Some((outcome.elements, outcome.time));
+                *merged += 1;
             };
             for chunk in chunks {
                 // Dispatch with backpressure: when the work queue is full
@@ -406,11 +478,10 @@ impl Discoverer {
                         Ok(()) => {}
                         Err(mpsc::TrySendError::Full(j)) => {
                             job = Some(j);
-                            let (idx, outcome) = res_rx
+                            let r = res_rx
                                 .recv()
                                 .expect("streaming worker pool terminated unexpectedly");
-                            pending.insert(idx, outcome);
-                            drain(&mut pending, &mut merged);
+                            fold(state, &mut per_chunk, &mut merged, r);
                         }
                         Err(mpsc::TrySendError::Disconnected(_)) => {
                             panic!("streaming worker pool terminated unexpectedly")
@@ -418,17 +489,14 @@ impl Discoverer {
                     }
                 }
                 dispatched += 1;
-                // Opportunistically fold finished chunks so the reorder
-                // buffer stays small while we keep dispatching.
-                while let Ok((idx, outcome)) = res_rx.try_recv() {
-                    pending.insert(idx, outcome);
+                // Opportunistically fold finished chunks while dispatching.
+                while let Ok(r) = res_rx.try_recv() {
+                    fold(state, &mut per_chunk, &mut merged, r);
                 }
-                drain(&mut pending, &mut merged);
             }
             drop(work_tx); // signal end of work; workers drain and exit
-            while let Ok((idx, outcome)) = res_rx.recv() {
-                pending.insert(idx, outcome);
-                drain(&mut pending, &mut merged);
+            while let Ok(r) = res_rx.recv() {
+                fold(state, &mut per_chunk, &mut merged, r);
             }
             assert_eq!(
                 merged, dispatched,
@@ -436,44 +504,76 @@ impl Discoverer {
             );
         });
 
-        let mut chunk_times = Vec::with_capacity(merged_stats.len());
+        let mut chunk_times = Vec::with_capacity(per_chunk.len());
         let mut elements = 0u64;
-        for (n, time) in merged_stats {
+        for slot in per_chunk {
+            let (n, time) = slot.expect("every dispatched chunk was folded");
             chunk_times.push(time);
             elements += n;
         }
-        StreamResult {
-            schema,
-            chunk_times,
+        AbsorbReport {
             elements,
+            chunk_times,
         }
     }
 
-    /// One chunk's pipeline pass for the streaming paths: full discovery
-    /// with post-processing forced on, membership lists stripped (they refer
-    /// to chunk-local ids that die with the chunk).
-    fn process_stream_chunk(&self, chunk: &PropertyGraph) -> SchemaGraph {
-        let mut result = self.discover_with_postprocess(chunk);
-        for ty in &mut result.schema.node_types {
-            ty.members.clear();
-        }
-        for ty in &mut result.schema.edge_types {
-            ty.members.clear();
-        }
-        result.schema
+    /// Fresh [`SchemaState`] carrying this discoverer's θ — the accumulator
+    /// every streaming and watch path folds chunk states into.
+    pub fn new_state(&self) -> SchemaState {
+        SchemaState::new(self.config.theta)
     }
 
-    /// One full pipeline pass over `g` with post-processing forced on
-    /// (streaming chunks cannot defer it).
-    fn discover_with_postprocess(&self, g: &PropertyGraph) -> DiscoveryResult {
-        if self.config.post_process_each_batch {
-            return self.discover(g);
-        }
-        let cfg = PipelineConfig {
-            post_process_each_batch: true,
-            ..self.config.clone()
+    /// One independent chunk's full pipeline pass — preprocess, LSH
+    /// clustering, type extraction, post-processing — into a chunk-local
+    /// [`SchemaState`] with member lists cleared (they hold chunk-local ids
+    /// that die with the chunk). Merge the results with
+    /// [`SchemaState::merge`] in any order.
+    pub fn discover_chunk_state(&self, chunk: &PropertyGraph) -> SchemaState {
+        self.chunk_state_with(chunk, self.shared_embedder().as_deref())
+    }
+
+    fn chunk_state_with(
+        &self,
+        g: &PropertyGraph,
+        shared: Option<&dyn LabelEmbedder>,
+    ) -> SchemaState {
+        let batch = GraphBatch {
+            nodes: g.nodes().map(|(id, _)| id).collect(),
+            edges: g.edges().map(|(id, _)| id).collect(),
         };
-        Discoverer::new(cfg).discover(g)
+        let owned;
+        let embedder: &dyn LabelEmbedder = match shared {
+            Some(e) => e,
+            None => {
+                owned = self.make_embedder(g, &batch);
+                owned.as_ref()
+            }
+        };
+        let nodes = node_representations(g, &batch.nodes, embedder, self.config.label_weight);
+        let edges = edge_representations(g, &batch.edges, embedder, self.config.label_weight);
+        let node_out = cluster_elements(&nodes.repr, ElementClass::Nodes, &self.config);
+        let edge_out = cluster_elements(&edges.repr, ElementClass::Edges, &self.config);
+        let mut state = self.new_state();
+        state.absorb_node_candidates(candidate_node_types(g, &batch.nodes, &node_out.clustering));
+        state.absorb_edge_candidates(candidate_edge_types(g, &batch.edges, &edge_out.clustering));
+        // Streaming chunks cannot defer post-processing: the values die
+        // with the chunk.
+        state.postprocess(g, self.config.datatype_sampling.as_ref());
+        state.clear_members();
+        state
+    }
+
+    /// The batch-independent embedder shared across a whole run, when the
+    /// strategy allows it. `None` for Word2Vec, which trains on each
+    /// batch's label sentences.
+    fn shared_embedder(&self) -> Option<Box<dyn LabelEmbedder>> {
+        match &self.config.embedding {
+            EmbeddingStrategy::Hash => Some(Box::new(HashEmbedder::new(
+                self.config.embedding_dim,
+                self.config.seed,
+            ))),
+            EmbeddingStrategy::Word2Vec(_) => None,
+        }
     }
 
     fn make_embedder(&self, g: &PropertyGraph, batch: &GraphBatch) -> Box<dyn LabelEmbedder> {

@@ -1,8 +1,15 @@
 //! Stages (e)–(g): property constraints, data-type inference, cardinalities
 //! (§4.4).
+//!
+//! The passes come in two granularities: per-type functions
+//! ([`infer_node_type_datatypes`], [`infer_edge_type_datatypes`],
+//! [`compute_edge_type_cardinality`]) that
+//! [`crate::state::SchemaState::postprocess`] drives over its pooled types,
+//! and whole-[`SchemaGraph`] wrappers ([`infer_datatypes`],
+//! [`compute_cardinalities`]) for callers holding a resolved schema.
 
 use crate::config::SamplingConfig;
-use crate::schema::{Cardinality, SchemaGraph};
+use crate::schema::{Cardinality, EdgeType, NodeType, SchemaGraph};
 use pg_hive_graph::{EdgeId, NodeId, PropertyGraph, Value, ValueKind};
 use std::collections::{HashMap, HashSet};
 
@@ -57,75 +64,95 @@ pub fn infer_kind_of_values<'a, I: IntoIterator<Item = &'a str>>(values: I) -> O
     kind
 }
 
+/// Stage (f) for one node type: fill `PropertySpec::kind` by scanning the
+/// type's member values in `g` — all of them, or a sample per
+/// [`SamplingConfig`] (fraction of values, floor `min_values`). Kinds join
+/// with any previously inferred kind (lattice join, monotone).
+pub fn infer_node_type_datatypes(
+    t: &mut NodeType,
+    g: &PropertyGraph,
+    sampling: Option<&SamplingConfig>,
+) {
+    let keys: Vec<String> = t.props.keys().cloned().collect();
+    for key in keys {
+        let sym = match g.keys().get(&key) {
+            Some(s) => s,
+            None => continue, // key from another batch's store
+        };
+        let holders: Vec<u32> = t
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| g.node(NodeId(m)).get(sym).is_some())
+            .collect();
+        let chosen = select_sample(&holders, sampling);
+        let kind = infer_kind_of_values(
+            chosen
+                .iter()
+                .map(|&m| g.node(NodeId(m)).get(sym).unwrap().lexical())
+                .collect::<Vec<_>>()
+                .iter()
+                .map(String::as_str),
+        );
+        if let Some(k) = kind {
+            let spec = t.props.get_mut(&key).expect("key listed above");
+            spec.kind = Some(match spec.kind {
+                Some(prev) => prev.join(k),
+                None => k,
+            });
+        }
+    }
+}
+
+/// Stage (f) for one edge type (see [`infer_node_type_datatypes`]).
+pub fn infer_edge_type_datatypes(
+    t: &mut EdgeType,
+    g: &PropertyGraph,
+    sampling: Option<&SamplingConfig>,
+) {
+    let keys: Vec<String> = t.props.keys().cloned().collect();
+    for key in keys {
+        let sym = match g.keys().get(&key) {
+            Some(s) => s,
+            None => continue,
+        };
+        let holders: Vec<u32> = t
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| g.edge(EdgeId(m)).get(sym).is_some())
+            .collect();
+        let chosen = select_sample(&holders, sampling);
+        let kind = infer_kind_of_values(
+            chosen
+                .iter()
+                .map(|&m| g.edge(EdgeId(m)).get(sym).unwrap().lexical())
+                .collect::<Vec<_>>()
+                .iter()
+                .map(String::as_str),
+        );
+        if let Some(k) = kind {
+            let spec = t.props.get_mut(&key).expect("key listed above");
+            spec.kind = Some(match spec.kind {
+                Some(prev) => prev.join(k),
+                None => k,
+            });
+        }
+    }
+}
+
 /// Stage (f): fill `PropertySpec::kind` for every type in the schema by
-/// scanning member values — all of them, or a sample per
-/// [`SamplingConfig`] (fraction of values, floor `min_values`).
+/// scanning member values.
 pub fn infer_datatypes(
     schema: &mut SchemaGraph,
     g: &PropertyGraph,
     sampling: Option<&SamplingConfig>,
 ) {
     for t in &mut schema.node_types {
-        let keys: Vec<String> = t.props.keys().cloned().collect();
-        for key in keys {
-            let sym = match g.keys().get(&key) {
-                Some(s) => s,
-                None => continue, // key from another batch's store
-            };
-            let holders: Vec<u32> = t
-                .members
-                .iter()
-                .copied()
-                .filter(|&m| g.node(NodeId(m)).get(sym).is_some())
-                .collect();
-            let chosen = select_sample(&holders, sampling);
-            let kind = infer_kind_of_values(
-                chosen
-                    .iter()
-                    .map(|&m| g.node(NodeId(m)).get(sym).unwrap().lexical())
-                    .collect::<Vec<_>>()
-                    .iter()
-                    .map(String::as_str),
-            );
-            if let Some(k) = kind {
-                let spec = t.props.get_mut(&key).expect("key listed above");
-                spec.kind = Some(match spec.kind {
-                    Some(prev) => prev.join(k),
-                    None => k,
-                });
-            }
-        }
+        infer_node_type_datatypes(t, g, sampling);
     }
     for t in &mut schema.edge_types {
-        let keys: Vec<String> = t.props.keys().cloned().collect();
-        for key in keys {
-            let sym = match g.keys().get(&key) {
-                Some(s) => s,
-                None => continue,
-            };
-            let holders: Vec<u32> = t
-                .members
-                .iter()
-                .copied()
-                .filter(|&m| g.edge(EdgeId(m)).get(sym).is_some())
-                .collect();
-            let chosen = select_sample(&holders, sampling);
-            let kind = infer_kind_of_values(
-                chosen
-                    .iter()
-                    .map(|&m| g.edge(EdgeId(m)).get(sym).unwrap().lexical())
-                    .collect::<Vec<_>>()
-                    .iter()
-                    .map(String::as_str),
-            );
-            if let Some(k) = kind {
-                let spec = t.props.get_mut(&key).expect("key listed above");
-                spec.kind = Some(match spec.kind {
-                    Some(prev) => prev.join(k),
-                    None => k,
-                });
-            }
-        }
+        infer_edge_type_datatypes(t, g, sampling);
     }
 }
 
@@ -157,34 +184,38 @@ fn select_sample(holders: &[u32], sampling: Option<&SamplingConfig>) -> Vec<u32>
     }
 }
 
-/// Stage (g): cardinalities (§4.4). For every edge type compute the maximum
-/// number of **distinct** targets per source (`max_out`) and distinct
-/// sources per target (`max_in`) among its member edges, then classify per
-/// [`Cardinality::class`].
+/// Stage (g) for one edge type: compute the maximum number of **distinct**
+/// targets per source (`max_out`) and distinct sources per target
+/// (`max_in`) among its member edges, then merge with any cardinality
+/// carried over from earlier batches — upper bounds only grow (monotone,
+/// §4.7). Classification happens via [`Cardinality::class`].
+pub fn compute_edge_type_cardinality(t: &mut EdgeType, g: &PropertyGraph) {
+    if t.members.is_empty() {
+        return;
+    }
+    let mut out: HashMap<u32, HashSet<u32>> = HashMap::new();
+    let mut inc: HashMap<u32, HashSet<u32>> = HashMap::new();
+    for &m in &t.members {
+        let e = g.edge(EdgeId(m));
+        out.entry(e.src.0).or_default().insert(e.tgt.0);
+        inc.entry(e.tgt.0).or_default().insert(e.src.0);
+    }
+    let max_out = out.values().map(HashSet::len).max().unwrap_or(0) as u64;
+    let max_in = inc.values().map(HashSet::len).max().unwrap_or(0) as u64;
+    let card = Cardinality { max_out, max_in };
+    t.cardinality = Some(match t.cardinality {
+        Some(prev) => Cardinality {
+            max_out: prev.max_out.max(card.max_out),
+            max_in: prev.max_in.max(card.max_in),
+        },
+        None => card,
+    });
+}
+
+/// Stage (g): cardinalities (§4.4) for every edge type in the schema.
 pub fn compute_cardinalities(schema: &mut SchemaGraph, g: &PropertyGraph) {
     for t in &mut schema.edge_types {
-        if t.members.is_empty() {
-            continue;
-        }
-        let mut out: HashMap<u32, HashSet<u32>> = HashMap::new();
-        let mut inc: HashMap<u32, HashSet<u32>> = HashMap::new();
-        for &m in &t.members {
-            let e = g.edge(EdgeId(m));
-            out.entry(e.src.0).or_default().insert(e.tgt.0);
-            inc.entry(e.tgt.0).or_default().insert(e.src.0);
-        }
-        let max_out = out.values().map(HashSet::len).max().unwrap_or(0) as u64;
-        let max_in = inc.values().map(HashSet::len).max().unwrap_or(0) as u64;
-        let card = Cardinality { max_out, max_in };
-        // Merge with any cardinality carried over from earlier batches —
-        // upper bounds only grow (monotone, §4.7).
-        t.cardinality = Some(match t.cardinality {
-            Some(prev) => Cardinality {
-                max_out: prev.max_out.max(card.max_out),
-                max_in: prev.max_in.max(card.max_in),
-            },
-            None => card,
-        });
+        compute_edge_type_cardinality(t, g);
     }
 }
 

@@ -4,7 +4,12 @@
 //! `w·Word2Vec(edge) ∥ w·Word2Vec(src) ∥ w·Word2Vec(tgt) ∥ b_e ∈ {0,1}^K`,
 //! where `K` is the number of distinct property keys, unlabeled elements get
 //! the zero embedding, and multi-label sets are embedded via their sorted
-//! concatenation ([`pg_hive_embed::canonical_token`]). `w` is the
+//! concatenation ([`pg_hive_embed::canonical_token`]). The binary property
+//! coordinates are keyed on the interner's **canonical-id view**
+//! ([`pg_hive_graph::PropertyGraph::canonical_key_ids`]) — the rank of each
+//! key in the sorted key table, not its raw intern order — so the same
+//! element content yields the same vector (and therefore the same LSH
+//! clustering) no matter which order a wire format introduced the keys in. `w` is the
 //! `label_weight` factor (see [`crate::config::PipelineConfig`]): the
 //! paper's distances come out of raw Word2Vec norms, ours are normalized, so
 //! the weight restores "semantically different nodes are not merged due to
@@ -158,6 +163,7 @@ pub fn node_representations(
 ) -> NodeRepr {
     let d = embedder.dim();
     let key_count = g.keys().len();
+    let canon = g.canonical_key_ids();
     let mut repr = ElementRepr {
         matrix: VectorMatrix::new(d + key_count),
         ..ElementRepr::default()
@@ -184,7 +190,7 @@ pub fn node_representations(
                         }
                     }
                     for k in n.keys() {
-                        v[d + k.index()] = 1.0;
+                        v[d + canon[k.index()] as usize] = 1.0;
                     }
                 });
 
@@ -219,6 +225,7 @@ pub fn edge_representations(
 ) -> EdgeRepr {
     let d = embedder.dim();
     let key_count = g.keys().len();
+    let canon = g.canonical_key_ids();
     let mut repr = ElementRepr {
         matrix: VectorMatrix::new(3 * d + key_count),
         ..ElementRepr::default()
@@ -257,7 +264,7 @@ pub fn edge_representations(
                         }
                     }
                     for k in e.keys() {
-                        v[3 * d + k.index()] = 1.0;
+                        v[3 * d + canon[k.index()] as usize] = 1.0;
                     }
                 });
 
@@ -415,6 +422,37 @@ mod tests {
         assert_eq!(expanded.rows(), 4);
         assert_eq!(expanded.row(1), r.repr.dense_of(1));
         assert_eq!(sets[0], sets[1]);
+    }
+
+    #[test]
+    fn node_vectors_are_key_interning_order_invariant() {
+        // Regression: the binary coordinates used raw intern order, so the
+        // same node content produced *permuted* vectors (hence different
+        // ELSH projections) when a wire format introduced the keys in a
+        // different order.
+        let mk = |flipped: bool| {
+            let mut b = GraphBuilder::new();
+            let props = [("alpha", Value::Int(1)), ("beta", Value::Int(2))];
+            if flipped {
+                b.add_node(&["T"], &[props[1].clone(), props[0].clone()]);
+            } else {
+                b.add_node(&["T"], &props);
+            }
+            b.add_node(&["U"], &[("alpha", Value::Int(3))]);
+            b.finish()
+        };
+        let (g1, g2) = (mk(false), mk(true));
+        assert_ne!(
+            g1.keys().get("alpha"),
+            g2.keys().get("alpha"),
+            "the two graphs really intern keys in different orders"
+        );
+        let emb = HashEmbedder::new(8, 1);
+        let r1 = node_representations(&g1, &all_nodes(&g1), &emb, 2.0);
+        let r2 = node_representations(&g2, &all_nodes(&g2), &emb, 2.0);
+        for i in 0..2 {
+            assert_eq!(r1.repr.dense_of(i), r2.repr.dense_of(i), "node {i}");
+        }
     }
 
     #[test]

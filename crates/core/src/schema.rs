@@ -246,6 +246,27 @@ impl SchemaGraph {
             .flat_map(|t| t.props.keys().map(String::as_str))
             .collect()
     }
+
+    /// Sort types into the canonical order — by label set, then property-key
+    /// set, then aggregates — so two schemas with equal content serialize to
+    /// byte-identical text no matter what order their types were produced
+    /// in. [`crate::state::SchemaState::finalize`] always applies this;
+    /// members keep their per-type order (they are not serialized).
+    pub fn sort_canonical(&mut self) {
+        self.node_types.sort_by(|a, b| {
+            a.labels
+                .cmp(&b.labels)
+                .then_with(|| a.props.keys().cmp(b.props.keys()))
+                .then_with(|| a.instance_count.cmp(&b.instance_count))
+        });
+        self.edge_types.sort_by(|a, b| {
+            a.labels
+                .cmp(&b.labels)
+                .then_with(|| a.props.keys().cmp(b.props.keys()))
+                .then_with(|| a.endpoints.cmp(&b.endpoints))
+                .then_with(|| a.instance_count.cmp(&b.instance_count))
+        });
+    }
 }
 
 /// Convenience constructor for a [`LabelSet`].

@@ -69,6 +69,17 @@ impl PropertyGraph {
         &self.keys
     }
 
+    /// Canonical-id view of the property-key interner: maps every key
+    /// [`Symbol`] (by index) to its rank in the lexicographically sorted
+    /// key table. Keying per-element data on these ranks instead of raw
+    /// intern order makes downstream artifacts (representation vectors,
+    /// hence clusterings, hence schemas) invariant to the order a wire
+    /// format happened to introduce the keys in. See
+    /// [`Interner::canonical_ids`].
+    pub fn canonical_key_ids(&self) -> Vec<u32> {
+        self.keys.canonical_ids()
+    }
+
     /// Resolve a label symbol.
     pub fn label_str(&self, s: Symbol) -> &str {
         self.labels.resolve(s)

@@ -71,6 +71,38 @@ impl Interner {
             .enumerate()
             .map(|(i, s)| (Symbol(i as u32), s.as_str()))
     }
+
+    /// The stable **canonical-id view**: `canonical_ids()[sym.index()]` is
+    /// the rank of `sym`'s string in the lexicographically sorted symbol
+    /// table. Two interners holding the same string set map every string to
+    /// the same canonical id regardless of the order the strings were
+    /// interned in — downstream consumers that key data structures on
+    /// canonical ids (e.g. the binary property coordinates of the
+    /// representation vectors) therefore produce identical output for any
+    /// interning order.
+    ///
+    /// ```
+    /// use pg_hive_graph::Interner;
+    /// let mut a = Interner::new();
+    /// a.intern("beta");
+    /// a.intern("alpha");
+    /// let mut b = Interner::new();
+    /// b.intern("alpha");
+    /// b.intern("beta");
+    /// // a interned beta first (symbol 0), b interned it second (symbol 1) —
+    /// // yet both agree on the canonical ids: alpha = 0, beta = 1.
+    /// assert_eq!(a.canonical_ids(), vec![1, 0]);
+    /// assert_eq!(b.canonical_ids(), vec![0, 1]);
+    /// ```
+    pub fn canonical_ids(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.strings.len() as u32).collect();
+        order.sort_by(|&a, &b| self.strings[a as usize].cmp(&self.strings[b as usize]));
+        let mut canon = vec![0u32; self.strings.len()];
+        for (rank, &sym) in order.iter().enumerate() {
+            canon[sym as usize] = rank as u32;
+        }
+        canon
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +135,34 @@ mod tests {
         assert!(i.is_empty());
         i.intern("x");
         assert_eq!(i.get("x"), Some(Symbol(0)));
+    }
+
+    #[test]
+    fn canonical_ids_are_interning_order_invariant() {
+        let mut fwd = Interner::new();
+        let mut rev = Interner::new();
+        let words = ["gamma", "alpha", "delta", "beta"];
+        for w in words {
+            fwd.intern(w);
+        }
+        for w in words.iter().rev() {
+            rev.intern(w);
+        }
+        // Same canonical id per *string* in both interners.
+        for w in words {
+            let f = fwd.canonical_ids()[fwd.get(w).unwrap().index()];
+            let r = rev.canonical_ids()[rev.get(w).unwrap().index()];
+            assert_eq!(f, r, "{w}");
+        }
+        // Ranks follow lexicographic order and form a permutation.
+        let canon = fwd.canonical_ids();
+        assert_eq!(canon[fwd.get("alpha").unwrap().index()], 0);
+        assert_eq!(canon[fwd.get("beta").unwrap().index()], 1);
+        assert_eq!(canon[fwd.get("gamma").unwrap().index()], 3);
+        let mut sorted = canon.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        assert!(Interner::new().canonical_ids().is_empty());
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use graph::PropertyGraph;
 pub use interner::{Interner, Symbol};
 pub use stats::GraphStats;
 pub use stream::{
-    ChunkedTextReader, GraphSource, ReadAheadChunks, ReadAheadRecords, Record, StreamError,
-    StreamSummary, StreamWarnings,
+    ChunkedTextReader, GraphSource, LabelSetRegistry, ReadAheadChunks, ReadAheadRecords, Record,
+    StreamError, StreamSummary, StreamWarnings,
 };
 pub use value::{Value, ValueKind};

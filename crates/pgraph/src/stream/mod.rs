@@ -177,8 +177,14 @@ struct PendingEdge {
 /// [`ChunkedTextReader`] (stub endpoints for cross-chunk edges) and
 /// [`crate::stats::stream_stats`] (edge patterns); memory is O(distinct
 /// ids + distinct label sets), never O(property values).
+///
+/// The registry is exposed so a long-running consumer (`pg-hive watch`) can
+/// carry it across **passes**: extract it from an exhausted reader with
+/// [`ChunkedTextReader::into_registry`] and seed the next pass's reader
+/// with [`ChunkedTextReader::with_registry`], so edges appended later still
+/// resolve endpoints declared in any earlier pass.
 #[derive(Debug, Default)]
-pub(crate) struct LabelSetRegistry {
+pub struct LabelSetRegistry {
     ids: HashMap<String, u32>,
     sets: Vec<Vec<String>>,
     set_ids: HashMap<Vec<String>, u32>,
@@ -256,6 +262,16 @@ pub struct ChunkedTextReader<S> {
 impl<S: GraphSource> ChunkedTextReader<S> {
     /// Reader yielding chunks of roughly `chunk_size` elements (minimum 1).
     pub fn new(source: S, chunk_size: usize) -> Self {
+        Self::with_registry(source, chunk_size, LabelSetRegistry::default())
+    }
+
+    /// Reader seeded with an existing id → label-set registry, so edges in
+    /// this stream can resolve endpoints declared in an **earlier** stream
+    /// (the `pg-hive watch` pass-over-pass case). Endpoints found only in
+    /// the registry are materialized as stubs and counted as
+    /// [`StreamWarnings::cross_chunk_edges`], exactly like within-stream
+    /// cross-chunk edges.
+    pub fn with_registry(source: S, chunk_size: usize, registry: LabelSetRegistry) -> Self {
         let chunk_size = chunk_size.max(1);
         Self {
             source,
@@ -264,13 +280,19 @@ impl<S: GraphSource> ChunkedTextReader<S> {
             // the oldest are dropped as unresolved — keeps memory bounded on
             // adversarial (edges-before-nodes) input orderings.
             pending_cap: chunk_size.saturating_mul(4).max(1024),
-            registry: LabelSetRegistry::default(),
+            registry,
             pending: VecDeque::new(),
             warnings: StreamWarnings::default(),
             max_resident: 0,
             chunks: 0,
             done: false,
         }
+    }
+
+    /// Consume the reader and hand back its registry, for seeding the next
+    /// pass's reader via [`Self::with_registry`].
+    pub fn into_registry(self) -> LabelSetRegistry {
+        self.registry
     }
 
     /// Warnings accumulated so far (final after the last chunk).
@@ -616,6 +638,34 @@ E d f LOCATED_IN -
         let w = r.warnings();
         assert_eq!(w.unresolved_edges, dangling);
         assert!(w.evicted_edges > 0, "{w:?}");
+    }
+
+    #[test]
+    fn registry_carries_across_readers() {
+        // The watch scenario: pass 1 declares nodes, pass 2 appends an edge
+        // referencing them. Seeding pass 2's reader with pass 1's registry
+        // resolves the edge through labeled stubs instead of dropping it.
+        let pass1 = "N a Person -\nN b Org -\n";
+        let mut r1 = ChunkedTextReader::new(PgtSource::new(pass1.as_bytes()), 10);
+        while r1.next_chunk().unwrap().is_some() {}
+        let registry = r1.into_registry();
+
+        let pass2 = "E a b WORKS_AT -\n";
+        let mut r2 =
+            ChunkedTextReader::with_registry(PgtSource::new(pass2.as_bytes()), 10, registry);
+        let c = r2.next_chunk().unwrap().unwrap();
+        assert_eq!(c.edge_count(), 1);
+        let (_, e) = c.edges().next().unwrap();
+        let (src, tgt) = c.edge_endpoint_labels(e);
+        assert_eq!(c.label_set_str(src), "{Person}");
+        assert_eq!(c.label_set_str(tgt), "{Org}");
+        assert_eq!(r2.warnings().cross_chunk_edges, 1);
+        assert_eq!(r2.warnings().unresolved_edges, 0);
+
+        // Without the carried registry the same edge is dropped.
+        let mut bare = ChunkedTextReader::new(PgtSource::new(pass2.as_bytes()), 10);
+        assert!(bare.next_chunk().unwrap().is_none());
+        assert_eq!(bare.warnings().unresolved_edges, 1);
     }
 
     #[test]

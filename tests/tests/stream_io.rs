@@ -4,6 +4,7 @@
 //! same discovered schema.
 
 use pg_hive_core::schema::SchemaGraph;
+use pg_hive_core::serialize::pg_schema_strict;
 use pg_hive_core::{Discoverer, PipelineConfig};
 use pg_hive_graph::loader::{load_text, save_text};
 use pg_hive_graph::stream::csv::{save_edges_csv, save_nodes_csv, CsvSource};
@@ -160,76 +161,96 @@ fn schema_fingerprint(s: &SchemaGraph) -> Fingerprint {
     (nodes, edges)
 }
 
-/// The parts of a discovered schema that must survive *any* faithful
-/// round-trip of a graph with unlabeled nodes: the labeled node-type
-/// inventory, the exact edge types (edge merging is label-only, hence
-/// order-invariant), and the instance totals. Per-type node counts and key
-/// unions are excluded: they depend on which labeled type absorbs a
-/// borderline unlabeled cluster, which can shift when a format re-orders
-/// key interning.
-#[allow(clippy::type_complexity)]
-fn labeled_fingerprint(
-    s: &SchemaGraph,
-) -> (BTreeSet<Vec<String>>, Vec<(Vec<String>, u64)>, u64, u64) {
-    let (_, edges) = schema_fingerprint(s);
-    let labeled: BTreeSet<Vec<String>> = node_inventory(s)
-        .into_iter()
-        .filter(|l| !l.is_empty())
-        .collect();
-    (labeled, edges, s.node_instances(), s.edge_instances())
+/// Rebuild `g` with nodes and edges inserted in reverse order and each
+/// element's properties reversed, so labels and property keys are interned
+/// in a different order while the element *multiset* is unchanged.
+fn shuffled_interning_rebuild(g: &PropertyGraph) -> PropertyGraph {
+    let mut b = GraphBuilder::new();
+    let mut new_ids = vec![None; g.node_count()];
+    let nodes: Vec<_> = g.nodes().collect();
+    for (id, node) in nodes.into_iter().rev() {
+        let labels: Vec<&str> = node.labels.iter().map(|&l| g.label_str(l)).collect();
+        let mut props: Vec<(&str, Value)> = node
+            .props
+            .iter()
+            .map(|(k, v)| (g.key_str(*k), v.clone()))
+            .collect();
+        props.reverse();
+        new_ids[id.index()] = Some(b.add_node(&labels, &props));
+    }
+    let edges: Vec<_> = g.edges().collect();
+    for (_, e) in edges.into_iter().rev() {
+        let labels: Vec<&str> = e.labels.iter().map(|&l| g.label_str(l)).collect();
+        let mut props: Vec<(&str, Value)> = e
+            .props
+            .iter()
+            .map(|(k, v)| (g.key_str(*k), v.clone()))
+            .collect();
+        props.reverse();
+        let src = new_ids[e.src.index()].expect("endpoint rebuilt");
+        let tgt = new_ids[e.tgt.index()].expect("endpoint rebuilt");
+        b.add_edge(src, tgt, &labels, &props);
+    }
+    b.finish()
+}
+
+/// Canonical serialized form — byte equality here is the strongest
+/// round-trip statement the CLI can make.
+fn strict_text(d: &Discoverer, g: &PropertyGraph) -> String {
+    pg_schema_strict(&d.discover(g).schema, "G")
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// On fully labeled graphs discovery is invariant to the property-key
-    /// interning order a format imposes, so every round-trip must
-    /// reproduce the exact discovered schema.
+    /// On fully labeled graphs every round-trip must reproduce the exact
+    /// discovered schema, down to the serialized text.
     #[test]
     fn labeled_round_trips_reproduce_the_exact_schema(g in arb_graph(true)) {
         let d = Discoverer::new(PipelineConfig::elsh_adaptive());
         let want = schema_fingerprint(&d.discover(&g).schema);
+        let want_text = strict_text(&d, &g);
 
         let text = save_text(&g);
         let via_loader = load_text(&text).unwrap();
         prop_assert_eq!(&schema_fingerprint(&d.discover(&via_loader).schema), &want);
+        prop_assert_eq!(&strict_text(&d, &via_loader), &want_text);
 
         let (via_pgt, w) = read_all(PgtSource::new(text.as_bytes())).unwrap();
         prop_assert!(w.is_empty());
-        prop_assert_eq!(&schema_fingerprint(&d.discover(&via_pgt).schema), &want);
+        prop_assert_eq!(&strict_text(&d, &via_pgt), &want_text);
 
         let nodes_csv = save_nodes_csv(&g);
         let edges_csv = save_edges_csv(&g);
         let (via_csv, w) =
             read_all(CsvSource::new(nodes_csv.as_bytes(), Some(edges_csv.as_bytes()))).unwrap();
         prop_assert!(w.is_empty());
-        prop_assert_eq!(&schema_fingerprint(&d.discover(&via_csv).schema), &want);
+        prop_assert_eq!(&strict_text(&d, &via_csv), &want_text);
 
         let jsonl = save_jsonl(&g);
         let (via_jsonl, w) = read_all(JsonlSource::new(jsonl.as_bytes())).unwrap();
         prop_assert!(w.is_empty());
-        prop_assert_eq!(&schema_fingerprint(&d.discover(&via_jsonl).schema), &want);
+        prop_assert_eq!(&strict_text(&d, &via_jsonl), &want_text);
     }
 
-    /// With unlabeled nodes, borderline abstract clusters may merge
-    /// differently when a format re-orders key interning (floating-point
-    /// summation order in the embedder); the structure, the labeled
-    /// inventory, and all totals must still round-trip bit-exactly. The
-    /// order-preserving pgt path keeps exact equality even here.
+    /// With unlabeled nodes the representation vectors and the abstract
+    /// cluster resolution used to depend on property-key interning order,
+    /// so only the order-preserving pgt path round-tripped exactly. The
+    /// canonical-id view plus `SchemaState` closed that gap: CSV and JSONL
+    /// round-trips now reproduce the **exact serialized schema** too.
     #[test]
-    fn mixed_round_trips_preserve_structure_and_labeled_inventory(g in arb_graph(false)) {
+    fn mixed_round_trips_reproduce_the_exact_schema(g in arb_graph(false)) {
         let d = Discoverer::new(PipelineConfig::elsh_adaptive());
-        let want_exact = schema_fingerprint(&d.discover(&g).schema);
-        let want = labeled_fingerprint(&d.discover(&g).schema);
+        let want_text = strict_text(&d, &g);
         let want_stats = pg_hive_graph::GraphStats::compute(&g);
 
         let text = save_text(&g);
         let via_loader = load_text(&text).unwrap();
-        prop_assert_eq!(&schema_fingerprint(&d.discover(&via_loader).schema), &want_exact);
+        prop_assert_eq!(&strict_text(&d, &via_loader), &want_text);
 
         let (via_pgt, w) = read_all(PgtSource::new(text.as_bytes())).unwrap();
         prop_assert!(w.is_empty());
-        prop_assert_eq!(&schema_fingerprint(&d.discover(&via_pgt).schema), &want_exact);
+        prop_assert_eq!(&strict_text(&d, &via_pgt), &want_text);
 
         let nodes_csv = save_nodes_csv(&g);
         let edges_csv = save_edges_csv(&g);
@@ -237,13 +258,26 @@ proptest! {
             read_all(CsvSource::new(nodes_csv.as_bytes(), Some(edges_csv.as_bytes()))).unwrap();
         prop_assert!(w.is_empty());
         prop_assert_eq!(&pg_hive_graph::GraphStats::compute(&via_csv), &want_stats);
-        prop_assert_eq!(&labeled_fingerprint(&d.discover(&via_csv).schema), &want);
+        prop_assert_eq!(&strict_text(&d, &via_csv), &want_text);
 
         let jsonl = save_jsonl(&g);
         let (via_jsonl, w) = read_all(JsonlSource::new(jsonl.as_bytes())).unwrap();
         prop_assert!(w.is_empty());
         prop_assert_eq!(&pg_hive_graph::GraphStats::compute(&via_jsonl), &want_stats);
-        prop_assert_eq!(&labeled_fingerprint(&d.discover(&via_jsonl).schema), &want);
+        prop_assert_eq!(&strict_text(&d, &via_jsonl), &want_text);
+    }
+
+    /// The same element multiset under a shuffled interning order (elements
+    /// and their properties inserted in reverse) must discover an
+    /// *identical* serialized schema: vectors key their binary coordinates
+    /// on the canonical-id view and `SchemaState::finalize` resolves types
+    /// canonically, so neither clustering nor type resolution can see the
+    /// interning order.
+    #[test]
+    fn shuffled_interning_order_discovers_identical_schema(g in arb_graph(false)) {
+        let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+        let shuffled = shuffled_interning_rebuild(&g);
+        prop_assert_eq!(strict_text(&d, &shuffled), strict_text(&d, &g));
     }
 
     #[test]
