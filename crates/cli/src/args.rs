@@ -2,6 +2,9 @@
 
 use pg_hive_core::ClusterMethod;
 
+/// The `pg-hive help` text — the single source of truth for the flag
+/// surface (CI checks that every subcommand and flag named here also
+/// appears in `docs/CLI.md`).
 pub const USAGE: &str = "\
 pg-hive — hybrid incremental schema discovery for property graphs
 
@@ -54,29 +57,54 @@ DISCOVER OPTIONS:
                            incompatible with --stream)
   --format strict|loose|xsd|summary   output (default: summary)
   --sample                 sample-based datatype inference
+  --save-state <FILE>      after a --stream run, persist the resumable
+                           engine state (schema pools + id->labels
+                           registry + config guard) as an atomic snapshot
+  --load-state <FILE>      seed a --stream run from a saved snapshot and
+                           absorb this input on top; refuses snapshots
+                           written under different method/theta/seed/
+                           chunk-size with a named snapshot: error
 
 WATCH OPTIONS:
   --interval <SECS>        seconds between drift-check passes (default: 30;
                            >= 1). Each pass ingests only newly appended
                            records into the resident schema state
   --once                   baseline + exactly one re-check, then exit
-                           (0 = no drift, 1 = drift) — the CI mode";
+                           (0 = no drift, 1 = drift) — the CI mode
+  --state-dir <DIR>        durable watch: checkpoint the full resumable
+                           state to <DIR>/watch.snapshot after every pass
+                           (atomic temp-file + rename) and auto-resume
+                           from it on start, so a restart re-ingests only
+                           bytes appended since the last checkpoint and
+                           never fires a spurious drift event
+  --on-drift exec:<CMD>    run <CMD> via `sh -c` on every drift event
+                           (event JSON in $PGHIVE_DRIFT_EVENT plus
+                           PGHIVE_DRIFT_PASS/_TIMESTAMP/_MONOTONE/_SUMMARY)
+  --on-drift jsonl:<FILE>  append one structured JSON drift event per line
+                           to <FILE>; repeatable (all sinks fire)";
 
 /// Output format of `discover`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OutputFormat {
+    /// PG-Schema STRICT text.
     Strict,
+    /// PG-Schema LOOSE text.
     Loose,
+    /// XML Schema (XSD).
     Xsd,
+    /// Human-readable one-line summary plus the type inventory.
     Summary,
 }
 
 /// Wire format of the graph input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum InputFormat {
+    /// Line-oriented `.pgt` text (the default).
     #[default]
     Pgt,
+    /// A directory holding `nodes.csv` + optional `edges.csv`.
     Csv,
+    /// JSON-Lines: one node/edge object per line.
     Jsonl,
 }
 
@@ -91,6 +119,37 @@ impl InputFormat {
             )),
         }
     }
+
+    /// Stable wire-format name, as recorded in snapshot files.
+    pub fn name(self) -> &'static str {
+        match self {
+            InputFormat::Pgt => "pgt",
+            InputFormat::Csv => "csv",
+            InputFormat::Jsonl => "jsonl",
+        }
+    }
+}
+
+/// One parsed `--on-drift` sink specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriftSinkSpec {
+    /// `exec:<cmd>` — run a shell command per drift event.
+    Exec(String),
+    /// `jsonl:<path>` — append one JSON event per line to a file.
+    Jsonl(String),
+}
+
+impl DriftSinkSpec {
+    fn parse(arg: Option<String>) -> Result<Self, String> {
+        let arg = arg.ok_or("--on-drift needs a value")?;
+        match arg.split_once(':') {
+            Some(("exec", cmd)) if !cmd.is_empty() => Ok(DriftSinkSpec::Exec(cmd.to_string())),
+            Some(("jsonl", path)) if !path.is_empty() => Ok(DriftSinkSpec::Jsonl(path.to_string())),
+            _ => Err(format!(
+                "--on-drift expects exec:<command> or jsonl:<path>, got '{arg}'"
+            )),
+        }
+    }
 }
 
 /// Default `--chunk-size`.
@@ -100,15 +159,19 @@ pub const DEFAULT_CHUNK_SIZE: usize = 100_000;
 /// workers).
 pub const DEFAULT_READ_AHEAD: usize = 2;
 
-/// Ingestion options shared by `discover`, `diff` and `stats`.
+/// Ingestion options shared by `discover`, `diff`, `watch` and `stats`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamOpts {
+    /// Wire format of the input (`--input-format`).
     pub input_format: InputFormat,
+    /// Whether `--stream` chunked ingestion was requested.
     pub stream: bool,
+    /// Elements per chunk (`--chunk-size`, ≥ 1).
     pub chunk_size: usize,
     /// Worker threads for per-chunk discovery; `None` = all available
     /// cores. Always ≥ 1 when set (0 is rejected at parse time).
     pub threads: Option<usize>,
+    /// Chunks the producer thread parses ahead (`--read-ahead`, ≥ 1).
     pub read_ahead: usize,
 }
 
@@ -155,7 +218,9 @@ impl StreamOpts {
 
 /// Parsed sub-command.
 #[derive(Debug, Clone)]
+#[allow(missing_docs)] // field meanings are given by USAGE and docs/CLI.md
 pub enum Command {
+    /// `pg-hive discover` — infer the schema of a graph.
     Discover {
         path: String,
         method: ClusterMethod,
@@ -165,7 +230,10 @@ pub enum Command {
         sample: bool,
         seed: u64,
         stream: StreamOpts,
+        save_state: Option<String>,
+        load_state: Option<String>,
     },
+    /// `pg-hive diff` — discover two snapshots and report what changed.
     Diff {
         old_path: String,
         new_path: String,
@@ -174,6 +242,7 @@ pub enum Command {
         seed: u64,
         stream: StreamOpts,
     },
+    /// `pg-hive watch` — long-running (optionally durable) drift monitor.
     Watch {
         path: String,
         method: ClusterMethod,
@@ -182,22 +251,25 @@ pub enum Command {
         interval_secs: u64,
         once: bool,
         stream: StreamOpts,
+        state_dir: Option<String>,
+        on_drift: Vec<DriftSinkSpec>,
     },
+    /// `pg-hive validate` — check data against a reference schema.
     Validate {
         data_path: String,
         schema_path: String,
         loose: bool,
     },
-    Stats {
-        path: String,
-        stream: StreamOpts,
-    },
+    /// `pg-hive stats` — structural statistics.
+    Stats { path: String, stream: StreamOpts },
+    /// `pg-hive help`.
     Help,
 }
 
 /// Top-level parsed arguments.
 #[derive(Debug, Clone)]
 pub struct Args {
+    /// The sub-command to run.
     pub command: Command,
 }
 
@@ -281,6 +353,8 @@ impl Args {
                 let mut interval_secs = 30u64;
                 let mut once = false;
                 let mut stream = StreamOpts::default();
+                let mut state_dir = None;
+                let mut on_drift = Vec::new();
                 while let Some(flag) = it.next() {
                     if stream.consume(&flag, &mut it)? {
                         continue;
@@ -293,6 +367,10 @@ impl Args {
                             interval_secs = parse_positive("--interval", it.next())? as u64;
                         }
                         "--once" => once = true,
+                        "--state-dir" => {
+                            state_dir = Some(it.next().ok_or("--state-dir needs a directory")?);
+                        }
+                        "--on-drift" => on_drift.push(DriftSinkSpec::parse(it.next())?),
                         other => return Err(format!("unknown flag '{other}'")),
                     }
                 }
@@ -305,6 +383,8 @@ impl Args {
                         interval_secs,
                         once,
                         stream,
+                        state_dir,
+                        on_drift,
                     },
                 })
             }
@@ -317,6 +397,8 @@ impl Args {
                 let mut sample = false;
                 let mut seed = 42u64;
                 let mut stream = StreamOpts::default();
+                let mut save_state = None;
+                let mut load_state = None;
                 while let Some(flag) = it.next() {
                     if stream.consume(&flag, &mut it)? {
                         continue;
@@ -324,6 +406,12 @@ impl Args {
                     match flag.as_str() {
                         "--method" => method = parse_method(it.next())?,
                         "--theta" => theta = parse_theta(it.next())?,
+                        "--save-state" => {
+                            save_state = Some(it.next().ok_or("--save-state needs a file path")?);
+                        }
+                        "--load-state" => {
+                            load_state = Some(it.next().ok_or("--load-state needs a file path")?);
+                        }
                         "--batches" => {
                             batches = it
                                 .next()
@@ -357,6 +445,13 @@ impl Args {
                          are the batches"
                         .into());
                 }
+                if (save_state.is_some() || load_state.is_some()) && !stream.stream {
+                    return Err(
+                        "--save-state/--load-state require --stream (they checkpoint \
+                         the streaming engine's resident state)"
+                            .into(),
+                    );
+                }
                 Ok(Args {
                     command: Command::Discover {
                         path,
@@ -367,6 +462,8 @@ impl Args {
                         sample,
                         seed,
                         stream,
+                        save_state,
+                        load_state,
                     },
                 })
             }
@@ -439,10 +536,14 @@ mod tests {
             sample,
             seed,
             stream,
+            save_state,
+            load_state,
         } = a.command
         else {
             panic!()
         };
+        assert_eq!(save_state, None);
+        assert_eq!(load_state, None);
         assert_eq!(path, "g.pgt");
         assert_eq!(method, ClusterMethod::Elsh);
         assert_eq!(theta, 0.9);
@@ -612,6 +713,8 @@ mod tests {
             interval_secs,
             once,
             stream,
+            state_dir,
+            on_drift,
             ..
         } = a.command
         else {
@@ -621,6 +724,8 @@ mod tests {
         assert_eq!(interval_secs, 30);
         assert!(!once);
         assert_eq!(stream, StreamOpts::default());
+        assert_eq!(state_dir, None);
+        assert!(on_drift.is_empty());
 
         let a = parse(&[
             "watch",
@@ -656,6 +761,90 @@ mod tests {
         assert_eq!(stream.input_format, InputFormat::Csv);
         assert_eq!(stream.threads, Some(2));
         assert_eq!(stream.chunk_size, 100);
+    }
+
+    #[test]
+    fn watch_state_dir_and_drift_sinks_parse() {
+        let a = parse(&[
+            "watch",
+            "g.pgt",
+            "--state-dir",
+            "statedir",
+            "--on-drift",
+            "jsonl:events.jsonl",
+            "--on-drift",
+            "exec:notify-send drift",
+        ])
+        .unwrap();
+        let Command::Watch {
+            state_dir,
+            on_drift,
+            ..
+        } = a.command
+        else {
+            panic!()
+        };
+        assert_eq!(state_dir.as_deref(), Some("statedir"));
+        assert_eq!(
+            on_drift,
+            vec![
+                DriftSinkSpec::Jsonl("events.jsonl".into()),
+                DriftSinkSpec::Exec("notify-send drift".into()),
+            ]
+        );
+
+        // Malformed sink specs are parse errors with the flag's grammar.
+        for bad in ["frob:x", "exec:", "jsonl:", "no-colon"] {
+            let err = parse(&["watch", "g", "--on-drift", bad]).unwrap_err();
+            assert!(err.contains("exec:<command> or jsonl:<path>"), "{err}");
+        }
+        assert!(parse(&["watch", "g", "--state-dir"]).is_err());
+        assert!(parse(&["watch", "g", "--on-drift"]).is_err());
+    }
+
+    #[test]
+    fn discover_state_flags_require_stream() {
+        let a = parse(&[
+            "discover",
+            "g.pgt",
+            "--stream",
+            "--save-state",
+            "s.snap",
+            "--load-state",
+            "old.snap",
+        ])
+        .unwrap();
+        let Command::Discover {
+            save_state,
+            load_state,
+            ..
+        } = a.command
+        else {
+            panic!()
+        };
+        assert_eq!(save_state.as_deref(), Some("s.snap"));
+        assert_eq!(load_state.as_deref(), Some("old.snap"));
+
+        for flags in [
+            &["discover", "g", "--save-state", "s.snap"][..],
+            &["discover", "g", "--load-state", "s.snap"],
+        ] {
+            let err = parse(flags).unwrap_err();
+            assert!(err.contains("require --stream"), "{err}");
+        }
+        assert!(parse(&["discover", "g", "--stream", "--save-state"]).is_err());
+    }
+
+    #[test]
+    fn input_format_names_round_trip() {
+        for (fmt, name) in [
+            (InputFormat::Pgt, "pgt"),
+            (InputFormat::Csv, "csv"),
+            (InputFormat::Jsonl, "jsonl"),
+        ] {
+            assert_eq!(fmt.name(), name);
+            assert_eq!(InputFormat::parse(Some(name)).unwrap(), fmt);
+        }
     }
 
     #[test]

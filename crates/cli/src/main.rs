@@ -39,10 +39,20 @@
 //! long-running drift monitor: a resident canonical
 //! [`pg_hive_core::SchemaState`] absorbs only the records appended between
 //! passes and each pass's finalized schema is diffed against the previous
-//! one (see [`watch`]). See `docs/CLI.md` for the full reference.
+//! one (see [`watch`]). With `--state-dir` the monitor is **durable**: the
+//! full resumable context is checkpointed atomically after every pass and
+//! auto-resumed on restart, and `--on-drift exec:<cmd>` /
+//! `--on-drift jsonl:<path>` deliver structured drift events to external
+//! sinks (see [`sink`]). `discover --stream` can persist and resume the
+//! same engine state with `--save-state` / `--load-state`. See
+//! `docs/CLI.md` for the full flag reference and `docs/PERSISTENCE.md` for
+//! the snapshot format and operations runbook.
+
+#![warn(missing_docs)]
 
 use pg_hive_core::schema::SchemaGraph;
 use pg_hive_core::serialize::{pg_schema_loose, pg_schema_strict, to_xsd};
+use pg_hive_core::snapshot::{ResumeContext, SnapshotConfig};
 use pg_hive_core::{
     diff_schemas, validate, Discoverer, PipelineConfig, SamplingConfig, StreamResult,
     ValidationMode,
@@ -50,14 +60,15 @@ use pg_hive_core::{
 use pg_hive_graph::loader::load_text;
 use pg_hive_graph::stream::{csv::CsvSource, jsonl::JsonlSource, pgt::PgtSource};
 use pg_hive_graph::{
-    GraphSource, GraphStats, PropertyGraph, ReadAheadChunks, ReadAheadRecords, StreamSummary,
-    StreamWarnings,
+    ChunkedTextReader, GraphSource, GraphStats, LabelSetRegistry, PropertyGraph, ReadAheadChunks,
+    ReadAheadRecords, StreamSummary, StreamWarnings,
 };
 use std::io::{BufReader, Write};
 use std::path::Path;
 use std::process::ExitCode;
 
 mod args;
+mod sink;
 mod watch;
 use args::{Args, Command, InputFormat, OutputFormat, StreamOpts};
 
@@ -181,6 +192,8 @@ fn run(args: Args) -> Result<ExitCode, String> {
             sample,
             seed,
             stream,
+            save_state,
+            load_state,
         } => {
             let config = PipelineConfig {
                 method,
@@ -192,6 +205,16 @@ fn run(args: Args) -> Result<ExitCode, String> {
             let discoverer = Discoverer::new(config);
 
             if stream.stream {
+                if save_state.is_some() || load_state.is_some() {
+                    return discover_stream_stateful(
+                        &path,
+                        &stream,
+                        &discoverer,
+                        format,
+                        save_state.as_deref(),
+                        load_state.as_deref(),
+                    );
+                }
                 return discover_stream(&path, &stream, &discoverer, format);
             }
 
@@ -300,6 +323,8 @@ fn run(args: Args) -> Result<ExitCode, String> {
             interval_secs,
             once,
             stream,
+            state_dir,
+            on_drift,
         } => {
             let config = PipelineConfig {
                 method,
@@ -308,12 +333,16 @@ fn run(args: Args) -> Result<ExitCode, String> {
                 ..PipelineConfig::default()
             };
             let discoverer = Discoverer::new(config);
+            let sinks: Vec<sink::DriftSink> =
+                on_drift.iter().map(sink::DriftSink::from_spec).collect();
             watch::run_watch(
                 &path,
                 &stream,
                 &discoverer,
                 std::time::Duration::from_secs(interval_secs),
                 once,
+                state_dir.as_deref(),
+                &sinks,
             )
         }
         Command::Validate {
@@ -454,17 +483,96 @@ fn stream_discover(
     Ok((result, summary))
 }
 
-/// The `discover --stream` path: report the merged schema plus streaming
-/// accounting.
-fn discover_stream(
+/// The `discover --stream` path with `--save-state`/`--load-state`: run
+/// the streaming engine over a registry-carrying serial reader (the same
+/// shape `watch` uses, so the id → label-set registry can be persisted and
+/// resumed), optionally seeding from a snapshot and optionally writing one
+/// afterwards. Chained invocations — part 1 with `--save-state`, part 2
+/// with `--load-state` — finalize byte-identically to a single
+/// uninterrupted run over the concatenated input (proptested in
+/// `tests/tests/snapshot_resume.rs`).
+fn discover_stream_stateful(
     path: &str,
     opts: &StreamOpts,
     discoverer: &Discoverer,
     format: OutputFormat,
+    save_state: Option<&str>,
+    load_state: Option<&str>,
 ) -> Result<ExitCode, String> {
-    let (result, summary) = stream_discover(path, opts, discoverer, true)?;
-    report_warnings(&summary.warnings);
+    let threads = resolve_threads(opts);
+    let config = SnapshotConfig::new(discoverer.config(), opts.chunk_size);
+    let (mut state, registry) = match load_state {
+        Some(p) => {
+            let ctx = ResumeContext::load(Path::new(p))
+                .map_err(|e| format!("{e} (while loading {p})"))?;
+            ctx.config
+                .ensure_matches(&config)
+                .map_err(|e| e.to_string())?;
+            // Symmetric to watch refusing discover save-states: a watch
+            // checkpoint carries per-file read positions that discover
+            // would silently ignore, re-ingesting input the state already
+            // contains and double-counting every instance.
+            if ctx.watch.is_some() {
+                return Err(format!(
+                    "snapshot: {p} is a `watch --state-dir` checkpoint — its per-file \
+                     offsets only make sense to `watch`; resume it with `pg-hive watch \
+                     --state-dir`, or create a discover state with --save-state"
+                ));
+            }
+            eprintln!(
+                "resuming from {p}: {} pooled type(s), {} registered id(s)",
+                ctx.state.pooled_types(),
+                ctx.registry.len()
+            );
+            (ctx.state, ctx.registry)
+        }
+        None => (discoverer.new_state(), LabelSetRegistry::default()),
+    };
+    let source = open_source(path, opts.input_format)?;
+    let mut reader = ChunkedTextReader::with_registry(source, opts.chunk_size, registry);
+    let mut stream_err: Option<String> = None;
+    let result = discoverer
+        .resume_stream(
+            &mut state,
+            std::iter::from_fn(|| match reader.next_chunk() {
+                Ok(c) => c,
+                Err(e) => {
+                    stream_err = Some(e.to_string());
+                    None
+                }
+            }),
+            threads,
+        )
+        .map_err(|e| e.to_string())?;
+    if let Some(e) = stream_err {
+        return Err(format!("parse {path}: {e}"));
+    }
+    report_warnings(&reader.warnings());
+    let max_resident = reader.max_resident_elements();
+    if let Some(p) = save_state {
+        let ctx = ResumeContext {
+            config,
+            state,
+            registry: reader.into_registry(),
+            watch: None,
+        };
+        ctx.save(Path::new(p)).map_err(|e| e.to_string())?;
+        eprintln!("state saved to {p}");
+    }
 
+    print_stream_schema(&result, max_resident, threads, format);
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Print a streamed discovery's schema in the requested output format —
+/// shared by the plain and stateful `discover --stream` paths so their
+/// output cannot drift apart.
+fn print_stream_schema(
+    result: &StreamResult,
+    max_resident: usize,
+    threads: usize,
+    format: OutputFormat,
+) {
     match format {
         OutputFormat::Strict => print!("{}", pg_schema_strict(&result.schema, "Discovered")),
         OutputFormat::Loose => print!("{}", pg_schema_loose(&result.schema, "Discovered")),
@@ -477,7 +585,7 @@ fn discover_stream(
                  across {} thread(s)",
                 result.elements,
                 result.chunk_times.len(),
-                summary.max_resident_elements,
+                max_resident,
                 result.schema.node_types.len(),
                 result.schema.edge_types.len(),
                 result
@@ -486,10 +594,28 @@ fn discover_stream(
                     .iter()
                     .filter(|t| t.is_abstract())
                     .count(),
-                resolve_threads(opts),
+                threads,
             );
             print_type_lines(&result.schema);
         }
     }
+}
+
+/// The `discover --stream` path: report the merged schema plus streaming
+/// accounting.
+fn discover_stream(
+    path: &str,
+    opts: &StreamOpts,
+    discoverer: &Discoverer,
+    format: OutputFormat,
+) -> Result<ExitCode, String> {
+    let (result, summary) = stream_discover(path, opts, discoverer, true)?;
+    report_warnings(&summary.warnings);
+    print_stream_schema(
+        &result,
+        summary.max_resident_elements,
+        resolve_threads(opts),
+        format,
+    );
     Ok(ExitCode::SUCCESS)
 }

@@ -20,16 +20,44 @@
 //! Partially written trailing lines are left unconsumed (the delta is cut
 //! at the last newline), so appending concurrently with a pass never
 //! corrupts a record — it is simply picked up by the next pass.
+//!
+//! # Durability (`--state-dir`)
+//!
+//! With `--state-dir <dir>`, the watcher checkpoints its **full resumable
+//! context** — the [`SchemaState`] pools, the id → label-set registry, the
+//! per-file offsets/fingerprints, and the discovery-config guard — to
+//! `<dir>/watch.snapshot` after every pass, atomically (temp file +
+//! rename; see [`pg_hive_core::snapshot`]). On start, an existing
+//! checkpoint is loaded and the run continues exactly where the killed
+//! process stopped: the next pass ingests only bytes appended since the
+//! last checkpoint, pass numbering continues, and a restart with no new
+//! bytes never fires a spurious drift event. A corrupt, truncated,
+//! future-version, or configuration-incompatible checkpoint is refused
+//! with a named `snapshot:` error — never silently re-ingested.
+//!
+//! # Alerting (`--on-drift`)
+//!
+//! Each `--on-drift exec:<cmd>` / `--on-drift jsonl:<path>` flag attaches
+//! a [`crate::sink::DriftSink`]; every drift pass delivers one structured
+//! [`crate::sink::DriftEvent`] (pass number, timestamp, diff summary,
+//! monotonicity verdict) to every sink.
 
 use crate::args::{InputFormat, StreamOpts};
+use crate::sink::{emit_all, unix_timestamp, DriftEvent, DriftSink};
 use pg_hive_core::serialize::pg_schema_strict;
+use pg_hive_core::snapshot::{
+    context_snapshot, FileCheckpoint, ResumeContext, SnapshotConfig, WatchCheckpoint,
+};
 use pg_hive_core::{diff_schemas, AbsorbReport, Discoverer, SchemaState};
 use pg_hive_graph::stream::{csv::CsvSource, jsonl::JsonlSource, pgt::PgtSource};
 use pg_hive_graph::{ChunkedTextReader, GraphSource, LabelSetRegistry, StreamWarnings};
 use std::io::{Cursor, Read, Seek, SeekFrom};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
+
+/// File name of the checkpoint inside `--state-dir`.
+const SNAPSHOT_FILE: &str = "watch.snapshot";
 
 /// How many trailing consumed bytes are remembered to recognize a file
 /// that was truncated and rewritten *past* the old offset between passes
@@ -277,70 +305,226 @@ fn absorb_source(
     Ok(report)
 }
 
+impl TrackedFile {
+    fn to_checkpoint(&self) -> FileCheckpoint {
+        FileCheckpoint {
+            path: self.path.display().to_string(),
+            offset: self.offset,
+            tail: self.tail.clone(),
+            header: self.header.clone(),
+            required: self.required,
+        }
+    }
+
+    fn restore(&mut self, cp: &FileCheckpoint) {
+        self.offset = cp.offset;
+        self.tail = cp.tail.clone();
+        self.header = cp.header.clone();
+    }
+}
+
+/// The mutable engine context the watch loop threads through passes —
+/// exactly what a `--state-dir` checkpoint persists.
+struct WatchRun {
+    state: SchemaState,
+    registry: LabelSetRegistry,
+    warnings: StreamWarnings,
+    pass: u64,
+}
+
+/// Write the full resumable context to `<dir>/watch.snapshot` atomically.
+fn save_checkpoint(
+    dir: &Path,
+    config: &SnapshotConfig,
+    path: &str,
+    format: InputFormat,
+    input: &WatchedInput,
+    run: &WatchRun,
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create state dir {}: {e}", dir.display()))?;
+    let watch = WatchCheckpoint {
+        input: path.to_string(),
+        format: format.name().to_string(),
+        pass: run.pass,
+        warnings: run.warnings,
+        files: input.files.iter().map(TrackedFile::to_checkpoint).collect(),
+    };
+    // Serialize from borrowed parts: the state pools and the registry (one
+    // entry per node id ever seen) are the large pieces, and this runs
+    // after *every* pass — cloning them into an owned ResumeContext first
+    // would double the checkpoint's memory cost for nothing.
+    context_snapshot(config, &run.state, &run.registry, Some(&watch))
+        .write_atomic(&dir.join(SNAPSHOT_FILE))
+        .map_err(|e| e.to_string())
+}
+
+/// Load `<dir>/watch.snapshot` if present, validate it against this run's
+/// input and configuration, and restore the per-file read positions.
+/// Returns `None` when no checkpoint exists (a fresh start); any *invalid*
+/// checkpoint — corrupt, truncated, future-version, wrong input, or
+/// incompatible configuration — is a named `snapshot:` error, never a
+/// silent re-ingest.
+fn try_resume(
+    dir: &Path,
+    config: &SnapshotConfig,
+    path: &str,
+    format: InputFormat,
+    input: &mut WatchedInput,
+) -> Result<Option<WatchRun>, String> {
+    let snapshot_path = dir.join(SNAPSHOT_FILE);
+    if !snapshot_path.exists() {
+        return Ok(None);
+    }
+    let ctx = ResumeContext::load(&snapshot_path)
+        .map_err(|e| format!("{e} (while loading {})", snapshot_path.display()))?;
+    ctx.config
+        .ensure_matches(config)
+        .map_err(|e| e.to_string())?;
+    let watch = ctx.watch.ok_or_else(|| {
+        format!(
+            "snapshot: {} has no watch progress — it was written by `discover --save-state`, \
+             not `watch --state-dir`",
+            snapshot_path.display()
+        )
+    })?;
+    if watch.input != path {
+        return Err(format!(
+            "snapshot: the checkpoint was saved for input '{}', this run watches '{path}' — \
+             point watch at the same input or use a different --state-dir",
+            watch.input
+        ));
+    }
+    if watch.format != format.name() {
+        return Err(format!(
+            "snapshot: the checkpoint was saved for --input-format {}, this run uses {}",
+            watch.format,
+            format.name()
+        ));
+    }
+    if watch.files.len() != input.files.len() {
+        return Err(format!(
+            "snapshot: the checkpoint tracks {} file(s), this input has {}",
+            watch.files.len(),
+            input.files.len()
+        ));
+    }
+    for (tracked, cp) in input.files.iter_mut().zip(&watch.files) {
+        tracked.restore(cp);
+    }
+    Ok(Some(WatchRun {
+        state: ctx.state,
+        registry: ctx.registry,
+        warnings: watch.warnings,
+        pass: watch.pass,
+    }))
+}
+
 /// Run the watch loop. `--once` performs the baseline pass plus exactly one
 /// re-check and exits with the `diff` exit-code semantics (1 = drift);
 /// without it the loop runs until the process is killed or the input
-/// becomes unreadable.
+/// becomes unreadable. With `state_dir` set, the loop checkpoints after
+/// every pass and auto-resumes from an existing checkpoint on start; each
+/// drift event is also delivered to every `sink`.
 pub fn run_watch(
     path: &str,
     opts: &StreamOpts,
     discoverer: &Discoverer,
     interval: Duration,
     once: bool,
+    state_dir: Option<&str>,
+    sinks: &[DriftSink],
 ) -> Result<ExitCode, String> {
     let mut input = WatchedInput::open(path, opts.input_format)?;
     let threads = crate::resolve_threads(opts);
-    let mut state = discoverer.new_state();
-    let mut registry = LabelSetRegistry::default();
-    let mut warnings = StreamWarnings::default();
-
-    // Baseline pass.
-    let read = input.read_pass()?;
-    let baseline = match read.source {
-        Some(src) => absorb_source(
-            src,
-            opts,
-            threads,
-            discoverer,
-            &mut state,
-            &mut registry,
-            &mut warnings,
-        )?,
-        None => AbsorbReport {
-            elements: 0,
-            chunk_times: Vec::new(),
-        },
+    let config = SnapshotConfig::new(discoverer.config(), opts.chunk_size);
+    let state_dir = state_dir.map(Path::new);
+    let resumed = match state_dir {
+        Some(dir) => try_resume(dir, &config, path, opts.input_format, &mut input)?,
+        None => None,
     };
-    if baseline.elements == 0 {
-        // The named empty-input error: an empty (or CSV header-only) input
-        // would otherwise masquerade as a stable empty schema and every
-        // future pass would report drift against nothing.
-        return Err(format!(
-            "empty input: {path} contains no graph elements (nodes or edges) — nothing to watch"
-        ));
+
+    let mut run;
+    let mut schema;
+    match resumed {
+        Some(r) => {
+            // Resume: the baseline is the checkpointed state, finalized —
+            // byte-identical to what the killed process last saw, so a
+            // restart with no new bytes can never fire a spurious drift
+            // event.
+            run = r;
+            schema = run.state.finalize();
+            eprintln!(
+                "watch {path}: resumed from checkpoint (pass {}, {} node type(s), {} edge \
+                 type(s), {} registered id(s)); re-checking every {}s{}",
+                run.pass,
+                schema.node_types.len(),
+                schema.edge_types.len(),
+                run.registry.len(),
+                interval.as_secs(),
+                if once { " (once)" } else { "" }
+            );
+        }
+        None => {
+            run = WatchRun {
+                state: discoverer.new_state(),
+                registry: LabelSetRegistry::default(),
+                warnings: StreamWarnings::default(),
+                pass: 1,
+            };
+            // Baseline pass.
+            let read = input.read_pass()?;
+            let baseline = match read.source {
+                Some(src) => absorb_source(
+                    src,
+                    opts,
+                    threads,
+                    discoverer,
+                    &mut run.state,
+                    &mut run.registry,
+                    &mut run.warnings,
+                )?,
+                None => AbsorbReport {
+                    elements: 0,
+                    chunk_times: Vec::new(),
+                },
+            };
+            if baseline.elements == 0 {
+                // The named empty-input error: an empty (or CSV header-only)
+                // input would otherwise masquerade as a stable empty schema
+                // and every future pass would report drift against nothing.
+                return Err(format!(
+                    "empty input: {path} contains no graph elements (nodes or edges) — \
+                     nothing to watch"
+                ));
+            }
+            schema = run.state.finalize();
+            eprintln!(
+                "watch {path}: baseline {} element(s) in {} chunk(s) -> {} node type(s), \
+                 {} edge type(s); re-checking every {}s{}",
+                baseline.elements,
+                baseline.chunk_times.len(),
+                schema.node_types.len(),
+                schema.edge_types.len(),
+                interval.as_secs(),
+                if once { " (once)" } else { "" }
+            );
+            if let Some(dir) = state_dir {
+                save_checkpoint(dir, &config, path, opts.input_format, &input, &run)?;
+            }
+        }
     }
-    let mut schema = state.finalize();
-    eprintln!(
-        "watch {path}: baseline {} element(s) in {} chunk(s) -> {} node type(s), {} edge type(s); \
-         re-checking every {}s{}",
-        baseline.elements,
-        baseline.chunk_times.len(),
-        schema.node_types.len(),
-        schema.edge_types.len(),
-        interval.as_secs(),
-        if once { " (once)" } else { "" }
-    );
 
     let mut drifted = false;
-    let mut pass = 1usize;
     loop {
         std::thread::sleep(interval);
-        pass += 1;
+        run.pass += 1;
+        let pass = run.pass;
         let read = input.read_pass()?;
         if read.rotated {
             eprintln!("pass {pass}: input rotated/truncated — re-ingesting from scratch");
-            state = discoverer.new_state();
-            registry = LabelSetRegistry::default();
+            run.state = discoverer.new_state();
+            run.registry = LabelSetRegistry::default();
         }
         let absorbed = match read.source {
             Some(src) => absorb_source(
@@ -348,16 +532,16 @@ pub fn run_watch(
                 opts,
                 threads,
                 discoverer,
-                &mut state,
-                &mut registry,
-                &mut warnings,
+                &mut run.state,
+                &mut run.registry,
+                &mut run.warnings,
             )?,
             None => AbsorbReport {
                 elements: 0,
                 chunk_times: Vec::new(),
             },
         };
-        let new_schema = state.finalize();
+        let new_schema = run.state.finalize();
         let diff = diff_schemas(&schema, &new_schema);
         if diff.is_empty() {
             println!(
@@ -376,10 +560,22 @@ pub fn run_watch(
                 }
             );
             print!("{diff}");
+            emit_all(
+                sinks,
+                &DriftEvent {
+                    pass,
+                    timestamp: unix_timestamp(),
+                    elements_added: absorbed.elements,
+                    diff: &diff,
+                },
+            );
         }
         schema = new_schema;
+        if let Some(dir) = state_dir {
+            save_checkpoint(dir, &config, path, opts.input_format, &input, &run)?;
+        }
         if once {
-            crate::report_warnings(&warnings);
+            crate::report_warnings(&run.warnings);
             // Emit the final schema so CI (and the e2e suite) can assert it
             // is byte-identical to `discover --stream --format strict`.
             print!("{}", pg_schema_strict(&schema, "Discovered"));

@@ -485,3 +485,354 @@ fn help_prints_usage() {
     assert_eq!(code, Some(0));
     assert!(stdout.contains("USAGE"));
 }
+
+// ---------------------------------------------------------------------------
+// Snapshot persistence: discover --save-state/--load-state, durable watch
+// (--state-dir), drift sinks, and the named snapshot: error guarantees.
+// ---------------------------------------------------------------------------
+
+/// A uniquely named temp directory for state-dir tests.
+fn temp_dir_named(name: &str) -> std::path::PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("pg-hive-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn discover_save_then_load_state_reproduces_the_exact_schema() {
+    let data = write_temp_named("save-load-data", DEMO);
+    let empty = write_temp_named("save-load-empty", "");
+    let snap = write_temp_named("save-load", "placeholder");
+    // Save the state of a streamed discovery...
+    let (saved_out, stderr, code) = run(&[
+        "discover",
+        data.to_str().unwrap(),
+        "--stream",
+        "--format",
+        "strict",
+        "--save-state",
+        snap.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stderr.contains("state saved to"), "{stderr}");
+    // ...then resume it over an *empty* input: the loaded state alone must
+    // finalize byte-identically to the run that saved it.
+    let (resumed_out, stderr, code) = run(&[
+        "discover",
+        empty.to_str().unwrap(),
+        "--stream",
+        "--format",
+        "strict",
+        "--load-state",
+        snap.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stderr.contains("resuming from"), "{stderr}");
+    assert_eq!(
+        resumed_out, saved_out,
+        "save -> load round trip is lossless"
+    );
+}
+
+#[test]
+fn load_state_resolves_cross_run_edges_through_the_saved_registry() {
+    // Part 1 declares the nodes; part 2 holds only edges referencing them.
+    // Without the persisted id -> label-set registry those edges would be
+    // dropped as dangling; with it they resolve as stub-endpoint edges.
+    let part1 = write_temp_named("state-part1", "N a Person name=Ann\nN o Org url=x.com\n");
+    let part2 = write_temp_named("state-part2", "E a o WORKS_AT from=2001\n");
+    let snap = write_temp_named("state-parts", "placeholder");
+    let (_, stderr, code) = run(&[
+        "discover",
+        part1.to_str().unwrap(),
+        "--stream",
+        "--save-state",
+        snap.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+    let (stdout, stderr, code) = run(&[
+        "discover",
+        part2.to_str().unwrap(),
+        "--stream",
+        "--format",
+        "summary",
+        "--load-state",
+        snap.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.contains("edge {WORKS_AT} x1"), "{stdout}");
+    assert!(stderr.contains("cross-chunk edge"), "{stderr}");
+}
+
+#[test]
+fn corrupt_truncated_and_future_version_snapshots_are_named_errors() {
+    let data = write_temp_named("snap-errors-data", DEMO);
+    let snap = write_temp_named("snap-errors", "placeholder");
+    let (_, _, code) = run(&[
+        "discover",
+        data.to_str().unwrap(),
+        "--stream",
+        "--save-state",
+        snap.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0));
+    let pristine = std::fs::read_to_string(&snap).unwrap();
+    let load = |path: &std::path::Path| {
+        run(&[
+            "discover",
+            data.to_str().unwrap(),
+            "--stream",
+            "--load-state",
+            path.to_str().unwrap(),
+        ])
+    };
+
+    // Corrupt: flip one payload byte.
+    std::fs::write(&snap, pristine.replacen("theta", "thetb", 1)).unwrap();
+    let (_, stderr, code) = load(&snap);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("snapshot:"), "{stderr}");
+    assert!(stderr.contains("checksum"), "{stderr}");
+
+    // Truncated: cut the file short.
+    std::fs::write(&snap, &pristine[..pristine.len() / 2]).unwrap();
+    let (_, stderr, code) = load(&snap);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("snapshot:"), "{stderr}");
+
+    // Future format version: refuse, do not misparse.
+    std::fs::write(
+        &snap,
+        pristine.replacen("pg-hive-snapshot 1", "pg-hive-snapshot 999", 1),
+    )
+    .unwrap();
+    let (_, stderr, code) = load(&snap);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("version 999"), "{stderr}");
+
+    // Not a snapshot at all.
+    std::fs::write(&snap, "N a Person -\n").unwrap();
+    let (_, stderr, code) = load(&snap);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("not a pg-hive snapshot"), "{stderr}");
+}
+
+#[test]
+fn incompatible_snapshot_config_is_refused_with_the_field_named() {
+    let data = write_temp_named("snap-config-data", DEMO);
+    let snap = write_temp_named("snap-config", "placeholder");
+    let (_, _, code) = run(&[
+        "discover",
+        data.to_str().unwrap(),
+        "--stream",
+        "--save-state",
+        snap.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0));
+    for (extra, field) in [
+        (&["--seed", "7"][..], "seed"),
+        (&["--theta", "0.5"], "theta"),
+        (&["--method", "minhash"], "method"),
+        (&["--chunk-size", "17"], "chunk-size"),
+    ] {
+        let mut args = vec![
+            "discover",
+            data.to_str().unwrap(),
+            "--stream",
+            "--load-state",
+            snap.to_str().unwrap(),
+        ];
+        args.extend(extra);
+        let (_, stderr, code) = run(&args);
+        assert_eq!(code, Some(1), "{field}: {stderr}");
+        assert!(
+            stderr.contains("snapshot: incompatible configuration"),
+            "{field}: {stderr}"
+        );
+        assert!(stderr.contains(&format!("{field}=")), "{field}: {stderr}");
+    }
+}
+
+#[test]
+fn save_and_load_state_require_stream_mode() {
+    let (_, stderr, code) = run(&["discover", "g.pgt", "--save-state", "s.snap"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("require --stream"), "{stderr}");
+}
+
+#[test]
+fn durable_watch_resumes_without_spurious_drift_and_alerts_once() {
+    let path = write_temp_named("watch-durable", DEMO);
+    let dir = temp_dir_named("watch-durable-state");
+    let events = dir.join("events.jsonl");
+    let watch = |p: &std::path::Path| {
+        run(&[
+            "watch",
+            p.to_str().unwrap(),
+            "--once",
+            "--interval",
+            "1",
+            "--chunk-size",
+            "3",
+            "--state-dir",
+            dir.to_str().unwrap(),
+            "--on-drift",
+            &format!("jsonl:{}", events.display()),
+        ])
+    };
+
+    // Run 1: fresh baseline + one re-check, checkpoint written, no drift.
+    let (out1, err1, code) = watch(&path);
+    assert_eq!(code, Some(0), "{err1}");
+    assert!(err1.contains("baseline"), "{err1}");
+    assert!(dir.join("watch.snapshot").exists());
+
+    // Run 2: no-op restart — resumes from the checkpoint and must NOT fire
+    // a spurious drift event (the resumed state finalizes byte-identically
+    // to what the killed process last saw).
+    let (out2, err2, code) = watch(&path);
+    assert_eq!(
+        code,
+        Some(0),
+        "spurious drift on no-op restart: {out2}{err2}"
+    );
+    assert!(err2.contains("resumed from checkpoint"), "{err2}");
+    assert!(!out2.contains("drift detected"), "{out2}");
+    assert!(!events.exists(), "no drift -> no events");
+    // The resumed final schema matches the fresh run's byte for byte.
+    let schema1 = &out1[out1.find("CREATE GRAPH TYPE").unwrap()..];
+    let schema2 = &out2[out2.find("CREATE GRAPH TYPE").unwrap()..];
+    assert_eq!(schema1, schema2);
+
+    // Append new records *between* runs, then restart: the resumed run
+    // ingests only the appended bytes and reports drift exactly once.
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    f.write_all(b"N p Place name=GR\nE o p LOCATED_IN since=2020\n")
+        .unwrap();
+    drop(f);
+    let (out3, err3, code) = watch(&path);
+    assert_eq!(code, Some(1), "drift must exit 1: {out3}{err3}");
+    assert_eq!(out3.matches("schema drift detected").count(), 1, "{out3}");
+    assert!(out3.contains("+ node type Place"), "{out3}");
+    // The structured event reached the jsonl sink.
+    let event_log = std::fs::read_to_string(&events).unwrap();
+    assert_eq!(event_log.lines().count(), 1, "{event_log}");
+    assert!(
+        event_log.contains("\"event\":\"schema-drift\""),
+        "{event_log}"
+    );
+    assert!(event_log.contains("\"monotone\":true"), "{event_log}");
+    assert!(event_log.contains("+ node type Place"), "{event_log}");
+
+    // Run 4: another no-op restart after the drift was absorbed — quiet
+    // again, and still exactly one recorded event.
+    let (out4, _, code) = watch(&path);
+    assert_eq!(code, Some(0), "{out4}");
+    assert_eq!(std::fs::read_to_string(&events).unwrap().lines().count(), 1);
+}
+
+#[test]
+fn corrupt_watch_checkpoint_is_a_named_error_not_a_silent_reingest() {
+    let path = write_temp_named("watch-corrupt", DEMO);
+    let dir = temp_dir_named("watch-corrupt-state");
+    let (_, _, code) = run(&[
+        "watch",
+        path.to_str().unwrap(),
+        "--once",
+        "--interval",
+        "1",
+        "--state-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0));
+    let snap = dir.join("watch.snapshot");
+    let pristine = std::fs::read_to_string(&snap).unwrap();
+    std::fs::write(&snap, pristine.replacen("node", "ncde", 1)).unwrap();
+    let (_, stderr, code) = run(&[
+        "watch",
+        path.to_str().unwrap(),
+        "--once",
+        "--interval",
+        "1",
+        "--state-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("snapshot:"), "{stderr}");
+    assert!(stderr.contains("checksum"), "{stderr}");
+
+    // A checkpoint for a *different* input is refused too.
+    std::fs::write(&snap, &pristine).unwrap();
+    let other = write_temp_named("watch-corrupt-other", DEMO);
+    let (_, stderr, code) = run(&[
+        "watch",
+        other.to_str().unwrap(),
+        "--once",
+        "--interval",
+        "1",
+        "--state-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("snapshot:"), "{stderr}");
+    assert!(stderr.contains("saved for input"), "{stderr}");
+}
+
+#[test]
+fn snapshot_kinds_do_not_cross_load() {
+    // A watch checkpoint into discover --load-state would silently ignore
+    // the per-file offsets and double-ingest already-checkpointed input;
+    // both cross-load directions are named refusals instead.
+    let path = write_temp_named("cross-load", DEMO);
+    let dir = temp_dir_named("cross-load-state");
+    let (_, _, code) = run(&[
+        "watch",
+        path.to_str().unwrap(),
+        "--once",
+        "--interval",
+        "1",
+        "--state-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0));
+    let watch_snap = dir.join("watch.snapshot");
+    let (_, stderr, code) = run(&[
+        "discover",
+        path.to_str().unwrap(),
+        "--stream",
+        "--load-state",
+        watch_snap.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("snapshot:"), "{stderr}");
+    assert!(stderr.contains("watch --state-dir` checkpoint"), "{stderr}");
+
+    // And the converse: a discover save-state has no watch progress.
+    let save = write_temp_named("cross-load-save", "placeholder");
+    let (_, _, code) = run(&[
+        "discover",
+        path.to_str().unwrap(),
+        "--stream",
+        "--save-state",
+        save.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0));
+    let dir2 = temp_dir_named("cross-load-state2");
+    std::fs::copy(&save, dir2.join("watch.snapshot")).unwrap();
+    let (_, stderr, code) = run(&[
+        "watch",
+        path.to_str().unwrap(),
+        "--once",
+        "--interval",
+        "1",
+        "--state-dir",
+        dir2.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("no watch progress"), "{stderr}");
+}

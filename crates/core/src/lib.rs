@@ -80,6 +80,7 @@ pub mod preprocess;
 pub mod retract;
 pub mod schema;
 pub mod serialize;
+pub mod snapshot;
 pub mod state;
 pub mod validate;
 
@@ -93,6 +94,9 @@ pub use retract::{retract_batch, RetractionStats};
 pub use schema::{
     label_set, Cardinality, CardinalityClass, EdgeType, LabelSet, NodeType, PropertySpec,
     SchemaGraph,
+};
+pub use snapshot::{
+    FileCheckpoint, ResumeContext, Snapshot, SnapshotConfig, SnapshotError, WatchCheckpoint,
 };
 pub use state::SchemaState;
 pub use validate::{validate, ValidationMode, ValidationReport, Violation};

@@ -18,6 +18,7 @@ use crate::config::{EmbeddingStrategy, PipelineConfig};
 use crate::extract::{candidate_edge_types, candidate_node_types};
 use crate::preprocess::{edge_representations, label_sentences, node_representations};
 use crate::schema::SchemaGraph;
+use crate::snapshot::SnapshotError;
 use crate::state::SchemaState;
 use pg_hive_embed::{HashEmbedder, LabelEmbedder, Word2Vec};
 use pg_hive_graph::{split_batches, GraphBatch, PropertyGraph};
@@ -521,6 +522,52 @@ impl Discoverer {
     /// every streaming and watch path folds chunk states into.
     pub fn new_state(&self) -> SchemaState {
         SchemaState::new(self.config.theta)
+    }
+
+    /// Resume a streaming discovery from a previously persisted state (see
+    /// [`crate::snapshot`]): verify the loaded state is compatible with
+    /// this discoverer's configuration, absorb the remaining chunks into
+    /// it with `threads` workers, and finalize. Because snapshot
+    /// persistence is lossless and absorption is associative and
+    /// commutative, a run cut at any chunk boundary, saved, reloaded, and
+    /// resumed through this method finalizes **byte-identically** to the
+    /// uninterrupted run (`tests/tests/snapshot_resume.rs` proptests this
+    /// across formats and thread counts).
+    ///
+    /// The state is borrowed mutably, not consumed, so a caller that wants
+    /// to checkpoint again after the pass (e.g. `discover --save-state`)
+    /// still owns it; [`SchemaState::finalize`] is non-consuming.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Incompatible`] when the loaded state's θ differs
+    /// from this discoverer's — absorbing under a different merge
+    /// threshold would produce a schema no single-config run could have
+    /// produced. (Method/seed/chunk-size guards live in
+    /// [`crate::snapshot::SnapshotConfig::ensure_matches`], which callers
+    /// holding a full [`crate::snapshot::ResumeContext`] should apply
+    /// first.)
+    pub fn resume_stream<I>(
+        &self,
+        state: &mut SchemaState,
+        chunks: I,
+        threads: usize,
+    ) -> Result<StreamResult, SnapshotError>
+    where
+        I: IntoIterator<Item = PropertyGraph>,
+    {
+        if state.theta().to_bits() != self.config.theta.to_bits() {
+            return Err(SnapshotError::Incompatible {
+                field: "theta",
+                saved: state.theta().to_string(),
+                requested: self.config.theta.to_string(),
+            });
+        }
+        let report = self.absorb_stream(chunks, state, threads);
+        Ok(StreamResult {
+            schema: state.finalize(),
+            chunk_times: report.chunk_times,
+            elements: report.elements,
+        })
     }
 
     /// One independent chunk's full pipeline pass — preprocess, LSH

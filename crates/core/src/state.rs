@@ -60,11 +60,11 @@ type KeySet = BTreeSet<String>;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SchemaState {
-    theta: f64,
-    labeled_nodes: BTreeMap<LabelSet, NodeType>,
-    abstract_nodes: BTreeMap<KeySet, NodeType>,
-    labeled_edges: BTreeMap<LabelSet, EdgeType>,
-    abstract_edges: BTreeMap<KeySet, EdgeType>,
+    pub(crate) theta: f64,
+    pub(crate) labeled_nodes: BTreeMap<LabelSet, NodeType>,
+    pub(crate) abstract_nodes: BTreeMap<KeySet, NodeType>,
+    pub(crate) labeled_edges: BTreeMap<LabelSet, EdgeType>,
+    pub(crate) abstract_edges: BTreeMap<KeySet, EdgeType>,
 }
 
 impl SchemaState {

@@ -16,6 +16,11 @@
 //! - [`batch`]: deterministic random batch splitting for incremental runs.
 //! - [`stats`]: dataset statistics (the columns of Table 2).
 //! - [`loader`]: a small line-oriented text loader used by examples.
+//! - [`snapshot`]: snapshot (de)serialization primitives — the escaped
+//!   field codec and [`stream::LabelSetRegistry`] persistence used by the
+//!   durable `pg-hive watch` checkpoints (see `docs/PERSISTENCE.md`),
+//!   plus [`Interner`] persistence on the canonical-id view for consumers
+//!   that checkpoint interner-keyed state.
 //! - [`stream`]: streaming ingestion — a [`stream::GraphSource`] trait over
 //!   `.pgt` / CSV / JSON-Lines exports and a [`stream::ChunkedTextReader`]
 //!   that yields independent graph chunks with O(chunk) resident memory,
@@ -36,6 +41,7 @@ pub mod element;
 pub mod graph;
 pub mod interner;
 pub mod loader;
+pub mod snapshot;
 pub mod stats;
 pub mod stream;
 pub mod value;

@@ -183,11 +183,11 @@ struct PendingEdge {
 /// [`ChunkedTextReader::into_registry`] and seed the next pass's reader
 /// with [`ChunkedTextReader::with_registry`], so edges appended later still
 /// resolve endpoints declared in any earlier pass.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct LabelSetRegistry {
-    ids: HashMap<String, u32>,
-    sets: Vec<Vec<String>>,
-    set_ids: HashMap<Vec<String>, u32>,
+    pub(crate) ids: HashMap<String, u32>,
+    pub(crate) sets: Vec<Vec<String>>,
+    pub(crate) set_ids: HashMap<Vec<String>, u32>,
 }
 
 impl LabelSetRegistry {
