@@ -50,7 +50,7 @@ use pg_hive_core::snapshot::{
 };
 use pg_hive_core::{diff_schemas, AbsorbReport, Discoverer, SchemaState};
 use pg_hive_graph::stream::{csv::CsvSource, jsonl::JsonlSource, pgt::PgtSource};
-use pg_hive_graph::{ChunkedTextReader, GraphSource, LabelSetRegistry, StreamWarnings};
+use pg_hive_graph::{ChunkedTextReader, LabelSetRegistry, RawGraphSource, StreamWarnings};
 use std::io::{Cursor, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -174,7 +174,7 @@ struct PassRead {
     rotated: bool,
     /// Parser over the appended (or, after rotation, full) records; `None`
     /// when nothing new was appended.
-    source: Option<Box<dyn GraphSource>>,
+    source: Option<Box<dyn RawGraphSource>>,
 }
 
 /// A watched input: one file for pgt/jsonl, the `nodes.csv` (+ optional
@@ -239,7 +239,7 @@ impl WatchedInput {
                 source: None,
             });
         }
-        let source: Box<dyn GraphSource> = match self.format {
+        let source: Box<dyn RawGraphSource> = match self.format {
             InputFormat::Pgt => Box::new(PgtSource::new(Cursor::new(
                 bufs[0].take().unwrap_or_default(),
             ))),
@@ -275,7 +275,7 @@ fn add_warnings(total: &mut StreamWarnings, w: StreamWarnings) {
 /// Chunk `source` (seeding the reader with the carried registry) and absorb
 /// every chunk into the resident state.
 fn absorb_source(
-    source: Box<dyn GraphSource>,
+    source: Box<dyn RawGraphSource>,
     opts: &StreamOpts,
     threads: usize,
     discoverer: &Discoverer,

@@ -9,9 +9,10 @@
 //! [`compute_cardinalities`]) for callers holding a resolved schema.
 
 use crate::config::SamplingConfig;
-use crate::schema::{Cardinality, EdgeType, NodeType, SchemaGraph};
-use pg_hive_graph::{EdgeId, NodeId, PropertyGraph, Value, ValueKind};
-use std::collections::{HashMap, HashSet};
+use crate::schema::{Cardinality, EdgeType, NodeType, PropertySpec, SchemaGraph};
+use pg_hive_graph::{EdgeId, NodeId, PropertyGraph, Symbol, Value, ValueKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// Stage (e): the MANDATORY/OPTIONAL constraint is fully determined by the
 /// occurrence counts accumulated during extraction (`f_T(p) = 1` ⇒
@@ -64,15 +65,89 @@ pub fn infer_kind_of_values<'a, I: IntoIterator<Item = &'a str>>(values: I) -> O
     kind
 }
 
+/// The kind of one [`Value`] through its *lexical* form — the §4.4 rule is
+/// defined on serialized values, so a `Str("123")` re-infers as Integer.
+/// Strings are inspected in place; every other variant is formatted into
+/// `scratch` (its `Display` is exactly [`Value::lexical`]) so the hot loop
+/// never allocates per value.
+fn value_kind_via_lexical(v: &Value, scratch: &mut String) -> ValueKind {
+    match v {
+        Value::Str(s) => infer_value_kind(s),
+        other => {
+            scratch.clear();
+            let _ = write!(scratch, "{other}");
+            infer_value_kind(scratch)
+        }
+    }
+}
+
+/// Full-scan stage (f) for one type, shared between nodes and edges: a
+/// **single pass** over the members' property slices instead of one member
+/// scan per key. Each property is matched against a small sorted
+/// `(symbol, slot)` table via binary search and its kind joined into a
+/// per-slot accumulator — `ValueKind::join` is a semilattice join
+/// (commutative, associative, idempotent), so folding in member order
+/// yields exactly the same result as the per-key order the two-scan
+/// sampling path uses.
+fn infer_type_datatypes_full<'g>(
+    props: &mut BTreeMap<String, PropertySpec>,
+    g: &PropertyGraph,
+    member_props: impl Iterator<Item = &'g [(Symbol, Value)]>,
+) {
+    let keys: Vec<&String> = props.keys().collect();
+    // Keys absent from this batch's store belong to another chunk: skip
+    // them, matching the `None => continue` of the sampling path.
+    let mut table: Vec<(Symbol, u32)> = keys
+        .iter()
+        .enumerate()
+        .filter_map(|(slot, k)| g.keys().get(k.as_str()).map(|sym| (sym, slot as u32)))
+        .collect();
+    if table.is_empty() {
+        return;
+    }
+    table.sort_unstable_by_key(|&(sym, _)| sym);
+    let mut kinds: Vec<Option<ValueKind>> = vec![None; keys.len()];
+    let mut scratch = String::new();
+    for slice in member_props {
+        for (sym, v) in slice {
+            let Ok(i) = table.binary_search_by_key(sym, |&(s, _)| s) else {
+                continue;
+            };
+            let slot = table[i].1 as usize;
+            let k = value_kind_via_lexical(v, &mut scratch);
+            kinds[slot] = Some(match kinds[slot] {
+                Some(prev) => prev.join(k),
+                None => k,
+            });
+        }
+    }
+    for (spec, kind) in props.values_mut().zip(kinds) {
+        if let Some(k) = kind {
+            spec.kind = Some(match spec.kind {
+                Some(prev) => prev.join(k),
+                None => k,
+            });
+        }
+    }
+}
+
 /// Stage (f) for one node type: fill `PropertySpec::kind` by scanning the
-/// type's member values in `g` — all of them, or a sample per
-/// [`SamplingConfig`] (fraction of values, floor `min_values`). Kinds join
-/// with any previously inferred kind (lattice join, monotone).
+/// type's member values in `g` — all of them (single-pass fast path), or a
+/// sample per [`SamplingConfig`] (fraction of values, floor `min_values`).
+/// Kinds join with any previously inferred kind (lattice join, monotone).
 pub fn infer_node_type_datatypes(
     t: &mut NodeType,
     g: &PropertyGraph,
     sampling: Option<&SamplingConfig>,
 ) {
+    if sampling.is_none() {
+        let members = t
+            .members
+            .iter()
+            .map(|&m| g.node(NodeId(m)).props.as_slice());
+        infer_type_datatypes_full(&mut t.props, g, members);
+        return;
+    }
     let keys: Vec<String> = t.props.keys().cloned().collect();
     for key in keys {
         let sym = match g.keys().get(&key) {
@@ -86,13 +161,12 @@ pub fn infer_node_type_datatypes(
             .filter(|&m| g.node(NodeId(m)).get(sym).is_some())
             .collect();
         let chosen = select_sample(&holders, sampling);
-        let kind = infer_kind_of_values(
+        let mut scratch = String::new();
+        let kind = join_kinds(
             chosen
                 .iter()
-                .map(|&m| g.node(NodeId(m)).get(sym).unwrap().lexical())
-                .collect::<Vec<_>>()
-                .iter()
-                .map(String::as_str),
+                .map(|&m| g.node(NodeId(m)).get(sym).expect("holder filtered above")),
+            &mut scratch,
         );
         if let Some(k) = kind {
             let spec = t.props.get_mut(&key).expect("key listed above");
@@ -110,6 +184,14 @@ pub fn infer_edge_type_datatypes(
     g: &PropertyGraph,
     sampling: Option<&SamplingConfig>,
 ) {
+    if sampling.is_none() {
+        let members = t
+            .members
+            .iter()
+            .map(|&m| g.edge(EdgeId(m)).props.as_slice());
+        infer_type_datatypes_full(&mut t.props, g, members);
+        return;
+    }
     let keys: Vec<String> = t.props.keys().cloned().collect();
     for key in keys {
         let sym = match g.keys().get(&key) {
@@ -123,13 +205,12 @@ pub fn infer_edge_type_datatypes(
             .filter(|&m| g.edge(EdgeId(m)).get(sym).is_some())
             .collect();
         let chosen = select_sample(&holders, sampling);
-        let kind = infer_kind_of_values(
+        let mut scratch = String::new();
+        let kind = join_kinds(
             chosen
                 .iter()
-                .map(|&m| g.edge(EdgeId(m)).get(sym).unwrap().lexical())
-                .collect::<Vec<_>>()
-                .iter()
-                .map(String::as_str),
+                .map(|&m| g.edge(EdgeId(m)).get(sym).expect("holder filtered above")),
+            &mut scratch,
         );
         if let Some(k) = kind {
             let spec = t.props.get_mut(&key).expect("key listed above");
@@ -139,6 +220,22 @@ pub fn infer_edge_type_datatypes(
             });
         }
     }
+}
+
+/// [`infer_kind_of_values`] over [`Value`]s, allocation-free via `scratch`.
+fn join_kinds<'a>(
+    values: impl Iterator<Item = &'a Value>,
+    scratch: &mut String,
+) -> Option<ValueKind> {
+    let mut kind: Option<ValueKind> = None;
+    for v in values {
+        let k = value_kind_via_lexical(v, scratch);
+        kind = Some(match kind {
+            Some(existing) => existing.join(k),
+            None => k,
+        });
+    }
+    kind
 }
 
 /// Stage (f): fill `PropertySpec::kind` for every type in the schema by
@@ -193,15 +290,26 @@ pub fn compute_edge_type_cardinality(t: &mut EdgeType, g: &PropertyGraph) {
     if t.members.is_empty() {
         return;
     }
-    let mut out: HashMap<u32, HashSet<u32>> = HashMap::new();
-    let mut inc: HashMap<u32, HashSet<u32>> = HashMap::new();
-    for &m in &t.members {
-        let e = g.edge(EdgeId(m));
-        out.entry(e.src.0).or_default().insert(e.tgt.0);
-        inc.entry(e.tgt.0).or_default().insert(e.src.0);
+    // Sort + dedup the endpoint pairs, then count run lengths: the longest
+    // run of one `src` in the deduplicated `(src, tgt)` order is its number
+    // of distinct targets (and symmetrically for `tgt`). Integer sorts beat
+    // the per-edge hashing of a map-of-sets here by a wide margin.
+    let mut pairs: Vec<(u32, u32)> = t
+        .members
+        .iter()
+        .map(|&m| {
+            let e = g.edge(EdgeId(m));
+            (e.src.0, e.tgt.0)
+        })
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let max_out = longest_run(pairs.iter().map(|&(src, _)| src));
+    for p in &mut pairs {
+        *p = (p.1, p.0);
     }
-    let max_out = out.values().map(HashSet::len).max().unwrap_or(0) as u64;
-    let max_in = inc.values().map(HashSet::len).max().unwrap_or(0) as u64;
+    pairs.sort_unstable(); // pairs stay distinct under the swap
+    let max_in = longest_run(pairs.iter().map(|&(tgt, _)| tgt));
     let card = Cardinality { max_out, max_in };
     t.cardinality = Some(match t.cardinality {
         Some(prev) => Cardinality {
@@ -210,6 +318,23 @@ pub fn compute_edge_type_cardinality(t: &mut EdgeType, g: &PropertyGraph) {
         },
         None => card,
     });
+}
+
+/// Longest run of equal values in an already-sorted sequence.
+fn longest_run(sorted: impl Iterator<Item = u32>) -> u64 {
+    let mut best = 0u64;
+    let mut cur = 0u64;
+    let mut prev = None;
+    for x in sorted {
+        if prev == Some(x) {
+            cur += 1;
+        } else {
+            prev = Some(x);
+            cur = 1;
+        }
+        best = best.max(cur);
+    }
+    best
 }
 
 /// Stage (g): cardinalities (§4.4) for every edge type in the schema.

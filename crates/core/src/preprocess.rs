@@ -141,16 +141,25 @@ pub struct EdgeRepr {
     pub repr: ElementRepr,
 }
 
-/// A node's signature: labels and property keys, in stored order. (Stored
-/// order is at least as fine as representation equality — two nodes whose
-/// signatures differ only in ordering get separate rows with *equal*
-/// vectors, which LSH clusters together anyway.)
-type NodeSig = (Vec<u32>, Vec<u32>);
-/// An edge's signature: labels, source labels, target labels, keys.
-type EdgeSig = (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>);
-
-fn symbol_ids(symbols: &[Symbol]) -> Vec<u32> {
-    symbols.iter().map(|s| s.0).collect()
+/// Signatures are flat `Vec<u32>` encodings — length-prefixed symbol-id
+/// sections in stored order, e.g. a node is `[n_labels, labels…, keys…]`
+/// and an edge `[n_labels, n_src, n_tgt, labels…, src…, tgt…, keys…]` (the
+/// trailing keys section needs no prefix; its extent is implied). The
+/// encoding is injective over the old tuple-of-`Vec` signatures, and a flat
+/// key means the dedup **hit path is allocation-free**: each element's
+/// signature is encoded into one reusable scratch buffer and looked up by
+/// `&[u32]` borrow; the buffer is only moved into the map (one allocation
+/// kept) on a distinct-signature miss. Stored order is at least as fine as
+/// representation equality — two nodes whose signatures differ only in
+/// ordering get separate rows with *equal* vectors, which LSH clusters
+/// together anyway.
+fn encode_sections(out: &mut Vec<u32>, sections: &[&[Symbol]], keys: impl Iterator<Item = Symbol>) {
+    out.clear();
+    out.extend(sections.iter().map(|s| s.len() as u32));
+    for section in sections {
+        out.extend(section.iter().map(|s| s.0));
+    }
+    out.extend(keys.map(|k| k.0));
 }
 
 /// Build deduplicated node representations for `ids` (a batch or the whole
@@ -168,16 +177,17 @@ pub fn node_representations(
         matrix: VectorMatrix::new(d + key_count),
         ..ElementRepr::default()
     };
-    let mut rows: FxHashMap<NodeSig, u32> = FxHashMap::default();
+    let mut rows: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
     let mut labels_seen: HashSet<u32> = HashSet::new();
+    let mut sig: Vec<u32> = Vec::new();
 
     for &id in ids {
         let n = g.node(id);
         for &l in &n.labels {
             labels_seen.insert(l.0);
         }
-        let sig: NodeSig = (symbol_ids(&n.labels), n.keys().map(|k| k.0).collect());
-        let row = match rows.get(&sig) {
+        encode_sections(&mut sig, &[&n.labels], n.keys());
+        let row = match rows.get(sig.as_slice()) {
             Some(&row) => row,
             None => {
                 let row = repr.matrix.rows() as u32;
@@ -202,7 +212,7 @@ pub fn node_representations(
                     set.push(feature_hash(g.key_str(k), 0x50));
                 }
                 repr.sets.push(set);
-                rows.insert(sig, row);
+                rows.insert(std::mem::take(&mut sig), row);
                 row
             }
         };
@@ -230,8 +240,9 @@ pub fn edge_representations(
         matrix: VectorMatrix::new(3 * d + key_count),
         ..ElementRepr::default()
     };
-    let mut rows: FxHashMap<EdgeSig, u32> = FxHashMap::default();
+    let mut rows: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
     let mut labels_seen: HashSet<u32> = HashSet::new();
+    let mut sig: Vec<u32> = Vec::new();
 
     for &id in ids {
         let e = g.edge(id);
@@ -239,13 +250,8 @@ pub fn edge_representations(
             labels_seen.insert(l.0);
         }
         let (src, tgt) = g.edge_endpoint_labels(e);
-        let sig: EdgeSig = (
-            symbol_ids(&e.labels),
-            symbol_ids(src),
-            symbol_ids(tgt),
-            e.keys().map(|k| k.0).collect(),
-        );
-        let row = match rows.get(&sig) {
+        encode_sections(&mut sig, &[&e.labels, src, tgt], e.keys());
+        let row = match rows.get(sig.as_slice()) {
             Some(&row) => row,
             None => {
                 let row = repr.matrix.rows() as u32;
@@ -282,7 +288,7 @@ pub fn edge_representations(
                     set.push(feature_hash(g.key_str(k), 0x50));
                 }
                 repr.sets.push(set);
-                rows.insert(sig, row);
+                rows.insert(std::mem::take(&mut sig), row);
                 row
             }
         };

@@ -21,7 +21,13 @@
 //! 1. All `T·k` projection directions are drawn up front into one flat
 //!    row-major [`VectorMatrix`], so the inner loop is a cache-friendly
 //!    GEMV-style sweep: each input row is streamed once against the whole
-//!    direction matrix.
+//!    direction matrix. Each projection runs through the blocked
+//!    SIMD-friendly kernel (`matrix::dot_f64_blocked`) — fixed-width lane
+//!    blocks with explicit f64 accumulators over the f32 inputs. Parity
+//!    with [`crate::reference`] is argued at the *bucket* level: f32×f32
+//!    products are exact in f64, so re-association perturbs a projection
+//!    by ~1e-16 relative, far below any realistic distance to a
+//!    `floor((a·v + o)/b)` boundary (see the kernel docs).
 //! 2. Hashing is embarrassingly parallel — `hash key(i, t)` is a pure
 //!    function of the input row and the projections — and is chunked across
 //!    threads ([`crate::par`], `parallel` feature, on by default).
@@ -146,7 +152,7 @@ fn hash_keys(matrix: &VectorMatrix, projections: &Projections, params: &ElshPara
                 let mut key = 0xcbf2_9ce4_8422_2325u64;
                 for j in 0..k {
                     let p = t * k + j;
-                    let proj = dot_f64(v, projections.dirs.row(p));
+                    let proj = crate::matrix::dot_f64_blocked(v, projections.dirs.row(p));
                     let bucket = ((proj + projections.offsets[p]) / b).floor() as i64;
                     key = mix(key ^ bucket as u64);
                 }
@@ -155,18 +161,6 @@ fn hash_keys(matrix: &VectorMatrix, projections: &Projections, params: &ElshPara
         }
     });
     keys
-}
-
-/// Dot product with `f64` accumulation in index order — the exact summation
-/// the seed's scalar loop performed, so bucket boundaries land identically.
-#[inline]
-fn dot_f64(v: &[f32], dir: &[f32]) -> f64 {
-    debug_assert_eq!(v.len(), dir.len());
-    let mut acc = 0.0f64;
-    for (x, a) in v.iter().zip(dir) {
-        acc += (*x as f64) * (*a as f64);
-    }
-    acc
 }
 
 #[inline]

@@ -50,7 +50,32 @@ impl Default for MinHashParams {
 /// `u64::MAX` entries, so all empty sets collide with each other and
 /// (almost surely) nothing else.
 pub fn signature_into(set: &[u64], seed: u64, out: &mut [u64]) {
-    for (i, s) in out.iter_mut().enumerate() {
+    // Hash functions are processed in fixed-width blocks: one pass over the
+    // set updates SIG_BLOCK independent minima at once, so the set is
+    // streamed k/SIG_BLOCK times instead of k and the min-chains have no
+    // serial dependency between lanes. `min` is order-invariant on
+    // integers, so the signature is bit-identical to the per-function loop.
+    const SIG_BLOCK: usize = 8;
+    let mut blocks = out.chunks_exact_mut(SIG_BLOCK);
+    let mut i = 0usize;
+    for block in blocks.by_ref() {
+        let mut seeds = [0u64; SIG_BLOCK];
+        let mut best = [u64::MAX; SIG_BLOCK];
+        for (l, s) in seeds.iter_mut().enumerate() {
+            *s = mix(seed ^ ((i + l) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        for &x in set {
+            for l in 0..SIG_BLOCK {
+                let h = mix(x ^ seeds[l]);
+                if h < best[l] {
+                    best[l] = h;
+                }
+            }
+        }
+        block.copy_from_slice(&best);
+        i += SIG_BLOCK;
+    }
+    for s in blocks.into_remainder() {
         let h_seed = mix(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut best = u64::MAX;
         for &x in set {
@@ -60,6 +85,7 @@ pub fn signature_into(set: &[u64], seed: u64, out: &mut [u64]) {
             }
         }
         *s = best;
+        i += 1;
     }
 }
 

@@ -80,6 +80,106 @@ impl GraphBuilder {
         self.graph
     }
 
+    /// Add the node record held in `buf`, interning labels/keys straight
+    /// from the borrowed spans and **moving** the property values out of
+    /// the buffer (the zero-copy streaming path).
+    pub(crate) fn add_node_from_buf(&mut self, buf: &mut crate::stream::RecordBuf) -> NodeId {
+        let labels = self.intern_labels_from_buf(buf);
+        let props = self.intern_props_from_buf(buf);
+        let id = NodeId(self.graph.nodes.len() as u32);
+        self.graph.nodes.push(Node { labels, props });
+        id
+    }
+
+    /// Add the edge record held in `buf` between already-resolved
+    /// endpoints; same canonicalization as [`Self::add_edge`].
+    pub(crate) fn add_edge_from_buf(
+        &mut self,
+        src: NodeId,
+        tgt: NodeId,
+        buf: &mut crate::stream::RecordBuf,
+    ) -> EdgeId {
+        assert!(
+            src.index() < self.graph.nodes.len() && tgt.index() < self.graph.nodes.len(),
+            "edge endpoints must refer to existing nodes"
+        );
+        let labels = self.intern_labels_from_buf(buf);
+        let props = self.intern_props_from_buf(buf);
+        let id = EdgeId(self.graph.edges.len() as u32);
+        self.graph.edges.push(Edge {
+            src,
+            tgt,
+            labels,
+            props,
+        });
+        id
+    }
+
+    /// Intern a single label into this graph's label table.
+    pub(crate) fn intern_label(&mut self, label: &str) -> crate::Symbol {
+        self.graph.labels.intern(label)
+    }
+
+    /// Add a property-less node whose labels are **already canonical**
+    /// (sorted, deduplicated) symbols of this builder's label table — the
+    /// stub-endpoint fast path, which skips re-sorting per stub.
+    pub(crate) fn add_node_syms(&mut self, labels: Vec<crate::Symbol>) -> NodeId {
+        let id = NodeId(self.graph.nodes.len() as u32);
+        self.graph.nodes.push(Node {
+            labels,
+            props: Vec::new(),
+        });
+        id
+    }
+
+    fn intern_labels_from_buf(&mut self, buf: &crate::stream::RecordBuf) -> Vec<crate::Symbol> {
+        match buf.labels.len() {
+            0 => Vec::new(),
+            // The overwhelmingly common single-label case needs no sorting
+            // scratch at all.
+            1 => vec![self.graph.labels.intern(buf.str(buf.labels[0]))],
+            _ => {
+                let mut sorted: Vec<&str> = buf.labels.iter().map(|&s| buf.str(s)).collect();
+                sorted.sort_unstable();
+                sorted.dedup();
+                sorted
+                    .into_iter()
+                    .map(|l| self.graph.labels.intern(l))
+                    .collect()
+            }
+        }
+    }
+
+    fn intern_props_from_buf(
+        &mut self,
+        buf: &mut crate::stream::RecordBuf,
+    ) -> Vec<(crate::Symbol, Value)> {
+        let text = &buf.text;
+        let mut out: Vec<(crate::Symbol, Value)> = buf
+            .props
+            .drain(..)
+            .map(|(k, v)| {
+                (
+                    self.graph
+                        .keys
+                        .intern(crate::stream::raw::span_str(text, k)),
+                    v,
+                )
+            })
+            .collect();
+        if out.len() > 1 {
+            out.sort_by_key(|(k, _)| *k);
+            // Last write wins on duplicate keys.
+            out.dedup_by(|a, b| {
+                a.0 == b.0 && {
+                    b.1 = a.1.clone();
+                    true
+                }
+            });
+        }
+        out
+    }
+
     fn intern_labels(&mut self, labels: &[&str]) -> Vec<crate::Symbol> {
         let mut sorted: Vec<&str> = labels.to_vec();
         sorted.sort_unstable();

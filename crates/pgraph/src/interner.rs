@@ -4,8 +4,16 @@
 //! of times; interning turns those comparisons into integer comparisons and
 //! keeps the per-element footprint small (see the "Type Sizes" guidance in
 //! the Rust performance book).
-
-use std::collections::HashMap;
+//!
+//! # Storage layout
+//!
+//! Interned strings are bump-allocated into one shared arena (`String`) and
+//! addressed by `(offset, len)` spans, so interning `n` strings costs
+//! amortized **one** growing allocation instead of `2n` individual ones
+//! (the old layout kept an owned `String` per entry *plus* an owned map
+//! key). Lookup goes through a small open-addressing hash index that stores
+//! only symbol ids — the map "key" is the span into the arena itself, so no
+//! string bytes are ever duplicated.
 
 /// An interned string handle. `u32` keeps element structs compact; no real
 /// dataset comes close to 2^32 distinct labels or keys (IYP, the largest in
@@ -20,11 +28,30 @@ impl Symbol {
     }
 }
 
-/// Append-only string interner.
+/// FNV-1a over the string bytes — short label/key strings hash in a few
+/// cycles and the distribution is good enough for a power-of-two table.
+fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // Finalize so the low bits (the table index) depend on every byte.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
+}
+
+/// Append-only string interner backed by a bump arena.
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
-    map: HashMap<String, Symbol>,
-    strings: Vec<String>,
+    /// All interned bytes, concatenated in insertion order.
+    arena: String,
+    /// `(offset, len)` of each symbol's bytes inside `arena`.
+    spans: Vec<(u32, u32)>,
+    /// Open-addressing index: each slot holds `symbol + 1` (0 = empty).
+    /// Power-of-two capacity; rebuilt on growth by re-hashing the spans.
+    index: Vec<u32>,
 }
 
 impl Interner {
@@ -33,43 +60,92 @@ impl Interner {
         Self::default()
     }
 
+    fn span_str(&self, span: (u32, u32)) -> &str {
+        &self.arena[span.0 as usize..(span.0 + span.1) as usize]
+    }
+
+    /// Probe for `s` (with hash `h`). Returns the slot index holding it, or
+    /// the first empty slot where it would be inserted.
+    fn probe(&self, s: &str, h: u64) -> usize {
+        let mask = self.index.len() - 1;
+        let mut slot = (h as usize) & mask;
+        loop {
+            match self.index[slot] {
+                0 => return slot,
+                sym => {
+                    if self.span_str(self.spans[(sym - 1) as usize]) == s {
+                        return slot;
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    fn grow_index(&mut self) {
+        let cap = (self.index.len() * 2).max(16);
+        self.index.clear();
+        self.index.resize(cap, 0);
+        let mask = cap - 1;
+        for (i, &span) in self.spans.iter().enumerate() {
+            let mut slot = (hash_str(self.span_str(span)) as usize) & mask;
+            while self.index[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            self.index[slot] = i as u32 + 1;
+        }
+    }
+
     /// Intern `s`, returning its stable symbol.
     pub fn intern(&mut self, s: &str) -> Symbol {
-        if let Some(&sym) = self.map.get(s) {
-            return sym;
+        // Keep the load factor below ~7/8 (counting the entry about to be
+        // inserted) so probe chains stay short.
+        if (self.spans.len() + 1) * 8 >= self.index.len() * 7 {
+            self.grow_index();
         }
-        let sym = Symbol(self.strings.len() as u32);
-        self.strings.push(s.to_string());
-        self.map.insert(s.to_string(), sym);
+        let slot = self.probe(s, hash_str(s));
+        if self.index[slot] != 0 {
+            return Symbol(self.index[slot] - 1);
+        }
+        let sym = Symbol(self.spans.len() as u32);
+        self.spans.push((self.arena.len() as u32, s.len() as u32));
+        self.arena.push_str(s);
+        self.index[slot] = sym.0 + 1;
         sym
     }
 
     /// Look up an already-interned string without inserting.
     pub fn get(&self, s: &str) -> Option<Symbol> {
-        self.map.get(s).copied()
+        if self.index.is_empty() {
+            return None;
+        }
+        match self.index[self.probe(s, hash_str(s))] {
+            0 => None,
+            sym => Some(Symbol(sym - 1)),
+        }
     }
 
     /// Resolve a symbol back to its string.
     pub fn resolve(&self, sym: Symbol) -> &str {
-        &self.strings[sym.index()]
+        self.span_str(self.spans[sym.index()])
     }
 
     /// Number of distinct interned strings.
     pub fn len(&self) -> usize {
-        self.strings.len()
+        self.spans.len()
     }
 
     /// Whether nothing has been interned yet.
     pub fn is_empty(&self) -> bool {
-        self.strings.is_empty()
+        self.spans.is_empty()
     }
 
     /// Iterate over `(Symbol, &str)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
-        self.strings
+        self.spans
             .iter()
             .enumerate()
-            .map(|(i, s)| (Symbol(i as u32), s.as_str()))
+            .map(|(i, &span)| (Symbol(i as u32), self.span_str(span)))
     }
 
     /// The stable **canonical-id view**: `canonical_ids()[sym.index()]` is
@@ -95,9 +171,12 @@ impl Interner {
     /// assert_eq!(b.canonical_ids(), vec![0, 1]);
     /// ```
     pub fn canonical_ids(&self) -> Vec<u32> {
-        let mut order: Vec<u32> = (0..self.strings.len() as u32).collect();
-        order.sort_by(|&a, &b| self.strings[a as usize].cmp(&self.strings[b as usize]));
-        let mut canon = vec![0u32; self.strings.len()];
+        let mut order: Vec<u32> = (0..self.spans.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            self.span_str(self.spans[a as usize])
+                .cmp(self.span_str(self.spans[b as usize]))
+        });
+        let mut canon = vec![0u32; self.spans.len()];
         for (rank, &sym) in order.iter().enumerate() {
             canon[sym as usize] = rank as u32;
         }
@@ -135,6 +214,45 @@ mod tests {
         assert!(i.is_empty());
         i.intern("x");
         assert_eq!(i.get("x"), Some(Symbol(0)));
+    }
+
+    #[test]
+    fn arena_layout_preserves_len_and_resolve_semantics() {
+        // Regression for the arena rewrite: symbols stay dense and stable,
+        // `len()` counts distinct strings only, and `resolve`/`get` keep
+        // working across index rebuilds (enough inserts to force several
+        // rehashes of the open-addressing table).
+        let mut i = Interner::new();
+        let words: Vec<String> = (0..200).map(|n| format!("label-{n}")).collect();
+        let syms: Vec<Symbol> = words.iter().map(|w| i.intern(w)).collect();
+        assert_eq!(i.len(), 200);
+        // Re-interning changes nothing.
+        for (n, w) in words.iter().enumerate() {
+            assert_eq!(i.intern(w), syms[n]);
+        }
+        assert_eq!(i.len(), 200);
+        for (n, w) in words.iter().enumerate() {
+            assert_eq!(i.resolve(syms[n]), w.as_str());
+            assert_eq!(i.get(w), Some(syms[n]));
+        }
+        // Empty strings and prefixes are distinct entries.
+        let empty = i.intern("");
+        let pre = i.intern("label");
+        assert_ne!(empty, pre);
+        assert_eq!(i.resolve(empty), "");
+        assert_eq!(i.resolve(pre), "label");
+        assert_eq!(i.len(), 202);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = Interner::new();
+        a.intern("x");
+        let mut b = a.clone();
+        b.intern("y");
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.resolve(Symbol(1)), "y");
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use graph::PropertyGraph;
 pub use interner::{Interner, Symbol};
 pub use stats::GraphStats;
 pub use stream::{
-    ChunkedTextReader, GraphSource, LabelSetRegistry, ReadAheadChunks, ReadAheadRecords, Record,
-    StreamError, StreamSummary, StreamWarnings,
+    ChunkedTextReader, GraphSource, LabelSetRegistry, OwnedSource, RawGraphSource, ReadAheadChunks,
+    ReadAheadRecords, Record, RecordBuf, RecordRef, StreamError, StreamSummary, StreamWarnings,
 };
 pub use value::{Value, ValueKind};

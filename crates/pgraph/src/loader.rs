@@ -95,31 +95,144 @@ pub fn parse_line(line: usize, raw: &str) -> Result<Option<Record>, LoadError> {
     if trimmed.is_empty() || trimmed.starts_with('#') {
         return Ok(None);
     }
-    let fields: Vec<&str> = trimmed.split_whitespace().collect();
-    match fields[0] {
+    // Consume the whitespace-separated fields positionally instead of
+    // collecting them into a `Vec<&str>` — this runs once per line of every
+    // `.pgt` input, and the vector was the only allocation for records
+    // without labels or properties.
+    let mut fields = trimmed.split_whitespace();
+    let kind = fields.next().expect("non-blank trimmed line has a field");
+    match kind {
         "N" => {
-            if fields.len() != 4 {
+            let (Some(id), Some(labels), Some(props), None) =
+                (fields.next(), fields.next(), fields.next(), fields.next())
+            else {
                 return Err(LoadError::Malformed { line, expected: 4 });
-            }
+            };
             Ok(Some(Record::Node {
-                id: fields[1].to_string(),
-                labels: parse_labels(fields[2]),
-                props: parse_props(fields[3], line)?,
+                id: id.to_string(),
+                labels: parse_labels(labels),
+                props: parse_props(props, line)?,
             }))
         }
         "E" => {
-            if fields.len() != 5 {
+            let (Some(src), Some(tgt), Some(labels), Some(props), None) = (
+                fields.next(),
+                fields.next(),
+                fields.next(),
+                fields.next(),
+                fields.next(),
+            ) else {
                 return Err(LoadError::Malformed { line, expected: 5 });
-            }
+            };
             Ok(Some(Record::Edge {
-                src: fields[1].to_string(),
-                tgt: fields[2].to_string(),
-                labels: parse_labels(fields[3]),
-                props: parse_props(fields[4], line)?,
+                src: src.to_string(),
+                tgt: tgt.to_string(),
+                labels: parse_labels(labels),
+                props: parse_props(props, line)?,
             }))
         }
         _ => Err(LoadError::UnknownRecord { line }),
     }
+}
+
+/// Parse the `.pgt` line held in `buf.text` **in place**, recording field
+/// spans instead of allocating owned strings. Returns `Ok(false)` for blank
+/// lines and `#` comments. This is the zero-copy twin of [`parse_line`],
+/// used by the streaming [`crate::stream::pgt::PgtSource`]; the two are
+/// pinned equivalent by the raw-vs-owned property tests.
+pub(crate) fn parse_line_into(
+    line: usize,
+    buf: &mut crate::stream::RecordBuf,
+) -> Result<bool, LoadError> {
+    use crate::stream::raw::RecordKind;
+
+    let trimmed = buf.text.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(false);
+    }
+    // Record the whitespace-separated fields as byte offsets into the
+    // line. `N` needs 4 fields, `E` needs 5; anything beyond 6 is
+    // malformed for both, so a fixed-size span array suffices.
+    let base = buf.text.as_ptr() as usize;
+    let mut spans = [(0u32, 0u32); 6];
+    let mut n = 0usize;
+    let mut fields = trimmed.split_whitespace();
+    for f in fields.by_ref() {
+        if n == spans.len() {
+            break;
+        }
+        spans[n] = ((f.as_ptr() as usize - base) as u32, f.len() as u32);
+        n += 1;
+    }
+    let overflow = n == spans.len() && fields.next().is_some();
+    match buf.str(spans[0]) {
+        "N" => {
+            if n != 4 || overflow {
+                return Err(LoadError::Malformed { line, expected: 4 });
+            }
+            buf.kind = RecordKind::Node;
+            buf.id = spans[1];
+            parse_labels_into(buf, spans[2]);
+            parse_props_into(buf, spans[3], line)?;
+            Ok(true)
+        }
+        "E" => {
+            if n != 5 || overflow {
+                return Err(LoadError::Malformed { line, expected: 5 });
+            }
+            buf.kind = RecordKind::Edge;
+            buf.id = spans[1];
+            buf.tgt = spans[2];
+            parse_labels_into(buf, spans[3]);
+            parse_props_into(buf, spans[4], line)?;
+            Ok(true)
+        }
+        _ => Err(LoadError::UnknownRecord { line }),
+    }
+}
+
+fn parse_labels_into(buf: &mut crate::stream::RecordBuf, span: (u32, u32)) {
+    if buf.str(span) == "-" {
+        return;
+    }
+    let text = &buf.text;
+    let base = text.as_ptr() as usize;
+    let field = &text[span.0 as usize..(span.0 + span.1) as usize];
+    for part in field.split(';') {
+        if part.is_empty() {
+            continue;
+        }
+        buf.labels
+            .push(((part.as_ptr() as usize - base) as u32, part.len() as u32));
+    }
+}
+
+fn parse_props_into(
+    buf: &mut crate::stream::RecordBuf,
+    span: (u32, u32),
+    line: usize,
+) -> Result<(), LoadError> {
+    if buf.str(span) == "-" {
+        return Ok(());
+    }
+    let text = &buf.text;
+    let base = text.as_ptr() as usize;
+    let field = &text[span.0 as usize..(span.0 + span.1) as usize];
+    for token in field.split(',') {
+        if token.is_empty() {
+            continue;
+        }
+        let Some((k, v)) = token.split_once('=') else {
+            return Err(LoadError::BadProperty {
+                line,
+                token: token.to_string(),
+            });
+        };
+        let key = ((k.as_ptr() as usize - base) as u32, k.len() as u32);
+        let value = Value::parse_lexical(&percent_decode(v));
+        buf.props.push((key, value));
+    }
+    Ok(())
 }
 
 /// Parse the text format into a [`PropertyGraph`].
@@ -254,7 +367,12 @@ fn percent_encode(s: &str) -> String {
     out
 }
 
-fn percent_decode(s: &str) -> String {
+/// Decode `%XX` escapes; borrows the input unchanged when it contains no
+/// `%` at all (the overwhelmingly common case for property values).
+pub(crate) fn percent_decode(s: &str) -> std::borrow::Cow<'_, str> {
+    if !s.contains('%') {
+        return std::borrow::Cow::Borrowed(s);
+    }
     let mut out = String::with_capacity(s.len());
     let bytes = s.as_bytes();
     let mut i = 0;
@@ -272,7 +390,7 @@ fn percent_decode(s: &str) -> String {
         out.push(c);
         i += c.len_utf8();
     }
-    out
+    std::borrow::Cow::Owned(out)
 }
 
 fn hex_val(b: u8) -> Option<u8> {
@@ -377,6 +495,28 @@ mod tests {
             load_text("X what is this").unwrap_err(),
             LoadError::UnknownRecord { line: 1 }
         ));
+    }
+
+    #[test]
+    fn malformed_arity_reports_expected_field_counts() {
+        // Regression for the allocation-free `parse_line` rewrite: too few
+        // AND too many fields must still report the record type's arity —
+        // 4 for `N`, 5 for `E` — exactly as the Vec-collecting parser did.
+        for (input, want) in [
+            ("N onlyid", 4),
+            ("N a -", 4),
+            ("N a - - extra", 4),
+            ("E a b", 5),
+            ("E a b KNOWS", 5),
+            ("E a b KNOWS - extra", 5),
+        ] {
+            match load_text(input).unwrap_err() {
+                LoadError::Malformed { line: 1, expected } => {
+                    assert_eq!(expected, want, "{input:?}")
+                }
+                other => panic!("{input:?}: expected Malformed, got {other:?}"),
+            }
+        }
     }
 
     #[test]

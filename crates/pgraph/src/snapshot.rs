@@ -167,12 +167,12 @@ impl Interner {
 impl LabelSetRegistry {
     /// Number of node ids the registry tracks.
     pub fn len(&self) -> usize {
-        self.ids.len()
+        self.id_ls.len()
     }
 
     /// True when no node id has been registered.
     pub fn is_empty(&self) -> bool {
-        self.ids.is_empty()
+        self.id_ls.is_empty()
     }
 
     /// Serialize the registry deterministically:
@@ -187,7 +187,7 @@ impl LabelSetRegistry {
     /// serialize byte-identically.
     pub fn snapshot_lines(&self) -> Vec<String> {
         // Only sets reachable through an id matter for resolution.
-        let mut used: Vec<u32> = self.ids.values().copied().collect();
+        let mut used: Vec<u32> = self.id_ls.clone();
         used.sort_unstable();
         used.dedup();
         let mut ordered: Vec<(&[String], u32)> = used
@@ -201,7 +201,7 @@ impl LabelSetRegistry {
             .map(|(i, &(_, ls))| (ls, i))
             .collect();
 
-        let mut lines = Vec::with_capacity(ordered.len() + self.ids.len());
+        let mut lines = Vec::with_capacity(ordered.len() + self.id_ls.len());
         for (labels, _) in &ordered {
             let mut line = String::from("set");
             for l in labels.iter() {
@@ -210,7 +210,11 @@ impl LabelSetRegistry {
             }
             lines.push(line);
         }
-        let mut ids: Vec<(&String, u32)> = self.ids.iter().map(|(k, &v)| (k, v)).collect();
+        let mut ids: Vec<(&str, u32)> = self
+            .id_syms
+            .iter()
+            .map(|(sym, id)| (id, self.id_ls[sym.index()]))
+            .collect();
         ids.sort_by(|a, b| a.0.cmp(b.0));
         for (id, ls) in ids {
             lines.push(format!("id {} {}", escape_field(id), file_index[&ls]));
@@ -251,7 +255,7 @@ impl LabelSetRegistry {
                     let &ls = interned
                         .get(idx)
                         .ok_or_else(|| format!("registry id line references unknown set {idx}"))?;
-                    reg.ids.insert(id, ls);
+                    reg.insert_ls(&id, ls);
                 }
                 other => return Err(format!("unknown registry line kind {other:?}")),
             }
@@ -333,14 +337,14 @@ mod tests {
     #[test]
     fn registry_snapshot_round_trips_and_is_deterministic() {
         let mut a = LabelSetRegistry::default();
-        a.insert("n2".into(), &["Person".into(), "Admin".into()]);
-        a.insert("n1".into(), &["Org".into()]);
-        a.insert("n3".into(), &[]);
+        a.insert("n2", &["Person".into(), "Admin".into()]);
+        a.insert("n1", &["Org".into()]);
+        a.insert("n3", &[]);
         // Same content inserted in a different order.
         let mut b = LabelSetRegistry::default();
-        b.insert("n3".into(), &[]);
-        b.insert("n1".into(), &["Org".into()]);
-        b.insert("n2".into(), &["Person".into(), "Admin".into()]);
+        b.insert("n3", &[]);
+        b.insert("n1", &["Org".into()]);
+        b.insert("n2", &["Person".into(), "Admin".into()]);
         assert_eq!(a.snapshot_lines(), b.snapshot_lines());
 
         let restored =

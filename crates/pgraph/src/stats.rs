@@ -123,7 +123,7 @@ pub fn stream_stats<S: GraphSource>(mut source: S) -> Result<(GraphStats, u64), 
                 for l in &ls {
                     node_labels.insert(l.clone());
                 }
-                registry.insert(id, &ls);
+                registry.insert(&id, &ls);
                 node_label_sets.insert(ls.clone());
                 node_patterns.insert((ls, keys));
             }

@@ -20,6 +20,7 @@
 //!   in double quotes with inner quotes doubled (quoted cells may span
 //!   physical lines).
 
+use super::raw::{RawGraphSource, RecordBuf, RecordKind, Span};
 use super::{GraphSource, Record, StreamError};
 use crate::graph::PropertyGraph;
 use crate::value::Value;
@@ -38,6 +39,8 @@ pub struct CsvSource<R> {
     nodes: CsvHalf<R>,
     edges: Option<CsvHalf<R>>,
     in_edges: bool,
+    /// Scratch buffer backing the owned [`GraphSource`] shim only.
+    shim: RecordBuf,
 }
 
 struct CsvHalf<R> {
@@ -46,15 +49,20 @@ struct CsvHalf<R> {
     /// Property-key columns after the fixed leading columns.
     keys: Option<Vec<String>>,
     fixed: usize,
+    /// Reused physical-line scratch for the zero-copy row reader.
+    linebuf: String,
+    /// Cell spans of the current row (into the caller's `RecordBuf` text),
+    /// with the RFC 4180 `quoted` flag distinguishing `""` from absent.
+    cells: Vec<(Span, bool)>,
 }
 
 impl CsvSource<BufReader<File>> {
     /// Open `<dir>/nodes.csv` (required) and `<dir>/edges.csv` (optional).
     pub fn open_dir(dir: &Path) -> Result<Self, StreamError> {
-        let nodes = BufReader::new(File::open(dir.join(NODES_FILE))?);
+        let nodes = BufReader::with_capacity(1 << 20, File::open(dir.join(NODES_FILE))?);
         let edges_path = dir.join(EDGES_FILE);
         let edges = if edges_path.exists() {
-            Some(BufReader::new(File::open(edges_path)?))
+            Some(BufReader::with_capacity(1 << 20, File::open(edges_path)?))
         } else {
             None
         };
@@ -71,14 +79,19 @@ impl<R: BufRead> CsvSource<R> {
                 line: 0,
                 keys: None,
                 fixed: 2,
+                linebuf: String::new(),
+                cells: Vec::new(),
             },
             edges: edges.map(|reader| CsvHalf {
                 reader,
                 line: 0,
                 keys: None,
                 fixed: 3,
+                linebuf: String::new(),
+                cells: Vec::new(),
             }),
             in_edges: false,
+            shim: RecordBuf::new(),
         }
     }
 }
@@ -89,10 +102,9 @@ impl<R: BufRead> CsvHalf<R> {
         if self.keys.is_some() {
             return Ok(true);
         }
-        let Some(cells) = read_csv_record(&mut self.reader, &mut self.line)? else {
+        let Some(header) = read_csv_record(&mut self.reader, &mut self.line)? else {
             return Ok(false); // empty file: no records
         };
-        let header: Vec<String> = cells.into_iter().map(|c| c.text).collect();
         if header.len() < expect.len()
             || header[..expect.len()]
                 .iter()
@@ -112,90 +124,117 @@ impl<R: BufRead> CsvHalf<R> {
         Ok(true)
     }
 
-    /// Next data row, split into (fixed cells, property pairs).
-    #[allow(clippy::type_complexity)]
-    fn next_row(&mut self) -> Result<Option<(Vec<String>, Vec<(String, Value)>)>, StreamError> {
-        let keys = self.keys.as_ref().expect("header read first");
+    /// Next data row, decoded **into** `buf.text` with cell spans recorded
+    /// in `self.cells`. Returns `Ok(false)` at end of file.
+    fn next_row_raw(&mut self, buf: &mut RecordBuf) -> Result<bool, StreamError> {
+        let keys_len = self.keys.as_ref().expect("header read first").len();
         loop {
-            let Some(cells) = read_csv_record(&mut self.reader, &mut self.line)? else {
-                return Ok(None);
-            };
+            self.cells.clear();
+            let mark = buf.text.len();
+            if !read_csv_record_raw(
+                &mut self.reader,
+                &mut self.line,
+                &mut self.linebuf,
+                &mut buf.text,
+                &mut self.cells,
+            )? {
+                return Ok(false);
+            }
             // Skip blank rows.
-            if cells.iter().all(|c| c.text.is_empty() && !c.quoted) {
+            if self
+                .cells
+                .iter()
+                .all(|&((_, len), quoted)| len == 0 && !quoted)
+            {
+                buf.text.truncate(mark);
                 continue;
             }
-            if cells.len() > self.fixed + keys.len() {
+            if self.cells.len() > self.fixed + keys_len {
                 return Err(StreamError::Parse {
                     line: self.line,
                     msg: format!(
                         "row has {} cells, header declared {}",
-                        cells.len(),
-                        self.fixed + keys.len()
+                        self.cells.len(),
+                        self.fixed + keys_len
                     ),
                 });
             }
-            let mut fixed: Vec<String> = cells
-                .iter()
-                .take(self.fixed)
-                .map(|c| c.text.clone())
-                .collect();
-            fixed.resize(self.fixed, String::new());
-            let props = keys
-                .iter()
-                .zip(cells.iter().skip(self.fixed))
-                // An unquoted empty cell is an absent property; a quoted
-                // empty cell ("") is a present empty string.
-                .filter(|(_, cell)| !cell.text.is_empty() || cell.quoted)
-                .map(|(k, cell)| (k.clone(), Value::parse_lexical(&cell.text)))
-                .collect();
-            return Ok(Some((fixed, props)));
+            return Ok(true);
+        }
+    }
+
+    /// Span of the `i`-th cell; missing trailing cells read as empty
+    /// (short rows are tolerated, matching the owned path's `resize`).
+    fn cell(&self, i: usize) -> Span {
+        self.cells.get(i).map_or((0, 0), |&(span, _)| span)
+    }
+
+    /// Fill `buf.labels` and `buf.props` from the current row's cells.
+    fn fill_buf(&self, buf: &mut RecordBuf, labels_cell: usize) {
+        let text = &buf.text;
+        let base = text.as_ptr() as usize;
+        let (off, len) = self.cell(labels_cell);
+        for part in text[off as usize..(off + len) as usize].split(';') {
+            if part.is_empty() {
+                continue;
+            }
+            buf.labels
+                .push(((part.as_ptr() as usize - base) as u32, part.len() as u32));
+        }
+        let keys = self.keys.as_ref().expect("header read first");
+        for (k, &((off, len), quoted)) in keys.iter().zip(self.cells.iter().skip(self.fixed)) {
+            // An unquoted empty cell is an absent property; a quoted
+            // empty cell ("") is a present empty string.
+            if len == 0 && !quoted {
+                continue;
+            }
+            let value = Value::parse_lexical(&buf.text[off as usize..(off + len) as usize]);
+            let key = buf.push_str(k);
+            buf.props.push((key, value));
         }
     }
 }
 
-impl<R: BufRead> GraphSource for CsvSource<R> {
-    fn next_record(&mut self) -> Result<Option<Record>, StreamError> {
+impl<R: BufRead> RawGraphSource for CsvSource<R> {
+    fn read_record(&mut self, buf: &mut RecordBuf) -> Result<bool, StreamError> {
+        buf.clear();
         if !self.in_edges {
-            if self.nodes.ensure_header(&["id", "labels"])? {
-                if let Some((fixed, props)) = self.nodes.next_row()? {
-                    if fixed[0].is_empty() {
-                        return Err(StreamError::Parse {
-                            line: self.nodes.line,
-                            msg: "node row with empty id".into(),
-                        });
-                    }
-                    return Ok(Some(Record::Node {
-                        id: fixed[0].clone(),
-                        labels: split_labels(&fixed[1]),
-                        props,
-                    }));
+            if self.nodes.ensure_header(&["id", "labels"])? && self.nodes.next_row_raw(buf)? {
+                let id = self.nodes.cell(0);
+                if id.1 == 0 {
+                    return Err(StreamError::Parse {
+                        line: self.nodes.line,
+                        msg: "node row with empty id".into(),
+                    });
                 }
+                buf.kind = RecordKind::Node;
+                buf.id = id;
+                self.nodes.fill_buf(buf, 1);
+                return Ok(true);
             }
             self.in_edges = true;
         }
         let Some(edges) = self.edges.as_mut() else {
-            return Ok(None);
+            return Ok(false);
         };
         if !edges.ensure_header(&["src", "tgt", "labels"])? {
-            return Ok(None);
+            return Ok(false);
         }
-        match edges.next_row()? {
-            Some((fixed, props)) => {
-                if fixed[0].is_empty() || fixed[1].is_empty() {
-                    return Err(StreamError::Parse {
-                        line: edges.line,
-                        msg: "edge row with empty src/tgt".into(),
-                    });
-                }
-                Ok(Some(Record::Edge {
-                    src: fixed[0].clone(),
-                    tgt: fixed[1].clone(),
-                    labels: split_labels(&fixed[2]),
-                    props,
-                }))
-            }
-            None => Ok(None),
+        if !edges.next_row_raw(buf)? {
+            return Ok(false);
         }
+        let (src, tgt) = (edges.cell(0), edges.cell(1));
+        if src.1 == 0 || tgt.1 == 0 {
+            return Err(StreamError::Parse {
+                line: edges.line,
+                msg: "edge row with empty src/tgt".into(),
+            });
+        }
+        buf.kind = RecordKind::Edge;
+        buf.id = src;
+        buf.tgt = tgt;
+        edges.fill_buf(buf, 2);
+        Ok(true)
     }
 
     fn format_name(&self) -> &'static str {
@@ -203,42 +242,68 @@ impl<R: BufRead> GraphSource for CsvSource<R> {
     }
 }
 
-fn split_labels(cell: &str) -> Vec<String> {
-    cell.split(';')
-        .filter(|s| !s.is_empty())
-        .map(str::to_string)
-        .collect()
+impl<R: BufRead> GraphSource for CsvSource<R> {
+    fn next_record(&mut self) -> Result<Option<Record>, StreamError> {
+        let mut buf = std::mem::take(&mut self.shim);
+        let result = self.read_record(&mut buf);
+        let rec = match result {
+            Ok(true) => Some(buf.take_record()),
+            Ok(false) => None,
+            Err(e) => {
+                self.shim = buf;
+                return Err(e);
+            }
+        };
+        self.shim = buf;
+        Ok(rec)
+    }
+
+    fn format_name(&self) -> &'static str {
+        "csv"
+    }
 }
 
-/// One parsed CSV cell. `quoted` distinguishes `""` (present empty
-/// string) from a bare empty cell (absent property).
-struct Cell {
-    text: String,
-    quoted: bool,
-}
-
-/// Read one (possibly multi-line, RFC 4180 quoted) CSV record.
+/// Read one owned (possibly multi-line, RFC 4180 quoted) CSV record — used
+/// only for the once-per-file header row; data rows go through the
+/// zero-copy [`read_csv_record_raw`].
 fn read_csv_record<R: BufRead>(
     r: &mut R,
     line: &mut u64,
-) -> Result<Option<Vec<Cell>>, StreamError> {
-    let mut fields: Vec<Cell> = Vec::new();
-    let mut cur = String::new();
+) -> Result<Option<Vec<String>>, StreamError> {
+    let mut text = String::new();
+    let mut cells: Vec<(Span, bool)> = Vec::new();
+    let mut linebuf = String::new();
+    if !read_csv_record_raw(r, line, &mut linebuf, &mut text, &mut cells)? {
+        return Ok(None);
+    }
+    Ok(Some(
+        cells
+            .into_iter()
+            .map(|((off, len), _)| text[off as usize..(off + len) as usize].to_string())
+            .collect(),
+    ))
+}
+
+/// Zero-copy counterpart of [`read_csv_record`]: decodes cell text straight
+/// into `text` (a [`RecordBuf`]'s backing string) and records `(span,
+/// quoted)` pairs in `cells`. Only `linebuf` is refilled per physical line;
+/// steady-state reading performs no allocations.
+fn read_csv_record_raw<R: BufRead>(
+    r: &mut R,
+    line: &mut u64,
+    linebuf: &mut String,
+    text: &mut String,
+    cells: &mut Vec<(Span, bool)>,
+) -> Result<bool, StreamError> {
+    let mut start = text.len() as u32;
     let mut cur_quoted = false;
     let mut in_quotes = false;
     let mut started = false;
-    let mut buf = String::new();
-    let push_field = |cur: &mut String, cur_quoted: &mut bool, fields: &mut Vec<Cell>| {
-        fields.push(Cell {
-            text: std::mem::take(cur),
-            quoted: std::mem::take(cur_quoted),
-        });
-    };
     loop {
-        buf.clear();
-        if r.read_line(&mut buf)? == 0 {
+        linebuf.clear();
+        if r.read_line(linebuf)? == 0 {
             if !started {
-                return Ok(None);
+                return Ok(false);
             }
             if in_quotes {
                 return Err(StreamError::Parse {
@@ -246,42 +311,45 @@ fn read_csv_record<R: BufRead>(
                     msg: "unterminated quoted csv field".into(),
                 });
             }
-            push_field(&mut cur, &mut cur_quoted, &mut fields);
-            return Ok(Some(fields));
+            cells.push(((start, text.len() as u32 - start), cur_quoted));
+            return Ok(true);
         }
         *line += 1;
         started = true;
-        let mut chars = buf.chars().peekable();
+        let mut chars = linebuf.chars().peekable();
         while let Some(c) = chars.next() {
             if in_quotes {
                 if c == '"' {
                     if chars.peek() == Some(&'"') {
                         chars.next();
-                        cur.push('"');
+                        text.push('"');
                     } else {
                         in_quotes = false;
                     }
                 } else {
-                    cur.push(c);
+                    text.push(c);
                 }
             } else {
                 match c {
-                    ',' => push_field(&mut cur, &mut cur_quoted, &mut fields),
+                    ',' => {
+                        cells.push(((start, text.len() as u32 - start), cur_quoted));
+                        start = text.len() as u32;
+                        cur_quoted = false;
+                    }
                     '"' => {
                         in_quotes = true;
                         cur_quoted = true;
                     }
                     '\r' | '\n' => {}
-                    other => cur.push(other),
+                    other => text.push(other),
                 }
             }
         }
         if !in_quotes {
-            push_field(&mut cur, &mut cur_quoted, &mut fields);
-            return Ok(Some(fields));
+            cells.push(((start, text.len() as u32 - start), cur_quoted));
+            return Ok(true);
         }
-        // Quoted field spans the line break: the newline is part of the
-        // value and was pushed above; keep reading physical lines.
+        // Quoted field spans the line break; keep reading physical lines.
     }
 }
 

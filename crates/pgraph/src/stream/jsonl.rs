@@ -18,16 +18,30 @@
 //! The vendored `serde` subset has no JSON support (this workspace builds
 //! offline), so a minimal recursive-descent parser lives here.
 
+use super::raw::{RawGraphSource, RecordBuf, RecordKind, Span};
 use super::{GraphSource, Record, StreamError};
 use crate::graph::PropertyGraph;
 use crate::value::Value;
 use std::io::BufRead;
 
 /// Streaming source over a JSON-Lines dump.
+///
+/// Parses **zero-copy** through [`RawGraphSource`]: instead of building a
+/// JSON value tree per line, the record fields pg-hive cares about are
+/// decoded straight into the caller's [`RecordBuf`] and everything else is
+/// skipped (syntax-checked but never materialized). The owned
+/// [`GraphSource`] impl remains as a compatibility shim.
 pub struct JsonlSource<R> {
     reader: R,
     line: u64,
-    buf: String,
+    /// Reused physical-line scratch.
+    linebuf: String,
+    /// Reused object-key decode scratch.
+    keybuf: String,
+    /// Reused string-value decode scratch.
+    valbuf: String,
+    /// Scratch buffer backing the owned [`GraphSource`] shim only.
+    shim: RecordBuf,
 }
 
 impl<R: BufRead> JsonlSource<R> {
@@ -36,99 +50,56 @@ impl<R: BufRead> JsonlSource<R> {
         Self {
             reader,
             line: 0,
-            buf: String::new(),
+            linebuf: String::new(),
+            keybuf: String::new(),
+            valbuf: String::new(),
+            shim: RecordBuf::new(),
+        }
+    }
+}
+
+impl<R: BufRead> RawGraphSource for JsonlSource<R> {
+    fn read_record(&mut self, buf: &mut RecordBuf) -> Result<bool, StreamError> {
+        loop {
+            buf.clear();
+            self.linebuf.clear();
+            if self.reader.read_line(&mut self.linebuf)? == 0 {
+                return Ok(false);
+            }
+            self.line += 1;
+            let trimmed = self.linebuf.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            return match parse_record_into(trimmed, buf, &mut self.keybuf, &mut self.valbuf) {
+                Ok(()) => Ok(true),
+                Err(msg) => Err(StreamError::Parse {
+                    line: self.line,
+                    msg,
+                }),
+            };
         }
     }
 
-    fn parse_err(&self, msg: impl Into<String>) -> StreamError {
-        StreamError::Parse {
-            line: self.line,
-            msg: msg.into(),
-        }
+    fn format_name(&self) -> &'static str {
+        "jsonl"
     }
 }
 
 impl<R: BufRead> GraphSource for JsonlSource<R> {
     fn next_record(&mut self) -> Result<Option<Record>, StreamError> {
-        loop {
-            self.buf.clear();
-            if self.reader.read_line(&mut self.buf)? == 0 {
-                return Ok(None);
+        let mut buf = std::mem::take(&mut self.shim);
+        let result = self.read_record(&mut buf);
+        let rec = match result {
+            Ok(true) => Some(buf.take_record()),
+            Ok(false) => None,
+            Err(e) => {
+                self.shim = buf;
+                return Err(e);
             }
-            self.line += 1;
-            let trimmed = self.buf.trim();
-            if trimmed.is_empty() {
-                continue;
-            }
-            let json = parse_json(trimmed).map_err(|m| self.parse_err(m))?;
-            let Json::Obj(fields) = json else {
-                return Err(self.parse_err("expected a JSON object per line"));
-            };
-            let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
-            let kind = match get("type") {
-                Some(Json::Str(s)) => s.clone(),
-                _ => return Err(self.parse_err("missing string field \"type\"")),
-            };
-            let labels = match get("labels") {
-                None | Some(Json::Null) => Vec::new(),
-                Some(Json::Arr(items)) => {
-                    let mut out = Vec::with_capacity(items.len());
-                    for it in items {
-                        match it {
-                            Json::Str(s) => out.push(s.clone()),
-                            _ => return Err(self.parse_err("\"labels\" must hold strings")),
-                        }
-                    }
-                    out
-                }
-                _ => return Err(self.parse_err("\"labels\" must be an array")),
-            };
-            let props = match get("props") {
-                None | Some(Json::Null) => Vec::new(),
-                Some(Json::Obj(pairs)) => {
-                    let mut out = Vec::with_capacity(pairs.len());
-                    for (k, v) in pairs {
-                        let value = match v {
-                            Json::Str(s) => Value::parse_lexical(s),
-                            Json::Num(raw) => Value::parse_lexical(raw),
-                            Json::Bool(b) => Value::Bool(*b),
-                            Json::Null => continue,
-                            _ => {
-                                return Err(self.parse_err(format!(
-                                    "property \"{k}\": nested arrays/objects unsupported"
-                                )))
-                            }
-                        };
-                        out.push((k.clone(), value));
-                    }
-                    out
-                }
-                _ => return Err(self.parse_err("\"props\" must be an object")),
-            };
-            let str_field = |k: &str| -> Result<String, StreamError> {
-                match get(k) {
-                    Some(Json::Str(s)) if !s.is_empty() => Ok(s.clone()),
-                    _ => Err(StreamError::Parse {
-                        line: self.line,
-                        msg: format!("missing string field \"{k}\""),
-                    }),
-                }
-            };
-            return Ok(Some(match kind.as_str() {
-                "node" => Record::Node {
-                    id: str_field("id")?,
-                    labels,
-                    props,
-                },
-                "edge" => Record::Edge {
-                    src: str_field("src")?,
-                    tgt: str_field("tgt")?,
-                    labels,
-                    props,
-                },
-                other => return Err(self.parse_err(format!("unknown record type \"{other}\""))),
-            }));
-        }
+        };
+        self.shim = buf;
+        Ok(rec)
     }
 
     fn format_name(&self) -> &'static str {
@@ -208,39 +179,180 @@ fn json_string(s: &str) -> String {
     out
 }
 
-/// Minimal JSON value tree. Numbers keep their raw text so value typing is
-/// delegated to [`Value::parse_lexical`].
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Obj(Vec<(String, Json)>),
-    Arr(Vec<Json>),
-    Str(String),
-    Num(String),
-    Bool(bool),
-    Null,
+/// The `"type"` field of the line being parsed.
+enum TypeField {
+    Missing,
+    NonString,
+    Node,
+    Edge,
+    Other(String),
 }
 
-/// Parse a complete JSON document (trailing non-whitespace rejected).
-fn parse_json(s: &str) -> Result<Json, String> {
-    let mut p = Parser {
-        chars: s.char_indices().peekable(),
-        src: s,
+/// Known top-level record fields (anything else is skipped).
+enum Field {
+    Type,
+    Id,
+    Src,
+    Tgt,
+    Labels,
+    Props,
+    Other,
+}
+
+/// Parse one JSON-Lines record from `src` into `buf`.
+///
+/// Single streaming pass, no value tree: `id`/`src`/`tgt`, label strings
+/// and property keys are decoded straight into `buf`'s backing text;
+/// unknown fields (and later duplicates of known ones — first wins, as
+/// before) are syntax-checked and discarded. Semantic errors (bad `labels`
+/// shape, nested property values, unknown type) are *deferred* to the end
+/// of the line and reported in the same precedence order as the old
+/// tree-building parser: syntax > trailing text > `type` > `labels` >
+/// `props` > missing id fields.
+fn parse_record_into(
+    src: &str,
+    buf: &mut RecordBuf,
+    key: &mut String,
+    scratch: &mut String,
+) -> Result<(), String> {
+    let mut p = RawParser {
+        chars: src.char_indices().peekable(),
+        src,
     };
     p.skip_ws();
-    let v = p.value()?;
+    if !matches!(p.chars.peek(), Some((_, '{'))) {
+        // Not an object. Still run the syntax and trailing-text checks so
+        // malformed lines keep their parser-level errors.
+        p.skip_value(scratch)?;
+        p.skip_ws();
+        if let Some(&(i, c)) = p.chars.peek() {
+            return Err(format!("trailing '{c}' at byte {i}"));
+        }
+        return Err("expected a JSON object per line".into());
+    }
+
+    let mut ty = TypeField::Missing;
+    let mut id: Option<Span> = None;
+    let mut src_span: Option<Span> = None;
+    let mut tgt_span: Option<Span> = None;
+    let (mut seen_type, mut seen_id, mut seen_src) = (false, false, false);
+    let (mut seen_tgt, mut seen_labels, mut seen_props) = (false, false, false);
+    let mut labels_err: Option<String> = None;
+    let mut props_err: Option<String> = None;
+
+    p.expect('{')?;
     p.skip_ws();
-    if let Some((i, c)) = p.chars.peek() {
+    if matches!(p.chars.peek(), Some((_, '}'))) {
+        p.chars.next();
+    } else {
+        loop {
+            p.skip_ws();
+            key.clear();
+            p.string_into(key)?;
+            p.skip_ws();
+            p.expect(':')?;
+            p.skip_ws();
+            let field = match key.as_str() {
+                "type" if !seen_type => Field::Type,
+                "id" if !seen_id => Field::Id,
+                "src" if !seen_src => Field::Src,
+                "tgt" if !seen_tgt => Field::Tgt,
+                "labels" if !seen_labels => Field::Labels,
+                "props" if !seen_props => Field::Props,
+                _ => Field::Other,
+            };
+            match field {
+                Field::Type => {
+                    seen_type = true;
+                    if matches!(p.chars.peek(), Some((_, '"'))) {
+                        scratch.clear();
+                        p.string_into(scratch)?;
+                        ty = match scratch.as_str() {
+                            "node" => TypeField::Node,
+                            "edge" => TypeField::Edge,
+                            other => TypeField::Other(other.to_string()),
+                        };
+                    } else {
+                        p.skip_value(scratch)?;
+                        ty = TypeField::NonString;
+                    }
+                }
+                Field::Id => {
+                    seen_id = true;
+                    id = p.id_string(buf, scratch)?;
+                }
+                Field::Src => {
+                    seen_src = true;
+                    src_span = p.id_string(buf, scratch)?;
+                }
+                Field::Tgt => {
+                    seen_tgt = true;
+                    tgt_span = p.id_string(buf, scratch)?;
+                }
+                Field::Labels => {
+                    seen_labels = true;
+                    labels_err = p.labels_into(buf, scratch)?;
+                }
+                Field::Props => {
+                    seen_props = true;
+                    props_err = p.props_into(buf, key, scratch)?;
+                }
+                Field::Other => p.skip_value(scratch)?,
+            }
+            p.skip_ws();
+            match p.chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => break,
+                Some((i, c)) => return Err(format!("expected ',' or '}}', got '{c}' at byte {i}")),
+                None => return Err("unterminated object".into()),
+            }
+        }
+    }
+    p.skip_ws();
+    if let Some(&(i, c)) = p.chars.peek() {
         return Err(format!("trailing '{c}' at byte {i}"));
     }
-    Ok(v)
+
+    if matches!(ty, TypeField::Missing | TypeField::NonString) {
+        return Err("missing string field \"type\"".into());
+    }
+    if let Some(m) = labels_err {
+        return Err(m);
+    }
+    if let Some(m) = props_err {
+        return Err(m);
+    }
+    match ty {
+        TypeField::Node => {
+            buf.kind = RecordKind::Node;
+            buf.id = id.ok_or_else(|| "missing string field \"id\"".to_string())?;
+        }
+        TypeField::Edge => {
+            buf.kind = RecordKind::Edge;
+            buf.id = src_span.ok_or_else(|| "missing string field \"src\"".to_string())?;
+            buf.tgt = tgt_span.ok_or_else(|| "missing string field \"tgt\"".to_string())?;
+        }
+        TypeField::Other(other) => return Err(format!("unknown record type \"{other}\"")),
+        TypeField::Missing | TypeField::NonString => unreachable!(),
+    }
+    Ok(())
 }
 
-struct Parser<'a> {
+/// Streaming JSON scanner over one line. Same grammar and error messages
+/// as the old tree parser, but strings decode into caller-provided buffers
+/// and skipped values are never materialized.
+struct RawParser<'a> {
     chars: std::iter::Peekable<std::str::CharIndices<'a>>,
     src: &'a str,
 }
 
-impl<'a> Parser<'a> {
+enum Kw {
+    True,
+    False,
+    Null,
+}
+
+impl<'a> RawParser<'a> {
     fn skip_ws(&mut self) {
         while matches!(self.chars.peek(), Some((_, ' ' | '\t' | '\n' | '\r'))) {
             self.chars.next();
@@ -255,71 +367,221 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    /// An id-position value: a non-empty string decodes into `buf`'s text
+    /// and yields a span; anything else is skipped and yields `None` (the
+    /// "missing string field" diagnosis happens at end of line).
+    fn id_string(
+        &mut self,
+        buf: &mut RecordBuf,
+        scratch: &mut String,
+    ) -> Result<Option<Span>, String> {
+        if matches!(self.chars.peek(), Some((_, '"'))) {
+            let start = buf.text.len() as u32;
+            self.string_into(&mut buf.text)?;
+            let len = buf.text.len() as u32 - start;
+            Ok((len > 0).then_some((start, len)))
+        } else {
+            self.skip_value(scratch)?;
+            Ok(None)
+        }
+    }
+
+    /// The `labels` value. Returns the deferred semantic error, if any.
+    fn labels_into(
+        &mut self,
+        buf: &mut RecordBuf,
+        scratch: &mut String,
+    ) -> Result<Option<String>, String> {
         match self.chars.peek().copied() {
-            Some((_, '{')) => self.object(),
-            Some((_, '[')) => self.array(),
-            Some((_, '"')) => Ok(Json::Str(self.string()?)),
-            Some((_, 't' | 'f' | 'n')) => self.keyword(),
-            Some((_, c)) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some((_, '[')) => {
+                let mut err = None;
+                self.chars.next();
+                self.skip_ws();
+                if matches!(self.chars.peek(), Some((_, ']'))) {
+                    self.chars.next();
+                    return Ok(err);
+                }
+                loop {
+                    self.skip_ws();
+                    if matches!(self.chars.peek(), Some((_, '"'))) {
+                        let start = buf.text.len() as u32;
+                        self.string_into(&mut buf.text)?;
+                        buf.labels.push((start, buf.text.len() as u32 - start));
+                    } else {
+                        self.skip_value(scratch)?;
+                        err.get_or_insert_with(|| "\"labels\" must hold strings".to_string());
+                    }
+                    self.skip_ws();
+                    match self.chars.next() {
+                        Some((_, ',')) => continue,
+                        Some((_, ']')) => return Ok(err),
+                        Some((i, c)) => {
+                            return Err(format!("expected ',' or ']', got '{c}' at byte {i}"))
+                        }
+                        None => return Err("unterminated array".into()),
+                    }
+                }
+            }
+            Some((_, 'n')) => match self.keyword()? {
+                Kw::Null => Ok(None),
+                _ => Ok(Some("\"labels\" must be an array".into())),
+            },
+            _ => {
+                self.skip_value(scratch)?;
+                Ok(Some("\"labels\" must be an array".into()))
+            }
+        }
+    }
+
+    /// The `props` value: each pair's key decodes into `buf`'s text and
+    /// its value parses to a [`Value`] (duplicate keys push both pairs,
+    /// `null` means absent — both as before). Returns the deferred
+    /// semantic error, if any.
+    fn props_into(
+        &mut self,
+        buf: &mut RecordBuf,
+        key: &mut String,
+        scratch: &mut String,
+    ) -> Result<Option<String>, String> {
+        match self.chars.peek().copied() {
+            Some((_, '{')) => {
+                let mut err = None;
+                self.chars.next();
+                self.skip_ws();
+                if matches!(self.chars.peek(), Some((_, '}'))) {
+                    self.chars.next();
+                    return Ok(err);
+                }
+                loop {
+                    self.skip_ws();
+                    key.clear();
+                    self.string_into(key)?;
+                    self.skip_ws();
+                    self.expect(':')?;
+                    self.skip_ws();
+                    match self.chars.peek().copied() {
+                        Some((_, '"')) => {
+                            scratch.clear();
+                            self.string_into(scratch)?;
+                            let v = Value::parse_lexical(scratch);
+                            let k = buf.push_str(key);
+                            buf.props.push((k, v));
+                        }
+                        Some((_, c)) if c == '-' || c.is_ascii_digit() => {
+                            let v = Value::parse_lexical(self.number_raw()?);
+                            let k = buf.push_str(key);
+                            buf.props.push((k, v));
+                        }
+                        Some((_, 't' | 'f' | 'n')) => match self.keyword()? {
+                            Kw::True => {
+                                let k = buf.push_str(key);
+                                buf.props.push((k, Value::Bool(true)));
+                            }
+                            Kw::False => {
+                                let k = buf.push_str(key);
+                                buf.props.push((k, Value::Bool(false)));
+                            }
+                            Kw::Null => {}
+                        },
+                        Some((_, '{' | '[')) => {
+                            self.skip_value(scratch)?;
+                            err.get_or_insert_with(|| {
+                                format!("property \"{key}\": nested arrays/objects unsupported")
+                            });
+                        }
+                        Some((i, c)) => return Err(format!("unexpected '{c}' at byte {i}")),
+                        None => return Err("unexpected end of input".into()),
+                    }
+                    self.skip_ws();
+                    match self.chars.next() {
+                        Some((_, ',')) => continue,
+                        Some((_, '}')) => return Ok(err),
+                        Some((i, c)) => {
+                            return Err(format!("expected ',' or '}}', got '{c}' at byte {i}"))
+                        }
+                        None => return Err("unterminated object".into()),
+                    }
+                }
+            }
+            Some((_, 'n')) => match self.keyword()? {
+                Kw::Null => Ok(None),
+                _ => Ok(Some("\"props\" must be an object".into())),
+            },
+            _ => {
+                self.skip_value(scratch)?;
+                Ok(Some("\"props\" must be an object".into()))
+            }
+        }
+    }
+
+    /// Consume any JSON value, validating syntax without materializing it.
+    fn skip_value(&mut self, scratch: &mut String) -> Result<(), String> {
+        match self.chars.peek().copied() {
+            Some((_, '{')) => {
+                self.chars.next();
+                self.skip_ws();
+                if matches!(self.chars.peek(), Some((_, '}'))) {
+                    self.chars.next();
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    scratch.clear();
+                    self.string_into(scratch)?;
+                    self.skip_ws();
+                    self.expect(':')?;
+                    self.skip_ws();
+                    self.skip_value(scratch)?;
+                    self.skip_ws();
+                    match self.chars.next() {
+                        Some((_, ',')) => continue,
+                        Some((_, '}')) => return Ok(()),
+                        Some((i, c)) => {
+                            return Err(format!("expected ',' or '}}', got '{c}' at byte {i}"))
+                        }
+                        None => return Err("unterminated object".into()),
+                    }
+                }
+            }
+            Some((_, '[')) => {
+                self.chars.next();
+                self.skip_ws();
+                if matches!(self.chars.peek(), Some((_, ']'))) {
+                    self.chars.next();
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.skip_value(scratch)?;
+                    self.skip_ws();
+                    match self.chars.next() {
+                        Some((_, ',')) => continue,
+                        Some((_, ']')) => return Ok(()),
+                        Some((i, c)) => {
+                            return Err(format!("expected ',' or ']', got '{c}' at byte {i}"))
+                        }
+                        None => return Err("unterminated array".into()),
+                    }
+                }
+            }
+            Some((_, '"')) => {
+                scratch.clear();
+                self.string_into(scratch)
+            }
+            Some((_, 't' | 'f' | 'n')) => self.keyword().map(|_| ()),
+            Some((_, c)) if c == '-' || c.is_ascii_digit() => self.number_raw().map(|_| ()),
             Some((i, c)) => Err(format!("unexpected '{c}' at byte {i}")),
             None => Err("unexpected end of input".into()),
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect('{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if matches!(self.chars.peek(), Some((_, '}'))) {
-            self.chars.next();
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(':')?;
-            self.skip_ws();
-            fields.push((key, self.value()?));
-            self.skip_ws();
-            match self.chars.next() {
-                Some((_, ',')) => continue,
-                Some((_, '}')) => return Ok(Json::Obj(fields)),
-                Some((i, c)) => return Err(format!("expected ',' or '}}', got '{c}' at byte {i}")),
-                None => return Err("unterminated object".into()),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect('[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if matches!(self.chars.peek(), Some((_, ']'))) {
-            self.chars.next();
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.chars.next() {
-                Some((_, ',')) => continue,
-                Some((_, ']')) => return Ok(Json::Arr(items)),
-                Some((i, c)) => return Err(format!("expected ',' or ']', got '{c}' at byte {i}")),
-                None => return Err("unterminated array".into()),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
+    /// Decode a JSON string (escapes, surrogate pairs) appending to `out`.
+    fn string_into(&mut self, out: &mut String) -> Result<(), String> {
         self.expect('"')?;
-        let mut out = String::new();
         loop {
             match self.chars.next() {
                 None => return Err("unterminated string".into()),
-                Some((_, '"')) => return Ok(out),
+                Some((_, '"')) => return Ok(()),
                 Some((_, '\\')) => match self.chars.next() {
                     Some((_, '"')) => out.push('"'),
                     Some((_, '\\')) => out.push('\\'),
@@ -368,7 +630,9 @@ impl<'a> Parser<'a> {
         Ok(v)
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    /// Scan a number, returning its raw text (value typing is delegated to
+    /// [`Value::parse_lexical`]).
+    fn number_raw(&mut self) -> Result<&'a str, String> {
         let start = match self.chars.peek() {
             Some(&(i, _)) => i,
             None => return Err("unexpected end of input".into()),
@@ -386,10 +650,10 @@ impl<'a> Parser<'a> {
         // Validate through the float parser; the raw text is kept.
         raw.parse::<f64>()
             .map_err(|_| format!("bad number '{raw}'"))?;
-        Ok(Json::Num(raw.to_string()))
+        Ok(raw)
     }
 
-    fn keyword(&mut self) -> Result<Json, String> {
+    fn keyword(&mut self) -> Result<Kw, String> {
         let start = match self.chars.peek() {
             Some(&(i, _)) => i,
             None => return Err("unexpected end of input".into()),
@@ -404,9 +668,9 @@ impl<'a> Parser<'a> {
             }
         }
         match &self.src[start..end] {
-            "true" => Ok(Json::Bool(true)),
-            "false" => Ok(Json::Bool(false)),
-            "null" => Ok(Json::Null),
+            "true" => Ok(Kw::True),
+            "false" => Ok(Kw::False),
+            "null" => Ok(Kw::Null),
             other => Err(format!("unknown keyword '{other}'")),
         }
     }

@@ -40,14 +40,18 @@
 pub mod csv;
 pub mod jsonl;
 pub mod pgt;
+pub mod raw;
 pub mod read_ahead;
 
+pub use raw::{OwnedSource, RawGraphSource, RecordBuf, RecordRef};
 pub use read_ahead::{ReadAheadChunks, ReadAheadRecords, StreamSummary};
 
 use crate::builder::GraphBuilder;
 use crate::element::NodeId;
 use crate::graph::PropertyGraph;
+use crate::interner::Symbol;
 use crate::value::Value;
+use raw::RecordKind;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
@@ -185,38 +189,103 @@ struct PendingEdge {
 /// resolve endpoints declared in any earlier pass.
 #[derive(Debug, Default, Clone)]
 pub struct LabelSetRegistry {
-    pub(crate) ids: HashMap<String, u32>,
+    /// Node-id strings, arena-interned (one growing allocation instead of
+    /// an owned `String` key per id, FNV instead of SipHash per lookup).
+    pub(crate) id_syms: crate::interner::Interner,
+    /// `id_ls[sym.index()]` is the label-set id currently bound to the
+    /// node-id symbol `sym` — parallel to `id_syms`, dense.
+    pub(crate) id_ls: Vec<u32>,
     pub(crate) sets: Vec<Vec<String>>,
-    pub(crate) set_ids: HashMap<Vec<String>, u32>,
+    /// Label-set lookup keyed by interned label symbols (in record order),
+    /// so the zero-copy hot path can look a set up without building an
+    /// owned `Vec<String>` key first.
+    set_ids: HashMap<Box<[u32]>, u32>,
+    /// Interner for the individual label strings behind `set_ids` keys.
+    label_syms: crate::interner::Interner,
+    /// Reused symbol-key scratch for lookups.
+    scratch: Vec<u32>,
 }
 
 impl LabelSetRegistry {
-    /// Intern a label set, returning its dense id.
-    pub(crate) fn intern(&mut self, labels: &[String]) -> u32 {
-        if let Some(&id) = self.set_ids.get(labels) {
+    /// Finish interning whatever label set sits in `scratch`, materializing
+    /// the owned string set via `make` only on first sight.
+    fn intern_scratch(&mut self, make: impl FnOnce() -> Vec<String>) -> u32 {
+        if let Some(&id) = self.set_ids.get(&self.scratch[..]) {
             return id;
         }
         let id = self.sets.len() as u32;
-        self.sets.push(labels.to_vec());
-        self.set_ids.insert(labels.to_vec(), id);
+        self.sets.push(make());
+        self.set_ids
+            .insert(self.scratch.clone().into_boxed_slice(), id);
         id
+    }
+
+    /// Intern a label set, returning its dense id.
+    pub(crate) fn intern(&mut self, labels: &[String]) -> u32 {
+        self.scratch.clear();
+        for l in labels {
+            let sym = self.label_syms.intern(l);
+            self.scratch.push(sym.0);
+        }
+        self.intern_scratch(|| labels.to_vec())
+    }
+
+    /// Intern the label set of the record in `buf` without allocating on
+    /// the repeat path.
+    pub(crate) fn intern_buf(&mut self, buf: &RecordBuf) -> u32 {
+        self.scratch.clear();
+        for &span in &buf.labels {
+            let sym = self.label_syms.intern(buf.str(span));
+            self.scratch.push(sym.0);
+        }
+        self.intern_scratch(|| buf.labels.iter().map(|&s| buf.str(s).to_string()).collect())
     }
 
     /// Register a node id; returns `true` when the id was already present
     /// (the new label set wins).
-    pub(crate) fn insert(&mut self, id: String, labels: &[String]) -> bool {
+    pub(crate) fn insert(&mut self, id: &str, labels: &[String]) -> bool {
         let ls = self.intern(labels);
-        self.ids.insert(id, ls).is_some()
+        self.bind(id, ls).1
+    }
+
+    /// Register a node id against an interned set id, returning the id's
+    /// symbol and whether it was already present (the new set wins). Repeat
+    /// ids touch no allocation at all.
+    pub(crate) fn bind(&mut self, id: &str, ls: u32) -> (Symbol, bool) {
+        let sym = self.id_syms.intern(id);
+        if sym.index() == self.id_ls.len() {
+            self.id_ls.push(ls);
+            (sym, false)
+        } else {
+            self.id_ls[sym.index()] = ls;
+            (sym, true)
+        }
+    }
+
+    /// Register a borrowed node id against an interned set id; returns
+    /// `true` when the id was already present.
+    pub(crate) fn insert_ls(&mut self, id: &str, ls: u32) -> bool {
+        self.bind(id, ls).1
+    }
+
+    /// Symbol of a registered node id.
+    pub(crate) fn sym_of(&self, id: &str) -> Option<Symbol> {
+        self.id_syms.get(id)
+    }
+
+    /// Label-set id bound to a node-id symbol.
+    pub(crate) fn ls_of(&self, sym: Symbol) -> u32 {
+        self.id_ls[sym.index()]
     }
 
     /// Label-set id of a registered node id.
     pub(crate) fn get(&self, id: &str) -> Option<u32> {
-        self.ids.get(id).copied()
+        self.sym_of(id).map(|s| self.ls_of(s))
     }
 
     /// Whether the node id has been registered.
     pub(crate) fn contains(&self, id: &str) -> bool {
-        self.ids.contains_key(id)
+        self.id_syms.get(id).is_some()
     }
 
     /// Resolve an interned label-set id.
@@ -249,6 +318,8 @@ impl LabelSetRegistry {
 /// ```
 pub struct ChunkedTextReader<S> {
     source: S,
+    /// Reused zero-copy record buffer: one per reader, not per record.
+    buf: RecordBuf,
     chunk_size: usize,
     pending_cap: usize,
     registry: LabelSetRegistry,
@@ -257,9 +328,44 @@ pub struct ChunkedTextReader<S> {
     max_resident: usize,
     chunks: usize,
     done: bool,
+    /// Per-chunk id → [`NodeId`] tables, indexed by the registry's id
+    /// symbols and stamped with `generation` — entries from earlier chunks
+    /// are stale by stamp, so "clearing" them between chunks is free and
+    /// the endpoint hot path needs no per-chunk hash map (or its per-insert
+    /// owned `String` key).
+    chunk_marks: Vec<(u32, NodeId)>,
+    stub_marks: Vec<(u32, NodeId)>,
+    /// Per-chunk cache of stub label sets, indexed by registry label-set id
+    /// and generation-stamped like the mark tables: the canonical (sorted,
+    /// deduplicated) symbols of set `ls` in the **current** chunk's label
+    /// table, computed once per (chunk, set) instead of once per stub.
+    stub_label_cache: Vec<(u32, Vec<Symbol>)>,
+    generation: u32,
+    /// Node/edge counts of the previous chunk — capacity hints for the next
+    /// chunk's builder (steady-state chunks are similarly sized, so this
+    /// skips the doubling-growth copies of the node/edge vectors).
+    last_nodes: usize,
+    last_edges: usize,
 }
 
-impl<S: GraphSource> ChunkedTextReader<S> {
+/// Stamp `sym` as resident in the current chunk (`generation`) with `nid`.
+fn mark(table: &mut Vec<(u32, NodeId)>, sym: Symbol, generation: u32, nid: NodeId) {
+    let i = sym.index();
+    if i >= table.len() {
+        table.resize(i + 1, (0, NodeId(0)));
+    }
+    table[i] = (generation, nid);
+}
+
+/// `sym`'s [`NodeId`] if it was marked during the current chunk.
+fn marked(table: &[(u32, NodeId)], sym: Symbol, generation: u32) -> Option<NodeId> {
+    match table.get(sym.index()) {
+        Some(&(g, nid)) if g == generation => Some(nid),
+        _ => None,
+    }
+}
+
+impl<S: RawGraphSource> ChunkedTextReader<S> {
     /// Reader yielding chunks of roughly `chunk_size` elements (minimum 1).
     pub fn new(source: S, chunk_size: usize) -> Self {
         Self::with_registry(source, chunk_size, LabelSetRegistry::default())
@@ -275,6 +381,7 @@ impl<S: GraphSource> ChunkedTextReader<S> {
         let chunk_size = chunk_size.max(1);
         Self {
             source,
+            buf: RecordBuf::new(),
             chunk_size,
             // Forward-referencing edges are buffered up to this many before
             // the oldest are dropped as unresolved — keeps memory bounded on
@@ -286,6 +393,12 @@ impl<S: GraphSource> ChunkedTextReader<S> {
             max_resident: 0,
             chunks: 0,
             done: false,
+            chunk_marks: Vec::new(),
+            stub_marks: Vec::new(),
+            stub_label_cache: Vec::new(),
+            generation: 0,
+            last_nodes: 0,
+            last_edges: 0,
         }
     }
 
@@ -342,11 +455,10 @@ impl<S: GraphSource> ChunkedTextReader<S> {
             return Ok(None);
         }
 
-        let mut b = GraphBuilder::new();
-        let mut chunk_ids: HashMap<String, NodeId> = HashMap::new();
-        let mut stub_ids: HashMap<String, NodeId> = HashMap::new();
+        let mut b = GraphBuilder::with_capacity(self.last_nodes, self.last_edges);
         let mut ready: VecDeque<PendingEdge> = VecDeque::new();
         let mut budget = 0usize;
+        self.generation += 1; // invalidates every chunk/stub mark at once
         self.refill_ready(&mut ready);
 
         loop {
@@ -354,7 +466,9 @@ impl<S: GraphSource> ChunkedTextReader<S> {
                 break;
             }
             if let Some(e) = ready.pop_front() {
-                self.accept_edge(&mut b, &chunk_ids, &mut stub_ids, &mut budget, e);
+                load_pending(&mut self.buf, e);
+                let (s_sym, t_sym) = self.edge_syms();
+                self.accept_edge(&mut b, s_sym, t_sym, &mut budget);
                 continue;
             }
             if self.done {
@@ -366,37 +480,33 @@ impl<S: GraphSource> ChunkedTextReader<S> {
                 }
                 continue;
             }
-            match self.source.next_record()? {
-                None => {
-                    self.done = true;
-                }
-                Some(Record::Node { id, labels, props }) => {
-                    if self.registry.insert(id.clone(), &labels) {
+            if !self.source.read_record(&mut self.buf)? {
+                self.done = true;
+                continue;
+            }
+            match self.buf.kind {
+                RecordKind::Node => {
+                    let ls = self.registry.intern_buf(&self.buf);
+                    let id_str = self.buf.str(self.buf.id);
+                    let (sym, duplicate) = self.registry.bind(id_str, ls);
+                    if duplicate {
                         self.warnings.duplicate_nodes += 1;
                     }
-                    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
-                    let prop_refs: Vec<(&str, Value)> =
-                        props.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
-                    let nid = b.add_node(&label_refs, &prop_refs);
-                    chunk_ids.insert(id, nid);
+                    let nid = b.add_node_from_buf(&mut self.buf);
+                    mark(&mut self.chunk_marks, sym, self.generation, nid);
                     budget += 1;
                 }
-                Some(Record::Edge {
-                    src,
-                    tgt,
-                    labels,
-                    props,
-                }) => {
-                    let e = PendingEdge {
-                        src,
-                        tgt,
-                        labels,
-                        props,
-                    };
-                    if self.resolvable(&e) {
-                        self.accept_edge(&mut b, &chunk_ids, &mut stub_ids, &mut budget, e);
+                RecordKind::Edge => {
+                    // Resolve both endpoint symbols once — the same lookups
+                    // double as the resolvability check and the endpoint
+                    // resolution inside `accept_edge`.
+                    let s_sym = self.registry.sym_of(self.buf.str(self.buf.id));
+                    let t_sym = self.registry.sym_of(self.buf.str(self.buf.tgt));
+                    if let (Some(s_sym), Some(t_sym)) = (s_sym, t_sym) {
+                        self.accept_edge(&mut b, s_sym, t_sym, &mut budget);
                     } else {
                         self.warnings.deferred_edges += 1;
+                        let e = pending_from_buf(&mut self.buf);
                         self.pending.push_back(e);
                         if self.pending.len() > self.pending_cap {
                             let victim = self.pending.pop_front().expect("cap >= 1");
@@ -404,13 +514,9 @@ impl<S: GraphSource> ChunkedTextReader<S> {
                                 // Its endpoints were declared after it was
                                 // deferred: emit it rather than dropping a
                                 // fully-declared edge.
-                                self.accept_edge(
-                                    &mut b,
-                                    &chunk_ids,
-                                    &mut stub_ids,
-                                    &mut budget,
-                                    victim,
-                                );
+                                load_pending(&mut self.buf, victim);
+                                let (s_sym, t_sym) = self.edge_syms();
+                                self.accept_edge(&mut b, s_sym, t_sym, &mut budget);
                             } else {
                                 self.warnings.evicted_edges += 1;
                                 self.warnings.unresolved_edges += 1;
@@ -441,52 +547,144 @@ impl<S: GraphSource> ChunkedTextReader<S> {
             return Ok(None);
         }
         let g = b.finish();
+        self.last_nodes = g.node_count();
+        self.last_edges = g.edge_count();
         self.max_resident = self.max_resident.max(g.node_count() + g.edge_count());
         self.chunks += 1;
         Ok(Some(g))
     }
 
+    /// Endpoint symbols of the edge currently held in `self.buf`, which
+    /// must be resolvable (both ids known to the registry).
+    fn edge_syms(&self) -> (Symbol, Symbol) {
+        let expect = "accepted edges are resolvable";
+        (
+            self.registry
+                .sym_of(self.buf.str(self.buf.id))
+                .expect(expect),
+            self.registry
+                .sym_of(self.buf.str(self.buf.tgt))
+                .expect(expect),
+        )
+    }
+
+    /// Emit the edge currently held in `self.buf` (already known to be
+    /// resolvable; `s_sym`/`t_sym` are its pre-resolved endpoint symbols),
+    /// materializing stub endpoints as needed.
     fn accept_edge(
         &mut self,
         b: &mut GraphBuilder,
-        chunk_ids: &HashMap<String, NodeId>,
-        stub_ids: &mut HashMap<String, NodeId>,
+        s_sym: Symbol,
+        t_sym: Symbol,
         budget: &mut usize,
-        e: PendingEdge,
     ) {
         let mut used_stub = false;
-        let mut endpoint = |id: &str, b: &mut GraphBuilder, budget: &mut usize| -> NodeId {
-            if let Some(&nid) = chunk_ids.get(id) {
-                return nid;
-            }
-            if let Some(&nid) = stub_ids.get(id) {
-                used_stub = true;
-                return nid;
-            }
-            let ls = self
-                .registry
-                .get(id)
-                .expect("accepted edges are resolvable");
-            let label_refs: Vec<&str> = self.registry.set(ls).iter().map(String::as_str).collect();
-            let nid = b.add_node(&label_refs, &[]);
-            stub_ids.insert(id.to_string(), nid);
-            *budget += 1;
-            used_stub = true;
-            nid
-        };
-        let s = endpoint(&e.src, b, budget);
-        let t = endpoint(&e.tgt, b, budget);
-        let label_refs: Vec<&str> = e.labels.iter().map(String::as_str).collect();
-        let prop_refs: Vec<(&str, Value)> = e
-            .props
-            .iter()
-            .map(|(k, v)| (k.as_str(), v.clone()))
-            .collect();
-        b.add_edge(s, t, &label_refs, &prop_refs);
+        let registry = &self.registry;
+        let generation = self.generation;
+        let s = Self::endpoint(
+            registry,
+            b,
+            &self.chunk_marks,
+            &mut self.stub_marks,
+            &mut self.stub_label_cache,
+            generation,
+            budget,
+            &mut used_stub,
+            s_sym,
+        );
+        let t = Self::endpoint(
+            registry,
+            b,
+            &self.chunk_marks,
+            &mut self.stub_marks,
+            &mut self.stub_label_cache,
+            generation,
+            budget,
+            &mut used_stub,
+            t_sym,
+        );
+        b.add_edge_from_buf(s, t, &mut self.buf);
         *budget += 1;
         if used_stub {
             self.warnings.cross_chunk_edges += 1;
         }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn endpoint(
+        registry: &LabelSetRegistry,
+        b: &mut GraphBuilder,
+        chunk_marks: &[(u32, NodeId)],
+        stub_marks: &mut Vec<(u32, NodeId)>,
+        stub_label_cache: &mut Vec<(u32, Vec<Symbol>)>,
+        generation: u32,
+        budget: &mut usize,
+        used_stub: &mut bool,
+        sym: Symbol,
+    ) -> NodeId {
+        if let Some(nid) = marked(chunk_marks, sym, generation) {
+            return nid;
+        }
+        if let Some(nid) = marked(stub_marks, sym, generation) {
+            *used_stub = true;
+            return nid;
+        }
+        let ls = registry.ls_of(sym) as usize;
+        if ls >= stub_label_cache.len() {
+            stub_label_cache.resize(ls + 1, (0, Vec::new()));
+        }
+        if stub_label_cache[ls].0 != generation {
+            // First stub with this label set in this chunk: canonicalize
+            // once, interning into the chunk's label table.
+            let mut sorted: Vec<&str> =
+                registry.set(ls as u32).iter().map(String::as_str).collect();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let syms: Vec<Symbol> = sorted.into_iter().map(|l| b.intern_label(l)).collect();
+            stub_label_cache[ls] = (generation, syms);
+        }
+        let nid = b.add_node_syms(stub_label_cache[ls].1.clone());
+        mark(stub_marks, sym, generation, nid);
+        *budget += 1;
+        *used_stub = true;
+        nid
+    }
+}
+
+/// Move the edge in `buf` out as an owned [`PendingEdge`] (the deferred
+/// path — property values are moved, never cloned).
+fn pending_from_buf(buf: &mut RecordBuf) -> PendingEdge {
+    let src = buf.str(buf.id).to_string();
+    let tgt = buf.str(buf.tgt).to_string();
+    let labels: Vec<String> = buf.labels.iter().map(|&s| buf.str(s).to_string()).collect();
+    let text = &buf.text;
+    let props: Vec<(String, Value)> = buf
+        .props
+        .drain(..)
+        .map(|(k, v)| (raw::span_str(text, k).to_string(), v))
+        .collect();
+    PendingEdge {
+        src,
+        tgt,
+        labels,
+        props,
+    }
+}
+
+/// Load a deferred edge back into the record buffer for acceptance through
+/// the same zero-copy path as freshly parsed edges.
+fn load_pending(buf: &mut RecordBuf, e: PendingEdge) {
+    buf.clear();
+    buf.kind = RecordKind::Edge;
+    buf.id = buf.push_str(&e.src);
+    buf.tgt = buf.push_str(&e.tgt);
+    for l in &e.labels {
+        let span = buf.push_str(l);
+        buf.labels.push(span);
+    }
+    for (k, v) in e.props {
+        let span = buf.push_str(&k);
+        buf.props.push((span, v));
     }
 }
 
@@ -494,7 +692,9 @@ impl<S: GraphSource> ChunkedTextReader<S> {
 /// path for formats other than `.pgt`). Forward-referencing edges resolve
 /// within the single chunk; truly dangling edges are counted in the
 /// returned warnings, mirroring the chunked semantics.
-pub fn read_all<S: GraphSource>(source: S) -> Result<(PropertyGraph, StreamWarnings), StreamError> {
+pub fn read_all<S: RawGraphSource>(
+    source: S,
+) -> Result<(PropertyGraph, StreamWarnings), StreamError> {
     let mut reader = ChunkedTextReader::new(source, usize::MAX);
     let g = reader.next_chunk()?.unwrap_or_default();
     Ok((g, reader.warnings()))

@@ -2,15 +2,22 @@
 //! [`crate::loader`] — same grammar, same percent-encoding, but reads one
 //! record at a time from any [`BufRead`] instead of a full in-memory string.
 
+use super::raw::{RawGraphSource, RecordBuf};
 use super::{GraphSource, Record, StreamError};
-use crate::loader::parse_line;
+use crate::loader::parse_line_into;
 use std::io::BufRead;
 
 /// Record-at-a-time reader of the `.pgt` format.
+///
+/// Parses **zero-copy** through [`RawGraphSource`]: each line is read into
+/// the caller's [`RecordBuf`] and fields are recorded as spans, so steady-
+/// state parsing performs no per-record allocations. The owned
+/// [`GraphSource`] impl remains as a compatibility shim.
 pub struct PgtSource<R> {
     reader: R,
     line: u64,
-    buf: String,
+    /// Scratch buffer backing the owned [`GraphSource`] shim only.
+    shim: RecordBuf,
 }
 
 impl<R: BufRead> PgtSource<R> {
@@ -19,22 +26,22 @@ impl<R: BufRead> PgtSource<R> {
         Self {
             reader,
             line: 0,
-            buf: String::new(),
+            shim: RecordBuf::new(),
         }
     }
 }
 
-impl<R: BufRead> GraphSource for PgtSource<R> {
-    fn next_record(&mut self) -> Result<Option<Record>, StreamError> {
+impl<R: BufRead> RawGraphSource for PgtSource<R> {
+    fn read_record(&mut self, buf: &mut RecordBuf) -> Result<bool, StreamError> {
         loop {
-            self.buf.clear();
-            if self.reader.read_line(&mut self.buf)? == 0 {
-                return Ok(None);
+            buf.clear();
+            if self.reader.read_line(&mut buf.text)? == 0 {
+                return Ok(false);
             }
             self.line += 1;
-            match parse_line(self.line as usize, &self.buf) {
-                Ok(Some(rec)) => return Ok(Some(rec)),
-                Ok(None) => continue,
+            match parse_line_into(self.line as usize, buf) {
+                Ok(true) => return Ok(true),
+                Ok(false) => continue,
                 Err(e) => {
                     return Err(StreamError::Parse {
                         line: self.line,
@@ -43,6 +50,27 @@ impl<R: BufRead> GraphSource for PgtSource<R> {
                 }
             }
         }
+    }
+
+    fn format_name(&self) -> &'static str {
+        "pgt"
+    }
+}
+
+impl<R: BufRead> GraphSource for PgtSource<R> {
+    fn next_record(&mut self) -> Result<Option<Record>, StreamError> {
+        let mut buf = std::mem::take(&mut self.shim);
+        let result = self.read_record(&mut buf);
+        let rec = match result {
+            Ok(true) => Some(buf.take_record()),
+            Ok(false) => None,
+            Err(e) => {
+                self.shim = buf;
+                return Err(e);
+            }
+        };
+        self.shim = buf;
+        Ok(rec)
     }
 
     fn format_name(&self) -> &'static str {

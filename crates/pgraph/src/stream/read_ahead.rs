@@ -38,6 +38,7 @@
 //! assert!(chunks.summary().unwrap().warnings.cross_chunk_edges > 0);
 //! ```
 
+use super::raw::{RawGraphSource, RecordBuf};
 use super::{ChunkedTextReader, GraphSource, Record, StreamError, StreamWarnings};
 use crate::graph::PropertyGraph;
 use std::collections::VecDeque;
@@ -84,7 +85,7 @@ impl ReadAheadChunks {
     /// (`depth` is clamped to ≥ 1).
     pub fn spawn<S>(source: S, chunk_size: usize, depth: usize) -> Self
     where
-        S: GraphSource + Send + 'static,
+        S: RawGraphSource + Send + 'static,
     {
         let format = source.format_name();
         let (tx, rx) = sync_channel(depth.max(1));
@@ -201,7 +202,7 @@ impl ReadAheadRecords {
     /// record batches in flight (`depth` is clamped to ≥ 1).
     pub fn spawn<S>(source: S, depth: usize) -> Self
     where
-        S: GraphSource + Send + 'static,
+        S: RawGraphSource + Send + 'static,
     {
         let format = source.format_name();
         let (tx, rx) = sync_channel(depth.max(1));
@@ -209,11 +210,12 @@ impl ReadAheadRecords {
             .name("pg-hive-read-ahead-records".into())
             .spawn(move || {
                 let mut source = source;
+                let mut buf = RecordBuf::new();
                 let mut batch = Vec::with_capacity(RECORD_BATCH);
                 loop {
-                    match source.next_record() {
-                        Ok(Some(rec)) => {
-                            batch.push(rec);
+                    match source.read_record(&mut buf) {
+                        Ok(true) => {
+                            batch.push(buf.take_record());
                             if batch.len() == RECORD_BATCH
                                 && tx
                                     .send(RecordMsg::Batch(std::mem::take(&mut batch)))
@@ -222,7 +224,7 @@ impl ReadAheadRecords {
                                 return;
                             }
                         }
-                        Ok(None) => {
+                        Ok(false) => {
                             if !batch.is_empty() {
                                 let _ = tx.send(RecordMsg::Batch(batch));
                             }

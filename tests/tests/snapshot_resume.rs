@@ -18,7 +18,7 @@ use pg_hive_graph::stream::csv::{save_edges_csv, save_nodes_csv, CsvSource};
 use pg_hive_graph::stream::jsonl::{save_jsonl, JsonlSource};
 use pg_hive_graph::stream::pgt::PgtSource;
 use pg_hive_graph::{
-    ChunkedTextReader, GraphBuilder, GraphSource, LabelSetRegistry, PropertyGraph, Value,
+    ChunkedTextReader, GraphBuilder, LabelSetRegistry, PropertyGraph, RawGraphSource, Value,
 };
 use proptest::prelude::*;
 use std::io::Cursor;
@@ -87,7 +87,7 @@ enum PassText {
 }
 
 impl PassText {
-    fn into_source(self, fmt: Fmt) -> Box<dyn GraphSource> {
+    fn into_source(self, fmt: Fmt) -> Box<dyn RawGraphSource> {
         match (fmt, self) {
             (Fmt::Pgt, PassText::Single(t)) => {
                 Box::new(PgtSource::new(Cursor::new(t.into_bytes())))

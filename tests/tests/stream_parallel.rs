@@ -11,8 +11,8 @@ use pg_hive_graph::stream::csv::{save_edges_csv, save_nodes_csv, CsvSource};
 use pg_hive_graph::stream::jsonl::{save_jsonl, JsonlSource};
 use pg_hive_graph::stream::pgt::PgtSource;
 use pg_hive_graph::{
-    ChunkedTextReader, GraphBuilder, GraphSource, PropertyGraph, ReadAheadChunks, StreamWarnings,
-    Value,
+    ChunkedTextReader, GraphBuilder, PropertyGraph, RawGraphSource, ReadAheadChunks,
+    StreamWarnings, Value,
 };
 use proptest::prelude::*;
 use proptest::TestCaseError;
@@ -73,7 +73,10 @@ fn run_digest(result: &pg_hive_core::StreamResult) -> (String, u64, usize) {
 }
 
 /// Collect a chunk stream from a source, returning chunks + final warnings.
-fn chunks_of<S: GraphSource>(source: S, chunk_size: usize) -> (Vec<PropertyGraph>, StreamWarnings) {
+fn chunks_of<S: RawGraphSource>(
+    source: S,
+    chunk_size: usize,
+) -> (Vec<PropertyGraph>, StreamWarnings) {
     let mut r = ChunkedTextReader::new(source, chunk_size);
     let mut out = Vec::new();
     while let Some(c) = r.next_chunk().expect("chunking generated text") {
