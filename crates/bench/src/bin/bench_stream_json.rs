@@ -13,7 +13,13 @@
 //!
 //! plus a **raw per-chunk** run (`discover_chunk_state` per chunk, results
 //! dropped) that isolates what the canonical `SchemaState` machinery —
-//! cross-chunk absorb + finalize — costs on top of pure chunk compute.
+//! cross-chunk absorb + finalize — costs on top of pure chunk compute,
+//! and a **sharded** pair of runs (`discover_sharded` over the dataset
+//! split into a two-file directory tree, at 1 shard and at 2) gating the
+//! merge-tree engine: the 2-shard finalized schema must byte-equal the
+//! 1-shard run's strict text (`sharded_schema_match`), its labeled-type
+//! inventory must match the serial stream, and its throughput
+//! (`sharded_elements_per_sec`) must stay ≥ 0.8× the 1-shard run.
 //!
 //! Verifies all runs discover the same labeled-type inventory, checks the
 //! peak chunk-resident element count stays ≤ 2× the chunk size, that the
@@ -40,11 +46,12 @@
 //! the default single-cell run above it remains the CI regression gate.
 
 use pg_hive_core::schema::SchemaGraph;
+use pg_hive_core::serialize::pg_schema_strict;
 use pg_hive_core::{Discoverer, PipelineConfig};
 use pg_hive_datasets::{DatasetSpec, EdgeDef, NodeDef, PropDef, ValueGen};
 use pg_hive_graph::loader::{load_text, save_text};
 use pg_hive_graph::stream::pgt::PgtSource;
-use pg_hive_graph::{ChunkedTextReader, ReadAheadChunks};
+use pg_hive_graph::{ChunkedTextReader, MultiSource, ReadAheadChunks};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::fs::File;
@@ -229,16 +236,55 @@ fn main() {
         }
         t.elapsed().as_secs_f64()
     };
+    // Sharded: the same dataset split into a two-file directory tree and
+    // run through the merge-tree engine (`discover_sharded`, 2 shards —
+    // each shard folds its file with its own worker pool, shard states
+    // merge pairwise, cross-file edges resolve at the root). The second
+    // half's edges reference first-half nodes, so the pending-edge carry
+    // is on the measured path.
+    let shard_dir =
+        std::env::temp_dir().join(format!("pg-hive-bench-shards-{}", std::process::id()));
+    std::fs::create_dir_all(&shard_dir).expect("create shard dir");
+    {
+        let text = std::fs::read_to_string(&path).expect("read temp dataset");
+        let lines: Vec<&str> = text.lines().collect();
+        let mid = lines.len() / 2;
+        let half = |name: &str, ls: &[&str]| {
+            let mut out = ls.join("\n");
+            out.push('\n');
+            std::fs::write(shard_dir.join(name), out).expect("write shard file");
+        };
+        half("a.pgt", &lines[..mid]);
+        half("b.pgt", &lines[mid..]);
+    }
+    let shards = 2usize;
+    let shard_threads = (threads / shards).max(1);
+    let run_sharded = |n: usize| {
+        let t = Instant::now();
+        let source = MultiSource::enumerate(&shard_dir).expect("enumerate shard dir");
+        let result = discoverer
+            .discover_sharded(&source, n, chunk_size, shard_threads)
+            .expect("shard temp dataset");
+        (result, t.elapsed().as_secs_f64())
+    };
     let (stream_result, serial_a, max_resident, warnings) = run_serial();
     let (parallel_result, parallel_a, parallel_summary) = run_parallel();
+    let (sharded_serial_result, sharded_serial_a) = run_sharded(1);
+    let (sharded_result, sharded_a) = run_sharded(shards);
     let raw_a = run_raw();
     let (_, serial_b, _, _) = run_serial();
     let (_, parallel_b, _) = run_parallel();
+    let (_, sharded_serial_b) = run_sharded(1);
+    let (_, sharded_b) = run_sharded(shards);
     let raw_b = run_raw();
     let stream_secs = serial_a.min(serial_b);
     let stream_eps = elements as f64 / stream_secs;
     let parallel_secs = parallel_a.min(parallel_b);
     let parallel_eps = elements as f64 / parallel_secs;
+    let sharded_serial_secs = sharded_serial_a.min(sharded_serial_b);
+    let sharded_serial_eps = elements as f64 / sharded_serial_secs;
+    let sharded_secs = sharded_a.min(sharded_b);
+    let sharded_eps = elements as f64 / sharded_secs;
     let raw_secs = raw_a.min(raw_b);
     let raw_eps = elements as f64 / raw_secs;
 
@@ -272,11 +318,25 @@ fn main() {
         }
     }
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&shard_dir);
 
     let schema_match =
         labeled_inventory(&baseline_result.schema) == labeled_inventory(&stream_result.schema);
     let parallel_match =
         labeled_inventory(&stream_result.schema) == labeled_inventory(&parallel_result.schema);
+    // The merge-tree must be *byte*-identical across shard counts — not
+    // just the same inventory — and close enough in throughput to its own
+    // serial (one-shard) run that sharding is never a correctness/perf
+    // trade. The comparison is 2-shard vs 1-shard over the same tree: both
+    // sides use per-file fresh readers and root pending resolution, which
+    // is the grouping the byte-identity guarantee quantifies over (a
+    // single-file `discover_stream` groups chunks differently, so only its
+    // labeled-type inventory is required to agree).
+    let sharded_match = pg_schema_strict(&sharded_result.state.finalize(), "G")
+        == pg_schema_strict(&sharded_serial_result.state.finalize(), "G");
+    let sharded_inventory_match = labeled_inventory(&sharded_result.state.finalize())
+        == labeled_inventory(&stream_result.schema);
+    let sharded_not_slower = sharded_eps >= 0.8 * sharded_serial_eps;
     let resident_ok =
         max_resident <= 2 * chunk_size && parallel_summary.max_resident_elements <= 2 * chunk_size;
     // The overlap must at least pay for its own coordination: require the
@@ -329,8 +389,16 @@ fn main() {
         parallel_summary.max_resident_elements
     );
     println!(
-        "   labeled-type inventory match: baseline=={schema_match} parallel=={parallel_match}; \
+        "   sharded:  {sharded_secs:.3}s ({sharded_eps:.0} elem/s) at {shards} shards x \
+         {shard_threads} thread(s) vs {sharded_serial_secs:.3}s ({sharded_serial_eps:.0} \
+         elem/s) at 1 shard, {} pending edge(s) left at root",
+        sharded_result.pending.len()
+    );
+    println!(
+        "   labeled-type inventory match: baseline=={schema_match} parallel=={parallel_match} \
+         sharded=={sharded_inventory_match}; sharded strict bytes == 1-shard: {sharded_match}; \
          peak resident <= 2x chunk: {resident_ok}; parallel not slower: {parallel_not_slower}; \
+         sharded >= 0.8x 1-shard: {sharded_not_slower}; \
          canonical >= 0.9x raw: {canonical_overhead_ok}"
     );
 
@@ -377,6 +445,20 @@ fn main() {
     );
     let _ = writeln!(json, "  \"parallel_schema_match\": {parallel_match},");
     let _ = writeln!(json, "  \"parallel_not_slower\": {parallel_not_slower},");
+    let _ = writeln!(json, "  \"sharded_secs\": {sharded_secs:.6},");
+    let _ = writeln!(json, "  \"sharded_elements_per_sec\": {sharded_eps:.1},");
+    let _ = writeln!(
+        json,
+        "  \"sharded_serial_elements_per_sec\": {sharded_serial_eps:.1},"
+    );
+    let _ = writeln!(json, "  \"sharded_shards\": {shards},");
+    let _ = writeln!(json, "  \"sharded_threads_per_shard\": {shard_threads},");
+    let _ = writeln!(json, "  \"sharded_schema_match\": {sharded_match},");
+    let _ = writeln!(
+        json,
+        "  \"sharded_inventory_match\": {sharded_inventory_match},"
+    );
+    let _ = writeln!(json, "  \"sharded_not_slower\": {sharded_not_slower},");
     let _ = writeln!(json, "  \"baseline_resident_elements\": {elements},");
     let _ = writeln!(json, "  \"max_chunk_resident_elements\": {max_resident},");
     let _ = writeln!(
@@ -436,11 +518,26 @@ fn main() {
 
     if !schema_match
         || !parallel_match
+        || !sharded_match
+        || !sharded_inventory_match
         || !resident_ok
         || !parallel_not_slower
+        || !sharded_not_slower
         || !canonical_overhead_ok
         || !throughput_ok
     {
+        if !sharded_match {
+            eprintln!("FAIL: 2-shard merge-tree schema diverged from the 1-shard run");
+        }
+        if !sharded_inventory_match {
+            eprintln!("FAIL: sharded labeled-type inventory diverged from the serial stream");
+        }
+        if !sharded_not_slower {
+            eprintln!(
+                "FAIL: sharded at {sharded_eps:.0} elem/s, below 0.8x the 1-shard \
+                 merge-tree run ({sharded_serial_eps:.0} elem/s)"
+            );
+        }
         if !throughput_ok {
             eprintln!(
                 "FAIL: serial streaming at {stream_eps:.0} elem/s, below \

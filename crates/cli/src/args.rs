@@ -16,6 +16,11 @@ USAGE:
                                            for schema drift (long-running;
                                            --once = one re-check, exit 1 on
                                            drift)
+  pg-hive merge-state <out> <in>...        merge saved engine states (from
+                                           --save-state / watch rotation)
+                                           into one snapshot; refuses
+                                           incompatible method/theta/seed/
+                                           chunk-size with a snapshot: error
   pg-hive validate <data.pgt> <reference.pgt> [--loose]
                                            check data against the schema
                                            discovered from a reference graph
@@ -30,6 +35,10 @@ INPUT FORMATS (discover, diff, watch, stats):
             `;`-separated labels, empty cell = absent property
      jsonl  one JSON object per line: {\"type\":\"node\",\"id\":...,
             \"labels\":[...],\"props\":{...}} / {\"type\":\"edge\",\"src\":...}
+  With --stream, discover and watch also accept a *directory tree* of
+  mixed-format inputs: every *.pgt / *.jsonl file and every sub-directory
+  holding nodes.csv is one input, enumerated in sorted order
+  (--input-format is then ignored for recognition)
 
 STREAMING (discover, diff, stats):
   --stream                 process the input in independent chunks with
@@ -57,13 +66,25 @@ DISCOVER OPTIONS:
                            incompatible with --stream)
   --format strict|loose|xsd|summary   output (default: summary)
   --sample                 sample-based datatype inference
+  --shards <N>             with --stream over a directory tree: partition
+                           the enumerated inputs round-robin across N
+                           shards, each folding its files on its own
+                           worker pool; the merged schema is byte-identical
+                           to the serial run for every N (default: 1)
   --save-state <FILE>      after a --stream run, persist the resumable
                            engine state (schema pools + id->labels
-                           registry + config guard) as an atomic snapshot
+                           registry + carried cross-input edges + config
+                           guard) as an atomic snapshot
   --load-state <FILE>      seed a --stream run from a saved snapshot and
                            absorb this input on top; refuses snapshots
                            written under different method/theta/seed/
                            chunk-size with a named snapshot: error
+
+MERGE-STATE OPTIONS:
+  --format strict|loose|xsd|summary   after merging, print the merged
+                           schema in this format (default: summary).
+                           Carried cross-input edges resolve against the
+                           merged registry; the rest stay pending in <out>
 
 WATCH OPTIONS:
   --interval <SECS>        seconds between drift-check passes (default: 30;
@@ -77,6 +98,15 @@ WATCH OPTIONS:
                            from it on start, so a restart re-ingests only
                            bytes appended since the last checkpoint and
                            never fires a spurious drift event
+  --keep <K>               retain the last K rotated snapshots as
+                           <DIR>/watch.snapshot.1..K (1 = most recent;
+                           older ones are pruned). Requires --state-dir
+  --partition passes:<N>   roll the resident state into a retained
+                           snapshot every N passes; the reported schema
+                           is then the merge of the current partition and
+                           the last K retained ones, and registry entries
+                           older than the retention window are compacted
+                           away. Requires --state-dir and --keep
   --on-drift exec:<CMD>    run <CMD> via `sh -c` on every drift event
                            (event JSON in $PGHIVE_DRIFT_EVENT plus
                            PGHIVE_DRIFT_PASS/_TIMESTAMP/_MONOTONE/_SUMMARY)
@@ -230,6 +260,7 @@ pub enum Command {
         sample: bool,
         seed: u64,
         stream: StreamOpts,
+        shards: usize,
         save_state: Option<String>,
         load_state: Option<String>,
     },
@@ -252,7 +283,15 @@ pub enum Command {
         once: bool,
         stream: StreamOpts,
         state_dir: Option<String>,
+        keep: Option<usize>,
+        partition_passes: Option<u64>,
         on_drift: Vec<DriftSinkSpec>,
+    },
+    /// `pg-hive merge-state` — fold saved engine states into one snapshot.
+    MergeState {
+        out: String,
+        inputs: Vec<String>,
+        format: OutputFormat,
     },
     /// `pg-hive validate` — check data against a reference schema.
     Validate {
@@ -354,6 +393,8 @@ impl Args {
                 let mut once = false;
                 let mut stream = StreamOpts::default();
                 let mut state_dir = None;
+                let mut keep = None;
+                let mut partition_passes = None;
                 let mut on_drift = Vec::new();
                 while let Some(flag) = it.next() {
                     if stream.consume(&flag, &mut it)? {
@@ -370,9 +411,22 @@ impl Args {
                         "--state-dir" => {
                             state_dir = Some(it.next().ok_or("--state-dir needs a directory")?);
                         }
+                        "--keep" => keep = Some(parse_positive("--keep", it.next())?),
+                        "--partition" => partition_passes = Some(parse_partition(it.next())?),
                         "--on-drift" => on_drift.push(DriftSinkSpec::parse(it.next())?),
                         other => return Err(format!("unknown flag '{other}'")),
                     }
+                }
+                if keep.is_some() && state_dir.is_none() {
+                    return Err(
+                        "--keep requires --state-dir (retained snapshots live in the state dir)"
+                            .into(),
+                    );
+                }
+                if partition_passes.is_some() && keep.is_none() {
+                    return Err("--partition requires --state-dir and --keep (each rolled \
+                         partition becomes a retained snapshot)"
+                        .into());
                 }
                 Ok(Args {
                     command: Command::Watch {
@@ -384,6 +438,8 @@ impl Args {
                         once,
                         stream,
                         state_dir,
+                        keep,
+                        partition_passes,
                         on_drift,
                     },
                 })
@@ -397,6 +453,7 @@ impl Args {
                 let mut sample = false;
                 let mut seed = 42u64;
                 let mut stream = StreamOpts::default();
+                let mut shards = None;
                 let mut save_state = None;
                 let mut load_state = None;
                 while let Some(flag) = it.next() {
@@ -406,6 +463,7 @@ impl Args {
                     match flag.as_str() {
                         "--method" => method = parse_method(it.next())?,
                         "--theta" => theta = parse_theta(it.next())?,
+                        "--shards" => shards = Some(parse_positive("--shards", it.next())?),
                         "--save-state" => {
                             save_state = Some(it.next().ok_or("--save-state needs a file path")?);
                         }
@@ -422,19 +480,7 @@ impl Args {
                                 return Err("--batches must be >= 1".into());
                             }
                         }
-                        "--format" => {
-                            format = match it.next().as_deref() {
-                                Some("strict") => OutputFormat::Strict,
-                                Some("loose") => OutputFormat::Loose,
-                                Some("xsd") => OutputFormat::Xsd,
-                                Some("summary") => OutputFormat::Summary,
-                                other => {
-                                    return Err(format!(
-                                        "--format expects strict|loose|xsd|summary, got {other:?}"
-                                    ))
-                                }
-                            }
-                        }
+                        "--format" => format = parse_format(it.next())?,
                         "--sample" => sample = true,
                         "--seed" => seed = parse_seed(it.next())?,
                         other => return Err(format!("unknown flag '{other}'")),
@@ -452,6 +498,11 @@ impl Args {
                             .into(),
                     );
                 }
+                if shards.is_some() && !stream.stream {
+                    return Err("--shards requires --stream (shards partition the streamed \
+                         multi-source enumeration)"
+                        .into());
+                }
                 Ok(Args {
                     command: Command::Discover {
                         path,
@@ -462,8 +513,35 @@ impl Args {
                         sample,
                         seed,
                         stream,
+                        shards: shards.unwrap_or(1),
                         save_state,
                         load_state,
+                    },
+                })
+            }
+            "merge-state" => {
+                let out = it
+                    .next()
+                    .ok_or("merge-state needs an output snapshot path")?;
+                let mut inputs = Vec::new();
+                let mut format = OutputFormat::Summary;
+                while let Some(arg) = it.next() {
+                    match arg.as_str() {
+                        "--format" => format = parse_format(it.next())?,
+                        flag if flag.starts_with("--") => {
+                            return Err(format!("unknown flag '{flag}'"))
+                        }
+                        _ => inputs.push(arg),
+                    }
+                }
+                if inputs.is_empty() {
+                    return Err("merge-state needs at least one input snapshot".into());
+                }
+                Ok(Args {
+                    command: Command::MergeState {
+                        out,
+                        inputs,
+                        format,
                     },
                 })
             }
@@ -495,6 +573,34 @@ fn parse_seed(arg: Option<String>) -> Result<u64, String> {
     arg.ok_or("--seed needs a value")?
         .parse()
         .map_err(|e| format!("--seed: {e}"))
+}
+
+fn parse_format(arg: Option<String>) -> Result<OutputFormat, String> {
+    match arg.as_deref() {
+        Some("strict") => Ok(OutputFormat::Strict),
+        Some("loose") => Ok(OutputFormat::Loose),
+        Some("xsd") => Ok(OutputFormat::Xsd),
+        Some("summary") => Ok(OutputFormat::Summary),
+        other => Err(format!(
+            "--format expects strict|loose|xsd|summary, got {other:?}"
+        )),
+    }
+}
+
+/// Parse `--partition passes:<n>` — the only partitioning dimension today,
+/// but the `key:value` grammar leaves room for size- or time-based ones.
+fn parse_partition(arg: Option<String>) -> Result<u64, String> {
+    let arg = arg.ok_or("--partition needs a value")?;
+    match arg.split_once(':') {
+        Some(("passes", n)) => {
+            let n: u64 = n.parse().map_err(|e| format!("--partition passes: {e}"))?;
+            if n == 0 {
+                return Err("--partition passes must be >= 1".into());
+            }
+            Ok(n)
+        }
+        _ => Err(format!("--partition expects passes:<n>, got '{arg}'")),
+    }
 }
 
 /// Parse a flag value that must be a positive integer — `0` would mean "no
@@ -536,12 +642,14 @@ mod tests {
             sample,
             seed,
             stream,
+            shards,
             save_state,
             load_state,
         } = a.command
         else {
             panic!()
         };
+        assert_eq!(shards, 1);
         assert_eq!(save_state, None);
         assert_eq!(load_state, None);
         assert_eq!(path, "g.pgt");
@@ -845,6 +953,109 @@ mod tests {
             assert_eq!(fmt.name(), name);
             assert_eq!(InputFormat::parse(Some(name)).unwrap(), fmt);
         }
+    }
+
+    #[test]
+    fn shards_parse_and_require_stream() {
+        let a = parse(&["discover", "tree", "--stream", "--shards", "4"]).unwrap();
+        let Command::Discover { shards, .. } = a.command else {
+            panic!()
+        };
+        assert_eq!(shards, 4);
+
+        let err = parse(&["discover", "tree", "--shards", "4"]).unwrap_err();
+        assert!(err.contains("--shards requires --stream"), "{err}");
+        let err = parse(&["discover", "tree", "--stream", "--shards", "0"]).unwrap_err();
+        assert!(err.contains("--shards must be >= 1"), "{err}");
+        assert!(parse(&["discover", "tree", "--stream", "--shards", "nope"]).is_err());
+    }
+
+    #[test]
+    fn merge_state_parses_out_inputs_and_format() {
+        let a = parse(&["merge-state", "out.snap", "a.snap", "b.snap", "c.snap"]).unwrap();
+        let Command::MergeState {
+            out,
+            inputs,
+            format,
+        } = a.command
+        else {
+            panic!()
+        };
+        assert_eq!(out, "out.snap");
+        assert_eq!(inputs, vec!["a.snap", "b.snap", "c.snap"]);
+        assert_eq!(format, OutputFormat::Summary);
+
+        let a = parse(&["merge-state", "o", "a", "--format", "strict"]).unwrap();
+        let Command::MergeState { format, .. } = a.command else {
+            panic!()
+        };
+        assert_eq!(format, OutputFormat::Strict);
+
+        assert!(parse(&["merge-state"]).is_err());
+        let err = parse(&["merge-state", "out.snap"]).unwrap_err();
+        assert!(err.contains("at least one input snapshot"), "{err}");
+        assert!(parse(&["merge-state", "o", "a", "--frobnicate"]).is_err());
+        assert!(parse(&["merge-state", "o", "a", "--format", "nope"]).is_err());
+    }
+
+    #[test]
+    fn watch_keep_and_partition_parse_with_guards() {
+        let a = parse(&[
+            "watch",
+            "tree",
+            "--state-dir",
+            "sd",
+            "--keep",
+            "3",
+            "--partition",
+            "passes:5",
+        ])
+        .unwrap();
+        let Command::Watch {
+            keep,
+            partition_passes,
+            ..
+        } = a.command
+        else {
+            panic!()
+        };
+        assert_eq!(keep, Some(3));
+        assert_eq!(partition_passes, Some(5));
+
+        let err = parse(&["watch", "g", "--keep", "3"]).unwrap_err();
+        assert!(err.contains("--keep requires --state-dir"), "{err}");
+        let err =
+            parse(&["watch", "g", "--state-dir", "sd", "--partition", "passes:5"]).unwrap_err();
+        assert!(
+            err.contains("--partition requires --state-dir and --keep"),
+            "{err}"
+        );
+        let err = parse(&[
+            "watch",
+            "g",
+            "--state-dir",
+            "sd",
+            "--keep",
+            "2",
+            "--partition",
+            "rows:5",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--partition expects passes:<n>"), "{err}");
+        let err = parse(&[
+            "watch",
+            "g",
+            "--state-dir",
+            "sd",
+            "--keep",
+            "2",
+            "--partition",
+            "passes:0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--partition passes must be >= 1"), "{err}");
+        let err = parse(&["watch", "g", "--state-dir", "sd", "--keep", "0"]).unwrap_err();
+        assert!(err.contains("--keep must be >= 1"), "{err}");
     }
 
     #[test]

@@ -6,12 +6,15 @@
 //!                  [--sample] [--seed S]
 //!                  [--input-format pgt|csv|jsonl] [--stream]
 //!                  [--chunk-size N] [--threads N] [--read-ahead N]
+//!                  [--shards N]
 //! pg-hive diff     <old> <new> [--method M] [--theta T] [--seed S]
 //!                  [--input-format F] [--stream] [--chunk-size N]
 //!                  [--threads N] [--read-ahead N]
 //! pg-hive watch    <input> [--interval SECS] [--once] [--method M]
 //!                  [--theta T] [--seed S] [--input-format F]
 //!                  [--chunk-size N] [--threads N] [--read-ahead N]
+//!                  [--keep K] [--partition passes:N]
+//! pg-hive merge-state <out> <in>... [--format strict|loose|xsd|summary]
 //! pg-hive validate <graph.pgt> <schema-graph.pgt> [--loose]
 //! pg-hive stats    <input> [--input-format pgt|csv|jsonl] [--stream]
 //!                  [--read-ahead N]
@@ -44,15 +47,26 @@
 //! auto-resumed on restart, and `--on-drift exec:<cmd>` /
 //! `--on-drift jsonl:<path>` deliver structured drift events to external
 //! sinks (see [`sink`]). `discover --stream` can persist and resume the
-//! same engine state with `--save-state` / `--load-state`. See
-//! `docs/CLI.md` for the full flag reference and `docs/PERSISTENCE.md` for
-//! the snapshot format and operations runbook.
+//! same engine state with `--save-state` / `--load-state`.
+//!
+//! With `--stream`, `discover` and `watch` also accept a **directory tree**
+//! of mixed-format inputs (`*.pgt`, `*.jsonl`, sub-directories holding
+//! `nodes.csv`), enumerated in stable sorted order
+//! ([`pg_hive_graph::stream::multi::MultiSource`]). `discover --shards N`
+//! partitions the enumerated inputs round-robin across N shard threads and
+//! folds their states up a merge tree — byte-identical to the serial run
+//! for every shard count (`Discoverer::discover_sharded`). `merge-state`
+//! folds independently saved engine states (split `--save-state` runs,
+//! rotated watch partitions) into one snapshot, resolving carried
+//! cross-input edges against the merged registry. See `docs/CLI.md` for
+//! the full flag reference and `docs/PERSISTENCE.md` for the snapshot
+//! format, lifecycle, and operations runbook.
 
 #![warn(missing_docs)]
 
 use pg_hive_core::schema::SchemaGraph;
 use pg_hive_core::serialize::{pg_schema_loose, pg_schema_strict, to_xsd};
-use pg_hive_core::snapshot::{ResumeContext, SnapshotConfig};
+use pg_hive_core::snapshot::{ResumeContext, Snapshot, SnapshotConfig};
 use pg_hive_core::{
     diff_schemas, validate, Discoverer, PipelineConfig, SamplingConfig, StreamResult,
     ValidationMode,
@@ -60,7 +74,7 @@ use pg_hive_core::{
 use pg_hive_graph::loader::load_text;
 use pg_hive_graph::stream::{csv::CsvSource, jsonl::JsonlSource, pgt::PgtSource};
 use pg_hive_graph::{
-    ChunkedTextReader, GraphStats, LabelSetRegistry, PropertyGraph, RawGraphSource,
+    ChunkedTextReader, GraphStats, LabelSetRegistry, MultiSource, PropertyGraph, RawGraphSource,
     ReadAheadChunks, ReadAheadRecords, StreamSummary, StreamWarnings,
 };
 use std::io::{BufReader, Write};
@@ -200,6 +214,7 @@ fn run(args: Args) -> Result<ExitCode, String> {
             sample,
             seed,
             stream,
+            shards,
             save_state,
             load_state,
         } => {
@@ -213,6 +228,17 @@ fn run(args: Args) -> Result<ExitCode, String> {
             let discoverer = Discoverer::new(config);
 
             if stream.stream {
+                if shards > 1 || is_multi_input(&path, stream.input_format) {
+                    return discover_multi(
+                        &path,
+                        &stream,
+                        &discoverer,
+                        format,
+                        shards,
+                        save_state.as_deref(),
+                        load_state.as_deref(),
+                    );
+                }
                 if save_state.is_some() || load_state.is_some() {
                     return discover_stream_stateful(
                         &path,
@@ -224,6 +250,12 @@ fn run(args: Args) -> Result<ExitCode, String> {
                     );
                 }
                 return discover_stream(&path, &stream, &discoverer, format);
+            }
+            if is_multi_input(&path, stream.input_format) {
+                return Err(format!(
+                    "{path} is a directory of inputs — multi-source discovery requires \
+                     --stream (add --shards N to parallelize across inputs)"
+                ));
             }
 
             let graph = load_graph(&path, stream.input_format)?;
@@ -332,6 +364,8 @@ fn run(args: Args) -> Result<ExitCode, String> {
             once,
             stream,
             state_dir,
+            keep,
+            partition_passes,
             on_drift,
         } => {
             let config = PipelineConfig {
@@ -350,9 +384,16 @@ fn run(args: Args) -> Result<ExitCode, String> {
                 std::time::Duration::from_secs(interval_secs),
                 once,
                 state_dir.as_deref(),
+                keep,
+                partition_passes,
                 &sinks,
             )
         }
+        Command::MergeState {
+            out,
+            inputs,
+            format,
+        } => merge_state(&out, &inputs, format),
         Command::Validate {
             data_path,
             schema_path,
@@ -491,6 +532,42 @@ fn stream_discover(
     Ok((result, summary))
 }
 
+/// Whether `path` names a *tree* of inputs for [`MultiSource`] enumeration
+/// rather than one input: any directory, except a CSV dataset directory
+/// explicitly requested with `--input-format csv` (that directory IS the
+/// single input).
+fn is_multi_input(path: &str, format: InputFormat) -> bool {
+    let p = Path::new(path);
+    p.is_dir() && !(format == InputFormat::Csv && p.join("nodes.csv").is_file())
+}
+
+/// Load a `discover --save-state` snapshot for resuming, with the config
+/// guard and the named refusal of watch checkpoints.
+fn load_discover_state(p: &str, config: &SnapshotConfig) -> Result<ResumeContext, String> {
+    let ctx = ResumeContext::load(Path::new(p)).map_err(|e| format!("{e} (while loading {p})"))?;
+    ctx.config
+        .ensure_matches(config)
+        .map_err(|e| e.to_string())?;
+    // Symmetric to watch refusing discover save-states: a watch
+    // checkpoint carries per-file read positions that discover
+    // would silently ignore, re-ingesting input the state already
+    // contains and double-counting every instance.
+    if ctx.watch.is_some() {
+        return Err(format!(
+            "snapshot: {p} is a `watch --state-dir` checkpoint — its per-file \
+             offsets only make sense to `watch`; resume it with `pg-hive watch \
+             --state-dir`, or create a discover state with --save-state"
+        ));
+    }
+    eprintln!(
+        "resuming from {p}: {} pooled type(s), {} registered id(s), {} carried edge(s)",
+        ctx.state.pooled_types(),
+        ctx.registry.len(),
+        ctx.pending.len()
+    );
+    Ok(ctx)
+}
+
 /// The `discover --stream` path with `--save-state`/`--load-state`: run
 /// the streaming engine over a registry-carrying serial reader (the same
 /// shape `watch` uses, so the id → label-set registry can be persisted and
@@ -498,7 +575,10 @@ fn stream_discover(
 /// afterwards. Chained invocations — part 1 with `--save-state`, part 2
 /// with `--load-state` — finalize byte-identically to a single
 /// uninterrupted run over the concatenated input (proptested in
-/// `tests/tests/snapshot_resume.rs`).
+/// `tests/tests/snapshot_resume.rs`). With `--save-state`, edges whose
+/// endpoints this input never declared are carried into the snapshot's
+/// `[pending]` section instead of being dropped, so a later `--load-state`
+/// run or `merge-state` can resolve them against inputs that do.
 fn discover_stream_stateful(
     path: &str,
     opts: &StreamOpts,
@@ -509,66 +589,211 @@ fn discover_stream_stateful(
 ) -> Result<ExitCode, String> {
     let threads = resolve_threads(opts);
     let config = SnapshotConfig::new(discoverer.config(), opts.chunk_size);
-    let (mut state, registry) = match load_state {
+    let (mut state, registry, mut pending) = match load_state {
         Some(p) => {
-            let ctx = ResumeContext::load(Path::new(p))
-                .map_err(|e| format!("{e} (while loading {p})"))?;
-            ctx.config
-                .ensure_matches(&config)
-                .map_err(|e| e.to_string())?;
-            // Symmetric to watch refusing discover save-states: a watch
-            // checkpoint carries per-file read positions that discover
-            // would silently ignore, re-ingesting input the state already
-            // contains and double-counting every instance.
-            if ctx.watch.is_some() {
-                return Err(format!(
-                    "snapshot: {p} is a `watch --state-dir` checkpoint — its per-file \
-                     offsets only make sense to `watch`; resume it with `pg-hive watch \
-                     --state-dir`, or create a discover state with --save-state"
-                ));
-            }
-            eprintln!(
-                "resuming from {p}: {} pooled type(s), {} registered id(s)",
-                ctx.state.pooled_types(),
-                ctx.registry.len()
-            );
-            (ctx.state, ctx.registry)
+            let ctx = load_discover_state(p, &config)?;
+            (ctx.state, ctx.registry, ctx.pending)
         }
-        None => (discoverer.new_state(), LabelSetRegistry::default()),
+        None => (
+            discoverer.new_state(),
+            LabelSetRegistry::default(),
+            Vec::new(),
+        ),
     };
     let source = open_source(path, opts.input_format)?;
     let mut reader = ChunkedTextReader::with_registry(source, opts.chunk_size, registry);
+    // When a snapshot will be written, end-of-stream unresolved edges are
+    // carried into it (rather than dropped and counted), so split inputs
+    // merged later equal the one-shot run.
+    reader.set_carry_unresolved(save_state.is_some());
     let mut stream_err: Option<String> = None;
-    let result = discoverer
-        .resume_stream(
-            &mut state,
-            std::iter::from_fn(|| match reader.next_chunk() {
-                Ok(c) => c,
-                Err(e) => {
-                    stream_err = Some(e.to_string());
-                    None
-                }
-            }),
-            threads,
-        )
-        .map_err(|e| e.to_string())?;
+    let report = discoverer.absorb_stream(
+        std::iter::from_fn(|| match reader.next_chunk() {
+            Ok(c) => c,
+            Err(e) => {
+                stream_err = Some(e.to_string());
+                None
+            }
+        }),
+        &mut state,
+        threads,
+    );
     if let Some(e) = stream_err {
         return Err(format!("parse {path}: {e}"));
     }
-    report_warnings(&reader.warnings());
+    // Extract carried edges before reading the warning counters, so they
+    // are not double-counted as unresolved.
+    pending.extend(reader.take_pending());
+    let mut warnings = reader.warnings();
     let max_resident = reader.max_resident_elements();
+    let registry = reader.into_registry();
+    // Edges carried in from the loaded snapshot may resolve against node
+    // ids this input declared.
+    let (pending, resolved) = discoverer.resolve_pending(&mut state, &registry, pending);
+    if save_state.is_none() {
+        warnings.unresolved_edges += pending.len() as u64;
+    }
+    report_warnings(&warnings);
+    let result = StreamResult {
+        schema: state.finalize(),
+        chunk_times: report.chunk_times,
+        elements: report.elements + resolved,
+    };
     if let Some(p) = save_state {
+        let carried = pending.len();
         let ctx = ResumeContext {
             config,
             state,
-            registry: reader.into_registry(),
+            registry,
             watch: None,
+            pending,
         };
         ctx.save(Path::new(p)).map_err(|e| e.to_string())?;
-        eprintln!("state saved to {p}");
+        if carried > 0 {
+            eprintln!("state saved to {p} ({carried} cross-input edge(s) carried)");
+        } else {
+            eprintln!("state saved to {p}");
+        }
     }
 
     print_stream_schema(&result, max_resident, threads, format);
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `discover` over a directory tree of mixed-format inputs: enumerate,
+/// partition across `--shards`, fold the per-file states up the merge tree
+/// (`Discoverer::discover_sharded`) — byte-identical to the serial
+/// single-shard run for every shard count — and optionally persist the
+/// merged engine state.
+fn discover_multi(
+    path: &str,
+    opts: &StreamOpts,
+    discoverer: &Discoverer,
+    format: OutputFormat,
+    shards: usize,
+    save_state: Option<&str>,
+    load_state: Option<&str>,
+) -> Result<ExitCode, String> {
+    let source = MultiSource::enumerate(Path::new(path))
+        .map_err(|e| format!("cannot enumerate {path}: {e}"))?;
+    if source.is_empty() {
+        return Err(format!(
+            "no recognized inputs under {path}: expected *.pgt / *.jsonl files or \
+             directories holding nodes.csv"
+        ));
+    }
+    let threads = resolve_threads(opts);
+    let config = SnapshotConfig::new(discoverer.config(), opts.chunk_size);
+    let shards = shards.max(1);
+    eprintln!(
+        "discovering {} input(s) under {path}: {} shard(s) x {} worker thread(s)",
+        source.len(),
+        shards,
+        threads
+    );
+    let mut result = discoverer
+        .discover_sharded(&source, shards, opts.chunk_size, threads)
+        .map_err(|e| format!("parse {path}: {e}"))?;
+    if let Some(p) = load_state {
+        let ctx = load_discover_state(p, &config)?;
+        result.state.merge(ctx.state);
+        result.warnings.duplicate_nodes += result.registry.merge(&ctx.registry);
+        // Re-resolve: edges unresolvable on either side alone may resolve
+        // against the union registry.
+        let mut pending = std::mem::take(&mut result.pending);
+        result.warnings.unresolved_edges -= pending.len() as u64;
+        pending.extend(ctx.pending);
+        let (left, resolved) =
+            discoverer.resolve_pending(&mut result.state, &result.registry, pending);
+        result.elements += resolved;
+        result.warnings.unresolved_edges += left.len() as u64;
+        result.pending = left;
+    }
+    report_warnings(&result.warnings);
+    let schema = result.state.finalize();
+    if let Some(p) = save_state {
+        let carried = result.pending.len();
+        let ctx = ResumeContext {
+            config,
+            state: result.state,
+            registry: result.registry,
+            watch: None,
+            pending: result.pending,
+        };
+        ctx.save(Path::new(p)).map_err(|e| e.to_string())?;
+        if carried > 0 {
+            eprintln!("state saved to {p} ({carried} cross-input edge(s) carried)");
+        } else {
+            eprintln!("state saved to {p}");
+        }
+    }
+    match format {
+        OutputFormat::Strict => print!("{}", pg_schema_strict(&schema, "Discovered")),
+        OutputFormat::Loose => print!("{}", pg_schema_loose(&schema, "Discovered")),
+        OutputFormat::Xsd => print!("{}", to_xsd(&schema)),
+        OutputFormat::Summary => {
+            println!(
+                "{} elements from {} input(s) across {} shard(s) -> {} node types, \
+                 {} edge types ({} abstract)",
+                result.elements,
+                result.inputs,
+                shards,
+                schema.node_types.len(),
+                schema.edge_types.len(),
+                schema.node_types.iter().filter(|t| t.is_abstract()).count(),
+            );
+            print_type_lines(&schema);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `pg-hive merge-state <out> <in>...` — fold saved engine states into one
+/// snapshot. Snapshots written under different method/theta/seed/chunk-size
+/// are refused with a named `snapshot:` error; carried cross-input edges
+/// resolve against the merged registry and the rest stay pending in the
+/// output, ready for the next merge.
+fn merge_state(out: &str, inputs: &[String], format: OutputFormat) -> Result<ExitCode, String> {
+    let paths: Vec<&Path> = inputs.iter().map(Path::new).collect();
+    let (mut ctx, collisions) = Snapshot::merge_files(&paths).map_err(|e| e.to_string())?;
+    // Rebuild the discoverer the snapshots were produced under (the guard
+    // above proved they all agree) so pending-edge resolution embeds with
+    // the same clustering parameters.
+    let discoverer = Discoverer::new(PipelineConfig {
+        method: ctx.config.method,
+        theta: ctx.config.theta,
+        seed: ctx.config.seed,
+        ..PipelineConfig::default()
+    });
+    let pending = std::mem::take(&mut ctx.pending);
+    let (left, resolved) = discoverer.resolve_pending(&mut ctx.state, &ctx.registry, pending);
+    ctx.pending = left;
+    ctx.save(Path::new(out)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "merged {} snapshot(s) into {out}: {} pooled type(s), {} registered id(s), \
+         {} duplicate id(s) across inputs, {} carried edge(s) resolved, {} still pending",
+        inputs.len(),
+        ctx.state.pooled_types(),
+        ctx.registry.len(),
+        collisions,
+        resolved,
+        ctx.pending.len()
+    );
+    let schema = ctx.state.finalize();
+    match format {
+        OutputFormat::Strict => print!("{}", pg_schema_strict(&schema, "Discovered")),
+        OutputFormat::Loose => print!("{}", pg_schema_loose(&schema, "Discovered")),
+        OutputFormat::Xsd => print!("{}", to_xsd(&schema)),
+        OutputFormat::Summary => {
+            println!(
+                "merged schema: {} node types, {} edge types ({} abstract)",
+                schema.node_types.len(),
+                schema.edge_types.len(),
+                schema.node_types.iter().filter(|t| t.is_abstract()).count(),
+            );
+            print_type_lines(&schema);
+        }
+    }
     Ok(ExitCode::SUCCESS)
 }
 

@@ -11,11 +11,20 @@
 //! performs exactly one re-check after the baseline and exits 1 when drift
 //! was detected (0 otherwise), which is the CI-friendly mode.
 //!
+//! The input may also be a **directory tree** of mixed-format files
+//! ([`MultiSource`] enumeration: `*.pgt`, `*.jsonl`, sub-directories
+//! holding `nodes.csv`). Every enumerated input is tracked with its own
+//! per-file offsets and absorbed in stable sorted order; the file set is
+//! fixed at watch start (restart the watcher to pick up new files).
+//!
 //! Edges appended in a later pass usually reference nodes ingested in an
 //! earlier one; the chunk reader's id → label-set registry is carried
 //! across passes ([`ChunkedTextReader::with_registry`]), so such edges
 //! resolve through labeled stubs and are counted as cross-chunk warnings
-//! instead of being dropped.
+//! instead of being dropped. Warnings are aggregated **per category**
+//! across passes — whenever the totals change, one breakdown line with the
+//! running counts is printed, never the same warning repeated pass after
+//! pass.
 //!
 //! Partially written trailing lines are left unconsumed (the delta is cut
 //! at the last newline), so appending concurrently with a pass never
@@ -35,6 +44,27 @@
 //! future-version, or configuration-incompatible checkpoint is refused
 //! with a named `snapshot:` error — never silently re-ingested.
 //!
+//! # Snapshot lifecycle (`--keep`, `--partition`)
+//!
+//! `--keep K` retains the last K rotated snapshots as
+//! `<dir>/watch.snapshot.1` (most recent) through `.K`, pruning older
+//! slots; the live `watch.snapshot` itself is always promoted atomically.
+//! Without `--partition`, the previous checkpoint rotates into the chain on
+//! every pass, so the retained files are the last K pass checkpoints.
+//! With `--partition passes:<n>` the resident state is **rolled** into a
+//! retained snapshot every n passes and a fresh child state takes over;
+//! the reported schema is then the merge of the current partition and the
+//! retained window — "the schema of the last K partitions". Dropping an
+//! expired partition can therefore produce *non-monotone* drift: types
+//! only old data supported disappear, which is exactly the point. When a
+//! partition falls out of the window, registry bindings older than the
+//! window are compacted away ([`LabelSetRegistry::compact_before`]),
+//! bounding the otherwise append-only registry under rotation. An input
+//! rotation resets the resident partition but leaves the retained window
+//! intact — history already rolled is history. Retained snapshots are
+//! ordinary engine states: `pg-hive merge-state` can fold any subset of
+//! them back together offline.
+//!
 //! # Alerting (`--on-drift`)
 //!
 //! Each `--on-drift exec:<cmd>` / `--on-drift jsonl:<path>` flag attaches
@@ -44,19 +74,25 @@
 
 use crate::args::{InputFormat, StreamOpts};
 use crate::sink::{emit_all, unix_timestamp, DriftEvent, DriftSink};
+use pg_hive_core::schema::SchemaGraph;
 use pg_hive_core::serialize::pg_schema_strict;
 use pg_hive_core::snapshot::{
     context_snapshot, FileCheckpoint, ResumeContext, SnapshotConfig, WatchCheckpoint,
 };
 use pg_hive_core::{diff_schemas, AbsorbReport, Discoverer, SchemaState};
 use pg_hive_graph::stream::{csv::CsvSource, jsonl::JsonlSource, pgt::PgtSource};
-use pg_hive_graph::{ChunkedTextReader, LabelSetRegistry, RawGraphSource, StreamWarnings};
+use pg_hive_graph::{
+    ChunkedTextReader, LabelSetRegistry, MultiSource, RawGraphSource, Record, SourceKind,
+    StreamWarnings,
+};
+use std::collections::VecDeque;
 use std::io::{Cursor, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
-/// File name of the checkpoint inside `--state-dir`.
+/// File name of the checkpoint inside `--state-dir`. Rotated snapshots
+/// live next to it as `watch.snapshot.1` (most recent) … `.K`.
 const SNAPSHOT_FILE: &str = "watch.snapshot";
 
 /// How many trailing consumed bytes are remembered to recognize a file
@@ -169,122 +205,194 @@ impl TrackedFile {
 
 /// What one pass found on disk.
 struct PassRead {
-    /// The input shrank (log rotation / truncation): the resident state and
-    /// registry were invalidated and the content below is the full file.
+    /// Some input shrank (log rotation / truncation): the resident state
+    /// and registry were invalidated and the sources below hold the full
+    /// re-read content.
     rotated: bool,
-    /// Parser over the appended (or, after rotation, full) records; `None`
-    /// when nothing new was appended.
-    source: Option<Box<dyn RawGraphSource>>,
+    /// One parser per input that had appended (or, after rotation, any)
+    /// records, in stable enumeration order; empty when nothing changed.
+    sources: Vec<Box<dyn RawGraphSource>>,
 }
 
-/// A watched input: one file for pgt/jsonl, the `nodes.csv` (+ optional
+/// One watched input: one file for pgt/jsonl, the `nodes.csv` (+ optional
 /// `edges.csv`) pair for CSV.
-struct WatchedInput {
+struct WatchUnit {
     format: InputFormat,
     files: Vec<TrackedFile>,
 }
 
+impl WatchUnit {
+    fn single(path: PathBuf, format: InputFormat) -> Self {
+        let files = match format {
+            InputFormat::Pgt | InputFormat::Jsonl => vec![TrackedFile::new(path, true)],
+            InputFormat::Csv => vec![
+                TrackedFile::new(path.join("nodes.csv"), true),
+                TrackedFile::new(path.join("edges.csv"), false),
+            ],
+        };
+        Self { format, files }
+    }
+}
+
+/// The watched input set: one [`WatchUnit`] for a single-file (or CSV
+/// dataset) input, one per enumerated entry for a directory tree.
+struct WatchedInput {
+    units: Vec<WatchUnit>,
+}
+
 impl WatchedInput {
     fn open(path: &str, format: InputFormat) -> Result<Self, String> {
-        let files = match format {
-            InputFormat::Pgt | InputFormat::Jsonl => {
-                vec![TrackedFile::new(PathBuf::from(path), true)]
+        let p = Path::new(path);
+        // A directory is a multi-source tree — unless it is the CSV dataset
+        // directory the user explicitly asked for with --input-format csv.
+        if p.is_dir() && !(format == InputFormat::Csv && p.join("nodes.csv").is_file()) {
+            let ms =
+                MultiSource::enumerate(p).map_err(|e| format!("cannot enumerate {path}: {e}"))?;
+            if ms.is_empty() {
+                return Err(format!(
+                    "no recognized inputs under {path}: expected *.pgt / *.jsonl files or \
+                     directories holding nodes.csv"
+                ));
             }
-            InputFormat::Csv => {
-                let dir = PathBuf::from(path);
-                vec![
-                    TrackedFile::new(dir.join("nodes.csv"), true),
-                    TrackedFile::new(dir.join("edges.csv"), false),
-                ]
-            }
-        };
-        Ok(Self { format, files })
+            let units = ms
+                .entries()
+                .iter()
+                .map(|e| {
+                    let fmt = match e.kind {
+                        SourceKind::Pgt => InputFormat::Pgt,
+                        SourceKind::Csv => InputFormat::Csv,
+                        SourceKind::Jsonl => InputFormat::Jsonl,
+                    };
+                    WatchUnit::single(e.path.clone(), fmt)
+                })
+                .collect();
+            return Ok(Self { units });
+        }
+        Ok(Self {
+            units: vec![WatchUnit::single(PathBuf::from(path), format)],
+        })
+    }
+
+    /// Every tracked file across units, in enumeration order — the flat
+    /// list a checkpoint persists.
+    fn tracked_files(&self) -> impl Iterator<Item = &TrackedFile> {
+        self.units.iter().flat_map(|u| u.files.iter())
     }
 
     fn read_pass(&mut self) -> Result<PassRead, String> {
-        let keep_header = self.format == InputFormat::Csv;
-        let mut deltas = Vec::with_capacity(self.files.len());
+        let mut deltas: Vec<Vec<FileDelta>> = Vec::with_capacity(self.units.len());
         let mut rotated = false;
-        for f in &mut self.files {
-            match f.read_delta(keep_header)? {
-                FileDelta::Rotated => {
-                    rotated = true;
-                    break;
+        'scan: for u in &mut self.units {
+            let keep_header = u.format == InputFormat::Csv;
+            let mut ds = Vec::with_capacity(u.files.len());
+            for f in &mut u.files {
+                match f.read_delta(keep_header)? {
+                    FileDelta::Rotated => {
+                        rotated = true;
+                        break 'scan;
+                    }
+                    d => ds.push(d),
                 }
-                d => deltas.push(d),
             }
+            deltas.push(ds);
         }
         if rotated {
-            // One shrunken file invalidates the whole input: restart every
-            // offset and re-read the full content.
+            // One shrunken file invalidates the whole resident state:
+            // restart every offset and re-read every input's full content.
             deltas.clear();
-            for f in &mut self.files {
-                f.reset();
-                deltas.push(match f.read_delta(keep_header)? {
-                    FileDelta::Rotated => FileDelta::Unchanged, // racing writer; next pass
-                    d => d,
-                });
+            for u in &mut self.units {
+                let keep_header = u.format == InputFormat::Csv;
+                let mut ds = Vec::with_capacity(u.files.len());
+                for f in &mut u.files {
+                    f.reset();
+                    ds.push(match f.read_delta(keep_header)? {
+                        FileDelta::Rotated => FileDelta::Unchanged, // racing writer; next pass
+                        d => d,
+                    });
+                }
+                deltas.push(ds);
             }
         }
-        let mut bufs: Vec<Option<Vec<u8>>> = deltas
-            .into_iter()
-            .map(|d| match d {
-                FileDelta::Appended(b) => Some(b),
-                _ => None,
-            })
-            .collect();
-        if bufs.iter().all(Option::is_none) {
-            return Ok(PassRead {
-                rotated,
-                source: None,
-            });
-        }
-        let source: Box<dyn RawGraphSource> = match self.format {
-            InputFormat::Pgt => Box::new(PgtSource::new(Cursor::new(
-                bufs[0].take().unwrap_or_default(),
-            ))),
-            InputFormat::Jsonl => Box::new(JsonlSource::new(Cursor::new(
-                bufs[0].take().unwrap_or_default(),
-            ))),
-            InputFormat::Csv => {
-                // An untouched nodes.csv still contributes its header so the
-                // source can parse appended edge records.
-                let nodes = bufs[0]
-                    .take()
-                    .or_else(|| self.files[0].header.clone())
-                    .unwrap_or_default();
-                let edges = bufs[1].take();
-                Box::new(CsvSource::new(Cursor::new(nodes), edges.map(Cursor::new)))
+        let mut sources: Vec<Box<dyn RawGraphSource>> = Vec::new();
+        for (u, ds) in self.units.iter().zip(deltas) {
+            let mut bufs: Vec<Option<Vec<u8>>> = ds
+                .into_iter()
+                .map(|d| match d {
+                    FileDelta::Appended(b) => Some(b),
+                    _ => None,
+                })
+                .collect();
+            if bufs.iter().all(Option::is_none) {
+                continue;
             }
-        };
-        Ok(PassRead {
-            rotated,
-            source: Some(source),
-        })
+            let source: Box<dyn RawGraphSource> = match u.format {
+                InputFormat::Pgt => Box::new(PgtSource::new(Cursor::new(
+                    bufs[0].take().unwrap_or_default(),
+                ))),
+                InputFormat::Jsonl => Box::new(JsonlSource::new(Cursor::new(
+                    bufs[0].take().unwrap_or_default(),
+                ))),
+                InputFormat::Csv => {
+                    // An untouched nodes.csv still contributes its header so
+                    // the source can parse appended edge records.
+                    let nodes = bufs[0]
+                        .take()
+                        .or_else(|| u.files[0].header.clone())
+                        .unwrap_or_default();
+                    let edges = bufs[1].take();
+                    Box::new(CsvSource::new(Cursor::new(nodes), edges.map(Cursor::new)))
+                }
+            };
+            sources.push(source);
+        }
+        Ok(PassRead { rotated, sources })
     }
 }
 
-fn add_warnings(total: &mut StreamWarnings, w: StreamWarnings) {
-    total.cross_chunk_edges += w.cross_chunk_edges;
-    total.unresolved_edges += w.unresolved_edges;
-    total.deferred_edges += w.deferred_edges;
-    total.evicted_edges += w.evicted_edges;
-    total.duplicate_nodes += w.duplicate_nodes;
+/// One aggregated per-category warning line: only categories that occurred,
+/// each with its running total.
+fn warning_breakdown(w: &StreamWarnings) -> String {
+    let mut parts = Vec::new();
+    for (count, what) in [
+        (
+            w.cross_chunk_edges,
+            "cross-chunk edge(s) resolved through stubs",
+        ),
+        (
+            w.unresolved_edges,
+            "edge(s) dropped (endpoint never declared)",
+        ),
+        (w.evicted_edges, "edge(s) evicted from the pending buffer"),
+        (w.deferred_edges, "edge(s) arrived before an endpoint"),
+        (w.duplicate_nodes, "duplicate node id(s)"),
+    ] {
+        if count > 0 {
+            parts.push(format!("{count} {what}"));
+        }
+    }
+    parts.join(", ")
 }
 
 /// Chunk `source` (seeding the reader with the carried registry) and absorb
-/// every chunk into the resident state.
+/// every chunk into the resident state. Edges whose endpoints are still
+/// unknown at this source's EOF are pushed to `pending` instead of being
+/// dropped: a directory tree is enumerated alphabetically, so an input can
+/// reference nodes an input absorbed *later in the same pass* declares —
+/// the pass resolves its leftovers once every source has been read.
 fn absorb_source(
     source: Box<dyn RawGraphSource>,
     opts: &StreamOpts,
     threads: usize,
     discoverer: &Discoverer,
-    state: &mut SchemaState,
-    registry: &mut LabelSetRegistry,
-    warnings: &mut StreamWarnings,
+    run: &mut WatchRun,
+    pending: &mut Vec<Record>,
 ) -> Result<AbsorbReport, String> {
-    let mut reader =
-        ChunkedTextReader::with_registry(source, opts.chunk_size, std::mem::take(registry));
+    let mut reader = ChunkedTextReader::with_registry(
+        source,
+        opts.chunk_size,
+        std::mem::take(&mut run.registry),
+    );
+    reader.set_carry_unresolved(true);
     let mut stream_err: Option<String> = None;
     let report = discoverer.absorb_stream(
         std::iter::from_fn(|| match reader.next_chunk() {
@@ -294,15 +402,30 @@ fn absorb_source(
                 None
             }
         }),
-        state,
+        &mut run.state,
         threads,
     );
     if let Some(e) = stream_err {
         return Err(format!("parse error while watching: {e}"));
     }
-    add_warnings(warnings, reader.warnings());
-    *registry = reader.into_registry();
+    pending.extend(reader.take_pending());
+    run.warnings.absorb(&reader.warnings());
+    run.registry = reader.into_registry();
     Ok(report)
+}
+
+/// End-of-pass leftover resolution: try every carried edge against the full
+/// registry accumulated across all of this pass's sources; what still does
+/// not resolve is counted as unresolved (its endpoint may yet arrive in a
+/// later pass, but the resident state cannot hold unembedded records
+/// indefinitely). Returns the number of edges resolved into the state.
+fn resolve_pass_pending(discoverer: &Discoverer, run: &mut WatchRun, pending: Vec<Record>) -> u64 {
+    if pending.is_empty() {
+        return 0;
+    }
+    let (left, resolved) = discoverer.resolve_pending(&mut run.state, &run.registry, pending);
+    run.warnings.unresolved_edges += left.len() as u64;
+    resolved
 }
 
 impl TrackedFile {
@@ -324,15 +447,67 @@ impl TrackedFile {
 }
 
 /// The mutable engine context the watch loop threads through passes —
-/// exactly what a `--state-dir` checkpoint persists.
+/// exactly what a `--state-dir` checkpoint persists, plus the retained
+/// partition window (`--partition`), whose states live in the rotated
+/// snapshot files rather than the checkpoint itself.
 struct WatchRun {
+    /// The resident (current-partition) state.
     state: SchemaState,
     registry: LabelSetRegistry,
     warnings: StreamWarnings,
     pass: u64,
+    /// Completed partition states, most recent first, capped at `--keep`.
+    retained: VecDeque<SchemaState>,
 }
 
-/// Write the full resumable context to `<dir>/watch.snapshot` atomically.
+impl WatchRun {
+    /// The schema this watch reports: the resident partition merged with
+    /// every retained one ("the schema of the last K partitions").
+    fn merged_schema(&self) -> SchemaGraph {
+        if self.retained.is_empty() {
+            return self.state.finalize();
+        }
+        let mut acc = self.state.clone();
+        for s in &self.retained {
+            acc.merge(s.clone());
+        }
+        acc.finalize()
+    }
+
+    /// Roll the resident partition into the retained window: the resident
+    /// state becomes the most recent retained snapshot, `fresh` takes over,
+    /// and the registry starts a new generation. Once the window overflows
+    /// `keep`, the oldest partition is dropped and every registry binding
+    /// older than the window is compacted away — this is what bounds the
+    /// otherwise append-only id → label-set registry under rotation.
+    fn roll_partition(&mut self, keep: usize, fresh: SchemaState) {
+        let done = std::mem::replace(&mut self.state, fresh);
+        self.retained.push_front(done);
+        self.registry.advance_generation();
+        if self.retained.len() > keep {
+            self.retained.truncate(keep);
+            let min_gen = self.registry.generation().saturating_sub(keep as u32);
+            self.registry.compact_before(min_gen);
+        }
+    }
+}
+
+/// Shift the rotated snapshot chain one slot up (`.i` → `.i+1`), pruning
+/// everything beyond `keep`, leaving slot `.1` free for the next rotation.
+fn shift_rotated(dir: &Path, keep: usize) {
+    let _ = std::fs::remove_file(dir.join(format!("{SNAPSHOT_FILE}.{keep}")));
+    for i in (1..keep).rev() {
+        let from = dir.join(format!("{SNAPSHOT_FILE}.{i}"));
+        if from.exists() {
+            let _ = std::fs::rename(&from, dir.join(format!("{SNAPSHOT_FILE}.{}", i + 1)));
+        }
+    }
+}
+
+/// Write the full resumable context to `<dir>/watch.snapshot` atomically
+/// (temp file + rename — the promote step). With `rotate_keep` set
+/// (`--keep` without `--partition`), the previous checkpoint is first
+/// rotated into the `.1..K` chain instead of being overwritten.
 fn save_checkpoint(
     dir: &Path,
     config: &SnapshotConfig,
@@ -340,23 +515,75 @@ fn save_checkpoint(
     format: InputFormat,
     input: &WatchedInput,
     run: &WatchRun,
+    rotate_keep: Option<usize>,
 ) -> Result<(), String> {
     std::fs::create_dir_all(dir)
         .map_err(|e| format!("cannot create state dir {}: {e}", dir.display()))?;
+    if let Some(keep) = rotate_keep {
+        shift_rotated(dir, keep);
+        let current = dir.join(SNAPSHOT_FILE);
+        if current.exists() {
+            let _ = std::fs::rename(&current, dir.join(format!("{SNAPSHOT_FILE}.1")));
+        }
+    }
     let watch = WatchCheckpoint {
         input: path.to_string(),
         format: format.name().to_string(),
         pass: run.pass,
         warnings: run.warnings,
-        files: input.files.iter().map(TrackedFile::to_checkpoint).collect(),
+        files: input
+            .tracked_files()
+            .map(TrackedFile::to_checkpoint)
+            .collect(),
     };
     // Serialize from borrowed parts: the state pools and the registry (one
     // entry per node id ever seen) are the large pieces, and this runs
     // after *every* pass — cloning them into an owned ResumeContext first
     // would double the checkpoint's memory cost for nothing.
-    context_snapshot(config, &run.state, &run.registry, Some(&watch))
+    context_snapshot(config, &run.state, &run.registry, Some(&watch), &[])
         .write_atomic(&dir.join(SNAPSHOT_FILE))
         .map_err(|e| e.to_string())
+}
+
+/// Persist a just-completed partition as rotated snapshot `.1` (shifting
+/// the chain first). The file is an ordinary engine state with no watch
+/// progress — `pg-hive merge-state` can fold any subset of retained
+/// partitions back together offline.
+fn save_partition(
+    dir: &Path,
+    config: &SnapshotConfig,
+    run: &WatchRun,
+    keep: usize,
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create state dir {}: {e}", dir.display()))?;
+    shift_rotated(dir, keep);
+    context_snapshot(config, &run.state, &run.registry, None, &[])
+        .write_atomic(&dir.join(format!("{SNAPSHOT_FILE}.1")))
+        .map_err(|e| e.to_string())
+}
+
+/// Load the retained partition states `.1..K` (most recent first), stopping
+/// at the first missing slot.
+fn load_retained(
+    dir: &Path,
+    keep: usize,
+    config: &SnapshotConfig,
+) -> Result<VecDeque<SchemaState>, String> {
+    let mut retained = VecDeque::new();
+    for i in 1..=keep {
+        let p = dir.join(format!("{SNAPSHOT_FILE}.{i}"));
+        if !p.exists() {
+            break;
+        }
+        let ctx =
+            ResumeContext::load(&p).map_err(|e| format!("{e} (while loading {})", p.display()))?;
+        ctx.config
+            .ensure_matches(config)
+            .map_err(|e| e.to_string())?;
+        retained.push_back(ctx.state);
+    }
+    Ok(retained)
 }
 
 /// Load `<dir>/watch.snapshot` if present, validate it against this run's
@@ -402,21 +629,28 @@ fn try_resume(
             format.name()
         ));
     }
-    if watch.files.len() != input.files.len() {
+    let tracked = input.tracked_files().count();
+    if watch.files.len() != tracked {
         return Err(format!(
-            "snapshot: the checkpoint tracks {} file(s), this input has {}",
+            "snapshot: the checkpoint tracks {} file(s), this input has {} — the watched \
+             file set is fixed at watch start; use a fresh --state-dir after changing it",
             watch.files.len(),
-            input.files.len()
+            tracked
         ));
     }
-    for (tracked, cp) in input.files.iter_mut().zip(&watch.files) {
-        tracked.restore(cp);
+    let mut idx = 0;
+    for unit in &mut input.units {
+        for tracked in &mut unit.files {
+            tracked.restore(&watch.files[idx]);
+            idx += 1;
+        }
     }
     Ok(Some(WatchRun {
         state: ctx.state,
         registry: ctx.registry,
         warnings: watch.warnings,
         pass: watch.pass,
+        retained: VecDeque::new(),
     }))
 }
 
@@ -425,7 +659,10 @@ fn try_resume(
 /// without it the loop runs until the process is killed or the input
 /// becomes unreadable. With `state_dir` set, the loop checkpoints after
 /// every pass and auto-resumes from an existing checkpoint on start; each
-/// drift event is also delivered to every `sink`.
+/// drift event is also delivered to every `sink`. `keep` retains rotated
+/// snapshots, and `partition_passes` rolls the resident state into the
+/// retained window every n passes (see the module docs).
+#[allow(clippy::too_many_arguments)] // mirrors the CLI surface one-to-one
 pub fn run_watch(
     path: &str,
     opts: &StreamOpts,
@@ -433,12 +670,21 @@ pub fn run_watch(
     interval: Duration,
     once: bool,
     state_dir: Option<&str>,
+    keep: Option<usize>,
+    partition_passes: Option<u64>,
     sinks: &[DriftSink],
 ) -> Result<ExitCode, String> {
     let mut input = WatchedInput::open(path, opts.input_format)?;
     let threads = crate::resolve_threads(opts);
     let config = SnapshotConfig::new(discoverer.config(), opts.chunk_size);
     let state_dir = state_dir.map(Path::new);
+    // --keep without --partition rotates the previous checkpoint on every
+    // pass; with --partition the rotated slots hold completed partitions.
+    let rotate_keep = if partition_passes.is_none() {
+        keep
+    } else {
+        None
+    };
     let resumed = match state_dir {
         Some(dir) => try_resume(dir, &config, path, opts.input_format, &mut input)?,
         None => None,
@@ -447,20 +693,26 @@ pub fn run_watch(
     let mut run;
     let mut schema;
     match resumed {
-        Some(r) => {
-            // Resume: the baseline is the checkpointed state, finalized —
-            // byte-identical to what the killed process last saw, so a
-            // restart with no new bytes can never fire a spurious drift
-            // event.
+        Some(mut r) => {
+            // Resume: the baseline is the checkpointed state (plus, with
+            // --partition, the retained window reloaded from the rotated
+            // snapshots), finalized — byte-identical to what the killed
+            // process last saw, so a restart with no new bytes can never
+            // fire a spurious drift event.
+            if let (Some(dir), Some(k), Some(_)) = (state_dir, keep, partition_passes) {
+                r.retained = load_retained(dir, k, &config)?;
+            }
             run = r;
-            schema = run.state.finalize();
+            schema = run.merged_schema();
             eprintln!(
                 "watch {path}: resumed from checkpoint (pass {}, {} node type(s), {} edge \
-                 type(s), {} registered id(s)); re-checking every {}s{}",
+                 type(s), {} registered id(s), {} retained partition(s)); re-checking every \
+                 {}s{}",
                 run.pass,
                 schema.node_types.len(),
                 schema.edge_types.len(),
                 run.registry.len(),
+                run.retained.len(),
                 interval.as_secs(),
                 if once { " (once)" } else { "" }
             );
@@ -471,25 +723,20 @@ pub fn run_watch(
                 registry: LabelSetRegistry::default(),
                 warnings: StreamWarnings::default(),
                 pass: 1,
+                retained: VecDeque::new(),
             };
             // Baseline pass.
             let read = input.read_pass()?;
-            let baseline = match read.source {
-                Some(src) => absorb_source(
-                    src,
-                    opts,
-                    threads,
-                    discoverer,
-                    &mut run.state,
-                    &mut run.registry,
-                    &mut run.warnings,
-                )?,
-                None => AbsorbReport {
-                    elements: 0,
-                    chunk_times: Vec::new(),
-                },
-            };
-            if baseline.elements == 0 {
+            let mut elements = 0u64;
+            let mut chunks = 0usize;
+            let mut pending = Vec::new();
+            for src in read.sources {
+                let report = absorb_source(src, opts, threads, discoverer, &mut run, &mut pending)?;
+                elements += report.elements;
+                chunks += report.chunk_times.len();
+            }
+            elements += resolve_pass_pending(discoverer, &mut run, pending);
+            if elements == 0 {
                 // The named empty-input error: an empty (or CSV header-only)
                 // input would otherwise masquerade as a stable empty schema
                 // and every future pass would report drift against nothing.
@@ -498,19 +745,33 @@ pub fn run_watch(
                      nothing to watch"
                 ));
             }
-            schema = run.state.finalize();
+            schema = run.merged_schema();
             eprintln!(
                 "watch {path}: baseline {} element(s) in {} chunk(s) -> {} node type(s), \
                  {} edge type(s); re-checking every {}s{}",
-                baseline.elements,
-                baseline.chunk_times.len(),
+                elements,
+                chunks,
                 schema.node_types.len(),
                 schema.edge_types.len(),
                 interval.as_secs(),
                 if once { " (once)" } else { "" }
             );
             if let Some(dir) = state_dir {
-                save_checkpoint(dir, &config, path, opts.input_format, &input, &run)?;
+                if let (Some(n), Some(k)) = (partition_passes, keep) {
+                    if run.pass % n == 0 {
+                        save_partition(dir, &config, &run, k)?;
+                        run.roll_partition(k, discoverer.new_state());
+                    }
+                }
+                save_checkpoint(
+                    dir,
+                    &config,
+                    path,
+                    opts.input_format,
+                    &input,
+                    &run,
+                    rotate_keep,
+                )?;
             }
         }
     }
@@ -524,35 +785,37 @@ pub fn run_watch(
         if read.rotated {
             eprintln!("pass {pass}: input rotated/truncated — re-ingesting from scratch");
             run.state = discoverer.new_state();
+            // Preserve the generation counter across the reset so any
+            // retained partitions keep their place in the compaction
+            // arithmetic.
+            let generation = run.registry.generation();
             run.registry = LabelSetRegistry::default();
+            for _ in 0..generation {
+                run.registry.advance_generation();
+            }
         }
-        let absorbed = match read.source {
-            Some(src) => absorb_source(
-                src,
-                opts,
-                threads,
-                discoverer,
-                &mut run.state,
-                &mut run.registry,
-                &mut run.warnings,
-            )?,
-            None => AbsorbReport {
-                elements: 0,
-                chunk_times: Vec::new(),
-            },
-        };
-        let new_schema = run.state.finalize();
+        let warnings_before = run.warnings;
+        let mut elements = 0u64;
+        let mut pending = Vec::new();
+        for src in read.sources {
+            let report = absorb_source(src, opts, threads, discoverer, &mut run, &mut pending)?;
+            elements += report.elements;
+        }
+        elements += resolve_pass_pending(discoverer, &mut run, pending);
+        if run.warnings != warnings_before {
+            eprintln!(
+                "pass {pass}: warnings so far: {}",
+                warning_breakdown(&run.warnings)
+            );
+        }
+        let new_schema = run.merged_schema();
         let diff = diff_schemas(&schema, &new_schema);
         if diff.is_empty() {
-            println!(
-                "pass {pass}: +{} element(s), no schema drift",
-                absorbed.elements
-            );
+            println!("pass {pass}: +{elements} element(s), no schema drift");
         } else {
             drifted = true;
             println!(
-                "pass {pass}: +{} element(s), schema drift detected ({}):",
-                absorbed.elements,
+                "pass {pass}: +{elements} element(s), schema drift detected ({}):",
                 if diff.is_monotone() {
                     "monotone: additions/relaxations only"
                 } else {
@@ -565,14 +828,28 @@ pub fn run_watch(
                 &DriftEvent {
                     pass,
                     timestamp: unix_timestamp(),
-                    elements_added: absorbed.elements,
+                    elements_added: elements,
                     diff: &diff,
                 },
             );
         }
         schema = new_schema;
         if let Some(dir) = state_dir {
-            save_checkpoint(dir, &config, path, opts.input_format, &input, &run)?;
+            if let (Some(n), Some(k)) = (partition_passes, keep) {
+                if run.pass % n == 0 {
+                    save_partition(dir, &config, &run, k)?;
+                    run.roll_partition(k, discoverer.new_state());
+                }
+            }
+            save_checkpoint(
+                dir,
+                &config,
+                path,
+                opts.input_format,
+                &input,
+                &run,
+                rotate_keep,
+            )?;
         }
         if once {
             crate::report_warnings(&run.warnings);
@@ -591,6 +868,7 @@ pub fn run_watch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pg_hive_core::PipelineConfig;
 
     fn temp(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
@@ -673,5 +951,113 @@ mod tests {
             appended(t.read_delta(true).unwrap()),
             b"id,labels,name\nb,Person,Bob\n"
         );
+    }
+
+    #[test]
+    fn directory_input_enumerates_units_and_reads_mixed_deltas() {
+        let root = temp("tree");
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(root.join("a.pgt"), "N p1 Person -\n").unwrap();
+        let csvdir = root.join("orgs");
+        std::fs::create_dir_all(&csvdir).unwrap();
+        std::fs::write(csvdir.join("nodes.csv"), "id,labels\no1,Org\n").unwrap();
+
+        let mut input = WatchedInput::open(root.to_str().unwrap(), InputFormat::Pgt).unwrap();
+        assert_eq!(input.units.len(), 2);
+        // Sorted enumeration: a.pgt before orgs/.
+        assert_eq!(input.units[0].format, InputFormat::Pgt);
+        assert_eq!(input.units[1].format, InputFormat::Csv);
+        assert_eq!(input.tracked_files().count(), 3); // a.pgt + nodes.csv + edges.csv
+
+        let read = input.read_pass().unwrap();
+        assert!(!read.rotated);
+        assert_eq!(read.sources.len(), 2);
+
+        // Appending to just one file yields just that unit's source.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(root.join("a.pgt"))
+            .unwrap();
+        std::io::Write::write_all(&mut f, b"N p2 Person -\n").unwrap();
+        let read = input.read_pass().unwrap();
+        assert_eq!(read.sources.len(), 1);
+        assert_eq!(read.sources[0].format_name(), "pgt");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn three_pass_warning_counts_aggregate_per_category() {
+        // Satellite: warnings aggregate per category across passes with
+        // running counts, instead of repeating one line per occurrence.
+        let mut total = StreamWarnings::default();
+        for _ in 0..3 {
+            let pass = StreamWarnings {
+                cross_chunk_edges: 2,
+                duplicate_nodes: 1,
+                ..StreamWarnings::default()
+            };
+            total.absorb(&pass);
+        }
+        assert_eq!(total.cross_chunk_edges, 6);
+        assert_eq!(total.duplicate_nodes, 3);
+        let line = warning_breakdown(&total);
+        assert!(line.contains("6 cross-chunk edge(s)"), "{line}");
+        assert!(line.contains("3 duplicate node id(s)"), "{line}");
+        // Zero categories are deduped out of the breakdown entirely.
+        assert!(!line.contains("dropped"), "{line}");
+        assert!(!line.contains("evicted"), "{line}");
+        assert_eq!(warning_breakdown(&StreamWarnings::default()), "");
+    }
+
+    #[test]
+    fn partition_roll_retains_k_states_and_compacts_registry() {
+        let discoverer = Discoverer::new(PipelineConfig::default());
+        let opts = StreamOpts::default();
+        let mut run = WatchRun {
+            state: discoverer.new_state(),
+            registry: LabelSetRegistry::default(),
+            warnings: StreamWarnings::default(),
+            pass: 1,
+            retained: VecDeque::new(),
+        };
+        let absorb = |run: &mut WatchRun, text: &'static str| {
+            let mut pending = Vec::new();
+            absorb_source(
+                Box::new(PgtSource::new(Cursor::new(text.as_bytes().to_vec()))),
+                &opts,
+                1,
+                &discoverer,
+                run,
+                &mut pending,
+            )
+            .unwrap();
+            assert!(pending.is_empty(), "node-only input carries no edges");
+        };
+
+        absorb(&mut run, "N a1 Person -\nN a2 Person -\n");
+        assert_eq!(run.registry.len(), 2);
+        run.roll_partition(1, discoverer.new_state());
+        // Window: retained p1 + resident p2 — nothing compacted yet.
+        assert_eq!(run.retained.len(), 1);
+        assert_eq!(run.registry.len(), 2);
+
+        absorb(&mut run, "N b1 Org -\n");
+        assert_eq!(run.registry.len(), 3);
+        run.roll_partition(1, discoverer.new_state());
+        // p1 fell out of the window: its bindings are compacted away —
+        // the registry stays bounded under rotation.
+        assert_eq!(run.retained.len(), 1);
+        assert_eq!(run.registry.len(), 1);
+
+        absorb(&mut run, "N c1 Org -\n");
+        run.roll_partition(1, discoverer.new_state());
+        assert_eq!(run.registry.len(), 1);
+
+        // The reported schema covers only the retained window: the last
+        // partition's Org, not the long-expired Person partition.
+        let schema = run.merged_schema();
+        assert_eq!(schema.node_types.len(), 1);
+        assert!(schema.node_types[0].labels.contains("Org"));
     }
 }

@@ -836,3 +836,320 @@ fn snapshot_kinds_do_not_cross_load() {
     assert_eq!(code, Some(1));
     assert!(stderr.contains("no watch progress"), "{stderr}");
 }
+
+// ---------------------------------------------------------------------------
+// Sharded multi-source discovery, merge-state, and the snapshot lifecycle.
+// ---------------------------------------------------------------------------
+
+/// A directory tree of mixed-format inputs with cross-input edges: the CSV
+/// and JSONL edges reference nodes declared only in `people.pgt`.
+fn mixed_tree(name: &str) -> std::path::PathBuf {
+    let dir = temp_dir_named(name);
+    std::fs::write(
+        dir.join("people.pgt"),
+        "N a Person name=Ann,age=30\nN b Person name=Bob,age=40\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("sites.jsonl"),
+        "{\"type\":\"node\",\"id\":\"p\",\"labels\":[\"Place\"],\"props\":{\"name\":\"GR\"}}\n\
+         {\"type\":\"edge\",\"src\":\"a\",\"tgt\":\"p\",\"labels\":[\"LIVES_IN\"],\"props\":{\"since\":2020}}\n",
+    )
+    .unwrap();
+    let orgs = dir.join("orgs");
+    std::fs::create_dir_all(&orgs).unwrap();
+    std::fs::write(orgs.join("nodes.csv"), "id,labels,url\no,Org,x.com\n").unwrap();
+    std::fs::write(
+        orgs.join("edges.csv"),
+        "src,tgt,labels,from\na,o,WORKS_AT,2001\nb,o,WORKS_AT,2002\n",
+    )
+    .unwrap();
+    dir
+}
+
+#[test]
+fn watch_interval_zero_or_garbage_is_a_named_usage_error() {
+    // Regression: --interval 0 must be a parse-level refusal naming the
+    // flag, not an accepted busy-loop (or a panic on overflow).
+    let (_, stderr, code) = run(&["watch", "g.pgt", "--interval", "0"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("--interval must be >= 1"), "{stderr}");
+    for bad in ["-5", "abc"] {
+        let (_, stderr, code) = run(&["watch", "g.pgt", "--interval", bad]);
+        assert_eq!(code, Some(2), "--interval {bad}: {stderr}");
+        assert!(stderr.contains("--interval"), "--interval {bad}: {stderr}");
+    }
+}
+
+#[test]
+fn sharded_discover_over_a_mixed_tree_is_byte_identical_to_serial() {
+    let dir = mixed_tree("shard-tree");
+    let discover = |shards: &str| {
+        run(&[
+            "discover",
+            dir.to_str().unwrap(),
+            "--stream",
+            "--chunk-size",
+            "2",
+            "--format",
+            "strict",
+            "--shards",
+            shards,
+        ])
+    };
+    let (serial, err, code) = discover("1");
+    assert_eq!(code, Some(0), "{err}");
+    // Cross-input edges resolved against the merged registry, not dropped.
+    assert!(serial.contains("LIVES_IN"), "{serial}");
+    assert!(serial.contains("WORKS_AT"), "{serial}");
+    for shards in ["2", "3", "5"] {
+        let (sharded, err, code) = discover(shards);
+        assert_eq!(code, Some(0), "{err}");
+        assert_eq!(sharded, serial, "--shards {shards} diverged from serial");
+    }
+}
+
+#[test]
+fn directory_input_without_stream_is_a_named_error() {
+    let dir = mixed_tree("tree-no-stream");
+    let (_, stderr, code) = run(&["discover", dir.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("requires --stream"), "{stderr}");
+    // --shards without --stream is refused at parse time.
+    let (_, stderr, code) = run(&["discover", dir.to_str().unwrap(), "--shards", "2"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("--shards requires --stream"), "{stderr}");
+}
+
+#[test]
+fn watch_over_a_directory_tree_matches_sharded_discover() {
+    let dir = mixed_tree("watch-tree");
+    let (discover_out, err, code) = run(&[
+        "discover",
+        dir.to_str().unwrap(),
+        "--stream",
+        "--format",
+        "strict",
+    ]);
+    assert_eq!(code, Some(0), "{err}");
+    let (watch_out, watch_err, code) =
+        run(&["watch", dir.to_str().unwrap(), "--once", "--interval", "1"]);
+    assert_eq!(code, Some(0), "{watch_err}");
+    assert!(watch_out.contains("no schema drift"), "{watch_out}");
+    let schema_part = &watch_out[watch_out.find("CREATE GRAPH TYPE").expect("schema emitted")..];
+    assert_eq!(
+        schema_part, discover_out,
+        "watch over a tree diverged from sharded discover"
+    );
+}
+
+#[test]
+fn merge_state_folds_split_runs_into_the_one_shot_schema() {
+    let full = mixed_tree("merge-full");
+    let (one_shot, err, code) = run(&[
+        "discover",
+        full.to_str().unwrap(),
+        "--stream",
+        "--format",
+        "strict",
+    ]);
+    assert_eq!(code, Some(0), "{err}");
+
+    // Split the same tree across two independent discover runs...
+    let a = temp_dir_named("merge-a");
+    std::fs::copy(full.join("people.pgt"), a.join("people.pgt")).unwrap();
+    let b = temp_dir_named("merge-b");
+    std::fs::copy(full.join("sites.jsonl"), b.join("sites.jsonl")).unwrap();
+    let orgs = b.join("orgs");
+    std::fs::create_dir_all(&orgs).unwrap();
+    std::fs::copy(full.join("orgs").join("nodes.csv"), orgs.join("nodes.csv")).unwrap();
+    std::fs::copy(full.join("orgs").join("edges.csv"), orgs.join("edges.csv")).unwrap();
+    let snap_a = write_temp_named("merge-snap-a", "placeholder");
+    let snap_b = write_temp_named("merge-snap-b", "placeholder");
+    for (input, snap) in [(&a, &snap_a), (&b, &snap_b)] {
+        let (_, err, code) = run(&[
+            "discover",
+            input.to_str().unwrap(),
+            "--stream",
+            "--save-state",
+            snap.to_str().unwrap(),
+        ]);
+        assert_eq!(code, Some(0), "{err}");
+    }
+
+    // ...then fold the saved states. All three of b's edges reference
+    // people from a's run: they are carried as pending and resolve against
+    // the merged registry, and the result is byte-identical to the one-shot
+    // run over the whole tree — in either merge order.
+    for (name, order) in [
+        ("merge-out-ab", [&snap_a, &snap_b]),
+        ("merge-out-ba", [&snap_b, &snap_a]),
+    ] {
+        let out = write_temp_named(name, "placeholder");
+        let (merged, err, code) = run(&[
+            "merge-state",
+            out.to_str().unwrap(),
+            order[0].to_str().unwrap(),
+            order[1].to_str().unwrap(),
+            "--format",
+            "strict",
+        ]);
+        assert_eq!(code, Some(0), "{err}");
+        assert!(err.contains("3 carried edge(s) resolved"), "{err}");
+        assert_eq!(
+            merged, one_shot,
+            "merge order {name} diverged from one-shot"
+        );
+        assert!(out.exists(), "merged snapshot written");
+    }
+}
+
+#[test]
+fn merge_state_refuses_mismatched_configs_and_missing_inputs() {
+    let data = write_temp_named("merge-guard-data", DEMO);
+    let s1 = write_temp_named("merge-guard-s1", "placeholder");
+    let s2 = write_temp_named("merge-guard-s2", "placeholder");
+    let (_, _, code) = run(&[
+        "discover",
+        data.to_str().unwrap(),
+        "--stream",
+        "--save-state",
+        s1.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0));
+    let (_, _, code) = run(&[
+        "discover",
+        data.to_str().unwrap(),
+        "--stream",
+        "--seed",
+        "7",
+        "--save-state",
+        s2.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0));
+
+    // Snapshots written under different configurations name the field.
+    let out = write_temp_named("merge-guard-out", "placeholder");
+    let (_, stderr, code) = run(&[
+        "merge-state",
+        out.to_str().unwrap(),
+        s1.to_str().unwrap(),
+        s2.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(
+        stderr.contains("snapshot: incompatible configuration"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("seed="), "{stderr}");
+
+    // No inputs at all is a usage error.
+    let (_, stderr, code) = run(&["merge-state", out.to_str().unwrap()]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("at least one input"), "{stderr}");
+}
+
+#[test]
+fn watch_keep_rotates_checkpoints_into_a_bounded_chain() {
+    let path = write_temp_named("watch-keep", DEMO);
+    let dir = temp_dir_named("watch-keep-state");
+    let watch = || {
+        run(&[
+            "watch",
+            path.to_str().unwrap(),
+            "--once",
+            "--interval",
+            "1",
+            "--state-dir",
+            dir.to_str().unwrap(),
+            "--keep",
+            "2",
+        ])
+    };
+    // Run 1 checkpoints twice (baseline + one pass): the live snapshot
+    // plus one rotated slot.
+    let (_, err, code) = watch();
+    assert_eq!(code, Some(0), "{err}");
+    assert!(dir.join("watch.snapshot").exists());
+    assert!(dir.join("watch.snapshot.1").exists());
+    assert!(!dir.join("watch.snapshot.2").exists());
+    // Runs 2 and 3 resume (one more pass each): the chain fills to K=2 and
+    // never grows past it.
+    let (_, err, code) = watch();
+    assert_eq!(code, Some(0), "{err}");
+    assert!(dir.join("watch.snapshot.2").exists());
+    let (_, err, code) = watch();
+    assert_eq!(code, Some(0), "{err}");
+    assert!(dir.join("watch.snapshot.1").exists());
+    assert!(dir.join("watch.snapshot.2").exists());
+    assert!(
+        !dir.join("watch.snapshot.3").exists(),
+        "--keep 2 must prune the chain"
+    );
+    // A rotated slot is a loadable snapshot: merge-state accepts it.
+    let out = write_temp_named("watch-keep-merged", "placeholder");
+    let (_, stderr, code) = run(&[
+        "merge-state",
+        out.to_str().unwrap(),
+        dir.join("watch.snapshot.1").to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+}
+
+#[test]
+fn watch_partition_rolls_are_ordinary_mergeable_states() {
+    let path = write_temp_named("watch-partition", DEMO);
+    let dir = temp_dir_named("watch-partition-state");
+    let (stdout, stderr, code) = run(&[
+        "watch",
+        path.to_str().unwrap(),
+        "--once",
+        "--interval",
+        "1",
+        "--state-dir",
+        dir.to_str().unwrap(),
+        "--keep",
+        "2",
+        "--partition",
+        "passes:1",
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+    // passes:1 rolls after every pass: the baseline partition (all of DEMO)
+    // has rotated into slot .2, pass 2's (empty) partition into .1.
+    assert!(dir.join("watch.snapshot.1").exists());
+    assert!(dir.join("watch.snapshot.2").exists());
+    // No drift: the merged window still covers everything ingested.
+    assert!(stdout.contains("no schema drift"), "{stdout}");
+    // Folding the retained partitions offline reproduces the schema of a
+    // plain streamed discover over the same data.
+    let (discover_out, _, code) = run(&[
+        "discover",
+        path.to_str().unwrap(),
+        "--stream",
+        "--format",
+        "strict",
+    ]);
+    assert_eq!(code, Some(0));
+    let out = write_temp_named("watch-partition-merged", "placeholder");
+    let (merged, stderr, code) = run(&[
+        "merge-state",
+        out.to_str().unwrap(),
+        dir.join("watch.snapshot.1").to_str().unwrap(),
+        dir.join("watch.snapshot.2").to_str().unwrap(),
+        "--format",
+        "strict",
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert_eq!(
+        merged, discover_out,
+        "merged retained partitions diverged from one-shot discover"
+    );
+    // The guard flags are validated: --partition without --keep is a usage
+    // error, as is --keep without --state-dir.
+    let (_, stderr, code) = run(&["watch", path.to_str().unwrap(), "--partition", "passes:2"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--partition requires"), "{stderr}");
+    let (_, stderr, code) = run(&["watch", path.to_str().unwrap(), "--keep", "2"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--keep requires --state-dir"), "{stderr}");
+}

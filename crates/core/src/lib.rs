@@ -88,7 +88,8 @@ pub use config::{ClusterMethod, EmbeddingStrategy, PipelineConfig, SamplingConfi
 pub use diff::{diff_schemas, SchemaDiff};
 pub use parse::{parse_pg_schema, ParseError, ParsedMode};
 pub use pipeline::{
-    AbsorbReport, Discoverer, DiscoveryResult, PipelineStats, StageTimings, StreamResult,
+    AbsorbReport, Discoverer, DiscoveryResult, PipelineStats, ShardedResult, StageTimings,
+    StreamResult,
 };
 pub use retract::{retract_batch, RetractionStats};
 pub use schema::{

@@ -21,7 +21,11 @@ use crate::schema::SchemaGraph;
 use crate::snapshot::SnapshotError;
 use crate::state::SchemaState;
 use pg_hive_embed::{HashEmbedder, LabelEmbedder, Word2Vec};
-use pg_hive_graph::{split_batches, GraphBatch, PropertyGraph};
+use pg_hive_graph::stream::multi::SourceEntry;
+use pg_hive_graph::{
+    split_batches, ChunkedTextReader, GraphBatch, GraphBuilder, LabelSetRegistry, MultiSource,
+    PropertyGraph, Record, StreamError, StreamWarnings,
+};
 use pg_hive_lsh::{AdaptiveParams, ElementClass};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -111,6 +115,48 @@ pub struct StreamResult {
     pub chunk_times: Vec<Duration>,
     /// Total elements (nodes + edges) consumed.
     pub elements: u64,
+}
+
+/// Result of a [`Discoverer::discover_sharded`] merge-tree run: the root
+/// of the fold, after cross-shard pending-edge resolution.
+#[derive(Debug)]
+pub struct ShardedResult {
+    /// The folded root state — finalize for the schema. Byte-identical to
+    /// the serial (`shards = 1`) run's for every shard count.
+    pub state: SchemaState,
+    /// The merged id → label-set registry across every input.
+    pub registry: LabelSetRegistry,
+    /// Carried edges no input's registry could resolve — persisted by
+    /// `--save-state` so a later `merge-state` can resolve them.
+    pub pending: Vec<Record>,
+    /// Per-category warning counts summed across shards and files.
+    pub warnings: StreamWarnings,
+    /// Elements (nodes + edges) consumed, including resolved carried edges.
+    pub elements: u64,
+    /// Number of inputs (files / CSV dataset dirs) processed.
+    pub inputs: usize,
+}
+
+/// One shard's (or merge level's) accumulator while the tree folds.
+struct ShardOutcome {
+    state: SchemaState,
+    registry: LabelSetRegistry,
+    warnings: StreamWarnings,
+    pending: Vec<Record>,
+    elements: u64,
+    inputs: usize,
+}
+
+impl ShardOutcome {
+    /// Fold a sibling into this node of the merge tree.
+    fn absorb(&mut self, other: ShardOutcome) {
+        self.state.merge(other.state);
+        self.warnings.absorb(&other.warnings);
+        self.warnings.duplicate_nodes += self.registry.merge(&other.registry);
+        self.pending.extend(other.pending);
+        self.elements += other.elements;
+        self.inputs += other.inputs;
+    }
 }
 
 /// Accounting from one [`Discoverer::absorb_stream`] pass (the schema lives
@@ -570,6 +616,182 @@ impl Discoverer {
         })
     }
 
+    /// Sharded discovery over a [`MultiSource`] — the merge-tree run.
+    ///
+    /// The entry list is dealt round-robin across `shards` partitions; each
+    /// shard reads **its files one at a time with a fresh reader** (fresh
+    /// registry, so a file's chunk boundaries depend only on that file and
+    /// the chunk size, never on which shard it landed on) and folds the
+    /// per-file states with the associative+commutative
+    /// [`SchemaState::merge`]. Shards run on their own threads, each with
+    /// `threads` chunk workers ([`Self::absorb_stream`]); shard states then
+    /// fold pairwise up a merge tree. Because every per-file state is
+    /// partition-invariant and the fold is order-insensitive,
+    /// `discover_sharded(src, n, ..)` finalizes **byte-identically** to
+    /// `discover_sharded(src, 1, ..)` — the serial single-state run — for
+    /// every shard count.
+    ///
+    /// Cross-file edges (an edge in one file whose endpoint node only some
+    /// other file declares) are carried out of each reader
+    /// ([`ChunkedTextReader::take_pending`]) and resolved at the root
+    /// against the merged registry, **one edge at a time** in its own
+    /// two-stub mini-graph, so each contributes cardinality 1:1 and an
+    /// endpoint-label pair no matter when or where it resolves — which is
+    /// what makes split `--save-state` runs merged later with
+    /// `merge-state` equal to the one-shot run. Edges whose endpoints no
+    /// input declares stay in [`ShardedResult::pending`] (and count as
+    /// unresolved warnings).
+    ///
+    /// Node ids are expected to be unique across the whole tree; a
+    /// duplicate id re-declared by another file counts toward
+    /// `duplicate_nodes` and the later-merged binding wins for stub labels.
+    pub fn discover_sharded(
+        &self,
+        source: &MultiSource,
+        shards: usize,
+        chunk_size: usize,
+        threads: usize,
+    ) -> Result<ShardedResult, StreamError> {
+        let shards = shards.max(1);
+        let parts = source.partition(shards);
+        let outcomes: Vec<Result<ShardOutcome, StreamError>> = if shards == 1 {
+            vec![self.run_shard(&parts[0], chunk_size, threads)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = parts
+                    .iter()
+                    .map(|part| scope.spawn(move || self.run_shard(part, chunk_size, threads)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+        };
+        let mut folds: Vec<ShardOutcome> = outcomes.into_iter().collect::<Result<_, _>>()?;
+        // Hierarchical fold: merge adjacent pairs until one state remains.
+        // Any tree shape would finalize identically; pairwise rounds keep
+        // each merge between states of similar size.
+        while folds.len() > 1 {
+            let mut next = Vec::with_capacity(folds.len().div_ceil(2));
+            let mut iter = folds.into_iter();
+            while let Some(mut left) = iter.next() {
+                if let Some(right) = iter.next() {
+                    left.absorb(right);
+                }
+                next.push(left);
+            }
+            folds = next;
+        }
+        let mut root = folds.pop().expect("at least one shard");
+        let (pending, resolved) =
+            self.resolve_pending(&mut root.state, &root.registry, root.pending);
+        root.elements += resolved;
+        root.warnings.unresolved_edges += pending.len() as u64;
+        Ok(ShardedResult {
+            state: root.state,
+            registry: root.registry,
+            pending,
+            warnings: root.warnings,
+            elements: root.elements,
+            inputs: root.inputs,
+        })
+    }
+
+    /// One shard's serial fold over its file partition.
+    fn run_shard(
+        &self,
+        entries: &[SourceEntry],
+        chunk_size: usize,
+        threads: usize,
+    ) -> Result<ShardOutcome, StreamError> {
+        let mut out = ShardOutcome {
+            state: self.new_state(),
+            registry: LabelSetRegistry::default(),
+            warnings: StreamWarnings::default(),
+            pending: Vec::new(),
+            elements: 0,
+            inputs: 0,
+        };
+        for entry in entries {
+            let mut reader = ChunkedTextReader::new(entry.open()?, chunk_size);
+            reader.set_carry_unresolved(true);
+            let mut err = None;
+            let report = self.absorb_stream(
+                std::iter::from_fn(|| match reader.next_chunk() {
+                    Ok(c) => c,
+                    Err(e) => {
+                        err = Some(e);
+                        None
+                    }
+                }),
+                &mut out.state,
+                threads,
+            );
+            if let Some(e) = err {
+                return Err(e);
+            }
+            out.elements += report.elements;
+            // Order matters: extract carried edges before the warning
+            // counters, so they are not double-counted as unresolved.
+            out.pending.extend(reader.take_pending());
+            out.warnings.absorb(&reader.warnings());
+            out.warnings.duplicate_nodes += out.registry.merge(&reader.into_registry());
+            out.inputs += 1;
+        }
+        Ok(out)
+    }
+
+    /// Resolve carried cross-file edges against a (merged) registry: each
+    /// edge whose two endpoint ids the registry knows is absorbed in its
+    /// own two-stub mini-graph — a deterministic contribution independent
+    /// of resolution order or grouping. Returns the still-unresolvable
+    /// records and the number resolved.
+    pub fn resolve_pending(
+        &self,
+        state: &mut SchemaState,
+        registry: &LabelSetRegistry,
+        pending: Vec<Record>,
+    ) -> (Vec<Record>, u64) {
+        let shared = self.shared_embedder();
+        let mut unresolved = Vec::new();
+        let mut resolved = 0u64;
+        for rec in pending {
+            let Record::Edge {
+                src,
+                tgt,
+                labels,
+                props,
+            } = rec
+            else {
+                continue;
+            };
+            let (Some(src_ls), Some(tgt_ls)) = (registry.label_set(&src), registry.label_set(&tgt))
+            else {
+                unresolved.push(Record::Edge {
+                    src,
+                    tgt,
+                    labels,
+                    props,
+                });
+                continue;
+            };
+            let mut b = GraphBuilder::new();
+            let src_labels: Vec<&str> = src_ls.iter().map(String::as_str).collect();
+            let tgt_labels: Vec<&str> = tgt_ls.iter().map(String::as_str).collect();
+            let s = b.add_stub_node(&src_labels);
+            let t = b.add_stub_node(&tgt_labels);
+            let edge_labels: Vec<&str> = labels.iter().map(String::as_str).collect();
+            let edge_props: Vec<(&str, pg_hive_graph::Value)> =
+                props.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+            b.add_edge(s, t, &edge_labels, &edge_props);
+            let g = b.finish();
+            state.merge(self.chunk_state_with(&g, shared.as_deref()));
+            resolved += 1;
+        }
+        (unresolved, resolved)
+    }
+
     /// One independent chunk's full pipeline pass — preprocess, LSH
     /// clustering, type extraction, post-processing — into a chunk-local
     /// [`SchemaState`] with member lists cleared (they hold chunk-local ids
@@ -584,8 +806,17 @@ impl Discoverer {
         g: &PropertyGraph,
         shared: Option<&dyn LabelEmbedder>,
     ) -> SchemaState {
+        // Stub endpoints exist only so cross-chunk edges keep their endpoint
+        // label sets — the real node is counted in whichever chunk declares
+        // it. Excluding stubs here makes streamed instance counts and
+        // property statistics *exact* (identical to the resident run) for
+        // every chunk size and shard partition.
         let batch = GraphBatch {
-            nodes: g.nodes().map(|(id, _)| id).collect(),
+            nodes: g
+                .nodes()
+                .filter(|&(id, _)| !g.is_stub(id))
+                .map(|(id, _)| id)
+                .collect(),
             edges: g.edges().map(|(id, _)| id).collect(),
         };
         let owned;
@@ -960,6 +1191,139 @@ mod tests {
         let few = d.discover_stream_parallel(vec![figure1()], 8);
         assert_eq!(few.elements, 14);
         assert_eq!(few.schema.node_types.len(), 4);
+    }
+
+    #[test]
+    fn sharded_directory_run_is_byte_identical_to_serial() {
+        use std::fs;
+        let root =
+            std::env::temp_dir().join(format!("pg-hive-sharded-unit-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).unwrap();
+        // Mixed formats with cross-file edges: people in the .pgt, orgs in
+        // the CSV dataset, employment in the .jsonl referencing both.
+        fs::write(
+            root.join("people.pgt"),
+            "N p1 Person name=Ann\nN p2 Person name=Bob\nE p1 p2 KNOWS since=2020\n",
+        )
+        .unwrap();
+        let csvdir = root.join("orgs");
+        fs::create_dir_all(&csvdir).unwrap();
+        fs::write(
+            csvdir.join("nodes.csv"),
+            "id,labels,url\no1,Org,example.com\no2,Org,example.org\n",
+        )
+        .unwrap();
+        fs::write(
+            root.join("jobs.jsonl"),
+            concat!(
+                r#"{"type":"edge","src":"p1","tgt":"o1","labels":["WORKS_AT"],"props":{"from":2019}}"#,
+                "\n",
+                r#"{"type":"edge","src":"p2","tgt":"o2","labels":["WORKS_AT"],"props":{"from":2021}}"#,
+                "\n",
+                r#"{"type":"edge","src":"p2","tgt":"ghost","labels":["WORKS_AT"],"props":{}}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+
+        let source = MultiSource::enumerate(&root).unwrap();
+        assert_eq!(source.len(), 3);
+        let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+        let serial = d.discover_sharded(&source, 1, 2, 1).unwrap();
+        let serial_text = crate::serialize::pg_schema_strict(&serial.state.finalize(), "G");
+        assert_eq!(serial.inputs, 3);
+        // The ghost-endpoint edge stays pending and is counted unresolved.
+        assert_eq!(serial.pending.len(), 1);
+        assert_eq!(serial.warnings.unresolved_edges, 1);
+        // Cross-file WORKS_AT edges resolved against the merged registry.
+        assert!(serial_text.contains("WORKS_AT"), "{serial_text}");
+        for shards in [2, 3, 4, 7] {
+            for threads in [1, 2] {
+                let sharded = d.discover_sharded(&source, shards, 2, threads).unwrap();
+                assert_eq!(
+                    crate::serialize::pg_schema_strict(&sharded.state.finalize(), "G"),
+                    serial_text,
+                    "shards {shards} threads {threads}"
+                );
+                assert_eq!(sharded.elements, serial.elements, "shards {shards}");
+                assert_eq!(sharded.warnings, serial.warnings, "shards {shards}");
+                assert_eq!(sharded.pending.len(), 1);
+            }
+        }
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn split_runs_merged_equal_one_shot() {
+        use crate::snapshot::{ResumeContext, Snapshot, SnapshotConfig};
+        use std::fs;
+        let root = std::env::temp_dir().join(format!("pg-hive-merge-unit-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let people = "N p1 Person name=Ann\nN p2 Person name=Bob\nE p1 p2 KNOWS since=2020\n";
+        let orgs = "N o1 Org url=example.com\nN o2 Org url=example.org\n";
+        // Cross-split edges: their endpoints live in the *other* run.
+        let jobs = "E p1 o1 WORKS_AT from=2019\nE p2 o2 WORKS_AT from=2021\n";
+        for (dir, files) in [
+            (
+                "all",
+                vec![("a.pgt", people), ("b.pgt", orgs), ("c.pgt", jobs)],
+            ),
+            ("left", vec![("a.pgt", people)]),
+            ("right", vec![("b.pgt", orgs), ("c.pgt", jobs)]),
+        ] {
+            fs::create_dir_all(root.join(dir)).unwrap();
+            for (name, text) in files {
+                fs::write(root.join(dir).join(name), text).unwrap();
+            }
+        }
+        let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+        let chunk = 2;
+        let run = |dir: &str| {
+            let src = MultiSource::enumerate(&root.join(dir)).unwrap();
+            d.discover_sharded(&src, 1, chunk, 1).unwrap()
+        };
+        let one_shot = run("all");
+        let one_shot_text = crate::serialize::pg_schema_strict(&one_shot.state.finalize(), "G");
+        assert!(one_shot.pending.is_empty());
+
+        // Save each half as a snapshot file, merge, resolve, finalize.
+        let mut paths = Vec::new();
+        for half in ["left", "right"] {
+            let r = run(half);
+            let ctx = ResumeContext {
+                config: SnapshotConfig::new(d.config(), chunk),
+                state: r.state,
+                registry: r.registry,
+                watch: None,
+                pending: r.pending,
+            };
+            let path = root.join(format!("{half}.snapshot"));
+            ctx.save(&path).unwrap();
+            paths.push(path);
+        }
+        let (mut merged, collisions) = Snapshot::merge_files(&paths).unwrap();
+        assert_eq!(collisions, 0);
+        // The WORKS_AT edges were pending in the right half (their Person
+        // endpoints live in the left half) and resolve only now.
+        assert_eq!(merged.pending.len(), 2);
+        let (left_over, resolved) =
+            d.resolve_pending(&mut merged.state, &merged.registry, merged.pending);
+        assert_eq!((left_over.len(), resolved), (0, 2));
+        assert_eq!(
+            crate::serialize::pg_schema_strict(&merged.state.finalize(), "G"),
+            one_shot_text
+        );
+        // Merge order must not matter either.
+        let rev: Vec<_> = paths.iter().rev().collect();
+        let (mut merged_rev, _) = Snapshot::merge_files(&rev).unwrap();
+        let pending = std::mem::take(&mut merged_rev.pending);
+        d.resolve_pending(&mut merged_rev.state, &merged_rev.registry, pending);
+        assert_eq!(
+            crate::serialize::pg_schema_strict(&merged_rev.state.finalize(), "G"),
+            one_shot_text
+        );
+        fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -56,7 +56,7 @@ use crate::config::{ClusterMethod, PipelineConfig};
 use crate::schema::{Cardinality, EdgeType, LabelSet, NodeType, PropertySpec};
 use crate::state::SchemaState;
 use pg_hive_graph::snapshot::{bytes_from_hex, bytes_to_hex, escape_field, unescape_field};
-use pg_hive_graph::{LabelSetRegistry, StreamWarnings, ValueKind};
+use pg_hive_graph::{LabelSetRegistry, Record, StreamWarnings, Value, ValueKind};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::Write;
@@ -80,6 +80,10 @@ pub const SECTION_REGISTRY: &str = "registry";
 pub const SECTION_WATCH: &str = "watch";
 /// Section holding per-file offsets/fingerprints ([`FileCheckpoint`]s).
 pub const SECTION_FILES: &str = "files";
+/// Section holding carried cross-shard edges whose endpoints were not
+/// declared by any input of the saving run — resolvable after a later
+/// `merge-state` unions the registries.
+pub const SECTION_PENDING: &str = "pending";
 
 /// Everything that can go wrong while saving, loading, or resuming from a
 /// snapshot. Every rendering starts with `snapshot:` so operators (and the
@@ -330,6 +334,30 @@ impl Snapshot {
             detail: e.to_string(),
         })?;
         Self::parse(&text)
+    }
+
+    /// Load every snapshot file and fold them into one [`ResumeContext`]
+    /// with [`ResumeContext::merge`] — the engine under `pg-hive
+    /// merge-state`. The first file is the base; each further file must
+    /// carry an identical configuration or the fold stops with
+    /// [`SnapshotError::Incompatible`]. Returns the merged context plus the
+    /// total node-id collision count across all merges (carried pending
+    /// edges are concatenated, **not** yet resolved — resolve them against
+    /// the merged registry with the discovery pipeline before finalizing).
+    pub fn merge_files<P: AsRef<Path>>(paths: &[P]) -> Result<(ResumeContext, u64), SnapshotError> {
+        let mut iter = paths.iter();
+        let first = iter
+            .next()
+            .ok_or_else(|| malformed("merge needs at least one snapshot file"))?;
+        let mut merged = ResumeContext::load(first.as_ref())?;
+        // A merged state is no longer any single watch's checkpoint, even
+        // when only one input was given.
+        merged.watch = None;
+        let mut collisions = 0u64;
+        for path in iter {
+            collisions += merged.merge(ResumeContext::load(path.as_ref())?)?;
+        }
+        Ok((merged, collisions))
     }
 }
 
@@ -887,6 +915,104 @@ fn watch_from_sections(
 }
 
 // ---------------------------------------------------------------------------
+// [pending] — carried cross-shard edges awaiting endpoint resolution.
+// ---------------------------------------------------------------------------
+
+/// Serialize carried edges into `[pending]` lines:
+/// `edge <src> <tgt> <labels> <key>:<value> ...`, every field escaped,
+/// labels `,`-joined (`-` when unlabeled), values in their lexical form.
+/// Kind inference runs on lexical forms ([`Value::parse_lexical`]), so the
+/// round-trip loses nothing schema-relevant. Non-edge records are skipped
+/// defensively — only edges are ever carried.
+pub fn pending_section_lines(pending: &[Record]) -> Vec<String> {
+    let mut lines = Vec::with_capacity(pending.len());
+    for rec in pending {
+        let Record::Edge {
+            src,
+            tgt,
+            labels,
+            props,
+        } = rec
+        else {
+            continue;
+        };
+        let labels_tok = if labels.is_empty() {
+            "-".to_string()
+        } else {
+            labels
+                .iter()
+                .map(|l| escape_field(l))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mut line = format!(
+            "edge {} {} {labels_tok}",
+            escape_field(src),
+            escape_field(tgt)
+        );
+        for (k, v) in props {
+            line.push(' ');
+            line.push_str(&escape_field(k));
+            line.push(':');
+            line.push_str(&escape_field(&v.lexical()));
+        }
+        lines.push(line);
+    }
+    lines
+}
+
+/// Rebuild carried edges from [`pending_section_lines`] output.
+pub fn pending_from_lines(lines: &[String]) -> Result<Vec<Record>, SnapshotError> {
+    let mut out = Vec::with_capacity(lines.len());
+    for line in lines {
+        let mut tokens = line.split(' ');
+        match tokens.next() {
+            Some("edge") => {}
+            other => {
+                return Err(malformed(format!(
+                    "pending line starts with '{}' instead of 'edge'",
+                    other.unwrap_or_default()
+                )))
+            }
+        }
+        let mut field = |what: &str| {
+            tokens
+                .next()
+                .ok_or_else(|| malformed(format!("pending edge has no {what}")))
+        };
+        let src = unescape_field(field("source id")?).map_err(malformed)?;
+        let tgt = unescape_field(field("target id")?).map_err(malformed)?;
+        let labels_tok = field("labels")?;
+        let labels = if labels_tok == "-" {
+            Vec::new()
+        } else {
+            labels_tok
+                .split(',')
+                .map(|l| unescape_field(l).map_err(malformed))
+                .collect::<Result<_, _>>()?
+        };
+        let props = tokens
+            .map(|tok| {
+                let (k, v) = tok.split_once(':').ok_or_else(|| {
+                    malformed(format!("pending property '{tok}' is not key:value"))
+                })?;
+                Ok((
+                    unescape_field(k).map_err(malformed)?,
+                    Value::parse_lexical(&unescape_field(v).map_err(malformed)?),
+                ))
+            })
+            .collect::<Result<_, SnapshotError>>()?;
+        out.push(Record::Edge {
+            src,
+            tgt,
+            labels,
+            props,
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
 // The full resumable context.
 // ---------------------------------------------------------------------------
 
@@ -905,6 +1031,10 @@ pub struct ResumeContext {
     pub registry: LabelSetRegistry,
     /// Watch progress; `None` for plain `discover` save-states.
     pub watch: Option<WatchCheckpoint>,
+    /// Carried edges whose endpoints no input of the saving run declared —
+    /// kept verbatim so a later [`ResumeContext::merge`] can resolve them
+    /// against the unioned registry. Empty for most snapshots.
+    pub pending: Vec<Record>,
 }
 
 /// Render a snapshot from **borrowed** context parts — the serializer
@@ -917,6 +1047,7 @@ pub fn context_snapshot(
     state: &SchemaState,
     registry: &LabelSetRegistry,
     watch: Option<&WatchCheckpoint>,
+    pending: &[Record],
 ) -> Snapshot {
     let mut snap = Snapshot::new();
     snap.push_section(SECTION_CONFIG, config.section_lines());
@@ -925,6 +1056,9 @@ pub fn context_snapshot(
     if let Some(w) = watch {
         snap.push_section(SECTION_WATCH, watch_section_lines(w));
         snap.push_section(SECTION_FILES, files_section_lines(&w.files));
+    }
+    if !pending.is_empty() {
+        snap.push_section(SECTION_PENDING, pending_section_lines(pending));
     }
     snap
 }
@@ -937,6 +1071,7 @@ impl ResumeContext {
             &self.state,
             &self.registry,
             self.watch.as_ref(),
+            &self.pending,
         )
     }
 
@@ -958,12 +1093,42 @@ impl ResumeContext {
             None => None,
             Some(watch_lines) => Some(watch_from_sections(watch_lines, need(SECTION_FILES)?)?),
         };
+        let pending = match snap.section(SECTION_PENDING) {
+            None => Vec::new(),
+            Some(lines) => pending_from_lines(lines)?,
+        };
         Ok(Self {
             config,
             state,
             registry,
             watch,
+            pending,
         })
+    }
+
+    /// Merge another context into this one — the snapshot-to-snapshot
+    /// aggregation under `pg-hive merge-state`. States merge with the
+    /// associative+commutative [`SchemaState::merge`], registries union
+    /// (the other side's binding wins on node-id collisions), and carried
+    /// pending edges concatenate for later resolution against the unioned
+    /// registry. Any watch checkpoint is dropped: per-file read positions
+    /// are meaningless for a state aggregated across machines.
+    ///
+    /// Returns the number of node-id collisions (ids bound by both
+    /// registries — expected to be 0 when inputs were split cleanly).
+    ///
+    /// # Errors
+    /// [`SnapshotError::Incompatible`] when the other context was produced
+    /// under a different method, θ, seed, or chunk size — merging states
+    /// from different configurations would produce a schema no single run
+    /// could have produced.
+    pub fn merge(&mut self, other: ResumeContext) -> Result<u64, SnapshotError> {
+        self.config.ensure_matches(&other.config)?;
+        self.state.merge(other.state);
+        let collisions = self.registry.merge(&other.registry);
+        self.pending.extend(other.pending);
+        self.watch = None;
+        Ok(collisions)
     }
 
     /// Atomically write the context as a snapshot file.
@@ -1157,12 +1322,31 @@ mod tests {
                     },
                 ],
             }),
+            pending: vec![
+                Record::Edge {
+                    src: "node one".into(),
+                    tgt: "n2".into(),
+                    labels: vec!["KNOWS OF".into()],
+                    props: vec![
+                        ("since".into(), Value::parse_lexical("2020-01-01")),
+                        ("note".into(), Value::from("has space")),
+                        ("weight".into(), Value::parse_lexical("2.5")),
+                    ],
+                },
+                Record::Edge {
+                    src: "n2".into(),
+                    tgt: "ghost".into(),
+                    labels: Vec::new(),
+                    props: Vec::new(),
+                },
+            ],
         };
         let path = temp("ctx");
         ctx.save(&path).unwrap();
         let back = ResumeContext::load(&path).unwrap();
         assert_eq!(back.config, ctx.config);
         assert_eq!(back.watch, ctx.watch);
+        assert_eq!(back.pending, ctx.pending);
         assert_eq!(back.state.finalize(), ctx.state.finalize());
         assert_eq!(
             back.registry.snapshot_lines(),
@@ -1184,6 +1368,7 @@ mod tests {
             state,
             registry: LabelSetRegistry::default(),
             watch: None,
+            pending: Vec::new(),
         }
         .save(&path)
         .unwrap();

@@ -122,13 +122,33 @@ impl GraphBuilder {
 
     /// Add a property-less node whose labels are **already canonical**
     /// (sorted, deduplicated) symbols of this builder's label table — the
-    /// stub-endpoint fast path, which skips re-sorting per stub.
+    /// stub-endpoint fast path, which skips re-sorting per stub. The node is
+    /// marked as a stub ([`PropertyGraph::is_stub`]), so the discovery
+    /// pipeline keeps its labels for edge endpoints but never counts it as
+    /// an instance.
     pub(crate) fn add_node_syms(&mut self, labels: Vec<crate::Symbol>) -> NodeId {
         let id = NodeId(self.graph.nodes.len() as u32);
         self.graph.nodes.push(Node {
             labels,
             props: Vec::new(),
         });
+        self.graph.mark_stub(id);
+        id
+    }
+
+    /// Add a **stub** endpoint node: property-less, carrying only a label
+    /// set, and marked so [`PropertyGraph::is_stub`] reports it. Used when
+    /// re-materializing a cross-shard edge whose endpoint was declared (and
+    /// counted) in another shard's input — the stub contributes the edge's
+    /// endpoint labels without double-counting the node.
+    pub fn add_stub_node(&mut self, labels: &[&str]) -> NodeId {
+        let labels = self.intern_labels(labels);
+        let id = NodeId(self.graph.nodes.len() as u32);
+        self.graph.nodes.push(Node {
+            labels,
+            props: Vec::new(),
+        });
+        self.graph.mark_stub(id);
         id
     }
 

@@ -15,6 +15,14 @@ pub struct PropertyGraph {
     pub(crate) edges: Vec<Edge>,
     pub(crate) labels: Interner,
     pub(crate) keys: Interner,
+    /// Bitset over node indices: bit `i` set ⇔ node `i` is a **stub** — a
+    /// property-less endpoint materialized by the streaming reader for an
+    /// edge whose real node lives in another chunk (or shard). Stubs carry
+    /// endpoint labels for edge patterns but are *not* instances of their
+    /// type: the discovery pipeline excludes them from clustering and
+    /// instance counting, which is what makes streamed/sharded counts equal
+    /// to the resident run's.
+    pub(crate) stubs: Vec<u64>,
 }
 
 impl PropertyGraph {
@@ -102,6 +110,31 @@ impl PropertyGraph {
         }
         out.push('}');
         out
+    }
+
+    /// Whether `id` is a stub endpoint (see the `stubs` field): a
+    /// property-less node materialized only so a cross-chunk edge keeps its
+    /// endpoint label set. Stubs are excluded from clustering and instance
+    /// counting by the discovery pipeline.
+    pub fn is_stub(&self, id: NodeId) -> bool {
+        let i = id.index();
+        self.stubs
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Number of stub nodes in the graph.
+    pub fn stub_count(&self) -> usize {
+        self.stubs.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Mark `id` as a stub endpoint (builder-side bookkeeping).
+    pub(crate) fn mark_stub(&mut self, id: NodeId) {
+        let i = id.index();
+        if i / 64 >= self.stubs.len() {
+            self.stubs.resize(i / 64 + 1, 0);
+        }
+        self.stubs[i / 64] |= 1u64 << (i % 64);
     }
 
     /// The source/target label sets of an edge (used by preprocessing and by

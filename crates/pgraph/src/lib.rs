@@ -53,6 +53,7 @@ pub use element::{Edge, EdgeId, Node, NodeId};
 pub use graph::PropertyGraph;
 pub use interner::{Interner, Symbol};
 pub use stats::GraphStats;
+pub use stream::multi::{MultiSource, SourceEntry, SourceKind};
 pub use stream::{
     ChunkedTextReader, GraphSource, LabelSetRegistry, OwnedSource, RawGraphSource, ReadAheadChunks,
     ReadAheadRecords, Record, RecordBuf, RecordRef, StreamError, StreamSummary, StreamWarnings,

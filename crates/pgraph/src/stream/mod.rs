@@ -32,13 +32,17 @@
 //! arrive *before* their endpoint's `N` record are buffered (bounded) and
 //! resolved once the node appears.
 //!
-//! Stubs keep the *labeled-type inventory* of a streamed discovery
-//! identical to the resident run, but they are counted as property-less
-//! instances of their type — so in streaming mode per-type instance counts
-//! are upper bounds and property optionality is a lower bound.
+//! Stubs are **marked** on the chunk graph
+//! ([`crate::PropertyGraph::is_stub`]) and the discovery pipeline excludes
+//! them from clustering and instance counting: they contribute edge
+//! endpoint labels and nothing else. Streamed per-type instance counts and
+//! property optionality are therefore *exact* — identical to the resident
+//! single-graph run — for any chunk size, shard partition, or thread count
+//! (the property the sharded-merge proptests and CI smoke gate on).
 
 pub mod csv;
 pub mod jsonl;
+pub mod multi;
 pub mod pgt;
 pub mod raw;
 pub mod read_ahead;
@@ -167,6 +171,17 @@ impl StreamWarnings {
     pub fn is_empty(&self) -> bool {
         *self == StreamWarnings::default()
     }
+
+    /// Add another accumulator's counts field-wise — shard, file, and
+    /// watch-pass aggregation all sum the same per-category counters
+    /// instead of concatenating reports.
+    pub fn absorb(&mut self, other: &StreamWarnings) {
+        self.cross_chunk_edges += other.cross_chunk_edges;
+        self.unresolved_edges += other.unresolved_edges;
+        self.deferred_edges += other.deferred_edges;
+        self.evicted_edges += other.evicted_edges;
+        self.duplicate_nodes += other.duplicate_nodes;
+    }
 }
 
 struct PendingEdge {
@@ -187,6 +202,16 @@ struct PendingEdge {
 /// [`ChunkedTextReader::into_registry`] and seed the next pass's reader
 /// with [`ChunkedTextReader::with_registry`], so edges appended later still
 /// resolve endpoints declared in any earlier pass.
+///
+/// Because the id set otherwise only ever grows, every binding carries a
+/// **generation** stamp ([`LabelSetRegistry::generation`]): a lifecycle
+/// manager advances the generation at its rotation boundary (a watch
+/// partition roll, a retention cut) and later calls
+/// [`LabelSetRegistry::compact`] to drop ids whose stamp fell out of the
+/// retention window — the GC that keeps a forever-running watch's registry
+/// bounded. Generations are runtime bookkeeping only: snapshot persistence
+/// does not record them, so every binding restored from a snapshot starts
+/// in the restored registry's current generation.
 #[derive(Debug, Default, Clone)]
 pub struct LabelSetRegistry {
     /// Node-id strings, arena-interned (one growing allocation instead of
@@ -195,6 +220,9 @@ pub struct LabelSetRegistry {
     /// `id_ls[sym.index()]` is the label-set id currently bound to the
     /// node-id symbol `sym` — parallel to `id_syms`, dense.
     pub(crate) id_ls: Vec<u32>,
+    /// Generation stamp of each binding — parallel to `id_ls`. Refreshed on
+    /// rebind, consulted by [`Self::compact`].
+    pub(crate) id_gen: Vec<u32>,
     pub(crate) sets: Vec<Vec<String>>,
     /// Label-set lookup keyed by interned label symbols (in record order),
     /// so the zero-copy hot path can look a set up without building an
@@ -204,6 +232,8 @@ pub struct LabelSetRegistry {
     label_syms: crate::interner::Interner,
     /// Reused symbol-key scratch for lookups.
     scratch: Vec<u32>,
+    /// Current generation: the stamp new/refreshed bindings receive.
+    generation: u32,
 }
 
 impl LabelSetRegistry {
@@ -250,14 +280,17 @@ impl LabelSetRegistry {
 
     /// Register a node id against an interned set id, returning the id's
     /// symbol and whether it was already present (the new set wins). Repeat
-    /// ids touch no allocation at all.
+    /// ids touch no allocation at all. Either way the binding's generation
+    /// stamp is refreshed to the current generation.
     pub(crate) fn bind(&mut self, id: &str, ls: u32) -> (Symbol, bool) {
         let sym = self.id_syms.intern(id);
         if sym.index() == self.id_ls.len() {
             self.id_ls.push(ls);
+            self.id_gen.push(self.generation);
             (sym, false)
         } else {
             self.id_ls[sym.index()] = ls;
+            self.id_gen[sym.index()] = self.generation;
             (sym, true)
         }
     }
@@ -292,6 +325,84 @@ impl LabelSetRegistry {
     pub(crate) fn set(&self, ls: u32) -> &[String] {
         &self.sets[ls as usize]
     }
+
+    /// The label set registered for a node id, if the id has been seen.
+    /// This is the cross-shard stub-resolution lookup: a carried edge's
+    /// endpoint labels come from the *merged* registry even though the
+    /// endpoint's declaring file was read by another shard.
+    pub fn label_set(&self, id: &str) -> Option<&[String]> {
+        self.get(id).map(|ls| self.set(ls))
+    }
+
+    /// The current generation — the stamp new and refreshed bindings
+    /// receive. Starts at 0; snapshot restore resets bindings to the
+    /// restored registry's generation.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Start a new generation. Call at a lifecycle boundary (e.g. a watch
+    /// partition roll): ids bound or re-seen from now on are stamped with
+    /// the new generation, so a later [`Self::compact`] can tell live ids
+    /// from ones last seen before the boundary.
+    pub fn advance_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Garbage-collect the registry: keep only the ids for which
+    /// `keep(id, generation_stamp)` returns true, rebuilding every internal
+    /// table (the id arena, the label-set pool, the symbol indices) so the
+    /// memory of dropped ids — and of label sets no surviving id references
+    /// — is actually reclaimed. Surviving bindings keep their generation
+    /// stamps, so retention windows compose across repeated compactions.
+    /// Returns the number of ids dropped.
+    ///
+    /// Dropping an id means a *future* edge referencing it no longer
+    /// resolves (it will be counted unresolved); callers choose the
+    /// retention predicate accordingly — e.g. `pg-hive watch --partition`
+    /// keeps the generations of its retained partitions.
+    pub fn compact(&mut self, mut keep: impl FnMut(&str, u32) -> bool) -> usize {
+        let old = std::mem::take(self);
+        self.generation = old.generation;
+        let mut dropped = 0usize;
+        for (sym, id) in old.id_syms.iter() {
+            let stamp = old.id_gen[sym.index()];
+            if keep(id, stamp) {
+                let ls = self.intern(old.set(old.id_ls[sym.index()]));
+                let (new_sym, _) = self.bind(id, ls);
+                self.id_gen[new_sym.index()] = stamp;
+            } else {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Keep only bindings whose generation stamp is `>= min_generation` —
+    /// the retention cut used by snapshot rotation. Returns the number of
+    /// ids dropped.
+    pub fn compact_before(&mut self, min_generation: u32) -> usize {
+        self.compact(|_, stamp| stamp >= min_generation)
+    }
+
+    /// Merge another registry's bindings into this one (cross-shard stub
+    /// resolution: after per-shard ingestion, the merged registry can
+    /// resolve an edge whose endpoints were declared in different shards).
+    /// `other`'s bindings win on id collisions, mirroring the
+    /// later-declaration-wins rule within a stream; every merged binding is
+    /// stamped with *this* registry's current generation. Returns the
+    /// number of colliding ids (ids present in both) — callers surface
+    /// them as duplicate-node warnings, since a serial run over the same
+    /// concatenated input would have counted them the same way.
+    pub fn merge(&mut self, other: &LabelSetRegistry) -> u64 {
+        let mut collisions = 0u64;
+        for (sym, id) in other.id_syms.iter() {
+            let ls = self.intern(other.set(other.id_ls[sym.index()]));
+            let (_, dup) = self.bind(id, ls);
+            collisions += u64::from(dup);
+        }
+        collisions
+    }
 }
 
 /// Chunks any [`GraphSource`] into independent [`PropertyGraph`]s of
@@ -324,6 +435,11 @@ pub struct ChunkedTextReader<S> {
     pending_cap: usize,
     registry: LabelSetRegistry,
     pending: VecDeque<PendingEdge>,
+    /// When set, end-of-stream pending edges whose endpoints never appeared
+    /// are **retained** (extractable via [`Self::take_pending`]) instead of
+    /// being dropped and counted unresolved — the sharded-ingestion mode,
+    /// where another shard's input may declare the endpoints.
+    carry_unresolved: bool,
     warnings: StreamWarnings,
     max_resident: usize,
     chunks: usize,
@@ -389,6 +505,7 @@ impl<S: RawGraphSource> ChunkedTextReader<S> {
             pending_cap: chunk_size.saturating_mul(4).max(1024),
             registry,
             pending: VecDeque::new(),
+            carry_unresolved: false,
             warnings: StreamWarnings::default(),
             max_resident: 0,
             chunks: 0,
@@ -406,6 +523,29 @@ impl<S: RawGraphSource> ChunkedTextReader<S> {
     /// pass's reader via [`Self::with_registry`].
     pub fn into_registry(self) -> LabelSetRegistry {
         self.registry
+    }
+
+    /// Retain end-of-stream unresolved edges instead of dropping them (see
+    /// [`Self::take_pending`]). Set this **before** draining the reader.
+    pub fn set_carry_unresolved(&mut self, on: bool) {
+        self.carry_unresolved = on;
+    }
+
+    /// Drain the edges still pending after the stream ended — edges whose
+    /// endpoint ids this stream never declared. Meaningful after
+    /// [`Self::set_carry_unresolved`]`(true)` and a fully drained stream;
+    /// the sharded pipeline collects these and resolves them against the
+    /// cross-shard **merged** registry. Returned in arrival order.
+    pub fn take_pending(&mut self) -> Vec<Record> {
+        self.pending
+            .drain(..)
+            .map(|e| Record::Edge {
+                src: e.src,
+                tgt: e.tgt,
+                labels: e.labels,
+                props: e.props,
+            })
+            .collect()
     }
 
     /// Warnings accumulated so far (final after the last chunk).
@@ -532,9 +672,14 @@ impl<S: RawGraphSource> ChunkedTextReader<S> {
             .iter()
             .any(|e| self.registry.contains(&e.src) && self.registry.contains(&e.tgt));
         if self.done && ready.is_empty() && !any_resolvable {
-            // Whatever is still pending references ids that never appeared.
-            self.warnings.unresolved_edges += self.pending.len() as u64;
-            self.pending.clear();
+            // Whatever is still pending references ids that never appeared
+            // in *this* stream. In carry mode they are kept for the caller
+            // (another shard may declare the endpoints); otherwise they are
+            // dropped and counted.
+            if !self.carry_unresolved {
+                self.warnings.unresolved_edges += self.pending.len() as u64;
+                self.pending.clear();
+            }
         } else {
             // Budget filled with resolvable edges left over: put them back
             // in front so the next chunk starts with them.
@@ -874,6 +1019,96 @@ E d f LOCATED_IN -
         assert!(chunks.is_empty());
         assert!(warnings.is_empty());
         assert_eq!(peak, 0);
+    }
+
+    #[test]
+    fn stubs_are_marked_on_chunk_graphs() {
+        let (chunks, warnings, _) = chunks_of(SMALL, 3);
+        assert!(warnings.cross_chunk_edges > 0);
+        let stubs: usize = chunks.iter().map(|c| c.stub_count()).sum();
+        assert!(stubs > 0, "chunking this input must create stubs");
+        for c in &chunks {
+            for (id, n) in c.nodes() {
+                if c.is_stub(id) {
+                    assert!(n.props.is_empty(), "stubs are property-less");
+                }
+            }
+        }
+        // The unchunked read sees every node declared: no stubs at all.
+        let (all, _, _) = chunks_of(SMALL, 1000);
+        assert_eq!(all[0].stub_count(), 0);
+    }
+
+    #[test]
+    fn carry_unresolved_retains_cross_shard_edges() {
+        // This shard's input references a node only another shard declares.
+        let text = "N a Person -\nE a other WORKS_AT since=2020\n";
+        let mut r = ChunkedTextReader::new(PgtSource::new(text.as_bytes()), 10);
+        r.set_carry_unresolved(true);
+        while r.next_chunk().unwrap().is_some() {}
+        assert_eq!(r.warnings().unresolved_edges, 0, "not dropped");
+        let pending = r.take_pending();
+        assert_eq!(pending.len(), 1);
+        match &pending[0] {
+            Record::Edge {
+                src,
+                tgt,
+                labels,
+                props,
+            } => {
+                assert_eq!(src, "a");
+                assert_eq!(tgt, "other");
+                assert_eq!(labels, &["WORKS_AT"]);
+                assert_eq!(props.len(), 1);
+            }
+            other => panic!("expected edge, got {other:?}"),
+        }
+        // Without carry mode, the same edge is dropped and counted.
+        let mut bare = ChunkedTextReader::new(PgtSource::new(text.as_bytes()), 10);
+        while bare.next_chunk().unwrap().is_some() {}
+        assert_eq!(bare.warnings().unresolved_edges, 1);
+        assert!(bare.take_pending().is_empty());
+    }
+
+    #[test]
+    fn registry_merge_unions_bindings_and_counts_collisions() {
+        let mut a = LabelSetRegistry::default();
+        a.insert("n1", &["Person".into()]);
+        a.insert("n2", &["Org".into()]);
+        let mut b = LabelSetRegistry::default();
+        b.insert("n2", &["Place".into()]); // collision: b wins
+        b.insert("n3", &[]);
+        assert_eq!(a.merge(&b), 1);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.set(a.get("n1").unwrap()), ["Person".to_string()]);
+        assert_eq!(a.set(a.get("n2").unwrap()), ["Place".to_string()]);
+        assert!(a.set(a.get("n3").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn registry_compact_drops_stale_generations_and_reclaims_sets() {
+        let mut r = LabelSetRegistry::default();
+        r.insert("old", &["Ancient".into()]);
+        r.advance_generation();
+        r.insert("new", &["Fresh".into()]);
+        // A rebind refreshes the stamp: "kept" was first seen in gen 0 but
+        // re-seen in gen 1.
+        r.advance_generation();
+        r.insert("kept", &["Fresh".into()]);
+        assert_eq!(r.generation(), 2);
+        let dropped = r.compact_before(1);
+        assert_eq!(dropped, 1);
+        assert_eq!(r.len(), 2);
+        assert!(r.get("old").is_none());
+        assert!(r.get("new").is_some() && r.get("kept").is_some());
+        // The dropped id's label set is gone from the pool too.
+        assert!(!r.sets.iter().any(|s| s == &["Ancient".to_string()]));
+        // Stamps survive compaction: a second cut at the same floor is a
+        // no-op, a higher floor drops the gen-1 binding.
+        assert_eq!(r.compact_before(1), 0);
+        assert_eq!(r.compact_before(2), 1);
+        assert_eq!(r.len(), 1);
+        assert!(r.get("kept").is_some());
     }
 
     #[test]

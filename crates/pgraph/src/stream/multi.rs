@@ -1,0 +1,269 @@
+//! Multi-source enumeration: a *directory tree* of mixed-format inputs as
+//! one logical dataset, partitionable across shards.
+//!
+//! # Why per-file sources
+//!
+//! Sharded discovery is byte-identical to the serial run only if every
+//! file's chunk boundaries are independent of which shard it landed on.
+//! [`MultiSource`] therefore never concatenates files into one stream:
+//! each [`SourceEntry`] opens a **fresh** reader (fresh registry, chunk
+//! boundaries a function of that file alone), and the per-file states are
+//! folded with the associative+commutative `SchemaState::merge`. The serial
+//! directory run is the fold in sorted enumeration order; a sharded run is
+//! a round-robin [`MultiSource::partition`] folded per shard and then
+//! across shards — any fold tree reaches the same state by construction.
+//!
+//! # Enumeration rules
+//!
+//! Walking the tree rooted at a directory:
+//!
+//! - a directory containing `nodes.csv` is **one** CSV dataset entry
+//!   (its `edges.csv` rides along; the directory is not descended into);
+//! - `*.pgt` and `*.jsonl` files are one entry each;
+//! - everything else is ignored.
+//!
+//! The resulting entry list is sorted by path, so enumeration order — and
+//! with it the serial fold order — is stable across runs and platforms.
+
+use super::csv::{CsvSource, NODES_FILE};
+use super::jsonl::JsonlSource;
+use super::pgt::PgtSource;
+use super::raw::RawGraphSource;
+use super::StreamError;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+/// Wire format of one enumerated input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// A `.pgt` text file.
+    Pgt,
+    /// A directory holding `nodes.csv` (+ optional `edges.csv`).
+    Csv,
+    /// A `.jsonl` file.
+    Jsonl,
+}
+
+impl SourceKind {
+    /// Short format name, matching [`RawGraphSource::format_name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            SourceKind::Pgt => "pgt",
+            SourceKind::Csv => "csv",
+            SourceKind::Jsonl => "jsonl",
+        }
+    }
+}
+
+/// One input of a [`MultiSource`]: a path plus the format it was
+/// recognized as.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceEntry {
+    /// File path (`Pgt`/`Jsonl`) or dataset directory path (`Csv`).
+    pub path: PathBuf,
+    /// Recognized wire format.
+    pub kind: SourceKind,
+}
+
+impl SourceEntry {
+    /// Open a fresh streaming reader over this input.
+    pub fn open(&self) -> Result<Box<dyn RawGraphSource + Send>, StreamError> {
+        Ok(match self.kind {
+            SourceKind::Pgt => Box::new(PgtSource::new(BufReader::with_capacity(
+                1 << 20,
+                File::open(&self.path)?,
+            ))),
+            SourceKind::Jsonl => Box::new(JsonlSource::new(BufReader::with_capacity(
+                1 << 20,
+                File::open(&self.path)?,
+            ))),
+            SourceKind::Csv => Box::new(CsvSource::open_dir(&self.path)?),
+        })
+    }
+}
+
+/// A directory tree of mixed-format inputs, enumerated in stable sorted
+/// order (see the module docs for the recognition rules).
+#[derive(Debug, Clone)]
+pub struct MultiSource {
+    entries: Vec<SourceEntry>,
+}
+
+impl MultiSource {
+    /// Enumerate every recognized input under `root` (recursively).
+    ///
+    /// `root` may also be a single recognized input (a `.pgt`/`.jsonl`
+    /// file or a CSV dataset directory), in which case the source holds
+    /// exactly that entry. An empty result is not an error here — callers
+    /// decide whether an input-less dataset is acceptable.
+    pub fn enumerate(root: &Path) -> Result<Self, StreamError> {
+        let mut entries = Vec::new();
+        if let Some(kind) = recognize(root)? {
+            entries.push(SourceEntry {
+                path: root.to_path_buf(),
+                kind,
+            });
+        } else if root.is_dir() {
+            walk(root, &mut entries)?;
+        }
+        entries.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(Self { entries })
+    }
+
+    /// The enumerated inputs, sorted by path.
+    pub fn entries(&self) -> &[SourceEntry] {
+        &self.entries
+    }
+
+    /// Number of enumerated inputs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether enumeration found no recognized inputs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Deal the entries round-robin across `shards` partitions (entry `i`
+    /// goes to shard `i % shards`). Every shard of the same enumeration is
+    /// produced even if empty, so shard indexes are stable. Panics if
+    /// `shards` is zero.
+    pub fn partition(&self, shards: usize) -> Vec<Vec<SourceEntry>> {
+        assert!(shards > 0, "shard count must be positive");
+        let mut out = vec![Vec::new(); shards];
+        for (i, e) in self.entries.iter().enumerate() {
+            out[i % shards].push(e.clone());
+        }
+        out
+    }
+}
+
+/// Recognize `path` as a single input: a CSV dataset directory or a
+/// `.pgt`/`.jsonl` file. `Ok(None)` means "not an input itself" (the
+/// caller may still descend into it if it is a directory).
+fn recognize(path: &Path) -> Result<Option<SourceKind>, StreamError> {
+    let meta = std::fs::metadata(path)?;
+    if meta.is_dir() {
+        return Ok(if path.join(NODES_FILE).is_file() {
+            Some(SourceKind::Csv)
+        } else {
+            None
+        });
+    }
+    Ok(match path.extension().and_then(|e| e.to_str()) {
+        Some("pgt") => Some(SourceKind::Pgt),
+        Some("jsonl") => Some(SourceKind::Jsonl),
+        _ => None,
+    })
+}
+
+fn walk(dir: &Path, out: &mut Vec<SourceEntry>) -> Result<(), StreamError> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if let Some(kind) = recognize(&path)? {
+            out.push(SourceEntry { path, kind });
+        } else if path.is_dir() {
+            walk(&path, out)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pg-hive-multi-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn enumerates_mixed_tree_sorted() {
+        let root = tmpdir("tree");
+        fs::write(root.join("b.pgt"), "N x Person -\n").unwrap();
+        fs::write(root.join("a.jsonl"), "").unwrap();
+        fs::write(root.join("notes.txt"), "ignored").unwrap();
+        let sub = root.join("sub");
+        fs::create_dir_all(&sub).unwrap();
+        fs::write(sub.join("c.pgt"), "").unwrap();
+        let csvdir = root.join("dump");
+        fs::create_dir_all(&csvdir).unwrap();
+        fs::write(csvdir.join(NODES_FILE), "id,labels\n").unwrap();
+        // A .pgt *inside* a CSV dataset dir must not be enumerated: the
+        // directory is one entry and is not descended into.
+        fs::write(csvdir.join("stray.pgt"), "").unwrap();
+
+        let ms = MultiSource::enumerate(&root).unwrap();
+        let got: Vec<(String, SourceKind)> = ms
+            .entries()
+            .iter()
+            .map(|e| {
+                (
+                    e.path
+                        .strip_prefix(&root)
+                        .unwrap()
+                        .to_string_lossy()
+                        .into_owned(),
+                    e.kind,
+                )
+            })
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("a.jsonl".to_string(), SourceKind::Jsonl),
+                ("b.pgt".to_string(), SourceKind::Pgt),
+                ("dump".to_string(), SourceKind::Csv),
+                ("sub/c.pgt".to_string(), SourceKind::Pgt),
+            ]
+        );
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn single_file_root_is_one_entry() {
+        let root = tmpdir("single");
+        let f = root.join("only.pgt");
+        fs::write(&f, "N x Person -\n").unwrap();
+        let ms = MultiSource::enumerate(&f).unwrap();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms.entries()[0].kind, SourceKind::Pgt);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn partition_is_round_robin_and_keeps_empty_shards() {
+        let entries: Vec<SourceEntry> = (0..5)
+            .map(|i| SourceEntry {
+                path: PathBuf::from(format!("{i}.pgt")),
+                kind: SourceKind::Pgt,
+            })
+            .collect();
+        let ms = MultiSource {
+            entries: entries.clone(),
+        };
+        let parts = ms.partition(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], vec![entries[0].clone(), entries[3].clone()]);
+        assert_eq!(parts[1], vec![entries[1].clone(), entries[4].clone()]);
+        assert_eq!(parts[2], vec![entries[2].clone()]);
+        let wide = ms.partition(9);
+        assert_eq!(wide.iter().filter(|p| p.is_empty()).count(), 4);
+    }
+
+    #[test]
+    fn entries_open_with_matching_format_names() {
+        let root = tmpdir("open");
+        fs::write(root.join("g.pgt"), "N x Person -\n").unwrap();
+        let ms = MultiSource::enumerate(&root).unwrap();
+        let src = ms.entries()[0].open().unwrap();
+        assert_eq!(src.format_name(), ms.entries()[0].kind.name());
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

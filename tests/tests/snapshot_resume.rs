@@ -234,7 +234,7 @@ proptest! {
                 let mut registry = LabelSetRegistry::default();
                 absorb_pass(&d, part1.clone(), fmt, chunk, threads, &mut state, &mut registry);
                 let path = temp_snapshot_path();
-                ResumeContext { config: config.clone(), state, registry, watch: None }
+                ResumeContext { config: config.clone(), state, registry, watch: None, pending: Vec::new() }
                     .save(&path)
                     .expect("checkpoint saved");
                 // Everything in-memory is gone now; reload from disk.
