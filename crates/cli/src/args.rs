@@ -21,13 +21,16 @@ USAGE:
                                            into one snapshot; refuses
                                            incompatible method/theta/seed/
                                            chunk-size with a snapshot: error
-  pg-hive validate <data.pgt> <reference.pgt> [--loose]
-                                           check data against the schema
-                                           discovered from a reference graph
+  pg-hive validate <schema> <input> [OPTIONS]
+                                           stream instance data against a
+                                           schema — <schema> is a saved
+                                           snapshot (--save-state / watch)
+                                           or a reference graph to discover
+                                           one from; exit 1 on violations
   pg-hive stats    <input> [OPTIONS]       structural statistics (Table 2)
   pg-hive help                             this message
 
-INPUT FORMATS (discover, diff, watch, stats):
+INPUT FORMATS (discover, diff, watch, validate, stats):
   --input-format pgt|csv|jsonl  (default: pgt)
      pgt    line-oriented text graph (<input> is a .pgt file)
      csv    <input> is a directory holding nodes.csv (+ optional edges.csv):
@@ -37,10 +40,11 @@ INPUT FORMATS (discover, diff, watch, stats):
             \"labels\":[...],\"props\":{...}} / {\"type\":\"edge\",\"src\":...}
   With --stream, discover and watch also accept a *directory tree* of
   mixed-format inputs: every *.pgt / *.jsonl file and every sub-directory
-  holding nodes.csv is one input, enumerated in sorted order
+  holding nodes.csv is one input, enumerated in sorted order. validate
+  accepts directory trees directly (validation always streams)
   (--input-format is then ignored for recognition)
 
-STREAMING (discover, diff, stats):
+STREAMING (discover, diff, validate, stats):
   --stream                 process the input in independent chunks with
                            O(chunk) resident memory (discovery merges
                            per-chunk schemas, §4.6); cross-chunk edges are
@@ -85,6 +89,14 @@ MERGE-STATE OPTIONS:
                            schema in this format (default: summary).
                            Carried cross-input edges resolve against the
                            merged registry; the rest stay pending in <out>
+
+VALIDATE OPTIONS:
+  --max-violations <N>     stop reading input after N violations (early
+                           exit; exit code is still 1)
+  --report jsonl:<FILE>    append one structured JSON violation event per
+                           line to <FILE> (same event codec as the drift
+                           sinks: {\"event\":\"schema-violation\",
+                           \"category\":...,\"element\":...,\"detail\":...})
 
 WATCH OPTIONS:
   --interval <SECS>        seconds between drift-check passes (default: 30;
@@ -179,6 +191,17 @@ impl DriftSinkSpec {
                 "--on-drift expects exec:<command> or jsonl:<path>, got '{arg}'"
             )),
         }
+    }
+}
+
+/// Parse the `validate --report` destination. Only the jsonl sink makes
+/// sense for a batch verb (there is no long-running loop to exec from),
+/// so the grammar is the drift-sink `jsonl:` arm alone.
+fn parse_report(arg: Option<String>) -> Result<String, String> {
+    let arg = arg.ok_or("--report needs a value")?;
+    match arg.split_once(':') {
+        Some(("jsonl", path)) if !path.is_empty() => Ok(path.to_string()),
+        _ => Err(format!("--report expects jsonl:<path>, got '{arg}'")),
     }
 }
 
@@ -293,11 +316,20 @@ pub enum Command {
         inputs: Vec<String>,
         format: OutputFormat,
     },
-    /// `pg-hive validate` — check data against a reference schema.
+    /// `pg-hive validate` — stream instance data against a schema.
     Validate {
-        data_path: String,
+        /// Saved snapshot, or a reference input to discover a schema from.
         schema_path: String,
-        loose: bool,
+        /// The instance data to check (file or directory tree).
+        input_path: String,
+        method: ClusterMethod,
+        theta: f64,
+        seed: u64,
+        stream: StreamOpts,
+        /// Early-exit violation cap (`--max-violations`).
+        max_violations: Option<u64>,
+        /// `--report jsonl:<path>` destination.
+        report: Option<String>,
     },
     /// `pg-hive stats` — structural statistics.
     Stats { path: String, stream: StreamOpts },
@@ -338,20 +370,42 @@ impl Args {
                 })
             }
             "validate" => {
-                let data_path = it.next().ok_or("validate needs a data file")?;
-                let schema_path = it.next().ok_or("validate needs a reference file")?;
-                let mut loose = false;
-                for flag in it {
+                let schema_path = it
+                    .next()
+                    .ok_or("validate needs a schema (snapshot or reference input)")?;
+                let input_path = it.next().ok_or("validate needs an input to check")?;
+                let mut method = ClusterMethod::Elsh;
+                let mut theta = 0.9;
+                let mut seed = 42u64;
+                let mut stream = StreamOpts::default();
+                let mut max_violations = None;
+                let mut report = None;
+                while let Some(flag) = it.next() {
+                    if stream.consume(&flag, &mut it)? {
+                        continue;
+                    }
                     match flag.as_str() {
-                        "--loose" => loose = true,
+                        "--method" => method = parse_method(it.next())?,
+                        "--theta" => theta = parse_theta(it.next())?,
+                        "--seed" => seed = parse_seed(it.next())?,
+                        "--max-violations" => {
+                            max_violations =
+                                Some(parse_positive("--max-violations", it.next())? as u64)
+                        }
+                        "--report" => report = Some(parse_report(it.next())?),
                         other => return Err(format!("unknown flag '{other}'")),
                     }
                 }
                 Ok(Args {
                     command: Command::Validate {
-                        data_path,
                         schema_path,
-                        loose,
+                        input_path,
+                        method,
+                        theta,
+                        seed,
+                        stream,
+                        max_violations,
+                        report,
                     },
                 })
             }
@@ -535,7 +589,9 @@ impl Args {
                     }
                 }
                 if inputs.is_empty() {
-                    return Err("merge-state needs at least one input snapshot".into());
+                    return Err(
+                        "usage: merge-state <out> <in>... needs at least one input snapshot".into(),
+                    );
                 }
                 Ok(Args {
                     command: Command::MergeState {
@@ -790,18 +846,51 @@ mod tests {
 
     #[test]
     fn validate_parses() {
-        let a = parse(&["validate", "d.pgt", "s.pgt", "--loose"]).unwrap();
+        let a = parse(&[
+            "validate",
+            "schema.snap",
+            "data.pgt",
+            "--input-format",
+            "jsonl",
+            "--stream",
+            "--chunk-size",
+            "7",
+            "--threads",
+            "2",
+            "--max-violations",
+            "5",
+            "--report",
+            "jsonl:viol.jsonl",
+        ])
+        .unwrap();
         let Command::Validate {
-            data_path,
             schema_path,
-            loose,
+            input_path,
+            stream,
+            max_violations,
+            report,
+            ..
         } = a.command
         else {
             panic!()
         };
-        assert_eq!(data_path, "d.pgt");
-        assert_eq!(schema_path, "s.pgt");
-        assert!(loose);
+        assert_eq!(schema_path, "schema.snap");
+        assert_eq!(input_path, "data.pgt");
+        assert!(stream.stream);
+        assert_eq!(stream.chunk_size, 7);
+        assert_eq!(stream.threads, Some(2));
+        assert_eq!(max_violations, Some(5));
+        assert_eq!(report.as_deref(), Some("viol.jsonl"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_flags() {
+        let err = parse(&["validate", "s", "d", "--report", "exec:echo"]).unwrap_err();
+        assert!(err.contains("--report expects jsonl:<path>"), "{err}");
+        let err = parse(&["validate", "s", "d", "--max-violations", "0"]).unwrap_err();
+        assert!(err.contains("--max-violations must be >= 1"), "{err}");
+        let err = parse(&["validate", "s"]).unwrap_err();
+        assert!(err.contains("validate needs an input"), "{err}");
     }
 
     #[test]

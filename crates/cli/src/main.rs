@@ -15,7 +15,10 @@
 //!                  [--chunk-size N] [--threads N] [--read-ahead N]
 //!                  [--keep K] [--partition passes:N]
 //! pg-hive merge-state <out> <in>... [--format strict|loose|xsd|summary]
-//! pg-hive validate <graph.pgt> <schema-graph.pgt> [--loose]
+//! pg-hive validate <schema> <input> [--method M] [--theta T] [--seed S]
+//!                  [--input-format F] [--stream] [--chunk-size N]
+//!                  [--threads N] [--max-violations N]
+//!                  [--report jsonl:<path>]
 //! pg-hive stats    <input> [--input-format pgt|csv|jsonl] [--stream]
 //!                  [--read-ahead N]
 //! ```
@@ -68,8 +71,8 @@ use pg_hive_core::schema::SchemaGraph;
 use pg_hive_core::serialize::{pg_schema_loose, pg_schema_strict, to_xsd};
 use pg_hive_core::snapshot::{ResumeContext, Snapshot, SnapshotConfig};
 use pg_hive_core::{
-    diff_schemas, validate, Discoverer, PipelineConfig, SamplingConfig, StreamResult,
-    ValidationMode,
+    diff_schemas, CompiledSchema, Discoverer, PipelineConfig, SamplingConfig, StreamResult,
+    Validator, DEFAULT_MAX_EXAMPLES,
 };
 use pg_hive_graph::loader::load_text;
 use pg_hive_graph::stream::{csv::CsvSource, jsonl::JsonlSource, pgt::PgtSource};
@@ -395,44 +398,36 @@ fn run(args: Args) -> Result<ExitCode, String> {
             format,
         } => merge_state(&out, &inputs, format),
         Command::Validate {
-            data_path,
             schema_path,
-            loose,
+            input_path,
+            method,
+            theta,
+            seed,
+            stream,
+            max_violations,
+            report,
         } => {
-            let data_text = std::fs::read_to_string(&data_path)
-                .map_err(|e| format!("cannot read {data_path}: {e}"))?;
-            let data = load_text(&data_text).map_err(|e| format!("parse {data_path}: {e}"))?;
-            let schema_text = std::fs::read_to_string(&schema_path)
-                .map_err(|e| format!("cannot read {schema_path}: {e}"))?;
-            let schema_graph =
-                load_text(&schema_text).map_err(|e| format!("parse {schema_path}: {e}"))?;
-            // The "schema" argument is itself a graph: discover its schema,
-            // then validate the data against it (schema-by-example).
-            let schema = Discoverer::new(PipelineConfig::default())
-                .discover(&schema_graph)
-                .schema;
-            let mode = if loose {
-                ValidationMode::Loose
-            } else {
-                ValidationMode::Strict
+            let config = PipelineConfig {
+                method,
+                theta,
+                seed,
+                ..PipelineConfig::default()
             };
-            let report = validate(&data, &schema, mode);
-            if report.is_valid() {
-                println!(
-                    "valid: {} nodes / {} edges conform ({mode:?})",
-                    report.nodes_checked, report.edges_checked
-                );
-                Ok(ExitCode::SUCCESS)
-            } else {
-                println!("{} violation(s):", report.violations.len());
-                for v in report.violations.iter().take(50) {
-                    println!("  {v}");
-                }
-                if report.violations.len() > 50 {
-                    println!("  ... and {} more", report.violations.len() - 50);
-                }
-                Ok(ExitCode::FAILURE)
-            }
+            let discoverer = Discoverer::new(config);
+            let schema = load_validation_schema(&schema_path, &stream, &discoverer)?;
+            let compiled = CompiledSchema::compile(&schema);
+            eprintln!(
+                "validating {input_path} against {} node type(s) / {} edge type(s)",
+                compiled.node_type_count(),
+                compiled.edge_type_count()
+            );
+            run_validation(
+                &compiled,
+                &input_path,
+                &stream,
+                max_violations,
+                report.as_deref(),
+            )
         }
         Command::Stats { path, stream } => {
             let s = if stream.stream {
@@ -539,6 +534,208 @@ fn stream_discover(
 fn is_multi_input(path: &str, format: InputFormat) -> bool {
     let p = Path::new(path);
     p.is_dir() && !(format == InputFormat::Csv && p.join("nodes.csv").is_file())
+}
+
+/// Does the file start with the snapshot magic line? Cheap sniff that
+/// lets `validate <schema>` accept either a saved snapshot or a reference
+/// graph in the same positional argument.
+fn file_is_snapshot(p: &Path) -> bool {
+    use std::io::BufRead;
+    let Ok(f) = std::fs::File::open(p) else {
+        return false;
+    };
+    let mut line = String::new();
+    let _ = BufReader::new(f).read_line(&mut line);
+    line.starts_with(pg_hive_core::snapshot::MAGIC)
+}
+
+/// Obtain the schema `validate` checks against: a saved snapshot
+/// (`discover --save-state` or a `watch --state-dir` checkpoint — unlike
+/// resuming, validation only needs the accumulated schema, so both kinds
+/// are accepted), or any reference input to discover one from
+/// (schema-by-example).
+fn load_validation_schema(
+    path: &str,
+    opts: &StreamOpts,
+    discoverer: &Discoverer,
+) -> Result<SchemaGraph, String> {
+    let p = Path::new(path);
+    if p.is_file() && file_is_snapshot(p) {
+        let ctx = ResumeContext::load(p).map_err(|e| format!("{e} (while loading {path})"))?;
+        eprintln!(
+            "schema from snapshot {path}: {} pooled type(s){}",
+            ctx.state.pooled_types(),
+            if ctx.watch.is_some() {
+                " (watch checkpoint)"
+            } else {
+                ""
+            }
+        );
+        return Ok(ctx.state.finalize());
+    }
+    if is_multi_input(path, opts.input_format) {
+        let source =
+            MultiSource::enumerate(p).map_err(|e| format!("cannot enumerate {path}: {e}"))?;
+        if source.is_empty() {
+            return Err(format!(
+                "no recognized inputs under {path}: expected *.pgt / *.jsonl files or \
+                 directories holding nodes.csv"
+            ));
+        }
+        let threads = resolve_threads(opts);
+        let result = discoverer
+            .discover_sharded(&source, 1, opts.chunk_size, threads)
+            .map_err(|e| format!("parse {path}: {e}"))?;
+        report_warnings(&result.warnings);
+        return Ok(result.state.finalize());
+    }
+    let g = load_graph(path, opts.input_format)?;
+    if g.node_count() + g.edge_count() == 0 {
+        return Err(empty_input_error(path));
+    }
+    Ok(discoverer.discover(&g).schema)
+}
+
+/// A fresh shard validator: unbounded examples when a jsonl report needs
+/// every violation, and the early-exit cap when one was requested.
+fn fresh_validator<'a>(
+    compiled: &'a CompiledSchema,
+    keep_all: bool,
+    max_violations: Option<u64>,
+) -> Validator<'a> {
+    let mut v = Validator::new(compiled);
+    if keep_all {
+        v = v.with_max_examples(usize::MAX);
+    }
+    if let Some(m) = max_violations {
+        v = v.with_max_violations(m);
+    }
+    v
+}
+
+/// Drive the streaming validator over `input_path` — a single file, a CSV
+/// dataset directory, or a directory tree of mixed inputs (validated
+/// shard-parallel across `--threads`, then merged like sharded discovery).
+/// Exit-code symmetry with `diff`: 0 clean, 1 violations.
+fn run_validation(
+    compiled: &CompiledSchema,
+    input_path: &str,
+    opts: &StreamOpts,
+    max_violations: Option<u64>,
+    report_path: Option<&str>,
+) -> Result<ExitCode, String> {
+    let keep_all = report_path.is_some();
+    let report = if is_multi_input(input_path, opts.input_format) {
+        let source = MultiSource::enumerate(Path::new(input_path))
+            .map_err(|e| format!("cannot enumerate {input_path}: {e}"))?;
+        if source.is_empty() {
+            return Err(format!(
+                "no recognized inputs under {input_path}: expected *.pgt / *.jsonl files or \
+                 directories holding nodes.csv"
+            ));
+        }
+        let shards = resolve_threads(opts).min(source.len()).max(1);
+        eprintln!(
+            "validating {} input(s) under {input_path} across {} shard(s)",
+            source.len(),
+            shards
+        );
+        let parts = source.partition(shards);
+        let shard_results: Vec<Result<Validator<'_>, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|part| {
+                    scope.spawn(move || -> Result<Validator<'_>, String> {
+                        let mut v = fresh_validator(compiled, keep_all, max_violations);
+                        for entry in part {
+                            let mut src = entry.open().map_err(|e| {
+                                format!("cannot open {}: {e}", entry.path.display())
+                            })?;
+                            let completed = v
+                                .validate_source(&mut *src, opts.chunk_size, |_, _| {})
+                                .map_err(|e| format!("parse {}: {e}", entry.path.display()))?;
+                            if !completed {
+                                break; // per-shard early exit on the cap
+                            }
+                        }
+                        Ok(v)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("validator shard thread panicked"))
+                .collect()
+        });
+        let mut merged: Option<Validator<'_>> = None;
+        for r in shard_results {
+            let v = r?;
+            match &mut merged {
+                None => merged = Some(v),
+                Some(m) => m.merge(v),
+            }
+        }
+        merged.expect("at least one shard").finish()
+    } else {
+        let progress = opts.stream;
+        let mut v = fresh_validator(compiled, keep_all, max_violations);
+        let mut src = open_source(input_path, opts.input_format)?;
+        let completed = v
+            .validate_source(&mut *src, opts.chunk_size, |chunk, elems| {
+                if progress {
+                    eprintln!("chunk {chunk}: {elems} element(s) validated");
+                }
+            })
+            .map_err(|e| format!("parse {input_path}: {e}"))?;
+        if !completed {
+            eprintln!("stopped early: --max-violations reached");
+        }
+        v.finish()
+    };
+
+    if let Some(path) = report_path {
+        let path = Path::new(path);
+        for v in &report.examples {
+            sink::append_jsonl(path, &sink::violation_event_json(v))
+                .map_err(|e| format!("--report {e}"))?;
+        }
+        eprintln!(
+            "{} violation event(s) appended to {}",
+            report.examples.len(),
+            path.display()
+        );
+    }
+
+    if report.is_valid() {
+        println!(
+            "valid: {} node(s) / {} edge(s) conform",
+            report.nodes_checked, report.edges_checked
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!(
+            "{} violation(s) across {} node(s) / {} edge(s){}:",
+            report.total(),
+            report.nodes_checked,
+            report.edges_checked,
+            if report.stopped_early {
+                " (stopped early: --max-violations)"
+            } else {
+                ""
+            }
+        );
+        for (kind, n) in report.by_category() {
+            println!("  {n} x {kind}");
+        }
+        let shown = report.examples.len().min(DEFAULT_MAX_EXAMPLES);
+        for v in report.examples.iter().take(DEFAULT_MAX_EXAMPLES) {
+            println!("  {v}");
+        }
+        if report.total() > shown as u64 {
+            println!("  ... and {} more", report.total() - shown as u64);
+        }
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 /// Load a `discover --save-state` snapshot for resuming, with the config

@@ -26,7 +26,9 @@ use std::path::PathBuf;
 pub struct DriftEvent<'a> {
     /// Watch pass number (continues across `--state-dir` restarts).
     pub pass: u64,
-    /// Unix timestamp (seconds) of the detection.
+    /// Unix timestamp (milliseconds) of the detection. Whole-second
+    /// resolution collapsed distinct passes of a fast watch loop onto the
+    /// same instant; millisecond stamps keep the jsonl log totally ordered.
     pub timestamp: u64,
     /// Elements (nodes + edges) absorbed by the detecting pass.
     pub elements_added: u64,
@@ -68,7 +70,9 @@ impl DriftEvent<'_> {
     }
 }
 
-fn json_escape(s: &str) -> String {
+/// Escape a string for embedding in a hand-rolled JSON document. Shared by
+/// the drift events and the `validate --report` violation events.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -106,13 +110,7 @@ impl DriftSink {
     pub fn emit(&self, event: &DriftEvent<'_>) -> Result<(), String> {
         match self {
             DriftSink::Jsonl(path) => {
-                let mut f = std::fs::OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(path)
-                    .map_err(|e| format!("drift sink jsonl:{}: {e}", path.display()))?;
-                writeln!(f, "{}", event.to_json())
-                    .map_err(|e| format!("drift sink jsonl:{}: {e}", path.display()))
+                append_jsonl(path, &event.to_json()).map_err(|e| format!("drift sink {e}"))
             }
             DriftSink::Exec(cmd) => {
                 let status = std::process::Command::new("sh")
@@ -145,12 +143,36 @@ pub fn emit_all(sinks: &[DriftSink], event: &DriftEvent<'_>) {
     }
 }
 
-/// Seconds since the Unix epoch (0 if the clock is before it).
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
 pub fn unix_timestamp() -> u64 {
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
+        .map(|d| d.as_millis() as u64)
         .unwrap_or(0)
+}
+
+/// Render one `validate --report` violation as a single-line JSON event,
+/// with the same hand-rolled codec (and [`json_escape`]) as the drift
+/// events — one grep-able grammar across every pg-hive jsonl log.
+pub fn violation_event_json(v: &pg_hive_core::StreamViolation) -> String {
+    format!(
+        "{{\"event\":\"schema-violation\",\"category\":\"{}\",\
+         \"element\":\"{}\",\"detail\":\"{}\"}}",
+        v.kind.name(),
+        json_escape(&v.element),
+        json_escape(&v.detail),
+    )
+}
+
+/// Append one line to a jsonl file, creating it on first use — the shared
+/// delivery path of the jsonl drift sink and `validate --report`.
+pub fn append_jsonl(path: &std::path::Path, line: &str) -> Result<(), String> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("jsonl sink {}: {e}", path.display()))?;
+    writeln!(f, "{line}").map_err(|e| format!("jsonl sink {}: {e}", path.display()))
 }
 
 #[cfg(test)]
@@ -189,6 +211,52 @@ mod tests {
         assert!(json.contains("\"added_node_types\":1"), "{json}");
         // The multi-line diff summary is escaped into the single line.
         assert!(json.contains("+ node type Place\\n"), "{json}");
+        assert_eq!(json.lines().count(), 1);
+    }
+
+    /// Extract the numeric value of `"field":N` from a hand-rolled JSON
+    /// line — the parsing half of the timestamp round-trip.
+    fn json_u64_field(json: &str, field: &str) -> u64 {
+        let needle = format!("\"{field}\":");
+        let start = json.find(&needle).expect("field present") + needle.len();
+        json[start..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .expect("numeric field")
+    }
+
+    #[test]
+    fn timestamp_is_millisecond_resolution_and_round_trips() {
+        // unix_timestamp() must be in milliseconds: any plausible wall
+        // clock (2020..2100) lands far outside the seconds range.
+        let ts = unix_timestamp();
+        assert!(ts > 1_577_836_800_000, "{ts} is not in milliseconds");
+        assert!(ts < 4_102_444_800_000, "{ts} is implausibly late");
+
+        // And the emitted event carries it back out intact.
+        let diff = sample_diff();
+        let event = DriftEvent {
+            pass: 7,
+            timestamp: ts,
+            elements_added: 1,
+            diff: &diff,
+        };
+        assert_eq!(json_u64_field(&event.to_json(), "timestamp"), ts);
+    }
+
+    #[test]
+    fn violation_event_uses_the_shared_codec() {
+        let v = pg_hive_core::StreamViolation {
+            kind: pg_hive_core::ViolationKind::MissingKey,
+            element: "n\"3".into(),
+            detail: "mandatory key 'age' absent".into(),
+        };
+        let json = violation_event_json(&v);
+        assert!(json.contains("\"event\":\"schema-violation\""), "{json}");
+        assert!(json.contains("\"category\":\"missing-key\""), "{json}");
+        assert!(json.contains("\"element\":\"n\\\"3\""), "escaped: {json}");
         assert_eq!(json.lines().count(), 1);
     }
 

@@ -76,19 +76,117 @@ fn discover_xsd() {
 
 #[test]
 fn validate_self_passes_and_mismatch_fails() {
-    // Strict validation types elements by label set, so the reference must
-    // be fully labeled (the unlabeled node in DEMO merges into Person at
-    // discovery time but cannot be strictly matched as raw data).
+    // `validate <schema> <input>`: here the schema argument is a reference
+    // input, discovered on the fly. Streaming validation types elements by
+    // label set, so the reference must be fully labeled (the unlabeled
+    // node in DEMO merges into Person at discovery time but cannot be
+    // strictly matched as raw data).
     let labeled = DEMO.replace("N c - ", "N c Person ");
     let path = write_temp(&labeled);
     let (stdout, _, code) = run(&["validate", path.to_str().unwrap(), path.to_str().unwrap()]);
     assert_eq!(code, Some(0), "{stdout}");
-    assert!(stdout.contains("valid"));
+    assert!(stdout.contains("valid"), "{stdout}");
 
-    let bad = write_temp("N z Alien tentacles=7\n");
-    let (stdout, _, code) = run(&["validate", bad.to_str().unwrap(), path.to_str().unwrap()]);
+    // A foreign record fails with exit-code symmetry to `diff`.
+    let mut mutated = labeled.clone();
+    mutated.push_str("N z Alien tentacles=7\n");
+    let bad = write_temp(&mutated);
+    let (stdout, _, code) = run(&["validate", path.to_str().unwrap(), bad.to_str().unwrap()]);
     assert_eq!(code, Some(1));
     assert!(stdout.contains("violation"), "{stdout}");
+    assert!(stdout.contains("unknown-node-labels"), "{stdout}");
+}
+
+#[test]
+fn validate_snapshot_schema_report_and_max_violations() {
+    // Schema from a saved snapshot instead of re-discovering the reference.
+    let labeled = DEMO.replace("N c - ", "N c Person ");
+    let data = write_temp_named("validate-snap-data", &labeled);
+    let snap = write_temp_named("validate-snap", "placeholder");
+    let (_, stderr, code) = run(&[
+        "discover",
+        data.to_str().unwrap(),
+        "--stream",
+        "--save-state",
+        snap.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+
+    let (stdout, stderr, code) = run(&["validate", snap.to_str().unwrap(), data.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{stdout}{stderr}");
+    assert!(stderr.contains("schema from snapshot"), "{stderr}");
+    assert!(stdout.contains("valid"), "{stdout}");
+
+    // Two injected defects, capped at one: early exit, and the jsonl
+    // report carries exactly the reported violation as a structured event.
+    let mut mutated = labeled.clone();
+    mutated.push_str("N z Alien tentacles=7\nN y Alien tentacles=9\n");
+    let bad = write_temp_named("validate-snap-bad", &mutated);
+    let report = std::env::temp_dir().join(format!(
+        "pg-hive-e2e-{}-validate-report.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&report);
+    let (stdout, stderr, code) = run(&[
+        "validate",
+        snap.to_str().unwrap(),
+        bad.to_str().unwrap(),
+        "--max-violations",
+        "1",
+        "--report",
+        &format!("jsonl:{}", report.display()),
+    ]);
+    assert_eq!(code, Some(1), "{stdout}{stderr}");
+    assert!(stderr.contains("stopped early"), "{stderr}");
+    let events = std::fs::read_to_string(&report).unwrap();
+    let lines: Vec<&str> = events.lines().collect();
+    assert_eq!(
+        lines.len(),
+        1,
+        "one capped violation -> one event: {events}"
+    );
+    assert!(
+        lines[0].contains("\"event\":\"schema-violation\""),
+        "{events}"
+    );
+    assert!(
+        lines[0].contains("\"category\":\"unknown-node-labels\""),
+        "{events}"
+    );
+}
+
+#[test]
+fn validate_accepts_directory_trees_with_cross_file_edges() {
+    // Nodes and edges land in different shards of the tree: endpoint
+    // checks must resolve across files via the deferred-edge buffer.
+    let dir = write_temp_dir(
+        "validate-tree",
+        &[
+            (
+                "nodes.pgt",
+                "N a Person name=Ann,age=30\nN o Org url=x.com\n",
+            ),
+            ("edges.pgt", "E a o WORKS_AT from=2001\n"),
+        ],
+    );
+    let (stdout, stderr, code) = run(&["validate", dir.to_str().unwrap(), dir.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{stdout}{stderr}");
+    assert!(stdout.contains("valid"), "{stdout}");
+
+    // A ghost endpoint inside the tree is a dangling-endpoint violation.
+    let broken = write_temp_dir(
+        "validate-tree-broken",
+        &[
+            (
+                "nodes.pgt",
+                "N a Person name=Ann,age=30\nN o Org url=x.com\n",
+            ),
+            ("edges.pgt", "E a ghost WORKS_AT from=2001\n"),
+        ],
+    );
+    let (stdout, _, code) = run(&["validate", dir.to_str().unwrap(), broken.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("dangling-endpoint"), "{stdout}");
 }
 
 #[test]
@@ -1043,10 +1141,13 @@ fn merge_state_refuses_mismatched_configs_and_missing_inputs() {
     );
     assert!(stderr.contains("seed="), "{stderr}");
 
-    // No inputs at all is a usage error.
+    // No inputs at all is a *named* usage error (regression: this used to
+    // surface as a bare run error), so scripts can tell flag misuse from
+    // snapshot problems by the exit code and the usage: prefix alike.
     let (_, stderr, code) = run(&["merge-state", out.to_str().unwrap()]);
     assert_eq!(code, Some(2), "{stderr}");
-    assert!(stderr.contains("at least one input"), "{stderr}");
+    assert!(stderr.contains("usage: merge-state"), "{stderr}");
+    assert!(stderr.contains("at least one input snapshot"), "{stderr}");
 }
 
 #[test]

@@ -100,4 +100,7 @@ pub use snapshot::{
     FileCheckpoint, ResumeContext, Snapshot, SnapshotConfig, SnapshotError, WatchCheckpoint,
 };
 pub use state::SchemaState;
-pub use validate::{validate, ValidationMode, ValidationReport, Violation};
+pub use validate::{
+    validate, CompiledSchema, StreamValidationReport, StreamViolation, ValidationMode,
+    ValidationReport, Validator, Violation, ViolationKind, DEFAULT_MAX_EXAMPLES,
+};

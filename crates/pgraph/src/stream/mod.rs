@@ -334,6 +334,19 @@ impl LabelSetRegistry {
         self.get(id).map(|ls| self.set(ls))
     }
 
+    /// Register the node record currently held in `buf` (id → label set),
+    /// returning `true` when the id was already present (the new set wins).
+    /// External streaming consumers — the schema validator rides the
+    /// registry for its cross-chunk endpoint checks — go through this
+    /// entry point; the chunked reader uses the internal span-level path.
+    /// Calling it with an edge record registers the edge's *source* id,
+    /// so callers must route node records only.
+    pub fn insert_record(&mut self, buf: &RecordBuf) -> bool {
+        let ls = self.intern_buf(buf);
+        let id = buf.str(buf.id);
+        self.insert_ls(id, ls)
+    }
+
     /// The current generation — the stamp new and refreshed bindings
     /// receive. Starts at 0; snapshot restore resets bindings to the
     /// restored registry's generation.

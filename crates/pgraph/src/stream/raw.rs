@@ -415,6 +415,87 @@ mod tests {
         assert_eq!(src.format_name(), "test");
     }
 
+    /// Drain a CSV input through both parse paths: the zero-copy span
+    /// parser (`RawGraphSource`) and the owned compatibility shim. The two
+    /// must agree record-for-record — this is the span-level equality the
+    /// quoting corner-case tests below assert.
+    fn csv_both_paths(nodes: &str, edges: Option<&str>) -> (Vec<Record>, Vec<Record>) {
+        use super::super::csv::CsvSource;
+        use std::io::Cursor;
+        let mut raw = CsvSource::new(
+            Cursor::new(nodes.to_string()),
+            edges.map(|e| Cursor::new(e.to_string())),
+        );
+        let mut buf = RecordBuf::new();
+        let mut via_spans = Vec::new();
+        while raw.read_record(&mut buf).unwrap() {
+            via_spans.push(buf.view().to_owned());
+        }
+        let mut owned = OwnedSource(CsvSource::new(
+            Cursor::new(nodes.to_string()),
+            edges.map(|e| Cursor::new(e.to_string())),
+        ));
+        let mut via_owned = Vec::new();
+        while owned.read_record(&mut buf).unwrap() {
+            via_owned.push(buf.view().to_owned());
+        }
+        (via_spans, via_owned)
+    }
+
+    #[test]
+    fn csv_quoted_embedded_crlf_is_preserved_and_span_equal() {
+        // RFC 4180: a quoted field may span lines; the line break belongs
+        // to the cell verbatim, including the `\r` of a CRLF terminator.
+        let nodes = "id,labels,bio\r\na,Person,\"line one\r\nline two\"\r\n";
+        let (spans, owned) = csv_both_paths(nodes, None);
+        assert_eq!(spans, owned, "raw span path must match the owned path");
+        assert_eq!(spans.len(), 1);
+        match &spans[0] {
+            Record::Node { id, props, .. } => {
+                assert_eq!(id, "a");
+                assert_eq!(
+                    props,
+                    &vec![("bio".to_string(), Value::from("line one\r\nline two"))],
+                    "embedded CRLF inside quotes is part of the value"
+                );
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csv_trailing_empty_field_absent_unless_quoted() {
+        // A row ending in a bare comma has an *absent* trailing cell;
+        // a quoted-empty trailing cell is *present* with value "".
+        let nodes = "id,labels,age,nick\na,Person,41,\nb,Person,42,\"\"\n";
+        let (spans, owned) = csv_both_paths(nodes, None);
+        assert_eq!(spans, owned, "raw span path must match the owned path");
+        assert_eq!(spans.len(), 2);
+        match &spans[0] {
+            Record::Node { props, .. } => {
+                assert_eq!(
+                    props,
+                    &vec![("age".to_string(), Value::Int(41))],
+                    "unquoted trailing empty cell is an absent property"
+                );
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+        match &spans[1] {
+            Record::Node { props, .. } => {
+                assert_eq!(
+                    props,
+                    &vec![
+                        ("age".to_string(), Value::Int(42)),
+                        ("nick".to_string(), Value::from("")),
+                    ],
+                    "quoted empty trailing cell is a present empty string"
+                );
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+    }
+
     #[test]
     fn take_record_moves_values_and_resets_props() {
         let mut buf = RecordBuf::new();

@@ -12,7 +12,7 @@
 //! tree shape; the random tree certifies the algebra.
 
 use pg_hive_core::snapshot::{ResumeContext, SnapshotConfig};
-use pg_hive_core::{Discoverer, PipelineConfig};
+use pg_hive_core::{Discoverer, PipelineConfig, SchemaState};
 use pg_hive_graph::loader::save_text;
 use pg_hive_graph::stream::csv::{save_edges_csv, save_nodes_csv};
 use pg_hive_graph::stream::jsonl::save_jsonl;
@@ -252,6 +252,73 @@ proptest! {
             assign,
             shard_count,
             picks
+        );
+    }
+
+    /// Merging a state with a clone of itself is *structurally*
+    /// idempotent: occurrence and instance counters double (merge adds
+    /// them — that's what makes shard counts correct), but every type,
+    /// key, datatype, and MANDATORY flag — i.e. the strict serialization
+    /// — is unchanged. `s ⊕ s ≡ s` up to counts.
+    #[test]
+    fn self_merge_is_structurally_idempotent(
+        g in arb_graph(),
+        cuts in (0u8..=100, 0u8..=100, 0u8..=100),
+        chunk in 1usize..8,
+    ) {
+        let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+        let dir = temp_case_dir("selfmerge");
+        for u in units(&g, cuts) {
+            u.write_into(&dir);
+        }
+        let ctx = shard_context(&d, &dir, chunk, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let base = pg_hive_core::serialize::pg_schema_strict(&ctx.state.finalize(), "G");
+        let mut doubled = ctx.state.clone();
+        doubled.merge(ctx.state.clone());
+        let after = pg_hive_core::serialize::pg_schema_strict(&doubled.finalize(), "G");
+        prop_assert_eq!(&after, &base, "self-merge changed the schema structure");
+    }
+
+    /// Merging with a freshly constructed empty state (same θ) is a full
+    /// identity in both directions: the finalized schema — counts,
+    /// MANDATORY flags, everything — is exactly what the non-empty side
+    /// finalizes to alone.
+    #[test]
+    fn merge_with_empty_state_is_identity(
+        g in arb_graph(),
+        cuts in (0u8..=100, 0u8..=100, 0u8..=100),
+        chunk in 1usize..8,
+    ) {
+        let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+        let dir = temp_case_dir("emptymerge");
+        for u in units(&g, cuts) {
+            u.write_into(&dir);
+        }
+        let ctx = shard_context(&d, &dir, chunk, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+        let theta = d.config().theta;
+
+        // Debug rendering captures the full finalized schema including
+        // instance and occurrence counts — stricter than the strict
+        // serialization, which is exactly right for an identity law.
+        let base = format!("{:?}", ctx.state.finalize());
+
+        let mut left = ctx.state.clone();
+        left.merge(SchemaState::new(theta));
+        prop_assert_eq!(
+            format!("{:?}", left.finalize()),
+            base.clone(),
+            "s ⊕ ∅ must equal s"
+        );
+
+        let mut right = SchemaState::new(theta);
+        right.merge(ctx.state.clone());
+        prop_assert_eq!(
+            format!("{:?}", right.finalize()),
+            base,
+            "∅ ⊕ s must equal s"
         );
     }
 }

@@ -1,0 +1,558 @@
+//! Violation-injection (mutation) harness for the streaming validator.
+//!
+//! A validator is only as trustworthy as its test oracle: a checker that
+//! flags *something* on broken input proves little — it must flag
+//! **exactly** the defects that exist. This harness generates a random
+//! conforming dataset, discovers its schema, and first proves the
+//! negative space: the schema validates **clean** against its own source
+//! in all three wire formats (pgt / CSV / JSONL), resident-sized chunks
+//! and chunk size 1 alike. It then plants k typed mutations — drop a
+//! mandatory key, retype a value, relabel a node, point an edge at a
+//! ghost id — and asserts the validator reports **exactly** the injected
+//! violation set (category, element id, and count; nothing else) under
+//! chunked (sizes 1–8), streamed, and sharded (1–3 shards) ingestion.
+
+use pg_hive_core::{CompiledSchema, Discoverer, PipelineConfig, ViolationKind};
+use pg_hive_graph::stream::csv::CsvSource;
+use pg_hive_graph::stream::jsonl::JsonlSource;
+use pg_hive_graph::stream::pgt::PgtSource;
+use pg_hive_graph::stream::read_all;
+use pg_hive_graph::RawGraphSource;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+// ---------------------------------------------------------------------
+// Dataset model: a conforming graph under a fixed three-type template.
+// ---------------------------------------------------------------------
+
+/// A property value the generators emit: alphanumeric-only payloads so
+/// every wire format round-trips them without escaping.
+#[derive(Clone, Debug)]
+enum V {
+    Int(i64),
+    Str(String),
+}
+
+impl V {
+    fn wire(&self) -> String {
+        match self {
+            V::Int(i) => i.to_string(),
+            V::Str(s) => s.clone(),
+        }
+    }
+    fn json(&self) -> String {
+        match self {
+            V::Int(i) => i.to_string(),
+            V::Str(s) => format!("\"{s}\""),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct NodeSpec {
+    id: String,
+    label: String,
+    props: Vec<(&'static str, V)>,
+}
+
+#[derive(Clone, Debug)]
+struct EdgeSpec {
+    src: String,
+    tgt: String,
+    label: String,
+    props: Vec<(&'static str, V)>,
+}
+
+#[derive(Clone, Debug)]
+struct Dataset {
+    nodes: Vec<NodeSpec>,
+    edges: Vec<EdgeSpec>,
+}
+
+/// Conforming datasets under the template:
+/// - `Person {name: STRING!, age: INT!, nick: STRING?}` (≥ 2 instances)
+/// - `Org {url: STRING!}` (≥ 1)
+/// - `Place {name: STRING!}` (≥ 1, never an edge endpoint — the
+///   guaranteed-isolated relabel pool)
+/// - `KNOWS  Person -> Person {since: INT!}`
+/// - `WORKS_AT Person -> Org {from: INT!}`
+///
+/// Every mandatory key is present on every instance by construction, so
+/// discovery derives exactly the template's MANDATORY set and the
+/// injected mutations have fully predictable consequences.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (
+        proptest::collection::vec(any::<bool>(), 2..6), // persons (nick?)
+        1usize..3,                                      // orgs
+        1usize..3,                                      // places
+        proptest::collection::vec((0u8..8, 0u8..8), 0..5), // knows pairs
+        proptest::collection::vec((0u8..8, 0u8..8), 0..5), // works pairs
+    )
+        .prop_map(|(persons, orgs, places, knows, works)| {
+            let mut nodes = Vec::new();
+            for (i, nick) in persons.iter().enumerate() {
+                let mut props = vec![
+                    ("name", V::Str(format!("n{i}"))),
+                    ("age", V::Int(20 + i as i64)),
+                ];
+                if *nick {
+                    props.push(("nick", V::Str(format!("nk{i}"))));
+                }
+                nodes.push(NodeSpec {
+                    id: format!("p{i}"),
+                    label: "Person".into(),
+                    props,
+                });
+            }
+            for i in 0..orgs {
+                nodes.push(NodeSpec {
+                    id: format!("o{i}"),
+                    label: "Org".into(),
+                    props: vec![("url", V::Str(format!("u{i}")))],
+                });
+            }
+            for i in 0..places {
+                nodes.push(NodeSpec {
+                    id: format!("q{i}"),
+                    label: "Place".into(),
+                    props: vec![("name", V::Str(format!("q{i}")))],
+                });
+            }
+            let np = persons.len();
+            let mut edges = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for (a, b) in knows {
+                let (s, t) = (a as usize % np, b as usize % np);
+                // Distinct endpoints and no parallel edges: `src->tgt`
+                // element ids stay unique, so exactness is well-defined.
+                if s != t && seen.insert((format!("p{s}"), format!("p{t}"))) {
+                    edges.push(EdgeSpec {
+                        src: format!("p{s}"),
+                        tgt: format!("p{t}"),
+                        label: "KNOWS".into(),
+                        props: vec![("since", V::Int(2000 + t as i64))],
+                    });
+                }
+            }
+            for (a, b) in works {
+                let (s, t) = (a as usize % np, b as usize % orgs);
+                if seen.insert((format!("p{s}"), format!("o{t}"))) {
+                    edges.push(EdgeSpec {
+                        src: format!("p{s}"),
+                        tgt: format!("o{t}"),
+                        label: "WORKS_AT".into(),
+                        props: vec![("from", V::Int(1990 + s as i64))],
+                    });
+                }
+            }
+            Dataset { nodes, edges }
+        })
+}
+
+// ---------------------------------------------------------------------
+// Wire writers: one logical dataset, three encodings. Payloads are
+// alphanumeric by construction, so no format needs escaping.
+// ---------------------------------------------------------------------
+
+fn to_pgt(d: &Dataset) -> String {
+    let mut out = String::new();
+    let props = |ps: &[(&'static str, V)]| -> String {
+        if ps.is_empty() {
+            "-".into()
+        } else {
+            ps.iter()
+                .map(|(k, v)| format!("{k}={}", v.wire()))
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+    };
+    for n in &d.nodes {
+        out.push_str(&format!("N {} {} {}\n", n.id, n.label, props(&n.props)));
+    }
+    for e in &d.edges {
+        out.push_str(&format!(
+            "E {} {} {} {}\n",
+            e.src,
+            e.tgt,
+            e.label,
+            props(&e.props)
+        ));
+    }
+    out
+}
+
+fn to_jsonl(d: &Dataset) -> String {
+    let mut out = String::new();
+    let props = |ps: &[(&'static str, V)]| -> String {
+        ps.iter()
+            .map(|(k, v)| format!("\"{k}\":{}", v.json()))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    for n in &d.nodes {
+        out.push_str(&format!(
+            "{{\"type\":\"node\",\"id\":\"{}\",\"labels\":[\"{}\"],\"props\":{{{}}}}}\n",
+            n.id,
+            n.label,
+            props(&n.props)
+        ));
+    }
+    for e in &d.edges {
+        out.push_str(&format!(
+            "{{\"type\":\"edge\",\"src\":\"{}\",\"tgt\":\"{}\",\"labels\":[\"{}\"],\"props\":{{{}}}}}\n",
+            e.src,
+            e.tgt,
+            e.label,
+            props(&e.props)
+        ));
+    }
+    out
+}
+
+/// A CSV row: the fixed leading columns plus the element's properties.
+type CsvRow = (Vec<String>, Vec<(&'static str, V)>);
+
+/// CSV pair (nodes.csv, edges.csv): header = union of keys in first-seen
+/// order, empty unquoted cell = absent property.
+fn to_csv(d: &Dataset) -> (String, String) {
+    fn table(head: &str, rows: &[CsvRow]) -> String {
+        let mut keys: Vec<&'static str> = Vec::new();
+        for (_, props) in rows {
+            for (k, _) in props {
+                if !keys.contains(k) {
+                    keys.push(k);
+                }
+            }
+        }
+        let mut out = String::from(head);
+        for k in &keys {
+            out.push(',');
+            out.push_str(k);
+        }
+        out.push('\n');
+        for (fixed, props) in rows {
+            out.push_str(&fixed.join(","));
+            for k in &keys {
+                out.push(',');
+                if let Some((_, v)) = props.iter().find(|(pk, _)| pk == k) {
+                    out.push_str(&v.wire());
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+    let node_rows: Vec<CsvRow> = d
+        .nodes
+        .iter()
+        .map(|n| (vec![n.id.clone(), n.label.clone()], n.props.clone()))
+        .collect();
+    let edge_rows: Vec<CsvRow> = d
+        .edges
+        .iter()
+        .map(|e| {
+            (
+                vec![e.src.clone(), e.tgt.clone(), e.label.clone()],
+                e.props.clone(),
+            )
+        })
+        .collect();
+    (
+        table("id,labels", &node_rows),
+        table("src,tgt,labels", &edge_rows),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Harness plumbing: discovery, validation drivers, exactness assertion.
+// ---------------------------------------------------------------------
+
+fn compile_from_pgt(pgt: &str) -> CompiledSchema {
+    let (g, w) = read_all(PgtSource::new(pgt.as_bytes())).expect("clean pgt parses");
+    assert_eq!(w.unresolved_edges, 0, "generator emitted a dangling edge");
+    let schema = Discoverer::new(PipelineConfig::elsh_adaptive())
+        .discover(&g)
+        .schema;
+    CompiledSchema::compile(&schema)
+}
+
+fn run_source<S: RawGraphSource>(
+    compiled: &CompiledSchema,
+    mut src: S,
+    chunk: usize,
+) -> pg_hive_core::StreamValidationReport {
+    let mut v = pg_hive_core::Validator::new(compiled).with_max_examples(usize::MAX);
+    assert!(v.validate_source(&mut src, chunk, |_, _| {}).unwrap());
+    v.finish()
+}
+
+/// Validate the pgt text shard-parallel: lines partitioned round-robin
+/// across `shards` validators, folded with `merge`, finished once — the
+/// shape `pg-hive validate` uses for directory trees.
+fn run_sharded(
+    compiled: &CompiledSchema,
+    pgt: &str,
+    shards: usize,
+    chunk: usize,
+) -> pg_hive_core::StreamValidationReport {
+    let mut parts = vec![String::new(); shards];
+    for (i, line) in pgt.lines().enumerate() {
+        parts[i % shards].push_str(line);
+        parts[i % shards].push('\n');
+    }
+    let mut merged: Option<pg_hive_core::Validator<'_>> = None;
+    for part in &parts {
+        let mut v = pg_hive_core::Validator::new(compiled).with_max_examples(usize::MAX);
+        assert!(v
+            .validate_source(&mut PgtSource::new(part.as_bytes()), chunk, |_, _| {})
+            .unwrap());
+        match &mut merged {
+            None => merged = Some(v),
+            Some(m) => m.merge(v),
+        }
+    }
+    merged.expect("at least one shard").finish()
+}
+
+/// The exactness oracle: the reported violation multiset — as
+/// (category, element id) pairs — must equal the injected set, and the
+/// per-category counters must agree with it.
+fn assert_exact(
+    report: &pg_hive_core::StreamValidationReport,
+    expected: &[(ViolationKind, String)],
+    ctx: &str,
+) {
+    let mut got: Vec<(ViolationKind, String)> = report
+        .examples
+        .iter()
+        .map(|v| (v.kind, v.element.clone()))
+        .collect();
+    let mut want = expected.to_vec();
+    got.sort();
+    want.sort();
+    assert_eq!(got, want, "{ctx}: wrong violation set");
+    assert_eq!(report.total() as usize, expected.len(), "{ctx}: count");
+    for kind in ViolationKind::ALL {
+        let n = expected.iter().filter(|(k, _)| *k == kind).count() as u64;
+        assert_eq!(report.count(kind), n, "{ctx}: counter for {kind}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// The injected mutations.
+// ---------------------------------------------------------------------
+
+/// Which typed mutations to plant, with raw index entropy; targets are
+/// made distinct inside `apply` (persons ≥ 2, places ≥ 1 by
+/// construction, so drop/retype never collide and relabel always has an
+/// isolated victim).
+#[derive(Clone, Debug)]
+struct MutationPlan {
+    drop_key: bool,
+    retype: bool,
+    relabel: bool,
+    ghost: bool,
+    idx: (u8, u8, u8, u8),
+}
+
+fn arb_plan() -> impl Strategy<Value = MutationPlan> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()),
+    )
+        .prop_map(|(drop_key, retype, relabel, ghost, idx)| MutationPlan {
+            drop_key,
+            retype,
+            relabel,
+            ghost,
+            idx,
+        })
+}
+
+impl MutationPlan {
+    /// Mutate a copy of the clean dataset; returns the mutated dataset
+    /// and the exact violation set validation must recover.
+    fn apply(&self, clean: &Dataset) -> (Dataset, Vec<(ViolationKind, String)>) {
+        let mut d = clean.clone();
+        let mut expected = Vec::new();
+        let persons: Vec<usize> = d
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.label == "Person")
+            .map(|(i, _)| i)
+            .collect();
+        let places: Vec<usize> = d
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.label == "Place")
+            .map(|(i, _)| i)
+            .collect();
+        // At least one mutation always lands, so every case is a defect
+        // case (clean recovery is asserted separately).
+        let drop_key = self.drop_key || !(self.retype || self.relabel || self.ghost);
+        let di = persons[self.idx.0 as usize % persons.len()];
+        if drop_key {
+            // Drop the mandatory `age` of one Person.
+            let n = &mut d.nodes[di];
+            n.props.retain(|(k, _)| *k != "age");
+            expected.push((ViolationKind::MissingKey, n.id.clone()));
+        }
+        if self.retype {
+            // Retype another Person's `age` (declared INT) to a string.
+            let ri = persons[(self.idx.0 as usize + 1 + self.idx.1 as usize % (persons.len() - 1))
+                % persons.len()];
+            debug_assert_ne!(ri, di);
+            let n = &mut d.nodes[ri];
+            for (k, v) in &mut n.props {
+                if *k == "age" {
+                    *v = V::Str("notanumber".into());
+                }
+            }
+            expected.push((ViolationKind::TypeMismatch, n.id.clone()));
+        }
+        if self.relabel {
+            // Relabel an isolated Place: exactly one unknown-label-set
+            // violation, no endpoint fallout (Places are never endpoints).
+            let n = &mut d.nodes[places[self.idx.2 as usize % places.len()]];
+            n.label = "Mutant".into();
+            expected.push((ViolationKind::UnknownNodeLabels, n.id.clone()));
+        }
+        if self.ghost && !d.edges.is_empty() {
+            // Point one edge at an id no record declares.
+            let ei = self.idx.3 as usize % d.edges.len();
+            let e = &mut d.edges[ei];
+            e.tgt = "ghost0".into();
+            expected.push((
+                ViolationKind::DanglingEndpoint,
+                format!("{}->ghost0", e.src),
+            ));
+        }
+        (d, expected)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The properties.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Discover → the schema validates clean against its own source, in
+    /// all three wire formats, at resident-sized and single-record
+    /// chunks.
+    #[test]
+    fn discovered_schema_validates_clean_in_every_format(d in arb_dataset()) {
+        let pgt = to_pgt(&d);
+        let compiled = compile_from_pgt(&pgt);
+        for chunk in [1, usize::MAX] {
+            let r = run_source(&compiled, PgtSource::new(pgt.as_bytes()), chunk);
+            prop_assert!(r.is_valid(), "pgt chunk {chunk}: {:?}", r.examples);
+            prop_assert_eq!(r.nodes_checked as usize, d.nodes.len());
+            prop_assert_eq!(r.edges_checked as usize, d.edges.len());
+
+            let jsonl = to_jsonl(&d);
+            let r = run_source(&compiled, JsonlSource::new(jsonl.as_bytes()), chunk);
+            prop_assert!(r.is_valid(), "jsonl chunk {chunk}: {:?}", r.examples);
+
+            let (nodes, edges) = to_csv(&d);
+            let src = CsvSource::new(Cursor::new(nodes), Some(Cursor::new(edges)));
+            let r = run_source(&compiled, src, chunk);
+            prop_assert!(r.is_valid(), "csv chunk {chunk}: {:?}", r.examples);
+        }
+    }
+
+    /// k injected defects are recovered exactly — category, element id,
+    /// and count — across chunk sizes 1–8, all three wire formats, and
+    /// shard counts 1–3.
+    #[test]
+    fn injected_violations_are_recovered_exactly(
+        d in arb_dataset(),
+        plan in arb_plan(),
+    ) {
+        let compiled = compile_from_pgt(&to_pgt(&d));
+        let (mutated, expected) = plan.apply(&d);
+        let pgt = to_pgt(&mutated);
+
+        for chunk in 1..=8usize {
+            let r = run_source(&compiled, PgtSource::new(pgt.as_bytes()), chunk);
+            assert_exact(&r, &expected, &format!("pgt chunk {chunk}"));
+        }
+
+        let jsonl = to_jsonl(&mutated);
+        let r = run_source(&compiled, JsonlSource::new(jsonl.as_bytes()), 3);
+        assert_exact(&r, &expected, "jsonl");
+
+        let (nodes, edges) = to_csv(&mutated);
+        let src = CsvSource::new(Cursor::new(nodes), Some(Cursor::new(edges)));
+        let r = run_source(&compiled, src, 3);
+        assert_exact(&r, &expected, "csv");
+
+        for shards in 1..=3usize {
+            let r = run_sharded(&compiled, &pgt, shards, 4);
+            assert_exact(&r, &expected, &format!("{shards} shard(s)"));
+        }
+    }
+}
+
+/// Deterministic sanity: each wire format's own serialization discovers a
+/// schema that validates that same serialization clean (not just the
+/// pgt-discovered one).
+#[test]
+fn each_format_self_validates_clean() {
+    let d = Dataset {
+        nodes: vec![
+            NodeSpec {
+                id: "p0".into(),
+                label: "Person".into(),
+                props: vec![("name", V::Str("a".into())), ("age", V::Int(30))],
+            },
+            NodeSpec {
+                id: "p1".into(),
+                label: "Person".into(),
+                props: vec![("name", V::Str("b".into())), ("age", V::Int(31))],
+            },
+            NodeSpec {
+                id: "o0".into(),
+                label: "Org".into(),
+                props: vec![("url", V::Str("u".into()))],
+            },
+        ],
+        edges: vec![EdgeSpec {
+            src: "p0".into(),
+            tgt: "o0".into(),
+            label: "WORKS_AT".into(),
+            props: vec![("from", V::Int(2001))],
+        }],
+    };
+    let discover = |g: &pg_hive_graph::PropertyGraph| {
+        Discoverer::new(PipelineConfig::elsh_adaptive())
+            .discover(g)
+            .schema
+    };
+
+    let pgt = to_pgt(&d);
+    let (g, _) = read_all(PgtSource::new(pgt.as_bytes())).unwrap();
+    let c = CompiledSchema::compile(&discover(&g));
+    assert!(run_source(&c, PgtSource::new(pgt.as_bytes()), 2).is_valid());
+
+    let jsonl = to_jsonl(&d);
+    let (g, _) = read_all(JsonlSource::new(jsonl.as_bytes())).unwrap();
+    let c = CompiledSchema::compile(&discover(&g));
+    assert!(run_source(&c, JsonlSource::new(jsonl.as_bytes()), 2).is_valid());
+
+    let (nodes, edges) = to_csv(&d);
+    let (g, _) = read_all(CsvSource::new(
+        Cursor::new(nodes.clone()),
+        Some(Cursor::new(edges.clone())),
+    ))
+    .unwrap();
+    let c = CompiledSchema::compile(&discover(&g));
+    let src = CsvSource::new(Cursor::new(nodes), Some(Cursor::new(edges)));
+    assert!(run_source(&c, src, 2).is_valid());
+}
