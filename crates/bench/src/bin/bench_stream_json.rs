@@ -14,12 +14,19 @@
 //! plus a **raw per-chunk** run (`discover_chunk_state` per chunk, results
 //! dropped) that isolates what the canonical `SchemaState` machinery —
 //! cross-chunk absorb + finalize — costs on top of pure chunk compute,
-//! and a **sharded** pair of runs (`discover_sharded` over the dataset
+//! a **sharded** pair of runs (`discover_sharded` over the dataset
 //! split into a two-file directory tree, at 1 shard and at 2) gating the
 //! merge-tree engine: the 2-shard finalized schema must byte-equal the
 //! 1-shard run's strict text (`sharded_schema_match`), its labeled-type
 //! inventory must match the serial stream, and its throughput
-//! (`sharded_elements_per_sec`) must stay ≥ 0.8× the 1-shard run.
+//! (`sharded_elements_per_sec`) must reach ≥ 1.0× the 1-shard run on
+//! multi-core hosts (0.9× on a 1-core host, where shard threads can only
+//! time-slice), and an **incremental steady-state** pair on a
+//! repeated-signature workload: a warm `absorb_stream_cached` pass with a
+//! primed [`SignatureCache`] must process elements ≥ 3× faster than the
+//! cold uncached engine (`incremental_pass_elements_per_sec` vs
+//! `incremental_cold_elements_per_sec`), hit on ≥ 95% of repeated chunks
+//! (`cache_hit_ratio`), and finalize byte-identically.
 //!
 //! Verifies all runs discover the same labeled-type inventory, checks the
 //! peak chunk-resident element count stays ≤ 2× the chunk size, that the
@@ -47,11 +54,11 @@
 
 use pg_hive_core::schema::SchemaGraph;
 use pg_hive_core::serialize::pg_schema_strict;
-use pg_hive_core::{Discoverer, PipelineConfig};
+use pg_hive_core::{Discoverer, PipelineConfig, SignatureCache};
 use pg_hive_datasets::{DatasetSpec, EdgeDef, NodeDef, PropDef, ValueGen};
 use pg_hive_graph::loader::{load_text, save_text};
 use pg_hive_graph::stream::pgt::PgtSource;
-use pg_hive_graph::{ChunkedTextReader, MultiSource, ReadAheadChunks};
+use pg_hive_graph::{ChunkedTextReader, GraphBuilder, MultiSource, PropertyGraph, ReadAheadChunks};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::fs::File;
@@ -110,6 +117,63 @@ const STREAM_BASELINE_EPS: f64 = 248_426.9;
 /// The zero-copy ingestion pass must beat the committed baseline by this
 /// factor (serial streaming path, best-of-2).
 const STREAM_REQUIRED_RATIO: f64 = 1.3;
+/// Steady-state warm pass (signature cache primed) must beat the cold
+/// uncached pass by this factor in per-element cost on the
+/// repeated-signature workload.
+const INCREMENTAL_REQUIRED_SPEEDUP: f64 = 3.0;
+/// The warm pass must actually hit: minimum fraction of chunk lookups the
+/// primed cache answers.
+const CACHE_HIT_RATIO_FLOOR: f64 = 0.95;
+
+/// One signature-diverse chunk for the steady-state workload: node label
+/// drawn from `types` type names, property keys a random mask over `keys`
+/// candidates, values varying freely — hundreds-to-thousands of distinct
+/// (label, key-set) signatures per chunk, so embedding + LSH dominate the
+/// cold per-chunk cost (the opposite extreme from the 12-type spec above,
+/// whose ~dozens of signatures amortize those stages away). The
+/// deterministic per-`shape` xorshift stream makes repeated shapes
+/// byte-identical — the cross-pass repetition a steady-state `watch` loop
+/// (rotating logs, re-fed chunks) hands the engine.
+fn signature_diverse_chunk(shape: u64, n: usize, types: u64, keys: usize) -> PropertyGraph {
+    let mut b = GraphBuilder::new();
+    let mut s = shape.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let all_keys: Vec<String> = (0..keys).map(|i| format!("k{i}")).collect();
+    let mut ids = Vec::new();
+    for _ in 0..n {
+        let label = format!("T{}", next() % types);
+        let mask = next();
+        let props: Vec<(&str, pg_hive_graph::Value)> = all_keys
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, k)| {
+                (
+                    k.as_str(),
+                    pg_hive_graph::Value::Int((next() % 1000) as i64),
+                )
+            })
+            .collect();
+        ids.push(b.add_node(&[&label], &props));
+    }
+    for i in 0..n / 2 {
+        let src = ids[(next() as usize) % ids.len()];
+        let tgt = ids[(next() as usize) % ids.len()];
+        let label = format!("E{}", next() % (types / 2).max(1));
+        b.add_edge(
+            src,
+            tgt,
+            &[&label],
+            &[("w", pg_hive_graph::Value::Int(i as i64))],
+        );
+    }
+    b.finish()
+}
 
 fn labeled_inventory(s: &SchemaGraph) -> (BTreeSet<Vec<String>>, BTreeSet<Vec<String>>) {
     let nodes = s
@@ -288,6 +352,64 @@ fn main() {
     let raw_secs = raw_a.min(raw_b);
     let raw_eps = elements as f64 / raw_secs;
 
+    // Incremental steady state: the repeated-signature workload. 10
+    // distinct signature-diverse chunk shapes, streamed 3x each per pass —
+    // a watch loop in its steady state keeps handing the engine chunks
+    // whose structural fingerprints it has already clustered. Cold pass =
+    // the uncached engine; warm pass = `absorb_stream_cached` with the
+    // cache primed by one prior pass. Both best-of-2, byte-identity
+    // asserted on the finalized strict text.
+    let incr_chunk_n = ((10_000.0 * scale) as usize).max(1_000);
+    let incr_shapes: Vec<PropertyGraph> = (0..10)
+        .map(|i| signature_diverse_chunk(i, incr_chunk_n, 50, 8))
+        .collect();
+    let incr_chunks: Vec<PropertyGraph> = (0..30).map(|i| incr_shapes[i % 10].clone()).collect();
+    let incr_elements: usize = incr_chunks
+        .iter()
+        .map(|c| c.node_count() + c.edge_count())
+        .sum();
+    let run_incr_cold = || {
+        let mut state = discoverer.new_state();
+        let t = Instant::now();
+        discoverer.absorb_stream(incr_chunks.iter().cloned(), &mut state, 1);
+        (state, t.elapsed().as_secs_f64())
+    };
+    let cache = SignatureCache::default();
+    {
+        // Prime: the pass that first sees each shape (counts excluded from
+        // the warm measurement below).
+        let mut state = discoverer.new_state();
+        discoverer.absorb_stream_cached(incr_chunks.iter().cloned(), &mut state, 1, &cache);
+    }
+    let primed_stats = cache.stats();
+    let run_incr_warm = || {
+        let mut state = discoverer.new_state();
+        let t = Instant::now();
+        discoverer.absorb_stream_cached(incr_chunks.iter().cloned(), &mut state, 1, &cache);
+        (state, t.elapsed().as_secs_f64())
+    };
+    let (incr_cold_state, incr_cold_a) = run_incr_cold();
+    let (incr_warm_state, incr_warm_a) = run_incr_warm();
+    let (_, incr_cold_b) = run_incr_cold();
+    let (_, incr_warm_b) = run_incr_warm();
+    let incr_cold_secs = incr_cold_a.min(incr_cold_b);
+    let incr_warm_secs = incr_warm_a.min(incr_warm_b);
+    let incr_cold_eps = incr_elements as f64 / incr_cold_secs;
+    let incr_warm_eps = incr_elements as f64 / incr_warm_secs;
+    let incr_speedup = incr_warm_eps / incr_cold_eps;
+    let warm_stats = cache.stats();
+    // Hit ratio over the two measured warm passes only (the priming pass
+    // that populated the cache is excluded).
+    let warm_lookups =
+        (warm_stats.hits - primed_stats.hits) + (warm_stats.misses - primed_stats.misses);
+    let cache_hit_ratio = if warm_lookups == 0 {
+        0.0
+    } else {
+        (warm_stats.hits - primed_stats.hits) as f64 / warm_lookups as f64
+    };
+    let incremental_schema_match = pg_schema_strict(&incr_warm_state.finalize(), "G")
+        == pg_schema_strict(&incr_cold_state.finalize(), "G");
+
     // Optional threads × chunk-size sweep of the pipeline-parallel path.
     // Diagnostic only: every cell is recorded, none is gated on — the
     // single-cell run above remains the CI regression signal.
@@ -336,7 +458,23 @@ fn main() {
         == pg_schema_strict(&sharded_serial_result.state.finalize(), "G");
     let sharded_inventory_match = labeled_inventory(&sharded_result.state.finalize())
         == labeled_inventory(&stream_result.schema);
-    let sharded_not_slower = sharded_eps >= 0.8 * sharded_serial_eps;
+    // After the merge-tree cost pass (byte-length LPT partitioning +
+    // signature-batched root resolution) sharding must *earn its keep*:
+    // ≥ 1.0x the 1-shard merge-tree run wherever there are cores for the
+    // shard threads to run on. On a 1-core host two CPU-bound shard
+    // threads can only time-slice one core, so the gate degrades to
+    // "sharding costs at most 10% coordination overhead" — the same
+    // cores-aware shape as the parallel gate below, and a large step up
+    // from the 0.8x tolerance this gate started at.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sharded_required_ratio = if cores > 1 { 1.0 } else { 0.9 };
+    let sharded_ratio = sharded_eps / sharded_serial_eps;
+    let sharded_not_slower = sharded_ratio >= sharded_required_ratio;
+    // Steady-state gates: the warm (cache-primed) pass must process
+    // elements at >= 3x the cold uncached pass's rate, hitting on nearly
+    // every repeated chunk, and finalize byte-identically.
+    let incremental_ok = incr_speedup >= INCREMENTAL_REQUIRED_SPEEDUP;
+    let cache_hit_ratio_ok = cache_hit_ratio >= CACHE_HIT_RATIO_FLOOR;
     let resident_ok =
         max_resident <= 2 * chunk_size && parallel_summary.max_resident_elements <= 2 * chunk_size;
     // The overlap must at least pay for its own coordination: require the
@@ -349,7 +487,6 @@ fn main() {
     // margin is wider there (the gate's real intent, "parallelism pays for
     // itself", is only testable with actual cores); on multi-core it should
     // beat serial outright.
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let parallel_tolerance = if cores > 1 { 0.95 } else { 0.80 };
     let parallel_not_slower = parallel_eps >= parallel_tolerance * stream_eps;
     // Canonicalization (cross-chunk absorb + finalize) must keep at least
@@ -395,11 +532,18 @@ fn main() {
         sharded_result.pending.len()
     );
     println!(
+        "   incremental: cold {incr_cold_secs:.3}s ({incr_cold_eps:.0} elem/s) vs warm \
+         {incr_warm_secs:.3}s ({incr_warm_eps:.0} elem/s) over {incr_elements} \
+         repeated-signature elements — {incr_speedup:.2}x, cache hit ratio \
+         {cache_hit_ratio:.3}, byte-identical: {incremental_schema_match}"
+    );
+    println!(
         "   labeled-type inventory match: baseline=={schema_match} parallel=={parallel_match} \
          sharded=={sharded_inventory_match}; sharded strict bytes == 1-shard: {sharded_match}; \
          peak resident <= 2x chunk: {resident_ok}; parallel not slower: {parallel_not_slower}; \
-         sharded >= 0.8x 1-shard: {sharded_not_slower}; \
-         canonical >= 0.9x raw: {canonical_overhead_ok}"
+         sharded >= {sharded_required_ratio}x 1-shard: {sharded_not_slower} \
+         ({sharded_ratio:.3}); canonical >= 0.9x raw: {canonical_overhead_ok}; \
+         warm >= {INCREMENTAL_REQUIRED_SPEEDUP}x cold: {incremental_ok}"
     );
 
     let mut json = String::from("{\n");
@@ -458,7 +602,37 @@ fn main() {
         json,
         "  \"sharded_inventory_match\": {sharded_inventory_match},"
     );
+    let _ = writeln!(json, "  \"sharded_ratio\": {sharded_ratio:.4},");
+    let _ = writeln!(
+        json,
+        "  \"sharded_required_ratio\": {sharded_required_ratio:.2},"
+    );
     let _ = writeln!(json, "  \"sharded_not_slower\": {sharded_not_slower},");
+    let _ = writeln!(json, "  \"incremental_elements\": {incr_elements},");
+    let _ = writeln!(
+        json,
+        "  \"incremental_cold_elements_per_sec\": {incr_cold_eps:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"incremental_pass_elements_per_sec\": {incr_warm_eps:.1},"
+    );
+    let _ = writeln!(json, "  \"incremental_speedup\": {incr_speedup:.4},");
+    let _ = writeln!(
+        json,
+        "  \"incremental_required_speedup\": {INCREMENTAL_REQUIRED_SPEEDUP:.2},"
+    );
+    let _ = writeln!(json, "  \"cache_hit_ratio\": {cache_hit_ratio:.4},");
+    let _ = writeln!(
+        json,
+        "  \"cache_hit_ratio_floor\": {CACHE_HIT_RATIO_FLOOR:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"incremental_schema_match\": {incremental_schema_match},"
+    );
+    let _ = writeln!(json, "  \"incremental_ok\": {incremental_ok},");
+    let _ = writeln!(json, "  \"cache_hit_ratio_ok\": {cache_hit_ratio_ok},");
     let _ = writeln!(json, "  \"baseline_resident_elements\": {elements},");
     let _ = writeln!(json, "  \"max_chunk_resident_elements\": {max_resident},");
     let _ = writeln!(
@@ -525,6 +699,9 @@ fn main() {
         || !sharded_not_slower
         || !canonical_overhead_ok
         || !throughput_ok
+        || !incremental_ok
+        || !cache_hit_ratio_ok
+        || !incremental_schema_match
     {
         if !sharded_match {
             eprintln!("FAIL: 2-shard merge-tree schema diverged from the 1-shard run");
@@ -534,9 +711,25 @@ fn main() {
         }
         if !sharded_not_slower {
             eprintln!(
-                "FAIL: sharded at {sharded_eps:.0} elem/s, below 0.8x the 1-shard \
-                 merge-tree run ({sharded_serial_eps:.0} elem/s)"
+                "FAIL: sharded at {sharded_eps:.0} elem/s, below \
+                 {sharded_required_ratio}x the 1-shard merge-tree run \
+                 ({sharded_serial_eps:.0} elem/s)"
             );
+        }
+        if !incremental_ok {
+            eprintln!(
+                "FAIL: warm steady-state pass at {incr_warm_eps:.0} elem/s, below \
+                 {INCREMENTAL_REQUIRED_SPEEDUP}x the cold pass ({incr_cold_eps:.0} elem/s)"
+            );
+        }
+        if !cache_hit_ratio_ok {
+            eprintln!(
+                "FAIL: warm-pass cache hit ratio {cache_hit_ratio:.3} below \
+                 {CACHE_HIT_RATIO_FLOOR}"
+            );
+        }
+        if !incremental_schema_match {
+            eprintln!("FAIL: cached steady-state pass diverged from the uncached engine");
         }
         if !throughput_ok {
             eprintln!(

@@ -69,10 +69,13 @@
 
 use pg_hive_core::schema::SchemaGraph;
 use pg_hive_core::serialize::{pg_schema_loose, pg_schema_strict, to_xsd};
-use pg_hive_core::snapshot::{ResumeContext, Snapshot, SnapshotConfig};
+use pg_hive_core::sigcache::DEFAULT_CACHE_CAP;
+use pg_hive_core::snapshot::{
+    context_snapshot_cached, sigcache_from_snapshot, ResumeContext, Snapshot, SnapshotConfig,
+};
 use pg_hive_core::{
-    diff_schemas, CompiledSchema, Discoverer, PipelineConfig, SamplingConfig, StreamResult,
-    Validator, DEFAULT_MAX_EXAMPLES,
+    diff_schemas, CompiledSchema, Discoverer, PipelineConfig, SamplingConfig, SignatureCache,
+    StreamResult, Validator, DEFAULT_MAX_EXAMPLES,
 };
 use pg_hive_graph::loader::load_text;
 use pg_hive_graph::stream::{csv::CsvSource, jsonl::JsonlSource, pgt::PgtSource};
@@ -496,7 +499,13 @@ fn stream_discover(
     let mut reader = ReadAheadChunks::spawn(source, opts.chunk_size, opts.read_ahead);
     let mut stream_err: Option<String> = None;
     let mut chunk_no = 0usize;
-    let result = discoverer.discover_stream_parallel(
+    // Run-local signature cache: structurally repeated chunks (steady-shape
+    // logs) skip embedding + LSH and broadcast the memoized clustering —
+    // byte-identical to the uncached run (proptested in
+    // `tests/tests/incremental_equivalence.rs`).
+    let cache = SignatureCache::default();
+    let mut state = discoverer.new_state();
+    let report = discoverer.absorb_stream_cached(
         std::iter::from_fn(|| match reader.next_chunk() {
             Ok(Some(g)) => {
                 chunk_no += 1;
@@ -516,11 +525,28 @@ fn stream_discover(
                 None
             }
         }),
+        &mut state,
         threads,
+        &cache,
     );
     if let Some(e) = stream_err {
         return Err(format!("parse {path}: {e}"));
     }
+    if progress {
+        let stats = cache.stats();
+        if stats.hits > 0 {
+            eprintln!(
+                "signature cache: {} of {} chunk(s) re-used a memoized clustering",
+                stats.hits,
+                stats.hits + stats.misses
+            );
+        }
+    }
+    let result = StreamResult {
+        schema: state.finalize(),
+        chunk_times: report.chunk_times,
+        elements: report.elements,
+    };
     let summary = *reader
         .summary()
         .expect("stream exhausted without error: summary available");
@@ -739,9 +765,17 @@ fn run_validation(
 }
 
 /// Load a `discover --save-state` snapshot for resuming, with the config
-/// guard and the named refusal of watch checkpoints.
-fn load_discover_state(p: &str, config: &SnapshotConfig) -> Result<ResumeContext, String> {
-    let ctx = ResumeContext::load(Path::new(p)).map_err(|e| format!("{e} (while loading {p})"))?;
+/// guard and the named refusal of watch checkpoints. Also rebuilds the
+/// snapshot's persisted [`SignatureCache`] (cold when the optional
+/// `[sigcache]` section is absent) so a resumed stream starts warm.
+fn load_discover_state(
+    p: &str,
+    config: &SnapshotConfig,
+) -> Result<(ResumeContext, SignatureCache), String> {
+    let load_err = |e: pg_hive_core::snapshot::SnapshotError| format!("{e} (while loading {p})");
+    let snap = Snapshot::read(Path::new(p)).map_err(load_err)?;
+    let ctx = ResumeContext::from_snapshot(&snap).map_err(load_err)?;
+    let cache = sigcache_from_snapshot(&snap, DEFAULT_CACHE_CAP).map_err(load_err)?;
     ctx.config
         .ensure_matches(config)
         .map_err(|e| e.to_string())?;
@@ -762,7 +796,7 @@ fn load_discover_state(p: &str, config: &SnapshotConfig) -> Result<ResumeContext
         ctx.registry.len(),
         ctx.pending.len()
     );
-    Ok(ctx)
+    Ok((ctx, cache))
 }
 
 /// The `discover --stream` path with `--save-state`/`--load-state`: run
@@ -786,15 +820,16 @@ fn discover_stream_stateful(
 ) -> Result<ExitCode, String> {
     let threads = resolve_threads(opts);
     let config = SnapshotConfig::new(discoverer.config(), opts.chunk_size);
-    let (mut state, registry, mut pending) = match load_state {
+    let (mut state, registry, mut pending, cache) = match load_state {
         Some(p) => {
-            let ctx = load_discover_state(p, &config)?;
-            (ctx.state, ctx.registry, ctx.pending)
+            let (ctx, cache) = load_discover_state(p, &config)?;
+            (ctx.state, ctx.registry, ctx.pending, cache)
         }
         None => (
             discoverer.new_state(),
             LabelSetRegistry::default(),
             Vec::new(),
+            SignatureCache::default(),
         ),
     };
     let source = open_source(path, opts.input_format)?;
@@ -804,7 +839,7 @@ fn discover_stream_stateful(
     // merged later equal the one-shot run.
     reader.set_carry_unresolved(save_state.is_some());
     let mut stream_err: Option<String> = None;
-    let report = discoverer.absorb_stream(
+    let report = discoverer.absorb_stream_cached(
         std::iter::from_fn(|| match reader.next_chunk() {
             Ok(c) => c,
             Err(e) => {
@@ -814,6 +849,7 @@ fn discover_stream_stateful(
         }),
         &mut state,
         threads,
+        &cache,
     );
     if let Some(e) = stream_err {
         return Err(format!("parse {path}: {e}"));
@@ -838,14 +874,12 @@ fn discover_stream_stateful(
     };
     if let Some(p) = save_state {
         let carried = pending.len();
-        let ctx = ResumeContext {
-            config,
-            state,
-            registry,
-            watch: None,
-            pending,
-        };
-        ctx.save(Path::new(p)).map_err(|e| e.to_string())?;
+        // Persist the signature cache alongside the engine state (the
+        // optional `[sigcache]` section) so a chained `--load-state` run
+        // over same-shaped input resumes warm.
+        context_snapshot_cached(&config, &state, &registry, None, &pending, Some(&cache))
+            .write_atomic(Path::new(p))
+            .map_err(|e| e.to_string())?;
         if carried > 0 {
             eprintln!("state saved to {p} ({carried} cross-input edge(s) carried)");
         } else {
@@ -892,7 +926,9 @@ fn discover_multi(
         .discover_sharded(&source, shards, opts.chunk_size, threads)
         .map_err(|e| format!("parse {path}: {e}"))?;
     if let Some(p) = load_state {
-        let ctx = load_discover_state(p, &config)?;
+        // The sharded path absorbs per-file states; a loaded cache has no
+        // absorb site here, so only the context is used.
+        let (ctx, _cache) = load_discover_state(p, &config)?;
         result.state.merge(ctx.state);
         result.warnings.duplicate_nodes += result.registry.merge(&ctx.registry);
         // Re-resolve: edges unresolvable on either side alone may resolve
@@ -950,9 +986,29 @@ fn discover_multi(
 /// are refused with a named `snapshot:` error; carried cross-input edges
 /// resolve against the merged registry and the rest stay pending in the
 /// output, ready for the next merge.
+///
+/// The fold is **streaming**: the first snapshot becomes the base and each
+/// further one is loaded, merged, and dropped before the next is opened, so
+/// peak residency is two contexts no matter how many snapshots are folded.
+/// `SchemaState::merge` is associative and commutative, so this is
+/// byte-identical to materializing every context and folding all at once
+/// (asserted e2e in `tests/tests/cli_merge_state.rs`).
 fn merge_state(out: &str, inputs: &[String], format: OutputFormat) -> Result<ExitCode, String> {
-    let paths: Vec<&Path> = inputs.iter().map(Path::new).collect();
-    let (mut ctx, collisions) = Snapshot::merge_files(&paths).map_err(|e| e.to_string())?;
+    let mut iter = inputs.iter();
+    let first = iter
+        .next()
+        .ok_or_else(|| "snapshot: merge needs at least one snapshot file".to_string())?;
+    let mut ctx = ResumeContext::load(Path::new(first))
+        .map_err(|e| format!("{e} (while loading {first})"))?;
+    // A merged state is no longer any single watch's checkpoint, even when
+    // only one input was given.
+    ctx.watch = None;
+    let mut collisions = 0u64;
+    for p in iter {
+        let next =
+            ResumeContext::load(Path::new(p)).map_err(|e| format!("{e} (while loading {p})"))?;
+        collisions += ctx.merge(next).map_err(|e| e.to_string())?;
+    }
     // Rebuild the discoverer the snapshots were produced under (the guard
     // above proved they all agree) so pending-edge resolution embeds with
     // the same clustering parameters.

@@ -76,10 +76,12 @@ use crate::args::{InputFormat, StreamOpts};
 use crate::sink::{emit_all, unix_timestamp, DriftEvent, DriftSink};
 use pg_hive_core::schema::SchemaGraph;
 use pg_hive_core::serialize::pg_schema_strict;
+use pg_hive_core::sigcache::DEFAULT_CACHE_CAP;
 use pg_hive_core::snapshot::{
-    context_snapshot, FileCheckpoint, ResumeContext, SnapshotConfig, WatchCheckpoint,
+    context_snapshot, context_snapshot_cached, sigcache_from_snapshot, FileCheckpoint,
+    ResumeContext, Snapshot, SnapshotConfig, WatchCheckpoint,
 };
-use pg_hive_core::{diff_schemas, AbsorbReport, Discoverer, SchemaState};
+use pg_hive_core::{diff_schemas, AbsorbReport, Discoverer, SchemaState, SignatureCache};
 use pg_hive_graph::stream::{csv::CsvSource, jsonl::JsonlSource, pgt::PgtSource};
 use pg_hive_graph::{
     ChunkedTextReader, LabelSetRegistry, MultiSource, RawGraphSource, Record, SourceKind,
@@ -394,7 +396,12 @@ fn absorb_source(
     );
     reader.set_carry_unresolved(true);
     let mut stream_err: Option<String> = None;
-    let report = discoverer.absorb_stream(
+    // Absorb into a pass-local delta (through the cross-pass signature
+    // cache), then merge the delta into both the resident state and the
+    // combined fold — associativity makes this byte-identical to folding
+    // chunk states straight into the resident state.
+    let mut delta = discoverer.new_state();
+    let report = discoverer.absorb_stream_cached(
         std::iter::from_fn(|| match reader.next_chunk() {
             Ok(c) => c,
             Err(e) => {
@@ -402,12 +409,14 @@ fn absorb_source(
                 None
             }
         }),
-        &mut run.state,
+        &mut delta,
         threads,
+        &run.cache,
     );
     if let Some(e) = stream_err {
         return Err(format!("parse error while watching: {e}"));
     }
+    run.merge_delta(delta);
     pending.extend(reader.take_pending());
     run.warnings.absorb(&reader.warnings());
     run.registry = reader.into_registry();
@@ -423,7 +432,9 @@ fn resolve_pass_pending(discoverer: &Discoverer, run: &mut WatchRun, pending: Ve
     if pending.is_empty() {
         return 0;
     }
-    let (left, resolved) = discoverer.resolve_pending(&mut run.state, &run.registry, pending);
+    let mut delta = discoverer.new_state();
+    let (left, resolved) = discoverer.resolve_pending(&mut delta, &run.registry, pending);
+    run.merge_delta(delta);
     run.warnings.unresolved_edges += left.len() as u64;
     resolved
 }
@@ -453,25 +464,50 @@ impl TrackedFile {
 struct WatchRun {
     /// The resident (current-partition) state.
     state: SchemaState,
+    /// The resident ⊕ retained fold, maintained **incrementally**: every
+    /// pass's delta state is merged into both `state` and this, so the
+    /// reported schema comes from one `finalize_cached` call — O(1) on a
+    /// no-drift pass, O(dirty pools) on a labeled-only append — instead of
+    /// the old clone-everything-and-finalize on every pass. Rebuilt from
+    /// scratch only on the structural events incremental maintenance
+    /// cannot express: a partition expiring from the window, an input
+    /// rotation resetting the resident state, or a checkpoint resume.
+    combined: SchemaState,
     registry: LabelSetRegistry,
     warnings: StreamWarnings,
     pass: u64,
     /// Completed partition states, most recent first, capped at `--keep`.
     retained: VecDeque<SchemaState>,
+    /// Cross-pass signature cache: chunks whose structure repeats an
+    /// earlier pass (or an earlier chunk) skip embedding + LSH entirely.
+    /// Persisted in the checkpoint so a restart resumes warm.
+    cache: SignatureCache,
 }
 
 impl WatchRun {
     /// The schema this watch reports: the resident partition merged with
-    /// every retained one ("the schema of the last K partitions").
-    fn merged_schema(&self) -> SchemaGraph {
-        if self.retained.is_empty() {
-            return self.state.finalize();
-        }
+    /// every retained one ("the schema of the last K partitions"),
+    /// finalized through the dirty-pool cache.
+    fn merged_schema(&mut self) -> SchemaGraph {
+        self.combined.finalize_cached()
+    }
+
+    /// Merge one pass delta into both the resident state and the combined
+    /// fold — the incremental step that keeps `combined` equal to
+    /// `state ⊕ retained` without ever re-cloning the window.
+    fn merge_delta(&mut self, delta: SchemaState) {
+        self.combined.merge(delta.clone());
+        self.state.merge(delta);
+    }
+
+    /// Recompute `combined` from the resident state and the retained
+    /// window — the slow path for window expiry / rotation / resume.
+    fn rebuild_combined(&mut self) {
         let mut acc = self.state.clone();
         for s in &self.retained {
             acc.merge(s.clone());
         }
-        acc.finalize()
+        self.combined = acc;
     }
 
     /// Roll the resident partition into the retained window: the resident
@@ -488,7 +524,13 @@ impl WatchRun {
             self.retained.truncate(keep);
             let min_gen = self.registry.generation().saturating_sub(keep as u32);
             self.registry.compact_before(min_gen);
+            // A partition left the window: merge cannot subtract, so the
+            // combined fold is rebuilt from what remains.
+            self.rebuild_combined();
         }
+        // No expiry → the fold's *content* is unchanged (the resident
+        // state moved into the window and an empty state took its place),
+        // so `combined` stays valid as-is.
     }
 }
 
@@ -539,10 +581,18 @@ fn save_checkpoint(
     // Serialize from borrowed parts: the state pools and the registry (one
     // entry per node id ever seen) are the large pieces, and this runs
     // after *every* pass — cloning them into an owned ResumeContext first
-    // would double the checkpoint's memory cost for nothing.
-    context_snapshot(config, &run.state, &run.registry, Some(&watch), &[])
-        .write_atomic(&dir.join(SNAPSHOT_FILE))
-        .map_err(|e| e.to_string())
+    // would double the checkpoint's memory cost for nothing. The signature
+    // cache rides along in its optional section so a restart resumes warm.
+    context_snapshot_cached(
+        config,
+        &run.state,
+        &run.registry,
+        Some(&watch),
+        &[],
+        Some(&run.cache),
+    )
+    .write_atomic(&dir.join(SNAPSHOT_FILE))
+    .map_err(|e| e.to_string())
 }
 
 /// Persist a just-completed partition as rotated snapshot `.1` (shifting
@@ -603,8 +653,12 @@ fn try_resume(
     if !snapshot_path.exists() {
         return Ok(None);
     }
-    let ctx = ResumeContext::load(&snapshot_path)
-        .map_err(|e| format!("{e} (while loading {})", snapshot_path.display()))?;
+    let load_err =
+        |e: pg_hive_core::SnapshotError| format!("{e} (while loading {})", snapshot_path.display());
+    let snap = Snapshot::read(&snapshot_path).map_err(load_err)?;
+    let ctx = ResumeContext::from_snapshot(&snap).map_err(load_err)?;
+    // The cache section is optional: pre-cache checkpoints resume cold.
+    let cache = sigcache_from_snapshot(&snap, DEFAULT_CACHE_CAP).map_err(load_err)?;
     ctx.config
         .ensure_matches(config)
         .map_err(|e| e.to_string())?;
@@ -646,11 +700,13 @@ fn try_resume(
         }
     }
     Ok(Some(WatchRun {
+        combined: ctx.state.clone(),
         state: ctx.state,
         registry: ctx.registry,
         warnings: watch.warnings,
         pass: watch.pass,
         retained: VecDeque::new(),
+        cache,
     }))
 }
 
@@ -701,6 +757,7 @@ pub fn run_watch(
             // fire a spurious drift event.
             if let (Some(dir), Some(k), Some(_)) = (state_dir, keep, partition_passes) {
                 r.retained = load_retained(dir, k, &config)?;
+                r.rebuild_combined();
             }
             run = r;
             schema = run.merged_schema();
@@ -720,10 +777,12 @@ pub fn run_watch(
         None => {
             run = WatchRun {
                 state: discoverer.new_state(),
+                combined: discoverer.new_state(),
                 registry: LabelSetRegistry::default(),
                 warnings: StreamWarnings::default(),
                 pass: 1,
                 retained: VecDeque::new(),
+                cache: SignatureCache::default(),
             };
             // Baseline pass.
             let read = input.read_pass()?;
@@ -785,6 +844,7 @@ pub fn run_watch(
         if read.rotated {
             eprintln!("pass {pass}: input rotated/truncated — re-ingesting from scratch");
             run.state = discoverer.new_state();
+            run.rebuild_combined();
             // Preserve the generation counter across the reset so any
             // retained partitions keep their place in the compaction
             // arithmetic.
@@ -1016,10 +1076,12 @@ mod tests {
         let opts = StreamOpts::default();
         let mut run = WatchRun {
             state: discoverer.new_state(),
+            combined: discoverer.new_state(),
             registry: LabelSetRegistry::default(),
             warnings: StreamWarnings::default(),
             pass: 1,
             retained: VecDeque::new(),
+            cache: SignatureCache::default(),
         };
         let absorb = |run: &mut WatchRun, text: &'static str| {
             let mut pending = Vec::new();
@@ -1058,6 +1120,76 @@ mod tests {
         // partition's Org, not the long-expired Person partition.
         let schema = run.merged_schema();
         assert_eq!(schema.node_types.len(), 1);
+        assert!(schema.node_types[0].labels.contains("Org"));
+    }
+
+    #[test]
+    fn first_roll_generation_and_gc_accounting_start_correct_from_pass_one() {
+        // Regression (satellite): with `--partition passes:1` the baseline
+        // pass itself rolls. The very first roll must advance the registry
+        // generation to 1 *without* compacting anything — pass-1 bindings
+        // belong to the just-retained partition, which is still inside the
+        // window — and the GC arithmetic must expire exactly that
+        // partition's bindings when (and only when) it leaves the window
+        // one roll later.
+        let discoverer = Discoverer::new(PipelineConfig::default());
+        let opts = StreamOpts::default();
+        let mut run = WatchRun {
+            state: discoverer.new_state(),
+            combined: discoverer.new_state(),
+            registry: LabelSetRegistry::default(),
+            warnings: StreamWarnings::default(),
+            pass: 1,
+            retained: VecDeque::new(),
+            cache: SignatureCache::default(),
+        };
+        let mut pending = Vec::new();
+        absorb_source(
+            Box::new(PgtSource::new(Cursor::new(
+                b"N a1 Person -\nN a2 Person -\n".to_vec(),
+            ))),
+            &opts,
+            1,
+            &discoverer,
+            &mut run,
+            &mut pending,
+        )
+        .unwrap();
+        assert_eq!(run.registry.generation(), 0, "bindings land in gen 0");
+
+        // Pass 1 rolls (passes:1 → 1 % 1 == 0).
+        run.roll_partition(1, discoverer.new_state());
+        assert_eq!(run.registry.generation(), 1, "first roll advances to 1");
+        assert_eq!(
+            run.registry.len(),
+            2,
+            "first roll must not GC the just-retained partition's bindings"
+        );
+        assert_eq!(run.retained.len(), 1);
+        // The reported schema still sees partition 1.
+        assert_eq!(run.merged_schema().node_types.len(), 1);
+
+        // Pass 2 absorbs into generation 1, then rolls: partition 1 (and
+        // exactly its generation-0 bindings) leaves the window.
+        absorb_source(
+            Box::new(PgtSource::new(Cursor::new(b"N b1 Org -\n".to_vec()))),
+            &opts,
+            1,
+            &discoverer,
+            &mut run,
+            &mut pending,
+        )
+        .unwrap();
+        assert_eq!(run.registry.len(), 3);
+        run.roll_partition(1, discoverer.new_state());
+        assert_eq!(run.registry.generation(), 2);
+        assert_eq!(
+            run.registry.len(),
+            1,
+            "second roll GCs exactly the expired partition's gen-0 bindings"
+        );
+        let schema = run.merged_schema();
+        assert_eq!(schema.node_types.len(), 1, "Person partition expired");
         assert!(schema.node_types[0].labels.contains("Org"));
     }
 }

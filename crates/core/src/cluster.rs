@@ -36,6 +36,9 @@ pub struct ClusterOutcome {
     pub adaptive: Option<AdaptiveParams>,
     /// How many distinct-signature points LSH actually hashed.
     pub hashed_points: usize,
+    /// The distinct-level clustering before broadcast, when the dedup path
+    /// ran — the unit cached by [`crate::sigcache::SignatureCache`].
+    pub distinct: Option<Clustering>,
 }
 
 /// Cluster one element class (nodes or edges) from its deduplicated
@@ -73,6 +76,7 @@ fn cluster_dedup(
                 clustering: distinct.broadcast(&repr.rep_of),
                 adaptive,
                 hashed_points: repr.distinct(),
+                distinct: Some(distinct),
             }
         }
         ClusterMethod::MinHash => {
@@ -82,6 +86,7 @@ fn cluster_dedup(
                 clustering: distinct.broadcast(&repr.rep_of),
                 adaptive: None,
                 hashed_points: repr.distinct(),
+                distinct: Some(distinct),
             }
         }
     }
@@ -103,6 +108,7 @@ fn cluster_naive(
                 clustering: elsh_cluster(&matrix, &params),
                 adaptive,
                 hashed_points: repr.len(),
+                distinct: None,
             }
         }
         ClusterMethod::MinHash => {
@@ -111,6 +117,7 @@ fn cluster_naive(
                 clustering: minhash_cluster(&repr.expanded_sets(), &params),
                 adaptive: None,
                 hashed_points: repr.len(),
+                distinct: None,
             }
         }
     }

@@ -16,8 +16,11 @@
 use crate::cluster::cluster_elements;
 use crate::config::{EmbeddingStrategy, PipelineConfig};
 use crate::extract::{candidate_edge_types, candidate_node_types};
-use crate::preprocess::{edge_representations, label_sentences, node_representations};
+use crate::preprocess::{
+    edge_representations, label_sentences, node_representations, signature_scan,
+};
 use crate::schema::SchemaGraph;
+use crate::sigcache::{CachedChunk, SignatureCache};
 use crate::snapshot::SnapshotError;
 use crate::state::SchemaState;
 use pg_hive_embed::{HashEmbedder, LabelEmbedder, Word2Vec};
@@ -26,7 +29,8 @@ use pg_hive_graph::{
     split_batches, ChunkedTextReader, GraphBatch, GraphBuilder, LabelSetRegistry, MultiSource,
     PropertyGraph, Record, StreamError, StreamWarnings,
 };
-use pg_hive_lsh::{AdaptiveParams, ElementClass};
+use pg_hive_lsh::{AdaptiveParams, Clustering, ElementClass};
+use std::collections::BTreeMap;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -419,6 +423,42 @@ impl Discoverer {
     where
         I: IntoIterator<Item = PropertyGraph>,
     {
+        self.absorb_stream_inner(chunks, state, threads, None)
+    }
+
+    /// [`Self::absorb_stream`] with a [`SignatureCache`] memoizing the
+    /// embedding + LSH stages across chunks — and, because the cache is
+    /// caller-owned, across *passes* (the `watch` steady state) and across
+    /// process restarts (the cache persists in snapshots). Structurally
+    /// repeated chunks skip straight from the cheap signature scan to the
+    /// cached distinct-level clustering; the result is byte-identical to
+    /// the uncached path (see [`crate::sigcache`] for the argument, and
+    /// `tests/tests/incremental_equivalence.rs` for the proptest). The
+    /// cache only engages when [`PipelineConfig::dedup`] is on; otherwise
+    /// this degrades to the plain path.
+    pub fn absorb_stream_cached<I>(
+        &self,
+        chunks: I,
+        state: &mut SchemaState,
+        threads: usize,
+        cache: &SignatureCache,
+    ) -> AbsorbReport
+    where
+        I: IntoIterator<Item = PropertyGraph>,
+    {
+        self.absorb_stream_inner(chunks, state, threads, Some(cache))
+    }
+
+    fn absorb_stream_inner<I>(
+        &self,
+        chunks: I,
+        state: &mut SchemaState,
+        threads: usize,
+        cache: Option<&SignatureCache>,
+    ) -> AbsorbReport
+    where
+        I: IntoIterator<Item = PropertyGraph>,
+    {
         let threads = threads.max(1);
         if threads == 1 {
             let shared = self.shared_embedder();
@@ -427,7 +467,7 @@ impl Discoverer {
             for chunk in chunks {
                 let t = Instant::now();
                 elements += (chunk.node_count() + chunk.edge_count()) as u64;
-                state.merge(self.chunk_state_with(&chunk, shared.as_deref()));
+                state.merge(self.chunk_state_cached(&chunk, shared.as_deref(), cache));
                 chunk_times.push(t.elapsed());
             }
             return AbsorbReport {
@@ -435,7 +475,7 @@ impl Discoverer {
                 chunk_times,
             };
         }
-        self.absorb_stream_parallel(chunks, state, threads)
+        self.absorb_stream_parallel(chunks, state, threads, cache)
     }
 
     fn absorb_stream_parallel<I>(
@@ -443,6 +483,7 @@ impl Discoverer {
         chunks: I,
         state: &mut SchemaState,
         threads: usize,
+        cache: Option<&SignatureCache>,
     ) -> AbsorbReport
     where
         I: IntoIterator<Item = PropertyGraph>,
@@ -479,7 +520,7 @@ impl Discoverer {
                     let Ok((idx, chunk)) = job else { return };
                     let t = Instant::now();
                     let elements = (chunk.node_count() + chunk.edge_count()) as u64;
-                    let chunk_state = self.chunk_state_with(&chunk, shared_ref);
+                    let chunk_state = self.chunk_state_cached(&chunk, shared_ref, cache);
                     // Free the chunk before a potentially blocking send on
                     // the bounded result channel.
                     drop(chunk);
@@ -618,7 +659,8 @@ impl Discoverer {
 
     /// Sharded discovery over a [`MultiSource`] — the merge-tree run.
     ///
-    /// The entry list is dealt round-robin across `shards` partitions; each
+    /// The entry list is balanced by byte length (LPT) across `shards`
+    /// partitions ([`MultiSource::partition`]); each
     /// shard reads **its files one at a time with a fresh reader** (fresh
     /// registry, so a file's chunk boundaries depend only on that file and
     /// the chunk size, never on which shard it landed on) and folds the
@@ -634,11 +676,12 @@ impl Discoverer {
     /// Cross-file edges (an edge in one file whose endpoint node only some
     /// other file declares) are carried out of each reader
     /// ([`ChunkedTextReader::take_pending`]) and resolved at the root
-    /// against the merged registry, **one edge at a time** in its own
-    /// two-stub mini-graph, so each contributes cardinality 1:1 and an
-    /// endpoint-label pair no matter when or where it resolves — which is
-    /// what makes split `--save-state` runs merged later with
-    /// `merge-state` equal to the one-shot run. Edges whose endpoints no
+    /// against the merged registry, batched per edge signature on
+    /// distinct stub pairs ([`Self::resolve_pending`]), so each
+    /// contributes cardinality 1:1 and an endpoint-label pair no matter
+    /// when or where it resolves — which is what makes split
+    /// `--save-state` runs merged later with `merge-state` equal to the
+    /// one-shot run. Edges whose endpoints no
     /// input declares stay in [`ShardedResult::pending`] (and count as
     /// unresolved warnings).
     ///
@@ -742,12 +785,96 @@ impl Discoverer {
         Ok(out)
     }
 
-    /// Resolve carried cross-file edges against a (merged) registry: each
-    /// edge whose two endpoint ids the registry knows is absorbed in its
-    /// own two-stub mini-graph — a deterministic contribution independent
-    /// of resolution order or grouping. Returns the still-unresolvable
-    /// records and the number resolved.
+    /// Resolve carried cross-file edges against a (merged) registry,
+    /// **batched per edge signature**: edges are grouped by their full
+    /// signature — (source label set, target label set, edge labels,
+    /// property key set) — and each group is absorbed as **one**
+    /// mini-graph holding every edge of the group on its own stub pair.
+    ///
+    /// Grouping this way is byte-identical to the per-edge resolution it
+    /// replaces ([`Self::resolve_pending_reference`], proptested in
+    /// `tests/`): same-signature edges dedup to a single representation
+    /// row, so the group clusters into exactly one candidate whose summed
+    /// counts, unioned endpoints, and joined property kinds equal the
+    /// pooled result of absorbing each edge alone — the same invariance
+    /// that already makes streaming equal across chunk sizes. Distinct
+    /// stub pairs keep every endpoint at degree 1, preserving each edge's
+    /// 1:1 cardinality contribution. Grouping by endpoint pair alone
+    /// would *not* be sound: LSH may merge distinct signatures that share
+    /// endpoints into one cluster, producing a unioned candidate no
+    /// per-edge run pools.
+    ///
+    /// The win: root resolution cost drops from one full mini-pipeline
+    /// per carried edge to one per **distinct signature** — and carried
+    /// cross-file edges are exactly the workload where a handful of
+    /// signatures covers thousands of edges.
+    ///
+    /// Returns the still-unresolvable records and the number resolved.
     pub fn resolve_pending(
+        &self,
+        state: &mut SchemaState,
+        registry: &LabelSetRegistry,
+        pending: Vec<Record>,
+    ) -> (Vec<Record>, u64) {
+        let shared = self.shared_embedder();
+        let mut unresolved = Vec::new();
+        let mut resolved = 0u64;
+        // (src labels, tgt labels, edge labels, sorted prop keys) → the
+        // group's per-edge property lists. BTreeMap for deterministic
+        // iteration (the fold is commutative, so this is cosmetic).
+        type GroupKey = (Vec<String>, Vec<String>, Vec<String>, Vec<String>);
+        let mut groups: BTreeMap<GroupKey, Vec<Vec<(String, pg_hive_graph::Value)>>> =
+            BTreeMap::new();
+        for rec in pending {
+            let Record::Edge {
+                src,
+                tgt,
+                labels,
+                props,
+            } = rec
+            else {
+                continue;
+            };
+            let (Some(src_ls), Some(tgt_ls)) = (registry.label_set(&src), registry.label_set(&tgt))
+            else {
+                unresolved.push(Record::Edge {
+                    src,
+                    tgt,
+                    labels,
+                    props,
+                });
+                continue;
+            };
+            let mut keys: Vec<String> = props.iter().map(|(k, _)| k.clone()).collect();
+            keys.sort_unstable();
+            let key = (src_ls.to_vec(), tgt_ls.to_vec(), labels, keys);
+            groups.entry(key).or_default().push(props);
+        }
+        for ((src_labels, tgt_labels, edge_labels, _), edges) in groups {
+            let mut b = GraphBuilder::new();
+            let src_labels: Vec<&str> = src_labels.iter().map(String::as_str).collect();
+            let tgt_labels: Vec<&str> = tgt_labels.iter().map(String::as_str).collect();
+            let edge_labels: Vec<&str> = edge_labels.iter().map(String::as_str).collect();
+            resolved += edges.len() as u64;
+            for props in edges {
+                let s = b.add_stub_node(&src_labels);
+                let t = b.add_stub_node(&tgt_labels);
+                let edge_props: Vec<(&str, pg_hive_graph::Value)> =
+                    props.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+                b.add_edge(s, t, &edge_labels, &edge_props);
+            }
+            let g = b.finish();
+            state.merge(self.chunk_state_with(&g, shared.as_deref()));
+        }
+        (unresolved, resolved)
+    }
+
+    /// The per-edge resolution [`Self::resolve_pending`] batches: every
+    /// resolvable edge is absorbed in its own two-stub mini-graph. Kept as
+    /// the **equality oracle** for the batched path — the equivalence
+    /// suite asserts both produce byte-identical finalized schemas on
+    /// random pending sets.
+    pub fn resolve_pending_reference(
         &self,
         state: &mut SchemaState,
         registry: &LabelSetRegistry,
@@ -806,6 +933,21 @@ impl Discoverer {
         g: &PropertyGraph,
         shared: Option<&dyn LabelEmbedder>,
     ) -> SchemaState {
+        self.chunk_state_cached(g, shared, None)
+    }
+
+    /// One chunk's pipeline pass, optionally memoized through a
+    /// [`SignatureCache`]. On a cache hit only the cheap signature scan
+    /// runs — no embedding, no matrix, no LSH — and the cached
+    /// distinct-level clustering is broadcast through the scan's `rep_of`.
+    /// The cache engages only on the dedup path (the naive path produces
+    /// no distinct-level clustering to reuse).
+    fn chunk_state_cached(
+        &self,
+        g: &PropertyGraph,
+        shared: Option<&dyn LabelEmbedder>,
+        cache: Option<&SignatureCache>,
+    ) -> SchemaState {
         // Stub endpoints exist only so cross-chunk edges keep their endpoint
         // label sets — the real node is counted in whichever chunk declares
         // it. Excluding stubs here makes streamed instance counts and
@@ -819,6 +961,20 @@ impl Discoverer {
                 .collect(),
             edges: g.edges().map(|(id, _)| id).collect(),
         };
+        let cache = cache.filter(|_| self.config.dedup);
+        let scan = cache.map(|_| signature_scan(g, &batch));
+        if let (Some(cache), Some(scan)) = (cache, scan.as_ref()) {
+            if let Some(hit) =
+                cache.lookup(scan.fingerprint, scan.nodes.distinct, scan.edges.distinct)
+            {
+                return self.absorb_chunk_clusterings(
+                    g,
+                    &batch,
+                    &hit.nodes.broadcast(&scan.nodes.rep_of),
+                    &hit.edges.broadcast(&scan.edges.rep_of),
+                );
+            }
+        }
         let owned;
         let embedder: &dyn LabelEmbedder = match shared {
             Some(e) => e,
@@ -831,9 +987,26 @@ impl Discoverer {
         let edges = edge_representations(g, &batch.edges, embedder, self.config.label_weight);
         let node_out = cluster_elements(&nodes.repr, ElementClass::Nodes, &self.config);
         let edge_out = cluster_elements(&edges.repr, ElementClass::Edges, &self.config);
+        if let (Some(cache), Some(scan)) = (cache, scan) {
+            if let (Some(n), Some(e)) = (node_out.distinct, edge_out.distinct) {
+                cache.insert(scan.fingerprint, CachedChunk { nodes: n, edges: e });
+            }
+        }
+        self.absorb_chunk_clusterings(g, &batch, &node_out.clustering, &edge_out.clustering)
+    }
+
+    /// Stages (d)–(g) of one chunk given its clusterings — shared by the
+    /// cached and computed paths of [`Self::chunk_state_cached`].
+    fn absorb_chunk_clusterings(
+        &self,
+        g: &PropertyGraph,
+        batch: &GraphBatch,
+        node_clustering: &Clustering,
+        edge_clustering: &Clustering,
+    ) -> SchemaState {
         let mut state = self.new_state();
-        state.absorb_node_candidates(candidate_node_types(g, &batch.nodes, &node_out.clustering));
-        state.absorb_edge_candidates(candidate_edge_types(g, &batch.edges, &edge_out.clustering));
+        state.absorb_node_candidates(candidate_node_types(g, &batch.nodes, node_clustering));
+        state.absorb_edge_candidates(candidate_edge_types(g, &batch.edges, edge_clustering));
         // Streaming chunks cannot defer post-processing: the values die
         // with the chunk.
         state.postprocess(g, self.config.datatype_sampling.as_ref());
@@ -1324,6 +1497,56 @@ mod tests {
             one_shot_text
         );
         fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn cached_stream_is_byte_identical_and_hits_on_repeats() {
+        use pg_hive_graph::loader::save_text;
+        use pg_hive_graph::stream::pgt::PgtSource;
+        use pg_hive_graph::ChunkedTextReader;
+        let text = save_text(&figure1());
+        let chunks = |size: usize| {
+            let mut r = ChunkedTextReader::new(PgtSource::new(text.as_bytes()), size);
+            let mut out = Vec::new();
+            while let Some(c) = r.next_chunk().unwrap() {
+                out.push(c);
+            }
+            out
+        };
+        let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+        for size in [3, 100] {
+            let mut plain = d.new_state();
+            d.absorb_stream(chunks(size), &mut plain, 1);
+            let plain_text = crate::serialize::pg_schema_strict(&plain.finalize(), "G");
+            for threads in [1, 3] {
+                let cache = SignatureCache::default();
+                let mut cold = d.new_state();
+                d.absorb_stream_cached(chunks(size), &mut cold, threads, &cache);
+                assert_eq!(
+                    crate::serialize::pg_schema_strict(&cold.finalize(), "G"),
+                    plain_text,
+                    "cold cached run, size {size} x{threads}"
+                );
+                let misses = cache.stats().misses;
+                assert_eq!(cache.stats().hits, 0, "cold run cannot hit");
+                assert!(misses > 0);
+                // Second pass over identical chunks: every lookup hits and
+                // the schema is still byte-identical.
+                let mut warm = d.new_state();
+                d.absorb_stream_cached(chunks(size), &mut warm, threads, &cache);
+                assert_eq!(
+                    crate::serialize::pg_schema_strict(&warm.finalize(), "G"),
+                    plain_text,
+                    "warm cached run, size {size} x{threads}"
+                );
+                let stats = cache.stats();
+                assert_eq!(
+                    (stats.hits, stats.misses),
+                    (misses, misses),
+                    "warm pass hits every chunk"
+                );
+            }
+        }
     }
 
     #[test]

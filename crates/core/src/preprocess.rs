@@ -346,6 +346,168 @@ fn token_of(g: &PropertyGraph, labels: &[pg_hive_graph::Symbol]) -> Option<Strin
     canonical_token(&strs)
 }
 
+/// One element class's dedup structure as the signature-only scan sees it:
+/// element → distinct-row map plus the distinct-row count — everything a
+/// cached distinct-level clustering needs to be broadcast back to this
+/// chunk's elements.
+#[derive(Debug, Clone, Default)]
+pub struct ScanClass {
+    /// Element → distinct-signature row (first-occurrence numbering,
+    /// identical to the full preprocess's `rep_of`).
+    pub rep_of: Vec<u32>,
+    /// Number of distinct signatures.
+    pub distinct: usize,
+}
+
+/// Result of [`signature_scan`]: the chunk's structural fingerprint and
+/// both classes' dedup structure, computed **without** any embedding,
+/// matrix, or feature-set work.
+#[derive(Debug, Clone)]
+pub struct SignatureScan {
+    /// 128-bit fingerprint of everything that determines the chunk's
+    /// clusterings (see [`signature_scan`]).
+    pub fingerprint: u128,
+    /// Node dedup structure.
+    pub nodes: ScanClass,
+    /// Edge dedup structure.
+    pub edges: ScanClass,
+}
+
+/// Two independent FNV-1a 64 lanes over the same byte stream — a cheap
+/// 128-bit structural fingerprint. Strings are delimited with `0xFF` and
+/// sections/elements with dedicated `0xF9..0xFE` markers, none of which can
+/// occur inside valid UTF-8, so the encoding is injective over the hashed
+/// structure.
+struct Fingerprint {
+    a: u64,
+    b: u64,
+}
+
+impl Fingerprint {
+    fn new() -> Self {
+        Self {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0xcbf2_9ce4_8422_2325 ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn byte(&mut self, x: u8) {
+        self.a = (self.a ^ u64::from(x)).wrapping_mul(0x0000_0100_0000_01B3);
+        self.b = (self.b ^ u64::from(x ^ 0xA5)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    fn str(&mut self, s: &str) {
+        for &x in s.as_bytes() {
+            self.byte(x);
+        }
+        self.byte(0xFF);
+    }
+
+    fn mark(&mut self, m: u8) {
+        self.byte(m);
+    }
+
+    fn value(&self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
+/// Scan a batch's **signatures only**: compute the chunk's structural
+/// fingerprint plus each class's `rep_of`/distinct-count, skipping all
+/// embedding, matrix, and feature-set work.
+///
+/// The fingerprint covers, at the **string** level (symbol ids are
+/// chunk-local and deliberately not hashed):
+///
+/// - the chunk's full property-key table in canonical (sorted) order —
+///   this fixes both the representation dimension `d + K` and every key's
+///   binary coordinate ([`PropertyGraph::canonical_key_ids`]);
+/// - per node, in batch order: its labels and keys in stored order;
+/// - per edge, in batch order: its labels, endpoint labels, and keys in
+///   stored order.
+///
+/// Two chunks with equal fingerprints therefore produce identical
+/// representation matrices, feature sets, `rep_of` maps, and distinct-label
+/// counts — and since adaptive parameter derivation and both LSH families
+/// are deterministic functions of exactly those inputs (plus the fixed
+/// config), **identical clusterings**. That is the soundness argument for
+/// [`crate::sigcache::SignatureCache`]: a cached distinct-level clustering
+/// looked up by fingerprint, broadcast through this scan's `rep_of`, equals
+/// the clustering the full pipeline would have computed.
+pub fn signature_scan(g: &PropertyGraph, batch: &GraphBatch) -> SignatureScan {
+    let mut fp = Fingerprint::new();
+    // Key universe, canonical order.
+    let mut keys: Vec<&str> = g.keys().iter().map(|(_, s)| s).collect();
+    keys.sort_unstable();
+    fp.mark(0xFE);
+    for k in keys {
+        fp.str(k);
+    }
+
+    let mut nodes = ScanClass::default();
+    let mut rows: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+    let mut sig: Vec<u32> = Vec::new();
+    fp.mark(0xFD);
+    for &id in &batch.nodes {
+        let n = g.node(id);
+        fp.mark(0xFC);
+        for &l in &n.labels {
+            fp.str(g.label_str(l));
+        }
+        fp.mark(0xFB);
+        for k in n.keys() {
+            fp.str(g.key_str(k));
+        }
+        encode_sections(&mut sig, &[&n.labels], n.keys());
+        let next = rows.len() as u32;
+        let row = match rows.get(sig.as_slice()) {
+            Some(&row) => row,
+            None => {
+                rows.insert(std::mem::take(&mut sig), next);
+                next
+            }
+        };
+        nodes.rep_of.push(row);
+    }
+    nodes.distinct = rows.len();
+
+    let mut edges = ScanClass::default();
+    let mut rows: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+    fp.mark(0xFA);
+    for &id in &batch.edges {
+        let e = g.edge(id);
+        let (src, tgt) = g.edge_endpoint_labels(e);
+        fp.mark(0xFC);
+        for section in [&e.labels[..], src, tgt] {
+            for &l in section {
+                fp.str(g.label_str(l));
+            }
+            fp.mark(0xF9);
+        }
+        fp.mark(0xFB);
+        for k in e.keys() {
+            fp.str(g.key_str(k));
+        }
+        encode_sections(&mut sig, &[&e.labels, src, tgt], e.keys());
+        let next = rows.len() as u32;
+        let row = match rows.get(sig.as_slice()) {
+            Some(&row) => row,
+            None => {
+                rows.insert(std::mem::take(&mut sig), next);
+                next
+            }
+        };
+        edges.rep_of.push(row);
+    }
+    edges.distinct = rows.len();
+
+    SignatureScan {
+        fingerprint: fp.value(),
+        nodes,
+        edges,
+    }
+}
+
 fn push_salted(set: &mut Vec<u64>, token: &str, copies: usize, salt: u64) {
     for i in 0..copies {
         set.push(feature_hash(token, salt ^ ((i as u64 + 1) << 8)));

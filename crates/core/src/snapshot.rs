@@ -54,6 +54,7 @@
 
 use crate::config::{ClusterMethod, PipelineConfig};
 use crate::schema::{Cardinality, EdgeType, LabelSet, NodeType, PropertySpec};
+use crate::sigcache::SignatureCache;
 use crate::state::SchemaState;
 use pg_hive_graph::snapshot::{bytes_from_hex, bytes_to_hex, escape_field, unescape_field};
 use pg_hive_graph::{LabelSetRegistry, Record, StreamWarnings, Value, ValueKind};
@@ -84,6 +85,12 @@ pub const SECTION_FILES: &str = "files";
 /// declared by any input of the saving run — resolvable after a later
 /// `merge-state` unions the registries.
 pub const SECTION_PENDING: &str = "pending";
+/// Section holding the [`SignatureCache`]'s memoized chunk-fingerprint →
+/// distinct-clustering entries. **Optional**: readers that predate it
+/// ignore unknown sections, and a snapshot without it simply resumes with
+/// a cold cache — which is why adding it did not bump [`FORMAT_VERSION`]
+/// (the cache is a performance artifact, never required for correctness).
+pub const SECTION_SIGCACHE: &str = "sigcache";
 
 /// Everything that can go wrong while saving, loading, or resuming from a
 /// snapshot. Every rendering starts with `snapshot:` so operators (and the
@@ -1063,6 +1070,42 @@ pub fn context_snapshot(
     snap
 }
 
+/// [`context_snapshot`] plus an optional `[sigcache]` section carrying the
+/// run's [`SignatureCache`] so a resumed process starts warm. The section
+/// is omitted when the cache is absent or empty (the common one-shot case
+/// stays byte-identical to pre-cache snapshots).
+pub fn context_snapshot_cached(
+    config: &SnapshotConfig,
+    state: &SchemaState,
+    registry: &LabelSetRegistry,
+    watch: Option<&WatchCheckpoint>,
+    pending: &[Record],
+    cache: Option<&SignatureCache>,
+) -> Snapshot {
+    let mut snap = context_snapshot(config, state, registry, watch, pending);
+    if let Some(cache) = cache {
+        let lines = cache.snapshot_lines();
+        if !lines.is_empty() {
+            snap.push_section(SECTION_SIGCACHE, lines);
+        }
+    }
+    snap
+}
+
+/// Rebuild the [`SignatureCache`] persisted in a snapshot's `[sigcache]`
+/// section, bounded to `cap` entries. A snapshot without the section (any
+/// snapshot written before the cache existed, or with an empty cache)
+/// yields a cold cache — never an error.
+pub fn sigcache_from_snapshot(
+    snap: &Snapshot,
+    cap: usize,
+) -> Result<SignatureCache, SnapshotError> {
+    match snap.section(SECTION_SIGCACHE) {
+        None => Ok(SignatureCache::new(cap)),
+        Some(lines) => SignatureCache::from_snapshot_lines(lines, cap).map_err(malformed),
+    }
+}
+
 impl ResumeContext {
     /// Render into the snapshot container.
     pub fn to_snapshot(&self) -> Snapshot {
@@ -1374,6 +1417,48 @@ mod tests {
         .unwrap();
         let loaded = ResumeContext::load(&path).unwrap();
         assert!(loaded.watch.is_none());
+    }
+
+    #[test]
+    fn sigcache_section_is_optional_and_round_trips() {
+        use crate::sigcache::CachedChunk;
+        use pg_hive_lsh::Clustering;
+        let (d, state) = sample_state();
+        let config = SnapshotConfig::new(d.config(), 512);
+        let registry = LabelSetRegistry::default();
+
+        // No cache / empty cache → no [sigcache] section, and loading
+        // such a snapshot yields a cold cache (pre-cache compatibility).
+        let bare = context_snapshot_cached(&config, &state, &registry, None, &[], None);
+        assert!(bare.section(SECTION_SIGCACHE).is_none());
+        let empty = SignatureCache::default();
+        let still_bare =
+            context_snapshot_cached(&config, &state, &registry, None, &[], Some(&empty));
+        assert_eq!(still_bare.to_text(), bare.to_text());
+        assert!(sigcache_from_snapshot(&bare, 8).unwrap().is_empty());
+
+        // A populated cache round-trips through the section.
+        let cache = SignatureCache::default();
+        cache.insert(
+            0xABCD,
+            CachedChunk {
+                nodes: Clustering {
+                    assignment: vec![0, 1],
+                    num_clusters: 2,
+                },
+                edges: Clustering {
+                    assignment: Vec::new(),
+                    num_clusters: 0,
+                },
+            },
+        );
+        let snap = context_snapshot_cached(&config, &state, &registry, None, &[], Some(&cache));
+        let reparsed = Snapshot::parse(&snap.to_text()).unwrap();
+        // Unknown-to-ResumeContext sections are ignored: the context loads.
+        assert!(ResumeContext::from_snapshot(&reparsed).is_ok());
+        let back = sigcache_from_snapshot(&reparsed, 8).unwrap();
+        assert_eq!(back.snapshot_lines(), cache.snapshot_lines());
+        assert!(back.lookup(0xABCD, 2, 0).is_some());
     }
 
     #[test]

@@ -80,6 +80,56 @@ impl Clustering {
         }
     }
 
+    /// Compact single-token text encoding `num_clusters:a0,a1,...` (an
+    /// empty clustering encodes as `0:`) — used by snapshot persistence of
+    /// cached clusterings. [`Clustering::decode_compact`] inverts it.
+    ///
+    /// ```
+    /// use pg_hive_lsh::Clustering;
+    /// let c = Clustering { assignment: vec![0, 1, 0], num_clusters: 2 };
+    /// let text = c.encode_compact();
+    /// assert_eq!(text, "2:0,1,0");
+    /// assert_eq!(Clustering::decode_compact(&text).unwrap(), c);
+    /// ```
+    pub fn encode_compact(&self) -> String {
+        let mut out = format!("{}:", self.num_clusters);
+        for (i, a) in self.assignment.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&a.to_string());
+        }
+        out
+    }
+
+    /// Decode [`Clustering::encode_compact`] output. Rejects malformed
+    /// text and assignments referencing ids outside `0..num_clusters`.
+    pub fn decode_compact(s: &str) -> Result<Clustering, String> {
+        let (count, rest) = s
+            .split_once(':')
+            .ok_or_else(|| format!("clustering '{s}' has no ':' separator"))?;
+        let num_clusters: usize = count
+            .parse()
+            .map_err(|_| format!("cluster count '{count}' is not a usize"))?;
+        let assignment: Vec<u32> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',')
+                .map(|a| {
+                    a.parse::<u32>()
+                        .map_err(|_| format!("cluster id '{a}' is not a u32"))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        if let Some(&bad) = assignment.iter().find(|&&a| a as usize >= num_clusters) {
+            return Err(format!("cluster id {bad} out of range 0..{num_clusters}"));
+        }
+        Ok(Clustering {
+            assignment,
+            num_clusters,
+        })
+    }
+
     /// Build from a union-find over `n` elements.
     pub fn from_union_find(uf: &mut UnionFind) -> Self {
         let n = uf.len();
@@ -110,6 +160,29 @@ mod tests {
         };
         let g = c.groups();
         assert_eq!(g, vec![vec![0, 2], vec![1, 4], vec![3]]);
+    }
+
+    #[test]
+    fn compact_codec_round_trips_and_rejects_garbage() {
+        for c in [
+            Clustering {
+                assignment: vec![0, 1, 0, 2, 1],
+                num_clusters: 3,
+            },
+            Clustering {
+                assignment: Vec::new(),
+                num_clusters: 0,
+            },
+        ] {
+            assert_eq!(Clustering::decode_compact(&c.encode_compact()).unwrap(), c);
+        }
+        assert!(Clustering::decode_compact("no separator").is_err());
+        assert!(Clustering::decode_compact("x:0").is_err());
+        assert!(Clustering::decode_compact("1:0,nope").is_err());
+        assert!(
+            Clustering::decode_compact("1:0,1").is_err(),
+            "id outside 0..num_clusters must be rejected"
+        );
     }
 
     #[test]

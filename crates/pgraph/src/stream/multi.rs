@@ -10,8 +10,10 @@
 //! boundaries a function of that file alone), and the per-file states are
 //! folded with the associative+commutative `SchemaState::merge`. The serial
 //! directory run is the fold in sorted enumeration order; a sharded run is
-//! a round-robin [`MultiSource::partition`] folded per shard and then
-//! across shards — any fold tree reaches the same state by construction.
+//! a size-aware [`MultiSource::partition`] folded per shard and then
+//! across shards — any fold tree reaches the same state by construction,
+//! so the partitioner is free to balance shards by byte length (LPT)
+//! instead of dealing entries round-robin.
 //!
 //! # Enumeration rules
 //!
@@ -25,7 +27,7 @@
 //! The resulting entry list is sorted by path, so enumeration order — and
 //! with it the serial fold order — is stable across runs and platforms.
 
-use super::csv::{CsvSource, NODES_FILE};
+use super::csv::{CsvSource, EDGES_FILE, NODES_FILE};
 use super::jsonl::JsonlSource;
 use super::pgt::PgtSource;
 use super::raw::RawGraphSource;
@@ -67,6 +69,20 @@ pub struct SourceEntry {
 }
 
 impl SourceEntry {
+    /// Byte length of this input — the cost proxy the size-aware
+    /// partitioner balances. A `.pgt`/`.jsonl` entry weighs its file
+    /// size; a CSV dataset weighs `nodes.csv` plus `edges.csv`.
+    /// Unreadable files weigh 0 (the error surfaces later, on open).
+    pub fn byte_len(&self) -> u64 {
+        let file_len = |p: &Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+        match self.kind {
+            SourceKind::Pgt | SourceKind::Jsonl => file_len(&self.path),
+            SourceKind::Csv => {
+                file_len(&self.path.join(NODES_FILE)) + file_len(&self.path.join(EDGES_FILE))
+            }
+        }
+    }
+
     /// Open a fresh streaming reader over this input.
     pub fn open(&self) -> Result<Box<dyn RawGraphSource + Send>, StreamError> {
         Ok(match self.kind {
@@ -126,17 +142,42 @@ impl MultiSource {
         self.entries.is_empty()
     }
 
-    /// Deal the entries round-robin across `shards` partitions (entry `i`
-    /// goes to shard `i % shards`). Every shard of the same enumeration is
-    /// produced even if empty, so shard indexes are stable. Panics if
-    /// `shards` is zero.
+    /// Balance the entries across `shards` partitions by byte length with
+    /// the LPT (longest-processing-time) heuristic: entries are placed
+    /// heaviest-first onto the currently lightest shard, so one huge file
+    /// no longer serializes a shard the way round-robin dealing did. The
+    /// assignment is deterministic — weights come from
+    /// [`SourceEntry::byte_len`], ties break on enumeration order, and
+    /// each shard keeps its entries in enumeration (path-sorted) order.
+    /// Every shard of the same enumeration is produced even if empty, so
+    /// shard indexes are stable. Correctness does not depend on the
+    /// placement: per-file states are partition-invariant and the fold is
+    /// associative+commutative, so any assignment reaches the same merged
+    /// state. Panics if `shards` is zero.
     pub fn partition(&self, shards: usize) -> Vec<Vec<SourceEntry>> {
         assert!(shards > 0, "shard count must be positive");
-        let mut out = vec![Vec::new(); shards];
-        for (i, e) in self.entries.iter().enumerate() {
-            out[i % shards].push(e.clone());
+        // Floor at 1 byte so empty files still spread across shards
+        // instead of all "fitting" on the first one.
+        let weights: Vec<u64> = self.entries.iter().map(|e| e.byte_len().max(1)).collect();
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        // Heaviest first; equal weights keep enumeration order (stable).
+        order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+        let mut loads = vec![(0u64, Vec::new()); shards];
+        for i in order {
+            let lightest = loads
+                .iter_mut()
+                .min_by_key(|(bytes, _)| *bytes)
+                .expect("shards > 0");
+            lightest.0 += weights[i];
+            lightest.1.push(i);
         }
-        out
+        loads
+            .into_iter()
+            .map(|(_, mut idxs)| {
+                idxs.sort_unstable();
+                idxs.into_iter().map(|i| self.entries[i].clone()).collect()
+            })
+            .collect()
     }
 }
 
@@ -238,7 +279,9 @@ mod tests {
     }
 
     #[test]
-    fn partition_is_round_robin_and_keeps_empty_shards() {
+    fn partition_spreads_equal_weights_and_keeps_empty_shards() {
+        // Nonexistent paths weigh 0, floored to 1: equal weights place
+        // like round-robin (lightest shard, enumeration order).
         let entries: Vec<SourceEntry> = (0..5)
             .map(|i| SourceEntry {
                 path: PathBuf::from(format!("{i}.pgt")),
@@ -255,6 +298,43 @@ mod tests {
         assert_eq!(parts[2], vec![entries[2].clone()]);
         let wide = ms.partition(9);
         assert_eq!(wide.iter().filter(|p| p.is_empty()).count(), 4);
+    }
+
+    #[test]
+    fn partition_balances_by_byte_length() {
+        // One huge file plus four small ones across two shards: LPT must
+        // isolate the huge file and gather the small ones on the other
+        // shard — round-robin would have put two small files behind the
+        // huge one.
+        let root = tmpdir("lpt");
+        fs::write(root.join("a_huge.pgt"), vec![b'#'; 10_000]).unwrap();
+        for name in ["b.pgt", "c.pgt", "d.pgt", "e.pgt"] {
+            fs::write(root.join(name), vec![b'#'; 100]).unwrap();
+        }
+        let ms = MultiSource::enumerate(&root).unwrap();
+        assert_eq!(ms.len(), 5);
+        let parts = ms.partition(2);
+        let names = |p: &[SourceEntry]| {
+            p.iter()
+                .map(|e| e.path.file_name().unwrap().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(names(&parts[0]), vec!["a_huge.pgt"]);
+        assert_eq!(names(&parts[1]), vec!["b.pgt", "c.pgt", "d.pgt", "e.pgt"]);
+        // CSV dataset weight is nodes.csv + edges.csv.
+        let csvdir = root.join("dump");
+        fs::create_dir_all(&csvdir).unwrap();
+        fs::write(csvdir.join(NODES_FILE), vec![b'#'; 30]).unwrap();
+        fs::write(csvdir.join(EDGES_FILE), vec![b'#'; 12]).unwrap();
+        let ms = MultiSource::enumerate(&root).unwrap();
+        let weight = ms
+            .entries()
+            .iter()
+            .find(|e| e.kind == SourceKind::Csv)
+            .unwrap()
+            .byte_len();
+        assert_eq!(weight, 42);
+        fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! End-to-end check for the `pg-hive merge-state` streaming fold.
+//!
+//! The CLI folds saved snapshots **two-at-a-time**: the first file becomes
+//! the base context and every further file is loaded, merged, and dropped
+//! before the next one is opened, so peak residency is two contexts no
+//! matter how many snapshots are folded. Because `SchemaState::merge` is
+//! associative and commutative and registry/pending merging is a plain
+//! union/concatenation, that fold must be **byte-identical** — in the
+//! serialized snapshot and in the strict schema text — to materializing
+//! every `ResumeContext` up front and folding them all at once. This test
+//! pins that equivalence over many snapshots, and additionally checks the
+//! merged-and-resolved schema equals the single uninterrupted run over the
+//! concatenated input (the semantic guarantee `merge-state` exists for).
+
+use pg_hive_core::serialize::pg_schema_strict;
+use pg_hive_core::snapshot::{ResumeContext, Snapshot, SnapshotConfig};
+use pg_hive_core::{Discoverer, PipelineConfig};
+use pg_hive_graph::loader::save_text;
+use pg_hive_graph::stream::pgt::PgtSource;
+use pg_hive_graph::{ChunkedTextReader, GraphBuilder, LabelSetRegistry, PropertyGraph, Value};
+use std::io::Cursor;
+use std::path::{Path, PathBuf};
+
+/// A graph whose pgt serialization interleaves enough structure that
+/// splitting it into parts strands edges away from their endpoint
+/// declarations — every part carries cross-input pending edges.
+fn sample_graph() -> PropertyGraph {
+    let mut b = GraphBuilder::new();
+    let mut ids = Vec::new();
+    for i in 0..24u32 {
+        let (labels, props): (Vec<&str>, Vec<(&str, Value)>) = match i % 3 {
+            0 => (
+                vec!["Person"],
+                vec![
+                    ("name", Value::from(format!("p{i}"))),
+                    ("age", Value::Int(20 + i as i64)),
+                ],
+            ),
+            1 => (vec!["Org"], vec![("url", Value::from(format!("o{i}.com")))]),
+            _ => (vec![], vec![("note", Value::from("anon"))]),
+        };
+        ids.push(b.add_node(&labels, &props));
+    }
+    for i in 0..20usize {
+        let (s, t) = (ids[i], ids[(i * 7 + 3) % ids.len()]);
+        let label = if i % 2 == 0 { "KNOWS" } else { "WORKS_AT" };
+        b.add_edge(s, t, &[label], &[("since", Value::Int(2000 + i as i64))]);
+    }
+    b.finish()
+}
+
+/// Split `text` into `n` roughly equal line-ranges (each part newline
+/// terminated when non-empty).
+fn split_lines(text: &str, n: usize) -> Vec<String> {
+    let lines: Vec<&str> = text.lines().collect();
+    let per = lines.len().div_ceil(n);
+    lines
+        .chunks(per.max(1))
+        .map(|c| {
+            let mut s = c.join("\n");
+            if !s.is_empty() {
+                s.push('\n');
+            }
+            s
+        })
+        .collect()
+}
+
+/// Absorb one part the way `discover --stream --save-state` does —
+/// carrying end-of-stream unresolved edges into the snapshot instead of
+/// dropping them — and persist it.
+fn save_part_snapshot(
+    d: &Discoverer,
+    config: &SnapshotConfig,
+    part: &str,
+    chunk: usize,
+    path: &Path,
+) {
+    let mut state = d.new_state();
+    let mut reader = ChunkedTextReader::with_registry(
+        PgtSource::new(Cursor::new(part.as_bytes().to_vec())),
+        chunk,
+        LabelSetRegistry::default(),
+    );
+    reader.set_carry_unresolved(true);
+    d.absorb_stream(
+        std::iter::from_fn(|| reader.next_chunk().expect("valid generated input")),
+        &mut state,
+        1,
+    );
+    let pending = reader.take_pending();
+    let registry = reader.into_registry();
+    ResumeContext {
+        config: config.clone(),
+        state,
+        registry,
+        watch: None,
+        pending,
+    }
+    .save(path)
+    .expect("part snapshot saved");
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("pg-hive-merge-e2e-{}-{tag}", std::process::id()));
+    p
+}
+
+#[test]
+fn streaming_fold_is_byte_identical_to_all_at_once_fold() {
+    const PARTS: usize = 7;
+    let d = Discoverer::new(PipelineConfig::elsh_adaptive());
+    let chunk = 4usize;
+    let config = SnapshotConfig::new(d.config(), chunk);
+    let text = save_text(&sample_graph());
+    let parts = split_lines(&text, PARTS);
+    assert_eq!(parts.len(), PARTS);
+
+    let paths: Vec<PathBuf> = (0..PARTS).map(|i| temp_path(&format!("part{i}"))).collect();
+    for (part, path) in parts.iter().zip(&paths) {
+        save_part_snapshot(&d, &config, part, chunk, path);
+    }
+    // The split must actually exercise cross-input edges, or the merge
+    // fold degenerates to disjoint unions.
+    let carried: usize = paths
+        .iter()
+        .map(|p| ResumeContext::load(p).expect("part loads").pending.len())
+        .sum();
+    assert!(carried > 0, "expected stranded cross-part edges, got none");
+
+    // Streaming two-at-a-time fold — exactly what `pg-hive merge-state`
+    // runs: base := first, then load / merge / drop each further file.
+    let (streamed, streamed_collisions) = {
+        let mut iter = paths.iter();
+        let mut ctx = ResumeContext::load(iter.next().unwrap()).expect("base loads");
+        ctx.watch = None;
+        let mut collisions = 0u64;
+        for p in iter {
+            let next = ResumeContext::load(p).expect("next loads");
+            collisions += ctx.merge(next).expect("configs match");
+        }
+        (ctx, collisions)
+    };
+
+    // All-at-once fold: materialize every context first, then reduce.
+    let (allatonce, allatonce_collisions) = {
+        let mut contexts: Vec<ResumeContext> = paths
+            .iter()
+            .map(|p| ResumeContext::load(p).expect("context loads"))
+            .collect();
+        let mut ctx = contexts.remove(0);
+        ctx.watch = None;
+        let mut collisions = 0u64;
+        for next in contexts {
+            collisions += ctx.merge(next).expect("configs match");
+        }
+        (ctx, collisions)
+    };
+
+    // Library engine (`Snapshot::merge_files`) agrees too.
+    let (via_library, library_collisions) =
+        Snapshot::merge_files(&paths).expect("merge_files succeeds");
+
+    assert_eq!(streamed_collisions, allatonce_collisions);
+    assert_eq!(streamed_collisions, library_collisions);
+    assert_eq!(
+        streamed.to_snapshot().to_text(),
+        allatonce.to_snapshot().to_text(),
+        "streaming fold and all-at-once fold must serialize identically"
+    );
+    assert_eq!(
+        streamed.to_snapshot().to_text(),
+        via_library.to_snapshot().to_text()
+    );
+
+    // Resolve the carried edges against the merged registry (what the CLI
+    // does before printing) and compare against the single uninterrupted
+    // run over the full input: merge-state must lose nothing at the seams.
+    let mut merged = streamed;
+    let pending = std::mem::take(&mut merged.pending);
+    let (left, _resolved) = d.resolve_pending(&mut merged.state, &merged.registry, pending);
+    assert!(left.is_empty(), "all cross-part edges resolve after merge");
+    let single = {
+        let mut state = d.new_state();
+        let mut reader = ChunkedTextReader::with_registry(
+            PgtSource::new(Cursor::new(text.into_bytes())),
+            chunk,
+            LabelSetRegistry::default(),
+        );
+        d.absorb_stream(
+            std::iter::from_fn(|| reader.next_chunk().expect("valid input")),
+            &mut state,
+            1,
+        );
+        pg_schema_strict(&state.finalize(), "G")
+    };
+    assert_eq!(pg_schema_strict(&merged.state.finalize(), "G"), single);
+
+    for p in &paths {
+        let _ = std::fs::remove_file(p);
+    }
+}
