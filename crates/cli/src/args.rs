@@ -28,6 +28,12 @@ USAGE:
                                            or a reference graph to discover
                                            one from; exit 1 on violations
   pg-hive stats    <input> [OPTIONS]       structural statistics (Table 2)
+  pg-hive serve    [OPTIONS]               long-running multi-tenant schema
+                                           service over HTTP/1.1: POST
+                                           /v1/<tenant>/ingest absorbs
+                                           records, GET /v1/<tenant>/schema
+                                           returns the canonical schema
+                                           (see docs/SERVE.md)
   pg-hive help                             this message
 
 INPUT FORMATS (discover, diff, watch, validate, stats):
@@ -123,7 +129,32 @@ WATCH OPTIONS:
                            (event JSON in $PGHIVE_DRIFT_EVENT plus
                            PGHIVE_DRIFT_PASS/_TIMESTAMP/_MONOTONE/_SUMMARY)
   --on-drift jsonl:<FILE>  append one structured JSON drift event per line
-                           to <FILE>; repeatable (all sinks fire)";
+                           to <FILE>; repeatable (all sinks fire)
+
+SERVE OPTIONS (plus --method/--theta/--seed/--chunk-size as above):
+  --addr <HOST:PORT>       listen address (default: 127.0.0.1:7171; port 0
+                           picks an ephemeral port; the bound address is
+                           printed on stdout as 'serving on http://...')
+  --workers <N>            connection worker threads (default: 4; >= 1)
+  --read-timeout <SECS>    socket read timeout bounding slow clients
+                           (default: 10; >= 1)
+  --max-body <MB>          largest accepted request body in MiB
+                           (default: 64; >= 1)
+  --state-dir <DIR>        durable tenants: POST /v1/<tenant>/checkpoint
+                           writes <DIR>/<tenant>.snapshot (atomic temp-file
+                           + rename) and startup warm-resumes every tenant
+                           snapshot found in <DIR>
+  --keep <K>               retain the last K rotated snapshots per tenant
+                           as <DIR>/<tenant>.snapshot.1..K; chains are
+                           keyed by tenant name and never mix. Requires
+                           --state-dir
+  --on-drift exec:<CMD> | jsonl:<FILE>
+                           as for watch, fired on every ingest pass that
+                           changed a tenant's schema; events carry a
+                           \"tenant\" field, exec sinks additionally get
+                           $PGHIVE_DRIFT_TENANT, and a '{tenant}'
+                           placeholder in a jsonl path expands to the
+                           tenant name; repeatable";
 
 /// Output format of `discover`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -333,6 +364,20 @@ pub enum Command {
     },
     /// `pg-hive stats` — structural statistics.
     Stats { path: String, stream: StreamOpts },
+    /// `pg-hive serve` — long-running multi-tenant schema service.
+    Serve {
+        addr: String,
+        method: ClusterMethod,
+        theta: f64,
+        seed: u64,
+        chunk_size: usize,
+        workers: usize,
+        read_timeout_secs: u64,
+        max_body_mb: usize,
+        state_dir: Option<String>,
+        keep: Option<usize>,
+        on_drift: Vec<DriftSinkSpec>,
+    },
     /// `pg-hive help`.
     Help,
 }
@@ -570,6 +615,62 @@ impl Args {
                         shards: shards.unwrap_or(1),
                         save_state,
                         load_state,
+                    },
+                })
+            }
+            "serve" => {
+                let mut addr = "127.0.0.1:7171".to_string();
+                let mut method = ClusterMethod::Elsh;
+                let mut theta = 0.9;
+                let mut seed = 42u64;
+                let mut chunk_size = DEFAULT_CHUNK_SIZE;
+                let mut workers = 4usize;
+                let mut read_timeout_secs = 10u64;
+                let mut max_body_mb = 64usize;
+                let mut state_dir = None;
+                let mut keep = None;
+                let mut on_drift = Vec::new();
+                while let Some(flag) = it.next() {
+                    match flag.as_str() {
+                        "--addr" => addr = it.next().ok_or("--addr needs host:port")?,
+                        "--method" => method = parse_method(it.next())?,
+                        "--theta" => theta = parse_theta(it.next())?,
+                        "--seed" => seed = parse_seed(it.next())?,
+                        "--chunk-size" => {
+                            chunk_size = parse_positive("--chunk-size", it.next())?;
+                        }
+                        "--workers" => workers = parse_positive("--workers", it.next())?,
+                        "--read-timeout" => {
+                            read_timeout_secs = parse_positive("--read-timeout", it.next())? as u64;
+                        }
+                        "--max-body" => max_body_mb = parse_positive("--max-body", it.next())?,
+                        "--state-dir" => {
+                            state_dir = Some(it.next().ok_or("--state-dir needs a directory")?);
+                        }
+                        "--keep" => keep = Some(parse_positive("--keep", it.next())?),
+                        "--on-drift" => on_drift.push(DriftSinkSpec::parse(it.next())?),
+                        other => return Err(format!("unknown flag '{other}'")),
+                    }
+                }
+                if keep.is_some() && state_dir.is_none() {
+                    return Err(
+                        "--keep requires --state-dir (retained snapshots live in the state dir)"
+                            .into(),
+                    );
+                }
+                Ok(Args {
+                    command: Command::Serve {
+                        addr,
+                        method,
+                        theta,
+                        seed,
+                        chunk_size,
+                        workers,
+                        read_timeout_secs,
+                        max_body_mb,
+                        state_dir,
+                        keep,
+                        on_drift,
                     },
                 })
             }
@@ -1184,5 +1285,117 @@ mod tests {
         assert!(stream.stream);
         assert_eq!(stream.threads, Some(2));
         assert!(parse(&["diff", "only-one"]).is_err());
+    }
+
+    #[test]
+    fn serve_defaults() {
+        let a = parse(&["serve"]).unwrap();
+        let Command::Serve {
+            addr,
+            method,
+            theta,
+            seed,
+            chunk_size,
+            workers,
+            read_timeout_secs,
+            max_body_mb,
+            state_dir,
+            keep,
+            on_drift,
+        } = a.command
+        else {
+            panic!()
+        };
+        assert_eq!(addr, "127.0.0.1:7171");
+        assert_eq!(method, ClusterMethod::Elsh);
+        assert_eq!(theta, 0.9);
+        assert_eq!(seed, 42);
+        assert_eq!(chunk_size, DEFAULT_CHUNK_SIZE);
+        assert_eq!(workers, 4);
+        assert_eq!(read_timeout_secs, 10);
+        assert_eq!(max_body_mb, 64);
+        assert_eq!(state_dir, None);
+        assert_eq!(keep, None);
+        assert!(on_drift.is_empty());
+    }
+
+    #[test]
+    fn serve_full_flags() {
+        let a = parse(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:0",
+            "--method",
+            "minhash",
+            "--theta",
+            "0.8",
+            "--seed",
+            "7",
+            "--chunk-size",
+            "500",
+            "--workers",
+            "2",
+            "--read-timeout",
+            "3",
+            "--max-body",
+            "8",
+            "--state-dir",
+            "/tmp/hive",
+            "--keep",
+            "2",
+            "--on-drift",
+            "jsonl:/tmp/{tenant}.jsonl",
+            "--on-drift",
+            "exec:echo hi",
+        ])
+        .unwrap();
+        let Command::Serve {
+            addr,
+            method,
+            theta,
+            seed,
+            chunk_size,
+            workers,
+            read_timeout_secs,
+            max_body_mb,
+            state_dir,
+            keep,
+            on_drift,
+        } = a.command
+        else {
+            panic!()
+        };
+        assert_eq!(addr, "0.0.0.0:0");
+        assert_eq!(method, ClusterMethod::MinHash);
+        assert_eq!(theta, 0.8);
+        assert_eq!(seed, 7);
+        assert_eq!(chunk_size, 500);
+        assert_eq!(workers, 2);
+        assert_eq!(read_timeout_secs, 3);
+        assert_eq!(max_body_mb, 8);
+        assert_eq!(state_dir.as_deref(), Some("/tmp/hive"));
+        assert_eq!(keep, Some(2));
+        assert_eq!(
+            on_drift,
+            vec![
+                DriftSinkSpec::Jsonl("/tmp/{tenant}.jsonl".into()),
+                DriftSinkSpec::Exec("echo hi".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert!(
+            parse(&["serve", "--keep", "2"]).is_err(),
+            "--keep without --state-dir"
+        );
+        assert!(parse(&["serve", "--workers", "0"]).is_err());
+        assert!(parse(&["serve", "--read-timeout", "0"]).is_err());
+        assert!(
+            parse(&["serve", "--stream"]).is_err(),
+            "serve has no --stream"
+        );
+        assert!(parse(&["serve", "--on-drift", "bogus:x"]).is_err());
     }
 }

@@ -88,6 +88,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 mod args;
+mod serve;
 mod sink;
 mod watch;
 use args::{Args, Command, InputFormat, OutputFormat, StreamOpts};
@@ -466,6 +467,39 @@ fn run(args: Args) -> Result<ExitCode, String> {
             println!("node patterns:  {}", s.node_patterns);
             println!("edge patterns:  {}", s.edge_patterns);
             Ok(ExitCode::SUCCESS)
+        }
+        Command::Serve {
+            addr,
+            method,
+            theta,
+            seed,
+            chunk_size,
+            workers,
+            read_timeout_secs,
+            max_body_mb,
+            state_dir,
+            keep,
+            on_drift,
+        } => {
+            let config = PipelineConfig {
+                method,
+                theta,
+                seed,
+                ..PipelineConfig::default()
+            };
+            serve::run_serve(
+                Discoverer::new(config),
+                serve::ServeParams {
+                    addr,
+                    chunk_size,
+                    workers,
+                    read_timeout_secs,
+                    max_body_mb,
+                    state_dir,
+                    keep,
+                    on_drift,
+                },
+            )
         }
         Command::Help => {
             println!("{}", args::USAGE);

@@ -1,0 +1,142 @@
+//! CLI glue for `pg-hive serve`: build the [`ServeCore`], wire the
+//! `--on-drift` sink codec through the core's drift hook, bind the
+//! listener, print the bound address and block.
+//!
+//! The server core lives in `pg_hive_core::serve`; this module owns the
+//! two pieces that are CLI policy, not engine mechanics:
+//!
+//! - translating [`DriftNotice`]s into the shared [`DriftEvent`] codec so
+//!   `serve` drift lands in the *same* jsonl/exec grammar as `watch`
+//!   drift (plus a `tenant` field and `$PGHIVE_DRIFT_TENANT`), with a
+//!   `{tenant}` placeholder in jsonl paths expanding per event;
+//! - process lifecycle: the bound address is printed to stdout (and
+//!   flushed) so scripts — and the e2e suite — can read an ephemeral
+//!   `--addr ...:0` port, then the main thread parks forever. Durability
+//!   is explicit: clients `POST /v1/<tenant>/checkpoint`; a killed server
+//!   warm-restarts from `--state-dir` exactly as `docs/SERVE.md` describes.
+
+use crate::args::DriftSinkSpec;
+use crate::sink::{unix_timestamp, DriftEvent, DriftSink};
+use pg_hive_core::serve::{DriftNotice, ServeCore, ServeOptions};
+use pg_hive_core::Discoverer;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Parsed `serve` flags, grouped (the verb has too many knobs for a flat
+/// argument list).
+pub struct ServeParams {
+    /// `--addr` listen address (`host:port`; port 0 = ephemeral).
+    pub addr: String,
+    /// `--chunk-size` elements per ingest chunk.
+    pub chunk_size: usize,
+    /// `--workers` connection worker threads.
+    pub workers: usize,
+    /// `--read-timeout` in seconds.
+    pub read_timeout_secs: u64,
+    /// `--max-body` in MiB.
+    pub max_body_mb: usize,
+    /// `--state-dir` for per-tenant snapshots.
+    pub state_dir: Option<String>,
+    /// `--keep` rotation depth per tenant.
+    pub keep: Option<usize>,
+    /// `--on-drift` sink specs, fired per drifting ingest pass.
+    pub on_drift: Vec<DriftSinkSpec>,
+}
+
+/// Deliver one drift notice to every `--on-drift` sink using the shared
+/// event codec. Jsonl paths may carry a `{tenant}` placeholder so each
+/// tenant gets its own drift log; exec sinks see `$PGHIVE_DRIFT_TENANT`.
+pub fn emit_notice(specs: &[DriftSinkSpec], notice: &DriftNotice) {
+    let event = DriftEvent {
+        tenant: Some(&notice.tenant),
+        pass: notice.pass,
+        timestamp: unix_timestamp(),
+        elements_added: notice.elements_added,
+        diff: &notice.diff,
+    };
+    for spec in specs {
+        let sink = match spec {
+            DriftSinkSpec::Jsonl(path) => {
+                DriftSink::Jsonl(PathBuf::from(path.replace("{tenant}", &notice.tenant)))
+            }
+            DriftSinkSpec::Exec(cmd) => DriftSink::Exec(cmd.clone()),
+        };
+        if let Err(e) = sink.emit(&event) {
+            eprintln!("warning: {e}");
+        }
+    }
+}
+
+/// Run the service until the process is killed. Never returns on success;
+/// startup failures (unloadable snapshot, unbindable address) return the
+/// named error.
+pub fn run_serve(discoverer: Discoverer, params: ServeParams) -> Result<ExitCode, String> {
+    let opts = ServeOptions {
+        workers: params.workers,
+        chunk_size: params.chunk_size,
+        state_dir: params.state_dir.map(PathBuf::from),
+        keep: params.keep,
+        read_timeout: Duration::from_secs(params.read_timeout_secs),
+        max_body: params.max_body_mb << 20,
+        ..ServeOptions::default()
+    };
+    let mut core = ServeCore::new(discoverer, opts)?;
+    let resumed = core.tenant_names();
+    if !resumed.is_empty() {
+        eprintln!(
+            "resumed {} tenant(s) from the state dir: {}",
+            resumed.len(),
+            resumed.join(", ")
+        );
+    }
+    if !params.on_drift.is_empty() {
+        let specs = params.on_drift.clone();
+        core.set_drift_hook(Box::new(move |n| emit_notice(&specs, n)));
+    }
+    let server = pg_hive_core::serve::bind(&params.addr, Arc::new(core))?;
+    // Scripts (and the e2e suite) read the resolved ephemeral port from
+    // this line, so it must hit the pipe before we block.
+    println!("serving on http://{}", server.addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("cannot flush stdout: {e}"))?;
+    loop {
+        std::thread::park();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_hive_core::{label_set, SchemaDiff};
+
+    #[test]
+    fn jsonl_sink_expands_the_tenant_placeholder() {
+        let dir = std::env::temp_dir().join(format!("pg-hive-serve-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = DriftSinkSpec::Jsonl(
+            dir.join("{tenant}-drift.jsonl")
+                .to_str()
+                .unwrap()
+                .to_string(),
+        );
+        let notice = DriftNotice {
+            tenant: "acme".into(),
+            pass: 2,
+            elements_added: 5,
+            diff: SchemaDiff {
+                added_node_types: vec![label_set(&["Device"])],
+                ..SchemaDiff::default()
+            },
+        };
+        emit_notice(&[spec], &notice);
+        let log = std::fs::read_to_string(dir.join("acme-drift.jsonl")).unwrap();
+        assert!(log.contains("\"event\":\"schema-drift\""), "{log}");
+        assert!(log.contains("\"tenant\":\"acme\""), "{log}");
+        assert!(log.contains("\"pass\":2"), "{log}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -24,6 +24,9 @@ use std::path::PathBuf;
 
 /// One structured schema-drift event, as delivered to every sink.
 pub struct DriftEvent<'a> {
+    /// Originating tenant, for multi-tenant `serve` drift; `None` for the
+    /// single-state `watch` monitor.
+    pub tenant: Option<&'a str>,
     /// Watch pass number (continues across `--state-dir` restarts).
     pub pass: u64,
     /// Unix timestamp (milliseconds) of the detection. Whole-second
@@ -41,8 +44,12 @@ impl DriftEvent<'_> {
     /// vendored serde is a no-op API subset (see `vendor/README.md`), so
     /// the few fields are emitted directly.
     pub fn to_json(&self) -> String {
+        let tenant = match self.tenant {
+            Some(t) => format!("\"tenant\":\"{}\",", json_escape(t)),
+            None => String::new(),
+        };
         format!(
-            "{{\"event\":\"schema-drift\",\"pass\":{},\"timestamp\":{},\
+            "{{\"event\":\"schema-drift\",{tenant}\"pass\":{},\"timestamp\":{},\
              \"elements_added\":{},\"monotone\":{},\
              \"added_node_types\":{},\"removed_node_types\":{},\"changed_node_types\":{},\
              \"added_edge_types\":{},\"removed_edge_types\":{},\"changed_edge_types\":{},\
@@ -116,6 +123,7 @@ impl DriftSink {
                 let status = std::process::Command::new("sh")
                     .arg("-c")
                     .arg(cmd)
+                    .env("PGHIVE_DRIFT_TENANT", event.tenant.unwrap_or(""))
                     .env("PGHIVE_DRIFT_EVENT", event.to_json())
                     .env("PGHIVE_DRIFT_PASS", event.pass.to_string())
                     .env("PGHIVE_DRIFT_TIMESTAMP", event.timestamp.to_string())
@@ -199,6 +207,7 @@ mod tests {
     fn event_json_is_structured_and_escaped() {
         let diff = sample_diff();
         let event = DriftEvent {
+            tenant: None,
             pass: 3,
             timestamp: 1700000000,
             elements_added: 2,
@@ -238,6 +247,7 @@ mod tests {
         // And the emitted event carries it back out intact.
         let diff = sample_diff();
         let event = DriftEvent {
+            tenant: None,
             pass: 7,
             timestamp: ts,
             elements_added: 1,
@@ -261,6 +271,29 @@ mod tests {
     }
 
     #[test]
+    fn tenant_field_appears_only_for_serve_events() {
+        let diff = sample_diff();
+        let with = DriftEvent {
+            tenant: Some("team-a"),
+            pass: 1,
+            timestamp: 1,
+            elements_added: 0,
+            diff: &diff,
+        }
+        .to_json();
+        assert!(with.contains("\"tenant\":\"team-a\""), "{with}");
+        let without = DriftEvent {
+            tenant: None,
+            pass: 1,
+            timestamp: 1,
+            elements_added: 0,
+            diff: &diff,
+        }
+        .to_json();
+        assert!(!without.contains("tenant"), "{without}");
+    }
+
+    #[test]
     fn json_escape_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
@@ -273,6 +306,7 @@ mod tests {
         let diff = sample_diff();
         for pass in [2u64, 3] {
             sink.emit(&DriftEvent {
+                tenant: None,
                 pass,
                 timestamp: 1,
                 elements_added: 0,
@@ -291,22 +325,25 @@ mod tests {
     fn exec_sink_exports_the_event_environment() {
         let out = temp("exec");
         let sink = DriftSink::Exec(format!(
-            "printf '%s %s' \"$PGHIVE_DRIFT_PASS\" \"$PGHIVE_DRIFT_MONOTONE\" > {}",
+            "printf '%s %s %s' \"$PGHIVE_DRIFT_PASS\" \"$PGHIVE_DRIFT_MONOTONE\" \
+             \"$PGHIVE_DRIFT_TENANT\" > {}",
             out.display()
         ));
         let diff = sample_diff();
         sink.emit(&DriftEvent {
+            tenant: Some("prod"),
             pass: 9,
             timestamp: 1,
             elements_added: 4,
             diff: &diff,
         })
         .unwrap();
-        assert_eq!(std::fs::read_to_string(&out).unwrap(), "9 monotone");
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), "9 monotone prod");
 
         // A failing command surfaces as a named error, not a panic.
         let err = DriftSink::Exec("exit 3".into())
             .emit(&DriftEvent {
+                tenant: None,
                 pass: 1,
                 timestamp: 1,
                 elements_added: 0,

@@ -886,6 +886,7 @@ pub fn run_watch(
             emit_all(
                 sinks,
                 &DriftEvent {
+                    tenant: None,
                     pass,
                     timestamp: unix_timestamp(),
                     elements_added: elements,

@@ -1254,3 +1254,172 @@ fn watch_partition_rolls_are_ordinary_mergeable_states() {
     assert_eq!(code, Some(2));
     assert!(stderr.contains("--keep requires --state-dir"), "{stderr}");
 }
+
+// --------------------------------------------------------------------------
+// `pg-hive serve` end-to-end: spawn the real binary, speak HTTP over raw
+// sockets, compare against the offline pipeline, and regress multi-tenant
+// snapshot rotation (chains must never cross-contaminate).
+// --------------------------------------------------------------------------
+
+/// Kills the spawned server on drop so a failing assertion can't leak a
+/// listening process into the test host.
+struct ServeGuard(std::process::Child);
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawn `pg-hive serve --addr 127.0.0.1:0 <extra>` and return the guard
+/// plus the resolved `host:port` parsed from the startup line on stdout.
+fn spawn_serve(extra: &[&str]) -> (ServeGuard, String) {
+    use std::io::{BufRead, BufReader};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pg-hive"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("startup line");
+    let addr = line
+        .trim()
+        .strip_prefix("serving on http://")
+        .unwrap_or_else(|| panic!("unexpected startup line {line:?}"))
+        .to_string();
+    (ServeGuard(child), addr)
+}
+
+/// One HTTP request on a fresh connection; returns (status, body).
+fn http(addr: &str, method: &str, target: &str, body: &str) -> (u16, String) {
+    use std::io::{BufRead, BufReader, Read};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line.split(' ').nth(1).unwrap().parse().unwrap();
+    let mut len = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).unwrap();
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = header.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                len = v.trim().parse().unwrap();
+            }
+        }
+    }
+    let mut buf = vec![0u8; len];
+    reader.read_exact(&mut buf).unwrap();
+    (status, String::from_utf8(buf).unwrap())
+}
+
+#[test]
+fn serve_e2e_schema_matches_offline_discover() {
+    let (guard, addr) = spawn_serve(&[]);
+    let (status, body) = http(&addr, "POST", "/v1/main/ingest", DEMO);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"pass\":1"), "{body}");
+    let (status, served) = http(&addr, "GET", "/v1/main/schema", "");
+    assert_eq!(status, 200, "{served}");
+
+    // The served schema must be byte-identical to the offline streaming
+    // pipeline over the same single batch.
+    let path = write_temp_named("serve-e2e-offline", DEMO);
+    let (offline, stderr, code) = run(&[
+        "discover",
+        path.to_str().unwrap(),
+        "--stream",
+        "--format",
+        "strict",
+    ]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert_eq!(
+        served, offline,
+        "served schema diverged from offline discover"
+    );
+    drop(guard);
+}
+
+#[test]
+fn serve_e2e_multi_tenant_rotation_chains_never_cross_contaminate() {
+    let dir = std::env::temp_dir().join(format!("pg-hive-e2e-serve-rot-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Label vocabularies are disjoint so any cross-tenant bleed is
+    // grep-visible in both snapshots and served schemas.
+    let alpha1 = "N z1 Zephyr name=a\nN z2 Zephyr name=b\nE z1 z2 GUSTS w=1\n";
+    let alpha2 = "N z3 Zephyr name=c\nE z1 z3 GUSTS w=2\n";
+    let beta1 = "N b1 Beacon url=x\nN b2 Beacon url=y\nE b1 b2 SIGNALS w=1\n";
+    let beta2 = "N b3 Beacon url=z\nE b1 b3 SIGNALS w=2\n";
+
+    let (guard, addr) = spawn_serve(&["--state-dir", dir.to_str().unwrap(), "--keep", "2"]);
+    for (tenant, batch) in [
+        ("alpha", alpha1),
+        ("beta", beta1),
+        ("alpha", alpha2),
+        ("beta", beta2),
+    ] {
+        let (status, body) = http(&addr, "POST", &format!("/v1/{tenant}/ingest"), batch);
+        assert_eq!(status, 200, "{body}");
+        let (status, body) = http(&addr, "POST", &format!("/v1/{tenant}/checkpoint"), "");
+        assert_eq!(status, 200, "{body}");
+    }
+    let (_, alpha_before) = http(&addr, "GET", "/v1/alpha/schema", "");
+    let (_, beta_before) = http(&addr, "GET", "/v1/beta/schema", "");
+    drop(guard);
+
+    // Each tenant owns exactly its own chain: live snapshot + one rotated
+    // slot, every file stamped with its own tenant and vocabulary only.
+    for tenant in ["alpha", "beta"] {
+        let other_label = if tenant == "alpha" {
+            "Beacon"
+        } else {
+            "Zephyr"
+        };
+        let own_input = format!("input {tenant}");
+        for name in [format!("{tenant}.snapshot"), format!("{tenant}.snapshot.1")] {
+            let text = std::fs::read_to_string(dir.join(&name))
+                .unwrap_or_else(|e| panic!("{name} missing: {e}"));
+            assert!(text.contains(&own_input), "{name} lost its tenant stamp");
+            assert!(
+                !text.contains(other_label),
+                "{name} is contaminated with {other_label}"
+            );
+        }
+        assert!(
+            !dir.join(format!("{tenant}.snapshot.2")).exists(),
+            "--keep 2 retains at most live + 1 rotated before the chain fills"
+        );
+    }
+
+    // Warm restart from the same state dir: both tenants resume
+    // byte-identical and a replayed batch causes no spurious drift.
+    let (guard, addr) = spawn_serve(&["--state-dir", dir.to_str().unwrap(), "--keep", "2"]);
+    let (status, alpha_after) = http(&addr, "GET", "/v1/alpha/schema", "");
+    assert_eq!(status, 200, "{alpha_after}");
+    let (_, beta_after) = http(&addr, "GET", "/v1/beta/schema", "");
+    assert_eq!(alpha_before, alpha_after, "alpha changed across restart");
+    assert_eq!(beta_before, beta_after, "beta changed across restart");
+    assert!(alpha_after.contains("Zephyr") && !alpha_after.contains("Beacon"));
+    assert!(beta_after.contains("Beacon") && !beta_after.contains("Zephyr"));
+    let (status, body) = http(&addr, "POST", "/v1/alpha/ingest", alpha2);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"drift\":false"), "spurious drift: {body}");
+    drop(guard);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

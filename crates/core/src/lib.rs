@@ -80,6 +80,7 @@ pub mod preprocess;
 pub mod retract;
 pub mod schema;
 pub mod serialize;
+pub mod serve;
 pub mod sigcache;
 pub mod snapshot;
 pub mod state;
@@ -97,6 +98,7 @@ pub use schema::{
     label_set, Cardinality, CardinalityClass, EdgeType, LabelSet, NodeType, PropertySpec,
     SchemaGraph,
 };
+pub use serve::{DriftHook, DriftNotice, RunningServer, ServeCore, ServeOptions};
 pub use sigcache::{CacheStats, CachedChunk, SignatureCache};
 pub use snapshot::{
     FileCheckpoint, ResumeContext, Snapshot, SnapshotConfig, SnapshotError, WatchCheckpoint,

@@ -22,6 +22,21 @@
 //! The split is what makes drift monitoring cheap: `pg-hive watch` keeps
 //! one resident `SchemaState`, absorbs only the chunks appended since the
 //! previous pass, and re-finalizes — no full re-discovery per pass.
+//!
+//! ## Concurrency contract
+//!
+//! Every absorb entry point ([`SchemaState::absorb_node_candidates`],
+//! [`SchemaState::absorb_edge_candidates`], [`SchemaState::absorb_schema`],
+//! [`SchemaState::merge`]) deliberately takes `&mut self`: mutation is
+//! serialized by the **type system**, not by hidden interior locking.
+//! A concurrent holder (the multi-tenant server in
+//! [`crate::serve`], a parallel fold) must wrap the state in its own
+//! `Mutex` and follow a strict lock order — any shared map that *locates*
+//! states is locked strictly above the per-state mutex and released before
+//! it is taken (see the [`crate::serve`] module docs for the two-level
+//! order the server uses). Because absorb is associative and commutative,
+//! coarse per-state locking costs no correctness: whichever interleaving
+//! the lock admits finalizes to the same canonical schema.
 
 use crate::config::SamplingConfig;
 use crate::extract::{merge_edge_candidates, merge_node_candidates};
@@ -120,6 +135,11 @@ impl SchemaState {
     /// [`crate::extract::candidate_node_types`]). Labeled candidates pool by
     /// label set; unlabeled ones pool by key set and stay unresolved until
     /// [`Self::finalize`].
+    ///
+    /// Takes `&mut self` by contract (see the [module docs](self)
+    /// "Concurrency contract"): shared holders guard the state with one
+    /// mutex held for the whole absorb, locked *below* any map that
+    /// locates states.
     pub fn absorb_node_candidates(&mut self, cands: Vec<NodeType>) {
         for cand in cands {
             if cand.labels.is_empty() {

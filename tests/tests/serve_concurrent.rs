@@ -1,0 +1,349 @@
+//! Black-box concurrent-equivalence harness for `pg-hive serve`.
+//!
+//! The server's correctness claim is the one the canonical `SchemaState`
+//! makes checkable from outside (the way Huang et al. check snapshot
+//! isolation without opening the database): because absorb is associative
+//! and commutative and `finalize()` is deterministic, **any** interleaving
+//! of K concurrent clients' ingest requests must leave the tenant with a
+//! schema byte-identical to a serial `discover --stream` over the
+//! concatenated batches. These properties drive real `TcpStream`s against
+//! a real listener — worker pool, HTTP framing, keep-alive reuse and all —
+//! and compare strict-schema bytes against the in-process serial oracle.
+//!
+//! The second property kills the server mid-load (checkpoint → shutdown →
+//! warm restart from `--state-dir`) and requires the same identity at the
+//! end — restart must be invisible in the final schema.
+
+use pg_hive_core::serialize::pg_schema_strict;
+use pg_hive_core::serve::{bind, RunningServer, ServeCore, ServeOptions};
+use pg_hive_core::{Discoverer, PipelineConfig, SignatureCache};
+use pg_hive_graph::stream::pgt::PgtSource;
+use pg_hive_graph::{ChunkedTextReader, LabelSetRegistry, RawGraphSource};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Cursor, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+// --------------------------------------------------------------------------
+// Minimal raw HTTP client
+// --------------------------------------------------------------------------
+
+struct HttpReply {
+    status: u16,
+    body: Vec<u8>,
+}
+
+fn read_reply(reader: &mut BufReader<TcpStream>) -> HttpReply {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status: u16 = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {line:?}"));
+    let mut len = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header line");
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = header.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                len = v.trim().parse().expect("content-length");
+            }
+        }
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).expect("body");
+    HttpReply { status, body }
+}
+
+/// One keep-alive client connection.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { stream, reader }
+    }
+
+    fn request(&mut self, method: &str, target: &str, body: &[u8]) -> HttpReply {
+        write!(
+            self.stream,
+            "{method} {target} HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .expect("write head");
+        self.stream.write_all(body).expect("write body");
+        self.stream.flush().expect("flush");
+        read_reply(&mut self.reader)
+    }
+}
+
+fn get_schema(addr: SocketAddr, tenant: &str) -> String {
+    let mut c = Client::connect(addr);
+    let reply = c.request("GET", &format!("/v1/{tenant}/schema"), b"");
+    assert_eq!(
+        reply.status,
+        200,
+        "schema fetch: {}",
+        String::from_utf8_lossy(&reply.body)
+    );
+    String::from_utf8(reply.body).expect("schema utf8")
+}
+
+fn start_server(opts: ServeOptions) -> RunningServer {
+    let core = ServeCore::new(Discoverer::new(PipelineConfig::elsh_adaptive()), opts)
+        .expect("server core");
+    bind("127.0.0.1:0", Arc::new(core)).expect("bind")
+}
+
+fn temp_state_dir() -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pg-hive-serve-concurrent-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+// --------------------------------------------------------------------------
+// Scenario generation: a random graph partitioned into K clients' batches
+// --------------------------------------------------------------------------
+
+const NODE_LABELS: [&str; 3] = ["Person", "Org", "Device"];
+const EDGE_LABELS: [&str; 3] = ["KNOWS", "WORKS_AT", "LINKED_TO"];
+const PROP_KEYS: [&str; 4] = ["name", "age", "url", "score"];
+
+/// K clients, each holding an ordered list of pgt record batches.
+#[derive(Debug, Clone)]
+struct Scenario {
+    clients: Vec<Vec<String>>,
+}
+
+impl Scenario {
+    fn all_batches(&self) -> Vec<String> {
+        self.clients.iter().flatten().cloned().collect()
+    }
+}
+
+fn render_node(i: usize, label: usize, prop_mask: u8) -> String {
+    let props: Vec<String> = PROP_KEYS
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| prop_mask & (1 << j) != 0)
+        .map(|(j, key)| format!("{key}=v{i}x{j}"))
+        .collect();
+    let props = if props.is_empty() {
+        "-".to_string()
+    } else {
+        props.join(",")
+    };
+    format!("N n{i} {} {props}\n", NODE_LABELS[label])
+}
+
+fn render_edge(src: usize, dst: usize, label: usize) -> String {
+    format!("E n{src} n{dst} {} w=1\n", EDGE_LABELS[label])
+}
+
+/// Generate ≥3 clients × random batches over a random graph. Every edge
+/// endpoint is declared by *some* batch of *some* client, so at
+/// quiescence the server's carried-pending edges have all resolved — the
+/// precondition under which serve and the serial reader absorb the same
+/// element multiset.
+///
+/// The vendored proptest has no `prop_flat_map`, so sizes can't shape
+/// later strategies; instead we draw max-sized raw material plus the
+/// sizes, then slice and remap indices (`% n`, `% k`, `% b`) in one
+/// `prop_map`.
+const MAX_NODES: usize = 14;
+const MAX_EDGES: usize = 12;
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    let sizes = (
+        4usize..MAX_NODES,
+        3usize..=5,
+        1usize..=3,
+        0usize..=MAX_EDGES,
+    );
+    let material = (
+        proptest::collection::vec((0usize..NODE_LABELS.len(), 0u8..16), MAX_NODES),
+        proptest::collection::vec(
+            (
+                0usize..MAX_NODES,
+                0usize..MAX_NODES,
+                0usize..EDGE_LABELS.len(),
+            ),
+            MAX_EDGES,
+        ),
+        proptest::collection::vec((0usize..64, 0usize..64), MAX_NODES + MAX_EDGES),
+    );
+    (sizes, material).prop_map(|((n, k, b, e), (nodes, edges, slots))| {
+        let mut lines = Vec::with_capacity(n + e);
+        for (i, (label, mask)) in nodes[..n].iter().enumerate() {
+            lines.push(render_node(i, *label, *mask));
+        }
+        for (src, dst, label) in &edges[..e] {
+            lines.push(render_edge(src % n, dst % n, *label));
+        }
+        let mut clients = vec![vec![String::new(); b]; k];
+        for (line, (c, batch)) in lines.into_iter().zip(&slots) {
+            clients[c % k][batch % b].push_str(&line);
+        }
+        Scenario { clients }
+    })
+}
+
+/// Serial oracle: replay the batches in one fixed order through the
+/// offline shard mechanics the server mirrors — fresh reader + fresh
+/// registry per batch, merge the batch registry into the running one,
+/// stub-resolve carried cross-batch edges after each batch. A request
+/// body is the unit of observation exactly as a shard file is offline,
+/// so this replay is the canonical serial execution the interleavings
+/// must agree with (see the correctness-model docs in
+/// `pg_hive_core::serve`).
+fn serial_oracle(batches: &[String]) -> String {
+    let discoverer = Discoverer::new(PipelineConfig::elsh_adaptive());
+    let cache = SignatureCache::default();
+    let mut state = discoverer.new_state();
+    let mut registry = LabelSetRegistry::default();
+    let mut pending = Vec::new();
+    for batch in batches {
+        let source: Box<dyn RawGraphSource + Send> =
+            Box::new(PgtSource::new(Cursor::new(batch.clone().into_bytes())));
+        let mut reader =
+            ChunkedTextReader::with_registry(source, 100_000, LabelSetRegistry::default());
+        reader.set_carry_unresolved(true);
+        let mut chunks = Vec::new();
+        while let Some(chunk) = reader.next_chunk().expect("oracle parse") {
+            chunks.push(chunk);
+        }
+        discoverer.absorb_stream_cached(chunks, &mut state, 1, &cache);
+        pending.extend(reader.take_pending());
+        registry.merge(&reader.into_registry());
+        let (left, _) = discoverer.resolve_pending(&mut state, &registry, pending);
+        pending = left;
+    }
+    pg_schema_strict(&state.finalize(), "Discovered")
+}
+
+/// Run each client's batches on its own thread against one tenant; the OS
+/// scheduler provides the interleaving. Panics (from non-200 responses)
+/// propagate through join.
+fn run_clients(addr: SocketAddr, tenant: &str, clients: &[Vec<String>]) {
+    let handles: Vec<_> = clients
+        .iter()
+        .cloned()
+        .map(|batches| {
+            let tenant = tenant.to_string();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                for body in &batches {
+                    let reply =
+                        client.request("POST", &format!("/v1/{tenant}/ingest"), body.as_bytes());
+                    assert_eq!(
+                        reply.status,
+                        200,
+                        "ingest: {}",
+                        String::from_utf8_lossy(&reply.body)
+                    );
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// ≥3 concurrent clients, random batches, real sockets: the served
+    /// schema must be byte-identical to the serial oracle over the
+    /// concatenated batches — the black-box commutativity check.
+    #[test]
+    fn interleaved_clients_match_serial_oracle(scenario in arb_scenario()) {
+        let server = start_server(ServeOptions::default());
+        let addr = server.addr();
+        run_clients(addr, "load", &scenario.clients);
+        let served = get_schema(addr, "load");
+        server.shutdown();
+        prop_assert_eq!(served, serial_oracle(&scenario.all_batches()));
+    }
+
+    /// Kill-and-warm-restart mid-load: phase 1 ingests each client's first
+    /// batch concurrently, checkpoints, shuts the server down, restarts
+    /// from the state dir, then phase 2 ingests the rest concurrently.
+    /// The final schema must still match the all-batches oracle — the
+    /// restart is invisible.
+    #[test]
+    fn checkpoint_restart_mid_load_preserves_identity(scenario in arb_scenario()) {
+        let dir = temp_state_dir();
+        let opts = ServeOptions {
+            state_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        };
+
+        let phase1: Vec<Vec<String>> = scenario
+            .clients
+            .iter()
+            .map(|batches| batches[..1].to_vec())
+            .collect();
+        let phase2: Vec<Vec<String>> = scenario
+            .clients
+            .iter()
+            .map(|batches| batches[1..].to_vec())
+            .filter(|rest| !rest.is_empty())
+            .collect();
+
+        let server = start_server(opts.clone());
+        let addr = server.addr();
+        run_clients(addr, "load", &phase1);
+        let reply = Client::connect(addr).request("POST", "/v1/load/checkpoint", b"");
+        prop_assert_eq!(reply.status, 200);
+        let mid = get_schema(addr, "load");
+        server.shutdown();
+
+        // Warm restart: the tenant must come back byte-identical...
+        let server = start_server(opts);
+        let addr = server.addr();
+        prop_assert_eq!(get_schema(addr, "load"), mid);
+        // ...and absorbing the rest must land on the full-load oracle.
+        run_clients(addr, "load", &phase2);
+        let served = get_schema(addr, "load");
+        server.shutdown();
+        prop_assert_eq!(served, serial_oracle(&scenario.all_batches()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Deterministic smoke case pinning the harness itself: two clients with
+/// fixed disjoint batches, checked against a hand-concatenated oracle.
+#[test]
+fn two_fixed_clients_round_trip() {
+    let a = "N 1 Person name=Ada\nN 2 Person name=Grace\nE 1 2 KNOWS since=1940\n".to_string();
+    let b = "N 3 Org name=RS\nE 1 3 WORKS_AT from=1835\n".to_string();
+    let scenario = Scenario {
+        clients: vec![vec![a], vec![b]],
+    };
+    let server = start_server(ServeOptions::default());
+    let addr = server.addr();
+    run_clients(addr, "demo", &scenario.clients);
+    let served = get_schema(addr, "demo");
+    server.shutdown();
+    assert_eq!(served, serial_oracle(&scenario.all_batches()));
+    assert!(served.contains("Person"), "{served}");
+    assert!(served.contains("WORKS_AT"), "{served}");
+}

@@ -1,0 +1,345 @@
+//! HTTP protocol conformance for `pg-hive serve`: hostile and malformed
+//! clients get named 4xx/5xx JSON errors, never a panic, and framing-safe
+//! errors leave the connection reusable.
+//!
+//! The contract under test (documented in `docs/SERVE.md`):
+//!
+//! - routing errors (unknown tenant/route/verb, wrong method, bad query,
+//!   bad body) are **framing-safe** — the request was fully read, so the
+//!   same connection must serve the next request;
+//! - protocol errors (malformed request line, oversized headers, bad
+//!   `Content-Length`, truncated body, timeout) break framing — the
+//!   server answers once and closes;
+//! - a slow or stalled client is bounded by `--read-timeout`, so a worker
+//!   can never be held hostage.
+
+use pg_hive_core::serve::{bind, RunningServer, ServeCore, ServeOptions};
+use pg_hive_core::{Discoverer, PipelineConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn start_server(opts: ServeOptions) -> RunningServer {
+    let core = ServeCore::new(Discoverer::new(PipelineConfig::elsh_adaptive()), opts)
+        .expect("server core");
+    bind("127.0.0.1:0", Arc::new(core)).expect("bind")
+}
+
+struct HttpReply {
+    status: u16,
+    connection: String,
+    body: String,
+}
+
+fn read_reply(reader: &mut BufReader<TcpStream>) -> HttpReply {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    assert!(line.starts_with("HTTP/1.1 "), "not an HTTP reply: {line:?}");
+    let status: u16 = line.split(' ').nth(1).unwrap().parse().expect("status");
+    let mut len = 0usize;
+    let mut connection = String::new();
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header");
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((k, v)) = header.split_once(':') else {
+            panic!("malformed reply header {header:?}")
+        };
+        let k = k.trim().to_ascii_lowercase();
+        if k == "content-length" {
+            len = v.trim().parse().expect("length");
+        } else if k == "connection" {
+            connection = v.trim().to_string();
+        }
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).expect("body");
+    HttpReply {
+        status,
+        connection,
+        body: String::from_utf8(body).expect("utf8 body"),
+    }
+}
+
+/// Write raw bytes on a fresh connection and read one reply.
+fn raw_roundtrip(addr: SocketAddr, raw: &[u8]) -> HttpReply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw).expect("write");
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    read_reply(&mut reader)
+}
+
+/// Assert the peer closed: the next read on the connection hits EOF.
+fn assert_closed(reader: &mut BufReader<TcpStream>) {
+    let mut rest = String::new();
+    let n = reader.read_line(&mut rest).expect("read after close");
+    assert_eq!(n, 0, "server should have closed, got {rest:?}");
+}
+
+#[test]
+fn malformed_request_line_gets_named_400_and_close() {
+    let server = start_server(ServeOptions::default());
+    let addr = server.addr();
+
+    let cases: [(&str, u16, &str); 5] = [
+        ("TOTAL GARBAGE\r\n\r\n", 400, "bad-request-line"),
+        ("GET nopath HTTP/1.1\r\n\r\n", 400, "bad-request-line"),
+        ("GET /x HTTP/9.9\r\n\r\n", 505, "unsupported-version"),
+        (
+            "GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            400,
+            "bad-header",
+        ),
+        (
+            "POST /v1/t/ingest HTTP/1.1\r\nContent-Length: twelve\r\n\r\n",
+            400,
+            "bad-content-length",
+        ),
+    ];
+    for (raw, status, name) in cases {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream);
+        let reply = read_reply(&mut reader);
+        assert_eq!(reply.status, status, "{raw:?}: {}", reply.body);
+        assert!(
+            reply.body.contains(&format!("\"error\":\"{name}\"")),
+            "{raw:?}: {}",
+            reply.body
+        );
+        assert_eq!(reply.connection, "close", "{raw:?}");
+        assert_closed(&mut reader);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn length_less_post_is_an_empty_body_not_an_error() {
+    // RFC 7230 §3.3.3: no Content-Length and no Transfer-Encoding means
+    // an empty body — this is what `curl -X POST` sends for body-less
+    // verbs like checkpoint, so it must not be rejected.
+    let server = start_server(ServeOptions::default());
+    let reply = raw_roundtrip(server.addr(), b"POST /v1/t/ingest HTTP/1.1\r\n\r\n");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(
+        reply.body.contains("\"elements_absorbed\":0"),
+        "{}",
+        reply.body
+    );
+    server.shutdown();
+}
+
+#[test]
+fn oversized_headers_get_431_and_close() {
+    let server = start_server(ServeOptions::default());
+    let addr = server.addr();
+
+    // One pathologically long header line.
+    let raw = format!(
+        "GET /healthz HTTP/1.1\r\nx-junk: {}\r\n\r\n",
+        "j".repeat(10 << 10)
+    );
+    let reply = raw_roundtrip(addr, raw.as_bytes());
+    assert_eq!(reply.status, 431, "{}", reply.body);
+    assert!(reply.body.contains("headers-too-large"), "{}", reply.body);
+
+    // Too many individually-small headers.
+    let mut raw = String::from("GET /healthz HTTP/1.1\r\n");
+    for i in 0..100 {
+        raw.push_str(&format!("x-h{i}: v\r\n"));
+    }
+    raw.push_str("\r\n");
+    let reply = raw_roundtrip(addr, raw.as_bytes());
+    assert_eq!(reply.status, 431, "{}", reply.body);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_body_is_refused_by_content_length() {
+    let server = start_server(ServeOptions {
+        max_body: 1 << 10,
+        ..ServeOptions::default()
+    });
+    let raw = "POST /v1/t/ingest HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n";
+    let reply = raw_roundtrip(server.addr(), raw.as_bytes());
+    assert_eq!(reply.status, 413, "{}", reply.body);
+    assert!(reply.body.contains("body-too-large"), "{}", reply.body);
+    server.shutdown();
+}
+
+#[test]
+fn routing_errors_keep_the_connection_reusable() {
+    let server = start_server(ServeOptions::default());
+    let addr = server.addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let send = |stream: &mut TcpStream, req: &str| {
+        stream.write_all(req.as_bytes()).unwrap();
+        stream.flush().unwrap();
+    };
+
+    // unknown route → 404, connection stays open...
+    send(&mut stream, "GET /nope HTTP/1.1\r\n\r\n");
+    let reply = read_reply(&mut reader);
+    assert_eq!(reply.status, 404);
+    assert!(reply.body.contains("unknown-route"), "{}", reply.body);
+    assert_eq!(reply.connection, "keep-alive");
+
+    // ...unknown tenant on the SAME connection...
+    send(&mut stream, "GET /v1/ghost/schema HTTP/1.1\r\n\r\n");
+    let reply = read_reply(&mut reader);
+    assert_eq!(reply.status, 404);
+    assert!(reply.body.contains("unknown-tenant"), "{}", reply.body);
+
+    // ...wrong method...
+    send(
+        &mut stream,
+        "POST /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+    );
+    let reply = read_reply(&mut reader);
+    assert_eq!(reply.status, 405);
+    assert!(reply.body.contains("method-not-allowed"), "{}", reply.body);
+
+    // ...invalid tenant name...
+    send(&mut stream, "GET /v1/.sneaky/schema HTTP/1.1\r\n\r\n");
+    let reply = read_reply(&mut reader);
+    assert_eq!(reply.status, 400);
+    assert!(reply.body.contains("invalid-tenant"), "{}", reply.body);
+
+    // ...a bad ingest body (fully read → framing intact)...
+    let body = "this is not pgt\n";
+    send(
+        &mut stream,
+        &format!(
+            "POST /v1/t/ingest HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    let reply = read_reply(&mut reader);
+    assert_eq!(reply.status, 400);
+    assert!(reply.body.contains("bad-body"), "{}", reply.body);
+
+    // ...and the SAME connection still serves a real request.
+    send(&mut stream, "GET /healthz HTTP/1.1\r\n\r\n");
+    let reply = read_reply(&mut reader);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(reply.body.contains("\"status\":\"ok\""), "{}", reply.body);
+    server.shutdown();
+}
+
+#[test]
+fn slow_client_is_bounded_by_the_read_timeout() {
+    let server = start_server(ServeOptions {
+        read_timeout: Duration::from_millis(300),
+        ..ServeOptions::default()
+    });
+    let addr = server.addr();
+
+    // Half a request line, then stall: the server must answer 408 within
+    // the timeout bound (with slack), not hang a worker forever.
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"GET /heal").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let reply = read_reply(&mut reader);
+    assert_eq!(reply.status, 408, "{}", reply.body);
+    assert!(
+        reply.body.contains("\"error\":\"timeout\""),
+        "{}",
+        reply.body
+    );
+    assert_eq!(reply.connection, "close");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "timeout took {:?}",
+        started.elapsed()
+    );
+
+    // A declared body that never arrives is the same story.
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"POST /v1/t/ingest HTTP/1.1\r\nContent-Length: 50\r\n\r\nN 1")
+        .unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let reply = read_reply(&mut reader);
+    assert_eq!(reply.status, 408, "{}", reply.body);
+    assert!(started.elapsed() < Duration::from_secs(5));
+
+    // An idle keep-alive connection (zero bytes of a next request) is
+    // closed silently — no 408 spam in the log, just EOF.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream);
+    assert_closed(&mut reader);
+    server.shutdown();
+}
+
+#[test]
+fn abuse_does_not_poison_the_server() {
+    let server = start_server(ServeOptions {
+        read_timeout: Duration::from_millis(200),
+        workers: 2,
+        ..ServeOptions::default()
+    });
+    let addr = server.addr();
+
+    // Throw every class of abuse at it...
+    let _ = raw_roundtrip(addr, b"GARBAGE\r\n\r\n");
+    let _ = raw_roundtrip(addr, b"GET /x HTTP/9.9\r\n\r\n");
+    let _ = raw_roundtrip(
+        addr,
+        b"POST /v1/t/ingest HTTP/1.1\r\nContent-Length: -3\r\n\r\n",
+    );
+    for _ in 0..3 {
+        // stalled connections, dropped without completing a request
+        let mut s = TcpStream::connect(addr).unwrap();
+        let _ = s.write_all(b"GET /par");
+        drop(s);
+    }
+
+    // ...then a normal client ingests and reads back a schema.
+    let body = "N 1 Person name=Ada\n";
+    let raw = format!(
+        "POST /v1/t/ingest HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let reply = raw_roundtrip(addr, raw.as_bytes());
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let reply = raw_roundtrip(addr, b"GET /v1/t/schema HTTP/1.1\r\n\r\n");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(reply.body.contains("Person"), "{}", reply.body);
+    server.shutdown();
+}
+
+#[test]
+fn error_bodies_are_json_objects() {
+    let server = start_server(ServeOptions::default());
+    let addr = server.addr();
+    for raw in [
+        "GET /nope HTTP/1.1\r\n\r\n",
+        "GET /v1/ghost/stats HTTP/1.1\r\n\r\n",
+        "BROKEN\r\n\r\n",
+    ] {
+        let reply = raw_roundtrip(addr, raw.as_bytes());
+        assert!(reply.status >= 400, "{raw:?}");
+        assert!(
+            reply.body.starts_with("{\"error\":\"") && reply.body.ends_with('}'),
+            "{raw:?}: {}",
+            reply.body
+        );
+        assert!(
+            reply.body.contains("\"detail\":\""),
+            "{raw:?}: {}",
+            reply.body
+        );
+    }
+    server.shutdown();
+}
